@@ -1,0 +1,42 @@
+//! Criterion bench for F8: per-event cost of online detection and
+//! forecasting ("detect and forecast events in a timely fashion").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_cep::{Dfa, Pattern, PatternMarkovChain, Wayeb};
+use datacron_data::events::MarkovSymbolSource;
+
+fn bench_cep(c: &mut Criterion) {
+    let source = MarkovSymbolSource::random(4, 2, 2.0, 3);
+    let train = source.generate(50_000, 1).symbols;
+    let stream = source.generate(10_000, 2).symbols;
+    let pattern = Pattern::north_to_south_reversal(0, 1, 2);
+    let dfa = Dfa::compile(&pattern, 4);
+
+    let mut group = c.benchmark_group("cep");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for order in [1usize, 2] {
+        let pmc = PatternMarkovChain::train(dfa.clone(), order, &train);
+        group.bench_with_input(BenchmarkId::new("wayeb_stream", format!("m{order}")), &pmc, |b, pmc| {
+            b.iter(|| {
+                let mut engine = Wayeb::new(pmc.clone(), 0.6, 200);
+                let mut detections = 0usize;
+                for &s in &stream {
+                    if engine.process(s).detected {
+                        detections += 1;
+                    }
+                }
+                detections
+            });
+        });
+    }
+    // Model construction cost (waiting-time distributions).
+    let pmc2 = PatternMarkovChain::train(dfa, 2, &train);
+    group.bench_function("build_engine_m2", |b| {
+        b.iter(|| Wayeb::new(pmc2.clone(), 0.6, 200));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for F5a: per-prediction latency of the FLP methods
+//! (the online task runs under "minimal storage and processing resources").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacron_bench::workloads::bcn_mad_corpus;
+use datacron_geo::Trajectory;
+use datacron_predict::flp::{LinearExtrapolation, Predictor};
+use datacron_predict::{RmfPredictor, RmfStarPredictor};
+
+fn bench_flp(c: &mut Criterion) {
+    let corpus = bcn_mad_corpus(1, 23);
+    let trajectory = Trajectory::from_reports(corpus[0].reports.clone());
+    let (_, pts) = trajectory.to_local();
+    let window = 12;
+    let start = pts.len() / 2;
+    let history: Vec<(f64, f64, f64)> = pts[start - window..=start].to_vec();
+    let last_t = history.last().unwrap().2;
+    let futures: Vec<f64> = (1..=8).map(|k| last_t + 8.0 * k as f64).collect();
+
+    let predictors: Vec<(&str, Box<dyn Predictor>)> = vec![
+        ("rmf_star", Box::new(RmfStarPredictor::default())),
+        ("rmf", Box::new(RmfPredictor::new(3))),
+        ("linear", Box::new(LinearExtrapolation)),
+    ];
+    let mut group = c.benchmark_group("flp");
+    for (name, p) in &predictors {
+        group.bench_with_input(BenchmarkId::new("predict8", *name), p, |b, p| {
+            b.iter(|| p.predict(&history, &futures));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flp);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for E-INS: in-situ processing throughput — cleaning,
+//! running statistics, and area entry/exit detection per record (§4.2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datacron_bench::workloads::{maritime_fleet, regions};
+use datacron_data::maritime::VoyageConfig;
+use datacron_stream::cleaning::{CleaningConfig, StreamCleaner};
+use datacron_stream::insitu::InSituProcessor;
+use datacron_stream::lowlevel::AreaMonitor;
+
+fn bench_insitu(c: &mut Criterion) {
+    let fleet = maritime_fleet(4, VoyageConfig::default(), 13);
+    let reports: Vec<_> = fleet[0].reports.clone();
+    let region_pairs: Vec<_> = regions(200, 5).iter().map(|r| (r.id, r.polygon.clone())).collect();
+
+    let mut group = c.benchmark_group("insitu");
+    group.throughput(Throughput::Elements(reports.len() as u64));
+    group.bench_function("cleaning", |b| {
+        b.iter(|| {
+            let mut cleaner = StreamCleaner::new(CleaningConfig::maritime());
+            reports.iter().filter(|r| {
+                cleaner.check(r) == datacron_stream::cleaning::CleaningOutcome::Accepted
+            }).count()
+        });
+    });
+    group.bench_function("running_stats", |b| {
+        b.iter(|| {
+            let mut p = InSituProcessor::new();
+            for r in &reports {
+                p.ingest(*r);
+            }
+            p.stats().speed.median()
+        });
+    });
+    group.bench_function("area_monitor", |b| {
+        b.iter(|| {
+            let mut m = AreaMonitor::new(region_pairs.clone(), 0.25);
+            let mut events = 0usize;
+            for r in &reports {
+                events += m.observe(r).len();
+            }
+            events
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insitu);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench for E-KG: star-join query latency with pushdown vs.
+//! post-filtering across storage layouts (the paper's factor-5 claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacron_bench::workloads::extent;
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint, StCellEncoder, TimeInterval, Timestamp};
+use datacron_rdf::term::{Term, Triple};
+use datacron_store::{KnowledgeStore, LayoutKind, StExecution, StarQuery, StoreConfig};
+
+fn build_store(layout: LayoutKind, n_nodes: usize) -> KnowledgeStore {
+    let grid = EquiGrid::new(extent(), 64, 64);
+    let encoder = StCellEncoder::new(grid, Timestamp(0), 3_600_000);
+    let mut store = KnowledgeStore::new(
+        encoder,
+        StoreConfig {
+            layout,
+            partitions: 4,
+        },
+    );
+    let type_p = Term::iri("p:type");
+    let node_c = Term::iri("c:Node");
+    let event_p = Term::iri("p:event");
+    let speed_p = Term::iri("p:speed");
+    let ext = extent();
+    for i in 0..n_nodes {
+        let node = Term::iri(format!("n:{i}"));
+        let point = GeoPoint::new(
+            ext.min_lon + (i % 199) as f64 / 199.0 * ext.width(),
+            ext.min_lat + ((i / 199) % 97) as f64 / 97.0 * ext.height(),
+        );
+        let ts = Timestamp((i as i64 % 72) * 600_000);
+        let event = if i % 5 == 0 { "turn" } else { "cruise" };
+        let triples = vec![
+            Triple::new(node.clone(), type_p.clone(), node_c.clone()),
+            Triple::new(node.clone(), event_p.clone(), Term::str(event)),
+            Triple::new(node.clone(), speed_p.clone(), Term::double(i as f64 % 30.0)),
+        ];
+        store.ingest_node(&node, &point, ts, &triples);
+    }
+    store
+}
+
+fn query() -> StarQuery {
+    StarQuery {
+        arms: vec![
+            (Term::iri("p:type"), Some(Term::iri("c:Node"))),
+            (Term::iri("p:event"), Some(Term::str("turn"))),
+            (Term::iri("p:speed"), None),
+        ],
+        st: Some((
+            BoundingBox::new(0.0, 40.0, 8.0, 48.0),
+            TimeInterval::new(Timestamp(0), Timestamp(6 * 3_600_000)),
+        )),
+    }
+}
+
+fn bench_kgstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kgstore");
+    group.sample_size(10);
+    for layout in [
+        LayoutKind::TriplesTable,
+        LayoutKind::VerticalPartitioning,
+        LayoutKind::PropertyTable,
+    ] {
+        let store = build_store(layout, 8_000);
+        let q = query();
+        for (exec, label) in [
+            (StExecution::PostFilter, "postfilter"),
+            (StExecution::Pushdown, "pushdown"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), label),
+                &exec,
+                |b, &exec| {
+                    b.iter(|| store.execute_star(&q, exec));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kgstore);
+criterion_main!(benches);

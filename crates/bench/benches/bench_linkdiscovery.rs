@@ -1,0 +1,53 @@
+//! Criterion bench for E-LD: link-discovery throughput with and without
+//! cell masks (the paper's 23.09 vs 123.51 entities/s comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::workloads::{extent, ports, regions};
+use datacron_geo::{EntityId, GeoPoint, Timestamp};
+use datacron_linkdisc::{LinkerConfig, StaticLinker};
+
+fn bench_linkdiscovery(c: &mut Criterion) {
+    let region_set = regions(150, 5);
+    let port_set = ports(150, 6);
+    let region_pairs: Vec<_> = region_set.iter().map(|r| (r.id, r.polygon.clone())).collect();
+    let port_pairs: Vec<_> = port_set.iter().map(|p| (p.id, p.point)).collect();
+    let ext = extent();
+    let points: Vec<GeoPoint> = (0..5_000u64)
+        .map(|i| {
+            GeoPoint::new(
+                ext.min_lon + (i % 100) as f64 / 100.0 * ext.width(),
+                ext.min_lat + ((i / 100) % 50) as f64 / 50.0 * ext.height(),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("linkdiscovery");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for &use_masks in &[false, true] {
+        let label = if use_masks { "with_masks" } else { "without_masks" };
+        group.bench_with_input(BenchmarkId::new("link", label), &use_masks, |b, &use_masks| {
+            let mut linker = StaticLinker::new(
+                region_pairs.clone(),
+                port_pairs.clone(),
+                LinkerConfig {
+                    use_masks,
+                    ..LinkerConfig::default()
+                },
+            );
+            b.iter(|| {
+                let mut n = 0usize;
+                for (i, p) in points.iter().enumerate() {
+                    n += linker
+                        .link_point(EntityId::vessel(i as u64), Timestamp::from_secs(i as i64), p)
+                        .len();
+                }
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linkdiscovery);
+criterion_main!(benches);

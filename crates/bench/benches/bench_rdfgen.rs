@@ -1,0 +1,35 @@
+//! Criterion bench for E-RDF: records→triples lifting throughput
+//! (the paper's 10,500 records/s figure).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datacron_bench::workloads::maritime_fleet;
+use datacron_data::maritime::VoyageConfig;
+use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
+use datacron_rdf::generator::TripleGenerator;
+use datacron_stream::operator::Operator;
+use datacron_synopses::{SynopsesConfig, SynopsesGenerator};
+
+fn bench_rdfgen(c: &mut Criterion) {
+    let fleet = maritime_fleet(6, VoyageConfig::clean(), 11);
+    let mut critical = Vec::new();
+    for v in &fleet {
+        let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+        critical.extend(gen.run(v.clean.reports().to_vec()));
+    }
+    let mut group = c.benchmark_group("rdfgen");
+    group.throughput(Throughput::Elements(critical.len() as u64));
+    group.bench_function("critical_points_to_semantic_nodes", |b| {
+        b.iter(|| {
+            let mut gen = TripleGenerator::new(semantic_node_template());
+            let mut n = 0usize;
+            for cp in &critical {
+                n += gen.generate(&critical_point_vector(cp)).len();
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rdfgen);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E-SYN: synopses-generation throughput at two
+//! arrival rates (the axis of the §4.2.2 compression claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacron_bench::workloads::maritime_fleet;
+use datacron_data::maritime::VoyageConfig;
+use datacron_stream::operator::Operator;
+use datacron_synopses::{SynopsesConfig, SynopsesGenerator};
+
+fn bench_synopses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synopses");
+    group.sample_size(20);
+    for &interval in &[10.0f64, 2.0] {
+        let fleet = maritime_fleet(
+            4,
+            VoyageConfig {
+                report_interval_s: interval,
+                ..VoyageConfig::clean()
+            },
+            7,
+        );
+        let reports: Vec<_> = fleet[0].clean.reports().to_vec();
+        group.throughput(Throughput::Elements(reports.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("{interval}s")),
+            &reports,
+            |b, reports| {
+                b.iter(|| {
+                    let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+                    gen.run(reports.clone())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synopses);
+criterion_main!(benches);

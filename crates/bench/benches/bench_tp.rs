@@ -1,0 +1,50 @@
+//! Criterion bench for F5b: hybrid-TP training and prediction cost vs. the
+//! blind baseline (the resource axis of the paper's comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datacron_bench::workloads::{bcn_mad_plan, extent, flight_generator};
+use datacron_geo::{GeoPoint, Timestamp, Trajectory};
+use datacron_predict::blind::BlindHmm;
+use datacron_predict::hybrid::{measure_waypoint_deviations, HybridParams, HybridTp, TrainingFlight};
+
+fn training_set(n: usize) -> (Vec<TrainingFlight>, Vec<Trajectory>) {
+    let plan = bcn_mad_plan(77);
+    let generator = flight_generator(77);
+    let mut training = Vec::new();
+    let mut raw = Vec::new();
+    for i in 0..n {
+        let dep = Timestamp((i as i64 % 6) * 4 * 3_600_000);
+        let f = generator.flight(i as u64, &plan, (i % 3) as u8, 2, dep, 100 + i as u64);
+        let plan_points: Vec<GeoPoint> = f.plan.waypoints.iter().map(|w| w.point).collect();
+        training.push(TrainingFlight {
+            id: i as u64,
+            deviations: measure_waypoint_deviations(&plan_points, &f.clean),
+            plan: plan_points,
+            wp_features: f.features.wp_severity.clone(),
+            global_features: vec![f.features.size_class as f64],
+        });
+        raw.push(f.clean);
+    }
+    (training, raw)
+}
+
+fn bench_tp(c: &mut Criterion) {
+    let (training, raw) = training_set(30);
+    let mut group = c.benchmark_group("tp");
+    group.sample_size(10);
+    group.bench_function("hybrid_train_30_flights", |b| {
+        b.iter(|| HybridTp::train(&training, HybridParams::default()));
+    });
+    group.bench_function("blind_train_30_flights", |b| {
+        b.iter(|| BlindHmm::train(&raw, extent(), 0.05));
+    });
+    let model = HybridTp::train(&training, HybridParams::default());
+    let probe = &training[0];
+    group.bench_function("hybrid_predict", |b| {
+        b.iter(|| model.predict(&probe.plan, &probe.wp_features, &probe.global_features));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tp);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Ablation studies over the implementation's design choices (DESIGN.md
+//! §4): the knobs that trade accuracy against cost in each component.
+//!
+//! 1. **Synopses dead-reckoning threshold** — the bound that makes positions
+//!    "predictable": compression/error trade-off.
+//! 2. **Mask raster resolution** — pruning power vs. mask-construction cost
+//!    in link discovery.
+//! 3. **Store partition count** — parallel-scan scaling of the star-join
+//!    seed.
+//! 4. **PMC order** — model size vs. forecast interval tightness.
+
+use datacron_bench::workloads::{extent, maritime_fleet};
+use datacron_bench::{fmt, print_table, timed};
+use datacron_cep::engine::evaluate_stream;
+use datacron_cep::{Dfa, Pattern, PatternMarkovChain, Wayeb};
+use datacron_data::events::MarkovSymbolSource;
+use datacron_data::maritime::{VesselClass, VoyageConfig, VoyageGenerator};
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint, StCellEncoder, TimeInterval, Timestamp};
+use datacron_linkdisc::{LinkerConfig, StaticLinker};
+use datacron_rdf::term::{Term, Triple};
+use datacron_store::{KnowledgeStore, LayoutKind, StExecution, StarQuery, StoreConfig};
+use datacron_stream::operator::Operator;
+use datacron_synopses::{CompressionReport, SynopsesConfig, SynopsesGenerator};
+
+fn ablate_synopses_threshold() {
+    let gen = VoyageGenerator::new(VoyageConfig::clean());
+    let voyages: Vec<_> = (0..6u64)
+        .map(|i| {
+            let a = GeoPoint::new(0.8 * i as f64, 40.0);
+            let b = a.destination(50.0 + 50.0 * i as f64, 180_000.0);
+            gen.voyage(i, VesselClass::Cargo, a, b, Timestamp(0), 31 + i)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &threshold in &[50.0, 100.0, 250.0, 500.0, 1_000.0, 2_000.0] {
+        let cfg = SynopsesConfig {
+            deviation_threshold_m: threshold,
+            ..SynopsesConfig::maritime()
+        };
+        let mut raw = 0usize;
+        let mut kept = 0usize;
+        let mut err_sum = 0.0;
+        let mut max_err: f64 = 0.0;
+        for v in &voyages {
+            let mut g = SynopsesGenerator::new(cfg.clone());
+            let synopsis = g.run(v.clean.reports().to_vec());
+            let r = CompressionReport::measure(&v.clean, &synopsis).expect("non-empty");
+            raw += r.raw_count;
+            kept += r.synopsis_count;
+            err_sum += r.mean_error_m * r.raw_count as f64;
+            max_err = max_err.max(r.max_error_m);
+        }
+        rows.push(vec![
+            fmt(threshold, 0),
+            format!("{:.2} %", 100.0 * (1.0 - kept as f64 / raw as f64)),
+            fmt(err_sum / raw as f64, 1),
+            fmt(max_err, 1),
+        ]);
+    }
+    print_table(
+        "ablation 1 — synopses dead-reckoning threshold (6 transits)",
+        &["threshold (m)", "reduction", "mean err (m)", "max err (m)"],
+        &rows,
+    );
+}
+
+fn ablate_mask_resolution() {
+    let mut area_gen = datacron_data::context::AreaGenerator::new(extent());
+    area_gen.radius_m = (4_000.0, 25_000.0);
+    area_gen.vertices = (100, 200);
+    let regions = area_gen.generate(800, "natura", 5);
+    let region_pairs: Vec<_> = regions.iter().map(|r| (r.id, r.polygon.clone())).collect();
+    let ext = extent();
+    let points: Vec<GeoPoint> = (0..20_000u64)
+        .map(|i| {
+            GeoPoint::new(
+                ext.min_lon + (i % 173) as f64 / 173.0 * ext.width(),
+                ext.min_lat + ((i / 173) % 115) as f64 / 115.0 * ext.height(),
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &resolution in &[0u32, 8, 16, 32, 64] {
+        let config = LinkerConfig {
+            cell_deg: 2.0,
+            near_region_m: 2_000.0,
+            use_masks: resolution > 0,
+            mask_resolution: resolution.max(1),
+            ..LinkerConfig::default()
+        };
+        let (mut linker, build_secs) = timed(|| StaticLinker::new(region_pairs.clone(), Vec::new(), config));
+        let (links, secs) = timed(|| {
+            let mut n = 0usize;
+            for (i, p) in points.iter().enumerate() {
+                n += linker
+                    .link_point(datacron_geo::EntityId::vessel(i as u64), Timestamp::from_secs(i as i64), p)
+                    .len();
+            }
+            n
+        });
+        let stats = linker.stats();
+        rows.push(vec![
+            if resolution == 0 { "off".into() } else { resolution.to_string() },
+            links.to_string(),
+            stats.refinements.to_string(),
+            stats.mask_hits.to_string(),
+            fmt(build_secs, 2),
+            fmt(points.len() as f64 / secs / 1000.0, 1),
+        ]);
+    }
+    print_table(
+        "ablation 2 — mask raster resolution (800 regions, 20k points)",
+        &["resolution", "links", "refinements", "mask hits", "build (s)", "k points/s"],
+        &rows,
+    );
+}
+
+fn ablate_store_partitions() {
+    // Shared corpus.
+    let fleet = maritime_fleet(20, VoyageConfig::clean(), 17);
+    let mut nodes = Vec::new();
+    for v in &fleet {
+        let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+        for cp in gen.run(v.clean.reports().to_vec()) {
+            nodes.push((cp.report.entity, cp.report.point, cp.report.ts));
+        }
+    }
+    let ext = extent();
+    for i in 0..30_000u64 {
+        nodes.push((
+            datacron_geo::EntityId::vessel(50_000 + i),
+            GeoPoint::new(
+                ext.min_lon + (i % 211) as f64 / 211.0 * ext.width(),
+                ext.min_lat + ((i / 211) % 97) as f64 / 97.0 * ext.height(),
+            ),
+            Timestamp((i as i64 % 72) * 600_000),
+        ));
+    }
+    let query = StarQuery {
+        arms: vec![
+            (Term::iri("p:type"), Some(Term::iri("c:Node"))),
+            (Term::iri("p:speed"), None),
+        ],
+        st: Some((
+            BoundingBox::new(0.0, 40.0, 15.0, 52.0),
+            TimeInterval::new(Timestamp(0), Timestamp(12 * 3_600_000)),
+        )),
+    };
+    let mut rows = Vec::new();
+    for &partitions in &[1usize, 2, 4, 8] {
+        let grid = EquiGrid::new(extent(), 64, 64);
+        let encoder = StCellEncoder::new(grid, Timestamp(0), 3_600_000);
+        let mut store = KnowledgeStore::new(
+            encoder,
+            StoreConfig {
+                layout: LayoutKind::TriplesTable, // scan-bound: shows scaling
+                partitions,
+            },
+        );
+        for (i, (_, point, ts)) in nodes.iter().enumerate() {
+            let node = Term::iri(format!("n:{i}"));
+            let triples = vec![
+                Triple::new(node.clone(), Term::iri("p:type"), Term::iri("c:Node")),
+                Triple::new(node.clone(), Term::iri("p:speed"), Term::double(i as f64 % 30.0)),
+            ];
+            store.ingest_node(&node, point, *ts, &triples);
+        }
+        let reps = 10;
+        store.execute_star(&query, StExecution::PostFilter); // warm-up
+        let ((results, _), secs) = timed(|| {
+            let mut last = store.execute_star(&query, StExecution::PostFilter);
+            for _ in 1..reps {
+                last = store.execute_star(&query, StExecution::PostFilter);
+            }
+            last
+        });
+        rows.push(vec![
+            partitions.to_string(),
+            results.len().to_string(),
+            fmt(secs / reps as f64 * 1e3, 2),
+        ]);
+    }
+    print_table(
+        "ablation 3 — store partitions (parallel seed scan, TriplesTable)",
+        &["partitions", "results", "query (ms)"],
+        &rows,
+    );
+}
+
+fn ablate_pmc_order() {
+    let source = MarkovSymbolSource::random(4, 2, 2.5, 13);
+    let train = source.generate(100_000, 1).symbols;
+    let test = source.generate(100_000, 2).symbols;
+    let pattern = Pattern::north_to_south_reversal(0, 1, 2);
+    let dfa = Dfa::compile(&pattern, 4);
+    let mut rows = Vec::new();
+    for order in [0usize, 1, 2, 3] {
+        let pmc = if order == 0 {
+            // Marginal model.
+            let mut counts = vec![1.0f64; 4];
+            for &s in &train {
+                counts[s as usize] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            PatternMarkovChain::new(dfa.clone(), 0, counts.into_iter().map(|c| c / total).collect())
+        } else {
+            PatternMarkovChain::train(dfa.clone(), order, &train)
+        };
+        let states = pmc.n_states();
+        let (mut engine, build_secs) = timed(|| Wayeb::new(pmc, 0.7, 300));
+        let eval = evaluate_stream(&mut engine, &test);
+        rows.push(vec![
+            order.to_string(),
+            states.to_string(),
+            fmt(build_secs * 1e3, 1),
+            fmt(eval.precision(), 3),
+            fmt(eval.mean_spread, 1),
+        ]);
+    }
+    print_table(
+        "ablation 4 — PMC order (θ = 0.7) on an order-2 stream",
+        &["order", "PMC states", "build (ms)", "precision", "mean spread"],
+        &rows,
+    );
+}
+
+fn main() {
+    ablate_synopses_threshold();
+    ablate_mask_resolution();
+    ablate_store_partitions();
+    ablate_pmc_order();
+}

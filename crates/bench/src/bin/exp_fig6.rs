@@ -1,0 +1,55 @@
+//! Experiment F6 — DFA and Pattern Markov Chain construction (Figure 6).
+//!
+//! Reproduces the paper's worked example: the streaming DFA for the
+//! sequential expression `R = acc` over `Σ = {a, b, c}` (Figure 6a) and the
+//! Markov chain derived from it (Figure 6b) under a 1st-order input
+//! process.
+
+use datacron_cep::{Dfa, Pattern, PatternMarkovChain};
+
+fn main() {
+    let sigma = ["a", "b", "c"];
+    let pattern = Pattern::symbols([0, 2, 2]);
+    let dfa = Dfa::compile(&pattern, 3);
+
+    println!("== Figure 6a — DFA for R = acc over Σ = {{a, b, c}} ==");
+    println!("states: {} (start = 0)", dfa.n_states());
+    for q in 0..dfa.n_states() {
+        let marker = if dfa.is_final(q) { " (final)" } else { "" };
+        println!("state {q}{marker}:");
+        for (i, s) in sigma.iter().enumerate() {
+            println!("  --{s}--> {}", dfa.step(q, i as u8));
+        }
+    }
+
+    // Order-0 (i.i.d.) PMC with the example marginals.
+    println!("\n== Figure 6b — PMC under i.i.d. input (P(a)=0.5, P(b)=0.2, P(c)=0.3) ==");
+    let pmc0 = PatternMarkovChain::new(dfa.clone(), 0, vec![0.5, 0.2, 0.3]);
+    for (i, row) in pmc0.transition_matrix().iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|p| format!("{p:.2}")).collect();
+        println!("  state {i}: [{}]", cells.join(", "));
+    }
+
+    // Order-1 PMC: the "more complex transformation" for non-i.i.d. input.
+    println!("\n== PMC under a 1st-order process (states = DFA state × last symbol) ==");
+    let probs = vec![
+        // P(next | a), P(next | b), P(next | c)
+        0.6, 0.1, 0.3, //
+        0.3, 0.4, 0.3, //
+        0.5, 0.1, 0.4,
+    ];
+    let pmc1 = PatternMarkovChain::new(dfa, 1, probs);
+    println!("PMC states: {} (4 DFA states × 3 contexts)", pmc1.n_states());
+    for s in 0..pmc1.n_states() {
+        let (q, ctx) = pmc1.unpack(s);
+        let outs: Vec<String> = pmc1
+            .transitions(s)
+            .into_iter()
+            .map(|(sym, t, p)| {
+                let (tq, tctx) = pmc1.unpack(t);
+                format!("--{}({p:.2})--> ({tq},{})", sigma[sym as usize], sigma[tctx])
+            })
+            .collect();
+        println!("  ({q},{}) {}", sigma[ctx], outs.join("  "));
+    }
+}

@@ -1,0 +1,166 @@
+//! Experiment F8 — forecast precision vs. threshold for 1st- and 2nd-order
+//! PMCs (Figure 8).
+//!
+//! Paper setup: the `NorthToSouthReversal` pattern
+//! `R = North (North + East)* South` over heading-annotated turn events of
+//! a vessel; precision (fraction of forecasts whose interval contained the
+//! detection) is reported for a sweep of thresholds under 1st- and
+//! 2nd-order Markov assumptions, with the 2nd-order model dominating.
+//!
+//! The event stream is drawn from a genuinely 2nd-order process (as the
+//! paper's real AIS turn streams are higher-order), so matching the assumed
+//! order recovers real information.
+
+use datacron_bench::{fmt, print_table};
+use datacron_cep::engine::evaluate_stream;
+use datacron_cep::forecast::waiting_time_distributions;
+use datacron_cep::{Dfa, Pattern, PatternMarkovChain, Wayeb};
+use datacron_data::events::MarkovSymbolSource;
+
+const NORTH: u8 = 0;
+const EAST: u8 = 1;
+const SOUTH: u8 = 2;
+#[allow(dead_code)]
+const OTHER: u8 = 3;
+const ALPHABET: usize = 4;
+
+/// A hand-crafted order-2 turn-event process: the tendency to turn south
+/// depends on what happened *two* turns ago (a vessel that has been heading
+/// north for a while reverses; one that just started does not) — structure
+/// a 1st-order model blurs away.
+fn turn_process() -> MarkovSymbolSource {
+    let mut rows = Vec::with_capacity(ALPHABET * ALPHABET * ALPHABET);
+    for older in 0..ALPHABET as u8 {
+        for newer in 0..ALPHABET as u8 {
+            let row: [f64; 4] = match (older, newer) {
+                // Two norths in a row: reversal imminent.
+                (NORTH, NORTH) => [0.10, 0.10, 0.70, 0.10],
+                // North then east: keep manoeuvring.
+                (NORTH, EAST) => [0.40, 0.30, 0.20, 0.10],
+                // Just turned north after something else: hold course north.
+                (_, NORTH) => [0.55, 0.25, 0.05, 0.15],
+                // Just turned east.
+                (_, EAST) => [0.35, 0.30, 0.15, 0.20],
+                // After a south: back to background traffic.
+                (_, SOUTH) => [0.25, 0.15, 0.05, 0.55],
+                // Background.
+                _ => [0.20, 0.15, 0.05, 0.60],
+            };
+            rows.extend(row);
+        }
+    }
+    MarkovSymbolSource::from_probs(ALPHABET, 2, rows)
+}
+
+fn main() {
+    let source = turn_process();
+    let train = source.generate(200_000, 1).symbols;
+    let test = source.generate(200_000, 2).symbols;
+
+    let pattern = Pattern::north_to_south_reversal(NORTH, EAST, SOUTH);
+    let dfa = Dfa::compile(&pattern, ALPHABET);
+    let pmc1 = PatternMarkovChain::train(dfa.clone(), 1, &train);
+    let pmc2 = PatternMarkovChain::train(dfa, 2, &train);
+
+    let thresholds = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut rows = Vec::new();
+    for &theta in &thresholds {
+        let e1 = evaluate_stream(&mut Wayeb::new(pmc1.clone(), theta, 500), &test);
+        let e2 = evaluate_stream(&mut Wayeb::new(pmc2.clone(), theta, 500), &test);
+        rows.push(vec![
+            fmt(theta, 1),
+            fmt(e1.precision(), 3),
+            fmt(e2.precision(), 3),
+            fmt(e1.mean_spread, 1),
+            fmt(e2.mean_spread, 1),
+            e1.forecasts.to_string(),
+            e2.forecasts.to_string(),
+        ]);
+    }
+    print_table(
+        "F8 — NorthToSouthReversal forecast precision vs threshold θ (smallest interval ≥ θ)",
+        &[
+            "θ",
+            "precision (m=1)",
+            "precision (m=2)",
+            "spread (m=1)",
+            "spread (m=2)",
+            "forecasts (m=1)",
+            "forecasts (m=2)",
+        ],
+        &rows,
+    );
+    println!("\nPaper: precision increases with θ, and the 2nd-order model dominates the 1st-order one.");
+    println!("Note: both models are near-calibrated here; the order-1 model buys its coverage with");
+    println!("systematically wider intervals. Controlling for interval length isolates placement quality:");
+
+    // --- Fixed-spread comparison: best window of length L per state. ---
+    let mut rows = Vec::new();
+    for &len in &[1usize, 2, 3, 5] {
+        let mut precisions = Vec::new();
+        for pmc in [&pmc1, &pmc2] {
+            let w = waiting_time_distributions(pmc, 500);
+            // Best fixed-length window per PMC state.
+            let windows: Vec<Option<(usize, usize)>> = w
+                .iter()
+                .map(|row| {
+                    if row.len() < len {
+                        return None;
+                    }
+                    let mut best = (0usize, -1.0f64);
+                    let mut sum: f64 = row[..len].iter().sum();
+                    if sum > best.1 {
+                        best = (0, sum);
+                    }
+                    for start in 1..=row.len() - len {
+                        sum += row[start + len - 1] - row[start - 1];
+                        if sum > best.1 {
+                            best = (start, sum);
+                        }
+                    }
+                    (best.1 > 0.0).then_some((best.0 + 1, best.0 + len))
+                })
+                .collect();
+            // Walk the test stream, score window forecasts from in-progress states.
+            let dfa = pmc.dfa();
+            let mut state = dfa.start();
+            let mut context = 0usize;
+            let mut detections: Vec<usize> = Vec::new();
+            let mut pending: Vec<(usize, usize, usize)> = Vec::new();
+            for (i, &sym) in test.iter().enumerate() {
+                state = dfa.step(state, sym);
+                context = pmc.shift_context(context, sym);
+                if dfa.is_final(state) {
+                    detections.push(i);
+                } else if i >= pmc.order() && state != dfa.start() {
+                    if let Some((a, b)) = windows[pmc.state_of(state, context)] {
+                        pending.push((i, a, b));
+                    }
+                }
+            }
+            let mut scored = 0usize;
+            let mut correct = 0usize;
+            for (i, a, b) in pending {
+                if i + b >= test.len() {
+                    continue;
+                }
+                scored += 1;
+                let idx = detections.partition_point(|&d| d < i + a);
+                if idx < detections.len() && detections[idx] <= i + b {
+                    correct += 1;
+                }
+            }
+            precisions.push(if scored == 0 { 0.0 } else { correct as f64 / scored as f64 });
+        }
+        rows.push(vec![
+            len.to_string(),
+            fmt(precisions[0], 3),
+            fmt(precisions[1], 3),
+        ]);
+    }
+    print_table(
+        "precision at fixed interval length (best window per state)",
+        &["interval length", "precision (m=1)", "precision (m=2)"],
+        &rows,
+    );
+}

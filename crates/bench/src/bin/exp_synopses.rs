@@ -1,0 +1,86 @@
+//! Experiment E-SYN — the Synopses Generator (§4.2.2).
+//!
+//! Paper claims: "At lower or moderate input arrival rates, data reduction
+//! is quite large (around 80% with respect to the input data volume), but
+//! in case of very frequent position reports, compression ratio can even
+//! reach 99% without harming the quality of the derived trajectory
+//! synopses", and critical points are emitted "in real-time keeping in pace
+//! with the incoming raw streaming data".
+//!
+//! This binary sweeps the report interval (arrival rate), measuring the
+//! reduction ratio, the reconstruction error, and the single-thread
+//! throughput.
+
+use datacron_bench::{fmt, print_table, timed};
+use datacron_data::maritime::{GeneratedVoyage, VesselClass, VoyageConfig, VoyageGenerator};
+use datacron_geo::{GeoPoint, Timestamp};
+use datacron_stream::operator::Operator;
+use datacron_synopses::{CompressionReport, SynopsesConfig, SynopsesGenerator};
+
+/// A mixed fleet with a realistic share of manoeuvre-heavy traffic: six
+/// fishing trips (zig-zags, stops) and six straight transits.
+fn fleet_at(interval_s: f64) -> Vec<GeneratedVoyage> {
+    let config = VoyageConfig {
+        report_interval_s: interval_s,
+        ..VoyageConfig::clean()
+    };
+    let gen = VoyageGenerator::new(config);
+    let mut fleet = Vec::new();
+    for i in 0..6u64 {
+        let port = GeoPoint::new(0.5 * i as f64, 40.0);
+        let grounds = port.destination(30.0 + 40.0 * i as f64, 20_000.0);
+        fleet.push(gen.fishing_trip(i, port, grounds, Timestamp(0), 100 + i));
+    }
+    for i in 6..12u64 {
+        let a = GeoPoint::new(0.5 * i as f64, 42.0);
+        let b = a.destination(60.0 * i as f64, 150_000.0);
+        fleet.push(gen.voyage(i, VesselClass::Cargo, a, b, Timestamp(0), 200 + i));
+    }
+    fleet
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &interval_s in &[60.0, 30.0, 10.0, 5.0, 2.0] {
+        let fleet = fleet_at(interval_s);
+        let mut raw_total = 0usize;
+        let mut syn_total = 0usize;
+        let mut err_sum = 0.0;
+        let mut max_err: f64 = 0.0;
+        let mut secs_total = 0.0;
+        for v in &fleet {
+            let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+            let (synopsis, secs) = timed(|| gen.run(v.clean.reports().to_vec()));
+            secs_total += secs;
+            let report = CompressionReport::measure(&v.clean, &synopsis).expect("non-empty voyage");
+            raw_total += report.raw_count;
+            syn_total += report.synopsis_count;
+            err_sum += report.mean_error_m * report.raw_count as f64;
+            max_err = max_err.max(report.max_error_m);
+        }
+        let reduction = 1.0 - syn_total as f64 / raw_total as f64;
+        rows.push(vec![
+            format!("{interval_s}"),
+            raw_total.to_string(),
+            syn_total.to_string(),
+            format!("{} %", fmt(reduction * 100.0, 1)),
+            fmt(err_sum / raw_total as f64, 1),
+            fmt(max_err, 1),
+            fmt(raw_total as f64 / secs_total / 1000.0, 1),
+        ]);
+    }
+    print_table(
+        "E-SYN — synopses compression vs. arrival rate (12-vessel fleet)",
+        &[
+            "report interval (s)",
+            "raw points",
+            "critical points",
+            "reduction",
+            "mean err (m)",
+            "max err (m)",
+            "throughput (k pts/s)",
+        ],
+        &rows,
+    );
+    println!("\nPaper: ~80% reduction at low/moderate rates, up to 99% at high rates, bounded error.");
+}

@@ -1,0 +1,336 @@
+//! Pattern compilation: Thompson NFA → streaming DFA.
+//!
+//! "As a first step, event patterns in the form of regular expressions are
+//! converted to deterministic finite automata (DFA). A detection occurs
+//! every time the DFA reaches one of its final states."
+//!
+//! The DFA is a *streaming* matcher: it detects the pattern as a **suffix**
+//! of the stream, i.e. it recognises `Σ*·R`. This is achieved by giving the
+//! NFA start state a self-loop on every symbol before determinisation, and
+//! it reproduces the structure of Figure 6a (for `R = acc` over
+//! `Σ = {a,b,c}`: four states, with the failure transitions falling back to
+//! the longest matching prefix, KMP-style).
+
+use crate::pattern::Pattern;
+use std::collections::{BTreeSet, HashMap};
+
+/// Thompson-construction NFA (epsilon transitions allowed).
+#[derive(Debug)]
+struct Nfa {
+    /// `transitions[state]` = list of `(symbol, target)`; `None` = epsilon.
+    transitions: Vec<Vec<(Option<u8>, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn new() -> Self {
+        Self {
+            transitions: Vec::new(),
+            start: 0,
+            accept: 0,
+        }
+    }
+
+    fn add_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn add_edge(&mut self, from: usize, sym: Option<u8>, to: usize) {
+        self.transitions[from].push((sym, to));
+    }
+
+    /// Thompson construction; returns (start, accept) of the fragment.
+    fn build(&mut self, p: &Pattern) -> (usize, usize) {
+        match p {
+            Pattern::Symbol(s) => {
+                let a = self.add_state();
+                let b = self.add_state();
+                self.add_edge(a, Some(*s), b);
+                (a, b)
+            }
+            Pattern::Seq(ps) => {
+                if ps.is_empty() {
+                    let a = self.add_state();
+                    return (a, a);
+                }
+                let mut frags = ps.iter().map(|q| self.build(q)).collect::<Vec<_>>();
+                let (start, mut end) = frags.remove(0);
+                for (s, e) in frags {
+                    self.add_edge(end, None, s);
+                    end = e;
+                }
+                (start, end)
+            }
+            Pattern::Or(ps) => {
+                let a = self.add_state();
+                let b = self.add_state();
+                for q in ps {
+                    let (s, e) = self.build(q);
+                    self.add_edge(a, None, s);
+                    self.add_edge(e, None, b);
+                }
+                (a, b)
+            }
+            Pattern::Star(inner) => {
+                let a = self.add_state();
+                let b = self.add_state();
+                let (s, e) = self.build(inner);
+                self.add_edge(a, None, s);
+                self.add_edge(e, None, b);
+                self.add_edge(a, None, b);
+                self.add_edge(e, None, s);
+                (a, b)
+            }
+            Pattern::Plus(inner) => {
+                let (s, e) = self.build(inner);
+                self.add_edge(e, None, s);
+                let b = self.add_state();
+                self.add_edge(e, None, b);
+                (s, b)
+            }
+            Pattern::Optional(inner) => {
+                let a = self.add_state();
+                let b = self.add_state();
+                let (s, e) = self.build(inner);
+                self.add_edge(a, None, s);
+                self.add_edge(e, None, b);
+                self.add_edge(a, None, b);
+                (a, b)
+            }
+        }
+    }
+
+    fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &(sym, t) in &self.transitions[s] {
+                if sym.is_none() && closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+}
+
+/// A complete DFA over alphabet `0..alphabet`.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `delta[state * alphabet + symbol]` = next state.
+    delta: Vec<usize>,
+    /// Final (detection) states.
+    finals: Vec<bool>,
+    /// Alphabet size.
+    alphabet: usize,
+    /// Number of states.
+    n_states: usize,
+}
+
+impl Dfa {
+    /// Compiles a pattern into a streaming DFA over `0..alphabet`.
+    ///
+    /// # Panics
+    /// Panics when the pattern references symbols outside the alphabet.
+    pub fn compile(pattern: &Pattern, alphabet: usize) -> Dfa {
+        assert!(alphabet >= 1, "alphabet must be non-empty");
+        if let Some(max) = pattern.max_symbol() {
+            assert!((max as usize) < alphabet, "pattern symbol {max} outside alphabet {alphabet}");
+        }
+        let mut nfa = Nfa::new();
+        // Streaming prefix: a start state with self-loops on every symbol.
+        let start = nfa.add_state();
+        for s in 0..alphabet {
+            nfa.add_edge(start, Some(s as u8), start);
+        }
+        let (ps, pe) = nfa.build(pattern);
+        nfa.add_edge(start, None, ps);
+        nfa.start = start;
+        nfa.accept = pe;
+
+        // Subset construction.
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start]));
+        let mut states: Vec<BTreeSet<usize>> = vec![start_set.clone()];
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::from([(start_set, 0)]);
+        let mut delta: Vec<usize> = Vec::new();
+        let mut queue = vec![0usize];
+        while let Some(q) = queue.pop() {
+            // Ensure the row exists.
+            if delta.len() < (q + 1) * alphabet {
+                delta.resize((q + 1) * alphabet, usize::MAX);
+            }
+            for sym in 0..alphabet {
+                let mut moved = BTreeSet::new();
+                for &s in &states[q] {
+                    for &(edge_sym, t) in &nfa.transitions[s] {
+                        if edge_sym == Some(sym as u8) {
+                            moved.insert(t);
+                        }
+                    }
+                }
+                let closed = nfa.epsilon_closure(&moved);
+                let target = match index.get(&closed) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len();
+                        states.push(closed.clone());
+                        index.insert(closed, t);
+                        queue.push(t);
+                        t
+                    }
+                };
+                if delta.len() < (q + 1) * alphabet {
+                    delta.resize((q + 1) * alphabet, usize::MAX);
+                }
+                delta[q * alphabet + sym] = target;
+            }
+        }
+        let n_states = states.len();
+        delta.resize(n_states * alphabet, usize::MAX);
+        let finals: Vec<bool> = states.iter().map(|set| set.contains(&nfa.accept)).collect();
+        Dfa {
+            delta,
+            finals,
+            alphabet,
+            n_states,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The start state (always `0`).
+    pub fn start(&self) -> usize {
+        0
+    }
+
+    /// The transition function.
+    pub fn step(&self, state: usize, symbol: u8) -> usize {
+        self.delta[state * self.alphabet + symbol as usize]
+    }
+
+    /// `true` when the state is a detection state.
+    pub fn is_final(&self, state: usize) -> bool {
+        self.finals[state]
+    }
+
+    /// Runs the DFA over a stream from the start state, returning the
+    /// indices at which detections occur.
+    pub fn detections(&self, stream: &[u8]) -> Vec<usize> {
+        let mut state = self.start();
+        let mut out = Vec::new();
+        for (i, &s) in stream.iter().enumerate() {
+            state = self.step(state, s);
+            if self.is_final(state) {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 6a pattern: R = acc over Σ = {a=0, b=1, c=2}.
+    fn acc() -> Dfa {
+        Dfa::compile(&Pattern::symbols([0, 2, 2]), 3)
+    }
+
+    #[test]
+    fn fig6a_structure() {
+        let d = acc();
+        assert_eq!(d.n_states(), 4, "states 0..3 as in Figure 6a");
+        // Progress path: 0 -a-> 1 -c-> 2 -c-> 3(final).
+        let s1 = d.step(0, 0);
+        let s2 = d.step(s1, 2);
+        let s3 = d.step(s2, 2);
+        assert!(d.is_final(s3));
+        assert!(!d.is_final(0) && !d.is_final(s1) && !d.is_final(s2));
+        // Failure transitions fall back: b always to 0, a always to s1.
+        for q in 0..4 {
+            assert_eq!(d.step(q, 1), 0, "b resets from state {q}");
+            assert_eq!(d.step(q, 0), s1, "a goes to the seen-a state from {q}");
+        }
+        // c from start stays at start; c from final resets (no overlap).
+        assert_eq!(d.step(0, 2), 0);
+        assert_eq!(d.step(s3, 2), 0);
+    }
+
+    #[test]
+    fn streaming_detection_positions() {
+        let d = acc();
+        // stream: b a c c a a c c c
+        let stream = [1, 0, 2, 2, 0, 0, 2, 2, 2];
+        assert_eq!(d.detections(&stream), vec![3, 7]);
+    }
+
+    #[test]
+    fn north_to_south_reversal_detections() {
+        // Σ = {north=0, east=1, south=2, other=3}
+        let p = Pattern::north_to_south_reversal(0, 1, 2);
+        let d = Dfa::compile(&p, 4);
+        // north north east south  → detection at the south
+        assert_eq!(d.detections(&[0, 0, 1, 2]), vec![3]);
+        // 'other' in between breaks the sequence
+        assert_eq!(d.detections(&[0, 3, 2]), Vec::<usize>::new());
+        // restart works
+        assert_eq!(d.detections(&[0, 3, 0, 2]), vec![3]);
+    }
+
+    #[test]
+    fn dfa_is_complete() {
+        let d = Dfa::compile(&Pattern::north_to_south_reversal(0, 1, 2), 4);
+        for q in 0..d.n_states() {
+            for s in 0..4u8 {
+                let t = d.step(q, s);
+                assert!(t < d.n_states(), "dangling transition {q} --{s}--> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_agrees_with_reference_matcher_on_suffixes() {
+        // Exhaustive check over all words up to length 6: the DFA is final
+        // after reading w iff some suffix of w matches the pattern.
+        let p = Pattern::north_to_south_reversal(0, 1, 2);
+        let d = Dfa::compile(&p, 3);
+        let mut words: Vec<Vec<u8>> = vec![vec![]];
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for w in &words {
+                for s in 0..3u8 {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            for w in &next {
+                let mut state = d.start();
+                for &s in w.iter() {
+                    state = d.step(state, s);
+                }
+                let dfa_final = d.is_final(state);
+                let reference = (0..w.len()).any(|k| p.matches(&w[k..]));
+                assert_eq!(dfa_final, reference, "word {w:?}");
+            }
+            words = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn out_of_alphabet_symbol_panics() {
+        Dfa::compile(&Pattern::Symbol(5), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! The online forecasting engine ("Wayeb") and its precision evaluation.
+//!
+//! At each input event the engine advances the DFA and the m-order context,
+//! reports detections, and emits the precomputed forecast interval of the
+//! current PMC state. Precision "is defined as the percentage of forecasts
+//! which were accurate (i.e. the event was indeed detected within the
+//! forecast interval)" — the metric of Figure 8.
+
+use crate::forecast::{forecast_interval, waiting_time_distributions, ForecastInterval};
+use crate::pmc::PatternMarkovChain;
+
+/// Output of one engine step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutput {
+    /// `true` when the pattern completed at this event.
+    pub detected: bool,
+    /// The forecast emitted from the new state, when one exists.
+    pub forecast: Option<ForecastInterval>,
+}
+
+/// The online engine.
+#[derive(Debug, Clone)]
+pub struct Wayeb {
+    pmc: PatternMarkovChain,
+    /// Precomputed smallest interval per PMC state.
+    intervals: Vec<Option<ForecastInterval>>,
+    /// Current DFA state.
+    dfa_state: usize,
+    /// Current m-symbol context.
+    context: usize,
+    /// Events consumed (forecasts start once the context is filled).
+    consumed: usize,
+    threshold: f64,
+    horizon: usize,
+}
+
+impl Wayeb {
+    /// Builds an engine: precomputes the waiting-time distributions up to
+    /// `horizon` and the smallest ≥`threshold` interval per state.
+    pub fn new(pmc: PatternMarkovChain, threshold: f64, horizon: usize) -> Self {
+        let waiting = waiting_time_distributions(&pmc, horizon);
+        let intervals = waiting.iter().map(|w| forecast_interval(w, threshold)).collect();
+        Self {
+            intervals,
+            dfa_state: pmc.dfa().start(),
+            context: 0,
+            consumed: 0,
+            threshold,
+            horizon,
+            pmc,
+        }
+    }
+
+    /// The configured threshold θ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The forecasting horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Resets the online state (keeps the model).
+    pub fn reset(&mut self) {
+        self.dfa_state = self.pmc.dfa().start();
+        self.context = 0;
+        self.consumed = 0;
+    }
+
+    /// Consumes one event.
+    pub fn process(&mut self, symbol: u8) -> StepOutput {
+        self.dfa_state = self.pmc.dfa().step(self.dfa_state, symbol);
+        self.context = self.pmc.shift_context(self.context, symbol);
+        self.consumed += 1;
+        let detected = self.pmc.dfa().is_final(self.dfa_state);
+        // Forecasts need a filled context, make no sense at the instant of
+        // detection itself, and are only emitted once the pattern has
+        // *started* (the DFA left its no-progress state) — forecasting a
+        // completion before any evidence exists is operationally useless,
+        // and it is exactly where the assumed input order matters least.
+        let in_progress = self.dfa_state != self.pmc.dfa().start();
+        let forecast = if self.consumed >= self.pmc.order() && !detected && in_progress {
+            self.intervals[self.pmc.state_of(self.dfa_state, self.context)]
+        } else {
+            None
+        };
+        StepOutput { detected, forecast }
+    }
+}
+
+/// Aggregated evaluation of an engine over a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastEvaluation {
+    /// Forecasts whose interval could be scored (far enough from the end).
+    pub forecasts: usize,
+    /// Forecasts with a detection inside their interval.
+    pub correct: usize,
+    /// Detections seen.
+    pub detections: usize,
+    /// Mean interval length.
+    pub mean_spread: f64,
+}
+
+impl ForecastEvaluation {
+    /// Precision = correct / forecasts (0 when no forecasts).
+    pub fn precision(&self) -> f64 {
+        if self.forecasts == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.forecasts as f64
+        }
+    }
+}
+
+/// Runs the engine over a stream and scores every forecast: a forecast
+/// emitted after event `i` with interval `[s, e]` is correct iff some
+/// detection occurs at an event index in `[i + s, i + e]`. Forecasts whose
+/// interval extends past the end of the stream are not scored.
+pub fn evaluate_stream(engine: &mut Wayeb, stream: &[u8]) -> ForecastEvaluation {
+    engine.reset();
+    let mut detections: Vec<usize> = Vec::new();
+    let mut pending: Vec<(usize, ForecastInterval)> = Vec::new();
+    for (i, &s) in stream.iter().enumerate() {
+        let out = engine.process(s);
+        if out.detected {
+            detections.push(i);
+        }
+        if let Some(f) = out.forecast {
+            pending.push((i, f));
+        }
+    }
+    let mut forecasts = 0usize;
+    let mut correct = 0usize;
+    let mut spread_sum = 0usize;
+    for (i, f) in pending {
+        let lo = i + f.start;
+        let hi = i + f.end;
+        if hi >= stream.len() {
+            continue; // not scorable
+        }
+        forecasts += 1;
+        spread_sum += f.spread();
+        // Detections are sorted; binary search for any in [lo, hi].
+        let idx = detections.partition_point(|&d| d < lo);
+        if idx < detections.len() && detections[idx] <= hi {
+            correct += 1;
+        }
+    }
+    ForecastEvaluation {
+        forecasts,
+        correct,
+        detections: detections.len(),
+        mean_spread: if forecasts == 0 {
+            0.0
+        } else {
+            spread_sum as f64 / forecasts as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automata::Dfa;
+    use crate::pattern::Pattern;
+
+    fn acc_engine(threshold: f64) -> Wayeb {
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        let pmc = PatternMarkovChain::new(dfa, 0, vec![0.4, 0.2, 0.4]);
+        Wayeb::new(pmc, threshold, 50)
+    }
+
+    #[test]
+    fn detects_and_forecasts() {
+        let mut e = acc_engine(0.5);
+        let outs: Vec<StepOutput> = [0u8, 2, 2].iter().map(|&s| e.process(s)).collect();
+        assert!(!outs[0].detected && !outs[1].detected);
+        assert!(outs[2].detected);
+        assert!(outs[0].forecast.is_some(), "forecast from intermediate state");
+        assert!(outs[2].forecast.is_none(), "no forecast at detection");
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let mut e = acc_engine(0.5);
+        e.process(0);
+        e.process(2);
+        e.reset();
+        let out = e.process(2);
+        assert!(!out.detected, "after reset a single c cannot complete acc");
+    }
+
+    #[test]
+    fn perfect_periodic_stream_scores_high_precision() {
+        // Stream "a c c a c c …": detections every 3 events; the model
+        // trained on the true conditionals forecasts precisely.
+        let stream: Vec<u8> = (0..600).map(|i| if i % 3 == 0 { 0 } else { 2 }).collect();
+        // The period-3 stream is an order-2 process: after "ac" always c,
+        // after "cc" always a. Train at the matching order.
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        let pmc = PatternMarkovChain::train(dfa, 2, &stream);
+        let mut engine = Wayeb::new(pmc, 0.8, 50);
+        let eval = evaluate_stream(&mut engine, &stream);
+        assert!(eval.detections > 150);
+        assert!(eval.forecasts > 100);
+        assert!(eval.precision() > 0.9, "precision {}", eval.precision());
+        assert!(eval.mean_spread < 4.0, "near-deterministic stream ⇒ tight intervals");
+    }
+
+    #[test]
+    fn precision_increases_with_threshold() {
+        use datacron_data::events::MarkovSymbolSource;
+        let src = MarkovSymbolSource::random(3, 1, 2.0, 11);
+        let train = src.generate(20_000, 1).symbols;
+        let test = src.generate(20_000, 2).symbols;
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        let pmc = PatternMarkovChain::train(dfa.clone(), 1, &train);
+        let mut precisions = Vec::new();
+        for theta in [0.2, 0.5, 0.8] {
+            let mut engine = Wayeb::new(pmc.clone(), theta, 200);
+            let eval = evaluate_stream(&mut engine, &test);
+            if eval.forecasts > 0 {
+                precisions.push(eval.precision());
+            }
+        }
+        assert!(precisions.len() >= 2);
+        assert!(
+            precisions.windows(2).all(|w| w[1] >= w[0] - 0.03),
+            "precision should rise with θ: {precisions:?}"
+        );
+    }
+
+    #[test]
+    fn matching_the_true_order_improves_precision() {
+        use datacron_data::events::MarkovSymbolSource;
+        // A strongly order-2 process.
+        let src = MarkovSymbolSource::from_probs(3, 2, {
+            // Next symbol depends on the *older* context symbol.
+            let mut rows = Vec::new();
+            for old in 0..3 {
+                for _new in 0..3 {
+                    let mut row = vec![0.05, 0.05, 0.05];
+                    row[old] = 0.9;
+                    rows.extend(row);
+                }
+            }
+            rows
+        });
+        let train = src.generate(30_000, 5).symbols;
+        let test = src.generate(30_000, 6).symbols;
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        let theta = 0.6;
+        let pmc1 = PatternMarkovChain::train(dfa.clone(), 1, &train);
+        let pmc2 = PatternMarkovChain::train(dfa, 2, &train);
+        let e1 = evaluate_stream(&mut Wayeb::new(pmc1, theta, 200), &test);
+        let e2 = evaluate_stream(&mut Wayeb::new(pmc2, theta, 200), &test);
+        assert!(e1.forecasts > 100 && e2.forecasts > 100);
+        assert!(
+            e2.precision() >= e1.precision(),
+            "order-2 {} vs order-1 {}",
+            e2.precision(),
+            e1.precision()
+        );
+    }
+
+    #[test]
+    fn unscorable_tail_forecasts_are_skipped() {
+        let mut e = acc_engine(0.9);
+        // A very short stream: intervals extend past the end.
+        let eval = evaluate_stream(&mut e, &[0, 2]);
+        assert_eq!(eval.forecasts, 0);
+        assert_eq!(eval.precision(), 0.0);
+    }
+}

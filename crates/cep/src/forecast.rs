@@ -1,0 +1,221 @@
+//! Waiting-time distributions and forecast intervals (Figure 7).
+//!
+//! "At each timepoint the DFA and the PMC will be in a certain state and
+//! the question we need to answer is the following: how probable is it that
+//! the DFA will reach its final state in k timepoints from now? … These
+//! distributions are called waiting-time distributions. … Forecasts are
+//! provided in the form of time intervals I = (start, end) … produced by a
+//! single-pass algorithm that scans a waiting-time distribution and finds
+//! the smallest (in terms of length) interval that exceeds this threshold."
+
+use crate::pmc::PatternMarkovChain;
+
+/// A forecast: the complex event completes within `[start, end]` steps from
+/// now with probability at least the threshold used to produce it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastInterval {
+    /// Earliest step (1-based).
+    pub start: usize,
+    /// Latest step (inclusive).
+    pub end: usize,
+    /// Cumulative waiting-time probability inside the interval.
+    pub probability: f64,
+}
+
+impl ForecastInterval {
+    /// Interval length in steps.
+    pub fn spread(&self) -> usize {
+        self.end - self.start + 1
+    }
+}
+
+/// Computes the waiting-time distributions of every PMC state up to
+/// `horizon` steps: `result[state][n-1]` = P(first reach of a final DFA
+/// state in exactly `n` steps | current state).
+///
+/// Recursion: `w_s(1) = Σ_{s→f, f final} p`, and
+/// `w_s(n) = Σ_{s→u, u non-final} p · w_u(n-1)`.
+pub fn waiting_time_distributions(pmc: &PatternMarkovChain, horizon: usize) -> Vec<Vec<f64>> {
+    let n = pmc.n_states();
+    let mut w: Vec<Vec<f64>> = vec![vec![0.0; horizon]; n];
+    if horizon == 0 {
+        return w;
+    }
+    // Step 1.
+    for (s, row) in w.iter_mut().enumerate() {
+        let mut p1 = 0.0;
+        for (_, t, p) in pmc.transitions(s) {
+            if pmc.is_final(t) {
+                p1 += p;
+            }
+        }
+        row[0] = p1;
+    }
+    // Steps 2..=horizon.
+    for step in 1..horizon {
+        for s in 0..n {
+            let mut acc = 0.0;
+            for (_, t, p) in pmc.transitions(s) {
+                if !pmc.is_final(t) {
+                    acc += p * w[t][step - 1];
+                }
+            }
+            w[s][step] = acc;
+        }
+    }
+    w
+}
+
+/// The smallest interval `[start, end]` whose cumulative waiting-time
+/// probability is at least `threshold`, by a single two-pointer pass.
+/// Returns `None` when even the whole horizon does not reach the threshold.
+pub fn forecast_interval(waiting: &[f64], threshold: f64) -> Option<ForecastInterval> {
+    let n = waiting.len();
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<ForecastInterval> = None;
+    let mut lo = 0usize;
+    let mut sum = 0.0;
+    for hi in 0..n {
+        sum += waiting[hi];
+        while sum - waiting[lo] >= threshold && lo < hi {
+            sum -= waiting[lo];
+            lo += 1;
+        }
+        if sum >= threshold {
+            let candidate = ForecastInterval {
+                start: lo + 1,
+                end: hi + 1,
+                probability: sum,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.spread() < b.spread(),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automata::Dfa;
+    use crate::pattern::Pattern;
+
+    fn acc_pmc(pa: f64, pb: f64, pc: f64) -> PatternMarkovChain {
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        PatternMarkovChain::new(dfa, 0, vec![pa, pb, pc])
+    }
+
+    #[test]
+    fn waiting_time_rows_are_subprobabilities() {
+        let pmc = acc_pmc(0.4, 0.3, 0.3);
+        let w = waiting_time_distributions(&pmc, 50);
+        for (s, row) in w.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            assert!(total <= 1.0 + 1e-9, "state {s} total {total}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn almost_complete_pattern_waits_one_step() {
+        let pmc = acc_pmc(0.4, 0.3, 0.3);
+        // State "seen ac": one more c completes. w(1) = P(c) = 0.3.
+        let dfa = pmc.dfa();
+        let s_ac = dfa.step(dfa.step(0, 0), 2);
+        let w = waiting_time_distributions(&pmc, 10);
+        assert!((w[pmc.state_of(s_ac, 0)][0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_time_matches_monte_carlo() {
+        // Validate the recursion against a brute-force enumeration of all
+        // symbol sequences of length ≤ 6 from the start state.
+        let (pa, pb, pc) = (0.5, 0.2, 0.3);
+        let pmc = acc_pmc(pa, pb, pc);
+        let dfa = pmc.dfa();
+        let probs = [pa, pb, pc];
+        let horizon = 6;
+        let mut exact = vec![0.0f64; horizon];
+        // Enumerate all words; accumulate probability of first detection at
+        // each length.
+        fn recurse(
+            dfa: &Dfa,
+            probs: &[f64; 3],
+            state: usize,
+            depth: usize,
+            horizon: usize,
+            p_acc: f64,
+            exact: &mut [f64],
+        ) {
+            if depth >= horizon {
+                return;
+            }
+            for s in 0..3u8 {
+                let t = dfa.step(state, s);
+                let p = p_acc * probs[s as usize];
+                if dfa.is_final(t) {
+                    exact[depth] += p;
+                } else {
+                    recurse(dfa, probs, t, depth + 1, horizon, p, exact);
+                }
+            }
+        }
+        recurse(dfa, &probs, 0, 0, horizon, 1.0, &mut exact);
+        let w = waiting_time_distributions(&pmc, horizon);
+        for n in 0..horizon {
+            assert!(
+                (w[0][n] - exact[n]).abs() < 1e-12,
+                "step {}: {} vs {}",
+                n + 1,
+                w[0][n],
+                exact[n]
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_interval_finds_smallest_window() {
+        // Distribution peaked at steps 2..4 (like Figure 7's I=(2,4)).
+        let w = vec![0.05, 0.3, 0.3, 0.2, 0.05, 0.05];
+        let iv = forecast_interval(&w, 0.75).unwrap();
+        assert_eq!((iv.start, iv.end), (2, 4));
+        assert!((iv.probability - 0.8).abs() < 1e-12);
+        assert_eq!(iv.spread(), 3);
+    }
+
+    #[test]
+    fn forecast_interval_threshold_unreachable() {
+        let w = vec![0.1, 0.1];
+        assert!(forecast_interval(&w, 0.5).is_none());
+        assert!(forecast_interval(&[], 0.1).is_none());
+    }
+
+    #[test]
+    fn low_threshold_gives_tight_interval() {
+        let w = vec![0.05, 0.5, 0.3, 0.1, 0.05];
+        let tight = forecast_interval(&w, 0.4).unwrap();
+        assert_eq!((tight.start, tight.end), (2, 2));
+        let wide = forecast_interval(&w, 0.9).unwrap();
+        assert!(wide.spread() > tight.spread());
+    }
+
+    #[test]
+    fn higher_completion_probability_shortens_waiting() {
+        let fast = acc_pmc(0.45, 0.1, 0.45);
+        let slow = acc_pmc(0.1, 0.8, 0.1);
+        let wf = waiting_time_distributions(&fast, 100);
+        let ws = waiting_time_distributions(&slow, 100);
+        let mean = |row: &[f64]| -> f64 {
+            let total: f64 = row.iter().sum();
+            row.iter().enumerate().map(|(i, p)| (i + 1) as f64 * p).sum::<f64>() / total
+        };
+        assert!(mean(&wf[0]) < mean(&ws[0]));
+    }
+}

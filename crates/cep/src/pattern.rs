@@ -1,0 +1,174 @@
+//! Event patterns: regular expressions over a finite symbol alphabet.
+//!
+//! "It has the ability to predict complex events that are defined in the
+//! form of regular expressions, where the low-level events may be related
+//! through sequence, disjunction or iteration."
+
+/// A pattern over symbols `0..alphabet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// One low-level event type.
+    Symbol(u8),
+    /// Concatenation: all parts in order.
+    Seq(Vec<Pattern>),
+    /// Disjunction (`+` in the paper's notation).
+    Or(Vec<Pattern>),
+    /// Kleene iteration (`*`): zero or more repetitions.
+    Star(Box<Pattern>),
+    /// One or more repetitions.
+    Plus(Box<Pattern>),
+    /// Zero or one occurrence.
+    Optional(Box<Pattern>),
+}
+
+impl Pattern {
+    /// Sequence builder.
+    pub fn seq(parts: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Seq(parts.into_iter().collect())
+    }
+
+    /// Disjunction builder.
+    pub fn or(parts: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Or(parts.into_iter().collect())
+    }
+
+    /// Iteration builder.
+    pub fn star(inner: Pattern) -> Pattern {
+        Pattern::Star(Box::new(inner))
+    }
+
+    /// One-or-more builder.
+    pub fn plus(inner: Pattern) -> Pattern {
+        Pattern::Plus(Box::new(inner))
+    }
+
+    /// Zero-or-one builder.
+    pub fn optional(inner: Pattern) -> Pattern {
+        Pattern::Optional(Box::new(inner))
+    }
+
+    /// A sequence of plain symbols (`"acc"`-style shorthand).
+    pub fn symbols(syms: impl IntoIterator<Item = u8>) -> Pattern {
+        Pattern::seq(syms.into_iter().map(Pattern::Symbol))
+    }
+
+    /// The largest symbol referenced, or `None` for empty patterns.
+    pub fn max_symbol(&self) -> Option<u8> {
+        match self {
+            Pattern::Symbol(s) => Some(*s),
+            Pattern::Seq(ps) | Pattern::Or(ps) => ps.iter().filter_map(Pattern::max_symbol).max(),
+            Pattern::Star(p) | Pattern::Plus(p) | Pattern::Optional(p) => p.max_symbol(),
+        }
+    }
+
+    /// `true` when the pattern can match the empty word.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Pattern::Symbol(_) => false,
+            Pattern::Seq(ps) => ps.iter().all(Pattern::nullable),
+            Pattern::Or(ps) => ps.iter().any(Pattern::nullable),
+            Pattern::Star(_) | Pattern::Optional(_) => true,
+            Pattern::Plus(p) => p.nullable(),
+        }
+    }
+
+    /// Reference matcher: does the pattern match `word` exactly? Used by the
+    /// property tests to validate the compiled automata. Exponential in the
+    /// worst case — test-scale only.
+    pub fn matches(&self, word: &[u8]) -> bool {
+        match self {
+            Pattern::Symbol(s) => word == [*s],
+            Pattern::Seq(ps) => {
+                // Try all split points recursively.
+                fn seq_match(ps: &[Pattern], word: &[u8]) -> bool {
+                    match ps.split_first() {
+                        None => word.is_empty(),
+                        Some((head, rest)) => (0..=word.len())
+                            .any(|k| head.matches(&word[..k]) && seq_match(rest, &word[k..])),
+                    }
+                }
+                seq_match(ps, word)
+            }
+            Pattern::Or(ps) => ps.iter().any(|p| p.matches(word)),
+            Pattern::Star(p) => {
+                if word.is_empty() {
+                    return true;
+                }
+                (1..=word.len()).any(|k| p.matches(&word[..k]) && self.matches(&word[k..]))
+            }
+            Pattern::Plus(p) => {
+                (1..=word.len()).any(|k| p.matches(&word[..k]) && Pattern::star((**p).clone()).matches(&word[k..]))
+            }
+            Pattern::Optional(p) => word.is_empty() || p.matches(word),
+        }
+    }
+
+    /// The `NorthToSouthReversal` pattern of the paper's maritime
+    /// experiment:
+    /// `R = North (North + East)* South` over heading-annotated turn
+    /// events. Symbols: pass the event codes for north/east/south turns.
+    pub fn north_to_south_reversal(north: u8, east: u8, south: u8) -> Pattern {
+        Pattern::seq([
+            Pattern::Symbol(north),
+            Pattern::star(Pattern::or([Pattern::Symbol(north), Pattern::Symbol(east)])),
+            Pattern::Symbol(south),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_max_symbol() {
+        let p = Pattern::seq([Pattern::Symbol(0), Pattern::star(Pattern::or([Pattern::Symbol(2), Pattern::Symbol(1)]))]);
+        assert_eq!(p.max_symbol(), Some(2));
+        assert!(!p.nullable());
+        assert!(Pattern::star(Pattern::Symbol(0)).nullable());
+        assert!(Pattern::optional(Pattern::Symbol(0)).nullable());
+        assert!(!Pattern::plus(Pattern::Symbol(0)).nullable());
+    }
+
+    #[test]
+    fn reference_matcher_sequences() {
+        let acc = Pattern::symbols([0, 2, 2]);
+        assert!(acc.matches(&[0, 2, 2]));
+        assert!(!acc.matches(&[0, 2]));
+        assert!(!acc.matches(&[0, 2, 2, 2]));
+        assert!(!acc.matches(&[]));
+    }
+
+    #[test]
+    fn reference_matcher_disjunction_and_star() {
+        let p = Pattern::north_to_south_reversal(0, 1, 2);
+        assert!(p.matches(&[0, 2]));
+        assert!(p.matches(&[0, 0, 1, 0, 2]));
+        assert!(!p.matches(&[0, 2, 2]), "trailing south not allowed");
+        assert!(!p.matches(&[1, 2]), "must start north");
+        assert!(!p.matches(&[0]));
+    }
+
+    #[test]
+    fn reference_matcher_plus_optional() {
+        let p = Pattern::plus(Pattern::Symbol(1));
+        assert!(!p.matches(&[]));
+        assert!(p.matches(&[1]));
+        assert!(p.matches(&[1, 1, 1]));
+        assert!(!p.matches(&[1, 0]));
+        let q = Pattern::optional(Pattern::Symbol(1));
+        assert!(q.matches(&[]));
+        assert!(q.matches(&[1]));
+        assert!(!q.matches(&[1, 1]));
+    }
+
+    #[test]
+    fn nested_iteration() {
+        // (ab)* over {a=0, b=1}
+        let p = Pattern::star(Pattern::symbols([0, 1]));
+        assert!(p.matches(&[]));
+        assert!(p.matches(&[0, 1]));
+        assert!(p.matches(&[0, 1, 0, 1]));
+        assert!(!p.matches(&[0, 1, 0]));
+    }
+}

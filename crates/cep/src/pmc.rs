@@ -1,0 +1,225 @@
+//! Pattern Markov Chains.
+//!
+//! "For the task of forecasting, we need to build a probabilistic model for
+//! (the behaviour of) the DFA. We achieve this by converting the DFA to a
+//! Markov chain. If we assume that the input events are i.i.d., then we can
+//! directly map the states of the DFA to states of a Markov chain … However,
+//! if we relax the assumption of i.i.d. events, then a more complex
+//! transformation is required, in which case the transition probabilities
+//! equal the conditional probabilities of the events."
+//!
+//! For assumed order `m`, the PMC state space is the product
+//! `(DFA state) × (last m symbols)`; a transition on symbol σ moves the DFA
+//! component by δ and shifts the context, with probability `P(σ | context)`.
+//! For `m = 0` (i.i.d.), the PMC states are exactly the DFA states.
+
+use crate::automata::Dfa;
+
+/// A Pattern Markov Chain for one DFA and one assumed order.
+#[derive(Debug, Clone)]
+pub struct PatternMarkovChain {
+    dfa: Dfa,
+    /// Assumed Markov order of the input.
+    order: usize,
+    /// Alphabet size.
+    alphabet: usize,
+    /// Number of contexts (`alphabet^order`).
+    contexts: usize,
+    /// Conditional symbol model: `probs[context * alphabet + symbol]`.
+    probs: Vec<f64>,
+}
+
+impl PatternMarkovChain {
+    /// Builds a PMC from a DFA and a conditional symbol model of the given
+    /// order. `probs` rows (one per context, `alphabet^order` of them) must
+    /// each sum to ~1; for `m = 0` pass a single row (the symbol marginals).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or non-stochastic rows.
+    pub fn new(dfa: Dfa, order: usize, probs: Vec<f64>) -> Self {
+        let alphabet = dfa.alphabet();
+        let contexts = alphabet.pow(order as u32);
+        assert_eq!(probs.len(), contexts * alphabet, "conditional table size mismatch");
+        for c in 0..contexts {
+            let row: f64 = probs[c * alphabet..(c + 1) * alphabet].iter().sum();
+            assert!((row - 1.0).abs() < 1e-6, "context {c} row sums to {row}");
+        }
+        Self {
+            dfa,
+            order,
+            alphabet,
+            contexts,
+            probs,
+        }
+    }
+
+    /// Estimates the conditional model of order `m` from a training stream
+    /// (Laplace-smoothed) and builds the PMC.
+    pub fn train(dfa: Dfa, order: usize, training: &[u8]) -> Self {
+        let alphabet = dfa.alphabet();
+        let contexts = alphabet.pow(order as u32);
+        let mut counts = vec![0.0f64; contexts * alphabet];
+        for w in training.windows(order + 1) {
+            let ctx = w[..order].iter().fold(0usize, |acc, &s| acc * alphabet + s as usize);
+            counts[ctx * alphabet + w[order] as usize] += 1.0;
+        }
+        for c in 0..contexts {
+            let row = &mut counts[c * alphabet..(c + 1) * alphabet];
+            let total: f64 = row.iter().sum::<f64>() + alphabet as f64;
+            for v in row.iter_mut() {
+                *v = (*v + 1.0) / total;
+            }
+        }
+        Self::new(dfa, order, counts)
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The assumed order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of PMC states (`dfa states × contexts`).
+    pub fn n_states(&self) -> usize {
+        self.dfa.n_states() * self.contexts
+    }
+
+    /// Packs a `(dfa state, context)` pair into a PMC state index.
+    pub fn state_of(&self, dfa_state: usize, context: usize) -> usize {
+        dfa_state * self.contexts + context
+    }
+
+    /// Unpacks a PMC state.
+    pub fn unpack(&self, state: usize) -> (usize, usize) {
+        (state / self.contexts, state % self.contexts)
+    }
+
+    /// `true` when the PMC state's DFA component is final.
+    pub fn is_final(&self, state: usize) -> bool {
+        self.dfa.is_final(state / self.contexts)
+    }
+
+    /// Shifts a context by one symbol.
+    pub fn shift_context(&self, context: usize, symbol: u8) -> usize {
+        if self.order == 0 {
+            return 0;
+        }
+        (context * self.alphabet + symbol as usize) % self.contexts
+    }
+
+    /// The conditional probability `P(symbol | context)`.
+    pub fn symbol_prob(&self, context: usize, symbol: u8) -> f64 {
+        self.probs[context * self.alphabet + symbol as usize]
+    }
+
+    /// Enumerates the outgoing transitions of a PMC state:
+    /// `(symbol, target state, probability)`.
+    pub fn transitions(&self, state: usize) -> Vec<(u8, usize, f64)> {
+        let (q, ctx) = self.unpack(state);
+        (0..self.alphabet)
+            .map(|s| {
+                let sym = s as u8;
+                let q2 = self.dfa.step(q, sym);
+                let ctx2 = self.shift_context(ctx, sym);
+                (sym, self.state_of(q2, ctx2), self.symbol_prob(ctx, sym))
+            })
+            .collect()
+    }
+
+    /// The dense transition matrix (row-major, rows sum to 1) — Figure 6b.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        let n = self.n_states();
+        let mut m = vec![vec![0.0; n]; n];
+        for (s, row) in m.iter_mut().enumerate() {
+            for (_, t, p) in self.transitions(s) {
+                row[t] += p;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn acc_dfa() -> Dfa {
+        Dfa::compile(&Pattern::symbols([0, 2, 2]), 3)
+    }
+
+    #[test]
+    fn iid_pmc_maps_dfa_states_directly() {
+        // Figure 6b situation: order 0 (i.i.d.) — one PMC state per DFA state.
+        let dfa = acc_dfa();
+        let pmc = PatternMarkovChain::new(dfa, 0, vec![0.5, 0.2, 0.3]);
+        assert_eq!(pmc.n_states(), 4);
+        let rows = pmc.transition_matrix();
+        for (i, row) in rows.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+        }
+        // From the start state: P(go to seen-a state) = P(a) = 0.5.
+        let s1 = pmc.dfa().step(0, 0);
+        assert!((rows[0][s1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order1_pmc_has_product_states() {
+        let dfa = acc_dfa();
+        // Uniform conditional rows.
+        let probs = vec![1.0 / 3.0; 3 * 3];
+        let pmc = PatternMarkovChain::new(dfa, 1, probs);
+        assert_eq!(pmc.n_states(), 12);
+        // Context shifting: after symbol 2 the context is 2 regardless.
+        assert_eq!(pmc.shift_context(0, 2), 2);
+        assert_eq!(pmc.shift_context(2, 1), 1);
+        let rows = pmc.transition_matrix();
+        for row in &rows {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn order2_context_shift_keeps_window() {
+        let dfa = acc_dfa();
+        let probs = vec![1.0 / 3.0; 9 * 3];
+        let pmc = PatternMarkovChain::new(dfa, 2, probs);
+        // Context (a,b) = 0*3+1 = 1; after c: (b,c) = 1*3+2 = 5.
+        assert_eq!(pmc.shift_context(1, 2), 5);
+        assert_eq!(pmc.n_states(), 4 * 9);
+    }
+
+    #[test]
+    fn training_estimates_conditionals() {
+        let dfa = acc_dfa();
+        // Alternating a c a c … : P(c|a) ≈ 1, P(a|c) ≈ 1.
+        let stream: Vec<u8> = (0..2000).map(|i| if i % 2 == 0 { 0 } else { 2 }).collect();
+        let pmc = PatternMarkovChain::train(dfa, 1, &stream);
+        assert!(pmc.symbol_prob(0, 2) > 0.98, "P(c|a) = {}", pmc.symbol_prob(0, 2));
+        assert!(pmc.symbol_prob(2, 0) > 0.98);
+        assert!(pmc.symbol_prob(0, 1) < 0.01);
+    }
+
+    #[test]
+    fn transitions_cover_alphabet() {
+        let dfa = acc_dfa();
+        let pmc = PatternMarkovChain::new(dfa, 1, vec![1.0 / 3.0; 9]);
+        for s in 0..pmc.n_states() {
+            let ts = pmc.transitions(s);
+            assert_eq!(ts.len(), 3);
+            let total: f64 = ts.iter().map(|(_, _, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row sums")]
+    fn non_stochastic_rows_rejected() {
+        PatternMarkovChain::new(acc_dfa(), 0, vec![0.5, 0.2, 0.2]);
+    }
+}

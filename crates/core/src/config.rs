@@ -1,0 +1,86 @@
+//! System configuration.
+
+use datacron_geo::{BoundingBox, Timestamp};
+use datacron_linkdisc::LinkerConfig;
+use datacron_stream::cleaning::CleaningConfig;
+use datacron_synopses::SynopsesConfig;
+
+/// The application domain, selecting threshold defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// AIS vessel surveillance.
+    Maritime,
+    /// ADS-B/radar aircraft surveillance.
+    Aviation,
+}
+
+/// Configuration of the assembled system.
+#[derive(Debug, Clone)]
+pub struct DatacronConfig {
+    /// The domain.
+    pub domain: Domain,
+    /// The area of interest (grids, encoders and monitors span it).
+    pub extent: BoundingBox,
+    /// Epoch of the spatio-temporal encoding.
+    pub epoch: Timestamp,
+    /// Time-bucket width of the spatio-temporal encoding, ms.
+    pub st_bucket_millis: i64,
+    /// Spatial grid resolution of the store encoding (rows = cols).
+    pub st_grid_cells: u32,
+    /// Online cleaning thresholds.
+    pub cleaning: CleaningConfig,
+    /// Synopses thresholds.
+    pub synopses: SynopsesConfig,
+    /// Link-discovery parameters.
+    pub linker: LinkerConfig,
+    /// FLP recent-history window (reports).
+    pub flp_window: usize,
+}
+
+impl DatacronConfig {
+    /// Maritime defaults over the given area of interest.
+    pub fn maritime(extent: BoundingBox) -> Self {
+        Self {
+            domain: Domain::Maritime,
+            extent,
+            epoch: Timestamp(0),
+            st_bucket_millis: 3_600_000,
+            st_grid_cells: 64,
+            cleaning: CleaningConfig::maritime(),
+            synopses: SynopsesConfig::maritime(),
+            linker: LinkerConfig::default(),
+            flp_window: 12,
+        }
+    }
+
+    /// Aviation defaults over the given area of interest.
+    pub fn aviation(extent: BoundingBox) -> Self {
+        Self {
+            domain: Domain::Aviation,
+            extent,
+            epoch: Timestamp(0),
+            st_bucket_millis: 900_000,
+            st_grid_cells: 64,
+            cleaning: CleaningConfig::aviation(),
+            synopses: SynopsesConfig::aviation(),
+            linker: LinkerConfig::default(),
+            flp_window: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_defaults_differ() {
+        let ext = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let m = DatacronConfig::maritime(ext);
+        let a = DatacronConfig::aviation(ext);
+        assert_eq!(m.domain, Domain::Maritime);
+        assert_eq!(a.domain, Domain::Aviation);
+        assert!(a.cleaning.max_speed_mps > m.cleaning.max_speed_mps);
+        assert!(a.st_bucket_millis < m.st_bucket_millis, "aircraft move faster");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # datacron-core
+//!
+//! The integrated datAcron architecture (§3, Figure 2 of the paper): the
+//! real-time layer and the batch layer, wired together over the
+//! Kafka-like topic bus of `datacron-stream`.
+//!
+//! ```text
+//!  raw reports ─▶ cleaning ─▶ in-situ stats ─▶ low-level events
+//!       │                            │
+//!       └─▶ synopses generator ─▶ critical points ─▶ RDFizers ─▶ triples
+//!                                    │                             │
+//!                                    ├─▶ link discovery ─▶ links ──┤
+//!                                    ├─▶ future-location prediction│
+//!                                    └─▶ complex event forecasting │
+//!                                                                  ▼
+//!                                            batch layer: knowledge store
+//! ```
+//!
+//! * [`config`] — one configuration object per domain (maritime/aviation).
+//! * [`realtime`] — the real-time layer: every component of the left side
+//!   of Figure 2, executed per record with per-entity keyed state, all
+//!   intermediate products published to topics.
+//! * [`batch`] — the batch layer: drains the real-time topics into the
+//!   spatio-temporal knowledge store and answers star queries.
+//! * [`offline`] — the batch-layer analytics: trajectory reconstruction
+//!   from the store, route clustering, and frequent event-sequence mining.
+//! * [`system`] — the assembled system plus the live situation picture
+//!   backing the real-time dashboard (Figure 13).
+
+pub mod batch;
+pub mod config;
+pub mod offline;
+pub mod realtime;
+pub mod system;
+
+pub use batch::BatchLayer;
+pub use config::{DatacronConfig, Domain};
+pub use realtime::{IngestOutput, RealTimeLayer};
+pub use system::{DatacronSystem, SituationPicture};

@@ -1,0 +1,225 @@
+//! Offline analytics over the knowledge store (the batch-layer analytics of
+//! Figure 2: "trajectory analysis (clustering, sequential pattern mining)").
+//!
+//! Works purely against the store's query interface: trajectories are
+//! reconstructed from their stored semantic nodes (via the `:hasNode` links
+//! and the nodes' spatio-temporal anchors), then clustered by route shape;
+//! event-type sequences per trajectory feed a frequent-subsequence miner.
+
+use crate::batch::BatchLayer;
+use datacron_geo::{LocalFrame, PositionReport, Timestamp, Trajectory};
+use datacron_predict::cluster::{extract_clusters, optics, OpticsParams};
+use datacron_predict::distance::{enriched_distance, EnrichedPoint};
+use datacron_rdf::term::Term;
+use datacron_rdf::vocab;
+use datacron_store::{StExecution, StarQuery};
+use std::collections::HashMap;
+
+/// Reconstructs every stored trajectory as `(trajectory term, entity term,
+/// trajectory)` from the semantic nodes in the store, in node-time order.
+pub fn stored_trajectories(batch: &BatchLayer) -> Vec<(Term, Trajectory)> {
+    // All trajectory resources.
+    let q = StarQuery {
+        arms: vec![(vocab::rdf_type(), Some(vocab::trajectory_class()))],
+        st: None,
+    };
+    let (trajectories, _) = batch.store().execute_star(&q, StExecution::PostFilter);
+    let mut out = Vec::with_capacity(trajectories.len());
+    for traj in trajectories {
+        let mut reports: Vec<PositionReport> = Vec::new();
+        for node in batch.store().objects_of(&traj, &vocab::has_node()) {
+            if let Some((point, ts)) = batch.store().anchor_of(&node) {
+                // Entity identity is recoverable from the IRI, but a plain
+                // synthetic id keeps the reconstruction self-contained.
+                reports.push(PositionReport::basic(
+                    datacron_geo::EntityId::vessel(0),
+                    ts,
+                    point,
+                ));
+            }
+        }
+        if !reports.is_empty() {
+            out.push((traj, Trajectory::from_reports(reports)));
+        }
+    }
+    // Deterministic order for downstream clustering.
+    out.sort_by_key(|(term, _)| term.n3());
+    out
+}
+
+/// Clusters stored trajectories by route shape (resampled ERP distance in a
+/// shared local frame). Returns `(clusters of indices, noise indices)`
+/// aligned with the input order of [`stored_trajectories`].
+pub fn cluster_stored_trajectories(
+    trajectories: &[(Term, Trajectory)],
+    samples: usize,
+    params: OpticsParams,
+    eps_cluster: f64,
+) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let Some(anchor) = trajectories
+        .iter()
+        .find_map(|(_, t)| t.reports().first().map(|r| r.point))
+    else {
+        return (Vec::new(), Vec::new());
+    };
+    let frame = LocalFrame::new(anchor);
+    let sequences: Vec<Vec<EnrichedPoint>> = trajectories
+        .iter()
+        .map(|(_, t)| {
+            t.resample(samples)
+                .into_iter()
+                .enumerate()
+                .map(|(k, r)| {
+                    let (x, y) = frame.project(&r.point);
+                    EnrichedPoint::bare(x, y, k as f64)
+                })
+                .collect()
+        })
+        .collect();
+    let dist = |a: usize, b: usize| enriched_distance(&sequences[a], &sequences[b], 0.0);
+    let order = optics(trajectories.len(), dist, params);
+    extract_clusters(&order, eps_cluster)
+}
+
+/// Mines frequent event-type subsequences ("sequential pattern mining" of
+/// the batch layer): every contiguous `k`-gram of critical-point event
+/// labels along a stored trajectory, counted across trajectories, filtered
+/// by `min_support`. Returns `(pattern, support)` sorted by support
+/// descending then lexicographically.
+pub fn frequent_event_sequences(
+    batch: &BatchLayer,
+    trajectories: &[(Term, Trajectory)],
+    k: usize,
+    min_support: usize,
+) -> Vec<(Vec<String>, usize)> {
+    let mut counts: HashMap<Vec<String>, usize> = HashMap::new();
+    for (traj, _) in trajectories {
+        // Nodes in time order with their event labels.
+        let mut events: Vec<(Timestamp, String)> = Vec::new();
+        for node in batch.store().objects_of(traj, &vocab::has_node()) {
+            let Some((_, ts)) = batch.store().anchor_of(&node) else {
+                continue;
+            };
+            for label in batch.store().objects_of(&node, &vocab::event_type()) {
+                if let Term::Literal(datacron_rdf::term::Literal::Str(s)) = label {
+                    events.push((ts, s.to_string()));
+                }
+            }
+        }
+        events.sort_by_key(|(ts, _)| *ts);
+        let labels: Vec<String> = events.into_iter().map(|(_, l)| l).collect();
+        // Count each distinct k-gram once per trajectory (support semantics).
+        let mut seen: Vec<&[String]> = Vec::new();
+        for gram in labels.windows(k) {
+            if !seen.contains(&gram) {
+                seen.push(gram);
+                *counts.entry(gram.to_vec()).or_default() += 1;
+            }
+        }
+    }
+    let mut out: Vec<(Vec<String>, usize)> = counts
+        .into_iter()
+        .filter(|(_, support)| *support >= min_support)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatacronConfig;
+    use crate::realtime::RealTimeLayer;
+    use datacron_geo::{BoundingBox, EntityId, GeoPoint};
+    use datacron_store::StoreConfig;
+
+    /// Drives two route families through the system and syncs the batch
+    /// layer.
+    fn populated_batch() -> (BatchLayer, usize) {
+        let extent = BoundingBox::new(0.0, 38.0, 6.0, 43.0);
+        let config = DatacronConfig::maritime(extent);
+        let mut rt = RealTimeLayer::new(config.clone(), Vec::new(), Vec::new());
+        let mut batch = BatchLayer::new(&config, StoreConfig::default());
+        batch.subscribe(&rt);
+        let mut n = 0;
+        for v in 0..6u64 {
+            // Routes: three eastbound at lat 40, three northbound at lon 3.
+            let east = v < 3;
+            let mut p = if east {
+                GeoPoint::new(0.5, 40.0 + 0.01 * v as f64)
+            } else {
+                GeoPoint::new(3.0 + 0.01 * v as f64, 39.0)
+            };
+            for i in 0..80i64 {
+                let heading = if east { 90.0 } else { 0.0 };
+                // A mid-voyage turn so every trajectory has events.
+                let heading = if (30..40).contains(&i) { heading + 40.0 } else { heading };
+                let r = PositionReport {
+                    speed_mps: 8.0,
+                    heading_deg: heading,
+                    ..PositionReport::basic(EntityId::vessel(v), Timestamp::from_secs(i * 10), p)
+                };
+                rt.ingest(r);
+                p = p.destination(heading, 80.0);
+            }
+            n += 1;
+        }
+        rt.flush();
+        batch.sync();
+        (batch, n)
+    }
+
+    #[test]
+    fn trajectories_reconstruct_from_the_store() {
+        let (batch, n) = populated_batch();
+        let trajectories = stored_trajectories(&batch);
+        assert_eq!(trajectories.len(), n);
+        for (term, t) in &trajectories {
+            assert!(term.as_iri().unwrap().contains("trajectory/vessel/"));
+            assert!(t.len() >= 2, "start + end at minimum");
+            // Node order is temporal.
+            assert!(t.reports().windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+
+    #[test]
+    fn offline_clustering_separates_route_families() {
+        let (batch, _) = populated_batch();
+        let trajectories = stored_trajectories(&batch);
+        let (clusters, noise) = cluster_stored_trajectories(
+            &trajectories,
+            12,
+            OpticsParams {
+                eps: 40_000.0,
+                min_pts: 2,
+            },
+            30_000.0,
+        );
+        assert_eq!(clusters.len(), 2, "east vs north families: {clusters:?} noise {noise:?}");
+        assert_eq!(clusters.iter().map(Vec::len).sum::<usize>() + noise.len(), 6);
+    }
+
+    #[test]
+    fn frequent_sequences_surface_the_shared_turn() {
+        let (batch, _) = populated_batch();
+        let trajectories = stored_trajectories(&batch);
+        let patterns = frequent_event_sequences(&batch, &trajectories, 2, 4);
+        assert!(!patterns.is_empty(), "every voyage shares start→turn→end structure");
+        // The most supported 2-gram involves the start or the turn.
+        let (top, support) = &patterns[0];
+        assert!(*support >= 4, "support {support}");
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn empty_store_is_harmless() {
+        let extent = BoundingBox::new(0.0, 38.0, 6.0, 43.0);
+        let config = DatacronConfig::maritime(extent);
+        let batch = BatchLayer::new(&config, StoreConfig::default());
+        let trajectories = stored_trajectories(&batch);
+        assert!(trajectories.is_empty());
+        let (clusters, noise) = cluster_stored_trajectories(&trajectories, 8, OpticsParams { eps: 1.0, min_pts: 2 }, 1.0);
+        assert!(clusters.is_empty() && noise.is_empty());
+        assert!(frequent_event_sequences(&batch, &trajectories, 2, 1).is_empty());
+    }
+}

@@ -1,0 +1,484 @@
+//! The real-time layer: cleaning → in-situ statistics → low-level events →
+//! synopses → RDF generation → link discovery → prediction → CEP, per
+//! record, with every intermediate product published to a topic.
+
+use crate::config::DatacronConfig;
+use datacron_cep::Wayeb;
+use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport};
+use datacron_linkdisc::{Link, LinkerConfig, StaticLinker};
+use datacron_predict::flp::Predictor;
+use datacron_predict::RmfStarPredictor;
+use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
+use datacron_rdf::generator::TripleGenerator;
+use datacron_rdf::term::Triple;
+use datacron_stream::bus::Topic;
+use datacron_stream::cleaning::{CleaningOutcome, StreamCleaner};
+use datacron_stream::fusion::{CrossStreamFusion, FusionConfig, SourceId};
+use datacron_stream::insitu::InSituProcessor;
+use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
+use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one ingested report produced.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOutput {
+    /// `false` when the record was rejected by cleaning.
+    pub accepted: bool,
+    /// Critical points emitted by the synopses generator.
+    pub critical_points: Vec<CriticalPoint>,
+    /// Low-level area events.
+    pub area_events: Vec<AreaEvent>,
+    /// Links discovered for the emitted critical points.
+    pub links: Vec<Link>,
+    /// RDF triples generated for the emitted critical points.
+    pub triples: Vec<Triple>,
+    /// Detections of the attached CEP pattern, if any.
+    pub cep_detections: usize,
+}
+
+/// Maps a critical point to a CEP symbol; `None` = not a CEP event.
+type Symbolizer = Arc<dyn Fn(&CriticalPoint) -> Option<u8> + Send + Sync>;
+
+/// Per-entity streaming state.
+struct EntityState {
+    cleaner: StreamCleaner,
+    insitu: InSituProcessor,
+    synopses: SynopsesGenerator,
+    history: VecDeque<PositionReport>,
+    cep: Option<Wayeb>,
+}
+
+/// The assembled real-time layer.
+pub struct RealTimeLayer {
+    config: DatacronConfig,
+    entities: HashMap<EntityId, EntityState>,
+    monitor: AreaMonitor,
+    linker: StaticLinker,
+    rdfizer: TripleGenerator,
+    /// CEP template cloned into each entity (pattern engine is stateful per
+    /// entity); `None` disables forecasting.
+    cep_template: Option<Wayeb>,
+    cep_symbolizer: Option<Symbolizer>,
+    /// Optional cross-stream fusion front-end (multi-source ingestion).
+    fusion: Option<CrossStreamFusion>,
+    // --- topics ---
+    /// Accepted (clean) reports.
+    pub cleaned: Arc<Topic<PositionReport>>,
+    /// Trajectory synopses.
+    pub critical: Arc<Topic<CriticalPoint>>,
+    /// Low-level area events.
+    pub area_events: Arc<Topic<AreaEvent>>,
+    /// Generated RDF.
+    pub triples: Arc<Topic<Triple>>,
+    /// Discovered links.
+    pub links: Arc<Topic<Link>>,
+}
+
+impl RealTimeLayer {
+    /// Builds the layer over stationary context (regions and ports).
+    pub fn new(
+        config: DatacronConfig,
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+    ) -> Self {
+        let monitor = AreaMonitor::new(regions.clone(), config.linker.cell_deg);
+        let linker = StaticLinker::new(
+            regions,
+            ports,
+            LinkerConfig {
+                ..config.linker.clone()
+            },
+        );
+        Self {
+            monitor,
+            linker,
+            rdfizer: TripleGenerator::new(semantic_node_template()),
+            cep_template: None,
+            cep_symbolizer: None,
+            fusion: None,
+            cleaned: Topic::new("cleaned"),
+            critical: Topic::new("critical-points"),
+            area_events: Topic::new("area-events"),
+            triples: Topic::new("triples"),
+            links: Topic::new("links"),
+            entities: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Attaches a CEP pattern engine: each entity gets its own clone of
+    /// `engine`; `symbolizer` maps critical points to pattern symbols.
+    pub fn attach_cep(
+        &mut self,
+        engine: Wayeb,
+        symbolizer: impl Fn(&CriticalPoint) -> Option<u8> + Send + Sync + 'static,
+    ) {
+        self.cep_template = Some(engine);
+        self.cep_symbolizer = Some(Arc::new(symbolizer));
+    }
+
+    /// Enables the cross-stream fusion front-end: reports ingested via
+    /// [`ingest_from`](Self::ingest_from) are merged across sources
+    /// (reordered, deduplicated, conflict-resolved) before entering the
+    /// pipeline.
+    pub fn enable_fusion(
+        &mut self,
+        config: FusionConfig,
+        priorities: impl IntoIterator<Item = (SourceId, u8)>,
+    ) {
+        self.fusion = Some(CrossStreamFusion::new(config, priorities));
+    }
+
+    /// Ingests a report from a tagged source through the fusion front-end;
+    /// every report the fusion releases flows through the full chain.
+    ///
+    /// # Panics
+    /// Panics when fusion was not enabled.
+    pub fn ingest_from(&mut self, source: SourceId, report: PositionReport) -> Vec<IngestOutput> {
+        let fusion = self.fusion.as_mut().expect("call enable_fusion first");
+        let released = fusion.push(source, report);
+        released.into_iter().map(|r| self.ingest(r)).collect()
+    }
+
+    /// Flushes the fusion buffer (end of stream) through the chain.
+    pub fn flush_fusion(&mut self) -> Vec<IngestOutput> {
+        match self.fusion.as_mut() {
+            None => Vec::new(),
+            Some(fusion) => {
+                let released = fusion.flush();
+                released.into_iter().map(|r| self.ingest(r)).collect()
+            }
+        }
+    }
+
+    /// Fusion statistics, when fusion is enabled.
+    pub fn fusion_stats(&self) -> Option<datacron_stream::fusion::FusionStats> {
+        self.fusion.as_ref().map(|f| f.stats())
+    }
+
+    /// The number of entities with live state.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Link-discovery statistics.
+    pub fn linker_stats(&self) -> datacron_linkdisc::LinkStats {
+        self.linker.stats()
+    }
+
+    /// Ingests one raw report through the whole chain.
+    pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
+        let mut out = IngestOutput::default();
+        let cep_template = &self.cep_template;
+        let config = &self.config;
+        let state = self.entities.entry(report.entity).or_insert_with(|| EntityState {
+            cleaner: StreamCleaner::new(config.cleaning.clone()),
+            insitu: InSituProcessor::new(),
+            synopses: SynopsesGenerator::new(config.synopses.clone()),
+            history: VecDeque::new(),
+            cep: cep_template.clone(),
+        });
+
+        // 1. Online cleaning.
+        if state.cleaner.check(&report) != CleaningOutcome::Accepted {
+            return out;
+        }
+        out.accepted = true;
+        self.cleaned.publish(report);
+
+        // 2. In-situ statistics (annotations ride along with the state).
+        let _annotated = state.insitu.ingest(report);
+
+        // 3. FLP history window.
+        state.history.push_back(report);
+        while state.history.len() > self.config.flp_window {
+            state.history.pop_front();
+        }
+
+        // 4. Low-level area events.
+        out.area_events = self.monitor.observe(&report);
+        self.area_events.publish_batch(out.area_events.iter().copied());
+
+        // 5. Synopses.
+        let mut cps = Vec::new();
+        state.synopses.process(report, &mut cps);
+        for cp in &cps {
+            self.critical.publish(*cp);
+            // 6. RDF generation per critical point.
+            let triples = self.rdfizer.generate(&critical_point_vector(cp));
+            self.triples.publish_batch(triples.iter().cloned());
+            out.triples.extend(triples);
+            // 7. Link discovery on the critical point.
+            let links = self
+                .linker
+                .link_point(cp.report.entity, cp.report.ts, &cp.report.point);
+            self.links.publish_batch(links.iter().copied());
+            out.links.extend(links);
+            // 8. CEP.
+            if let (Some(engine), Some(symbolizer)) = (&mut state.cep, &self.cep_symbolizer) {
+                if let Some(sym) = symbolizer(cp) {
+                    let step = engine.process(sym);
+                    if step.detected {
+                        out.cep_detections += 1;
+                    }
+                }
+            }
+        }
+        out.critical_points = cps;
+        out
+    }
+
+    /// Ingests a batch, returning the merged outputs.
+    pub fn ingest_batch(&mut self, reports: impl IntoIterator<Item = PositionReport>) -> Vec<IngestOutput> {
+        reports.into_iter().map(|r| self.ingest(r)).collect()
+    }
+
+    /// Flushes end-of-stream synopses (emits trailing `End` points and their
+    /// downstream products).
+    pub fn flush(&mut self) -> Vec<CriticalPoint> {
+        let mut all = Vec::new();
+        for state in self.entities.values_mut() {
+            let mut cps = Vec::new();
+            state.synopses.flush(&mut cps);
+            for cp in &cps {
+                self.critical.publish(*cp);
+                let triples = self.rdfizer.generate(&critical_point_vector(cp));
+                self.triples.publish_batch(triples);
+            }
+            all.extend(cps);
+        }
+        all
+    }
+
+    /// Predicts the future location of an entity `k` steps of
+    /// `step_seconds` ahead with RMF\*, from its recent cleaned history.
+    /// `None` when the entity is unknown or has no history.
+    pub fn predict_location(&self, entity: EntityId, k: usize, step_seconds: f64) -> Option<Vec<GeoPoint>> {
+        let state = self.entities.get(&entity)?;
+        let reports: Vec<PositionReport> = state.history.iter().copied().collect();
+        if reports.is_empty() {
+            return None;
+        }
+        let trajectory = datacron_geo::Trajectory::from_reports(reports);
+        let (frame, pts) = trajectory.to_local();
+        let frame = frame?;
+        let last_t = pts.last()?.2;
+        let futures: Vec<f64> = (1..=k).map(|i| last_t + step_seconds * i as f64).collect();
+        let preds = RmfStarPredictor::default().predict(&pts, &futures);
+        Some(preds.into_iter().map(|(x, y)| frame.unproject(x, y)).collect())
+    }
+
+    /// The last accepted report of an entity.
+    pub fn last_position(&self, entity: EntityId) -> Option<PositionReport> {
+        self.entities.get(&entity)?.history.back().copied()
+    }
+
+    /// All entities with live state.
+    pub fn entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.entities.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// The standard maritime CEP symbol alphabet used by the examples and
+/// experiments: turn events classified by resulting heading.
+pub mod symbols {
+    use super::*;
+
+    /// Northward turn.
+    pub const NORTH: u8 = 0;
+    /// Eastward turn.
+    pub const EAST: u8 = 1;
+    /// Southward turn.
+    pub const SOUTH: u8 = 2;
+    /// Any other turn.
+    pub const OTHER: u8 = 3;
+    /// Alphabet size.
+    pub const ALPHABET: usize = 4;
+
+    /// Maps change-in-heading critical points to the heading-sector
+    /// alphabet; other critical points are not CEP events.
+    pub fn heading_symbolizer(cp: &CriticalPoint) -> Option<u8> {
+        match cp.kind {
+            CriticalKind::ChangeInHeading { .. } => {
+                let h = cp.report.heading_deg;
+                Some(if !(45.0..315.0).contains(&h) {
+                    NORTH
+                } else if h < 135.0 {
+                    EAST
+                } else if h < 225.0 {
+                    SOUTH
+                } else {
+                    OTHER
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{BoundingBox, Timestamp};
+
+    fn layer() -> RealTimeLayer {
+        let extent = BoundingBox::new(0.0, 38.0, 3.0, 42.0);
+        // The test track heads ~8 km east from (0, 40): the region straddles
+        // that leg so it gets entered and exited.
+        let regions = vec![(
+            7u64,
+            Polygon::rect(BoundingBox::new(0.03, 39.95, 0.07, 40.05)),
+        )];
+        let ports = vec![(3u64, GeoPoint::new(0.0, 40.0))];
+        RealTimeLayer::new(DatacronConfig::maritime(extent), regions, ports)
+    }
+
+    fn rep(t_s: i64, lon: f64, lat: f64, speed: f64, heading: f64) -> PositionReport {
+        PositionReport {
+            speed_mps: speed,
+            heading_deg: heading,
+            ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(t_s), GeoPoint::new(lon, lat))
+        }
+    }
+
+    #[test]
+    fn chain_produces_all_products() {
+        let mut l = layer();
+        // Eastbound track crossing the region with a big turn inside it.
+        let mut outs = Vec::new();
+        let mut p = GeoPoint::new(0.0, 40.0);
+        for i in 0..200i64 {
+            let heading = if i < 100 { 90.0 } else { 0.0 };
+            outs.push(l.ingest(rep(i * 10, p.lon, p.lat, 8.0, heading)));
+            p = p.destination(heading, 80.0);
+        }
+        let total_cp: usize = outs.iter().map(|o| o.critical_points.len()).sum();
+        assert!(total_cp >= 2, "start + turn expected, got {total_cp}");
+        assert!(l.critical.len() >= 2);
+        assert!(l.triples.len() >= 10, "each critical point lifts to ~10 triples");
+        let area_entries: usize = outs.iter().map(|o| o.area_events.len()).sum();
+        assert!(area_entries >= 1, "the region was crossed");
+        // The first point sits on the port: a nearTo link must exist.
+        assert!(!l.links.is_empty(), "port proximity link");
+        assert_eq!(l.entity_count(), 1);
+    }
+
+    #[test]
+    fn rejected_records_produce_nothing() {
+        let mut l = layer();
+        let mut bad = rep(0, 0.5, 40.0, 8.0, 90.0);
+        bad.speed_mps = 400.0;
+        let out = l.ingest(bad);
+        assert!(!out.accepted);
+        assert!(out.critical_points.is_empty());
+        assert_eq!(l.cleaned.len(), 0);
+    }
+
+    #[test]
+    fn flush_emits_end_points() {
+        let mut l = layer();
+        let mut p = GeoPoint::new(1.0, 40.0);
+        for i in 0..10i64 {
+            l.ingest(rep(i * 10, p.lon, p.lat, 8.0, 90.0));
+            p = p.destination(90.0, 80.0);
+        }
+        let ends = l.flush();
+        assert_eq!(ends.len(), 1);
+        assert_eq!(ends[0].kind.label(), "end");
+    }
+
+    #[test]
+    fn predict_location_extrapolates() {
+        let mut l = layer();
+        let mut p = GeoPoint::new(1.0, 40.0);
+        for i in 0..20i64 {
+            l.ingest(rep(i * 10, p.lon, p.lat, 8.0, 90.0));
+            p = p.destination(90.0, 80.0);
+        }
+        let preds = l.predict_location(EntityId::vessel(1), 3, 10.0).expect("known entity");
+        assert_eq!(preds.len(), 3);
+        // ~80 m east per step from the last position.
+        let last = l.last_position(EntityId::vessel(1)).unwrap().point;
+        let d1 = last.haversine_distance(&preds[0]);
+        assert!((d1 - 80.0).abs() < 10.0, "step distance {d1}");
+        assert!(l.predict_location(EntityId::vessel(99), 3, 10.0).is_none());
+    }
+
+    #[test]
+    fn cep_attachment_detects_reversals() {
+        use datacron_cep::{Dfa, Pattern, PatternMarkovChain, Wayeb};
+        let mut l = layer();
+        let pattern = Pattern::north_to_south_reversal(symbols::NORTH, symbols::EAST, symbols::SOUTH);
+        let dfa = Dfa::compile(&pattern, symbols::ALPHABET);
+        let pmc = PatternMarkovChain::new(dfa, 0, vec![0.25; 4]);
+        l.attach_cep(Wayeb::new(pmc, 0.5, 50), symbols::heading_symbolizer);
+        // Drive a track that turns north, then east, then south.
+        let mut outs = Vec::new();
+        let mut p = GeoPoint::new(1.0, 40.0);
+        let phases: [(i64, f64); 4] = [(40, 90.0), (40, 0.0), (40, 80.0), (40, 170.0)];
+        let mut t = 0i64;
+        for (steps, heading) in phases {
+            for _ in 0..steps {
+                outs.push(l.ingest(rep(t * 10, p.lon, p.lat, 8.0, heading)));
+                p = p.destination(heading, 80.0);
+                t += 1;
+            }
+        }
+        let detections: usize = outs.iter().map(|o| o.cep_detections).sum();
+        assert!(detections >= 1, "north→east→south reversal should be detected");
+    }
+
+    #[test]
+    fn fused_multi_source_ingestion() {
+        let mut l = layer();
+        l.enable_fusion(datacron_stream::fusion::FusionConfig::default(), [(0u8, 0u8), (1, 1)]);
+        let mut p = GeoPoint::new(1.0, 40.0);
+        let mut outs = Vec::new();
+        for i in 0..40i64 {
+            outs.extend(l.ingest_from(0, rep(i * 10, p.lon, p.lat, 8.0, 90.0)));
+            if i % 4 == 0 {
+                // Satellite echo of the same observation, slightly offset.
+                let echo = rep(i * 10 + 1, p.lon + 0.0001, p.lat, 8.0, 90.0);
+                outs.extend(l.ingest_from(1, echo));
+            }
+            p = p.destination(90.0, 80.0);
+        }
+        outs.extend(l.flush_fusion());
+        let stats = l.fusion_stats().expect("fusion enabled");
+        assert_eq!(stats.ingested, 50);
+        assert_eq!(stats.duplicates, 10, "satellite echoes deduplicated");
+        // The pipeline saw exactly the fused stream.
+        assert_eq!(l.cleaned.len(), stats.emitted);
+        assert!(outs.iter().filter(|o| o.accepted).count() as u64 == stats.emitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_fusion")]
+    fn ingest_from_requires_fusion() {
+        let mut l = layer();
+        l.ingest_from(0, rep(0, 1.0, 40.0, 8.0, 90.0));
+    }
+
+    #[test]
+    fn entities_are_isolated() {
+        let mut l = layer();
+        let mut p1 = GeoPoint::new(1.0, 40.0);
+        let mut p2 = GeoPoint::new(2.0, 41.0);
+        for i in 0..20i64 {
+            let mut r1 = rep(i * 10, p1.lon, p1.lat, 8.0, 90.0);
+            r1.entity = EntityId::vessel(1);
+            let mut r2 = rep(i * 10, p2.lon, p2.lat, 8.0, 180.0);
+            r2.entity = EntityId::vessel(2);
+            l.ingest(r1);
+            l.ingest(r2);
+            p1 = p1.destination(90.0, 80.0);
+            p2 = p2.destination(180.0, 80.0);
+        }
+        assert_eq!(l.entity_count(), 2);
+        assert_eq!(l.entities(), vec![EntityId::vessel(1), EntityId::vessel(2)]);
+    }
+}

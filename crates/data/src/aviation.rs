@@ -1,0 +1,626 @@
+//! Synthetic aviation surveillance: ADS-B-like flight generation.
+//!
+//! Substitutes for the FlightAware and IFS sources of Table 1 and for the
+//! EUROCONTROL flight plans. Each flight carries:
+//!
+//! * a **flight plan** (waypoints with target altitudes) — the "intended
+//!   trajectory" of the ATM domain;
+//! * **enrichment features** (aircraft size class, weekday, hour, weather
+//!   severity per waypoint) — the information the Hybrid Clustering/HMM
+//!   predictor exploits;
+//! * a **clean trajectory** flown through per-waypoint *deviations that are
+//!   a deterministic function of the features plus small noise* — exactly
+//!   the structure the paper's §5 claims data-driven TP can learn ("predict
+//!   these deviations optimally, based on all the information available,
+//!   including local weather (per waypoint), aircraft size, seasonal
+//!   factors");
+//! * an **observed report stream** with sensor jitter.
+//!
+//! The flight dynamics include the non-linear phases (takeoff roll, climb,
+//! turns, descent, landing) that the RMF* future-location-prediction
+//! experiment (Figure 5a) focuses on.
+
+use crate::rng::SeededRng;
+use crate::weather::WeatherField;
+use datacron_geo::point::normalize_heading;
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp, Trajectory};
+
+/// A named route point with a target altitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waypoint {
+    /// Waypoint designator, e.g. `"WP2"`.
+    pub name: String,
+    /// Horizontal position.
+    pub point: GeoPoint,
+    /// Target altitude when passing, metres.
+    pub altitude_m: f64,
+}
+
+/// An intended trajectory: ordered waypoints from origin to destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightPlan {
+    /// Plan identifier.
+    pub id: u64,
+    /// Waypoints, origin (ground) first and destination (ground) last.
+    pub waypoints: Vec<Waypoint>,
+    /// Planned cruise ground speed, m/s.
+    pub cruise_speed_mps: f64,
+}
+
+impl FlightPlan {
+    /// Builds a plan between two airports with `n_mid` en-route waypoints,
+    /// lightly jittered off the direct line (as real airway routings are).
+    pub fn between(
+        id: u64,
+        origin: GeoPoint,
+        destination: GeoPoint,
+        n_mid: usize,
+        cruise_altitude_m: f64,
+        cruise_speed_mps: f64,
+        seed: u64,
+    ) -> FlightPlan {
+        let mut rng = SeededRng::new(seed);
+        let mut waypoints = Vec::with_capacity(n_mid + 2);
+        waypoints.push(Waypoint {
+            name: "DEP".to_string(),
+            point: origin,
+            altitude_m: 0.0,
+        });
+        for k in 1..=n_mid {
+            let f = k as f64 / (n_mid + 1) as f64;
+            let on_line = origin.lerp(&destination, f);
+            let off = on_line.destination(rng.uniform(0.0, 360.0), rng.uniform(1_000.0, 8_000.0));
+            // Altitude profile: climb over the first fifth, descend over the
+            // last fifth, cruise in between.
+            let alt = if f < 0.2 {
+                cruise_altitude_m * (f / 0.2)
+            } else if f > 0.8 {
+                cruise_altitude_m * ((1.0 - f) / 0.2)
+            } else {
+                cruise_altitude_m
+            };
+            waypoints.push(Waypoint {
+                name: format!("WP{k}"),
+                point: off,
+                altitude_m: alt,
+            });
+        }
+        waypoints.push(Waypoint {
+            name: "ARR".to_string(),
+            point: destination,
+            altitude_m: 0.0,
+        });
+        FlightPlan {
+            id,
+            waypoints,
+            cruise_speed_mps,
+        }
+    }
+
+    /// Total planned route length in metres.
+    pub fn route_length_m(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].point.haversine_distance(&w[1].point))
+            .sum()
+    }
+}
+
+/// Enrichment features attached to a flight — the inputs of the TP models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightFeatures {
+    /// Wake/size category: 0 light, 1 medium, 2 heavy.
+    pub size_class: u8,
+    /// Day of week, `0..7`.
+    pub weekday: u8,
+    /// Departure hour, `0..24`.
+    pub hour: u8,
+    /// Weather severity sampled at each plan waypoint at passage time.
+    pub wp_severity: Vec<f64>,
+}
+
+impl FlightFeatures {
+    /// Mean severity along the route.
+    pub fn avg_severity(&self) -> f64 {
+        if self.wp_severity.is_empty() {
+            return 0.0;
+        }
+        self.wp_severity.iter().sum::<f64>() / self.wp_severity.len() as f64
+    }
+}
+
+/// One generated flight with ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedFlight {
+    /// The aircraft identity.
+    pub aircraft: EntityId,
+    /// The filed plan.
+    pub plan: FlightPlan,
+    /// Enrichment features.
+    pub features: FlightFeatures,
+    /// Noise-free flown trajectory.
+    pub clean: Trajectory,
+    /// Observed reports (sensor jitter applied).
+    pub reports: Vec<PositionReport>,
+    /// Ground-truth deviation at each plan waypoint:
+    /// `(signed cross-track metres, signed vertical metres)`.
+    pub waypoint_deviations_m: Vec<(f64, f64)>,
+}
+
+/// Flight-dynamics and sampling parameters.
+#[derive(Debug, Clone)]
+pub struct FlightProfile {
+    /// Seconds between position reports (the paper's Fig 5a uses 8 s).
+    pub report_interval_s: f64,
+    /// Climb rate, m/s.
+    pub climb_rate_mps: f64,
+    /// Descent rate, m/s (positive number).
+    pub descent_rate_mps: f64,
+    /// Maximum turn rate, degrees/second.
+    pub max_turn_rate_dps: f64,
+    /// Sensor position jitter sigma, metres.
+    pub noise_sigma_m: f64,
+    /// Deviation-model weights: cross-track metres per unit
+    /// `(severity - 0.5)`, scaled by size factor.
+    pub deviation_weather_gain_m: f64,
+    /// Residual (unexplained) deviation sigma, metres.
+    pub deviation_noise_m: f64,
+}
+
+impl Default for FlightProfile {
+    fn default() -> Self {
+        Self {
+            report_interval_s: 8.0,
+            climb_rate_mps: 12.0,
+            descent_rate_mps: 8.0,
+            max_turn_rate_dps: 1.0,
+            noise_sigma_m: 20.0,
+            deviation_weather_gain_m: 1600.0,
+            deviation_noise_m: 60.0,
+        }
+    }
+}
+
+/// Generates flights against a weather field.
+#[derive(Debug, Clone)]
+pub struct FlightGenerator {
+    /// Dynamics and sampling parameters.
+    pub profile: FlightProfile,
+    /// The weather field supplying enrichment features.
+    pub weather: WeatherField,
+}
+
+impl FlightGenerator {
+    /// Creates a generator.
+    pub fn new(profile: FlightProfile, weather: WeatherField) -> Self {
+        Self { profile, weather }
+    }
+
+    /// Size factor of the deviation model: heavier aircraft hold the route
+    /// better.
+    fn size_factor(size_class: u8) -> f64 {
+        match size_class {
+            0 => 1.4,
+            1 => 1.0,
+            _ => 0.7,
+        }
+    }
+
+    /// Computes the ground-truth per-waypoint deviations for a plan flown by
+    /// an aircraft of `size_class` departing at `departure`.
+    ///
+    /// The deviation is *systematic*: a smooth function of weather severity
+    /// at the waypoint (sampled at estimated passage time), aircraft size,
+    /// and a weekday factor — plus small Gaussian noise. A model that learns
+    /// the systematic part can predict deviations down to the noise floor.
+    fn waypoint_deviations(
+        &self,
+        plan: &FlightPlan,
+        size_class: u8,
+        weekday: u8,
+        departure: Timestamp,
+        rng: &mut SeededRng,
+    ) -> (Vec<(f64, f64)>, Vec<f64>) {
+        let p = &self.profile;
+        let size = Self::size_factor(size_class);
+        // Weekday factor: weekend traffic gets wider tolerances.
+        let weekday_gain = if weekday >= 5 { 1.2 } else { 1.0 };
+        let mut deviations = Vec::with_capacity(plan.waypoints.len());
+        let mut severities = Vec::with_capacity(plan.waypoints.len());
+        let mut dist_acc = 0.0;
+        for (i, wp) in plan.waypoints.iter().enumerate() {
+            if i > 0 {
+                dist_acc += plan.waypoints[i - 1].point.haversine_distance(&wp.point);
+            }
+            let eta = departure + ((dist_acc / plan.cruise_speed_mps) * 1000.0) as i64;
+            let severity = self.weather.severity_at(&wp.point, eta);
+            severities.push(severity);
+            if i == 0 || i == plan.waypoints.len() - 1 {
+                // Airports are fixed points: no deviation on the ground.
+                deviations.push((0.0, 0.0));
+                continue;
+            }
+            let systematic = (severity - 0.5) * p.deviation_weather_gain_m * size * weekday_gain;
+            let cross = systematic + rng.gaussian(0.0, p.deviation_noise_m);
+            let vertical = (severity - 0.5) * 300.0 * size + rng.gaussian(0.0, 20.0);
+            deviations.push((cross, vertical));
+        }
+        (deviations, severities)
+    }
+
+    /// Simulates one flight of `plan` by an aircraft of `size_class`
+    /// departing at `departure`.
+    pub fn flight(
+        &self,
+        aircraft_id: u64,
+        plan: &FlightPlan,
+        size_class: u8,
+        weekday: u8,
+        departure: Timestamp,
+        seed: u64,
+    ) -> GeneratedFlight {
+        let mut rng = SeededRng::new(seed);
+        let p = &self.profile;
+        let entity = EntityId::aircraft(aircraft_id);
+        let (deviations, severities) = self.waypoint_deviations(plan, size_class, weekday, departure, &mut rng);
+
+        // Actual route: plan waypoints displaced laterally by the deviation,
+        // perpendicular to the local route direction.
+        let n = plan.waypoints.len();
+        let mut actual: Vec<(GeoPoint, f64)> = Vec::with_capacity(n);
+        for (i, wp) in plan.waypoints.iter().enumerate() {
+            let (cross, vert) = deviations[i];
+            let dir = if i + 1 < n {
+                wp.point.bearing_to(&plan.waypoints[i + 1].point)
+            } else {
+                plan.waypoints[i - 1].point.bearing_to(&wp.point)
+            };
+            // Positive cross-track displaces to the right of the track.
+            let displaced = if cross.abs() > 0.0 {
+                wp.point.destination(normalize_heading(dir + 90.0), cross)
+            } else {
+                wp.point
+            };
+            actual.push((displaced, (wp.altitude_m + vert).max(0.0)));
+        }
+
+        // Fly the displaced route.
+        let dt = p.report_interval_s;
+        let cruise = plan.cruise_speed_mps;
+        let mut pos = actual[0].0;
+        let mut alt = 0.0f64;
+        let mut heading = pos.bearing_to(&actual[1].0);
+        let mut speed = 0.0f64;
+        let mut t = departure;
+        let mut clean: Vec<PositionReport> = Vec::new();
+        let record = |pos: GeoPoint, alt: f64, speed: f64, heading: f64, vr: f64, t: Timestamp, clean: &mut Vec<PositionReport>| {
+            clean.push(PositionReport {
+                entity,
+                ts: t,
+                point: pos,
+                altitude_m: alt,
+                speed_mps: speed,
+                heading_deg: heading,
+                vertical_rate_mps: vr,
+            });
+        };
+        record(pos, alt, speed, heading, 0.0, t, &mut clean);
+
+        // Takeoff roll: accelerate on the runway heading until rotation.
+        let rotation_speed = (cruise * 0.35).max(70.0);
+        while speed < rotation_speed {
+            speed = (speed + 2.5 * dt).min(rotation_speed);
+            pos = pos.destination(heading, speed * dt);
+            t = t + (dt * 1000.0) as i64;
+            record(pos, 0.0, speed, heading, 0.0, t, &mut clean);
+        }
+
+        // Remaining route length past each waypoint, for the glideslope.
+        let mut remaining_after = vec![0.0f64; n];
+        for i in (0..n - 1).rev() {
+            remaining_after[i] = remaining_after[i + 1] + actual[i].0.haversine_distance(&actual[i + 1].0);
+        }
+        // En-route: fly waypoint to waypoint, managing altitude toward each
+        // target, accelerating to cruise, then descending to land.
+        for (i, (target, target_alt)) in actual.iter().enumerate().skip(1) {
+            let is_last = i == n - 1;
+            let mut guard = 0u32;
+            loop {
+                let dist = pos.haversine_distance(target);
+                let arrive_threshold = (speed * dt).max(100.0);
+                if dist <= arrive_threshold {
+                    break;
+                }
+                // Heading control.
+                let desired = pos.bearing_to(target);
+                let diff = {
+                    let mut d = (desired - heading) % 360.0;
+                    if d > 180.0 {
+                        d -= 360.0;
+                    }
+                    if d <= -180.0 {
+                        d += 360.0;
+                    }
+                    d
+                };
+                let max_turn = p.max_turn_rate_dps * dt;
+                heading = normalize_heading(heading + diff.clamp(-max_turn, max_turn));
+                // Speed control: approach slowdown on the last leg.
+                let target_speed = if is_last && dist < 25_000.0 {
+                    (cruise * 0.45).max(75.0)
+                } else {
+                    cruise
+                };
+                speed += (target_speed - speed).clamp(-1.5 * dt, 1.5 * dt);
+                // Altitude control: never above the continuous-descent
+                // glideslope into the destination (≈3 degrees), so arrivals
+                // reach the runway at ground level however short the last
+                // leg is.
+                let remaining = dist + remaining_after[i];
+                let glideslope = remaining * 0.0524;
+                let desired_alt = if is_last {
+                    let total = actual[i - 1].0.haversine_distance(target).max(1.0);
+                    (*target_alt + (actual[i - 1].1 - target_alt) * (dist / total)).max(0.0)
+                } else {
+                    *target_alt
+                }
+                .min(glideslope);
+                let vr = if alt < desired_alt - 1.0 {
+                    p.climb_rate_mps
+                } else if alt > desired_alt + 1.0 {
+                    -p.descent_rate_mps
+                } else {
+                    0.0
+                };
+                alt = (alt + vr * dt).max(0.0);
+                pos = pos.destination(heading, speed * dt);
+                t = t + (dt * 1000.0) as i64;
+                record(pos, alt, speed, heading, vr, t, &mut clean);
+                guard += 1;
+                if guard > 1_000_000 {
+                    break;
+                }
+            }
+        }
+        // Landing roll-out: decelerate to a stop at the destination.
+        while speed > 1.0 {
+            speed = (speed - 3.0 * dt).max(0.0);
+            pos = pos.destination(heading, speed * dt);
+            t = t + (dt * 1000.0) as i64;
+            record(pos, 0.0, speed, heading, 0.0, t, &mut clean);
+        }
+
+        // Observation noise.
+        let reports = clean
+            .iter()
+            .map(|r| {
+                let mut obs = *r;
+                if p.noise_sigma_m > 0.0 {
+                    let d = rng.gaussian(0.0, p.noise_sigma_m).abs();
+                    let b = rng.uniform(0.0, 360.0);
+                    obs.point = obs.point.destination(b, d);
+                }
+                obs
+            })
+            .collect();
+
+        GeneratedFlight {
+            aircraft: entity,
+            plan: plan.clone(),
+            features: FlightFeatures {
+                size_class,
+                weekday,
+                hour: ((departure.secs() / 3600) % 24) as u8,
+                wp_severity: severities,
+            },
+            clean: Trajectory::from_reports(clean),
+            reports,
+            waypoint_deviations_m: deviations,
+        }
+    }
+
+    /// Generates `n` flights on the same plan with staggered departures —
+    /// the "Barcelona–Madrid" style corpus of the prediction experiments.
+    pub fn fleet_on_route(
+        &self,
+        n: usize,
+        plan: &FlightPlan,
+        first_departure: Timestamp,
+        headway_s: f64,
+        seed: u64,
+    ) -> Vec<GeneratedFlight> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let dep = first_departure + ((i as f64 * headway_s) * 1000.0) as i64;
+                let weekday = ((dep.secs() / 86_400) % 7) as u8;
+                let size_class = rng.index(3) as u8;
+                let fseed = rng.fork(i as u64).int_range(0, i64::MAX) as u64;
+                self.flight(i as u64, plan, size_class, weekday, dep, fseed)
+            })
+            .collect()
+    }
+
+    /// Generates arrival flights toward one airport where the active runway
+    /// direction switches after `change_after` flights — the scenario behind
+    /// the relevance-aware-clustering figure (Fig 11) and the point-matching
+    /// outlier (Fig 12).
+    pub fn arrivals_with_runway_change(
+        &self,
+        n: usize,
+        airport: GeoPoint,
+        change_after: usize,
+        first_departure: Timestamp,
+        headway_s: f64,
+        seed: u64,
+    ) -> Vec<GeneratedFlight> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                // Approach from a fix ~120 km out; the final approach course
+                // flips 180 degrees after the runway change.
+                let approach_course = if i < change_after { 90.0 } else { 270.0 };
+                let fix_bearing = normalize_heading(approach_course + 180.0);
+                let origin = airport
+                    .destination(fix_bearing, 120_000.0)
+                    .destination(rng.uniform(0.0, 360.0), rng.uniform(0.0, 15_000.0));
+                let plan = FlightPlan::between(
+                    i as u64,
+                    origin,
+                    airport,
+                    2,
+                    6_000.0,
+                    180.0,
+                    rng.fork(1000 + i as u64).int_range(0, i64::MAX) as u64,
+                );
+                let dep = first_departure + ((i as f64 * headway_s) * 1000.0) as i64;
+                let weekday = ((dep.secs() / 86_400) % 7) as u8;
+                let fseed = rng.fork(i as u64).int_range(0, i64::MAX) as u64;
+                self.flight(i as u64, &plan, 1, weekday, dep, fseed)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::BoundingBox;
+
+    fn generator() -> FlightGenerator {
+        let weather = WeatherField::new(BoundingBox::new(-10.0, 35.0, 5.0, 45.0), 7, 4, 10.0);
+        FlightGenerator::new(
+            FlightProfile {
+                noise_sigma_m: 0.0,
+                ..FlightProfile::default()
+            },
+            weather,
+        )
+    }
+
+    fn bcn_mad_plan() -> FlightPlan {
+        // Barcelona → Madrid, the route of the paper's Fig 5a evaluation.
+        FlightPlan::between(
+            1,
+            GeoPoint::new(2.08, 41.30),
+            GeoPoint::new(-3.56, 40.47),
+            5,
+            10_500.0,
+            220.0,
+            3,
+        )
+    }
+
+    #[test]
+    fn plan_endpoints_are_on_the_ground() {
+        let plan = bcn_mad_plan();
+        assert_eq!(plan.waypoints.first().unwrap().altitude_m, 0.0);
+        assert_eq!(plan.waypoints.last().unwrap().altitude_m, 0.0);
+        assert_eq!(plan.waypoints.len(), 7);
+        assert!(plan.route_length_m() > 450_000.0);
+    }
+
+    #[test]
+    fn flight_takes_off_cruises_and_lands() {
+        let g = generator();
+        let f = g.flight(1, &bcn_mad_plan(), 1, 2, Timestamp(0), 42);
+        let reports = f.clean.reports();
+        assert!(reports.len() > 100);
+        // Starts and ends on the ground, stationary.
+        assert_eq!(reports.first().unwrap().altitude_m, 0.0);
+        assert!(reports.last().unwrap().speed_mps <= 1.0);
+        assert_eq!(reports.last().unwrap().altitude_m, 0.0);
+        // Reaches near cruise altitude.
+        let max_alt = reports.iter().map(|r| r.altitude_m).fold(0.0f64, f64::max);
+        assert!(max_alt > 9_000.0, "max altitude {max_alt}");
+        // Lands near Madrid.
+        let last = reports.last().unwrap();
+        let dist = last.point.haversine_distance(&GeoPoint::new(-3.56, 40.47));
+        assert!(dist < 15_000.0, "landed {dist} m from destination");
+    }
+
+    #[test]
+    fn flight_is_deterministic() {
+        let g = generator();
+        let a = g.flight(1, &bcn_mad_plan(), 1, 2, Timestamp(0), 42);
+        let b = g.flight(1, &bcn_mad_plan(), 1, 2, Timestamp(0), 42);
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.waypoint_deviations_m, b.waypoint_deviations_m);
+    }
+
+    #[test]
+    fn deviations_zero_at_airports_bounded_en_route() {
+        let g = generator();
+        let f = g.flight(1, &bcn_mad_plan(), 2, 2, Timestamp(0), 9);
+        assert_eq!(f.waypoint_deviations_m.first().unwrap(), &(0.0, 0.0));
+        assert_eq!(f.waypoint_deviations_m.last().unwrap(), &(0.0, 0.0));
+        for &(cross, vert) in &f.waypoint_deviations_m[1..f.waypoint_deviations_m.len() - 1] {
+            assert!(cross.abs() < 3_000.0, "cross {cross}");
+            assert!(vert.abs() < 600.0, "vert {vert}");
+        }
+    }
+
+    #[test]
+    fn deviations_depend_systematically_on_weather() {
+        // Two flights with identical everything but departure time (hence
+        // weather) must differ; two with identical departure share the
+        // systematic part (differ only by noise).
+        let g = generator();
+        let plan = bcn_mad_plan();
+        let a = g.flight(1, &plan, 1, 2, Timestamp(0), 100);
+        let b = g.flight(2, &plan, 1, 2, Timestamp(0), 200);
+        let c = g.flight(3, &plan, 1, 2, Timestamp::from_secs(36_000), 300);
+        let mid = plan.waypoints.len() / 2;
+        let noise_scale = (a.waypoint_deviations_m[mid].0 - b.waypoint_deviations_m[mid].0).abs();
+        assert!(noise_scale < 400.0, "same conditions differ only by noise: {noise_scale}");
+        // Features record the change in weather.
+        assert_ne!(a.features.wp_severity, c.features.wp_severity);
+    }
+
+    #[test]
+    fn size_class_scales_deviation() {
+        // With the noise forced to zero, light aircraft deviate exactly
+        // size_factor(0)/size_factor(2) = 2x more than heavies.
+        let weather = WeatherField::new(BoundingBox::new(-10.0, 35.0, 5.0, 45.0), 7, 4, 10.0);
+        let g = FlightGenerator::new(
+            FlightProfile {
+                noise_sigma_m: 0.0,
+                deviation_noise_m: 0.0,
+                ..FlightProfile::default()
+            },
+            weather,
+        );
+        let plan = bcn_mad_plan();
+        let light = g.flight(1, &plan, 0, 2, Timestamp(0), 5);
+        let heavy = g.flight(2, &plan, 2, 2, Timestamp(0), 6);
+        let mid = plan.waypoints.len() / 2;
+        let ratio = light.waypoint_deviations_m[mid].0 / heavy.waypoint_deviations_m[mid].0;
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fleet_on_route_varies_sizes_and_departures() {
+        let g = generator();
+        let plan = bcn_mad_plan();
+        let fleet = g.fleet_on_route(6, &plan, Timestamp(0), 1800.0, 77);
+        assert_eq!(fleet.len(), 6);
+        let sizes: std::collections::HashSet<_> = fleet.iter().map(|f| f.features.size_class).collect();
+        assert!(sizes.len() >= 2);
+        assert!(fleet[1].clean.reports()[0].ts > fleet[0].clean.reports()[0].ts);
+    }
+
+    #[test]
+    fn runway_change_flips_final_heading() {
+        let g = generator();
+        let airport = GeoPoint::new(-3.56, 40.47);
+        let arrivals = g.arrivals_with_runway_change(4, airport, 2, Timestamp(0), 600.0, 13);
+        let final_heading = |f: &GeneratedFlight| {
+            let r = f.clean.reports();
+            r[r.len().saturating_sub(10)].heading_deg
+        };
+        let early = final_heading(&arrivals[0]);
+        let late = final_heading(&arrivals[3]);
+        let diff = datacron_geo::point::heading_difference(early, late);
+        assert!(diff > 120.0, "expected opposite approaches, diff {diff}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Synthetic contextual sources: protected areas, ports, and entity
+//! registries.
+//!
+//! Substitutes for the static sources of Table 1 — the ESRI shapefiles of
+//! geographical features (the paper's link-discovery experiment uses 8,599
+//! Natura-2000/fishing regions), the 5,754-port register, and the
+//! 166,683-ship vessel register. Scaled-down equivalents with the same roles.
+
+use crate::rng::SeededRng;
+use datacron_geo::{BoundingBox, GeoPoint, Polygon};
+
+/// A named stationary region (protected area, fishing zone, airspace sector).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Stable identifier, unique within a generated set.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// The region geometry.
+    pub polygon: Polygon,
+    /// Region class (e.g. `"natura"`, `"fishing"`, `"sector"`).
+    pub class: &'static str,
+}
+
+/// Generates irregular convex-ish polygon regions scattered over an extent.
+#[derive(Debug, Clone)]
+pub struct AreaGenerator {
+    extent: BoundingBox,
+    /// Radius range of generated regions, metres.
+    pub radius_m: (f64, f64),
+    /// Vertex count range.
+    pub vertices: (usize, usize),
+}
+
+impl AreaGenerator {
+    /// Creates a generator over `extent` with default region sizes
+    /// (5–60 km radius) and realistically complex boundaries (48–144
+    /// vertices — real Natura-2000 coastal geometries run to hundreds of
+    /// vertices, and that refinement cost is what cell masks save).
+    pub fn new(extent: BoundingBox) -> Self {
+        Self {
+            extent,
+            radius_m: (5_000.0, 60_000.0),
+            vertices: (48, 144),
+        }
+    }
+
+    /// Generates `n` regions of the given `class`.
+    pub fn generate(&self, n: usize, class: &'static str, seed: u64) -> Vec<Region> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let center = GeoPoint::new(
+                    rng.uniform(self.extent.min_lon, self.extent.max_lon),
+                    rng.uniform(self.extent.min_lat, self.extent.max_lat),
+                );
+                let radius = rng.uniform(self.radius_m.0, self.radius_m.1);
+                let nv = rng.index(self.vertices.1 - self.vertices.0) + self.vertices.0;
+                // Irregular star-convex ring: jitter each vertex radius.
+                let vertices: Vec<GeoPoint> = (0..nv)
+                    .map(|k| {
+                        let bearing = 360.0 * k as f64 / nv as f64;
+                        let r = radius * rng.uniform(0.6, 1.0);
+                        center.destination(bearing, r)
+                    })
+                    .collect();
+                let polygon = Polygon::new(vertices).expect("generated ring has >= 3 finite vertices");
+                Region {
+                    id: i as u64,
+                    name: format!("{class}-{i}"),
+                    polygon,
+                    class,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A port (or airport when used by the aviation generator as an anchor).
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Stable identifier.
+    pub id: u64,
+    /// Name, e.g. `"port-17"`.
+    pub name: String,
+    /// Port location.
+    pub point: GeoPoint,
+    /// Approach-zone radius in metres.
+    pub zone_radius_m: f64,
+}
+
+/// Generates ports scattered over an extent.
+#[derive(Debug, Clone)]
+pub struct PortGenerator {
+    extent: BoundingBox,
+}
+
+impl PortGenerator {
+    /// Creates a generator over `extent`.
+    pub fn new(extent: BoundingBox) -> Self {
+        Self { extent }
+    }
+
+    /// Generates `n` ports.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Port> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| Port {
+                id: i as u64,
+                name: format!("port-{i}"),
+                point: GeoPoint::new(
+                    rng.uniform(self.extent.min_lon, self.extent.max_lon),
+                    rng.uniform(self.extent.min_lat, self.extent.max_lat),
+                ),
+                zone_radius_m: rng.uniform(1_000.0, 5_000.0),
+            })
+            .collect()
+    }
+}
+
+/// Static registry entry for a vessel (vessel register of Table 1).
+#[derive(Debug, Clone)]
+pub struct VesselRecord {
+    /// MMSI-like identifier.
+    pub id: u64,
+    /// Vessel class name.
+    pub class: &'static str,
+    /// Length overall, metres.
+    pub length_m: f64,
+    /// Service speed, m/s.
+    pub service_speed_mps: f64,
+    /// Flag-state code, `0..=30`.
+    pub flag: u8,
+}
+
+/// Static registry entry for an aircraft.
+#[derive(Debug, Clone)]
+pub struct AircraftRecord {
+    /// ICAO-24-like identifier.
+    pub id: u64,
+    /// Aircraft type designator, e.g. `"A320"`.
+    pub type_code: &'static str,
+    /// Wake/size category: 0 light, 1 medium, 2 heavy.
+    pub size_class: u8,
+    /// Typical cruise speed, m/s.
+    pub cruise_speed_mps: f64,
+    /// Typical cruise altitude, metres.
+    pub cruise_altitude_m: f64,
+}
+
+/// Vessel classes with their typical kinematics (class, length, speed m/s).
+const VESSEL_CLASSES: &[(&str, f64, f64)] = &[
+    ("cargo", 180.0, 7.5),
+    ("tanker", 240.0, 6.5),
+    ("ferry", 120.0, 10.0),
+    ("fishing", 25.0, 4.0),
+    ("passenger", 90.0, 9.0),
+];
+
+/// Aircraft types (designator, size class, cruise speed m/s, cruise alt m).
+const AIRCRAFT_TYPES: &[(&str, u8, f64, f64)] = &[
+    ("A320", 1, 230.0, 11_000.0),
+    ("B738", 1, 235.0, 11_300.0),
+    ("A332", 2, 245.0, 11_900.0),
+    ("B77W", 2, 250.0, 12_000.0),
+    ("AT76", 0, 140.0, 7_000.0),
+];
+
+/// Generates entity registries.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryGenerator;
+
+impl RegistryGenerator {
+    /// Generates `n` vessel records.
+    pub fn vessels(&self, n: usize, seed: u64) -> Vec<VesselRecord> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let &(class, len, speed) = rng.pick(VESSEL_CLASSES);
+                VesselRecord {
+                    id: i as u64,
+                    class,
+                    length_m: len * rng.uniform(0.8, 1.2),
+                    service_speed_mps: speed * rng.uniform(0.85, 1.15),
+                    flag: rng.index(31) as u8,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` aircraft records.
+    pub fn aircraft(&self, n: usize, seed: u64) -> Vec<AircraftRecord> {
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let &(type_code, size_class, speed, alt) = rng.pick(AIRCRAFT_TYPES);
+                AircraftRecord {
+                    id: i as u64,
+                    type_code,
+                    size_class,
+                    cruise_speed_mps: speed * rng.uniform(0.95, 1.05),
+                    cruise_altitude_m: alt * rng.uniform(0.95, 1.05),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BoundingBox {
+        BoundingBox::new(-10.0, 30.0, 30.0, 60.0)
+    }
+
+    #[test]
+    fn regions_are_deterministic_and_in_extent() {
+        let g = AreaGenerator::new(extent());
+        let a = g.generate(20, "natura", 1);
+        let b = g.generate(20, "natura", 1);
+        assert_eq!(a.len(), 20);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.polygon, rb.polygon);
+            // Centroid near the extent (regions may bleed over the edge).
+            assert!(extent().expanded(1.0).contains(&ra.polygon.centroid()));
+        }
+    }
+
+    #[test]
+    fn region_ids_and_names_are_stable() {
+        let g = AreaGenerator::new(extent());
+        let regions = g.generate(3, "fishing", 9);
+        assert_eq!(regions[2].id, 2);
+        assert_eq!(regions[2].name, "fishing-2");
+        assert_eq!(regions[0].class, "fishing");
+    }
+
+    #[test]
+    fn regions_contain_their_centroid_mostly() {
+        let g = AreaGenerator::new(extent());
+        let regions = g.generate(50, "natura", 5);
+        let hits = regions
+            .iter()
+            .filter(|r| r.polygon.contains(&r.polygon.centroid()))
+            .count();
+        assert!(hits >= 45, "star-convex rings should contain centroids: {hits}/50");
+    }
+
+    #[test]
+    fn ports_deterministic_and_in_extent() {
+        let g = PortGenerator::new(extent());
+        let a = g.generate(30, 2);
+        let b = g.generate(30, 2);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.point, pb.point);
+            assert!(extent().contains(&pa.point));
+            assert!(pa.zone_radius_m >= 1_000.0 && pa.zone_radius_m <= 5_000.0);
+        }
+    }
+
+    #[test]
+    fn vessel_registry_covers_classes() {
+        let recs = RegistryGenerator.vessels(500, 3);
+        assert_eq!(recs.len(), 500);
+        for class in ["cargo", "tanker", "ferry", "fishing", "passenger"] {
+            assert!(recs.iter().any(|r| r.class == class), "missing {class}");
+        }
+        assert!(recs.iter().all(|r| r.length_m > 0.0 && r.service_speed_mps > 0.0));
+    }
+
+    #[test]
+    fn aircraft_registry_covers_types() {
+        let recs = RegistryGenerator.aircraft(200, 4);
+        for t in ["A320", "B738", "A332", "B77W", "AT76"] {
+            assert!(recs.iter().any(|r| r.type_code == t), "missing {t}");
+        }
+        assert!(recs.iter().all(|r| r.size_class <= 2));
+    }
+}

@@ -1,0 +1,234 @@
+//! Symbol-stream generation from m-order Markov processes.
+//!
+//! The Pattern-Markov-Chain forecasting experiment (Figure 8 of the paper)
+//! evaluates forecast precision under 1st- and 2nd-order model assumptions
+//! against a stream whose true generating process is higher-order. This
+//! module provides exactly that: a configurable m-order Markov source over a
+//! finite alphabet, with known transition structure, so the experiment can
+//! quantify how matching the assumed order to the true order improves
+//! precision.
+//!
+//! Symbols are `u8` indices into a caller-defined alphabet (for the maritime
+//! pattern: `ChangeInHeadingNorth`, `ChangeInHeadingEast`,
+//! `ChangeInHeadingSouth`, plus background symbols).
+
+use crate::rng::SeededRng;
+
+/// A generated symbol stream with its source parameters.
+#[derive(Debug, Clone)]
+pub struct SymbolStream {
+    /// The symbols in order.
+    pub symbols: Vec<u8>,
+    /// Alphabet size.
+    pub alphabet: usize,
+    /// True order of the generating process.
+    pub order: usize,
+}
+
+/// An m-order Markov process over a finite alphabet.
+///
+/// The conditional distribution of the next symbol given the last `m`
+/// symbols is stored densely: `probs[context_index * alphabet + symbol]`
+/// where `context_index` encodes the last `m` symbols base-`alphabet`
+/// (most recent symbol in the lowest digit).
+#[derive(Debug, Clone)]
+pub struct MarkovSymbolSource {
+    alphabet: usize,
+    order: usize,
+    probs: Vec<f64>,
+}
+
+impl MarkovSymbolSource {
+    /// Creates a source with random (seeded) conditional distributions that
+    /// are *sharpened* to be genuinely order-dependent: each context prefers
+    /// a couple of symbols strongly, so a lower-order approximation loses
+    /// real information.
+    pub fn random(alphabet: usize, order: usize, concentration: f64, seed: u64) -> Self {
+        assert!(alphabet >= 2, "alphabet must have at least two symbols");
+        assert!(order >= 1, "order must be at least 1");
+        let contexts = alphabet.pow(order as u32);
+        let mut rng = SeededRng::new(seed);
+        let mut probs = Vec::with_capacity(contexts * alphabet);
+        for _ in 0..contexts {
+            // Dirichlet-like: exponential weights raised to a concentration
+            // power, then normalised. Higher concentration → sharper rows.
+            let mut row: Vec<f64> = (0..alphabet)
+                .map(|_| rng.exponential(1.0).powf(concentration))
+                .collect();
+            let sum: f64 = row.iter().sum();
+            for w in &mut row {
+                *w /= sum;
+            }
+            probs.extend(row);
+        }
+        Self {
+            alphabet,
+            order,
+            probs,
+        }
+    }
+
+    /// Creates a source from explicit conditional rows.
+    ///
+    /// # Panics
+    /// Panics when dimensions are inconsistent or any row does not sum to ~1.
+    pub fn from_probs(alphabet: usize, order: usize, probs: Vec<f64>) -> Self {
+        let contexts = alphabet.pow(order as u32);
+        assert_eq!(probs.len(), contexts * alphabet, "probability table size mismatch");
+        for c in 0..contexts {
+            let row_sum: f64 = probs[c * alphabet..(c + 1) * alphabet].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {c} sums to {row_sum}");
+        }
+        Self {
+            alphabet,
+            order,
+            probs,
+        }
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// True process order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The conditional probability `P(next = s | context)`, where `context`
+    /// lists the last `m` symbols, oldest first.
+    pub fn conditional(&self, context: &[u8], s: u8) -> f64 {
+        assert_eq!(context.len(), self.order, "context length must equal order");
+        let idx = self.context_index(context);
+        self.probs[idx * self.alphabet + s as usize]
+    }
+
+    fn context_index(&self, context: &[u8]) -> usize {
+        // Oldest symbol in the highest digit.
+        context
+            .iter()
+            .fold(0usize, |acc, &s| acc * self.alphabet + s as usize)
+    }
+
+    /// Generates a stream of `n` symbols (after an initial warm-up of
+    /// uniform symbols to seed the context).
+    pub fn generate(&self, n: usize, seed: u64) -> SymbolStream {
+        let mut rng = SeededRng::new(seed);
+        let mut context: Vec<u8> = (0..self.order)
+            .map(|_| rng.index(self.alphabet) as u8)
+            .collect();
+        let mut symbols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = self.context_index(&context);
+            let row = &self.probs[idx * self.alphabet..(idx + 1) * self.alphabet];
+            let s = rng.weighted_index(row) as u8;
+            symbols.push(s);
+            context.remove(0);
+            context.push(s);
+        }
+        SymbolStream {
+            symbols,
+            alphabet: self.alphabet,
+            order: self.order,
+        }
+    }
+}
+
+/// Empirical m-order conditional frequencies of a symbol stream — the
+/// estimator the PMC training step uses, also handy in tests.
+pub fn empirical_conditionals(symbols: &[u8], alphabet: usize, order: usize) -> Vec<f64> {
+    let contexts = alphabet.pow(order as u32);
+    let mut counts = vec![0.0f64; contexts * alphabet];
+    for w in symbols.windows(order + 1) {
+        let ctx = w[..order].iter().fold(0usize, |acc, &s| acc * alphabet + s as usize);
+        counts[ctx * alphabet + w[order] as usize] += 1.0;
+    }
+    // Laplace smoothing so unseen contexts stay usable.
+    for c in 0..contexts {
+        let row = &mut counts[c * alphabet..(c + 1) * alphabet];
+        let total: f64 = row.iter().sum::<f64>() + alphabet as f64;
+        for v in row.iter_mut() {
+            *v = (*v + 1.0) / total;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length_and_range() {
+        let src = MarkovSymbolSource::random(4, 2, 2.0, 1);
+        let s = src.generate(1000, 2);
+        assert_eq!(s.symbols.len(), 1000);
+        assert!(s.symbols.iter().all(|&x| (x as usize) < 4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let src = MarkovSymbolSource::random(3, 1, 2.0, 5);
+        assert_eq!(src.generate(100, 7).symbols, src.generate(100, 7).symbols);
+        assert_ne!(src.generate(100, 7).symbols, src.generate(100, 8).symbols);
+    }
+
+    #[test]
+    fn explicit_probs_are_respected() {
+        // Order-1 over {0,1}: after 0 always 1, after 1 always 0.
+        let src = MarkovSymbolSource::from_probs(2, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let s = src.generate(50, 3);
+        for w in s.symbols.windows(2) {
+            assert_ne!(w[0], w[1], "strict alternation expected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn bad_rows_rejected() {
+        MarkovSymbolSource::from_probs(2, 1, vec![0.5, 0.4, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn conditional_lookup_matches_table() {
+        let src = MarkovSymbolSource::from_probs(2, 2, vec![
+            // contexts 00, 01, 10, 11
+            0.9, 0.1, //
+            0.2, 0.8, //
+            0.6, 0.4, //
+            0.3, 0.7,
+        ]);
+        assert_eq!(src.conditional(&[0, 1], 1), 0.8);
+        assert_eq!(src.conditional(&[1, 0], 0), 0.6);
+    }
+
+    #[test]
+    fn empirical_conditionals_recover_structure() {
+        let src = MarkovSymbolSource::from_probs(2, 1, vec![0.9, 0.1, 0.1, 0.9]);
+        let s = src.generate(50_000, 9);
+        let est = empirical_conditionals(&s.symbols, 2, 1);
+        assert!((est[0] - 0.9).abs() < 0.02, "P(0|0) {}", est[0]);
+        assert!((est[3] - 0.9).abs() < 0.02, "P(1|1) {}", est[3]);
+    }
+
+    #[test]
+    fn second_order_structure_invisible_to_first_order() {
+        // Build an order-2 process where the next symbol depends strongly on
+        // the *older* of the two context symbols. A first-order estimate
+        // cannot capture it: its rows mix the two contexts.
+        let src = MarkovSymbolSource::from_probs(2, 2, vec![
+            0.95, 0.05, // after 00 -> 0
+            0.95, 0.05, // after 01 -> 0 (depends on old=0)
+            0.05, 0.95, // after 10 -> 1
+            0.05, 0.95, // after 11 -> 1
+        ]);
+        let s = src.generate(50_000, 4);
+        let est2 = empirical_conditionals(&s.symbols, 2, 2);
+        let est1 = empirical_conditionals(&s.symbols, 2, 1);
+        // Order-2 estimate is sharp.
+        assert!(est2[0] > 0.9);
+        // Order-1 estimate is blurred toward 0.5.
+        assert!(est1[0] < 0.9 && est1[0] > 0.1, "P1(0|0) {}", est1[0]);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # datacron-data
+//!
+//! Synthetic data generation for every data-source class of the datAcron
+//! evaluation (Table 1 of the paper).
+//!
+//! The paper's experiments run on proprietary feeds — terrestrial and
+//! satellite AIS, FlightAware ADS-B, IFS radar tracks, ECMWF sea-state
+//! forecasts, EUROCONTROL flight plans. None of those are redistributable,
+//! so this crate fabricates statistically faithful substitutes *with ground
+//! truth attached*:
+//!
+//! * [`maritime`] — vessel traffic: port-to-port voyages, fishing patterns
+//!   (the slow zig-zag manoeuvres the CEP experiments detect), stops,
+//!   communication gaps, and configurable sensor noise.
+//! * [`aviation`] — flights: flight plans, takeoff/climb/cruise/descent/
+//!   landing profiles, per-waypoint deviations that *systematically depend on
+//!   enrichment features* (weather, aircraft size, season) so the hybrid
+//!   clustering/HMM predictor has real structure to learn, plus holding
+//!   patterns and runway changes for the visual-analytics scenarios.
+//! * [`weather`] — smooth space-time wind/sea-state fields sampled on a grid.
+//! * [`context`] — static sources: protected areas, ports, vessel and
+//!   aircraft registries.
+//! * [`events`] — symbol streams drawn from configurable m-order Markov
+//!   processes, the input of the Pattern-Markov-Chain forecasting
+//!   experiments.
+//! * [`table1`] — an inventory harness that regenerates the shape of
+//!   Table 1 from these generators.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod aviation;
+pub mod context;
+pub mod events;
+pub mod maritime;
+pub mod rng;
+pub mod table1;
+pub mod weather;
+
+pub use aviation::{FlightGenerator, FlightPlan, FlightProfile, GeneratedFlight, Waypoint};
+pub use context::{AreaGenerator, PortGenerator, Region, RegistryGenerator};
+pub use events::{MarkovSymbolSource, SymbolStream};
+pub use maritime::{GeneratedVoyage, VesselClass, VoyageGenerator};
+pub use rng::SeededRng;
+pub use weather::WeatherField;

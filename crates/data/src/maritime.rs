@@ -1,0 +1,543 @@
+//! Synthetic maritime surveillance: AIS-like voyage generation.
+//!
+//! Substitutes for the terrestrial/satellite AIS sources of Table 1. The
+//! simulator produces, per vessel, a *clean* ground-truth trajectory plus an
+//! *observed* report stream degraded exactly the way real AIS is: position
+//! jitter, occasional gross outliers, duplicated messages, and communication
+//! gaps. The degradations are recorded as ground truth so the cleaning,
+//! synopses, and event-detection experiments can score themselves.
+//!
+//! Motion model: waypoint following with a bounded turn rate. Straight,
+//! predictable legs dominate (as the paper notes for open-sea traffic),
+//! punctuated by turns at waypoints — precisely the structure the Synopses
+//! Generator exploits. Fishing trips add the slow zig-zag manoeuvres with
+//! heading reversals that the CEP patterns (`HeadingReversal`,
+//! `NorthToSouthReversal`) look for.
+
+use crate::context::Port;
+use crate::rng::SeededRng;
+use datacron_geo::point::normalize_heading;
+use datacron_geo::{EntityId, GeoPoint, PositionReport, TimeInterval, Timestamp, Trajectory};
+
+/// Vessel behaviour classes with distinct kinematics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VesselClass {
+    /// Slow, very straight long-haul traffic.
+    Cargo,
+    /// Slowest large traffic.
+    Tanker,
+    /// Fast, schedule-keeping traffic.
+    Ferry,
+    /// Slow, manoeuvre-heavy traffic with fishing patterns.
+    Fishing,
+}
+
+impl VesselClass {
+    /// Typical service speed, m/s.
+    pub fn service_speed_mps(&self) -> f64 {
+        match self {
+            VesselClass::Cargo => 7.5,
+            VesselClass::Tanker => 6.5,
+            VesselClass::Ferry => 10.5,
+            VesselClass::Fishing => 4.5,
+        }
+    }
+
+    /// Maximum turn rate, degrees/second.
+    pub fn max_turn_rate_dps(&self) -> f64 {
+        match self {
+            VesselClass::Cargo | VesselClass::Tanker => 0.5,
+            VesselClass::Ferry => 1.0,
+            VesselClass::Fishing => 3.0,
+        }
+    }
+
+    /// All classes, for fleet mixing.
+    pub const ALL: [VesselClass; 4] = [
+        VesselClass::Cargo,
+        VesselClass::Tanker,
+        VesselClass::Ferry,
+        VesselClass::Fishing,
+    ];
+}
+
+/// Degradation and sampling parameters of the observed stream.
+#[derive(Debug, Clone)]
+pub struct VoyageConfig {
+    /// Seconds between position reports.
+    pub report_interval_s: f64,
+    /// Standard deviation of per-report position jitter, metres.
+    pub noise_sigma_m: f64,
+    /// Per-report probability that a communication gap starts.
+    pub gap_probability: f64,
+    /// Gap duration range, seconds.
+    pub gap_duration_s: (f64, f64),
+    /// Per-report probability of a gross position outlier (tens of km off).
+    pub outlier_probability: f64,
+    /// Per-report probability the message is duplicated.
+    pub duplicate_probability: f64,
+}
+
+impl Default for VoyageConfig {
+    fn default() -> Self {
+        Self {
+            report_interval_s: 10.0,
+            noise_sigma_m: 15.0,
+            gap_probability: 0.002,
+            gap_duration_s: (600.0, 1800.0),
+            outlier_probability: 0.001,
+            duplicate_probability: 0.002,
+        }
+    }
+}
+
+impl VoyageConfig {
+    /// A noise-free configuration: observed stream equals the clean one.
+    pub fn clean() -> Self {
+        Self {
+            noise_sigma_m: 0.0,
+            gap_probability: 0.0,
+            outlier_probability: 0.0,
+            duplicate_probability: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Ground truth attached to a generated voyage.
+#[derive(Debug, Clone, Default)]
+pub struct VoyageTruth {
+    /// The planned route waypoints, origin and destination inclusive.
+    pub waypoints: Vec<GeoPoint>,
+    /// Communication-gap intervals in the observed stream.
+    pub gaps: Vec<TimeInterval>,
+    /// Interval spent in fishing manoeuvres, when any.
+    pub fishing: Option<TimeInterval>,
+    /// Intervals spent stationary.
+    pub stops: Vec<TimeInterval>,
+    /// Timestamps of injected gross outliers.
+    pub outliers: Vec<Timestamp>,
+}
+
+/// One generated voyage: clean truth plus the degraded observation stream.
+#[derive(Debug, Clone)]
+pub struct GeneratedVoyage {
+    /// The vessel identity.
+    pub vessel: EntityId,
+    /// Behaviour class.
+    pub class: VesselClass,
+    /// Noise-free ground-truth trajectory.
+    pub clean: Trajectory,
+    /// Observed (noisy, gappy) report stream in time order.
+    pub reports: Vec<PositionReport>,
+    /// Ground-truth annotations.
+    pub truth: VoyageTruth,
+}
+
+/// Generates voyages and fleets.
+#[derive(Debug, Clone)]
+pub struct VoyageGenerator {
+    /// Degradation/sampling parameters.
+    pub config: VoyageConfig,
+}
+
+/// Internal simulation state.
+struct Sim {
+    pos: GeoPoint,
+    heading: f64,
+    speed: f64,
+    t: Timestamp,
+    clean: Vec<PositionReport>,
+}
+
+impl Sim {
+    fn new(entity: EntityId, start: GeoPoint, heading: f64, t0: Timestamp) -> Self {
+        let mut s = Self {
+            pos: start,
+            heading,
+            speed: 0.0,
+            t: t0,
+            clean: Vec::new(),
+        };
+        s.record(entity);
+        s
+    }
+
+    fn record(&mut self, entity: EntityId) {
+        self.clean.push(PositionReport {
+            entity,
+            ts: self.t,
+            point: self.pos,
+            altitude_m: 0.0,
+            speed_mps: self.speed,
+            heading_deg: self.heading,
+            vertical_rate_mps: 0.0,
+        });
+    }
+
+    /// Advances one step toward `target` at `cruise` speed, turn-limited.
+    fn step_toward(&mut self, entity: EntityId, target: &GeoPoint, cruise: f64, turn_dps: f64, dt: f64) {
+        let desired = self.pos.bearing_to(target);
+        let diff = shortest_turn(self.heading, desired);
+        let max_turn = turn_dps * dt;
+        self.heading = normalize_heading(self.heading + diff.clamp(-max_turn, max_turn));
+        // Accelerate/decelerate smoothly toward cruise.
+        self.speed += (cruise - self.speed).clamp(-0.3 * dt, 0.3 * dt);
+        self.pos = self.pos.destination(self.heading, self.speed * dt);
+        self.t = self.t + (dt * 1000.0) as i64;
+        self.record(entity);
+    }
+
+    /// Remains in place for `duration_s`, reporting at the same cadence.
+    fn hold(&mut self, entity: EntityId, duration_s: f64, dt: f64) -> TimeInterval {
+        let start = self.t;
+        let steps = (duration_s / dt).ceil() as usize;
+        self.speed = 0.0;
+        for _ in 0..steps {
+            self.t = self.t + (dt * 1000.0) as i64;
+            self.record(entity);
+        }
+        TimeInterval::new(start, self.t)
+    }
+}
+
+/// Signed shortest rotation from `from` to `to`, degrees in `(-180, 180]`.
+fn shortest_turn(from: f64, to: f64) -> f64 {
+    let mut d = (to - from) % 360.0;
+    if d > 180.0 {
+        d -= 360.0;
+    }
+    if d <= -180.0 {
+        d += 360.0;
+    }
+    d
+}
+
+impl VoyageGenerator {
+    /// Creates a generator with the given degradation config.
+    pub fn new(config: VoyageConfig) -> Self {
+        Self { config }
+    }
+
+    /// Simulates a port-to-port voyage through 1–3 intermediate waypoints.
+    pub fn voyage(
+        &self,
+        vessel_id: u64,
+        class: VesselClass,
+        origin: GeoPoint,
+        destination: GeoPoint,
+        start: Timestamp,
+        seed: u64,
+    ) -> GeneratedVoyage {
+        let mut rng = SeededRng::new(seed);
+        let entity = EntityId::vessel(vessel_id);
+        let dt = self.config.report_interval_s;
+        let cruise = class.service_speed_mps() * rng.uniform(0.9, 1.1);
+        let turn = class.max_turn_rate_dps();
+
+        // Route: origin → 1..=3 jittered intermediate waypoints → destination.
+        let n_mid = 1 + rng.index(3);
+        let mut waypoints = vec![origin];
+        for k in 1..=n_mid {
+            let f = k as f64 / (n_mid + 1) as f64;
+            let on_line = origin.lerp(&destination, f);
+            let off = on_line.destination(rng.uniform(0.0, 360.0), rng.uniform(2_000.0, 20_000.0));
+            waypoints.push(off);
+        }
+        waypoints.push(destination);
+
+        let mut sim = Sim::new(entity, origin, origin.bearing_to(&waypoints[1]), start);
+        let mut truth = VoyageTruth {
+            waypoints: waypoints.clone(),
+            ..VoyageTruth::default()
+        };
+
+        for wp in waypoints.iter().skip(1) {
+            // Arrival threshold: one step's travel.
+            let threshold = (cruise * dt).max(50.0);
+            let mut guard = 0u32;
+            while sim.pos.haversine_distance(wp) > threshold {
+                sim.step_toward(entity, wp, cruise, turn, dt);
+                guard += 1;
+                if guard > 500_000 {
+                    break; // defensive: never loop forever on degenerate geometry
+                }
+            }
+        }
+        // Arrive: decelerate and stop briefly at the destination.
+        let stop = sim.hold(entity, rng.uniform(300.0, 900.0), dt);
+        truth.stops.push(stop);
+
+        self.finish(entity, class, sim.clean, truth, &mut rng)
+    }
+
+    /// Simulates a fishing trip: transit to the grounds, slow zig-zag
+    /// manoeuvres with heading reversals, a drift stop, then return.
+    pub fn fishing_trip(
+        &self,
+        vessel_id: u64,
+        port: GeoPoint,
+        grounds: GeoPoint,
+        start: Timestamp,
+        seed: u64,
+    ) -> GeneratedVoyage {
+        let mut rng = SeededRng::new(seed);
+        let entity = EntityId::vessel(vessel_id);
+        let class = VesselClass::Fishing;
+        let dt = self.config.report_interval_s;
+        let cruise = class.service_speed_mps();
+        let turn = class.max_turn_rate_dps();
+
+        let mut sim = Sim::new(entity, port, port.bearing_to(&grounds), start);
+        let mut truth = VoyageTruth {
+            waypoints: vec![port, grounds],
+            ..VoyageTruth::default()
+        };
+
+        // Transit out.
+        let threshold = (cruise * dt).max(50.0);
+        while sim.pos.haversine_distance(&grounds) > threshold {
+            sim.step_toward(entity, &grounds, cruise, turn, dt);
+        }
+
+        // Fishing: zig-zag legs alternating roughly north/south headings with
+        // a slow eastward drift — the archetypal trawling pattern whose turn
+        // sequence the NorthToSouthReversal CEP pattern matches.
+        let fishing_start = sim.t;
+        let n_legs = 4 + rng.index(5);
+        let trawl_speed = cruise * 0.4;
+        for leg in 0..n_legs {
+            let north = leg % 2 == 0;
+            let base = if north { 10.0 } else { 170.0 };
+            let leg_heading = normalize_heading(base + rng.uniform(-8.0, 8.0));
+            let leg_len_m = rng.uniform(1_500.0, 4_000.0);
+            let target = sim.pos.destination(leg_heading, leg_len_m);
+            let mut guard = 0u32;
+            while sim.pos.haversine_distance(&target) > (trawl_speed * dt).max(30.0) {
+                sim.step_toward(entity, &target, trawl_speed, turn, dt);
+                guard += 1;
+                if guard > 100_000 {
+                    break;
+                }
+            }
+        }
+        // Drift stop on the grounds.
+        let stop = sim.hold(entity, rng.uniform(600.0, 1200.0), dt);
+        truth.stops.push(stop);
+        truth.fishing = Some(TimeInterval::new(fishing_start, sim.t));
+
+        // Return to port.
+        while sim.pos.haversine_distance(&port) > threshold {
+            sim.step_toward(entity, &port, cruise, turn, dt);
+        }
+        let final_stop = sim.hold(entity, 300.0, dt);
+        truth.stops.push(final_stop);
+
+        self.finish(entity, class, sim.clean, truth, &mut rng)
+    }
+
+    /// Generates a mixed fleet of `n` voyages between random port pairs.
+    pub fn fleet(&self, n: usize, ports: &[Port], start: Timestamp, seed: u64) -> Vec<GeneratedVoyage> {
+        assert!(ports.len() >= 2, "need at least two ports");
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|i| {
+                let class = *rng.pick(&VesselClass::ALL);
+                let a = rng.pick(ports).point;
+                // Realistic voyage legs: prefer a destination 20–400 km away
+                // (multi-day ocean crossings would dominate the corpus and
+                // say nothing extra about the algorithms).
+                let mut b = rng.pick(ports).point;
+                let mut guard = 0;
+                while !(20_000.0..400_000.0).contains(&a.haversine_distance(&b)) && guard < 40 {
+                    b = rng.pick(ports).point;
+                    guard += 1;
+                }
+                if !(20_000.0..400_000.0).contains(&a.haversine_distance(&b)) {
+                    b = a.destination(rng.uniform(0.0, 360.0), rng.uniform(50_000.0, 300_000.0));
+                }
+                let t0 = start + rng.int_range(0, 3_600_000);
+                let voyage_seed = rng.fork(i as u64).int_range(0, i64::MAX) as u64;
+                if class == VesselClass::Fishing {
+                    let grounds = a.destination(rng.uniform(0.0, 360.0), rng.uniform(15_000.0, 40_000.0));
+                    self.fishing_trip(i as u64, a, grounds, t0, voyage_seed)
+                } else {
+                    self.voyage(i as u64, class, a, b, t0, voyage_seed)
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the observation-degradation model to a clean trajectory.
+    fn finish(
+        &self,
+        entity: EntityId,
+        class: VesselClass,
+        clean: Vec<PositionReport>,
+        mut truth: VoyageTruth,
+        rng: &mut SeededRng,
+    ) -> GeneratedVoyage {
+        let cfg = &self.config;
+        let mut reports = Vec::with_capacity(clean.len());
+        let mut gap_until: Option<Timestamp> = None;
+        let mut gap_start: Option<Timestamp> = None;
+        for r in &clean {
+            if let Some(until) = gap_until {
+                if r.ts < until {
+                    continue;
+                }
+                truth
+                    .gaps
+                    .push(TimeInterval::new(gap_start.take().expect("gap start set"), r.ts));
+                gap_until = None;
+            }
+            if cfg.gap_probability > 0.0 && rng.chance(cfg.gap_probability) {
+                let dur = rng.uniform(cfg.gap_duration_s.0, cfg.gap_duration_s.1);
+                gap_start = Some(r.ts);
+                gap_until = Some(r.ts + (dur * 1000.0) as i64);
+                continue;
+            }
+            let mut obs = *r;
+            if cfg.noise_sigma_m > 0.0 {
+                let d = rng.gaussian(0.0, cfg.noise_sigma_m).abs();
+                let b = rng.uniform(0.0, 360.0);
+                obs.point = obs.point.destination(b, d);
+            }
+            if cfg.outlier_probability > 0.0 && rng.chance(cfg.outlier_probability) {
+                obs.point = obs.point.destination(rng.uniform(0.0, 360.0), rng.uniform(20_000.0, 80_000.0));
+                truth.outliers.push(obs.ts);
+            }
+            reports.push(obs);
+            if cfg.duplicate_probability > 0.0 && rng.chance(cfg.duplicate_probability) {
+                reports.push(obs);
+            }
+        }
+        GeneratedVoyage {
+            vessel: entity,
+            class,
+            clean: Trajectory::from_reports(clean),
+            reports,
+            truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::point::heading_difference;
+
+    fn gen_clean() -> VoyageGenerator {
+        VoyageGenerator::new(VoyageConfig::clean())
+    }
+
+    #[test]
+    fn voyage_reaches_destination() {
+        let g = gen_clean();
+        let origin = GeoPoint::new(23.6, 37.9);
+        let dest = GeoPoint::new(24.5, 37.4);
+        let v = g.voyage(1, VesselClass::Cargo, origin, dest, Timestamp(0), 7);
+        let last = v.clean.reports().last().unwrap();
+        assert!(last.point.haversine_distance(&dest) < 500.0, "ended {} m away", last.point.haversine_distance(&dest));
+        assert!(v.clean.len() > 100);
+    }
+
+    #[test]
+    fn voyage_is_deterministic() {
+        let g = gen_clean();
+        let origin = GeoPoint::new(23.6, 37.9);
+        let dest = GeoPoint::new(24.5, 37.4);
+        let a = g.voyage(1, VesselClass::Ferry, origin, dest, Timestamp(0), 7);
+        let b = g.voyage(1, VesselClass::Ferry, origin, dest, Timestamp(0), 7);
+        assert_eq!(a.clean, b.clean);
+        assert_eq!(a.reports, b.reports);
+    }
+
+    #[test]
+    fn clean_config_observes_everything() {
+        let g = gen_clean();
+        let v = g.voyage(1, VesselClass::Cargo, GeoPoint::new(0.0, 40.0), GeoPoint::new(0.5, 40.2), Timestamp(0), 3);
+        assert_eq!(v.reports.len(), v.clean.len());
+        assert!(v.truth.gaps.is_empty());
+        assert!(v.truth.outliers.is_empty());
+    }
+
+    #[test]
+    fn degradation_produces_gaps_and_outliers() {
+        let cfg = VoyageConfig {
+            gap_probability: 0.01,
+            outlier_probability: 0.01,
+            duplicate_probability: 0.01,
+            ..VoyageConfig::default()
+        };
+        let g = VoyageGenerator::new(cfg);
+        let v = g.voyage(1, VesselClass::Cargo, GeoPoint::new(0.0, 40.0), GeoPoint::new(1.5, 40.5), Timestamp(0), 11);
+        assert!(!v.truth.gaps.is_empty(), "expected at least one gap");
+        assert!(!v.truth.outliers.is_empty(), "expected outliers");
+        assert!(v.reports.len() < v.clean.len() + 50, "gaps should drop reports");
+        // Reports remain time-ordered.
+        assert!(v.reports.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn fishing_trip_has_reversals_and_truth() {
+        let g = gen_clean();
+        let port = GeoPoint::new(23.0, 38.0);
+        let grounds = GeoPoint::new(23.2, 38.1);
+        let v = g.fishing_trip(9, port, grounds, Timestamp(0), 21);
+        let fishing = v.truth.fishing.expect("fishing interval recorded");
+        assert!(fishing.duration_millis() > 0);
+        // During fishing there must be both northish and southish headings.
+        let (mut north, mut south) = (0, 0);
+        for r in v.clean.reports() {
+            if fishing.contains(r.ts) && r.speed_mps > 0.5 {
+                if heading_difference(r.heading_deg, 0.0) < 45.0 {
+                    north += 1;
+                }
+                if heading_difference(r.heading_deg, 180.0) < 45.0 {
+                    south += 1;
+                }
+            }
+        }
+        assert!(north > 10 && south > 10, "north {north} south {south}");
+        // Returns to port.
+        let last = v.clean.reports().last().unwrap();
+        assert!(last.point.haversine_distance(&port) < 1_000.0);
+        assert!(v.truth.stops.len() >= 2);
+    }
+
+    #[test]
+    fn stops_have_zero_speed() {
+        let g = gen_clean();
+        let v = g.voyage(2, VesselClass::Tanker, GeoPoint::new(10.0, 40.0), GeoPoint::new(10.4, 40.3), Timestamp(0), 5);
+        let stop = v.truth.stops[0];
+        let stopped: Vec<_> = v
+            .clean
+            .reports()
+            .iter()
+            .filter(|r| stop.contains(r.ts) && r.ts > stop.start)
+            .collect();
+        assert!(!stopped.is_empty());
+        assert!(stopped.iter().all(|r| r.speed_mps == 0.0));
+    }
+
+    #[test]
+    fn fleet_mixes_classes() {
+        use crate::context::PortGenerator;
+        let ports = PortGenerator::new(datacron_geo::BoundingBox::new(0.0, 38.0, 5.0, 42.0)).generate(10, 1);
+        let g = gen_clean();
+        let fleet = g.fleet(12, &ports, Timestamp(0), 33);
+        assert_eq!(fleet.len(), 12);
+        let classes: std::collections::HashSet<_> = fleet.iter().map(|v| v.class).collect();
+        assert!(classes.len() >= 2, "fleet should mix classes");
+        // All voyages non-trivial.
+        assert!(fleet.iter().all(|v| v.clean.len() > 50));
+    }
+
+    #[test]
+    fn shortest_turn_signs() {
+        assert!((shortest_turn(10.0, 350.0) - -20.0).abs() < 1e-9);
+        assert!((shortest_turn(350.0, 10.0) - 20.0).abs() < 1e-9);
+        assert!((shortest_turn(0.0, 180.0) - 180.0).abs() < 1e-9);
+    }
+}

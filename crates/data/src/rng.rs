@@ -1,0 +1,192 @@
+//! Deterministic randomness for the generators.
+//!
+//! Every generator takes a seed and produces identical output across runs,
+//! so that experiment tables are reproducible and test assertions can be
+//! exact. Gaussian sampling is implemented here (Box–Muller) to stay within
+//! the sanctioned dependency set (`rand` core only, no `rand_distr`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distribution helpers the generators need.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    cached_gauss: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            cached_gauss: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to decorrelate
+    /// sub-streams (e.g. one per vessel) while keeping global determinism.
+    pub fn fork(&mut self, salt: u64) -> SeededRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SeededRng::new(seed)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample via Box–Muller (pairs cached).
+    pub fn gaussian_std(&mut self) -> f64 {
+        if let Some(z) = self.cached_gauss.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian_std()
+    }
+
+    /// Picks an element uniformly.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Samples an index from unnormalised non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Exponential sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+        let mut c = SeededRng::new(43);
+        assert_ne!(a.unit(), c.unit());
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut root = SeededRng::new(7);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let s1: f64 = (0..10).map(|_| f1.unit()).sum();
+        let s2: f64 = (0..10).map(|_| f2.unit()).sum();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SeededRng::new(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SeededRng::new(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SeededRng::new(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SeededRng::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SeededRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0), "clamped above 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_empty_panics() {
+        SeededRng::new(0).index(0);
+    }
+}

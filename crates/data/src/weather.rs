@@ -1,0 +1,208 @@
+//! Synthetic weather: smooth space-time fields.
+//!
+//! Substitutes for the sea-state and weather-forecast sources of Table 1.
+//! The field is a small sum of random sinusoidal modes, which gives the two
+//! properties the experiments need: *smoothness* (nearby points and times
+//! see similar weather, so flights on the same route share conditions) and
+//! *determinism* (a seed fully fixes the field, so enrichment features are
+//! reproducible).
+
+use crate::rng::SeededRng;
+use datacron_geo::{BoundingBox, GeoPoint, Timestamp};
+
+/// One sinusoidal mode of the field.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    k_lon: f64,
+    k_lat: f64,
+    k_t: f64,
+    phase: f64,
+    amplitude: f64,
+}
+
+impl Mode {
+    fn eval(&self, p: &GeoPoint, t_hours: f64) -> f64 {
+        self.amplitude * (self.k_lon * p.lon + self.k_lat * p.lat + self.k_t * t_hours + self.phase).sin()
+    }
+}
+
+/// A deterministic space-time weather field over an area of interest.
+#[derive(Debug, Clone)]
+pub struct WeatherField {
+    extent: BoundingBox,
+    wind_u: Vec<Mode>,
+    wind_v: Vec<Mode>,
+    severity: Vec<Mode>,
+    base_wind_mps: f64,
+}
+
+impl WeatherField {
+    /// Creates a field over `extent` with `modes` sinusoidal components per
+    /// channel and typical wind magnitude `base_wind_mps`.
+    pub fn new(extent: BoundingBox, seed: u64, modes: usize, base_wind_mps: f64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let gen_modes = |rng: &mut SeededRng, amp: f64| -> Vec<Mode> {
+            (0..modes.max(1))
+                .map(|_| Mode {
+                    // Wavelengths of a few degrees and a few hours.
+                    k_lon: rng.uniform(0.2, 2.0),
+                    k_lat: rng.uniform(0.2, 2.0),
+                    k_t: rng.uniform(0.05, 0.5),
+                    phase: rng.uniform(0.0, std::f64::consts::TAU),
+                    amplitude: amp * rng.uniform(0.3, 1.0),
+                })
+                .collect()
+        };
+        let wind_u = gen_modes(&mut rng, base_wind_mps);
+        let wind_v = gen_modes(&mut rng, base_wind_mps);
+        let severity = gen_modes(&mut rng, 1.0);
+        Self {
+            extent,
+            wind_u,
+            wind_v,
+            severity,
+            base_wind_mps,
+        }
+    }
+
+    /// The covered extent.
+    pub fn extent(&self) -> &BoundingBox {
+        &self.extent
+    }
+
+    fn hours(t: Timestamp) -> f64 {
+        t.secs_f64() / 3600.0
+    }
+
+    /// Wind vector `(east_mps, north_mps)` at a point and time.
+    pub fn wind_at(&self, p: &GeoPoint, t: Timestamp) -> (f64, f64) {
+        let h = Self::hours(t);
+        let u: f64 = self.wind_u.iter().map(|m| m.eval(p, h)).sum();
+        let v: f64 = self.wind_v.iter().map(|m| m.eval(p, h)).sum();
+        (u, v)
+    }
+
+    /// Wind speed magnitude in m/s.
+    pub fn wind_speed_at(&self, p: &GeoPoint, t: Timestamp) -> f64 {
+        let (u, v) = self.wind_at(p, t);
+        (u * u + v * v).sqrt()
+    }
+
+    /// A normalised "weather severity" in `[0, 1]` (storminess / sea state).
+    /// Enrichment features and deviation models key off this scalar.
+    pub fn severity_at(&self, p: &GeoPoint, t: Timestamp) -> f64 {
+        let h = Self::hours(t);
+        let raw: f64 = self.severity.iter().map(|m| m.eval(p, h)).sum();
+        let norm = raw / self.severity.len() as f64;
+        (norm + 1.0) / 2.0
+    }
+
+    /// Samples the field on a `rows × cols` grid at time `t` — one "forecast
+    /// file" in Table-1 terms. Returns `(point, wind_u, wind_v, severity)`
+    /// per grid node, row-major from the south-west.
+    pub fn forecast_grid(&self, t: Timestamp, rows: usize, cols: usize) -> Vec<(GeoPoint, f64, f64, f64)> {
+        let mut out = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let lon = self.extent.min_lon
+                    + self.extent.width() * (c as f64 + 0.5) / cols as f64;
+                let lat = self.extent.min_lat
+                    + self.extent.height() * (r as f64 + 0.5) / rows as f64;
+                let p = GeoPoint::new(lon, lat);
+                let (u, v) = self.wind_at(&p, t);
+                out.push((p, u, v, self.severity_at(&p, t)));
+            }
+        }
+        out
+    }
+
+    /// The field's characteristic wind magnitude.
+    pub fn base_wind_mps(&self) -> f64 {
+        self.base_wind_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> WeatherField {
+        WeatherField::new(BoundingBox::new(-10.0, 30.0, 30.0, 60.0), 42, 4, 10.0)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = field();
+        let b = field();
+        let p = GeoPoint::new(5.0, 45.0);
+        let t = Timestamp::from_secs(3600);
+        assert_eq!(a.wind_at(&p, t), b.wind_at(&p, t));
+        assert_eq!(a.severity_at(&p, t), b.severity_at(&p, t));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = field();
+        let b = WeatherField::new(*a.extent(), 43, 4, 10.0);
+        let p = GeoPoint::new(5.0, 45.0);
+        let t = Timestamp::from_secs(3600);
+        assert_ne!(a.wind_at(&p, t), b.wind_at(&p, t));
+    }
+
+    #[test]
+    fn severity_in_unit_interval() {
+        let f = field();
+        for i in 0..200 {
+            let p = GeoPoint::new(-10.0 + (i % 20) as f64 * 2.0, 30.0 + (i / 20) as f64 * 3.0);
+            let s = f.severity_at(&p, Timestamp::from_secs(i * 97));
+            assert!((0.0..=1.0).contains(&s), "severity {s}");
+        }
+    }
+
+    #[test]
+    fn field_is_smooth_in_space() {
+        let f = field();
+        let t = Timestamp::from_secs(7200);
+        let p = GeoPoint::new(10.0, 45.0);
+        let q = GeoPoint::new(10.01, 45.0); // ~1 km away
+        let (u1, v1) = f.wind_at(&p, t);
+        let (u2, v2) = f.wind_at(&q, t);
+        assert!((u1 - u2).abs() < 1.0, "du {}", (u1 - u2).abs());
+        assert!((v1 - v2).abs() < 1.0);
+    }
+
+    #[test]
+    fn field_is_smooth_in_time() {
+        let f = field();
+        let p = GeoPoint::new(10.0, 45.0);
+        let s1 = f.severity_at(&p, Timestamp::from_secs(3600));
+        let s2 = f.severity_at(&p, Timestamp::from_secs(3660));
+        assert!((s1 - s2).abs() < 0.05);
+    }
+
+    #[test]
+    fn forecast_grid_shape_and_extent() {
+        let f = field();
+        let grid = f.forecast_grid(Timestamp::from_secs(0), 3, 5);
+        assert_eq!(grid.len(), 15);
+        for (p, _, _, s) in &grid {
+            assert!(f.extent().contains(p));
+            assert!((0.0..=1.0).contains(s));
+        }
+        // Row-major: first node is south-west-most.
+        assert!(grid[0].0.lat < grid[14].0.lat);
+        assert!(grid[0].0.lon < grid[4].0.lon);
+    }
+
+    #[test]
+    fn wind_magnitude_is_plausible() {
+        let f = field();
+        let mut max = 0.0f64;
+        for i in 0..100 {
+            let p = GeoPoint::new(-10.0 + (i % 10) as f64 * 4.0, 30.0 + (i / 10) as f64 * 3.0);
+            max = max.max(f.wind_speed_at(&p, Timestamp::from_secs(i * 661)));
+        }
+        assert!(max > 1.0, "field should have some wind, max {max}");
+        assert!(max < 100.0, "wind should stay physical, max {max}");
+    }
+}

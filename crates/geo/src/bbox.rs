@@ -1,0 +1,230 @@
+//! Axis-aligned bounding boxes in longitude/latitude space.
+//!
+//! Boxes are the coarse filter of every spatial structure in the stack: the
+//! equi-grid cells, polygon pre-tests in link discovery, and the spatial
+//! constraints of knowledge-graph queries. Boxes do not cross the antimeridian
+//! — the datAcron areas of interest (European waters and airspace) never do,
+//! and keeping boxes simple keeps the grid math exact.
+
+use crate::point::GeoPoint;
+
+/// An axis-aligned box `[min_lon, max_lon] × [min_lat, max_lat]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Western edge (degrees).
+    pub min_lon: f64,
+    /// Southern edge (degrees).
+    pub min_lat: f64,
+    /// Eastern edge (degrees).
+    pub max_lon: f64,
+    /// Northern edge (degrees).
+    pub max_lat: f64,
+}
+
+impl BoundingBox {
+    /// Creates a box from its corners. Callers must pass `min <= max`;
+    /// use [`BoundingBox::from_points`] to derive a box from data.
+    pub const fn new(min_lon: f64, min_lat: f64, max_lon: f64, max_lat: f64) -> Self {
+        Self {
+            min_lon,
+            min_lat,
+            max_lon,
+            max_lat,
+        }
+    }
+
+    /// The empty box: contains nothing, unions as the identity.
+    pub const fn empty() -> Self {
+        Self {
+            min_lon: f64::INFINITY,
+            min_lat: f64::INFINITY,
+            max_lon: f64::NEG_INFINITY,
+            max_lat: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` when the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.min_lon > self.max_lon || self.min_lat > self.max_lat
+    }
+
+    /// Tight box around a point set; [`BoundingBox::empty`] for no points.
+    pub fn from_points<'a>(points: impl IntoIterator<Item = &'a GeoPoint>) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.extend(p);
+        }
+        b
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn extend(&mut self, p: &GeoPoint) {
+        self.min_lon = self.min_lon.min(p.lon);
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lon = self.max_lon.max(p.lon);
+        self.max_lat = self.max_lat.max(p.lat);
+    }
+
+    /// Point membership (closed box).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// `true` when the closed boxes share at least one point.
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+            && self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+    }
+
+    /// `true` when `other` lies entirely inside `self`.
+    pub fn contains_box(&self, other: &BoundingBox) -> bool {
+        !other.is_empty()
+            && other.min_lon >= self.min_lon
+            && other.max_lon <= self.max_lon
+            && other.min_lat >= self.min_lat
+            && other.max_lat <= self.max_lat
+    }
+
+    /// Smallest box covering both.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        BoundingBox {
+            min_lon: self.min_lon.min(other.min_lon),
+            min_lat: self.min_lat.min(other.min_lat),
+            max_lon: self.max_lon.max(other.max_lon),
+            max_lat: self.max_lat.max(other.max_lat),
+        }
+    }
+
+    /// Intersection; `None` when disjoint.
+    pub fn intersection(&self, other: &BoundingBox) -> Option<BoundingBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(BoundingBox {
+            min_lon: self.min_lon.max(other.min_lon),
+            min_lat: self.min_lat.max(other.min_lat),
+            max_lon: self.max_lon.min(other.max_lon),
+            max_lat: self.max_lat.min(other.max_lat),
+        })
+    }
+
+    /// Box expanded by `margin_deg` degrees on every side.
+    pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
+        BoundingBox {
+            min_lon: self.min_lon - margin_deg,
+            min_lat: self.min_lat - margin_deg,
+            max_lon: self.max_lon + margin_deg,
+            max_lat: self.max_lat + margin_deg,
+        }
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min_lon + self.max_lon) / 2.0,
+            (self.min_lat + self.max_lat) / 2.0,
+        )
+    }
+
+    /// Width in degrees of longitude.
+    pub fn width(&self) -> f64 {
+        (self.max_lon - self.min_lon).max(0.0)
+    }
+
+    /// Height in degrees of latitude.
+    pub fn height(&self) -> f64 {
+        (self.max_lat - self.min_lat).max(0.0)
+    }
+
+    /// The four corners, counter-clockwise starting at the south-west.
+    pub fn corners(&self) -> [GeoPoint; 4] {
+        [
+            GeoPoint::new(self.min_lon, self.min_lat),
+            GeoPoint::new(self.max_lon, self.min_lat),
+            GeoPoint::new(self.max_lon, self.max_lat),
+            GeoPoint::new(self.min_lon, self.max_lat),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = BoundingBox::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(&GeoPoint::new(0.0, 0.0)));
+        let b = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(!e.intersects(&b));
+        assert_eq!(e.union(&b), b);
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            GeoPoint::new(1.0, 2.0),
+            GeoPoint::new(-1.0, 5.0),
+            GeoPoint::new(3.0, 0.0),
+        ];
+        let b = BoundingBox::from_points(pts.iter());
+        assert_eq!(b, BoundingBox::new(-1.0, 0.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(&GeoPoint::new(0.0, 0.0)));
+        assert!(b.contains(&GeoPoint::new(10.0, 10.0)));
+        assert!(!b.contains(&GeoPoint::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 5.0, 15.0, 15.0);
+        assert_eq!(a.intersection(&b), Some(BoundingBox::new(5.0, 5.0, 10.0, 10.0)));
+        assert_eq!(a.union(&b), BoundingBox::new(0.0, 0.0, 15.0, 15.0));
+        let c = BoundingBox::new(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.intersection(&c), None);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn contains_box_cases() {
+        let outer = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(outer.contains_box(&BoundingBox::new(2.0, 2.0, 8.0, 8.0)));
+        assert!(outer.contains_box(&outer));
+        assert!(!outer.contains_box(&BoundingBox::new(2.0, 2.0, 11.0, 8.0)));
+        assert!(!outer.contains_box(&BoundingBox::empty()));
+    }
+
+    #[test]
+    fn expanded_and_center() {
+        let b = BoundingBox::new(0.0, 0.0, 2.0, 4.0);
+        assert_eq!(b.expanded(1.0), BoundingBox::new(-1.0, -1.0, 3.0, 5.0));
+        assert_eq!(b.center(), GeoPoint::new(1.0, 2.0));
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 4.0);
+    }
+
+    #[test]
+    fn corners_order() {
+        let b = BoundingBox::new(0.0, 1.0, 2.0, 3.0);
+        let c = b.corners();
+        assert_eq!(c[0], GeoPoint::new(0.0, 1.0));
+        assert_eq!(c[2], GeoPoint::new(2.0, 3.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Equi-grid space partitioning.
+//!
+//! The paper's link-discovery component (§4.2.4) blocks entities with an
+//! equi-grid: a uniform longitude/latitude grid over the area of interest.
+//! The same grid underlies the spatio-temporal dictionary encoding of the
+//! knowledge-graph store (§4.2.5). Cells are addressed by `(row, col)`
+//! indices and by a flat `u32` id.
+
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+
+/// A cell address in an [`EquiGrid`]: row (latitude band) and column
+/// (longitude band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellIndex {
+    /// Latitude band, `0` at the southern edge.
+    pub row: u32,
+    /// Longitude band, `0` at the western edge.
+    pub col: u32,
+}
+
+/// A uniform grid over a bounding box with `rows × cols` cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiGrid {
+    extent: BoundingBox,
+    rows: u32,
+    cols: u32,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl EquiGrid {
+    /// Creates a grid of `rows × cols` cells over `extent`.
+    ///
+    /// # Panics
+    /// Panics when `rows` or `cols` is zero or `extent` is empty — grid
+    /// geometry is static configuration, so misconfiguration is a programming
+    /// error rather than a recoverable condition.
+    pub fn new(extent: BoundingBox, rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        assert!(!extent.is_empty(), "grid extent must be non-empty");
+        Self {
+            cell_w: extent.width() / cols as f64,
+            cell_h: extent.height() / rows as f64,
+            extent,
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a grid whose cells are approximately `cell_deg` degrees on a
+    /// side (at least one cell per axis).
+    pub fn with_cell_size(extent: BoundingBox, cell_deg: f64) -> Self {
+        let cols = (extent.width() / cell_deg).ceil().max(1.0) as u32;
+        let rows = (extent.height() / cell_deg).ceil().max(1.0) as u32;
+        Self::new(extent, rows, cols)
+    }
+
+    /// The grid's extent.
+    pub fn extent(&self) -> &BoundingBox {
+        &self.extent
+    }
+
+    /// Number of latitude bands.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of longitude bands.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// The cell containing `p`, or `None` when `p` is outside the extent.
+    /// Points on the northern/eastern boundary clamp into the last cell.
+    pub fn cell_of(&self, p: &GeoPoint) -> Option<CellIndex> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let col = (((p.lon - self.extent.min_lon) / self.cell_w) as u32).min(self.cols - 1);
+        let row = (((p.lat - self.extent.min_lat) / self.cell_h) as u32).min(self.rows - 1);
+        Some(CellIndex { row, col })
+    }
+
+    /// The bounding box of a cell.
+    ///
+    /// # Panics
+    /// Panics when the index is outside the grid.
+    pub fn cell_bbox(&self, idx: CellIndex) -> BoundingBox {
+        assert!(idx.row < self.rows && idx.col < self.cols, "cell index out of range");
+        let min_lon = self.extent.min_lon + idx.col as f64 * self.cell_w;
+        let min_lat = self.extent.min_lat + idx.row as f64 * self.cell_h;
+        BoundingBox::new(min_lon, min_lat, min_lon + self.cell_w, min_lat + self.cell_h)
+    }
+
+    /// Flat id of a cell: `row * cols + col`.
+    pub fn flat_id(&self, idx: CellIndex) -> u32 {
+        idx.row * self.cols + idx.col
+    }
+
+    /// Inverse of [`flat_id`](Self::flat_id); `None` when out of range.
+    pub fn from_flat_id(&self, id: u32) -> Option<CellIndex> {
+        let idx = CellIndex {
+            row: id / self.cols,
+            col: id % self.cols,
+        };
+        (idx.row < self.rows).then_some(idx)
+    }
+
+    /// The up-to-8 neighbouring cells of `idx` (fewer at the grid edge),
+    /// in row-major order.
+    pub fn neighbors(&self, idx: CellIndex) -> Vec<CellIndex> {
+        let mut out = Vec::with_capacity(8);
+        let r0 = idx.row.saturating_sub(1);
+        let c0 = idx.col.saturating_sub(1);
+        let r1 = (idx.row + 1).min(self.rows - 1);
+        let c1 = (idx.col + 1).min(self.cols - 1);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                if row != idx.row || col != idx.col {
+                    out.push(CellIndex { row, col });
+                }
+            }
+        }
+        out
+    }
+
+    /// All cells whose bbox intersects `query` (clipped to the extent),
+    /// in row-major order.
+    pub fn cells_intersecting(&self, query: &BoundingBox) -> Vec<CellIndex> {
+        let Some(q) = query.intersection(&self.extent) else {
+            return Vec::new();
+        };
+        let c0 = (((q.min_lon - self.extent.min_lon) / self.cell_w) as u32).min(self.cols - 1);
+        let c1 = (((q.max_lon - self.extent.min_lon) / self.cell_w) as u32).min(self.cols - 1);
+        let r0 = (((q.min_lat - self.extent.min_lat) / self.cell_h) as u32).min(self.rows - 1);
+        let r1 = (((q.max_lat - self.extent.min_lat) / self.cell_h) as u32).min(self.rows - 1);
+        let mut out = Vec::with_capacity(((r1 - r0 + 1) * (c1 - c0 + 1)) as usize);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.push(CellIndex { row, col });
+            }
+        }
+        out
+    }
+
+    /// Cells within `radius_m` metres of `p` — the candidate block set for a
+    /// `nearTo` search. Conservative: returns every cell whose bbox
+    /// intersects the lat/lon box around the radius circle.
+    pub fn cells_within_radius(&self, p: &GeoPoint, radius_m: f64) -> Vec<CellIndex> {
+        // Degrees per metre: latitude is constant; longitude shrinks with cos(lat).
+        let dlat = radius_m / 111_320.0;
+        let coslat = p.lat.to_radians().cos().max(1e-6);
+        let dlon = radius_m / (111_320.0 * coslat);
+        self.cells_intersecting(&BoundingBox::new(
+            p.lon - dlon,
+            p.lat - dlat,
+            p.lon + dlon,
+            p.lat + dlat,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid10() -> EquiGrid {
+        EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 10, 10)
+    }
+
+    #[test]
+    fn cell_of_interior_points() {
+        let g = grid10();
+        assert_eq!(g.cell_of(&GeoPoint::new(0.5, 0.5)), Some(CellIndex { row: 0, col: 0 }));
+        assert_eq!(g.cell_of(&GeoPoint::new(9.5, 9.5)), Some(CellIndex { row: 9, col: 9 }));
+        assert_eq!(g.cell_of(&GeoPoint::new(3.2, 7.8)), Some(CellIndex { row: 7, col: 3 }));
+    }
+
+    #[test]
+    fn boundary_points_clamp_into_grid() {
+        let g = grid10();
+        assert_eq!(g.cell_of(&GeoPoint::new(10.0, 10.0)), Some(CellIndex { row: 9, col: 9 }));
+        assert_eq!(g.cell_of(&GeoPoint::new(0.0, 0.0)), Some(CellIndex { row: 0, col: 0 }));
+    }
+
+    #[test]
+    fn outside_points_return_none() {
+        let g = grid10();
+        assert_eq!(g.cell_of(&GeoPoint::new(-0.1, 5.0)), None);
+        assert_eq!(g.cell_of(&GeoPoint::new(5.0, 10.1)), None);
+    }
+
+    #[test]
+    fn cell_bbox_contains_its_points() {
+        let g = grid10();
+        let p = GeoPoint::new(3.7, 6.2);
+        let idx = g.cell_of(&p).unwrap();
+        assert!(g.cell_bbox(idx).contains(&p));
+    }
+
+    #[test]
+    fn flat_id_round_trip() {
+        let g = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 7, 13);
+        for row in 0..7 {
+            for col in 0..13 {
+                let idx = CellIndex { row, col };
+                assert_eq!(g.from_flat_id(g.flat_id(idx)), Some(idx));
+            }
+        }
+        assert_eq!(g.from_flat_id(7 * 13), None);
+    }
+
+    #[test]
+    fn neighbors_center_and_corner() {
+        let g = grid10();
+        assert_eq!(g.neighbors(CellIndex { row: 5, col: 5 }).len(), 8);
+        assert_eq!(g.neighbors(CellIndex { row: 0, col: 0 }).len(), 3);
+        assert_eq!(g.neighbors(CellIndex { row: 0, col: 5 }).len(), 5);
+        assert_eq!(g.neighbors(CellIndex { row: 9, col: 9 }).len(), 3);
+    }
+
+    #[test]
+    fn cells_intersecting_query() {
+        let g = grid10();
+        let cells = g.cells_intersecting(&BoundingBox::new(1.5, 1.5, 3.5, 2.5));
+        // cols 1..=3, rows 1..=2 => 3 * 2 cells
+        assert_eq!(cells.len(), 6);
+        assert!(cells.contains(&CellIndex { row: 1, col: 1 }));
+        assert!(cells.contains(&CellIndex { row: 2, col: 3 }));
+    }
+
+    #[test]
+    fn cells_intersecting_outside_is_empty() {
+        let g = grid10();
+        assert!(g.cells_intersecting(&BoundingBox::new(20.0, 20.0, 30.0, 30.0)).is_empty());
+    }
+
+    #[test]
+    fn cells_intersecting_clips_to_extent() {
+        let g = grid10();
+        let all = g.cells_intersecting(&BoundingBox::new(-100.0, -100.0, 100.0, 100.0));
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn cells_within_radius_covers_neighbourhood() {
+        let g = grid10(); // 1 degree cells ~111 km
+        let p = GeoPoint::new(5.5, 5.5);
+        let near = g.cells_within_radius(&p, 1_000.0);
+        assert_eq!(near, vec![g.cell_of(&p).unwrap()]);
+        let wide = g.cells_within_radius(&p, 120_000.0);
+        assert!(wide.len() >= 9, "got {}", wide.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        EquiGrid::new(BoundingBox::new(0.0, 0.0, 1.0, 1.0), 0, 5);
+    }
+
+    #[test]
+    fn with_cell_size_rounds_up() {
+        let g = EquiGrid::with_cell_size(BoundingBox::new(0.0, 0.0, 10.0, 5.0), 3.0);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 2);
+    }
+}

@@ -1,0 +1,504 @@
+//! The mobility model: moving entities, position reports, and trajectories.
+//!
+//! datAcron revolves around the notion of trajectory: every component either
+//! consumes or produces sequences of timestamped positions of moving
+//! entities (vessels, aircraft). These types are shared across the whole
+//! workspace.
+
+use crate::point::GeoPoint;
+use crate::time::{TimeInterval, Timestamp};
+use crate::vector::{LocalFrame, Velocity};
+use std::fmt;
+
+/// The kind of moving entity a report refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MovingKind {
+    /// A maritime vessel (AIS-tracked).
+    Vessel,
+    /// An aircraft (ADS-B/radar-tracked).
+    Aircraft,
+}
+
+impl fmt::Display for MovingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MovingKind::Vessel => write!(f, "vessel"),
+            MovingKind::Aircraft => write!(f, "aircraft"),
+        }
+    }
+}
+
+/// Identifier of a moving entity (MMSI for vessels, ICAO-24 for aircraft —
+/// here a plain integer namespace per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId {
+    /// The entity kind.
+    pub kind: MovingKind,
+    /// Kind-scoped numeric identifier.
+    pub id: u64,
+}
+
+impl EntityId {
+    /// Creates a vessel id.
+    pub const fn vessel(id: u64) -> Self {
+        Self {
+            kind: MovingKind::Vessel,
+            id,
+        }
+    }
+
+    /// Creates an aircraft id.
+    pub const fn aircraft(id: u64) -> Self {
+        Self {
+            kind: MovingKind::Aircraft,
+            id,
+        }
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind, self.id)
+    }
+}
+
+/// A single surveillance report: where an entity was, when, and how it was
+/// moving. This is the raw-stream record of the real-time layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionReport {
+    /// The reporting entity.
+    pub entity: EntityId,
+    /// Report time.
+    pub ts: Timestamp,
+    /// Reported position.
+    pub point: GeoPoint,
+    /// Barometric/GPS altitude in metres; `0.0` for vessels.
+    pub altitude_m: f64,
+    /// Ground speed in metres/second as reported by the sensor.
+    pub speed_mps: f64,
+    /// Heading in degrees clockwise from north, `[0, 360)`.
+    pub heading_deg: f64,
+    /// Vertical rate in metres/second (positive climbing); `0.0` for vessels.
+    pub vertical_rate_mps: f64,
+}
+
+impl PositionReport {
+    /// A report with only kinematics derived later (speed/heading zeroed).
+    pub fn basic(entity: EntityId, ts: Timestamp, point: GeoPoint) -> Self {
+        Self {
+            entity,
+            ts,
+            point,
+            altitude_m: 0.0,
+            speed_mps: 0.0,
+            heading_deg: 0.0,
+            vertical_rate_mps: 0.0,
+        }
+    }
+
+    /// The reported velocity as a local-frame vector.
+    pub fn velocity(&self) -> Velocity {
+        Velocity::from_speed_heading(self.speed_mps, self.heading_deg)
+    }
+
+    /// `true` when position and kinematic fields are finite and in range —
+    /// the first noise filter of the in-situ layer.
+    pub fn is_plausible(&self, max_speed_mps: f64) -> bool {
+        self.point.is_valid()
+            && self.speed_mps.is_finite()
+            && self.speed_mps >= 0.0
+            && self.speed_mps <= max_speed_mps
+            && self.heading_deg.is_finite()
+            && self.altitude_m.is_finite()
+            && self.vertical_rate_mps.is_finite()
+    }
+}
+
+/// A trajectory: the time-ordered position reports of one entity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    reports: Vec<PositionReport>,
+}
+
+impl Trajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trajectory from reports, sorting them by time. Reports from
+    /// different entities are allowed (the caller decides what a trajectory
+    /// means), but all helpers assume temporal order.
+    pub fn from_reports(mut reports: Vec<PositionReport>) -> Self {
+        reports.sort_by_key(|r| r.ts);
+        Self { reports }
+    }
+
+    /// Appends a report; must not precede the last one.
+    ///
+    /// # Panics
+    /// Panics on out-of-order appends — streaming components must route
+    /// late records through their own re-ordering/cleaning stage first.
+    pub fn push(&mut self, r: PositionReport) {
+        if let Some(last) = self.reports.last() {
+            assert!(r.ts >= last.ts, "out-of-order append to trajectory");
+        }
+        self.reports.push(r);
+    }
+
+    /// The underlying reports in time order.
+    pub fn reports(&self) -> &[PositionReport] {
+        &self.reports
+    }
+
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` when there are no reports.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The covered time interval (half-open, end exclusive one millisecond
+    /// past the last report); `None` when empty.
+    pub fn time_span(&self) -> Option<TimeInterval> {
+        let first = self.reports.first()?;
+        let last = self.reports.last()?;
+        Some(TimeInterval::new(first.ts, last.ts + 1))
+    }
+
+    /// Total path length in metres (sum of great-circle hops).
+    pub fn length_m(&self) -> f64 {
+        self.reports
+            .windows(2)
+            .map(|w| w[0].point.haversine_distance(&w[1].point))
+            .sum()
+    }
+
+    /// Duration in seconds between first and last report.
+    pub fn duration_secs(&self) -> f64 {
+        match (self.reports.first(), self.reports.last()) {
+            (Some(f), Some(l)) => l.ts.delta_secs(&f.ts),
+            _ => 0.0,
+        }
+    }
+
+    /// The interpolated position at time `t`: linear between the bracketing
+    /// reports, clamped to the endpoints outside the span. `None` when
+    /// empty. This is how a trajectory is "approximately reconstructed from
+    /// judiciously chosen critical points" (§4.2.2).
+    pub fn position_at(&self, t: Timestamp) -> Option<GeoPoint> {
+        let first = self.reports.first()?;
+        let last = self.reports.last()?;
+        if t <= first.ts {
+            return Some(first.point);
+        }
+        if t >= last.ts {
+            return Some(last.point);
+        }
+        // Binary search for the bracketing pair.
+        let idx = self.reports.partition_point(|r| r.ts <= t);
+        let a = &self.reports[idx - 1];
+        let b = &self.reports[idx];
+        let span = b.ts.delta_millis(&a.ts);
+        if span == 0 {
+            return Some(a.point);
+        }
+        let frac = t.delta_millis(&a.ts) as f64 / span as f64;
+        // Great-circle interpolation: for the second-scale gaps of raw
+        // streams this matches linear interpolation, but between sparse
+        // critical points (possibly hours apart) the geodesic is what the
+        // vessel actually sailed.
+        let dist = a.point.haversine_distance(&b.point);
+        if dist < 1.0 {
+            return Some(a.point.lerp(&b.point, frac));
+        }
+        Some(a.point.destination(a.point.bearing_to(&b.point), dist * frac))
+    }
+
+    /// The interpolated altitude at time `t`, with the same clamping rules
+    /// as [`position_at`](Self::position_at).
+    pub fn altitude_at(&self, t: Timestamp) -> Option<f64> {
+        let first = self.reports.first()?;
+        let last = self.reports.last()?;
+        if t <= first.ts {
+            return Some(first.altitude_m);
+        }
+        if t >= last.ts {
+            return Some(last.altitude_m);
+        }
+        let idx = self.reports.partition_point(|r| r.ts <= t);
+        let a = &self.reports[idx - 1];
+        let b = &self.reports[idx];
+        let span = b.ts.delta_millis(&a.ts);
+        if span == 0 {
+            return Some(a.altitude_m);
+        }
+        let frac = t.delta_millis(&a.ts) as f64 / span as f64;
+        Some(a.altitude_m + (b.altitude_m - a.altitude_m) * frac)
+    }
+
+    /// Resamples the trajectory at a fixed period, producing `n` evenly
+    /// spaced points from first to last report (inclusive). Used by the
+    /// trajectory-distance functions, which need aligned point sequences.
+    /// Returns an empty vector for an empty trajectory or `n == 0`; a
+    /// single-report trajectory repeats its only point.
+    pub fn resample(&self, n: usize) -> Vec<PositionReport> {
+        if self.reports.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let first = self.reports.first().expect("non-empty");
+        let last = self.reports.last().expect("non-empty");
+        let span = last.ts.delta_millis(&first.ts);
+        let entity = first.entity;
+        (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    first.ts
+                } else {
+                    first.ts + span * i as i64 / (n - 1) as i64
+                };
+                let point = self.position_at(t).expect("non-empty");
+                let altitude_m = self.altitude_at(t).expect("non-empty");
+                PositionReport {
+                    entity,
+                    ts: t,
+                    point,
+                    altitude_m,
+                    ..PositionReport::basic(entity, t, point)
+                }
+            })
+            .collect()
+    }
+
+    /// Derives speed and heading for every report from consecutive
+    /// positions (first report copies the second's derived values). Sensors
+    /// often omit kinematics; the in-situ layer recomputes them.
+    pub fn with_derived_kinematics(mut self) -> Self {
+        let n = self.reports.len();
+        if n < 2 {
+            return self;
+        }
+        let mut speeds = Vec::with_capacity(n);
+        let mut headings = Vec::with_capacity(n);
+        let mut vrates = Vec::with_capacity(n);
+        for w in self.reports.windows(2) {
+            let dt = w[1].ts.delta_secs(&w[0].ts).max(1e-3);
+            speeds.push(w[0].point.haversine_distance(&w[1].point) / dt);
+            headings.push(w[0].point.bearing_to(&w[1].point));
+            vrates.push((w[1].altitude_m - w[0].altitude_m) / dt);
+        }
+        for i in 0..n {
+            let j = if i == 0 { 0 } else { i - 1 };
+            self.reports[i].speed_mps = speeds[j.min(speeds.len() - 1)];
+            self.reports[i].heading_deg = headings[j.min(headings.len() - 1)];
+            self.reports[i].vertical_rate_mps = vrates[j.min(vrates.len() - 1)];
+        }
+        self
+    }
+
+    /// Mean deviation in metres of this trajectory's points from another
+    /// trajectory's reconstruction at the same timestamps — the
+    /// approximation-error metric of the synopses experiment.
+    pub fn mean_deviation_from(&self, other: &Trajectory) -> Option<f64> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .reports
+            .iter()
+            .map(|r| {
+                other
+                    .position_at(r.ts)
+                    .expect("other is non-empty")
+                    .haversine_distance(&r.point)
+            })
+            .sum();
+        Some(sum / self.reports.len() as f64)
+    }
+
+    /// Maximum deviation analogue of
+    /// [`mean_deviation_from`](Self::mean_deviation_from).
+    pub fn max_deviation_from(&self, other: &Trajectory) -> Option<f64> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        self.reports
+            .iter()
+            .map(|r| {
+                other
+                    .position_at(r.ts)
+                    .expect("other is non-empty")
+                    .haversine_distance(&r.point)
+            })
+            .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |m| m.max(d))))
+    }
+
+    /// Projects the trajectory into a local frame centred on its first
+    /// point, returning `(x_m, y_m, t_secs)` triples. The motion-function
+    /// predictors operate in this representation.
+    pub fn to_local(&self) -> (Option<LocalFrame>, Vec<(f64, f64, f64)>) {
+        let Some(first) = self.reports.first() else {
+            return (None, Vec::new());
+        };
+        let frame = LocalFrame::new(first.point);
+        let t0 = first.ts;
+        let pts = self
+            .reports
+            .iter()
+            .map(|r| {
+                let (x, y) = frame.project(&r.point);
+                (x, y, r.ts.delta_secs(&t0))
+            })
+            .collect();
+        (Some(frame), pts)
+    }
+}
+
+impl FromIterator<PositionReport> for Trajectory {
+    fn from_iter<T: IntoIterator<Item = PositionReport>>(iter: T) -> Self {
+        Trajectory::from_reports(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u64, t_s: i64, lon: f64, lat: f64) -> PositionReport {
+        PositionReport::basic(EntityId::vessel(id), Timestamp::from_secs(t_s), GeoPoint::new(lon, lat))
+    }
+
+    fn straight_track() -> Trajectory {
+        // Due east along the equator, one report per 10 s.
+        Trajectory::from_reports((0..=10).map(|i| report(1, i * 10, 0.01 * i as f64, 0.0)).collect())
+    }
+
+    #[test]
+    fn from_reports_sorts_by_time() {
+        let t = Trajectory::from_reports(vec![report(1, 20, 2.0, 0.0), report(1, 0, 0.0, 0.0), report(1, 10, 1.0, 0.0)]);
+        let times: Vec<i64> = t.reports().iter().map(|r| r.ts.secs()).collect();
+        assert_eq!(times, vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn push_rejects_out_of_order() {
+        let mut t = Trajectory::new();
+        t.push(report(1, 10, 0.0, 0.0));
+        t.push(report(1, 5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn length_and_duration() {
+        let t = straight_track();
+        assert!((t.duration_secs() - 100.0).abs() < 1e-9);
+        let expected = GeoPoint::new(0.0, 0.0).haversine_distance(&GeoPoint::new(0.1, 0.0));
+        assert!((t.length_m() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn position_at_interpolates_and_clamps() {
+        let t = straight_track();
+        let mid = t.position_at(Timestamp::from_secs(5)).unwrap();
+        assert!((mid.lon - 0.005).abs() < 1e-9);
+        assert_eq!(t.position_at(Timestamp::from_secs(-100)).unwrap(), GeoPoint::new(0.0, 0.0));
+        assert_eq!(t.position_at(Timestamp::from_secs(1000)).unwrap(), GeoPoint::new(0.1, 0.0));
+    }
+
+    #[test]
+    fn position_at_empty_is_none() {
+        assert_eq!(Trajectory::new().position_at(Timestamp(0)), None);
+    }
+
+    #[test]
+    fn altitude_interpolates() {
+        let mut a = report(1, 0, 0.0, 0.0);
+        a.altitude_m = 0.0;
+        let mut b = report(1, 10, 0.0, 0.0);
+        b.altitude_m = 100.0;
+        let t = Trajectory::from_reports(vec![a, b]);
+        assert!((t.altitude_at(Timestamp::from_secs(5)).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_counts_and_endpoints() {
+        let t = straight_track();
+        let rs = t.resample(5);
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs[0].ts, Timestamp::from_secs(0));
+        assert_eq!(rs[4].ts, Timestamp::from_secs(100));
+        assert!(rs.windows(2).all(|w| w[1].ts > w[0].ts));
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        assert!(Trajectory::new().resample(5).is_empty());
+        assert!(straight_track().resample(0).is_empty());
+        let single = Trajectory::from_reports(vec![report(1, 0, 1.0, 1.0)]);
+        let rs = single.resample(3);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.point == GeoPoint::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn derived_kinematics_match_motion() {
+        let t = straight_track().with_derived_kinematics();
+        for r in t.reports() {
+            // ~0.01 deg per 10 s on the equator ≈ 111.32 m / s
+            assert!((r.speed_mps - 111.3).abs() < 1.0, "speed {}", r.speed_mps);
+            assert!(crate::point::heading_difference(r.heading_deg, 90.0) < 0.1);
+        }
+    }
+
+    #[test]
+    fn deviation_of_identical_tracks_is_zero() {
+        let t = straight_track();
+        assert!(t.mean_deviation_from(&t).unwrap() < 1e-3);
+        assert!(t.max_deviation_from(&t).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn deviation_detects_offset() {
+        let t = straight_track();
+        let shifted =
+            Trajectory::from_reports((0..=10).map(|i| report(1, i * 10, 0.01 * i as f64, 0.001)).collect());
+        let mean = shifted.mean_deviation_from(&t).unwrap();
+        assert!((mean - 111.3).abs() < 1.0, "got {mean}");
+    }
+
+    #[test]
+    fn plausibility_filter() {
+        let mut r = report(1, 0, 0.0, 0.0);
+        r.speed_mps = 10.0;
+        assert!(r.is_plausible(50.0));
+        r.speed_mps = 100.0;
+        assert!(!r.is_plausible(50.0));
+        r.speed_mps = f64::NAN;
+        assert!(!r.is_plausible(50.0));
+        let mut bad = report(1, 0, 200.0, 0.0);
+        bad.speed_mps = 1.0;
+        assert!(!bad.is_plausible(50.0));
+    }
+
+    #[test]
+    fn to_local_round_trip() {
+        let t = straight_track();
+        let (frame, pts) = t.to_local();
+        let frame = frame.unwrap();
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0], (0.0, 0.0, 0.0));
+        let back = frame.unproject(pts[10].0, pts[10].1);
+        assert!(back.haversine_distance(&GeoPoint::new(0.1, 0.0)) < 1.0);
+    }
+
+    #[test]
+    fn time_span_half_open() {
+        let t = straight_track();
+        let span = t.time_span().unwrap();
+        assert!(span.contains(Timestamp::from_secs(100)));
+        assert!(!span.contains(Timestamp::from_secs(100) + 1));
+    }
+}

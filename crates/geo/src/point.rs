@@ -1,0 +1,326 @@
+//! WGS-84 points and geodesic math on the spherical Earth model.
+//!
+//! All formulas use the great-circle (spherical) approximation, which is
+//! accurate to ~0.5% — far below the error scales the datAcron experiments
+//! care about (hundreds of metres of prediction error, kilometre-scale
+//! proximity relations).
+
+use std::fmt;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A longitude/latitude pair in WGS-84 degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lon: f64,
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from longitude and latitude in degrees.
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// Returns `true` when both coordinates are finite and inside the valid
+    /// WGS-84 ranges.
+    pub fn is_valid(&self) -> bool {
+        self.lon.is_finite()
+            && self.lat.is_finite()
+            && (-180.0..=180.0).contains(&self.lon)
+            && (-90.0..=90.0).contains(&self.lat)
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_distance(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Initial bearing from `self` to `other`, degrees clockwise from north
+    /// in `[0, 360)`. Returns `0.0` for coincident points.
+    pub fn bearing_to(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        if y == 0.0 && x == 0.0 {
+            return 0.0;
+        }
+        (y.atan2(x).to_degrees() + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance_m` metres from `self` along
+    /// the given initial `bearing_deg` (degrees clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        GeoPoint {
+            lon: normalize_lon(lon2.to_degrees()),
+            lat: lat2.to_degrees(),
+        }
+    }
+
+    /// Cross-track distance in metres: how far `self` lies from the great
+    /// circle through `start` → `end`. Positive values are to the right of
+    /// the track, negative to the left.
+    pub fn cross_track_distance(&self, start: &GeoPoint, end: &GeoPoint) -> f64 {
+        let d13 = start.haversine_distance(self) / EARTH_RADIUS_M;
+        let b13 = start.bearing_to(self).to_radians();
+        let b12 = start.bearing_to(end).to_radians();
+        (d13.sin() * (b13 - b12).sin()).asin() * EARTH_RADIUS_M
+    }
+
+    /// Along-track distance in metres: the distance from `start` to the
+    /// closest point on the great circle `start` → `end`.
+    pub fn along_track_distance(&self, start: &GeoPoint, end: &GeoPoint) -> f64 {
+        let d13 = start.haversine_distance(self) / EARTH_RADIUS_M;
+        let xt = self.cross_track_distance(start, end) / EARTH_RADIUS_M;
+        (d13.cos() / xt.cos()).clamp(-1.0, 1.0).acos() * EARTH_RADIUS_M
+    }
+
+    /// Midpoint of the great-circle arc between `self` and `other`.
+    pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let bx = lat2.cos() * dlon.cos();
+        let by = lat2.cos() * dlon.sin();
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by * by).sqrt());
+        let lon3 = lon1 + by.atan2(lat1.cos() + bx);
+        GeoPoint {
+            lon: normalize_lon(lon3.to_degrees()),
+            lat: lat3.to_degrees(),
+        }
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1) in
+    /// coordinate space. Adequate for the short segments (seconds apart)
+    /// that trajectory reconstruction works on.
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lon: self.lon + (other.lon - self.lon) * t,
+            lat: self.lat + (other.lat - self.lat) * t,
+        }
+    }
+
+    /// Distance in metres from `self` to the *segment* (not the full great
+    /// circle) between `a` and `b`, computed in a local tangent plane.
+    pub fn distance_to_segment(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        let frame = crate::vector::LocalFrame::new(*a);
+        let p = frame.project(self);
+        let pa = frame.project(a);
+        let pb = frame.project(b);
+        let (dx, dy) = (pb.0 - pa.0, pb.1 - pa.1);
+        let len2 = dx * dx + dy * dy;
+        if len2 == 0.0 {
+            return self.haversine_distance(a);
+        }
+        let t = (((p.0 - pa.0) * dx + (p.1 - pa.1) * dy) / len2).clamp(0.0, 1.0);
+        let (cx, cy) = (pa.0 + t * dx, pa.1 + t * dy);
+        ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt()
+    }
+
+    /// Well-Known-Text representation (`POINT (lon lat)`), as used by the
+    /// RDFizers when lifting geometries into the knowledge graph.
+    pub fn to_wkt(&self) -> String {
+        format!("POINT ({} {})", self.lon, self.lat)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lon, self.lat)
+    }
+}
+
+/// Wraps a longitude into `[-180, 180]`.
+pub fn normalize_lon(lon: f64) -> f64 {
+    let mut l = (lon + 180.0) % 360.0;
+    if l < 0.0 {
+        l += 360.0;
+    }
+    l - 180.0
+}
+
+/// Smallest absolute difference between two headings, in degrees `[0, 180]`.
+pub fn heading_difference(a_deg: f64, b_deg: f64) -> f64 {
+    let d = (a_deg - b_deg).abs() % 360.0;
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// Normalises a heading into `[0, 360)`.
+pub fn normalize_heading(deg: f64) -> f64 {
+    let mut h = deg % 360.0;
+    if h < 0.0 {
+        h += 360.0;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(23.7, 37.9);
+        assert!(p.haversine_distance(&p) < EPS);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Piraeus (23.647, 37.943) to Heraklion (25.144, 35.339) ≈ 319 km.
+        let piraeus = GeoPoint::new(23.647, 37.943);
+        let heraklion = GeoPoint::new(25.144, 35.339);
+        let d = piraeus.haversine_distance(&heraklion);
+        assert!((d - 319_000.0).abs() < 5_000.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = GeoPoint::new(-3.7, 40.4);
+        let b = GeoPoint::new(2.17, 41.38);
+        assert!((a.haversine_distance(&b) - b.haversine_distance(&a)).abs() < EPS);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = GeoPoint::new(0.0, 0.0);
+        assert!((origin.bearing_to(&GeoPoint::new(0.0, 1.0)) - 0.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&GeoPoint::new(1.0, 0.0)) - 90.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&GeoPoint::new(0.0, -1.0)) - 180.0).abs() < 1e-6);
+        assert!((origin.bearing_to(&GeoPoint::new(-1.0, 0.0)) - 270.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = GeoPoint::new(5.0, 5.0);
+        assert_eq!(p.bearing_to(&p), 0.0);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = GeoPoint::new(23.6, 37.9);
+        let dest = start.destination(47.0, 25_000.0);
+        let d = start.haversine_distance(&dest);
+        assert!((d - 25_000.0).abs() < 1.0, "got {d}");
+        let b = start.bearing_to(&dest);
+        assert!((b - 47.0).abs() < 0.05, "got {b}");
+    }
+
+    #[test]
+    fn destination_zero_distance_is_identity() {
+        let p = GeoPoint::new(-9.1, 38.7);
+        let q = p.destination(123.0, 0.0);
+        assert!(p.haversine_distance(&q) < 1e-6);
+    }
+
+    #[test]
+    fn cross_track_sign_and_magnitude() {
+        // Track due east along the equator; a point 1 degree north of it is
+        // ~111 km to the left (negative).
+        let start = GeoPoint::new(0.0, 0.0);
+        let end = GeoPoint::new(10.0, 0.0);
+        let north = GeoPoint::new(5.0, 1.0);
+        let xt = north.cross_track_distance(&start, &end);
+        assert!(xt < 0.0);
+        assert!((xt.abs() - 111_195.0).abs() < 500.0, "got {xt}");
+        let south = GeoPoint::new(5.0, -1.0);
+        assert!(south.cross_track_distance(&start, &end) > 0.0);
+    }
+
+    #[test]
+    fn along_track_distance_matches_projection() {
+        let start = GeoPoint::new(0.0, 0.0);
+        let end = GeoPoint::new(10.0, 0.0);
+        let p = GeoPoint::new(5.0, 0.5);
+        let at = p.along_track_distance(&start, &end);
+        let expected = start.haversine_distance(&GeoPoint::new(5.0, 0.0));
+        assert!((at - expected).abs() < 1_000.0, "got {at}, want {expected}");
+    }
+
+    #[test]
+    fn midpoint_lies_between() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(10.0, 10.0);
+        let m = a.midpoint(&b);
+        let da = a.haversine_distance(&m);
+        let db = b.haversine_distance(&m);
+        assert!((da - db).abs() < 1.0);
+    }
+
+    #[test]
+    fn distance_to_segment_endpoints_and_interior() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 0.0);
+        // Beyond endpoint a: distance is to a itself.
+        let p = GeoPoint::new(-1.0, 0.0);
+        let d = p.distance_to_segment(&a, &b);
+        assert!((d - p.haversine_distance(&a)).abs() / d < 0.01);
+        // Above the middle: roughly the meridian distance.
+        let q = GeoPoint::new(0.5, 0.5);
+        let dq = q.distance_to_segment(&a, &b);
+        assert!((dq - 55_597.0).abs() < 600.0, "got {dq}");
+    }
+
+    #[test]
+    fn degenerate_segment_falls_back_to_point_distance() {
+        let a = GeoPoint::new(3.0, 3.0);
+        let p = GeoPoint::new(3.1, 3.0);
+        assert!((p.distance_to_segment(&a, &a) - p.haversine_distance(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_lon_wraps() {
+        assert!((normalize_lon(190.0) - -170.0).abs() < EPS);
+        assert!((normalize_lon(-190.0) - 170.0).abs() < EPS);
+        assert!((normalize_lon(360.0) - 0.0).abs() < EPS);
+        assert!((normalize_lon(180.0) - 180.0).abs() < EPS || (normalize_lon(180.0) + 180.0).abs() < EPS);
+    }
+
+    #[test]
+    fn heading_difference_is_symmetric_and_bounded() {
+        assert!((heading_difference(350.0, 10.0) - 20.0).abs() < EPS);
+        assert!((heading_difference(10.0, 350.0) - 20.0).abs() < EPS);
+        assert!((heading_difference(0.0, 180.0) - 180.0).abs() < EPS);
+        assert!((heading_difference(90.0, 90.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn normalize_heading_range() {
+        assert!((normalize_heading(-90.0) - 270.0).abs() < EPS);
+        assert!((normalize_heading(720.5) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(GeoPoint::new(0.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(181.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 91.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+
+    #[test]
+    fn wkt_format() {
+        assert_eq!(GeoPoint::new(23.5, 37.25).to_wkt(), "POINT (23.5 37.25)");
+    }
+}

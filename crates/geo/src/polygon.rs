@@ -1,0 +1,333 @@
+//! Simple polygons: point-in-polygon tests, distances, and synthetic-region
+//! construction helpers.
+//!
+//! Link discovery's `within` relation and the low-level area entry/exit
+//! events both refine through these tests after the grid/bbox coarse filter.
+//! Polygons are single rings without holes — the Natura-2000-like regions and
+//! port zones the paper links against are well approximated by such rings.
+
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+
+/// A simple polygon: a closed ring of vertices (the closing edge from the
+/// last vertex back to the first is implicit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<GeoPoint>,
+    bbox: BoundingBox,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// Returns `None` for fewer than three vertices or any non-finite
+    /// coordinate — degenerate input from noisy shapefile-like sources is a
+    /// data-quality error the caller must surface, not a panic.
+    pub fn new(vertices: Vec<GeoPoint>) -> Option<Self> {
+        if vertices.len() < 3 || vertices.iter().any(|v| !v.lon.is_finite() || !v.lat.is_finite()) {
+            return None;
+        }
+        let bbox = BoundingBox::from_points(vertices.iter());
+        Some(Self { vertices, bbox })
+    }
+
+    /// A regular `n`-gon approximating a circle of `radius_m` metres around
+    /// `center`. Used by the synthetic data generators to fabricate port
+    /// zones and protected areas.
+    pub fn circle(center: GeoPoint, radius_m: f64, n: usize) -> Self {
+        let n = n.max(3);
+        let vertices = (0..n)
+            .map(|i| center.destination(360.0 * i as f64 / n as f64, radius_m))
+            .collect::<Vec<_>>();
+        let bbox = BoundingBox::from_points(vertices.iter());
+        Self { vertices, bbox }
+    }
+
+    /// A rectangle polygon covering `bbox`.
+    pub fn rect(bbox: BoundingBox) -> Self {
+        let vertices = bbox.corners().to_vec();
+        Self { vertices, bbox }
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// Cached tight bounding box.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Point-in-polygon by the even-odd (ray casting) rule, with a bbox
+    /// pre-test. Points exactly on an edge may land on either side; the
+    /// consumers treat boundary cases as noise-level events.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = &self.vertices[i];
+            let vj = &self.vertices[j];
+            if ((vi.lat > p.lat) != (vj.lat > p.lat))
+                && (p.lon < (vj.lon - vi.lon) * (p.lat - vi.lat) / (vj.lat - vi.lat) + vi.lon)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Distance in metres from `p` to the polygon boundary; `0.0` when `p`
+    /// is inside.
+    pub fn distance_to(&self, p: &GeoPoint) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            let a = &self.vertices[i];
+            let b = &self.vertices[(i + 1) % n];
+            best = best.min(p.distance_to_segment(a, b));
+        }
+        best
+    }
+
+    /// `true` when `p` lies inside the polygon or within `radius_m` metres
+    /// of its boundary — the refinement test of the `nearTo` relation.
+    pub fn near(&self, p: &GeoPoint, radius_m: f64) -> bool {
+        self.distance_to(p) <= radius_m
+    }
+
+    /// `true` when this polygon's boundary or interior intersects `bbox`.
+    /// Exact for the grid-cell masks: a cell is covered if any polygon
+    /// touches it.
+    pub fn intersects_bbox(&self, bbox: &BoundingBox) -> bool {
+        if !self.bbox.intersects(bbox) {
+            return false;
+        }
+        // Any vertex inside the bbox?
+        if self.vertices.iter().any(|v| bbox.contains(v)) {
+            return true;
+        }
+        // Any bbox corner inside the polygon?
+        if bbox.corners().iter().any(|c| self.contains(c)) {
+            return true;
+        }
+        // Any edge crossing?
+        let n = self.vertices.len();
+        let corners = bbox.corners();
+        for i in 0..n {
+            let a = &self.vertices[i];
+            let b = &self.vertices[(i + 1) % n];
+            for j in 0..4 {
+                if segments_intersect(a, b, &corners[j], &corners[(j + 1) % 4]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Planar signed area in squared degrees (shoelace); positive for
+    /// counter-clockwise rings. Only used for orientation/degeneracy checks.
+    pub fn signed_area_deg2(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = &self.vertices[i];
+            let b = &self.vertices[(i + 1) % n];
+            acc += a.lon * b.lat - b.lon * a.lat;
+        }
+        acc / 2.0
+    }
+
+    /// Approximate centroid (mean of vertices).
+    pub fn centroid(&self) -> GeoPoint {
+        let n = self.vertices.len() as f64;
+        GeoPoint::new(
+            self.vertices.iter().map(|v| v.lon).sum::<f64>() / n,
+            self.vertices.iter().map(|v| v.lat).sum::<f64>() / n,
+        )
+    }
+
+    /// Well-Known-Text representation, e.g. `POLYGON ((0 0, 1 0, 1 1, 0 0))`.
+    pub fn to_wkt(&self) -> String {
+        let mut s = String::from("POLYGON ((");
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{} {}", v.lon, v.lat));
+        }
+        // Close the ring explicitly, as WKT requires.
+        let first = &self.vertices[0];
+        s.push_str(&format!(", {} {}))", first.lon, first.lat));
+        s
+    }
+}
+
+/// Proper or touching intersection of two planar segments.
+fn segments_intersect(a: &GeoPoint, b: &GeoPoint, c: &GeoPoint, d: &GeoPoint) -> bool {
+    fn orient(p: &GeoPoint, q: &GeoPoint, r: &GeoPoint) -> f64 {
+        (q.lon - p.lon) * (r.lat - p.lat) - (q.lat - p.lat) * (r.lon - p.lon)
+    }
+    fn on_segment(p: &GeoPoint, q: &GeoPoint, r: &GeoPoint) -> bool {
+        r.lon >= p.lon.min(q.lon)
+            && r.lon <= p.lon.max(q.lon)
+            && r.lat >= p.lat.min(q.lat)
+            && r.lat <= p.lat.max(q.lat)
+    }
+    let o1 = orient(a, b, c);
+    let o2 = orient(a, b, d);
+    let o3 = orient(c, d, a);
+    let o4 = orient(c, d, b);
+    if (o1 > 0.0) != (o2 > 0.0) && (o3 > 0.0) != (o4 > 0.0) && o1 != 0.0 && o2 != 0.0 && o3 != 0.0 && o4 != 0.0 {
+        return true;
+    }
+    (o1 == 0.0 && on_segment(a, b, c))
+        || (o2 == 0.0 && on_segment(a, b, d))
+        || (o3 == 0.0 && on_segment(c, d, a))
+        || (o4 == 0.0 && on_segment(c, d, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(1.0, 0.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(Polygon::new(vec![]).is_none());
+        assert!(Polygon::new(vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]).is_none());
+        assert!(Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(f64::NAN, 1.0),
+            GeoPoint::new(1.0, 1.0)
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn point_in_square() {
+        let sq = unit_square();
+        assert!(sq.contains(&GeoPoint::new(0.5, 0.5)));
+        assert!(!sq.contains(&GeoPoint::new(1.5, 0.5)));
+        assert!(!sq.contains(&GeoPoint::new(0.5, -0.1)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // An L-shape; the notch (1.5, 1.5) is outside.
+        let l = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(2.0, 0.0),
+            GeoPoint::new(2.0, 1.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(1.0, 2.0),
+            GeoPoint::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(&GeoPoint::new(0.5, 0.5)));
+        assert!(l.contains(&GeoPoint::new(0.5, 1.5)));
+        assert!(!l.contains(&GeoPoint::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn circle_contains_center_and_radius_holds() {
+        let c = GeoPoint::new(10.0, 45.0);
+        let poly = Polygon::circle(c, 5_000.0, 32);
+        assert!(poly.contains(&c));
+        assert!(poly.contains(&c.destination(90.0, 4_000.0)));
+        assert!(!poly.contains(&c.destination(90.0, 6_000.0)));
+    }
+
+    #[test]
+    fn distance_zero_inside_positive_outside() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to(&GeoPoint::new(0.5, 0.5)), 0.0);
+        let d = sq.distance_to(&GeoPoint::new(2.0, 0.5));
+        // 1 degree of longitude at lat ~0.5 is ~111 km.
+        assert!((d - 111_000.0).abs() < 2_000.0, "got {d}");
+    }
+
+    #[test]
+    fn near_with_radius() {
+        let sq = unit_square();
+        let p = GeoPoint::new(1.001, 0.5); // ~111 m east of the boundary
+        assert!(sq.near(&p, 200.0));
+        assert!(!sq.near(&p, 50.0));
+    }
+
+    #[test]
+    fn bbox_intersection_tests() {
+        let sq = unit_square();
+        assert!(sq.intersects_bbox(&BoundingBox::new(0.5, 0.5, 2.0, 2.0)));
+        assert!(!sq.intersects_bbox(&BoundingBox::new(2.0, 2.0, 3.0, 3.0)));
+        // bbox entirely inside the polygon
+        assert!(sq.intersects_bbox(&BoundingBox::new(0.4, 0.4, 0.6, 0.6)));
+        // polygon entirely inside the bbox
+        assert!(sq.intersects_bbox(&BoundingBox::new(-1.0, -1.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn edge_crossing_without_contained_vertices() {
+        // A thin polygon crossing the bbox like a band: no vertex inside,
+        // no bbox corner inside, but edges cross.
+        let band = Polygon::new(vec![
+            GeoPoint::new(-1.0, 0.4),
+            GeoPoint::new(2.0, 0.4),
+            GeoPoint::new(2.0, 0.6),
+            GeoPoint::new(-1.0, 0.6),
+        ])
+        .unwrap();
+        let bbox = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        assert!(band.intersects_bbox(&bbox));
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        assert!(unit_square().signed_area_deg2() > 0.0);
+        let cw = Polygon::new(vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(0.0, 1.0),
+            GeoPoint::new(1.0, 1.0),
+            GeoPoint::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert!(cw.signed_area_deg2() < 0.0);
+    }
+
+    #[test]
+    fn wkt_closes_ring() {
+        let sq = unit_square();
+        let wkt = sq.to_wkt();
+        assert!(wkt.starts_with("POLYGON ((0 0, "));
+        assert!(wkt.ends_with(", 0 0))"));
+    }
+
+    #[test]
+    fn segments_intersect_cases() {
+        let p = |x: f64, y: f64| GeoPoint::new(x, y);
+        assert!(segments_intersect(&p(0.0, 0.0), &p(2.0, 2.0), &p(0.0, 2.0), &p(2.0, 0.0)));
+        assert!(!segments_intersect(&p(0.0, 0.0), &p(1.0, 0.0), &p(0.0, 1.0), &p(1.0, 1.0)));
+        // Touching at an endpoint counts.
+        assert!(segments_intersect(&p(0.0, 0.0), &p(1.0, 1.0), &p(1.0, 1.0), &p(2.0, 0.0)));
+        // Collinear overlapping.
+        assert!(segments_intersect(&p(0.0, 0.0), &p(2.0, 0.0), &p(1.0, 0.0), &p(3.0, 0.0)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Spatio-temporal cell encoding — the dictionary-encoding scheme of the
+//! knowledge-graph store (§4.2.5).
+//!
+//! The store represents "an approximation of the position of any moving
+//! entity using a unique integer identifier, which corresponds to the
+//! spatio-temporal cell where the entity is located". [`StCellEncoder`] packs
+//! a time bucket and an equi-grid cell into a single [`StCellId`] (`u64`),
+//! and — crucially for query pushdown — maps a spatio-temporal query box to
+//! the *contiguous id ranges* that can satisfy it, so scans can skip
+//! non-matching triples without decoding.
+//!
+//! Layout (most significant first): `[time_bucket : T bits][row][col]` with
+//! the spatial bits in row-major order. Ids of one time bucket are therefore
+//! contiguous, and within a bucket each grid row is contiguous.
+
+use crate::bbox::BoundingBox;
+use crate::grid::{CellIndex, EquiGrid};
+use crate::point::GeoPoint;
+use crate::time::{TimeInterval, Timestamp};
+
+/// A packed spatio-temporal cell identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StCellId(pub u64);
+
+/// Encodes (point, timestamp) pairs into [`StCellId`]s and query boxes into
+/// id ranges.
+#[derive(Debug, Clone)]
+pub struct StCellEncoder {
+    grid: EquiGrid,
+    epoch: Timestamp,
+    bucket_millis: i64,
+}
+
+/// An inclusive id range `[lo, hi]` produced by query mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdRange {
+    /// Lowest matching id.
+    pub lo: StCellId,
+    /// Highest matching id.
+    pub hi: StCellId,
+}
+
+impl IdRange {
+    /// Membership test.
+    pub fn contains(&self, id: StCellId) -> bool {
+        self.lo <= id && id <= self.hi
+    }
+}
+
+impl StCellEncoder {
+    /// Creates an encoder over `grid`, bucketing time from `epoch` in
+    /// `bucket_millis` steps.
+    ///
+    /// # Panics
+    /// Panics when `bucket_millis` is not positive.
+    pub fn new(grid: EquiGrid, epoch: Timestamp, bucket_millis: i64) -> Self {
+        assert!(bucket_millis > 0, "time bucket must be positive");
+        Self {
+            grid,
+            epoch,
+            bucket_millis,
+        }
+    }
+
+    /// The spatial grid.
+    pub fn grid(&self) -> &EquiGrid {
+        &self.grid
+    }
+
+    /// The time-bucket width in milliseconds.
+    pub fn bucket_millis(&self) -> i64 {
+        self.bucket_millis
+    }
+
+    fn time_bucket(&self, t: Timestamp) -> Option<u64> {
+        let dt = t.delta_millis(&self.epoch);
+        (dt >= 0).then(|| (dt / self.bucket_millis) as u64)
+    }
+
+    /// Encodes a position/time pair; `None` when the point is outside the
+    /// grid extent or the time precedes the epoch.
+    pub fn encode(&self, p: &GeoPoint, t: Timestamp) -> Option<StCellId> {
+        let cell = self.grid.cell_of(p)?;
+        let bucket = self.time_bucket(t)?;
+        Some(self.compose(bucket, cell))
+    }
+
+    fn compose(&self, bucket: u64, cell: CellIndex) -> StCellId {
+        StCellId(bucket * self.grid.cell_count() + self.grid.flat_id(cell) as u64)
+    }
+
+    /// Decodes an id into its time bucket and cell index.
+    pub fn decode(&self, id: StCellId) -> (u64, CellIndex) {
+        let n = self.grid.cell_count();
+        let bucket = id.0 / n;
+        let cell = self
+            .grid
+            .from_flat_id((id.0 % n) as u32)
+            .expect("flat id within cell count is always valid");
+        (bucket, cell)
+    }
+
+    /// The representative bounding box and time interval of an id — the
+    /// approximation the store answers with before any exact refinement.
+    pub fn cell_of_id(&self, id: StCellId) -> (BoundingBox, TimeInterval) {
+        let (bucket, cell) = self.decode(id);
+        let start = self.epoch + (bucket as i64) * self.bucket_millis;
+        (
+            self.grid.cell_bbox(cell),
+            TimeInterval::new(start, start + self.bucket_millis),
+        )
+    }
+
+    /// Maps a spatio-temporal query (`bbox` × `interval`) to the inclusive
+    /// id ranges that may contain matches. This is the pushdown predicate of
+    /// the store experiment: a triple whose encoded id is outside every
+    /// range cannot satisfy the constraint.
+    ///
+    /// One range is emitted per (time bucket × grid row) run of columns, so
+    /// the ranges are exact with respect to the cell approximation.
+    pub fn query_ranges(&self, bbox: &BoundingBox, interval: &TimeInterval) -> Vec<IdRange> {
+        if interval.is_empty() {
+            return Vec::new();
+        }
+        let cells = self.grid.cells_intersecting(bbox);
+        if cells.is_empty() {
+            return Vec::new();
+        }
+        // cells are row-major; find per-row column runs (they are contiguous
+        // by construction of cells_intersecting).
+        let mut runs: Vec<(u32, u32, u32)> = Vec::new(); // (row, col_lo, col_hi)
+        for c in &cells {
+            match runs.last_mut() {
+                Some((row, _, hi)) if *row == c.row && *hi + 1 == c.col => *hi = c.col,
+                _ => runs.push((c.row, c.col, c.col)),
+            }
+        }
+        // Clamp the interval to the epoch.
+        let start = interval.start.max(self.epoch);
+        let end_incl = interval.end - 1; // half-open -> inclusive last instant
+        if end_incl < start {
+            return Vec::new();
+        }
+        let b0 = self
+            .time_bucket(start)
+            .expect("start clamped to epoch is never negative");
+        let b1 = self
+            .time_bucket(end_incl)
+            .expect("end not before clamped start");
+        let mut out = Vec::with_capacity(((b1 - b0 + 1) as usize) * runs.len());
+        for bucket in b0..=b1 {
+            for &(row, lo, hi) in &runs {
+                out.push(IdRange {
+                    lo: self.compose(bucket, CellIndex { row, col: lo }),
+                    hi: self.compose(bucket, CellIndex { row, col: hi }),
+                });
+            }
+        }
+        out
+    }
+
+    /// `true` when `id` falls in any of `ranges` (ranges need not be sorted).
+    pub fn id_matches(ranges: &[IdRange], id: StCellId) -> bool {
+        ranges.iter().any(|r| r.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> StCellEncoder {
+        let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        StCellEncoder::new(grid, Timestamp(0), 60_000)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = encoder();
+        let p = GeoPoint::new(3.5, 7.5);
+        let t = Timestamp(5 * 60_000 + 30_000);
+        let id = e.encode(&p, t).unwrap();
+        let (bucket, cell) = e.decode(id);
+        assert_eq!(bucket, 5);
+        assert_eq!(cell, CellIndex { row: 7, col: 3 });
+        let (bbox, iv) = e.cell_of_id(id);
+        assert!(bbox.contains(&p));
+        assert!(iv.contains(t));
+    }
+
+    #[test]
+    fn out_of_extent_or_pre_epoch_is_none() {
+        let e = encoder();
+        assert!(e.encode(&GeoPoint::new(-1.0, 5.0), Timestamp(0)).is_none());
+        assert!(e.encode(&GeoPoint::new(5.0, 5.0), Timestamp(-1)).is_none());
+    }
+
+    #[test]
+    fn ids_in_same_bucket_and_row_are_contiguous() {
+        let e = encoder();
+        let a = e.encode(&GeoPoint::new(2.5, 4.5), Timestamp(0)).unwrap();
+        let b = e.encode(&GeoPoint::new(3.5, 4.5), Timestamp(0)).unwrap();
+        assert_eq!(b.0, a.0 + 1);
+    }
+
+    #[test]
+    fn query_ranges_cover_exactly_matching_ids() {
+        let e = encoder();
+        let bbox = BoundingBox::new(1.5, 2.5, 4.5, 3.5);
+        let iv = TimeInterval::new(Timestamp(0), Timestamp(120_000));
+        let ranges = e.query_ranges(&bbox, &iv);
+        // rows 2..=3, cols 1..=4, buckets 0..=1 -> 2 rows * 2 buckets runs
+        assert_eq!(ranges.len(), 4);
+        // Every point inside must encode into some range.
+        let inside = e.encode(&GeoPoint::new(2.0, 3.0), Timestamp(90_000)).unwrap();
+        assert!(StCellEncoder::id_matches(&ranges, inside));
+        // A point outside the bbox must not.
+        let outside = e.encode(&GeoPoint::new(9.0, 9.0), Timestamp(90_000)).unwrap();
+        assert!(!StCellEncoder::id_matches(&ranges, outside));
+        // Same place, outside the time interval.
+        let late = e.encode(&GeoPoint::new(2.0, 3.0), Timestamp(120_000)).unwrap();
+        assert!(!StCellEncoder::id_matches(&ranges, late));
+    }
+
+    #[test]
+    fn query_ranges_half_open_time() {
+        let e = encoder();
+        let bbox = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        // [0, 60000) touches only bucket 0.
+        let ranges = e.query_ranges(&bbox, &TimeInterval::new(Timestamp(0), Timestamp(60_000)));
+        let max_bucket = ranges.iter().map(|r| e.decode(r.hi).0).max().unwrap();
+        assert_eq!(max_bucket, 0);
+    }
+
+    #[test]
+    fn empty_queries_produce_no_ranges() {
+        let e = encoder();
+        let iv = TimeInterval::new(Timestamp(0), Timestamp(60_000));
+        assert!(e.query_ranges(&BoundingBox::new(20.0, 20.0, 30.0, 30.0), &iv).is_empty());
+        assert!(e
+            .query_ranges(
+                &BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+                &TimeInterval::new(Timestamp(5), Timestamp(5))
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn pre_epoch_interval_clamps() {
+        let e = encoder();
+        let bbox = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        let ranges = e.query_ranges(&bbox, &TimeInterval::new(Timestamp(-120_000), Timestamp(60_000)));
+        assert!(!ranges.is_empty());
+        assert!(ranges.iter().all(|r| e.decode(r.lo).0 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time bucket must be positive")]
+    fn zero_bucket_panics() {
+        let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 1.0, 1.0), 1, 1);
+        StCellEncoder::new(grid, Timestamp(0), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Timestamps and time intervals.
+//!
+//! All components of the stack share a single time representation:
+//! milliseconds since the Unix epoch, wrapped in [`Timestamp`] for type
+//! safety. [`TimeInterval`] is the half-open interval `[start, end)` used by
+//! temporal filters (link-discovery temporal scope, time masks, the
+//! spatio-temporal cell encoder).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Milliseconds since the Unix epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Creates a timestamp from epoch milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        Self(ms)
+    }
+
+    /// Creates a timestamp from epoch seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Self(s * 1000)
+    }
+
+    /// Epoch milliseconds.
+    pub const fn millis(&self) -> i64 {
+        self.0
+    }
+
+    /// Epoch seconds (truncated).
+    pub const fn secs(&self) -> i64 {
+        self.0 / 1000
+    }
+
+    /// Seconds as floating point (for rate computations).
+    pub fn secs_f64(&self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Signed difference `self - other` in milliseconds.
+    pub const fn delta_millis(&self, other: &Timestamp) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Signed difference `self - other` in seconds, floating point.
+    pub fn delta_secs(&self, other: &Timestamp) -> f64 {
+        (self.0 - other.0) as f64 / 1000.0
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    /// Adds `rhs` milliseconds.
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+    /// Subtracts `rhs` milliseconds.
+    fn sub(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 - rhs)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end)`. `end < start` is normalised to the empty
+    /// interval `[start, start)`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        if end < start {
+            Self { start, end: start }
+        } else {
+            Self { start, end }
+        }
+    }
+
+    /// Length in milliseconds.
+    pub const fn duration_millis(&self) -> i64 {
+        self.end.0 - self.start.0
+    }
+
+    /// `true` when the interval contains no instants.
+    pub const fn is_empty(&self) -> bool {
+        self.end.0 <= self.start.0
+    }
+
+    /// Membership test (`start <= t < end`).
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// `true` when the two half-open intervals share at least one instant.
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersection(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(TimeInterval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval covering both.
+    pub fn union_hull(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Merges a sorted-by-start list of intervals, coalescing overlapping or
+    /// touching neighbours. Used by the time-mask machinery in `datacron-va`.
+    pub fn merge_sorted(intervals: &[TimeInterval]) -> Vec<TimeInterval> {
+        let mut out: Vec<TimeInterval> = Vec::with_capacity(intervals.len());
+        for iv in intervals.iter().filter(|iv| !iv.is_empty()) {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => out.push(*iv),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(Timestamp(a), Timestamp(b))
+    }
+
+    #[test]
+    fn timestamp_conversions() {
+        let t = Timestamp::from_secs(12);
+        assert_eq!(t.millis(), 12_000);
+        assert_eq!(t.secs(), 12);
+        assert!((t.secs_f64() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(1000);
+        assert_eq!((t + 500).millis(), 1500);
+        assert_eq!((t - 500).millis(), 500);
+        assert_eq!(Timestamp(2000).delta_millis(&t), 1000);
+        assert!((Timestamp(2500).delta_secs(&t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_normalises_inverted_bounds() {
+        let e = iv(10, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.duration_millis(), 0);
+    }
+
+    #[test]
+    fn interval_contains_half_open() {
+        let i = iv(10, 20);
+        assert!(i.contains(Timestamp(10)));
+        assert!(i.contains(Timestamp(19)));
+        assert!(!i.contains(Timestamp(20)));
+        assert!(!i.contains(Timestamp(9)));
+    }
+
+    #[test]
+    fn interval_overlap_cases() {
+        assert!(iv(0, 10).overlaps(&iv(5, 15)));
+        assert!(!iv(0, 10).overlaps(&iv(10, 20)), "touching half-open intervals do not overlap");
+        assert!(iv(0, 100).overlaps(&iv(40, 60)), "containment overlaps");
+        assert!(!iv(0, 10).overlaps(&iv(20, 30)));
+    }
+
+    #[test]
+    fn interval_intersection() {
+        assert_eq!(iv(0, 10).intersection(&iv(5, 15)), Some(iv(5, 10)));
+        assert_eq!(iv(0, 10).intersection(&iv(10, 20)), None);
+        assert_eq!(iv(0, 100).intersection(&iv(40, 60)), Some(iv(40, 60)));
+    }
+
+    #[test]
+    fn interval_union_hull() {
+        assert_eq!(iv(0, 10).union_hull(&iv(20, 30)), iv(0, 30));
+    }
+
+    #[test]
+    fn merge_sorted_coalesces() {
+        let merged = TimeInterval::merge_sorted(&[iv(0, 10), iv(5, 12), iv(12, 20), iv(25, 30), iv(26, 27)]);
+        assert_eq!(merged, vec![iv(0, 20), iv(25, 30)]);
+    }
+
+    #[test]
+    fn merge_sorted_drops_empty() {
+        let merged = TimeInterval::merge_sorted(&[iv(5, 5), iv(7, 9)]);
+        assert_eq!(merged, vec![iv(7, 9)]);
+    }
+}

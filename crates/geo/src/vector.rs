@@ -1,0 +1,171 @@
+//! Local tangent-plane projection and 2-D vector helpers.
+//!
+//! Trajectory-level computations (motion-function fitting, cross-track
+//! statistics, segment distances) are much simpler in a flat metre-based
+//! frame. [`LocalFrame`] provides an equirectangular projection centred on a
+//! reference point — accurate to well under 0.1% for the tens-of-kilometres
+//! extents that individual trajectory computations span.
+
+use crate::point::GeoPoint;
+use crate::point::EARTH_RADIUS_M;
+
+/// An equirectangular local frame: `x` metres east, `y` metres north of the
+/// reference origin.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalFrame {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl LocalFrame {
+    /// Creates a frame centred at `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        Self {
+            origin,
+            cos_lat: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The frame's origin.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a point into the frame, returning `(x_east_m, y_north_m)`.
+    pub fn project(&self, p: &GeoPoint) -> (f64, f64) {
+        let x = (p.lon - self.origin.lon).to_radians() * self.cos_lat * EARTH_RADIUS_M;
+        let y = (p.lat - self.origin.lat).to_radians() * EARTH_RADIUS_M;
+        (x, y)
+    }
+
+    /// Inverse of [`project`](Self::project).
+    pub fn unproject(&self, x: f64, y: f64) -> GeoPoint {
+        let lon = self.origin.lon + (x / (self.cos_lat * EARTH_RADIUS_M)).to_degrees();
+        let lat = self.origin.lat + (y / EARTH_RADIUS_M).to_degrees();
+        GeoPoint::new(lon, lat)
+    }
+}
+
+/// A 2-D velocity vector in the local frame, metres/second east and north.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Velocity {
+    /// Eastward component, m/s.
+    pub vx: f64,
+    /// Northward component, m/s.
+    pub vy: f64,
+}
+
+impl Velocity {
+    /// Builds a velocity from ground speed (m/s) and heading (degrees
+    /// clockwise from north).
+    pub fn from_speed_heading(speed_mps: f64, heading_deg: f64) -> Self {
+        let h = heading_deg.to_radians();
+        Self {
+            vx: speed_mps * h.sin(),
+            vy: speed_mps * h.cos(),
+        }
+    }
+
+    /// Ground speed in m/s.
+    pub fn speed(&self) -> f64 {
+        (self.vx * self.vx + self.vy * self.vy).sqrt()
+    }
+
+    /// Heading in degrees clockwise from north, `[0, 360)`. Zero-speed
+    /// vectors report heading `0.0`.
+    pub fn heading(&self) -> f64 {
+        if self.vx == 0.0 && self.vy == 0.0 {
+            return 0.0;
+        }
+        crate::point::normalize_heading(self.vx.atan2(self.vy).to_degrees())
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &Velocity) -> Velocity {
+        Velocity {
+            vx: self.vx + other.vx,
+            vy: self.vy + other.vy,
+        }
+    }
+
+    /// Scales both components by `k`.
+    pub fn scale(&self, k: f64) -> Velocity {
+        Velocity {
+            vx: self.vx * k,
+            vy: self.vy * k,
+        }
+    }
+
+    /// Mean of a set of velocities; zero vector for empty input.
+    pub fn mean(vs: &[Velocity]) -> Velocity {
+        if vs.is_empty() {
+            return Velocity::default();
+        }
+        let n = vs.len() as f64;
+        Velocity {
+            vx: vs.iter().map(|v| v.vx).sum::<f64>() / n,
+            vy: vs.iter().map(|v| v.vy).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_unproject_round_trip() {
+        let frame = LocalFrame::new(GeoPoint::new(23.6, 37.9));
+        let p = GeoPoint::new(23.75, 38.02);
+        let (x, y) = frame.project(&p);
+        let q = frame.unproject(x, y);
+        assert!(p.haversine_distance(&q) < 0.01);
+    }
+
+    #[test]
+    fn projection_distance_agrees_with_haversine_locally() {
+        let origin = GeoPoint::new(2.0, 48.0);
+        let frame = LocalFrame::new(origin);
+        let p = GeoPoint::new(2.1, 48.05);
+        let (x, y) = frame.project(&p);
+        let planar = (x * x + y * y).sqrt();
+        let geodesic = origin.haversine_distance(&p);
+        assert!((planar - geodesic).abs() / geodesic < 0.002, "planar {planar} vs geodesic {geodesic}");
+    }
+
+    #[test]
+    fn velocity_speed_heading_round_trip() {
+        for &(s, h) in &[(10.0, 0.0), (5.0, 90.0), (7.3, 215.0), (1.0, 359.0)] {
+            let v = Velocity::from_speed_heading(s, h);
+            assert!((v.speed() - s).abs() < 1e-9);
+            assert!(crate::point::heading_difference(v.heading(), h) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_velocity_heading_is_zero() {
+        assert_eq!(Velocity::default().heading(), 0.0);
+        assert_eq!(Velocity::default().speed(), 0.0);
+    }
+
+    #[test]
+    fn velocity_mean_of_opposites_is_zero() {
+        let a = Velocity::from_speed_heading(10.0, 0.0);
+        let b = Velocity::from_speed_heading(10.0, 180.0);
+        let m = Velocity::mean(&[a, b]);
+        assert!(m.speed() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_mean_empty_is_zero() {
+        assert_eq!(Velocity::mean(&[]).speed(), 0.0);
+    }
+
+    #[test]
+    fn velocity_add_scale() {
+        let a = Velocity { vx: 1.0, vy: 2.0 };
+        let b = Velocity { vx: -0.5, vy: 0.5 };
+        let c = a.add(&b).scale(2.0);
+        assert_eq!(c, Velocity { vx: 1.0, vy: 5.0 });
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the geometric foundation.
+//!
+//! These invariants protect every downstream experiment: if distances,
+//! bearings, grids, or the spatio-temporal encoding drift, compression
+//! ratios and prediction errors silently lose their meaning.
+
+use datacron_geo::grid::EquiGrid;
+use datacron_geo::point::{heading_difference, normalize_heading, normalize_lon, GeoPoint};
+use datacron_geo::stcell::StCellEncoder;
+use datacron_geo::time::{TimeInterval, Timestamp};
+use datacron_geo::vector::{LocalFrame, Velocity};
+use datacron_geo::BoundingBox;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    // Stay away from the poles where the local-frame approximations degrade.
+    (-179.0f64..179.0, -80.0f64..80.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+fn arb_nearby_pair() -> impl Strategy<Value = (GeoPoint, GeoPoint)> {
+    (arb_point(), -0.5f64..0.5, -0.5f64..0.5)
+        .prop_map(|(p, dlon, dlat)| (p, GeoPoint::new(p.lon + dlon, p.lat + dlat)))
+}
+
+proptest! {
+    #[test]
+    fn haversine_symmetric_and_nonnegative((a, b) in (arb_point(), arb_point())) {
+        let d1 = a.haversine_distance(&b);
+        let d2 = b.haversine_distance(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality((a, b, c) in (arb_point(), arb_point(), arb_point())) {
+        let ab = a.haversine_distance(&b);
+        let bc = b.haversine_distance(&c);
+        let ac = a.haversine_distance(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn destination_inverts_bearing_distance((a, b) in arb_nearby_pair()) {
+        prop_assume!(a.haversine_distance(&b) > 1.0);
+        let d = a.haversine_distance(&b);
+        let brg = a.bearing_to(&b);
+        let reconstructed = a.destination(brg, d);
+        prop_assert!(reconstructed.haversine_distance(&b) < d * 1e-3 + 0.5);
+    }
+
+    #[test]
+    fn local_frame_round_trip((a, b) in arb_nearby_pair()) {
+        let frame = LocalFrame::new(a);
+        let (x, y) = frame.project(&b);
+        let back = frame.unproject(x, y);
+        prop_assert!(back.haversine_distance(&b) < 0.01);
+    }
+
+    #[test]
+    fn velocity_round_trip(speed in 0.01f64..1000.0, heading in 0.0f64..360.0) {
+        let v = Velocity::from_speed_heading(speed, heading);
+        prop_assert!((v.speed() - speed).abs() < 1e-9 * speed.max(1.0));
+        prop_assert!(heading_difference(v.heading(), heading) < 1e-6);
+    }
+
+    #[test]
+    fn normalize_lon_in_range(lon in -1e4f64..1e4) {
+        let l = normalize_lon(lon);
+        prop_assert!((-180.0..=180.0).contains(&l));
+    }
+
+    #[test]
+    fn normalize_heading_in_range(h in -1e4f64..1e4) {
+        let n = normalize_heading(h);
+        prop_assert!((0.0..360.0).contains(&n));
+    }
+
+    #[test]
+    fn heading_difference_bounds(a in -720.0f64..720.0, b in -720.0f64..720.0) {
+        let d = heading_difference(a, b);
+        prop_assert!((0.0..=180.0).contains(&d));
+        prop_assert!((d - heading_difference(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_cell_contains_point(
+        p in (0.0f64..10.0, 0.0f64..10.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat)),
+        rows in 1u32..40,
+        cols in 1u32..40,
+    ) {
+        let g = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), rows, cols);
+        let idx = g.cell_of(&p).expect("point inside extent");
+        prop_assert!(g.cell_bbox(idx).contains(&p));
+        prop_assert_eq!(g.from_flat_id(g.flat_id(idx)), Some(idx));
+    }
+
+    #[test]
+    fn grid_cells_intersecting_is_consistent(
+        (lon0, lat0, w, h) in (0.0f64..9.0, 0.0f64..9.0, 0.01f64..1.0, 0.01f64..1.0),
+    ) {
+        let g = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 20, 20);
+        let q = BoundingBox::new(lon0, lat0, lon0 + w, lat0 + h);
+        let cells = g.cells_intersecting(&q);
+        prop_assert!(!cells.is_empty());
+        for c in &cells {
+            prop_assert!(g.cell_bbox(*c).intersects(&q));
+        }
+        // The union of returned cells covers the query corners.
+        for corner in q.corners() {
+            let idx = g.cell_of(&corner).expect("inside extent");
+            prop_assert!(cells.contains(&idx));
+        }
+    }
+
+    #[test]
+    fn stcell_encode_matches_query_ranges(
+        p in (0.0f64..10.0, 0.0f64..10.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat)),
+        t_ms in 0i64..10_000_000,
+        (qlon, qlat, qw, qh) in (0.0f64..9.0, 0.0f64..9.0, 0.1f64..2.0, 0.1f64..2.0),
+        (qt0, qdur) in (0i64..9_000_000, 1i64..2_000_000),
+    ) {
+        let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 16, 16);
+        let enc = StCellEncoder::new(grid, Timestamp(0), 60_000);
+        let id = enc.encode(&p, Timestamp(t_ms)).expect("inside extent and epoch");
+        let qbox = BoundingBox::new(qlon, qlat, qlon + qw, qlat + qh);
+        let qiv = TimeInterval::new(Timestamp(qt0), Timestamp(qt0 + qdur));
+        let ranges = enc.query_ranges(&qbox, &qiv);
+        // Soundness: if the point/time is inside the query, its id matches.
+        if qbox.contains(&p) && qiv.contains(Timestamp(t_ms)) {
+            prop_assert!(StCellEncoder::id_matches(&ranges, id));
+        }
+        // Precision at the cell level: if the id matches, the id's cell
+        // approximation intersects the query.
+        if StCellEncoder::id_matches(&ranges, id) {
+            let (bbox, iv) = enc.cell_of_id(id);
+            prop_assert!(bbox.intersects(&qbox));
+            prop_assert!(iv.overlaps(&qiv));
+        }
+    }
+
+    #[test]
+    fn interval_merge_is_sound(mut starts in proptest::collection::vec((0i64..1000, 1i64..100), 0..20)) {
+        starts.sort();
+        let intervals: Vec<TimeInterval> = starts
+            .iter()
+            .map(|&(s, d)| TimeInterval::new(Timestamp(s), Timestamp(s + d)))
+            .collect();
+        let merged = TimeInterval::merge_sorted(&intervals);
+        // Merged intervals are disjoint and ordered.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end < w[1].start || (w[0].end <= w[1].start));
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        // Every original instant is covered.
+        for iv in &intervals {
+            let mid = Timestamp((iv.start.0 + iv.end.0) / 2);
+            prop_assert!(merged.iter().any(|m| m.contains(mid)));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # datacron-linkdisc
+//!
+//! Spatio-temporal link discovery (§4.2.4 of the paper).
+//!
+//! The component "mostly detects spatio-temporal and proximity relations
+//! such as `within` and `nearby` relations between stationary and/or moving
+//! entities", on streaming as well as archival data. It organises entities
+//! with an equi-grid **blocking** method and evaluates candidate pairs with
+//! a **refinement** function — and it prunes candidates with **cell masks**:
+//!
+//! > "the proposed method computes the complement of the union of those
+//! > spatial areas that correspond to entities in a cell and intersect with
+//! > the cell's area: This cell area is called the mask of cell. … for each
+//! > new entity we identify the enclosing cell, and then we evaluate that
+//! > entity against the spatial mask of the cell. If it is found to be in
+//! > the mask, we do not need to further evaluate any candidate pair with
+//! > entities in that cell."
+//!
+//! [`masks`] realises the mask as a conservative sub-grid rasterisation (a
+//! bitmap per cell: a sub-cell is *mask* iff no candidate geometry touches
+//! it), so the membership test is O(1) instead of one polygon test per
+//! candidate. The paper reports the mask lifting throughput from 23.09 to
+//! 123.51 entities/second on the within+nearTo workload; the `exp_linkdiscovery`
+//! binary regenerates that comparison, and [`StaticLinker`] counts
+//! refinements so tests can verify the pruning deterministically.
+//!
+//! [`streaming`] adds the moving–moving proximity case with the temporal
+//! book-keeping the paper describes (entities out of temporal scope are
+//! evicted from the grid).
+
+pub mod masks;
+pub mod links;
+pub mod static_linker;
+pub mod streaming;
+
+pub use links::{Link, Relation};
+pub use masks::CellMask;
+pub use static_linker::{LinkStats, LinkerConfig, StaticLinker};
+pub use streaming::{ProximityConfig, StreamingProximity};

@@ -1,0 +1,88 @@
+//! Discovered links and their lifting to RDF.
+
+use datacron_geo::{EntityId, Timestamp};
+use datacron_rdf::term::Triple;
+use datacron_rdf::vocab;
+
+/// The spatio-temporal relations link discovery materialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `dul:within` — the moving entity's position lies inside the region.
+    Within,
+    /// `geosparql:nearTo` — within the proximity radius of the target.
+    NearTo,
+}
+
+/// What a link's object refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkTarget {
+    /// A stationary region.
+    Region(u64),
+    /// A port.
+    Port(u64),
+    /// Another moving entity (moving–moving proximity).
+    Entity(EntityId),
+}
+
+/// One discovered link, anchored at the observation that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// The moving entity (subject).
+    pub entity: EntityId,
+    /// Observation time.
+    pub ts: Timestamp,
+    /// The relation.
+    pub relation: Relation,
+    /// The target (object).
+    pub target: LinkTarget,
+}
+
+impl Link {
+    /// Lifts the link to an RDF triple between the subject's semantic node
+    /// and the target, using the datAcron vocabulary.
+    pub fn to_triple(&self) -> Triple {
+        let s = vocab::node_iri(self.entity, self.ts.millis());
+        let p = match self.relation {
+            Relation::Within => vocab::within(),
+            Relation::NearTo => vocab::near_to(),
+        };
+        let o = match self.target {
+            LinkTarget::Region(id) => vocab::region_iri(id),
+            LinkTarget::Port(id) => vocab::port_iri(id),
+            LinkTarget::Entity(e) => vocab::node_iri(e, self.ts.millis()),
+        };
+        Triple::new(s, p, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifting_uses_vocabulary() {
+        let link = Link {
+            entity: EntityId::vessel(3),
+            ts: Timestamp::from_secs(10),
+            relation: Relation::Within,
+            target: LinkTarget::Region(8),
+        };
+        let t = link.to_triple();
+        assert_eq!(t.p, vocab::within());
+        assert!(t.s.as_iri().unwrap().contains("node/vessel/3/10000"));
+        assert!(t.o.as_iri().unwrap().contains("region/8"));
+    }
+
+    #[test]
+    fn near_to_port_lifting() {
+        let link = Link {
+            entity: EntityId::vessel(3),
+            ts: Timestamp::from_secs(10),
+            relation: Relation::NearTo,
+            target: LinkTarget::Port(5),
+        };
+        let t = link.to_triple();
+        assert_eq!(t.p, vocab::near_to());
+        assert!(t.o.as_iri().unwrap().contains("port/5"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Cell masks: O(1) pruning of refinement work.
+//!
+//! The mask of a cell is the part of the cell **not** covered by any
+//! candidate geometry. A point falling in the mask cannot satisfy any
+//! relation with the cell's candidates, so all refinements are skipped.
+//!
+//! The exact complement-of-union is expensive to build and to test against;
+//! this implementation rasterises it conservatively: each cell is divided
+//! into an `n × n` sub-grid and a sub-cell is marked *mask* only when no
+//! candidate geometry's (buffered) bounding box intersects it and no
+//! candidate polygon touches it. Conservative means: a mask hit is always a
+//! true "no relation possible"; a mask miss just falls through to the
+//! refinement path — correctness never depends on the mask.
+
+use datacron_geo::{BoundingBox, GeoPoint, Polygon};
+
+/// A rasterised mask of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellMask {
+    bbox: BoundingBox,
+    n: u32,
+    /// Row-major bitmap, `true` = in the mask (no geometry near).
+    bits: Vec<bool>,
+}
+
+impl CellMask {
+    /// Builds the mask of `cell_bbox` against the candidate polygons, each
+    /// buffered by `buffer_m` metres (pass the `nearTo` radius; `0.0` for
+    /// pure `within`).
+    pub fn build(cell_bbox: BoundingBox, candidates: &[&Polygon], buffer_m: f64, n: u32) -> Self {
+        let n = n.max(1);
+        let mut bits = vec![true; (n * n) as usize];
+        // Metre buffer to degrees at this latitude (conservative: use the
+        // larger of the two axes' conversions).
+        let lat = cell_bbox.center().lat;
+        let coslat = lat.to_radians().cos().max(0.2);
+        let buffer_deg = buffer_m / (111_320.0 * coslat.min(1.0));
+        let w = cell_bbox.width() / n as f64;
+        let h = cell_bbox.height() / n as f64;
+        for row in 0..n {
+            for col in 0..n {
+                let sub = BoundingBox::new(
+                    cell_bbox.min_lon + col as f64 * w,
+                    cell_bbox.min_lat + row as f64 * h,
+                    cell_bbox.min_lon + (col + 1) as f64 * w,
+                    cell_bbox.min_lat + (row + 1) as f64 * h,
+                );
+                let sub_buffered = sub.expanded(buffer_deg);
+                let covered = candidates.iter().any(|poly| {
+                    poly.bbox().intersects(&sub_buffered) && poly.intersects_bbox(&sub_buffered)
+                });
+                if covered {
+                    bits[(row * n + col) as usize] = false;
+                }
+            }
+        }
+        Self {
+            bbox: cell_bbox,
+            n,
+            bits,
+        }
+    }
+
+    /// A mask that prunes everything — for cells without any candidate.
+    pub fn all_mask(cell_bbox: BoundingBox) -> Self {
+        Self {
+            bbox: cell_bbox,
+            n: 1,
+            bits: vec![true],
+        }
+    }
+
+    /// `true` when `p` lies in the mask, i.e. provably unrelated to every
+    /// candidate of this cell.
+    pub fn in_mask(&self, p: &GeoPoint) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
+        let col = (((p.lon - self.bbox.min_lon) / self.bbox.width().max(1e-12)) * self.n as f64) as u32;
+        let row = (((p.lat - self.bbox.min_lat) / self.bbox.height().max(1e-12)) * self.n as f64) as u32;
+        let col = col.min(self.n - 1);
+        let row = row.min(self.n - 1);
+        self.bits[(row * self.n + col) as usize]
+    }
+
+    /// Fraction of the cell covered by the mask (pruning power).
+    pub fn coverage(&self) -> f64 {
+        self.bits.iter().filter(|b| **b).count() as f64 / self.bits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> BoundingBox {
+        BoundingBox::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn empty_candidates_mask_everything() {
+        let m = CellMask::build(cell(), &[], 0.0, 8);
+        assert_eq!(m.coverage(), 1.0);
+        assert!(m.in_mask(&GeoPoint::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn covered_subcells_are_not_mask() {
+        let poly = Polygon::rect(BoundingBox::new(0.0, 0.0, 0.5, 0.5));
+        let m = CellMask::build(cell(), &[&poly], 0.0, 8);
+        assert!(!m.in_mask(&GeoPoint::new(0.25, 0.25)), "inside the region");
+        assert!(m.in_mask(&GeoPoint::new(0.9, 0.9)), "far corner is mask");
+        assert!(m.coverage() < 1.0 && m.coverage() > 0.5);
+    }
+
+    #[test]
+    fn mask_is_conservative_near_boundaries() {
+        // Every point inside any candidate must be a mask miss.
+        let poly = Polygon::circle(GeoPoint::new(0.5, 0.5), 20_000.0, 16);
+        let m = CellMask::build(cell(), &[&poly], 0.0, 8);
+        for i in 0..50 {
+            for j in 0..50 {
+                let p = GeoPoint::new(0.02 * i as f64, 0.02 * j as f64);
+                if poly.contains(&p) {
+                    assert!(!m.in_mask(&p), "false prune at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_extends_coverage() {
+        let poly = Polygon::rect(BoundingBox::new(0.4, 0.4, 0.6, 0.6));
+        let tight = CellMask::build(cell(), &[&poly], 0.0, 16);
+        let buffered = CellMask::build(cell(), &[&poly], 20_000.0, 16);
+        assert!(buffered.coverage() < tight.coverage());
+        // A point just outside the region but within the buffer must be a
+        // mask miss under the buffered mask.
+        let p = GeoPoint::new(0.65, 0.5); // ~5.5 km east of the region edge
+        assert!(!buffered.in_mask(&p));
+    }
+
+    #[test]
+    fn outside_cell_is_never_mask() {
+        let m = CellMask::all_mask(cell());
+        assert!(!m.in_mask(&GeoPoint::new(2.0, 2.0)));
+    }
+}

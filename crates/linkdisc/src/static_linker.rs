@@ -1,0 +1,319 @@
+//! Linking moving entities against stationary datasets (regions, ports).
+//!
+//! Blocking: an equi-grid over the area of interest with per-cell candidate
+//! lists. Refinement: point-in-polygon for `within`, boundary distance for
+//! `nearTo` regions, point distance for `nearTo` ports. Optional cell masks
+//! prune the refinement work; [`LinkStats`] counts refinements so the mask
+//! effect is directly observable.
+
+use crate::links::{Link, LinkTarget, Relation};
+use crate::masks::CellMask;
+use datacron_geo::{BoundingBox, EntityId, EquiGrid, GeoPoint, Polygon, Timestamp};
+use std::collections::HashMap;
+
+/// Linker parameters.
+#[derive(Debug, Clone)]
+pub struct LinkerConfig {
+    /// Grid cell size in degrees.
+    pub cell_deg: f64,
+    /// `nearTo` radius for regions, metres.
+    pub near_region_m: f64,
+    /// `nearTo` radius for ports, metres.
+    pub near_port_m: f64,
+    /// Use cell masks?
+    pub use_masks: bool,
+    /// Mask raster resolution per cell axis.
+    pub mask_resolution: u32,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        Self {
+            cell_deg: 0.25,
+            near_region_m: 5_000.0,
+            near_port_m: 5_000.0,
+            use_masks: true,
+            mask_resolution: 16,
+        }
+    }
+}
+
+/// Refinement/pruning counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Points processed.
+    pub points: u64,
+    /// Points pruned entirely by a mask hit.
+    pub mask_hits: u64,
+    /// Polygon/point refinement tests performed.
+    pub refinements: u64,
+    /// Links produced.
+    pub links: u64,
+}
+
+/// Links points against stationary regions and ports.
+#[derive(Debug)]
+pub struct StaticLinker {
+    config: LinkerConfig,
+    grid: EquiGrid,
+    regions: Vec<(u64, Polygon)>,
+    ports: Vec<(u64, GeoPoint)>,
+    /// Region candidate indices per flat cell id.
+    region_candidates: HashMap<u32, Vec<u32>>,
+    /// Port candidate indices per flat cell id (buffered by near radius).
+    port_candidates: HashMap<u32, Vec<u32>>,
+    /// Masks per flat cell id (buffered by the region near radius so one
+    /// mask serves both `within` and `nearTo`).
+    masks: HashMap<u32, CellMask>,
+    stats: LinkStats,
+}
+
+impl StaticLinker {
+    /// Builds the linker over the given stationary datasets. The grid
+    /// extent is derived from the data plus a margin.
+    pub fn new(
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+        config: LinkerConfig,
+    ) -> Self {
+        let mut extent = BoundingBox::empty();
+        for (_, poly) in &regions {
+            extent = extent.union(poly.bbox());
+        }
+        for (_, p) in &ports {
+            extent.extend(p);
+        }
+        if extent.is_empty() {
+            extent = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        }
+        let grid = EquiGrid::with_cell_size(extent.expanded(2.0 * config.cell_deg), config.cell_deg);
+
+        let mut region_candidates: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, (_, poly)) in regions.iter().enumerate() {
+            // Candidate cells include the nearTo buffer.
+            let lat = poly.bbox().center().lat;
+            let buffer_deg = config.near_region_m / (111_320.0 * lat.to_radians().cos().max(0.2));
+            for cell in grid.cells_intersecting(&poly.bbox().expanded(buffer_deg)) {
+                region_candidates.entry(grid.flat_id(cell)).or_default().push(i as u32);
+            }
+        }
+        let mut port_candidates: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, (_, p)) in ports.iter().enumerate() {
+            for cell in grid.cells_within_radius(p, config.near_port_m) {
+                port_candidates.entry(grid.flat_id(cell)).or_default().push(i as u32);
+            }
+        }
+
+        let mut masks = HashMap::new();
+        if config.use_masks {
+            // Only cells with candidates need a real raster; others prune by
+            // the candidate lists simply being empty.
+            for (&cell_id, cand) in &region_candidates {
+                let cell = grid
+                    .from_flat_id(cell_id)
+                    .expect("candidate cell ids come from the grid");
+                let polys: Vec<&Polygon> = cand.iter().map(|&i| &regions[i as usize].1).collect();
+                masks.insert(
+                    cell_id,
+                    CellMask::build(grid.cell_bbox(cell), &polys, config.near_region_m, config.mask_resolution),
+                );
+            }
+        }
+
+        Self {
+            config,
+            grid,
+            regions,
+            ports,
+            region_candidates,
+            port_candidates,
+            masks,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Refinement/pruning counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
+    }
+
+    /// The underlying grid (for experiment reporting).
+    pub fn grid(&self) -> &EquiGrid {
+        &self.grid
+    }
+
+    /// Links one observation of a moving entity, returning all `within`
+    /// and `nearTo` relations it satisfies.
+    pub fn link_point(&mut self, entity: EntityId, ts: Timestamp, p: &GeoPoint) -> Vec<Link> {
+        self.stats.points += 1;
+        let mut out = Vec::new();
+        let Some(cell) = self.grid.cell_of(p) else {
+            return out;
+        };
+        let cell_id = self.grid.flat_id(cell);
+
+        // --- Regions: within + nearTo ---
+        if let Some(cand) = self.region_candidates.get(&cell_id) {
+            let masked = if self.config.use_masks {
+                self.masks.get(&cell_id).is_some_and(|m| m.in_mask(p))
+            } else {
+                false
+            };
+            if masked {
+                self.stats.mask_hits += 1;
+            } else {
+                for &i in cand {
+                    let (rid, poly) = &self.regions[i as usize];
+                    self.stats.refinements += 1;
+                    let d = poly.distance_to(p);
+                    if d == 0.0 {
+                        out.push(Link {
+                            entity,
+                            ts,
+                            relation: Relation::Within,
+                            target: LinkTarget::Region(*rid),
+                        });
+                    } else if d <= self.config.near_region_m {
+                        out.push(Link {
+                            entity,
+                            ts,
+                            relation: Relation::NearTo,
+                            target: LinkTarget::Region(*rid),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Ports: nearTo ---
+        if let Some(cand) = self.port_candidates.get(&cell_id) {
+            for &i in cand {
+                let (pid, pp) = &self.ports[i as usize];
+                self.stats.refinements += 1;
+                if pp.haversine_distance(p) <= self.config.near_port_m {
+                    out.push(Link {
+                        entity,
+                        ts,
+                        relation: Relation::NearTo,
+                        target: LinkTarget::Port(*pid),
+                    });
+                }
+            }
+        }
+        self.stats.links += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions() -> Vec<(u64, Polygon)> {
+        vec![
+            (1, Polygon::rect(BoundingBox::new(1.0, 1.0, 2.0, 2.0))),
+            (2, Polygon::circle(GeoPoint::new(4.0, 4.0), 30_000.0, 24)),
+        ]
+    }
+
+    fn ports() -> Vec<(u64, GeoPoint)> {
+        vec![(10, GeoPoint::new(0.5, 0.5)), (11, GeoPoint::new(3.0, 3.0))]
+    }
+
+    fn linker(use_masks: bool) -> StaticLinker {
+        StaticLinker::new(
+            regions(),
+            ports(),
+            LinkerConfig {
+                use_masks,
+                ..LinkerConfig::default()
+            },
+        )
+    }
+
+    fn rels(links: &[Link]) -> Vec<(Relation, LinkTarget)> {
+        links.iter().map(|l| (l.relation, l.target)).collect()
+    }
+
+    #[test]
+    fn within_region_detected() {
+        let mut l = linker(true);
+        let links = l.link_point(EntityId::vessel(1), Timestamp(0), &GeoPoint::new(1.5, 1.5));
+        assert!(rels(&links).contains(&(Relation::Within, LinkTarget::Region(1))));
+    }
+
+    #[test]
+    fn near_region_detected() {
+        let mut l = linker(true);
+        // ~3 km east of region 1's edge at lat 1.5.
+        let p = GeoPoint::new(2.027, 1.5);
+        let links = l.link_point(EntityId::vessel(1), Timestamp(0), &p);
+        assert!(
+            rels(&links).contains(&(Relation::NearTo, LinkTarget::Region(1))),
+            "got {links:?}"
+        );
+    }
+
+    #[test]
+    fn near_port_detected() {
+        let mut l = linker(true);
+        let p = GeoPoint::new(0.52, 0.5); // ~2.2 km from port 10
+        let links = l.link_point(EntityId::vessel(1), Timestamp(0), &p);
+        assert!(rels(&links).contains(&(Relation::NearTo, LinkTarget::Port(10))));
+    }
+
+    #[test]
+    fn far_point_produces_nothing() {
+        let mut l = linker(true);
+        let links = l.link_point(EntityId::vessel(1), Timestamp(0), &GeoPoint::new(0.0, 4.5));
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn masks_do_not_change_results() {
+        let mut with = linker(true);
+        let mut without = linker(false);
+        // Probe a lattice over the whole extent.
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = GeoPoint::new(0.1 * i as f64, 0.1 * j as f64 + 0.3);
+                let a = with.link_point(EntityId::vessel(1), Timestamp(0), &p);
+                let b = without.link_point(EntityId::vessel(1), Timestamp(0), &p);
+                assert_eq!(a, b, "mask changed result at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_reduce_refinements() {
+        let mut with = linker(true);
+        let mut without = linker(false);
+        for i in 0..60 {
+            for j in 0..60 {
+                let p = GeoPoint::new(0.08 * i as f64, 0.08 * j as f64);
+                with.link_point(EntityId::vessel(1), Timestamp(0), &p);
+                without.link_point(EntityId::vessel(1), Timestamp(0), &p);
+            }
+        }
+        let (sw, swo) = (with.stats(), without.stats());
+        assert!(sw.mask_hits > 0, "mask should prune some points");
+        assert!(
+            sw.refinements < swo.refinements,
+            "with masks {} >= without {}",
+            sw.refinements,
+            swo.refinements
+        );
+        assert_eq!(sw.links, swo.links, "same links either way");
+    }
+
+    #[test]
+    fn empty_datasets_are_harmless() {
+        let mut l = StaticLinker::new(Vec::new(), Vec::new(), LinkerConfig::default());
+        assert!(l.link_point(EntityId::vessel(1), Timestamp(0), &GeoPoint::new(0.5, 0.5)).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Moving–moving proximity over streams with temporal book-keeping.
+//!
+//! "The temporal dimension is not partitioned: given a temporal distance
+//! threshold, we can safely clean up data that are out of temporal scope,
+//! i.e. entities that will never satisfy the temporal constraints of the
+//! relations. … the link discovery component uses a book-keeping process
+//! for cleaning the grid, towards identifying proximity relations among
+//! entities when dealing with streamed data."
+//!
+//! [`StreamingProximity`] keeps recent observations in per-cell buffers,
+//! evaluates each new observation against candidates in the neighbouring
+//! cells within the temporal threshold, and evicts expired entries lazily.
+
+use crate::links::{Link, LinkTarget, Relation};
+use datacron_geo::{BoundingBox, EntityId, EquiGrid, GeoPoint, Timestamp};
+use std::collections::HashMap;
+
+/// Proximity parameters.
+#[derive(Debug, Clone)]
+pub struct ProximityConfig {
+    /// Spatial radius, metres.
+    pub radius_m: f64,
+    /// Temporal distance threshold, seconds: two observations relate only
+    /// when their timestamps differ by at most this.
+    pub temporal_s: f64,
+    /// Grid cell size in degrees (should be ≥ the radius in degrees).
+    pub cell_deg: f64,
+}
+
+impl Default for ProximityConfig {
+    fn default() -> Self {
+        Self {
+            radius_m: 5_000.0,
+            temporal_s: 300.0,
+            cell_deg: 0.25,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    entity: EntityId,
+    ts: Timestamp,
+    point: GeoPoint,
+}
+
+/// Streaming proximity joiner with grid book-keeping.
+#[derive(Debug)]
+pub struct StreamingProximity {
+    config: ProximityConfig,
+    grid: EquiGrid,
+    cells: HashMap<u32, Vec<Observation>>,
+    /// Comparisons performed (for pruning-effect reporting).
+    comparisons: u64,
+    /// Observations evicted by temporal cleanup.
+    evicted: u64,
+}
+
+impl StreamingProximity {
+    /// Creates a joiner over the given area of interest.
+    pub fn new(extent: BoundingBox, config: ProximityConfig) -> Self {
+        let grid = EquiGrid::with_cell_size(extent, config.cell_deg);
+        Self {
+            config,
+            grid,
+            cells: HashMap::new(),
+            comparisons: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Observations evicted by the temporal book-keeping so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Observations currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.cells.values().map(Vec::len).sum()
+    }
+
+    /// Processes one observation: emits `nearTo` links to every buffered
+    /// observation of a *different* entity within the spatio-temporal
+    /// thresholds, then buffers it. Expired entries in the touched cells are
+    /// evicted as a side effect (the lazy book-keeping).
+    pub fn observe(&mut self, entity: EntityId, ts: Timestamp, point: GeoPoint) -> Vec<Link> {
+        let mut out = Vec::new();
+        let Some(cell) = self.grid.cell_of(&point) else {
+            return out;
+        };
+        let horizon = ts - (self.config.temporal_s * 1000.0) as i64;
+
+        let mut candidate_cells = self.grid.cells_within_radius(&point, self.config.radius_m);
+        if !candidate_cells.contains(&cell) {
+            candidate_cells.push(cell);
+        }
+        for c in candidate_cells {
+            let id = self.grid.flat_id(c);
+            if let Some(buf) = self.cells.get_mut(&id) {
+                // Temporal cleanup: drop everything out of scope.
+                let before = buf.len();
+                buf.retain(|o| o.ts >= horizon);
+                self.evicted += (before - buf.len()) as u64;
+                for o in buf.iter() {
+                    if o.entity == entity {
+                        continue;
+                    }
+                    self.comparisons += 1;
+                    if (ts.delta_secs(&o.ts)).abs() <= self.config.temporal_s
+                        && o.point.haversine_distance(&point) <= self.config.radius_m
+                    {
+                        out.push(Link {
+                            entity,
+                            ts,
+                            relation: Relation::NearTo,
+                            target: LinkTarget::Entity(o.entity),
+                        });
+                    }
+                }
+                if buf.is_empty() {
+                    self.cells.remove(&id);
+                }
+            }
+        }
+        self.cells
+            .entry(self.grid.flat_id(cell))
+            .or_default()
+            .push(Observation { entity, ts, point });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joiner() -> StreamingProximity {
+        StreamingProximity::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), ProximityConfig::default())
+    }
+
+    #[test]
+    fn detects_nearby_pair() {
+        let mut j = joiner();
+        assert!(j.observe(EntityId::vessel(1), Timestamp::from_secs(0), GeoPoint::new(5.0, 5.0)).is_empty());
+        let links = j.observe(EntityId::vessel(2), Timestamp::from_secs(60), GeoPoint::new(5.02, 5.0));
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].target, LinkTarget::Entity(EntityId::vessel(1)));
+        assert_eq!(links[0].relation, Relation::NearTo);
+    }
+
+    #[test]
+    fn far_apart_pairs_do_not_link() {
+        let mut j = joiner();
+        j.observe(EntityId::vessel(1), Timestamp::from_secs(0), GeoPoint::new(5.0, 5.0));
+        let links = j.observe(EntityId::vessel(2), Timestamp::from_secs(10), GeoPoint::new(5.2, 5.0));
+        assert!(links.is_empty(), "~22 km apart");
+    }
+
+    #[test]
+    fn temporal_threshold_enforced_and_evicts() {
+        let mut j = joiner();
+        j.observe(EntityId::vessel(1), Timestamp::from_secs(0), GeoPoint::new(5.0, 5.0));
+        // 10 minutes later, same place: out of the 5-minute scope.
+        let links = j.observe(EntityId::vessel(2), Timestamp::from_secs(600), GeoPoint::new(5.0, 5.0));
+        assert!(links.is_empty());
+        assert_eq!(j.evicted(), 1, "expired observation evicted");
+    }
+
+    #[test]
+    fn same_entity_never_links_to_itself() {
+        let mut j = joiner();
+        j.observe(EntityId::vessel(1), Timestamp::from_secs(0), GeoPoint::new(5.0, 5.0));
+        let links = j.observe(EntityId::vessel(1), Timestamp::from_secs(10), GeoPoint::new(5.0, 5.0));
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn cross_cell_neighbours_are_found() {
+        // Two points straddling a cell boundary (cells are 0.25 deg).
+        let mut j = joiner();
+        j.observe(EntityId::vessel(1), Timestamp::from_secs(0), GeoPoint::new(4.999, 5.0));
+        let links = j.observe(EntityId::vessel(2), Timestamp::from_secs(5), GeoPoint::new(5.001, 5.0));
+        assert_eq!(links.len(), 1);
+    }
+
+    #[test]
+    fn grid_limits_comparisons() {
+        let mut j = joiner();
+        // Scatter 200 observations far from each other.
+        for i in 0..200u64 {
+            let p = GeoPoint::new((i % 20) as f64 * 0.5, (i / 20) as f64 * 0.9 + 0.2);
+            j.observe(EntityId::vessel(i), Timestamp::from_secs(i as i64), p);
+        }
+        // Brute force would be ~200*199/2 ≈ 19900 comparisons.
+        assert!(j.comparisons() < 2_000, "grid blocking failed: {}", j.comparisons());
+    }
+
+    #[test]
+    fn brute_force_equivalence() {
+        // The grid + cleanup must find exactly the pairs brute force finds.
+        let cfg = ProximityConfig::default();
+        let mut j = StreamingProximity::new(BoundingBox::new(0.0, 0.0, 2.0, 2.0), cfg.clone());
+        let mut obs: Vec<(EntityId, Timestamp, GeoPoint)> = Vec::new();
+        // Deterministic pseudo-random walk cluster.
+        let mut x = 0.7f64;
+        let mut y = 0.9f64;
+        for i in 0..120u64 {
+            x = (x * 7919.0 + 0.137).fract() * 0.4 + 0.5;
+            y = (y * 6271.0 + 0.211).fract() * 0.4 + 0.5;
+            obs.push((EntityId::vessel(i % 13), Timestamp::from_secs(i as i64 * 20), GeoPoint::new(x, y)));
+        }
+        let mut found = 0u64;
+        for (e, ts, p) in &obs {
+            found += j.observe(*e, *ts, *p).len() as u64;
+        }
+        let mut brute = 0u64;
+        for (i, a) in obs.iter().enumerate() {
+            for b in &obs[..i] {
+                if a.0 != b.0
+                    && (a.1.delta_secs(&b.1)).abs() <= cfg.temporal_s
+                    && a.2.haversine_distance(&b.2) <= cfg.radius_m
+                {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(found, brute);
+    }
+}

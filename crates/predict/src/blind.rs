@@ -1,0 +1,198 @@
+//! The "blind" HMM baseline for trajectory prediction.
+//!
+//! The paper contrasts its hybrid method with "'blind' approaches
+//! exploiting raw trajectory data" (Ayhan & Samet): a single HMM over raw
+//! positions, states = spatial grid cells, no enrichment, no clustering.
+//! The model predicts a full route as the a-priori most likely cell path;
+//! accuracy is bounded below by the cell quantisation and by mixing all
+//! weather/aircraft regimes into one transition matrix, and its state space
+//! (occupied cells × occupied cells transitions) is orders of magnitude
+//! larger than the hybrid model's per-cluster waypoint HMMs — exactly the
+//! two axes (accuracy, resources) of the paper's comparison.
+
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint, Trajectory};
+use std::collections::HashMap;
+
+/// A grid-cell HMM over raw positions.
+#[derive(Debug)]
+pub struct BlindHmm {
+    grid: EquiGrid,
+    /// Initial counts per cell.
+    init: HashMap<u32, f64>,
+    /// Transition counts `(from, to) -> count`.
+    trans: HashMap<(u32, u32), f64>,
+    /// Raw points consumed at training (the storage-resource metric).
+    points_trained: usize,
+}
+
+impl BlindHmm {
+    /// Trains on raw trajectories over the given extent with `cell_deg`
+    /// cells.
+    pub fn train(trajectories: &[Trajectory], extent: BoundingBox, cell_deg: f64) -> Self {
+        let grid = EquiGrid::with_cell_size(extent, cell_deg);
+        let mut init: HashMap<u32, f64> = HashMap::new();
+        let mut trans: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut points_trained = 0;
+        for t in trajectories {
+            let cells: Vec<u32> = t
+                .reports()
+                .iter()
+                .filter_map(|r| grid.cell_of(&r.point).map(|c| grid.flat_id(c)))
+                .collect();
+            points_trained += t.len();
+            if let Some(&first) = cells.first() {
+                *init.entry(first).or_default() += 1.0;
+            }
+            for w in cells.windows(2) {
+                if w[0] != w[1] {
+                    *trans.entry((w[0], w[1])).or_default() += 1.0;
+                }
+            }
+        }
+        Self {
+            grid,
+            init,
+            trans,
+            points_trained,
+        }
+    }
+
+    /// Raw points consumed at training.
+    pub fn points_trained(&self) -> usize {
+        self.points_trained
+    }
+
+    /// Number of stored parameters (occupied initials + transitions) — the
+    /// resource metric of the comparison.
+    pub fn parameter_count(&self) -> usize {
+        self.init.len() + self.trans.len()
+    }
+
+    /// Predicts the most likely route as cell-centre points: start from the
+    /// most likely initial cell and follow argmax transitions for
+    /// `max_steps` cells (stopping at absorbing cells).
+    pub fn predict_route(&self, max_steps: usize) -> Vec<GeoPoint> {
+        let Some((&start, _)) = self
+            .init
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            return Vec::new();
+        };
+        let mut current = start;
+        let mut out = Vec::with_capacity(max_steps);
+        let mut visited = vec![current];
+        out.push(self.cell_center(current));
+        for _ in 1..max_steps {
+            let next = self
+                .trans
+                .iter()
+                .filter(|((from, to), _)| *from == current && !visited.contains(to))
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|((_, to), _)| *to);
+            match next {
+                Some(n) => {
+                    visited.push(n);
+                    out.push(self.cell_center(n));
+                    current = n;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn cell_center(&self, flat: u32) -> GeoPoint {
+        let idx = self.grid.from_flat_id(flat).expect("trained cells are valid");
+        self.grid.cell_bbox(idx).center()
+    }
+
+    /// Mean cross-track error of an actual trajectory against the predicted
+    /// route polyline, metres. Returns `None` when either side is empty.
+    pub fn route_error_m(&self, actual: &Trajectory, predicted: &[GeoPoint]) -> Option<f64> {
+        if actual.is_empty() || predicted.len() < 2 {
+            return None;
+        }
+        let mut sum = 0.0;
+        for r in actual.reports() {
+            let mut best = f64::INFINITY;
+            for w in predicted.windows(2) {
+                best = best.min(r.point.distance_to_segment(&w[0], &w[1]));
+            }
+            sum += best;
+        }
+        Some(sum / actual.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, PositionReport, Timestamp};
+
+    fn track(lat_offset: f64) -> Trajectory {
+        let reports: Vec<PositionReport> = (0..40)
+            .map(|i| {
+                PositionReport::basic(
+                    EntityId::aircraft(1),
+                    Timestamp::from_secs(i * 10),
+                    GeoPoint::new(0.05 * i as f64, 40.0 + lat_offset),
+                )
+            })
+            .collect();
+        Trajectory::from_reports(reports)
+    }
+
+    fn extent() -> BoundingBox {
+        BoundingBox::new(-0.5, 39.0, 3.0, 41.0)
+    }
+
+    #[test]
+    fn learns_the_dominant_route() {
+        let tracks: Vec<Trajectory> = (0..10).map(|_| track(0.0)).collect();
+        let hmm = BlindHmm::train(&tracks, extent(), 0.1);
+        let route = hmm.predict_route(50);
+        assert!(route.len() > 10, "route of {} cells", route.len());
+        // The route heads east near lat 40.
+        assert!(route.iter().all(|p| (p.lat - 40.0).abs() < 0.2));
+        let err = hmm.route_error_m(&track(0.0), &route).unwrap();
+        // Bounded by cell quantisation (~11 km cells ⇒ few km error).
+        assert!(err < 8_000.0, "err {err}");
+    }
+
+    #[test]
+    fn mixing_regimes_hurts_accuracy() {
+        // Two route variants far apart; a single blind model predicts one
+        // path and is far off for the other regime.
+        let mut tracks: Vec<Trajectory> = (0..6).map(|_| track(0.0)).collect();
+        tracks.extend((0..5).map(|_| track(0.6)));
+        let hmm = BlindHmm::train(&tracks, extent(), 0.1);
+        let route = hmm.predict_route(50);
+        let err_minority = hmm.route_error_m(&track(0.6), &route).unwrap();
+        assert!(err_minority > 20_000.0, "minority regime error {err_minority}");
+    }
+
+    #[test]
+    fn resource_counters_track_input() {
+        let tracks: Vec<Trajectory> = (0..10).map(|_| track(0.0)).collect();
+        let hmm = BlindHmm::train(&tracks, extent(), 0.05);
+        assert_eq!(hmm.points_trained(), 400);
+        assert!(hmm.parameter_count() > 20);
+    }
+
+    #[test]
+    fn empty_training_is_harmless() {
+        let hmm = BlindHmm::train(&[], extent(), 0.1);
+        assert!(hmm.predict_route(10).is_empty());
+        assert_eq!(hmm.parameter_count(), 0);
+        assert!(hmm.route_error_m(&track(0.0), &[]).is_none());
+    }
+
+    #[test]
+    fn prediction_stops_at_absorbing_cell() {
+        let tracks = vec![track(0.0)];
+        let hmm = BlindHmm::train(&tracks, extent(), 0.1);
+        let route = hmm.predict_route(500);
+        assert!(route.len() < 100, "must stop at the last cell, got {}", route.len());
+    }
+}

@@ -1,0 +1,241 @@
+//! OPTICS density clustering with cluster extraction and medoids.
+//!
+//! "The SemT-OPTICS algorithm provides the means for creating robust and
+//! 'dense' clusters of trajectories" — OPTICS over the enriched distance of
+//! [`crate::distance`]. The implementation works over an arbitrary
+//! caller-supplied distance oracle so it serves trajectories, deviation
+//! profiles, and the visual-analytics workflows alike.
+
+/// OPTICS parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OpticsParams {
+    /// Neighbourhood radius.
+    pub eps: f64,
+    /// Minimum neighbourhood size for a core point.
+    pub min_pts: usize,
+}
+
+/// One entry of the OPTICS ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachabilityEntry {
+    /// The item index.
+    pub index: usize,
+    /// Reachability distance (`f64::INFINITY` for ordering starts).
+    pub reachability: f64,
+}
+
+/// Computes the OPTICS ordering of `n` items under a distance oracle.
+///
+/// O(n²) distance evaluations — fine for the corpus sizes of the TP
+/// experiments (hundreds of trajectories); the oracle is the expensive part
+/// and is called exactly once per pair thanks to a memoised matrix.
+pub fn optics(n: usize, dist: impl Fn(usize, usize) -> f64, params: OpticsParams) -> Vec<ReachabilityEntry> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Memoise the symmetric distance matrix.
+    let mut matrix = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = dist(i, j);
+            matrix[i * n + j] = d;
+            matrix[j * n + i] = d;
+        }
+    }
+    let d = |i: usize, j: usize| matrix[i * n + j];
+
+    let core_distance = |i: usize| -> Option<f64> {
+        let mut dists: Vec<f64> = (0..n).filter(|&j| j != i).map(|j| d(i, j)).filter(|&x| x <= params.eps).collect();
+        if dists.len() + 1 < params.min_pts {
+            return None;
+        }
+        dists.sort_by(f64::total_cmp);
+        // min_pts includes the point itself.
+        Some(dists[params.min_pts.saturating_sub(2).min(dists.len() - 1)])
+    };
+
+    let mut processed = vec![false; n];
+    let mut reach = vec![f64::INFINITY; n];
+    let mut order = Vec::with_capacity(n);
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Seed list: (reachability, index). Simple vector priority queue —
+        // n is small.
+        processed[start] = true;
+        order.push(ReachabilityEntry {
+            index: start,
+            reachability: f64::INFINITY,
+        });
+        let mut seeds: Vec<usize> = Vec::new();
+        let expand = |center: usize, seeds: &mut Vec<usize>, reach: &mut Vec<f64>, processed: &[bool]| {
+            if let Some(core) = core_distance(center) {
+                for j in 0..n {
+                    if processed[j] || j == center {
+                        continue;
+                    }
+                    let dj = d(center, j);
+                    if dj <= params.eps {
+                        let new_reach = core.max(dj);
+                        if new_reach < reach[j] {
+                            reach[j] = new_reach;
+                            if !seeds.contains(&j) {
+                                seeds.push(j);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        expand(start, &mut seeds, &mut reach, &processed);
+        while !seeds.is_empty() {
+            // Pop the seed with the smallest reachability.
+            let (pos, _) = seeds
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| reach[a].total_cmp(&reach[b]))
+                .expect("seeds non-empty");
+            let next = seeds.swap_remove(pos);
+            if processed[next] {
+                continue;
+            }
+            processed[next] = true;
+            order.push(ReachabilityEntry {
+                index: next,
+                reachability: reach[next],
+            });
+            expand(next, &mut seeds, &mut reach, &processed);
+        }
+    }
+    order
+}
+
+/// Extracts clusters from an OPTICS ordering by a reachability threshold:
+/// a new cluster starts whenever reachability exceeds `eps_cluster`; items
+/// that start a cluster that never grows beyond one element are noise.
+///
+/// Returns `(clusters, noise)` with item indices.
+pub fn extract_clusters(order: &[ReachabilityEntry], eps_cluster: f64) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut noise = Vec::new();
+    for e in order {
+        if e.reachability > eps_cluster {
+            if current.len() > 1 {
+                clusters.push(std::mem::take(&mut current));
+            } else {
+                noise.append(&mut current);
+            }
+            current.push(e.index);
+        } else {
+            current.push(e.index);
+        }
+    }
+    if current.len() > 1 {
+        clusters.push(current);
+    } else {
+        noise.extend(current);
+    }
+    (clusters, noise)
+}
+
+/// The medoid of a cluster: the member minimising the summed distance to
+/// the others.
+///
+/// # Panics
+/// Panics on an empty cluster.
+pub fn medoid(cluster: &[usize], dist: impl Fn(usize, usize) -> f64) -> usize {
+    assert!(!cluster.is_empty(), "medoid of empty cluster");
+    *cluster
+        .iter()
+        .min_by(|&&a, &&b| {
+            let da: f64 = cluster.iter().map(|&x| dist(a, x)).sum();
+            let db: f64 = cluster.iter().map(|&x| dist(b, x)).sum();
+            da.total_cmp(&db)
+        })
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight 1-D blobs far apart plus one outlier.
+    fn blob_data() -> Vec<f64> {
+        let mut v = vec![0.0, 0.1, 0.2, 0.15, 0.05];
+        v.extend([10.0, 10.1, 10.2, 10.05]);
+        v.push(100.0);
+        v
+    }
+
+    fn blob_dist(data: &[f64]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| (data[i] - data[j]).abs()
+    }
+
+    #[test]
+    fn separates_two_blobs_and_noise() {
+        let data = blob_data();
+        let order = optics(data.len(), blob_dist(&data), OpticsParams { eps: 1.0, min_pts: 3 });
+        assert_eq!(order.len(), data.len());
+        let (clusters, noise) = extract_clusters(&order, 1.0);
+        assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
+        let sizes: Vec<usize> = clusters.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&5) && sizes.contains(&4), "sizes {sizes:?}");
+        assert_eq!(noise, vec![9], "the 100.0 outlier is noise");
+    }
+
+    #[test]
+    fn ordering_visits_everything_once() {
+        let data = blob_data();
+        let order = optics(data.len(), blob_dist(&data), OpticsParams { eps: 0.5, min_pts: 2 });
+        let mut seen: Vec<usize> = order.iter().map(|e| e.index).collect();
+        seen.sort();
+        assert_eq!(seen, (0..data.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_region_has_low_reachability() {
+        let data = blob_data();
+        let order = optics(data.len(), blob_dist(&data), OpticsParams { eps: 1.0, min_pts: 3 });
+        // Entries inside the first blob (after its start) have small reach.
+        let in_blob: Vec<f64> = order
+            .iter()
+            .filter(|e| e.index < 5 && e.reachability.is_finite())
+            .map(|e| e.reachability)
+            .collect();
+        assert!(!in_blob.is_empty());
+        assert!(in_blob.iter().all(|&r| r <= 0.2), "{in_blob:?}");
+    }
+
+    #[test]
+    fn medoid_is_central() {
+        let data = vec![0.0, 1.0, 2.0, 10.0];
+        let cluster = vec![0, 1, 2];
+        assert_eq!(medoid(&cluster, blob_dist(&data)), 1);
+    }
+
+    #[test]
+    fn single_item_cluster_medoid() {
+        let data = vec![5.0];
+        assert_eq!(medoid(&[0], blob_dist(&data)), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let order = optics(0, |_, _| 0.0, OpticsParams { eps: 1.0, min_pts: 2 });
+        assert!(order.is_empty());
+        let (clusters, noise) = extract_clusters(&order, 1.0);
+        assert!(clusters.is_empty() && noise.is_empty());
+    }
+
+    #[test]
+    fn all_identical_items_form_one_cluster() {
+        let order = optics(6, |_, _| 0.0, OpticsParams { eps: 1.0, min_pts: 3 });
+        let (clusters, noise) = extract_clusters(&order, 0.5);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 6);
+        assert!(noise.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Discrete-state HMMs with Gaussian emissions.
+//!
+//! The TP models use HMMs two ways: the hybrid method models per-waypoint
+//! deviation levels (states = discretised deviation buckets, emissions =
+//! observed deviations), and the blind baseline models raw positions
+//! (states = spatial cells). Both need the same machinery: supervised
+//! estimation from labelled sequences, the forward algorithm (sequence
+//! likelihood), Viterbi decoding, and most-likely-path generation.
+
+/// A homogeneous HMM with scalar Gaussian emissions per state.
+#[derive(Debug, Clone)]
+pub struct GaussianHmm {
+    /// Number of hidden states.
+    n: usize,
+    /// Initial distribution.
+    init: Vec<f64>,
+    /// Row-stochastic transition matrix, `trans[i*n + j] = P(j | i)`.
+    trans: Vec<f64>,
+    /// Emission mean per state.
+    means: Vec<f64>,
+    /// Emission standard deviation per state (floored).
+    stds: Vec<f64>,
+}
+
+const STD_FLOOR: f64 = 1e-3;
+const LOG_ZERO: f64 = -1e18;
+
+impl GaussianHmm {
+    /// Estimates an HMM from labelled sequences of `(state, observation)`
+    /// pairs, with Laplace smoothing on transitions and initials.
+    ///
+    /// # Panics
+    /// Panics when `n_states == 0` or any state label is out of range.
+    pub fn train_supervised(n_states: usize, sequences: &[Vec<(usize, f64)>]) -> Self {
+        assert!(n_states > 0, "need at least one state");
+        let n = n_states;
+        let mut init = vec![1.0; n]; // Laplace
+        let mut trans = vec![1.0; n * n];
+        let mut sum = vec![0.0; n];
+        let mut sum_sq = vec![0.0; n];
+        let mut count = vec![0.0; n];
+        for seq in sequences {
+            if let Some(&(s0, _)) = seq.first() {
+                assert!(s0 < n, "state label out of range");
+                init[s0] += 1.0;
+            }
+            for w in seq.windows(2) {
+                assert!(w[0].0 < n && w[1].0 < n, "state label out of range");
+                trans[w[0].0 * n + w[1].0] += 1.0;
+            }
+            for &(s, x) in seq {
+                sum[s] += x;
+                sum_sq[s] += x * x;
+                count[s] += 1.0;
+            }
+        }
+        // Normalise.
+        let init_total: f64 = init.iter().sum();
+        for v in &mut init {
+            *v /= init_total;
+        }
+        for i in 0..n {
+            let row_total: f64 = trans[i * n..(i + 1) * n].iter().sum();
+            for j in 0..n {
+                trans[i * n + j] /= row_total;
+            }
+        }
+        let global_mean = if count.iter().sum::<f64>() > 0.0 {
+            sum.iter().sum::<f64>() / count.iter().sum::<f64>()
+        } else {
+            0.0
+        };
+        let means: Vec<f64> = (0..n)
+            .map(|s| if count[s] > 0.0 { sum[s] / count[s] } else { global_mean })
+            .collect();
+        let stds: Vec<f64> = (0..n)
+            .map(|s| {
+                if count[s] > 1.0 {
+                    ((sum_sq[s] / count[s] - means[s] * means[s]).max(0.0)).sqrt().max(STD_FLOOR)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self {
+            n,
+            init,
+            trans,
+            means,
+            stds,
+        }
+    }
+
+    /// Builds an HMM from explicit parameters.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions or non-stochastic rows.
+    pub fn from_parts(init: Vec<f64>, trans: Vec<f64>, means: Vec<f64>, stds: Vec<f64>) -> Self {
+        let n = init.len();
+        assert!(n > 0 && trans.len() == n * n && means.len() == n && stds.len() == n);
+        assert!((init.iter().sum::<f64>() - 1.0).abs() < 1e-6, "init must sum to 1");
+        for i in 0..n {
+            let row: f64 = trans[i * n..(i + 1) * n].iter().sum();
+            assert!((row - 1.0).abs() < 1e-6, "transition row {i} sums to {row}");
+        }
+        Self {
+            n,
+            init,
+            trans,
+            means,
+            stds: stds.into_iter().map(|s| s.max(STD_FLOOR)).collect(),
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Emission mean of a state.
+    pub fn mean_of(&self, state: usize) -> f64 {
+        self.means[state]
+    }
+
+    /// Emission standard deviation of a state.
+    pub fn std_of(&self, state: usize) -> f64 {
+        self.stds[state]
+    }
+
+    fn log_emission(&self, state: usize, x: f64) -> f64 {
+        let std = self.stds[state];
+        let z = (x - self.means[state]) / std;
+        -0.5 * z * z - std.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Log-likelihood of an observation sequence (forward algorithm in log
+    /// space with per-step scaling).
+    pub fn log_likelihood(&self, observations: &[f64]) -> f64 {
+        if observations.is_empty() {
+            return 0.0;
+        }
+        let n = self.n;
+        let mut alpha: Vec<f64> = (0..n)
+            .map(|s| safe_ln(self.init[s]) + self.log_emission(s, observations[0]))
+            .collect();
+        for &x in &observations[1..] {
+            let mut next = vec![LOG_ZERO; n];
+            for (j, nj) in next.iter_mut().enumerate() {
+                let terms: Vec<f64> = (0..n)
+                    .map(|i| alpha[i] + safe_ln(self.trans[i * n + j]))
+                    .collect();
+                *nj = log_sum_exp(&terms) + self.log_emission(j, x);
+            }
+            alpha = next;
+        }
+        log_sum_exp(&alpha)
+    }
+
+    /// Viterbi decoding: the most likely state sequence for the
+    /// observations.
+    pub fn viterbi(&self, observations: &[f64]) -> Vec<usize> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let n = self.n;
+        let t_len = observations.len();
+        let mut delta: Vec<f64> = (0..n)
+            .map(|s| safe_ln(self.init[s]) + self.log_emission(s, observations[0]))
+            .collect();
+        let mut back: Vec<usize> = Vec::with_capacity(n * (t_len - 1));
+        for &x in &observations[1..] {
+            let mut next = vec![LOG_ZERO; n];
+            for (j, nj) in next.iter_mut().enumerate() {
+                let (best_i, best_v) = (0..n)
+                    .map(|i| (i, delta[i] + safe_ln(self.trans[i * n + j])))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("n > 0");
+                *nj = best_v + self.log_emission(j, x);
+                back.push(best_i);
+            }
+            delta = next;
+        }
+        let mut state = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("n > 0");
+        let mut path = vec![state; t_len];
+        for t in (1..t_len).rev() {
+            state = back[(t - 1) * n + state];
+            path[t - 1] = state;
+        }
+        path
+    }
+
+    /// The a-priori most likely state path of the given length (greedy over
+    /// initial/transition probabilities) with its expected emissions — the
+    /// generation mode the hybrid predictor uses when no observations exist
+    /// yet.
+    pub fn most_likely_path(&self, len: usize) -> (Vec<usize>, Vec<f64>) {
+        if len == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let mut state = self
+            .init
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("n > 0");
+        let mut states = Vec::with_capacity(len);
+        let mut emissions = Vec::with_capacity(len);
+        states.push(state);
+        emissions.push(self.means[state]);
+        for _ in 1..len {
+            state = (0..self.n)
+                .max_by(|&a, &b| self.trans[state * self.n + a].total_cmp(&self.trans[state * self.n + b]))
+                .expect("n > 0");
+            states.push(state);
+            emissions.push(self.means[state]);
+        }
+        (states, emissions)
+    }
+}
+
+fn safe_ln(x: f64) -> f64 {
+    if x <= 0.0 {
+        LOG_ZERO
+    } else {
+        x.ln()
+    }
+}
+
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return LOG_ZERO;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-state toy: state 0 emits ~0, state 1 emits ~10, sticky
+    /// transitions.
+    fn toy() -> GaussianHmm {
+        GaussianHmm::from_parts(
+            vec![0.8, 0.2],
+            vec![0.9, 0.1, 0.1, 0.9],
+            vec![0.0, 10.0],
+            vec![1.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn viterbi_recovers_obvious_segmentation() {
+        let h = toy();
+        let obs = vec![0.1, -0.2, 0.3, 9.8, 10.2, 9.9, 0.0];
+        let path = h.viterbi(&obs);
+        assert_eq!(path, vec![0, 0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn likelihood_prefers_matching_sequences() {
+        let h = toy();
+        let good = vec![0.0, 0.1, 10.0, 10.1];
+        let bad = vec![5.0, 5.0, 5.0, 5.0];
+        assert!(h.log_likelihood(&good) > h.log_likelihood(&bad));
+    }
+
+    #[test]
+    fn likelihood_of_empty_is_zero() {
+        assert_eq!(toy().log_likelihood(&[]), 0.0);
+        assert!(toy().viterbi(&[]).is_empty());
+    }
+
+    #[test]
+    fn supervised_training_recovers_parameters() {
+        // Generate labelled sequences from the toy model deterministically.
+        let mut sequences = Vec::new();
+        for k in 0..50 {
+            let mut seq = Vec::new();
+            let mut s = k % 2;
+            for i in 0..40 {
+                // Deterministic "noise" in [-0.5, 0.5).
+                let noise = ((i * 7 + k * 13) % 100) as f64 / 100.0 - 0.5;
+                seq.push((s, if s == 0 { noise } else { 10.0 + noise }));
+                // Sticky: switch every 10 steps.
+                if i % 10 == 9 {
+                    s = 1 - s;
+                }
+            }
+            sequences.push(seq);
+        }
+        let h = GaussianHmm::train_supervised(2, &sequences);
+        assert!((h.mean_of(0) - 0.0).abs() < 0.1, "mean0 {}", h.mean_of(0));
+        assert!((h.mean_of(1) - 10.0).abs() < 0.1);
+        // Sticky transitions: P(0|0) ≈ 0.9.
+        assert!(h.trans[0] > 0.8, "P(0|0) {}", h.trans[0]);
+    }
+
+    #[test]
+    fn most_likely_path_follows_transitions() {
+        let h = GaussianHmm::from_parts(
+            vec![1.0, 0.0, 0.0],
+            vec![
+                0.1, 0.9, 0.0, //
+                0.0, 0.2, 0.8, //
+                0.0, 0.0, 1.0,
+            ],
+            vec![1.0, 2.0, 3.0],
+            vec![0.1, 0.1, 0.1],
+        );
+        let (states, emissions) = h.most_likely_path(4);
+        assert_eq!(states, vec![0, 1, 2, 2]);
+        assert_eq!(emissions, vec![1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn degenerate_std_is_floored() {
+        let h = GaussianHmm::train_supervised(1, &[vec![(0, 5.0)]]);
+        assert!(h.std_of(0) >= 1e-3);
+        assert!(h.log_likelihood(&[5.0]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "state label out of range")]
+    fn out_of_range_labels_panic() {
+        GaussianHmm::train_supervised(2, &[vec![(2, 0.0), (0, 0.0)]]);
+    }
+}

@@ -1,0 +1,401 @@
+//! The Hybrid Clustering/HMM trajectory predictor (§5).
+//!
+//! "Clustering at the first stage of processing, using a distance function
+//! that exploits enriched reference points, and training HMMs for each
+//! cluster, using only the reference points of the medoid of each cluster.
+//! … the deviations between 'intended trajectories' (e.g. flight plans in
+//! the ATM domain) and actual routes are modeled as HMM observations or
+//! emissions."
+//!
+//! Stage 1 clusters flights by their *enriched reference points* — plan
+//! waypoints in a shared local frame, annotated with the enrichment
+//! features (per-waypoint weather severity, aircraft size, weekday) — under
+//! the decomposed ERP distance of [`crate::distance`]. Stage 2 trains one
+//! left-to-right [`GaussianHmm`] per cluster whose states are the medoid's
+//! reference waypoints and whose emissions are the observed cross-track
+//! deviations. Prediction for a new flight selects the nearest cluster by
+//! medoid distance and emits the most likely deviation sequence.
+//!
+//! Because the generated deviations are a systematic function of the
+//! enrichment features (see `datacron-data::aviation`), clusters of
+//! feature-similar flights share deviations, and the per-cluster RMSE drops
+//! to the residual-noise floor — the 183–736 m band of Figure 5b — while a
+//! blind model that mixes all flights cannot do better than the overall
+//! deviation spread.
+
+use crate::cluster::{extract_clusters, medoid, optics, OpticsParams};
+use crate::distance::{enriched_distance, EnrichedPoint};
+use crate::hmm::GaussianHmm;
+use datacron_geo::point::heading_difference;
+use datacron_geo::{GeoPoint, LocalFrame, Trajectory};
+
+/// One training flight: plan, enrichment, and observed deviations.
+#[derive(Debug, Clone)]
+pub struct TrainingFlight {
+    /// Flight identifier.
+    pub id: u64,
+    /// Flight-plan waypoints.
+    pub plan: Vec<GeoPoint>,
+    /// Observed signed cross-track deviation at each waypoint, metres
+    /// (see [`measure_waypoint_deviations`]).
+    pub deviations: Vec<f64>,
+    /// Per-waypoint enrichment (weather severity in `[0,1]`).
+    pub wp_features: Vec<f64>,
+    /// Whole-flight features (size class, weekday …), scaled by the caller.
+    pub global_features: Vec<f64>,
+}
+
+/// Hybrid-TP hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct HybridParams {
+    /// Weight of the enrichment part of the decomposed distance, metres per
+    /// unit feature difference (the features are unitless; this exchanges
+    /// them against metres of spatial distance).
+    pub feature_weight: f64,
+    /// OPTICS neighbourhood radius over the enriched distance.
+    pub eps: f64,
+    /// OPTICS core-point minimum.
+    pub min_pts: usize,
+    /// Cluster-extraction reachability threshold.
+    pub eps_cluster: f64,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        Self {
+            feature_weight: 2_000.0,
+            eps: 1_500.0,
+            min_pts: 3,
+            eps_cluster: 1_200.0,
+        }
+    }
+}
+
+/// One cluster's model.
+#[derive(Debug, Clone)]
+struct ClusterModel {
+    /// Enriched reference points of the medoid (cluster signature).
+    medoid_points: Vec<EnrichedPoint>,
+    /// Left-to-right HMM over the waypoints.
+    hmm: GaussianHmm,
+    /// Members seen at training.
+    members: usize,
+}
+
+/// The trained hybrid model.
+#[derive(Debug, Clone)]
+pub struct HybridTp {
+    params: HybridParams,
+    clusters: Vec<ClusterModel>,
+    n_waypoints: usize,
+}
+
+/// Builds the enriched reference-point sequence of a flight: plan waypoints
+/// projected into the frame of the first waypoint, features =
+/// `[severity_i, global...]`.
+fn enrich(plan: &[GeoPoint], wp_features: &[f64], global: &[f64]) -> Vec<EnrichedPoint> {
+    if plan.is_empty() {
+        return Vec::new();
+    }
+    let frame = LocalFrame::new(plan[0]);
+    plan.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (x, y) = frame.project(p);
+            let mut features = Vec::with_capacity(1 + global.len());
+            features.push(wp_features.get(i).copied().unwrap_or(0.5));
+            features.extend_from_slice(global);
+            EnrichedPoint {
+                x,
+                y,
+                t: i as f64,
+                features,
+            }
+        })
+        .collect()
+}
+
+impl HybridTp {
+    /// Trains the two-stage model.
+    ///
+    /// # Panics
+    /// Panics when `flights` is empty or their plans have differing
+    /// waypoint counts (the TP task compares like with like — one route
+    /// family per model).
+    pub fn train(flights: &[TrainingFlight], params: HybridParams) -> Self {
+        assert!(!flights.is_empty(), "need training flights");
+        let n_waypoints = flights[0].plan.len();
+        assert!(
+            flights.iter().all(|f| f.plan.len() == n_waypoints && f.deviations.len() == n_waypoints),
+            "all flights must share the route's waypoint count"
+        );
+
+        let enriched: Vec<Vec<EnrichedPoint>> = flights
+            .iter()
+            .map(|f| enrich(&f.plan, &f.wp_features, &f.global_features))
+            .collect();
+        let dist = |i: usize, j: usize| enriched_distance(&enriched[i], &enriched[j], params.feature_weight);
+
+        let order = optics(
+            flights.len(),
+            dist,
+            OpticsParams {
+                eps: params.eps,
+                min_pts: params.min_pts,
+            },
+        );
+        let (mut clusters, noise) = extract_clusters(&order, params.eps_cluster);
+        if clusters.is_empty() {
+            // Degenerate corpus: train one model on everything.
+            clusters.push((0..flights.len()).collect());
+        } else if !noise.is_empty() {
+            // Noise flights still need coverage: attach each to its nearest
+            // cluster (by medoid distance) so prediction never dangles.
+            for x in noise {
+                let best = (0..clusters.len())
+                    .min_by(|&a, &b| {
+                        let ma = medoid(&clusters[a], dist);
+                        let mb = medoid(&clusters[b], dist);
+                        dist(x, ma).total_cmp(&dist(x, mb))
+                    })
+                    .expect("at least one cluster");
+                clusters[best].push(x);
+            }
+        }
+
+        let models = clusters
+            .iter()
+            .map(|members| {
+                let med = medoid(members, dist);
+                // Left-to-right supervised sequences: state = waypoint index.
+                let sequences: Vec<Vec<(usize, f64)>> = members
+                    .iter()
+                    .map(|&i| {
+                        flights[i]
+                            .deviations
+                            .iter()
+                            .enumerate()
+                            .map(|(w, &d)| (w, d))
+                            .collect()
+                    })
+                    .collect();
+                ClusterModel {
+                    medoid_points: enriched[med].clone(),
+                    hmm: GaussianHmm::train_supervised(n_waypoints, &sequences),
+                    members: members.len(),
+                }
+            })
+            .collect();
+
+        Self {
+            params,
+            clusters: models,
+            n_waypoints,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Member counts per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.members).collect()
+    }
+
+    /// Approximate model size in stored f64 parameters — the resource
+    /// metric of the comparison against the blind baseline (reference
+    /// points per medoid + HMM parameters per cluster).
+    pub fn parameter_count(&self) -> usize {
+        self.clusters
+            .iter()
+            .map(|c| {
+                let w = self.n_waypoints;
+                // medoid points (x, y, t, features) + init + trans + means + stds
+                c.medoid_points.iter().map(|p| 3 + p.features.len()).sum::<usize>() + w + w * w + 2 * w
+            })
+            .sum()
+    }
+
+    /// Assigns a flight (by its plan + enrichment) to the nearest cluster.
+    pub fn assign(&self, plan: &[GeoPoint], wp_features: &[f64], global_features: &[f64]) -> usize {
+        let e = enrich(plan, wp_features, global_features);
+        (0..self.clusters.len())
+            .min_by(|&a, &b| {
+                let da = enriched_distance(&e, &self.clusters[a].medoid_points, self.params.feature_weight);
+                let db = enriched_distance(&e, &self.clusters[b].medoid_points, self.params.feature_weight);
+                da.total_cmp(&db)
+            })
+            .expect("trained model has clusters")
+    }
+
+    /// Predicts the signed cross-track deviation at every waypoint.
+    pub fn predict(&self, plan: &[GeoPoint], wp_features: &[f64], global_features: &[f64]) -> Vec<f64> {
+        let cluster = self.assign(plan, wp_features, global_features);
+        let (_, emissions) = self.clusters[cluster].hmm.most_likely_path(self.n_waypoints);
+        emissions
+    }
+
+    /// Per-cluster emission spread (std averaged over waypoints) — the
+    /// expected per-cluster RMSE floor, reported in the Fig 5b experiment.
+    pub fn cluster_spreads(&self) -> Vec<f64> {
+        self.clusters
+            .iter()
+            .map(|c| {
+                let w = self.n_waypoints;
+                (0..w).map(|s| c.hmm.std_of(s)).sum::<f64>() / w as f64
+            })
+            .collect()
+    }
+}
+
+/// Measures the signed cross-track deviation of an actual trajectory at
+/// each plan waypoint: the offset of the closest trajectory point,
+/// signed positive to the right of the local route direction. Endpoints
+/// (on-ground) report `0.0`.
+pub fn measure_waypoint_deviations(plan: &[GeoPoint], actual: &Trajectory) -> Vec<f64> {
+    let n = plan.len();
+    let mut out = vec![0.0; n];
+    if actual.is_empty() || n < 3 {
+        return out;
+    }
+    for i in 1..n - 1 {
+        let wp = &plan[i];
+        // Closest actual report to the waypoint.
+        let closest = actual
+            .reports()
+            .iter()
+            .min_by(|a, b| {
+                a.point
+                    .haversine_distance(wp)
+                    .total_cmp(&b.point.haversine_distance(wp))
+            })
+            .expect("non-empty trajectory");
+        let dist = closest.point.haversine_distance(wp);
+        // Route direction at the waypoint.
+        let dir = plan[i].bearing_to(&plan[i + 1]);
+        let offset_bearing = wp.bearing_to(&closest.point);
+        // Right of track ⇒ offset bearing ≈ dir + 90; left ⇒ dir - 90.
+        let right = heading_difference(offset_bearing, (dir + 90.0) % 360.0);
+        let left = heading_difference(offset_bearing, (dir + 270.0) % 360.0);
+        out[i] = if right <= left { dist } else { -dist };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic corpus of two feature regimes on one route:
+    /// regime A (severity 0.2) deviates ≈ -480 m, regime B (severity 0.8)
+    /// deviates ≈ +480 m, plus small deterministic noise.
+    fn corpus() -> Vec<TrainingFlight> {
+        let plan: Vec<GeoPoint> = (0..6).map(|i| GeoPoint::new(0.2 * i as f64, 40.0)).collect();
+        let mut flights = Vec::new();
+        for k in 0..24u64 {
+            let regime_b = k % 2 == 1;
+            let severity = if regime_b { 0.8 } else { 0.2 };
+            let systematic = (severity - 0.5) * 1600.0;
+            let noise = (k * 37 % 100) as f64 - 50.0; // ±50 m
+            let deviations: Vec<f64> = (0..6)
+                .map(|w| if w == 0 || w == 5 { 0.0 } else { systematic + noise })
+                .collect();
+            flights.push(TrainingFlight {
+                id: k,
+                plan: plan.clone(),
+                deviations,
+                wp_features: vec![severity; 6],
+                global_features: vec![1.0],
+            });
+        }
+        flights
+    }
+
+    #[test]
+    fn clusters_separate_feature_regimes() {
+        let model = HybridTp::train(&corpus(), HybridParams::default());
+        assert!(model.cluster_count() >= 2, "regimes should split: {}", model.cluster_count());
+        let sizes = model.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 24, "all flights covered: {sizes:?}");
+    }
+
+    #[test]
+    fn prediction_matches_regime_systematics() {
+        let flights = corpus();
+        let model = HybridTp::train(&flights, HybridParams::default());
+        let plan = flights[0].plan.clone();
+        let pred_low = model.predict(&plan, &[0.2; 6], &[1.0]);
+        let pred_high = model.predict(&plan, &[0.8; 6], &[1.0]);
+        // Interior waypoints approach the systematic values ±noise spread.
+        for w in 1..5 {
+            assert!((pred_low[w] - -480.0).abs() < 120.0, "low wp{w}: {}", pred_low[w]);
+            assert!((pred_high[w] - 480.0).abs() < 120.0, "high wp{w}: {}", pred_high[w]);
+        }
+    }
+
+    #[test]
+    fn per_cluster_spread_is_noise_scale() {
+        let model = HybridTp::train(&corpus(), HybridParams::default());
+        for s in model.cluster_spreads() {
+            assert!(s < 120.0, "cluster spread should be noise-level: {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_flight_trains() {
+        let flights = vec![corpus().remove(0)];
+        let model = HybridTp::train(&flights, HybridParams::default());
+        assert_eq!(model.cluster_count(), 1);
+        let pred = model.predict(&flights[0].plan, &flights[0].wp_features, &[1.0]);
+        assert_eq!(pred.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "waypoint count")]
+    fn mismatched_plans_panic() {
+        let mut flights = corpus();
+        flights[1].plan.pop();
+        flights[1].deviations.pop();
+        flights[1].wp_features.pop();
+        HybridTp::train(&flights, HybridParams::default());
+    }
+
+    #[test]
+    fn measure_deviations_signs_and_magnitudes() {
+        // Route due east; actual track offset 0.01 deg north (left ⇒ negative).
+        let plan: Vec<GeoPoint> = (0..5).map(|i| GeoPoint::new(0.1 * i as f64, 40.0)).collect();
+        let reports: Vec<datacron_geo::PositionReport> = (0..50)
+            .map(|i| {
+                datacron_geo::PositionReport::basic(
+                    datacron_geo::EntityId::aircraft(1),
+                    datacron_geo::Timestamp::from_secs(i * 10),
+                    GeoPoint::new(0.008 * i as f64, 40.01),
+                )
+            })
+            .collect();
+        let actual = Trajectory::from_reports(reports);
+        let devs = measure_waypoint_deviations(&plan, &actual);
+        assert_eq!(devs[0], 0.0);
+        assert_eq!(devs[4], 0.0);
+        for (w, d) in devs.iter().enumerate().take(4).skip(1) {
+            assert!(*d < 0.0, "north of an eastbound track is left: wp{w} {d}");
+            assert!((d.abs() - 1_111.0).abs() < 60.0, "≈0.01 deg: {d}");
+        }
+    }
+
+    #[test]
+    fn measure_deviations_empty_or_short() {
+        let plan: Vec<GeoPoint> = (0..5).map(|i| GeoPoint::new(0.1 * i as f64, 40.0)).collect();
+        assert_eq!(measure_waypoint_deviations(&plan, &Trajectory::new()), vec![0.0; 5]);
+        assert_eq!(measure_waypoint_deviations(&plan[..2], &Trajectory::new()), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn parameter_count_is_modest() {
+        let model = HybridTp::train(&corpus(), HybridParams::default());
+        // A handful of clusters on a 6-waypoint route: well under 10k params.
+        assert!(model.parameter_count() < 10_000, "{}", model.parameter_count());
+    }
+}

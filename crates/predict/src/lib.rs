@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # datacron-predict
+//!
+//! Trajectory prediction (§5 of the paper): the online **Future Location
+//! Prediction** (FLP) task and the offline **Trajectory Prediction** (TP)
+//! task, with the paper's proposed methods and the baselines they are
+//! compared against.
+//!
+//! ## FLP — short-term, online
+//!
+//! * [`rmf`] — Recursive Motion Functions (Tao et al., SIGMOD 2004): the
+//!   state-of-the-art baseline. Fits a differential recursive formula over
+//!   the recent positions and iterates it forward.
+//! * [`rmf_star`] — **RMF\***, the paper's enhancement: linear
+//!   extrapolation during steady flight, with a motion-pattern-matching
+//!   mode (circular / quadratic primitives) activated when critical-point
+//!   signals indicate a turn or altitude change. Figure 5a reports ~1–1.2 km
+//!   mean 2-D error at a one-minute horizon with 8 s sampling.
+//! * [`flp`] — the evaluation harness: walk a trajectory, predict `k` steps
+//!   ahead at every position, aggregate the error per look-ahead step.
+//!
+//! ## TP — long-term, offline
+//!
+//! * [`distance`] — the decomposed enriched-trajectory distance (a
+//!   spatio-temporal ERP part plus an enrichment part), following the
+//!   SemT-OPTICS design.
+//! * [`cluster`] — OPTICS density clustering with cluster extraction and
+//!   medoids.
+//! * [`hmm`] — discrete-state HMMs with Gaussian emissions (forward,
+//!   Viterbi, supervised estimation).
+//! * [`hybrid`] — the **Hybrid Clustering/HMM** method: cluster enriched
+//!   trajectories, then model per-waypoint deviations from the flight plan
+//!   with one HMM per cluster (trained against the cluster medoid's
+//!   reference points). Figure 5b reports 183–736 m per-waypoint RMSE.
+//! * [`blind`] — the "blind" HMM baseline over raw positions (no
+//!   enrichment, no clustering), which the hybrid method beats by an order
+//!   of magnitude in cross-track error and by 2–3 orders in resources.
+//!
+//! * [`linalg`] — the small dense least-squares/elimination kernel the
+//!   predictors share.
+
+pub mod blind;
+pub mod cluster;
+pub mod distance;
+pub mod flp;
+pub mod hmm;
+pub mod hybrid;
+pub mod linalg;
+pub mod rmf;
+pub mod rmf_star;
+
+pub use blind::BlindHmm;
+pub use cluster::{extract_clusters, optics, medoid, OpticsParams, ReachabilityEntry};
+pub use distance::{enriched_distance, erp_distance, EnrichedPoint};
+pub use flp::{evaluate_flp, FlpReport, Predictor};
+pub use hmm::GaussianHmm;
+pub use hybrid::{measure_waypoint_deviations, HybridTp, TrainingFlight};
+pub use rmf::RmfPredictor;
+pub use rmf_star::RmfStarPredictor;

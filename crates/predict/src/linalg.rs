@@ -1,0 +1,171 @@
+//! Small dense linear algebra: Gaussian elimination and least squares.
+//!
+//! The motion-function predictors fit tiny systems (order ≤ 6), so a
+//! straightforward partial-pivoting solver is both adequate and fully
+//! auditable.
+
+/// Solves `A x = b` for square `A` (row-major) by Gaussian elimination with
+/// partial pivoting. Returns `None` for singular/ill-conditioned systems.
+pub fn solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || b.len() != n || a.iter().any(|row| row.len() != n) {
+        return None;
+    }
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &bi)| {
+            let mut r = row.clone();
+            r.push(bi);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        // Eliminate below. (Indexing is clearer than split_at_mut gymnastics
+        // for the row pair here.)
+        #[allow(clippy::needless_range_loop)]
+        for row in col + 1..n {
+            let f = m[row][col] / m[col][col];
+            for k in col..=n {
+                m[row][k] -= f * m[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    Some(x)
+}
+
+/// Least squares `min ||X beta - y||` via the normal equations with a small
+/// ridge term for numerical robustness. `x` is row-major with one row per
+/// observation. Returns `None` when the system is degenerate.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    let rows = x.len();
+    if rows == 0 || y.len() != rows {
+        return None;
+    }
+    let cols = x[0].len();
+    if cols == 0 || x.iter().any(|r| r.len() != cols) {
+        return None;
+    }
+    // X^T X + ridge*I and X^T y.
+    let mut xtx = vec![vec![0.0; cols]; cols];
+    let mut xty = vec![0.0; cols];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..cols {
+            xty[i] += row[i] * yi;
+            for j in 0..cols {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+    solve(&xtx, &xty)
+}
+
+/// Fits a degree-`deg` polynomial `y(t)` by least squares; returns
+/// coefficients lowest-order first.
+pub fn polyfit(t: &[f64], y: &[f64], deg: usize, ridge: f64) -> Option<Vec<f64>> {
+    if t.len() != y.len() || t.len() <= deg {
+        return None;
+    }
+    let x: Vec<Vec<f64>> = t
+        .iter()
+        .map(|&ti| (0..=deg).map(|k| ti.powi(k as i32)).collect())
+        .collect();
+    least_squares(&x, y, ridge)
+}
+
+/// Evaluates a polynomial (coefficients lowest-order first).
+pub fn polyval(coeffs: &[f64], t: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_simple_system() {
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![2.0, 3.0];
+        let x = solve(&a, &b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_none() {
+        assert!(solve(&[vec![1.0]], &[1.0, 2.0]).is_none());
+        assert!(solve(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let beta = least_squares(&x, &y, 1e-9).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-6);
+        assert!((beta[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 1.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let beta = least_squares(&x, &y, 1e-9).unwrap();
+        assert!((beta[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn polyfit_quadratic() {
+        let t: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = t.iter().map(|&ti| 1.0 - 2.0 * ti + 0.5 * ti * ti).collect();
+        let c = polyfit(&t, &y, 2, 1e-9).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        assert!((c[1] + 2.0).abs() < 1e-6);
+        assert!((c[2] - 0.5).abs() < 1e-6);
+        assert!((polyval(&c, 20.0) - (1.0 - 40.0 + 200.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn polyfit_underdetermined_is_none() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2, 0.0).is_none());
+    }
+}

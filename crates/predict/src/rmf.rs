@@ -1,0 +1,169 @@
+//! Recursive Motion Functions — the FLP baseline (Tao et al., SIGMOD 2004).
+//!
+//! RMF "captures the motion dynamics of an entity in a differential
+//! recursive formula by combining the most recent data points per `f`
+//! (system parameter)": each coordinate follows
+//!
+//! ```text
+//!   x_t = c_0 + Σ_{j=1..f} c_j · x_{t-j}
+//! ```
+//!
+//! with coefficients fitted by least squares over the recent window and
+//! predictions produced by iterating the recurrence. The formulation is
+//! "most effective when the acceleration components are zero, constant or
+//! at least exhibiting slow drifts" — on noisy surveillance data the fitted
+//! recurrence can amplify noise when iterated, which is exactly why the
+//! paper proposes RMF\*.
+
+use crate::flp::Predictor;
+use crate::linalg::least_squares;
+
+/// The RMF predictor with retrospect order `f`.
+#[derive(Debug, Clone)]
+pub struct RmfPredictor {
+    /// Recurrence order (how many past points each step combines).
+    pub order: usize,
+    /// Ridge regularisation of the fit.
+    pub ridge: f64,
+}
+
+impl RmfPredictor {
+    /// Creates an RMF of the given order (the literature uses small `f`,
+    /// typically 2–5).
+    pub fn new(order: usize) -> Self {
+        Self {
+            order: order.max(1),
+            ridge: 1e-6,
+        }
+    }
+
+    /// Fits the recurrence coefficients for one coordinate sequence;
+    /// `None` when the window is too short or degenerate.
+    fn fit(&self, series: &[f64]) -> Option<Vec<f64>> {
+        let f = self.order;
+        if series.len() < f + 2 {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(series.len() - f);
+        let mut ys = Vec::with_capacity(series.len() - f);
+        for t in f..series.len() {
+            let mut row = Vec::with_capacity(f + 1);
+            row.push(1.0);
+            for j in 1..=f {
+                row.push(series[t - j]);
+            }
+            rows.push(row);
+            ys.push(series[t]);
+        }
+        least_squares(&rows, &ys, self.ridge)
+    }
+
+    fn iterate(coeffs: &[f64], mut tail: Vec<f64>, steps: usize) -> Vec<f64> {
+        let f = coeffs.len() - 1;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let mut next = coeffs[0];
+            for j in 1..=f {
+                next += coeffs[j] * tail[tail.len() - j];
+            }
+            out.push(next);
+            tail.push(next);
+        }
+        out
+    }
+}
+
+impl Predictor for RmfPredictor {
+    fn predict(&self, history: &[(f64, f64, f64)], future_times: &[f64]) -> Vec<(f64, f64)> {
+        let steps = future_times.len();
+        if history.len() < self.order + 2 {
+            // Graceful fallback: persistence.
+            let last = history.last().copied().unwrap_or((0.0, 0.0, 0.0));
+            return vec![(last.0, last.1); steps];
+        }
+        let xs: Vec<f64> = history.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = history.iter().map(|p| p.1).collect();
+        match (self.fit(&xs), self.fit(&ys)) {
+            (Some(cx), Some(cy)) => {
+                let px = Self::iterate(&cx, xs, steps);
+                let py = Self::iterate(&cy, ys, steps);
+                px.into_iter().zip(py).collect()
+            }
+            _ => {
+                let last = history.last().expect("checked length");
+                vec![(last.0, last.1); steps]
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RMF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_history(n: usize, vx: f64, vy: f64, dt: f64) -> Vec<(f64, f64, f64)> {
+        (0..n)
+            .map(|i| (vx * i as f64 * dt, vy * i as f64 * dt, i as f64 * dt))
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_constant_velocity() {
+        let h = linear_history(12, 10.0, -4.0, 8.0);
+        let rmf = RmfPredictor::new(2);
+        let t_last = h.last().unwrap().2;
+        let futures: Vec<f64> = (1..=4).map(|k| t_last + 8.0 * k as f64).collect();
+        let preds = rmf.predict(&h, &futures);
+        for (k, (px, py)) in preds.iter().enumerate() {
+            let expect_x = 10.0 * (t_last + 8.0 * (k + 1) as f64);
+            let expect_y = -4.0 * (t_last + 8.0 * (k + 1) as f64);
+            assert!((px - expect_x).abs() < 1e-6, "x step {k}: {px} vs {expect_x}");
+            assert!((py - expect_y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn captures_sinusoidal_motion() {
+        // A pure sinusoid satisfies x_t = 2cos(ωΔ)x_{t-1} - x_{t-2}.
+        let omega = 0.1f64;
+        let dt = 1.0;
+        let h: Vec<(f64, f64, f64)> = (0..30)
+            .map(|i| {
+                let t = i as f64 * dt;
+                (100.0 * (omega * t).sin(), 100.0 * (omega * t).cos(), t)
+            })
+            .collect();
+        let rmf = RmfPredictor::new(2);
+        let t_last = h.last().unwrap().2;
+        let futures = vec![t_last + dt, t_last + 2.0 * dt];
+        let preds = rmf.predict(&h, &futures);
+        for (k, (px, py)) in preds.iter().enumerate() {
+            let t = t_last + dt * (k + 1) as f64;
+            assert!((px - 100.0 * (omega * t).sin()).abs() < 0.01, "step {k}");
+            assert!((py - 100.0 * (omega * t).cos()).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn short_history_falls_back_to_persistence() {
+        let rmf = RmfPredictor::new(4);
+        let preds = rmf.predict(&[(5.0, 6.0, 0.0)], &[1.0, 2.0]);
+        assert_eq!(preds, vec![(5.0, 6.0), (5.0, 6.0)]);
+        assert!(rmf.predict(&[], &[1.0]).len() == 1);
+    }
+
+    #[test]
+    fn constant_position_is_stable() {
+        let h: Vec<(f64, f64, f64)> = (0..10).map(|i| (3.0, 4.0, i as f64)).collect();
+        let rmf = RmfPredictor::new(3);
+        let preds = rmf.predict(&h, &[10.0, 11.0, 12.0]);
+        for (px, py) in preds {
+            assert!((px - 3.0).abs() < 1e-6);
+            assert!((py - 4.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Data connectors for the surveillance sources.
+//!
+//! "The data connector is responsible to connect to a data source and accept
+//! the data provided. It is capable of applying basic data cleaning
+//! operations, computing and converting values, … e.g. extracting the
+//! Well-Known-Text representation of a given geometry."
+//!
+//! Connectors turn domain records into [`VariableVector`]s, and this module
+//! also ships the standard datAcron graph templates those vectors feed,
+//! so `connector + template` lifts a whole stream with two lines of code.
+
+use crate::generator::{GraphTemplate, TermTemplate, TripleGenerator, VariableVector};
+use crate::term::{Literal, Triple};
+use crate::vocab;
+use datacron_geo::PositionReport;
+use datacron_synopses::CriticalPoint;
+
+/// Connects raw position reports to variable vectors.
+pub fn position_report_vector(r: &PositionReport) -> VariableVector {
+    VariableVector::new()
+        .with("kind", Literal::str(r.entity.kind.to_string()))
+        .with("id", Literal::Int(r.entity.id as i64))
+        .with("ts", Literal::DateTime(r.ts.millis()))
+        .with("wkt", Literal::wkt(r.point.to_wkt()))
+        .with("lon", Literal::Double(r.point.lon))
+        .with("lat", Literal::Double(r.point.lat))
+        .with("speed", Literal::Double(r.speed_mps))
+        .with("heading", Literal::Double(r.heading_deg))
+        .with("altitude", Literal::Double(r.altitude_m))
+}
+
+/// Connects synopses critical points: the position-report fields plus the
+/// critical-point kind annotation.
+pub fn critical_point_vector(cp: &CriticalPoint) -> VariableVector {
+    position_report_vector(&cp.report).with("event", Literal::str(cp.kind.label()))
+}
+
+/// The standard datAcron graph template for semantic nodes produced from
+/// critical points: node typed as `:SemanticNode`, attached to the entity's
+/// trajectory, annotated with geometry, time, kinematics, and event type.
+pub fn semantic_node_template() -> GraphTemplate {
+    let node = || TermTemplate::IriFunc(format!("{}node/{{kind}}/{{id}}/{{ts}}", vocab::DATACRON));
+    let traj = || TermTemplate::IriFunc(format!("{}trajectory/{{kind}}/{{id}}", vocab::DATACRON));
+    let entity = || TermTemplate::IriFunc(format!("{}{{kind}}/{{id}}", vocab::DATACRON));
+    GraphTemplate::new()
+        .pattern(node(), TermTemplate::Const(vocab::rdf_type()), TermTemplate::Const(vocab::semantic_node_class()))
+        .pattern(traj(), TermTemplate::Const(vocab::rdf_type()), TermTemplate::Const(vocab::trajectory_class()))
+        .pattern(traj(), TermTemplate::Const(vocab::of_moving_object()), entity())
+        .pattern(traj(), TermTemplate::Const(vocab::has_node()), node())
+        .pattern(node(), TermTemplate::Const(vocab::as_wkt()), TermTemplate::Var("wkt".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_time()), TermTemplate::Var("ts".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_speed()), TermTemplate::Var("speed".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_heading()), TermTemplate::Var("heading".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_altitude()), TermTemplate::Var("altitude".into()))
+        .pattern(node(), TermTemplate::Const(vocab::event_type()), TermTemplate::Var("event".into()))
+}
+
+/// The raw-position template (no event annotation; positions typed
+/// `:RawPosition`).
+pub fn raw_position_template() -> GraphTemplate {
+    let node = || TermTemplate::IriFunc(format!("{}raw/{{kind}}/{{id}}/{{ts}}", vocab::DATACRON));
+    GraphTemplate::new()
+        .pattern(node(), TermTemplate::Const(vocab::rdf_type()), TermTemplate::Const(vocab::raw_position_class()))
+        .pattern(node(), TermTemplate::Const(vocab::as_wkt()), TermTemplate::Var("wkt".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_time()), TermTemplate::Var("ts".into()))
+        .pattern(node(), TermTemplate::Const(vocab::has_speed()), TermTemplate::Var("speed".into()))
+}
+
+/// Lifts a stream of critical points into triples with the standard
+/// template — the per-record path the RDF-generation experiment measures.
+pub fn lift_critical_points(points: &[CriticalPoint]) -> Vec<Triple> {
+    let mut gen = TripleGenerator::new(semantic_node_template());
+    let mut out = Vec::with_capacity(points.len() * 10);
+    for cp in points {
+        out.extend(gen.generate(&critical_point_vector(cp)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, Timestamp};
+    use datacron_synopses::CriticalKind;
+
+    fn cp() -> CriticalPoint {
+        let mut r = PositionReport::basic(
+            EntityId::vessel(42),
+            Timestamp::from_secs(100),
+            GeoPoint::new(23.5, 37.9),
+        );
+        r.speed_mps = 7.2;
+        r.heading_deg = 185.0;
+        CriticalPoint::new(r, CriticalKind::ChangeInHeading { delta_deg: 25.0 })
+    }
+
+    #[test]
+    fn connector_extracts_all_fields() {
+        let v = critical_point_vector(&cp());
+        assert_eq!(v.get("id"), Some(&Literal::Int(42)));
+        assert_eq!(v.get("event"), Some(&Literal::str("change_in_heading")));
+        assert_eq!(v.get("wkt"), Some(&Literal::wkt("POINT (23.5 37.9)")));
+        assert_eq!(v.get("ts"), Some(&Literal::DateTime(100_000)));
+    }
+
+    #[test]
+    fn semantic_node_template_emits_full_graph() {
+        let triples = lift_critical_points(&[cp()]);
+        assert_eq!(triples.len(), 10, "all ten patterns instantiate");
+        // The node IRI is shared across its annotations.
+        let node_subjects = triples
+            .iter()
+            .filter(|t| t.s.as_iri().is_some_and(|i| i.contains("node/vessel/42/100000")))
+            .count();
+        assert_eq!(node_subjects, 7, "type + wkt + time + speed + heading + altitude + event");
+        // Trajectory links exist.
+        assert!(triples.iter().any(|t| t.p == vocab::has_node()));
+        assert!(triples.iter().any(|t| t.p == vocab::of_moving_object()));
+    }
+
+    #[test]
+    fn raw_template_is_smaller() {
+        let mut gen = TripleGenerator::new(raw_position_template());
+        let triples = gen.generate(&position_report_vector(&cp().report));
+        assert_eq!(triples.len(), 4);
+    }
+
+    #[test]
+    fn distinct_records_produce_distinct_nodes() {
+        let a = cp();
+        let mut b = cp();
+        b.report.ts = Timestamp::from_secs(200);
+        let ta = lift_critical_points(&[a]);
+        let tb = lift_critical_points(&[b]);
+        assert_ne!(ta[0].s, tb[0].s);
+    }
+}

@@ -1,0 +1,285 @@
+//! The graph-template RDF-generation framework (§4.2.3).
+//!
+//! "The variables vectors, while enabling transparent reference to
+//! datasource fields as variables, enable the RDF generation method to refer
+//! to data not explicitly available in the source, but generated during the
+//! generation process. The graph template on the other hand uses these
+//! variables into triple patterns; i.e. in triples where any of the subject
+//! or object can be either a variable or a function with variable
+//! arguments."
+//!
+//! * [`VariableVector`] — named values extracted/derived from one source
+//!   record by a data connector.
+//! * [`TermTemplate`] — a constant term, a variable reference, or an IRI
+//!   template function (`"…/{var}/{var2}"`).
+//! * [`GraphTemplate`] — triple patterns over term templates.
+//! * [`TripleGenerator`] — instantiates the template for each variable
+//!   vector; skips triples whose variables are absent (so optional source
+//!   fields simply produce fewer triples, mirroring the tolerance of the
+//!   original framework to heterogeneous records).
+
+use crate::term::{Literal, Term, Triple};
+use std::collections::HashMap;
+
+/// Named values of one source record.
+#[derive(Debug, Clone, Default)]
+pub struct VariableVector {
+    values: HashMap<String, Literal>,
+}
+
+impl VariableVector {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: Literal) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Sets a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: Literal) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, name: &str) -> Option<&Literal> {
+        self.values.get(name)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no variables are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// One position of a triple pattern.
+#[derive(Debug, Clone)]
+pub enum TermTemplate {
+    /// A constant term, copied verbatim.
+    Const(Term),
+    /// A variable: the literal bound to this name.
+    Var(String),
+    /// An IRI built from a template with `{var}` placeholders — the
+    /// "function with variable arguments" of the paper.
+    IriFunc(String),
+}
+
+impl TermTemplate {
+    /// Instantiates against a variable vector; `None` when a referenced
+    /// variable is unbound.
+    pub fn instantiate(&self, vars: &VariableVector) -> Option<Term> {
+        match self {
+            TermTemplate::Const(t) => Some(t.clone()),
+            TermTemplate::Var(name) => vars.get(name).cloned().map(Term::Literal),
+            TermTemplate::IriFunc(template) => {
+                let mut out = String::with_capacity(template.len() + 16);
+                let mut rest = template.as_str();
+                while let Some(open) = rest.find('{') {
+                    out.push_str(&rest[..open]);
+                    let after = &rest[open + 1..];
+                    let close = after.find('}')?;
+                    let var = &after[..close];
+                    out.push_str(&vars.get(var)?.lexical());
+                    rest = &after[close + 1..];
+                }
+                out.push_str(rest);
+                Some(Term::iri(out))
+            }
+        }
+    }
+}
+
+/// A triple pattern of a graph template.
+#[derive(Debug, Clone)]
+pub struct TriplePattern {
+    /// Subject template.
+    pub s: TermTemplate,
+    /// Predicate template.
+    pub p: TermTemplate,
+    /// Object template.
+    pub o: TermTemplate,
+}
+
+impl TriplePattern {
+    /// Creates a pattern.
+    pub fn new(s: TermTemplate, p: TermTemplate, o: TermTemplate) -> Self {
+        Self { s, p, o }
+    }
+}
+
+/// A reusable set of triple patterns.
+#[derive(Debug, Clone, Default)]
+pub struct GraphTemplate {
+    patterns: Vec<TriplePattern>,
+}
+
+impl GraphTemplate {
+    /// An empty template.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pattern (builder style).
+    pub fn pattern(mut self, s: TermTemplate, p: TermTemplate, o: TermTemplate) -> Self {
+        self.patterns.push(TriplePattern::new(s, p, o));
+        self
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[TriplePattern] {
+        &self.patterns
+    }
+}
+
+/// Instantiates a graph template per record.
+#[derive(Debug, Clone)]
+pub struct TripleGenerator {
+    template: GraphTemplate,
+    generated: u64,
+    skipped_patterns: u64,
+}
+
+impl TripleGenerator {
+    /// Creates a generator over a template.
+    pub fn new(template: GraphTemplate) -> Self {
+        Self {
+            template,
+            generated: 0,
+            skipped_patterns: 0,
+        }
+    }
+
+    /// Lifts one variable vector into triples. Patterns referencing unbound
+    /// variables are skipped (and counted), not errors.
+    pub fn generate(&mut self, vars: &VariableVector) -> Vec<Triple> {
+        let mut out = Vec::with_capacity(self.template.patterns().len());
+        for pat in self.template.patterns() {
+            match (
+                pat.s.instantiate(vars),
+                pat.p.instantiate(vars),
+                pat.o.instantiate(vars),
+            ) {
+                (Some(s), Some(p), Some(o)) => out.push(Triple::new(s, p, o)),
+                _ => self.skipped_patterns += 1,
+            }
+        }
+        self.generated += out.len() as u64;
+        out
+    }
+
+    /// Lifts a batch of vectors.
+    pub fn generate_batch<'a>(&mut self, batch: impl IntoIterator<Item = &'a VariableVector>) -> Vec<Triple> {
+        let mut out = Vec::new();
+        for vars in batch {
+            out.extend(self.generate(vars));
+        }
+        out
+    }
+
+    /// Triples generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Patterns skipped for unbound variables so far.
+    pub fn skipped_patterns(&self) -> u64 {
+        self.skipped_patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> VariableVector {
+        VariableVector::new()
+            .with("mmsi", Literal::Int(123))
+            .with("speed", Literal::Double(7.5))
+            .with("wkt", Literal::wkt("POINT (1 2)"))
+    }
+
+    #[test]
+    fn const_and_var_templates() {
+        let v = vars();
+        assert_eq!(
+            TermTemplate::Const(Term::iri("x")).instantiate(&v),
+            Some(Term::iri("x"))
+        );
+        assert_eq!(
+            TermTemplate::Var("speed".into()).instantiate(&v),
+            Some(Term::double(7.5))
+        );
+        assert_eq!(TermTemplate::Var("missing".into()).instantiate(&v), None);
+    }
+
+    #[test]
+    fn iri_function_substitutes_placeholders() {
+        let v = vars();
+        let t = TermTemplate::IriFunc("http://ex/vessel/{mmsi}/pos".into());
+        assert_eq!(t.instantiate(&v), Some(Term::iri("http://ex/vessel/123/pos")));
+        // Multiple placeholders.
+        let t2 = TermTemplate::IriFunc("u:{mmsi}-{speed}".into());
+        assert_eq!(t2.instantiate(&v), Some(Term::iri("u:123-7.5")));
+        // Unbound placeholder fails the whole term.
+        let t3 = TermTemplate::IriFunc("u:{nope}".into());
+        assert_eq!(t3.instantiate(&v), None);
+    }
+
+    #[test]
+    fn iri_function_without_placeholders_is_constant() {
+        let t = TermTemplate::IriFunc("http://ex/fixed".into());
+        assert_eq!(t.instantiate(&VariableVector::new()), Some(Term::iri("http://ex/fixed")));
+    }
+
+    #[test]
+    fn generator_emits_full_patterns_and_skips_partial() {
+        let template = GraphTemplate::new()
+            .pattern(
+                TermTemplate::IriFunc("v:{mmsi}".into()),
+                TermTemplate::Const(Term::iri("p:speed")),
+                TermTemplate::Var("speed".into()),
+            )
+            .pattern(
+                TermTemplate::IriFunc("v:{mmsi}".into()),
+                TermTemplate::Const(Term::iri("p:draught")),
+                TermTemplate::Var("draught".into()), // unbound
+            );
+        let mut gen = TripleGenerator::new(template);
+        let triples = gen.generate(&vars());
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0].s, Term::iri("v:123"));
+        assert_eq!(gen.generated(), 1);
+        assert_eq!(gen.skipped_patterns(), 1);
+    }
+
+    #[test]
+    fn batch_generation_accumulates() {
+        let template = GraphTemplate::new().pattern(
+            TermTemplate::IriFunc("v:{mmsi}".into()),
+            TermTemplate::Const(Term::iri("p:speed")),
+            TermTemplate::Var("speed".into()),
+        );
+        let mut gen = TripleGenerator::new(template);
+        let batch = [vars(), vars()];
+        let triples = gen.generate_batch(batch.iter());
+        assert_eq!(triples.len(), 2);
+        assert_eq!(gen.generated(), 2);
+    }
+
+    #[test]
+    fn variable_vector_accessors() {
+        let mut v = VariableVector::new();
+        assert!(v.is_empty());
+        v.set("a", Literal::Int(1));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get("a"), Some(&Literal::Int(1)));
+    }
+}

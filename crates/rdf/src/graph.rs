@@ -1,0 +1,153 @@
+//! An in-memory RDF graph with lookup indexes.
+//!
+//! This is the working representation of RDF fragments as they flow between
+//! components (link discovery applies its filter queries on each generated
+//! fragment). Persistent, partitioned storage with dictionary encoding lives
+//! in `datacron-store`.
+
+use crate::term::{Term, Triple};
+use std::collections::{HashMap, HashSet};
+
+/// An in-memory triple set with SPO/POS/OSP hash indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    triples: Vec<Triple>,
+    seen: HashSet<Triple>,
+    by_s: HashMap<Term, Vec<usize>>,
+    by_p: HashMap<Term, Vec<usize>>,
+    by_o: HashMap<Term, Vec<usize>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple; returns `false` for duplicates (set semantics).
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if !self.seen.insert(t.clone()) {
+            return false;
+        }
+        let idx = self.triples.len();
+        self.by_s.entry(t.s.clone()).or_default().push(idx);
+        self.by_p.entry(t.p.clone()).or_default().push(idx);
+        self.by_o.entry(t.o.clone()).or_default().push(idx);
+        self.triples.push(t);
+        true
+    }
+
+    /// Inserts many triples.
+    pub fn extend(&mut self, ts: impl IntoIterator<Item = Triple>) {
+        for t in ts {
+            self.insert(t);
+        }
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Triples matching a `(s?, p?, o?)` mask, using the most selective
+    /// available index.
+    pub fn matching(&self, s: Option<&Term>, p: Option<&Term>, o: Option<&Term>) -> Vec<&Triple> {
+        let candidates: Box<dyn Iterator<Item = usize> + '_> = match (s, p, o) {
+            (Some(s), _, _) => Box::new(self.by_s.get(s).into_iter().flatten().copied()),
+            (None, _, Some(o)) => Box::new(self.by_o.get(o).into_iter().flatten().copied()),
+            (None, Some(p), None) => Box::new(self.by_p.get(p).into_iter().flatten().copied()),
+            (None, None, None) => Box::new(0..self.triples.len()),
+        };
+        candidates
+            .map(|i| &self.triples[i])
+            .filter(|t| {
+                s.is_none_or(|s| &t.s == s) && p.is_none_or(|p| &t.p == p) && o.is_none_or(|o| &t.o == o)
+            })
+            .collect()
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, s: &Term, p: &Term) -> Vec<&Term> {
+        self.matching(Some(s), Some(p), None).into_iter().map(|t| &t.o).collect()
+    }
+
+    /// Subjects of `(?, p, o)`.
+    pub fn subjects(&self, p: &Term, o: &Term) -> Vec<&Term> {
+        self.matching(None, Some(p), Some(o)).into_iter().map(|t| &t.s).collect()
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        [
+            t("a", "knows", "b"),
+            t("a", "knows", "c"),
+            t("b", "knows", "c"),
+            t("a", "name", "x"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = Graph::new();
+        assert!(g.insert(t("a", "p", "b")));
+        assert!(!g.insert(t("a", "p", "b")));
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&t("a", "p", "b")));
+    }
+
+    #[test]
+    fn matching_by_each_position() {
+        let g = sample();
+        assert_eq!(g.matching(Some(&Term::iri("a")), None, None).len(), 3);
+        assert_eq!(g.matching(None, Some(&Term::iri("knows")), None).len(), 3);
+        assert_eq!(g.matching(None, None, Some(&Term::iri("c"))).len(), 2);
+        assert_eq!(g.matching(None, None, None).len(), 4);
+        assert_eq!(
+            g.matching(Some(&Term::iri("a")), Some(&Term::iri("knows")), Some(&Term::iri("b"))).len(),
+            1
+        );
+        assert!(g.matching(Some(&Term::iri("zz")), None, None).is_empty());
+    }
+
+    #[test]
+    fn objects_and_subjects() {
+        let g = sample();
+        let objs = g.objects(&Term::iri("a"), &Term::iri("knows"));
+        assert_eq!(objs.len(), 2);
+        let subs = g.subjects(&Term::iri("knows"), &Term::iri("c"));
+        assert_eq!(subs.len(), 2);
+    }
+}

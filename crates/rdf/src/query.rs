@@ -1,0 +1,219 @@
+//! Basic-graph-pattern evaluation.
+//!
+//! The link-discovery component "continuously applies SPARQL queries on each
+//! RDF graph fragment produced by an RDF generator, to filter only those
+//! triples relevant to the computation of a relation". The star-join
+//! experiment of the knowledge-graph store also evaluates BGPs. This module
+//! provides the shared evaluator: conjunctive triple patterns with
+//! variables, solved by index-backed nested-loop joins with greedy
+//! most-selective-first ordering.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A pattern position: a constant term or a named variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternTerm {
+    /// Must equal this term.
+    Const(Term),
+    /// Binds (or must match an existing binding of) this variable.
+    Var(String),
+}
+
+impl PatternTerm {
+    /// Variable shorthand.
+    pub fn var(name: impl Into<String>) -> Self {
+        PatternTerm::Var(name.into())
+    }
+
+    /// Constant shorthand.
+    pub fn iri(s: impl AsRef<str>) -> Self {
+        PatternTerm::Const(Term::iri(s))
+    }
+}
+
+/// One triple pattern of a query.
+#[derive(Debug, Clone)]
+pub struct QueryPattern {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+}
+
+impl QueryPattern {
+    /// Creates a pattern.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        Self { s, p, o }
+    }
+}
+
+/// A solution: variable name → bound term.
+pub type Binding = HashMap<String, Term>;
+
+fn resolve<'a>(pt: &'a PatternTerm, binding: &'a Binding) -> Option<&'a Term> {
+    match pt {
+        PatternTerm::Const(t) => Some(t),
+        PatternTerm::Var(name) => binding.get(name),
+    }
+}
+
+/// Evaluates a conjunction of patterns over a graph, returning all
+/// solutions. Patterns are greedily reordered each step to evaluate the one
+/// with the most bound positions first.
+pub fn evaluate(graph: &Graph, patterns: &[QueryPattern]) -> Vec<Binding> {
+    let mut order: Vec<&QueryPattern> = patterns.iter().collect();
+    let mut solutions = vec![Binding::new()];
+    while !order.is_empty() && !solutions.is_empty() {
+        // Selectivity under the first current solution (all share bound vars
+        // at this depth only approximately; the greedy heuristic is fine).
+        let sample = &solutions[0];
+        let best_idx = order
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| {
+                [&p.s, &p.p, &p.o]
+                    .iter()
+                    .filter(|pt| resolve(pt, sample).is_some())
+                    .count()
+            })
+            .map(|(i, _)| i)
+            .expect("order non-empty");
+        let pattern = order.remove(best_idx);
+        let mut next = Vec::new();
+        for binding in &solutions {
+            let s = resolve(&pattern.s, binding).cloned();
+            let p = resolve(&pattern.p, binding).cloned();
+            let o = resolve(&pattern.o, binding).cloned();
+            for t in graph.matching(s.as_ref(), p.as_ref(), o.as_ref()) {
+                let mut b = binding.clone();
+                let mut ok = true;
+                for (pt, actual) in [(&pattern.s, &t.s), (&pattern.p, &t.p), (&pattern.o, &t.o)] {
+                    if let PatternTerm::Var(name) = pt {
+                        match b.get(name) {
+                            Some(bound) if bound != actual => {
+                                ok = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                b.insert(name.clone(), actual.clone());
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    next.push(b);
+                }
+            }
+        }
+        solutions = next;
+    }
+    solutions
+}
+
+/// Builds a star query: one subject variable `?s` with the given
+/// (predicate, object-pattern) arms — the query shape of the store
+/// experiment (§4.2.5).
+pub fn star_query(arms: &[(Term, PatternTerm)]) -> Vec<QueryPattern> {
+    arms.iter()
+        .map(|(p, o)| QueryPattern::new(PatternTerm::var("s"), PatternTerm::Const(p.clone()), o.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Triple;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Graph {
+        [
+            t("a", "type", "Vessel"),
+            t("b", "type", "Vessel"),
+            t("c", "type", "Aircraft"),
+            t("a", "flag", "GR"),
+            t("b", "flag", "MT"),
+            t("a", "in", "area1"),
+            t("b", "in", "area1"),
+            t("c", "in", "area2"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn single_pattern_all_matches() {
+        let g = sample();
+        let sols = evaluate(
+            &g,
+            &[QueryPattern::new(PatternTerm::var("x"), PatternTerm::iri("type"), PatternTerm::var("t"))],
+        );
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn star_join_conjunction() {
+        let g = sample();
+        let q = star_query(&[
+            (Term::iri("type"), PatternTerm::iri("Vessel")),
+            (Term::iri("in"), PatternTerm::iri("area1")),
+            (Term::iri("flag"), PatternTerm::var("flag")),
+        ]);
+        let sols = evaluate(&g, &q);
+        assert_eq!(sols.len(), 2);
+        let flags: Vec<_> = sols.iter().map(|b| b["flag"].clone()).collect();
+        assert!(flags.contains(&Term::iri("GR")));
+        assert!(flags.contains(&Term::iri("MT")));
+    }
+
+    #[test]
+    fn shared_variable_joins_across_patterns() {
+        let g = sample();
+        // Entities sharing an area with "a", excluding a itself via type arm.
+        let q = vec![
+            QueryPattern::new(PatternTerm::iri("a"), PatternTerm::iri("in"), PatternTerm::var("area")),
+            QueryPattern::new(PatternTerm::var("other"), PatternTerm::iri("in"), PatternTerm::var("area")),
+        ];
+        let sols = evaluate(&g, &q);
+        let others: Vec<_> = sols.iter().map(|b| b["other"].clone()).collect();
+        assert!(others.contains(&Term::iri("a")));
+        assert!(others.contains(&Term::iri("b")));
+        assert!(!others.contains(&Term::iri("c")));
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        let mut g = Graph::new();
+        g.insert(t("x", "p", "x"));
+        g.insert(t("x", "p", "y"));
+        let q = vec![QueryPattern::new(PatternTerm::var("v"), PatternTerm::iri("p"), PatternTerm::var("v"))];
+        let sols = evaluate(&g, &q);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["v"], Term::iri("x"));
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_empty() {
+        let g = sample();
+        let q = star_query(&[
+            (Term::iri("type"), PatternTerm::iri("Vessel")),
+            (Term::iri("in"), PatternTerm::iri("area2")),
+        ]);
+        assert!(evaluate(&g, &q).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_list_yields_unit_solution() {
+        let g = sample();
+        let sols = evaluate(&g, &[]);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+}

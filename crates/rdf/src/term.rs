@@ -1,0 +1,254 @@
+//! RDF terms and triples.
+//!
+//! Terms use reference-counted strings so that triples are cheap to clone as
+//! they flow through topics and into the store (which dictionary-encodes
+//! them into integers anyway).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A literal value with the datatypes the mobility data needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `xsd:string`.
+    Str(Arc<str>),
+    /// `xsd:integer`.
+    Int(i64),
+    /// `xsd:double`.
+    Double(f64),
+    /// `xsd:dateTime`, epoch milliseconds.
+    DateTime(i64),
+    /// `geo:wktLiteral`.
+    Wkt(Arc<str>),
+    /// `xsd:boolean`.
+    Bool(bool),
+}
+
+impl Literal {
+    /// String literal from anything stringy.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Literal::Str(Arc::from(s.as_ref()))
+    }
+
+    /// WKT literal.
+    pub fn wkt(s: impl AsRef<str>) -> Self {
+        Literal::Wkt(Arc::from(s.as_ref()))
+    }
+
+    /// The lexical form, as it would appear in N-Triples (unquoted).
+    pub fn lexical(&self) -> String {
+        match self {
+            Literal::Str(s) | Literal::Wkt(s) => s.to_string(),
+            Literal::Int(i) => i.to_string(),
+            Literal::Double(d) => format!("{d}"),
+            Literal::DateTime(ms) => format!("{ms}"),
+            Literal::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Numeric view when the literal is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Literal::Int(i) => Some(*i as f64),
+            Literal::Double(d) => Some(*d),
+            Literal::DateTime(ms) => Some(*ms as f64),
+            _ => None,
+        }
+    }
+}
+
+/// An RDF term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// An IRI.
+    Iri(Arc<str>),
+    /// A blank node with a local id.
+    Blank(u64),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// IRI term from anything stringy.
+    pub fn iri(s: impl AsRef<str>) -> Self {
+        Term::Iri(Arc::from(s.as_ref()))
+    }
+
+    /// String-literal term.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Term::Literal(Literal::str(s))
+    }
+
+    /// Integer-literal term.
+    pub fn int(i: i64) -> Self {
+        Term::Literal(Literal::Int(i))
+    }
+
+    /// Double-literal term.
+    pub fn double(d: f64) -> Self {
+        Term::Literal(Literal::Double(d))
+    }
+
+    /// DateTime-literal term (epoch ms).
+    pub fn datetime(ms: i64) -> Self {
+        Term::Literal(Literal::DateTime(ms))
+    }
+
+    /// WKT-literal term.
+    pub fn wkt(s: impl AsRef<str>) -> Self {
+        Term::Literal(Literal::wkt(s))
+    }
+
+    /// `true` for IRIs.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// The IRI string when this is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A stable N-Triples-like serialisation, used for dictionary keys and
+    /// debugging.
+    pub fn n3(&self) -> String {
+        match self {
+            Term::Iri(s) => format!("<{s}>"),
+            Term::Blank(id) => format!("_:b{id}"),
+            Term::Literal(Literal::Str(s)) => format!("\"{s}\""),
+            Term::Literal(Literal::Int(i)) => format!("\"{i}\"^^xsd:integer"),
+            Term::Literal(Literal::Double(d)) => format!("\"{d}\"^^xsd:double"),
+            Term::Literal(Literal::DateTime(ms)) => format!("\"{ms}\"^^xsd:dateTime"),
+            Term::Literal(Literal::Wkt(s)) => format!("\"{s}\"^^geo:wktLiteral"),
+            Term::Literal(Literal::Bool(b)) => format!("\"{b}\"^^xsd:boolean"),
+        }
+    }
+}
+
+impl Eq for Term {}
+
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Term::Iri(s) => {
+                0u8.hash(state);
+                s.hash(state);
+            }
+            Term::Blank(id) => {
+                1u8.hash(state);
+                id.hash(state);
+            }
+            Term::Literal(l) => {
+                2u8.hash(state);
+                match l {
+                    Literal::Str(s) => {
+                        0u8.hash(state);
+                        s.hash(state);
+                    }
+                    Literal::Int(i) => {
+                        1u8.hash(state);
+                        i.hash(state);
+                    }
+                    Literal::Double(d) => {
+                        2u8.hash(state);
+                        d.to_bits().hash(state);
+                    }
+                    Literal::DateTime(ms) => {
+                        3u8.hash(state);
+                        ms.hash(state);
+                    }
+                    Literal::Wkt(s) => {
+                        4u8.hash(state);
+                        s.hash(state);
+                    }
+                    Literal::Bool(b) => {
+                        5u8.hash(state);
+                        b.hash(state);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.n3())
+    }
+}
+
+/// An RDF triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject.
+    pub s: Term,
+    /// Predicate.
+    pub p: Term,
+    /// Object.
+    pub o: Term,
+}
+
+impl Triple {
+    /// Creates a triple.
+    pub fn new(s: Term, p: Term, o: Term) -> Self {
+        Self { s, p, o }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Term::iri("http://example.org/a");
+        assert!(t.is_iri());
+        assert_eq!(t.as_iri(), Some("http://example.org/a"));
+        assert_eq!(Term::int(5), Term::Literal(Literal::Int(5)));
+        assert!(Term::double(1.5).as_iri().is_none());
+    }
+
+    #[test]
+    fn n3_forms() {
+        assert_eq!(Term::iri("x:a").n3(), "<x:a>");
+        assert_eq!(Term::Blank(3).n3(), "_:b3");
+        assert_eq!(Term::str("hi").n3(), "\"hi\"");
+        assert_eq!(Term::int(7).n3(), "\"7\"^^xsd:integer");
+        assert_eq!(Term::wkt("POINT (1 2)").n3(), "\"POINT (1 2)\"^^geo:wktLiteral");
+    }
+
+    #[test]
+    fn literal_numeric_views() {
+        assert_eq!(Literal::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Literal::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Literal::str("x").as_f64(), None);
+        assert_eq!(Literal::DateTime(1000).as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn terms_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        set.insert(Term::iri("a"));
+        set.insert(Term::str("a"));
+        set.insert(Term::int(1));
+        set.insert(Term::double(1.0));
+        assert_eq!(set.len(), 4, "different kinds never collide semantically");
+        assert!(set.contains(&Term::iri("a")));
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::int(1));
+        assert_eq!(t.to_string(), "<s> <p> \"1\"^^xsd:integer .");
+    }
+}

@@ -1,0 +1,173 @@
+//! The datAcron ontology vocabulary (§4.1).
+//!
+//! IRIs for the concepts and relations of the datAcron ontology (Figure 3 of
+//! the paper): trajectories, trajectory parts, semantic nodes, raw
+//! positions, events, and the spatio-temporal relations link discovery
+//! produces (`dul:within` / `geosparql:nearTo`). Namespaces follow the
+//! ontologies the datAcron model builds on (DUL, GeoSPARQL, SSN).
+
+use crate::term::Term;
+
+/// datAcron namespace.
+pub const DATACRON: &str = "http://www.datacron-project.eu/datAcron#";
+/// DOLCE+DnS Ultralite namespace.
+pub const DUL: &str = "http://www.ontologydesignpatterns.org/ont/dul/DUL.owl#";
+/// GeoSPARQL namespace.
+pub const GEO: &str = "http://www.opengis.net/ont/geosparql#";
+/// RDF namespace.
+pub const RDF: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+/// `rdf:type`.
+pub fn rdf_type() -> Term {
+    Term::iri(format!("{RDF}type"))
+}
+
+/// The `:Trajectory` class.
+pub fn trajectory_class() -> Term {
+    Term::iri(format!("{DATACRON}Trajectory"))
+}
+
+/// The `:TrajectoryPart` class.
+pub fn trajectory_part_class() -> Term {
+    Term::iri(format!("{DATACRON}TrajectoryPart"))
+}
+
+/// The `:SemanticNode` class (critical points / meaningful events along a
+/// trajectory).
+pub fn semantic_node_class() -> Term {
+    Term::iri(format!("{DATACRON}SemanticNode"))
+}
+
+/// The `:RawPosition` class.
+pub fn raw_position_class() -> Term {
+    Term::iri(format!("{DATACRON}RawPosition"))
+}
+
+/// The `dul:Event` class.
+pub fn event_class() -> Term {
+    Term::iri(format!("{DUL}Event"))
+}
+
+/// `:hasPart` — trajectory to trajectory part.
+pub fn has_part() -> Term {
+    Term::iri(format!("{DATACRON}hasPart"))
+}
+
+/// `:hasNode` — trajectory part to semantic node.
+pub fn has_node() -> Term {
+    Term::iri(format!("{DATACRON}hasNode"))
+}
+
+/// `:ofMovingObject` — trajectory to moving entity.
+pub fn of_moving_object() -> Term {
+    Term::iri(format!("{DATACRON}ofMovingObject"))
+}
+
+/// `:hasGeometry` — any feature to its WKT geometry.
+pub fn has_geometry() -> Term {
+    Term::iri(format!("{GEO}hasGeometry"))
+}
+
+/// `:hasWKT` — geometry node to WKT serialisation.
+pub fn as_wkt() -> Term {
+    Term::iri(format!("{GEO}asWKT"))
+}
+
+/// `:hasTemporalFeature` — node to timestamp.
+pub fn has_time() -> Term {
+    Term::iri(format!("{DATACRON}hasTemporalFeature"))
+}
+
+/// `:hasSpeed` (m/s).
+pub fn has_speed() -> Term {
+    Term::iri(format!("{DATACRON}hasSpeed"))
+}
+
+/// `:hasHeading` (degrees).
+pub fn has_heading() -> Term {
+    Term::iri(format!("{DATACRON}hasHeading"))
+}
+
+/// `:hasAltitude` (m).
+pub fn has_altitude() -> Term {
+    Term::iri(format!("{DATACRON}hasAltitude"))
+}
+
+/// `:eventType` — semantic node to its critical-point kind.
+pub fn event_type() -> Term {
+    Term::iri(format!("{DATACRON}eventType"))
+}
+
+/// `dul:within` — the containment relation link discovery materialises.
+pub fn within() -> Term {
+    Term::iri(format!("{DUL}within"))
+}
+
+/// `geosparql:nearTo` — the proximity relation link discovery materialises.
+pub fn near_to() -> Term {
+    Term::iri(format!("{GEO}nearTo"))
+}
+
+/// `:occurredAt` — event to spatio-temporal anchor.
+pub fn occurred_at() -> Term {
+    Term::iri(format!("{DATACRON}occurredAt"))
+}
+
+/// `:reportedBy` — position to data source.
+pub fn reported_by() -> Term {
+    Term::iri(format!("{DATACRON}reportedBy"))
+}
+
+/// IRI of a moving entity.
+pub fn entity_iri(entity: datacron_geo::EntityId) -> Term {
+    Term::iri(format!("{DATACRON}{}/{}", entity.kind, entity.id))
+}
+
+/// IRI of an entity's trajectory.
+pub fn trajectory_iri(entity: datacron_geo::EntityId) -> Term {
+    Term::iri(format!("{DATACRON}trajectory/{}/{}", entity.kind, entity.id))
+}
+
+/// IRI of a semantic node of an entity's trajectory at a timestamp.
+pub fn node_iri(entity: datacron_geo::EntityId, ts_ms: i64) -> Term {
+    Term::iri(format!("{DATACRON}node/{}/{}/{}", entity.kind, entity.id, ts_ms))
+}
+
+/// IRI of a stationary region.
+pub fn region_iri(region_id: u64) -> Term {
+    Term::iri(format!("{DATACRON}region/{region_id}"))
+}
+
+/// IRI of a port.
+pub fn port_iri(port_id: u64) -> Term {
+    Term::iri(format!("{DATACRON}port/{port_id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::EntityId;
+
+    #[test]
+    fn iris_are_namespaced() {
+        assert!(trajectory_class().as_iri().unwrap().starts_with(DATACRON));
+        assert!(within().as_iri().unwrap().starts_with(DUL));
+        assert!(near_to().as_iri().unwrap().starts_with(GEO));
+        assert!(rdf_type().as_iri().unwrap().ends_with("type"));
+    }
+
+    #[test]
+    fn entity_iris_are_unique_per_kind() {
+        let v = entity_iri(EntityId::vessel(7));
+        let a = entity_iri(EntityId::aircraft(7));
+        assert_ne!(v, a);
+        assert!(v.as_iri().unwrap().contains("vessel/7"));
+    }
+
+    #[test]
+    fn node_iris_encode_time() {
+        let n1 = node_iri(EntityId::vessel(1), 1000);
+        let n2 = node_iri(EntityId::vessel(1), 2000);
+        assert_ne!(n1, n2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the RDF layer: BGP evaluation equals brute force,
+//! graphs keep set semantics, template instantiation is total on bound
+//! vectors.
+
+use datacron_rdf::generator::{GraphTemplate, TermTemplate, TripleGenerator, VariableVector};
+use datacron_rdf::graph::Graph;
+use datacron_rdf::query::{evaluate, PatternTerm, QueryPattern};
+use datacron_rdf::term::{Literal, Term, Triple};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_triples() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..40)
+}
+
+fn term(prefix: &str, i: u8) -> Term {
+    Term::iri(format!("{prefix}:{i}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Graph insertion deduplicates: size equals the distinct triple count,
+    /// and matching honours every mask.
+    #[test]
+    fn graph_set_semantics_and_masks(raw in arb_triples()) {
+        let triples: Vec<Triple> = raw
+            .iter()
+            .map(|&(s, p, o)| Triple::new(term("s", s), term("p", p), term("o", o)))
+            .collect();
+        let distinct: HashSet<&Triple> = triples.iter().collect();
+        let graph: Graph = triples.iter().cloned().collect();
+        prop_assert_eq!(graph.len(), distinct.len());
+        // Spot-check the (s, p, o) masks against brute force.
+        for s in 0..6u8 {
+            let expect = distinct.iter().filter(|t| t.s == term("s", s)).count();
+            prop_assert_eq!(graph.matching(Some(&term("s", s)), None, None).len(), expect);
+        }
+        for p in 0..3u8 {
+            let expect = distinct.iter().filter(|t| t.p == term("p", p)).count();
+            prop_assert_eq!(graph.matching(None, Some(&term("p", p)), None).len(), expect);
+        }
+    }
+
+    /// A two-pattern star query over random graphs equals the brute-force
+    /// join.
+    #[test]
+    fn bgp_matches_brute_force(raw in arb_triples()) {
+        let graph: Graph = raw
+            .iter()
+            .map(|&(s, p, o)| Triple::new(term("s", s), term("p", p), term("o", o)))
+            .collect();
+        let q = vec![
+            QueryPattern::new(PatternTerm::var("x"), PatternTerm::iri("p:0"), PatternTerm::var("y")),
+            QueryPattern::new(PatternTerm::var("x"), PatternTerm::iri("p:1"), PatternTerm::var("z")),
+        ];
+        let sols = evaluate(&graph, &q);
+        // Brute force join over the raw triples.
+        let distinct: HashSet<&(u8, u8, u8)> = raw.iter().collect();
+        let mut expected = HashSet::new();
+        for &&(s1, p1, o1) in &distinct {
+            if p1 != 0 {
+                continue;
+            }
+            for &&(s2, p2, o2) in &distinct {
+                if p2 == 1 && s1 == s2 {
+                    expected.insert((s1, o1, o2));
+                }
+            }
+        }
+        let got: HashSet<(u8, u8, u8)> = sols
+            .iter()
+            .map(|b| {
+                let parse = |t: &Term| -> u8 {
+                    t.as_iri().unwrap().split(':').nth(1).unwrap().parse().unwrap()
+                };
+                (parse(&b["x"]), parse(&b["y"]), parse(&b["z"]))
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Template instantiation succeeds for every pattern whose variables
+    /// are bound, and the produced IRIs embed the lexical forms.
+    #[test]
+    fn templates_are_total_on_bound_vectors(id in 0i64..10_000, speed in 0.0f64..50.0) {
+        let vars = VariableVector::new()
+            .with("id", Literal::Int(id))
+            .with("speed", Literal::Double(speed));
+        let template = GraphTemplate::new()
+            .pattern(
+                TermTemplate::IriFunc("e:{id}".into()),
+                TermTemplate::Const(Term::iri("p:speed")),
+                TermTemplate::Var("speed".into()),
+            )
+            .pattern(
+                TermTemplate::IriFunc("e:{id}".into()),
+                TermTemplate::Const(Term::iri("p:type")),
+                TermTemplate::Const(Term::iri("c:Entity")),
+            );
+        let mut gen = TripleGenerator::new(template);
+        let triples = gen.generate(&vars);
+        prop_assert_eq!(triples.len(), 2);
+        prop_assert_eq!(gen.skipped_patterns(), 0);
+        let expected_iri = format!("e:{id}");
+        prop_assert_eq!(triples[0].s.as_iri(), Some(expected_iri.as_str()));
+        prop_assert_eq!(&triples[0].o, &Term::double(speed));
+    }
+}

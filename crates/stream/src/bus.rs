@@ -1,0 +1,268 @@
+//! A Kafka-like in-memory message bus.
+//!
+//! Components of the datAcron architecture communicate through ordered
+//! topics. [`Topic<T>`] is an append-only log; each [`Consumer`] holds its
+//! own offset, so multiple downstream components (synopses → RDFizer,
+//! synopses → CEP, …) read the same stream independently, exactly as the
+//! paper's Kafka deployment does. Thread-safe: producers and consumers may
+//! live on different threads.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An append-only, thread-safe topic log.
+#[derive(Debug)]
+pub struct Topic<T> {
+    name: String,
+    log: RwLock<Vec<T>>,
+}
+
+impl<T: Clone> Topic<T> {
+    /// Creates an empty topic.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            log: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one message, returning its offset.
+    pub fn publish(&self, msg: T) -> u64 {
+        let mut log = self.log.write();
+        log.push(msg);
+        (log.len() - 1) as u64
+    }
+
+    /// Appends a batch of messages, returning the offset of the first.
+    pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> u64 {
+        let mut log = self.log.write();
+        let first = log.len() as u64;
+        log.extend(msgs);
+        first
+    }
+
+    /// Number of messages ever published.
+    pub fn len(&self) -> u64 {
+        self.log.read().len() as u64
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.log.read().is_empty()
+    }
+
+    /// Creates a consumer starting at the beginning of the log.
+    pub fn consumer(self: &Arc<Self>) -> Consumer<T> {
+        Consumer {
+            topic: Arc::clone(self),
+            offset: 0,
+        }
+    }
+
+    /// Creates a consumer starting at the current end of the log (sees only
+    /// future messages).
+    pub fn consumer_at_end(self: &Arc<Self>) -> Consumer<T> {
+        Consumer {
+            offset: self.len(),
+            topic: Arc::clone(self),
+        }
+    }
+
+    /// Reads messages `[from, from + max)` without any consumer state.
+    pub fn read(&self, from: u64, max: usize) -> Vec<T> {
+        let log = self.log.read();
+        let from = from as usize;
+        if from >= log.len() {
+            return Vec::new();
+        }
+        log[from..log.len().min(from + max)].to_vec()
+    }
+}
+
+/// A reader over a topic with its own offset.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    topic: Arc<Topic<T>>,
+    offset: u64,
+}
+
+impl<T: Clone> Consumer<T> {
+    /// The next offset this consumer will read.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Polls up to `max` messages, advancing the offset.
+    pub fn poll(&mut self, max: usize) -> Vec<T> {
+        let batch = self.topic.read(self.offset, max);
+        self.offset += batch.len() as u64;
+        batch
+    }
+
+    /// Polls one message if available.
+    pub fn poll_one(&mut self) -> Option<T> {
+        self.poll(1).into_iter().next()
+    }
+
+    /// Drains everything currently available.
+    pub fn drain(&mut self) -> Vec<T> {
+        let remaining = (self.topic.len() - self.offset) as usize;
+        self.poll(remaining)
+    }
+
+    /// Messages published but not yet consumed.
+    pub fn lag(&self) -> u64 {
+        self.topic.len() - self.offset
+    }
+
+    /// Rewinds to the beginning.
+    pub fn rewind(&mut self) {
+        self.offset = 0;
+    }
+}
+
+/// A registry of named topics, each carrying one message type `T`.
+///
+/// The integrated pipeline uses one bus per message type (raw reports,
+/// critical points, RDF fragments, events); the registry keeps topic
+/// creation race-free.
+#[derive(Debug)]
+pub struct MessageBus<T> {
+    topics: RwLock<HashMap<String, Arc<Topic<T>>>>,
+}
+
+impl<T: Clone> MessageBus<T> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self {
+            topics: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the topic with this name, creating it on first use.
+    pub fn topic(&self, name: &str) -> Arc<Topic<T>> {
+        if let Some(t) = self.topics.read().get(name) {
+            return Arc::clone(t);
+        }
+        let mut topics = self.topics.write();
+        Arc::clone(
+            topics
+                .entry(name.to_string())
+                .or_insert_with(|| Topic::new(name)),
+        )
+    }
+
+    /// Names of all topics created so far, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl<T: Clone> Default for MessageBus<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn publish_and_poll_in_order() {
+        let topic = Topic::new("raw");
+        let mut c = topic.consumer();
+        topic.publish(1);
+        topic.publish(2);
+        topic.publish(3);
+        assert_eq!(c.poll(2), vec![1, 2]);
+        assert_eq!(c.poll(10), vec![3]);
+        assert!(c.poll(10).is_empty());
+    }
+
+    #[test]
+    fn independent_consumers() {
+        let topic = Topic::new("raw");
+        topic.publish_batch(0..5);
+        let mut a = topic.consumer();
+        let mut b = topic.consumer();
+        assert_eq!(a.drain(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.poll(2), vec![0, 1]);
+        assert_eq!(b.lag(), 3);
+    }
+
+    #[test]
+    fn consumer_at_end_sees_only_future() {
+        let topic = Topic::new("raw");
+        topic.publish(1);
+        let mut c = topic.consumer_at_end();
+        assert!(c.poll(10).is_empty());
+        topic.publish(2);
+        assert_eq!(c.poll(10), vec![2]);
+    }
+
+    #[test]
+    fn rewind_replays() {
+        let topic = Topic::new("raw");
+        topic.publish_batch([10, 20]);
+        let mut c = topic.consumer();
+        assert_eq!(c.drain(), vec![10, 20]);
+        c.rewind();
+        assert_eq!(c.drain(), vec![10, 20]);
+    }
+
+    #[test]
+    fn bus_creates_and_reuses_topics() {
+        let bus: MessageBus<u32> = MessageBus::new();
+        let t1 = bus.topic("alpha");
+        let t2 = bus.topic("alpha");
+        t1.publish(7);
+        assert_eq!(t2.len(), 1);
+        bus.topic("beta");
+        assert_eq!(bus.topic_names(), vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer() {
+        let topic: Arc<Topic<u64>> = Topic::new("raw");
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let t = Arc::clone(&topic);
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        t.publish(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer thread");
+        }
+        let mut c = topic.consumer();
+        let all = c.drain();
+        assert_eq!(all.len(), 4000);
+        // Per-producer order is preserved.
+        for p in 0..4u64 {
+            let seq: Vec<u64> = all.iter().copied().filter(|v| v / 1000 == p).collect();
+            assert!(seq.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn publish_batch_returns_first_offset() {
+        let topic = Topic::new("raw");
+        topic.publish(0);
+        let first = topic.publish_batch([1, 2, 3]);
+        assert_eq!(first, 1);
+        assert_eq!(topic.len(), 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! Cross-stream fusion of surveillance sources.
+//!
+//! One of the paper's stated next steps for the synopses pipeline: "we plan
+//! to address the case of cross-stream processing, i.e., correlating
+//! surveillance data from multiple (and perhaps contradicting) sources in
+//! order to provide a coherent trajectory representation" (§4.2.2).
+//!
+//! Terrestrial AIS, satellite AIS and coastal radar report the same vessels
+//! at different rates, with different latencies, and occasionally with
+//! contradicting positions. [`CrossStreamFusion`] merges per-entity streams
+//! from multiple tagged sources into one coherent, time-ordered stream:
+//!
+//! * **reordering** — reports are buffered for a bounded lateness window and
+//!   released in timestamp order once the watermark passes them;
+//! * **deduplication** — reports closer than a time epsilon are considered
+//!   the same observation; the higher-priority source wins;
+//! * **conflict resolution** — same-time reports that disagree spatially by
+//!   more than a plausibility bound are resolved in favour of the
+//!   higher-priority source (and counted, so data-quality dashboards see
+//!   the disagreement rate).
+
+use datacron_geo::{EntityId, PositionReport, Timestamp};
+use std::collections::HashMap;
+
+/// A tagged surveillance source. Lower `priority` values win conflicts
+/// (e.g. terrestrial AIS = 0, satellite = 1).
+pub type SourceId = u8;
+
+/// Fusion parameters.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// How long reports wait for stragglers from slower sources, seconds.
+    pub lateness_s: f64,
+    /// Two reports of one entity within this many seconds are one
+    /// observation.
+    pub dedup_epsilon_s: f64,
+    /// Same-observation positions further apart than this disagree, metres.
+    pub conflict_distance_m: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            lateness_s: 30.0,
+            dedup_epsilon_s: 2.0,
+            conflict_distance_m: 500.0,
+        }
+    }
+}
+
+/// Fusion counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Reports ingested across sources.
+    pub ingested: u64,
+    /// Reports emitted downstream.
+    pub emitted: u64,
+    /// Near-duplicates dropped.
+    pub duplicates: u64,
+    /// Spatial conflicts resolved by priority.
+    pub conflicts: u64,
+}
+
+/// Per-entity buffered report with its source.
+#[derive(Debug, Clone, Copy)]
+struct Buffered {
+    report: PositionReport,
+    source: SourceId,
+    priority: u8,
+}
+
+/// The cross-stream merger.
+#[derive(Debug)]
+pub struct CrossStreamFusion {
+    config: FusionConfig,
+    /// Priority per source (lower wins); unknown sources get priority 255.
+    priorities: HashMap<SourceId, u8>,
+    /// Per-entity buffers, kept sorted by timestamp.
+    buffers: HashMap<EntityId, Vec<Buffered>>,
+    /// Global watermark: max event time seen minus lateness.
+    max_seen: Option<Timestamp>,
+    stats: FusionStats,
+}
+
+impl CrossStreamFusion {
+    /// Creates a merger; `priorities` maps source ids to their precedence
+    /// (lower value = more trusted).
+    pub fn new(config: FusionConfig, priorities: impl IntoIterator<Item = (SourceId, u8)>) -> Self {
+        Self {
+            config,
+            priorities: priorities.into_iter().collect(),
+            buffers: HashMap::new(),
+            max_seen: None,
+            stats: FusionStats::default(),
+        }
+    }
+
+    /// Fusion counters so far.
+    pub fn stats(&self) -> FusionStats {
+        self.stats
+    }
+
+    /// Reports currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffers.values().map(Vec::len).sum()
+    }
+
+    /// Ingests one report from `source`; returns any reports whose lateness
+    /// window has closed, in coherent per-entity timestamp order.
+    pub fn push(&mut self, source: SourceId, report: PositionReport) -> Vec<PositionReport> {
+        self.stats.ingested += 1;
+        let priority = self.priorities.get(&source).copied().unwrap_or(255);
+        let entry = Buffered {
+            report,
+            source,
+            priority,
+        };
+        let buf = self.buffers.entry(report.entity).or_default();
+        let pos = buf.partition_point(|b| b.report.ts <= report.ts);
+        buf.insert(pos, entry);
+        self.max_seen = Some(self.max_seen.map_or(report.ts, |m| m.max(report.ts)));
+        self.drain_ready()
+    }
+
+    /// Flushes everything still buffered (end of stream).
+    pub fn flush(&mut self) -> Vec<PositionReport> {
+        self.max_seen = Some(Timestamp(i64::MAX - (self.config.lateness_s * 1000.0) as i64 - 1));
+        self.drain_ready()
+    }
+
+    fn drain_ready(&mut self) -> Vec<PositionReport> {
+        let Some(max_seen) = self.max_seen else {
+            return Vec::new();
+        };
+        let watermark = max_seen - (self.config.lateness_s * 1000.0) as i64;
+        let epsilon_ms = (self.config.dedup_epsilon_s * 1000.0) as i64;
+        let mut out = Vec::new();
+        for buf in self.buffers.values_mut() {
+            // Releasable prefix: strictly older than the watermark.
+            let ready = buf.partition_point(|b| b.report.ts < watermark);
+            if ready == 0 {
+                continue;
+            }
+            let mut group: Vec<Buffered> = Vec::new();
+            let emit_group = |group: &mut Vec<Buffered>, out: &mut Vec<PositionReport>, stats: &mut FusionStats| {
+                if group.is_empty() {
+                    return;
+                }
+                // The whole group is one observation: best priority wins;
+                // spatial disagreement beyond the bound is a conflict.
+                let best = *group
+                    .iter()
+                    .min_by_key(|b| (b.priority, b.source))
+                    .expect("non-empty group");
+                for other in group.iter() {
+                    if other.source != best.source
+                        && other.report.point.haversine_distance(&best.report.point)
+                            > self.config.conflict_distance_m
+                    {
+                        stats.conflicts += 1;
+                    }
+                }
+                stats.duplicates += group.len() as u64 - 1;
+                stats.emitted += 1;
+                out.push(best.report);
+                group.clear();
+            };
+            for b in buf.drain(..ready) {
+                match group.last() {
+                    Some(last) if b.report.ts.delta_millis(&last.report.ts) <= epsilon_ms => {
+                        group.push(b);
+                    }
+                    _ => {
+                        emit_group(&mut group, &mut out, &mut self.stats);
+                        group.push(b);
+                    }
+                }
+            }
+            emit_group(&mut group, &mut out, &mut self.stats);
+        }
+        self.buffers.retain(|_, b| !b.is_empty());
+        out.sort_by_key(|r| (r.ts, r.entity));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::GeoPoint;
+
+    const TERRESTRIAL: SourceId = 0;
+    const SATELLITE: SourceId = 1;
+
+    fn fusion() -> CrossStreamFusion {
+        CrossStreamFusion::new(FusionConfig::default(), [(TERRESTRIAL, 0), (SATELLITE, 1)])
+    }
+
+    fn rep(t_s: i64, lon: f64) -> PositionReport {
+        PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(t_s), GeoPoint::new(lon, 40.0))
+    }
+
+    #[test]
+    fn reorders_across_sources() {
+        let mut f = fusion();
+        // Satellite delivers t=0 late, after terrestrial t=10 and t=50.
+        assert!(f.push(TERRESTRIAL, rep(10, 0.1)).is_empty());
+        assert!(f.push(SATELLITE, rep(0, 0.0)).is_empty());
+        // t=50 moves the watermark to 20: t=0 and t=10 release, in order.
+        let out = f.push(TERRESTRIAL, rep(50, 0.5));
+        let times: Vec<i64> = out.iter().map(|r| r.ts.secs()).collect();
+        assert_eq!(times, vec![0, 10]);
+        let rest = f.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].ts.secs(), 50);
+    }
+
+    #[test]
+    fn dedupes_same_observation_preferring_priority() {
+        let mut f = fusion();
+        f.push(SATELLITE, rep(10, 0.1004)); // ~30 m east of terrestrial fix
+        f.push(TERRESTRIAL, rep(10, 0.1));
+        let out = f.flush();
+        assert_eq!(out.len(), 1, "one observation");
+        assert!((out[0].point.lon - 0.1).abs() < 1e-12, "terrestrial wins");
+        assert_eq!(f.stats().duplicates, 1);
+        assert_eq!(f.stats().conflicts, 0, "30 m apart is agreement");
+    }
+
+    #[test]
+    fn counts_contradicting_sources() {
+        let mut f = fusion();
+        f.push(TERRESTRIAL, rep(10, 0.1));
+        f.push(SATELLITE, rep(11, 0.2)); // ~8.5 km away, within dedup epsilon? 1 s apart: yes
+        let out = f.flush();
+        assert_eq!(out.len(), 1);
+        assert_eq!(f.stats().conflicts, 1, "positions disagree beyond the bound");
+        assert!((out[0].point.lon - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entities_are_fused_independently() {
+        let mut f = fusion();
+        let mut r2 = rep(10, 0.5);
+        r2.entity = EntityId::vessel(2);
+        f.push(TERRESTRIAL, rep(10, 0.1));
+        f.push(TERRESTRIAL, r2);
+        let out = f.flush();
+        assert_eq!(out.len(), 2, "no cross-entity dedup");
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut f = fusion();
+        let mut emitted = 0u64;
+        for i in 0..20 {
+            emitted += f.push(TERRESTRIAL, rep(i * 10, 0.01 * i as f64)).len() as u64;
+            if i % 2 == 0 {
+                emitted += f.push(SATELLITE, rep(i * 10 + 1, 0.01 * i as f64)).len() as u64;
+            }
+        }
+        emitted += f.flush().len() as u64;
+        let s = f.stats();
+        assert_eq!(s.ingested, 30);
+        assert_eq!(s.emitted, emitted);
+        assert_eq!(s.emitted + s.duplicates, s.ingested);
+        assert_eq!(s.duplicates, 10);
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_source_has_lowest_priority() {
+        let mut f = fusion();
+        f.push(99, rep(10, 0.3));
+        f.push(SATELLITE, rep(10, 0.1));
+        let out = f.flush();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].point.lon - 0.1).abs() < 1e-12, "known source beats unknown");
+    }
+
+    #[test]
+    fn fused_stream_feeds_synopses_coherently() {
+        // The end goal: a coherent trajectory representation. Two interleaved
+        // sources of one straight track fuse into a stream whose implied
+        // speeds stay physical.
+        let mut f = fusion();
+        let mut out = Vec::new();
+        for i in 0..60i64 {
+            let lon = 0.001 * i as f64;
+            out.extend(f.push(TERRESTRIAL, rep(i * 10, lon)));
+            if i % 3 == 0 {
+                // Satellite echoes with 20 s latency (processed later but
+                // carrying the original timestamp) and slight offset.
+                out.extend(f.push(SATELLITE, rep(i * 10 + 1, lon + 0.00005)));
+            }
+        }
+        out.extend(f.flush());
+        assert!(out.windows(2).all(|w| w[0].ts < w[1].ts), "strictly ordered output");
+        for w in out.windows(2) {
+            let dt = w[1].ts.delta_secs(&w[0].ts);
+            let implied = w[0].point.haversine_distance(&w[1].point) / dt;
+            assert!(implied < 20.0, "implied speed {implied} m/s stays physical");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! In-situ running statistics (§4.2.1).
+//!
+//! "Attributes of min/max, median/average of properties (e.g. speed,
+//! acceleration etc.) are generated on a per trajectory basis" to support
+//! data-quality assessment. [`RunningStats`] maintains exact min/max/mean
+//! and an exact streaming median (two-heap method); [`InSituProcessor`]
+//! tracks speed and acceleration per entity and annotates each report with
+//! the statistics so far.
+
+use crate::operator::Operator;
+use datacron_geo::{EntityId, PositionReport};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Exact streaming summary of one scalar property.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    // Two-heap exact median: `lower` is a max-heap of the smaller half,
+    // `upper` a min-heap of the larger half.
+    lower: BinaryHeap<OrderedF64>,
+    upper: BinaryHeap<Reverse<OrderedF64>>,
+}
+
+/// Total-order wrapper for finite f64 heap entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl RunningStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            lower: BinaryHeap::new(),
+            upper: BinaryHeap::new(),
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (they are already
+    /// rejected upstream by cleaning; ignoring keeps the summary total).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+        // Median maintenance.
+        if self.lower.peek().is_none_or(|m| x <= m.0) {
+            self.lower.push(OrderedF64(x));
+        } else {
+            self.upper.push(Reverse(OrderedF64(x)));
+        }
+        // Rebalance so |lower| == |upper| or |lower| == |upper| + 1.
+        if self.lower.len() > self.upper.len() + 1 {
+            let moved = self.lower.pop().expect("lower non-empty");
+            self.upper.push(Reverse(moved));
+        } else if self.upper.len() > self.lower.len() {
+            let Reverse(moved) = self.upper.pop().expect("upper non-empty");
+            self.lower.push(moved);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Minimum; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact median (lower median for even counts averaged with upper);
+    /// `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let lo = self.lower.peek().expect("non-empty lower").0;
+        if self.lower.len() > self.upper.len() {
+            Some(lo)
+        } else {
+            let hi = self.upper.peek().expect("balanced upper").0 .0;
+            Some((lo + hi) / 2.0)
+        }
+    }
+}
+
+/// Per-trajectory statistics of the in-situ layer.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryStats {
+    /// Speed summary, m/s.
+    pub speed: RunningStats,
+    /// Acceleration summary, m/s².
+    pub acceleration: RunningStats,
+    /// Report-interval summary, seconds.
+    pub report_interval: RunningStats,
+}
+
+/// A report annotated with its trajectory's statistics so far.
+#[derive(Debug, Clone)]
+pub struct AnnotatedReport {
+    /// The original report.
+    pub report: PositionReport,
+    /// Mean speed so far, m/s.
+    pub mean_speed: f64,
+    /// Median speed so far, m/s.
+    pub median_speed: f64,
+    /// Max acceleration magnitude so far, m/s².
+    pub max_acceleration: f64,
+}
+
+/// Per-entity in-situ statistics operator. Use one per entity.
+#[derive(Debug, Clone, Default)]
+pub struct InSituProcessor {
+    stats: TrajectoryStats,
+    last: Option<PositionReport>,
+    entity: Option<EntityId>,
+}
+
+impl InSituProcessor {
+    /// Creates an empty processor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &TrajectoryStats {
+        &self.stats
+    }
+
+    /// Ingests one report, returning the annotation.
+    pub fn ingest(&mut self, r: PositionReport) -> AnnotatedReport {
+        debug_assert!(
+            self.entity.is_none() || self.entity == Some(r.entity),
+            "one InSituProcessor per entity"
+        );
+        self.entity = Some(r.entity);
+        self.stats.speed.push(r.speed_mps);
+        if let Some(prev) = &self.last {
+            let dt = r.ts.delta_secs(&prev.ts);
+            if dt > 0.0 {
+                self.stats.report_interval.push(dt);
+                self.stats.acceleration.push((r.speed_mps - prev.speed_mps) / dt);
+            }
+        }
+        self.last = Some(r);
+        AnnotatedReport {
+            report: r,
+            mean_speed: self.stats.speed.mean().unwrap_or(0.0),
+            median_speed: self.stats.speed.median().unwrap_or(0.0),
+            max_acceleration: self
+                .stats
+                .acceleration
+                .max()
+                .map(|mx| mx.abs().max(self.stats.acceleration.min().unwrap_or(0.0).abs()))
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+impl Operator<PositionReport, AnnotatedReport> for InSituProcessor {
+    fn on_record(&mut self, input: PositionReport, out: &mut Vec<AnnotatedReport>) {
+        out.push(self.ingest(input));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{GeoPoint, Timestamp};
+
+    #[test]
+    fn running_stats_basic_moments() {
+        let mut s = RunningStats::new();
+        for x in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert!((s.mean().unwrap() - 2.8).abs() < 1e-12);
+        assert_eq!(s.median(), Some(3.0));
+    }
+
+    #[test]
+    fn median_even_count_averages() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.median(), Some(2.5));
+    }
+
+    #[test]
+    fn median_matches_sorted_reference() {
+        let mut s = RunningStats::new();
+        let xs: Vec<f64> = (0..101).map(|i| ((i * 7919) % 101) as f64).collect();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(s.median(), Some(sorted[50]));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = RunningStats::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut s = RunningStats::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.median(), Some(2.0));
+    }
+
+    fn report(t_s: i64, speed: f64) -> PositionReport {
+        PositionReport {
+            speed_mps: speed,
+            ..PositionReport::basic(
+                EntityId::vessel(1),
+                Timestamp::from_secs(t_s),
+                GeoPoint::new(0.0, 40.0),
+            )
+        }
+    }
+
+    #[test]
+    fn insitu_accumulates_speed_and_acceleration() {
+        let mut p = InSituProcessor::new();
+        p.ingest(report(0, 0.0));
+        p.ingest(report(10, 5.0)); // +0.5 m/s²
+        let a = p.ingest(report(20, 5.0)); // 0 m/s²
+        assert!((a.mean_speed - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.median_speed, 5.0);
+        assert!((a.max_acceleration - 0.5).abs() < 1e-9);
+        assert_eq!(p.stats().report_interval.mean(), Some(10.0));
+    }
+
+    #[test]
+    fn deceleration_counts_toward_max_magnitude() {
+        let mut p = InSituProcessor::new();
+        p.ingest(report(0, 10.0));
+        let a = p.ingest(report(10, 0.0)); // -1.0 m/s²
+        assert!((a.max_acceleration - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_annotates_every_record() {
+        let mut p = InSituProcessor::new();
+        let out = p.run((0..5).map(|i| report(i * 10, i as f64)));
+        assert_eq!(out.len(), 5);
+        assert!(out.last().unwrap().mean_speed > 0.0);
+    }
+}

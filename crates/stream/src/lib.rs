@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # datacron-stream
+//!
+//! A small single-process stream-processing runtime plus the in-situ
+//! processing components of the datAcron real-time layer (§4.2.1).
+//!
+//! The paper implements its stream layer on Apache Flink and wires the
+//! components together over Apache Kafka. The algorithms it evaluates are
+//! per-record, keyed-state computations, so this crate reproduces the same
+//! processing model natively:
+//!
+//! * [`bus`] — a Kafka-like in-memory message bus: append-only topic logs
+//!   with independent consumer offsets.
+//! * [`operator`] — the operator abstraction: a keyed, stateful
+//!   record-at-a-time transformer, with pipeline composition and a parallel
+//!   executor over key partitions.
+//! * [`cleaning`] — online data cleaning: plausibility filtering,
+//!   impossible-speed outlier rejection, duplicate and out-of-order
+//!   handling ("online data cleaning of erroneous data", §3).
+//! * [`insitu`] — per-trajectory running statistics (min/max/average/median
+//!   of speed, acceleration, …) computed "as close to the sources as
+//!   possible" (§4.2.1).
+//! * [`lowlevel`] — low-level event detection: entry/exit of moving
+//!   entities to/from geographical areas of interest.
+//! * [`fusion`] — cross-stream fusion of multiple surveillance sources into
+//!   one coherent per-entity stream (the paper's stated next step for the
+//!   synopses pipeline).
+
+pub mod bus;
+pub mod cleaning;
+pub mod fusion;
+pub mod insitu;
+pub mod lowlevel;
+pub mod operator;
+
+pub use bus::{Consumer, MessageBus, Topic};
+pub use fusion::{CrossStreamFusion, FusionConfig, FusionStats};
+pub use cleaning::{CleaningConfig, CleaningOutcome, StreamCleaner};
+pub use insitu::{InSituProcessor, RunningStats, TrajectoryStats};
+pub use lowlevel::{AreaEvent, AreaEventKind, AreaMonitor};
+pub use operator::{KeyedOperator, Operator, Pipeline};

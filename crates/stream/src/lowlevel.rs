@@ -1,0 +1,232 @@
+//! Low-level event detection: area entry/exit (§4.2.1).
+//!
+//! "Raw position data are enriched with low-level events of entering or
+//! leaving of moving entities from one area to another one, by processing
+//! the real-time stream of moving entity positions."
+//!
+//! [`AreaMonitor`] indexes the areas of interest in an equi-grid (bbox
+//! coarse filter, polygon refinement) and tracks, per entity, the set of
+//! areas it is currently inside; transitions emit [`AreaEvent`]s.
+
+use crate::operator::Operator;
+use datacron_geo::{BoundingBox, EntityId, EquiGrid, GeoPoint, Polygon, PositionReport, Timestamp};
+use std::collections::{HashMap, HashSet};
+
+/// Entry or exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AreaEventKind {
+    /// The entity entered the area.
+    Entered,
+    /// The entity exited the area.
+    Exited,
+}
+
+/// A detected low-level area event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEvent {
+    /// The moving entity.
+    pub entity: EntityId,
+    /// Event time (the report that revealed the transition).
+    pub ts: Timestamp,
+    /// The area's identifier (caller-assigned).
+    pub area_id: u64,
+    /// Entered or exited.
+    pub kind: AreaEventKind,
+    /// The position at the transition.
+    pub point: GeoPoint,
+}
+
+/// Streaming detector of area entry/exit events.
+#[derive(Debug)]
+pub struct AreaMonitor {
+    grid: EquiGrid,
+    areas: Vec<(u64, Polygon)>,
+    /// area indices (into `areas`) per grid cell.
+    cell_index: HashMap<u32, Vec<u32>>,
+    /// Currently-inside area ids per entity.
+    inside: HashMap<EntityId, HashSet<u64>>,
+}
+
+impl AreaMonitor {
+    /// Builds a monitor over the given `(id, polygon)` areas, indexed on a
+    /// grid of roughly `cell_deg` degrees covering all areas.
+    pub fn new(areas: Vec<(u64, Polygon)>, cell_deg: f64) -> Self {
+        let mut extent = BoundingBox::empty();
+        for (_, poly) in &areas {
+            extent = extent.union(poly.bbox());
+        }
+        if extent.is_empty() {
+            // No areas: a unit grid that never matches anything.
+            extent = BoundingBox::new(0.0, 0.0, 1.0, 1.0);
+        }
+        let grid = EquiGrid::with_cell_size(extent.expanded(cell_deg), cell_deg);
+        let mut cell_index: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, (_, poly)) in areas.iter().enumerate() {
+            for cell in grid.cells_intersecting(poly.bbox()) {
+                if poly.intersects_bbox(&grid.cell_bbox(cell)) {
+                    cell_index.entry(grid.flat_id(cell)).or_default().push(i as u32);
+                }
+            }
+        }
+        Self {
+            grid,
+            areas,
+            cell_index,
+            inside: HashMap::new(),
+        }
+    }
+
+    /// Number of indexed areas.
+    pub fn area_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// The set of area ids containing `p`.
+    pub fn areas_containing(&self, p: &GeoPoint) -> HashSet<u64> {
+        let mut hit = HashSet::new();
+        let Some(cell) = self.grid.cell_of(p) else {
+            return hit;
+        };
+        if let Some(candidates) = self.cell_index.get(&self.grid.flat_id(cell)) {
+            for &i in candidates {
+                let (id, poly) = &self.areas[i as usize];
+                if poly.contains(p) {
+                    hit.insert(*id);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Processes one report, emitting transitions since the entity's last
+    /// report.
+    pub fn observe(&mut self, r: &PositionReport) -> Vec<AreaEvent> {
+        let now = self.areas_containing(&r.point);
+        let before = self.inside.entry(r.entity).or_default();
+        let mut events = Vec::new();
+        for &id in now.iter() {
+            if !before.contains(&id) {
+                events.push(AreaEvent {
+                    entity: r.entity,
+                    ts: r.ts,
+                    area_id: id,
+                    kind: AreaEventKind::Entered,
+                    point: r.point,
+                });
+            }
+        }
+        for &id in before.iter() {
+            if !now.contains(&id) {
+                events.push(AreaEvent {
+                    entity: r.entity,
+                    ts: r.ts,
+                    area_id: id,
+                    kind: AreaEventKind::Exited,
+                    point: r.point,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.area_id);
+        *before = now;
+        events
+    }
+
+    /// The areas an entity is currently inside.
+    pub fn currently_inside(&self, entity: EntityId) -> Option<&HashSet<u64>> {
+        self.inside.get(&entity)
+    }
+}
+
+impl Operator<PositionReport, AreaEvent> for AreaMonitor {
+    fn on_record(&mut self, input: PositionReport, out: &mut Vec<AreaEvent>) {
+        out.extend(self.observe(&input));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(id: u64, lon0: f64, lat0: f64, side: f64) -> (u64, Polygon) {
+        (
+            id,
+            Polygon::rect(BoundingBox::new(lon0, lat0, lon0 + side, lat0 + side)),
+        )
+    }
+
+    fn report(t_s: i64, lon: f64, lat: f64) -> PositionReport {
+        PositionReport::basic(EntityId::vessel(7), Timestamp::from_secs(t_s), GeoPoint::new(lon, lat))
+    }
+
+    #[test]
+    fn detects_entry_and_exit() {
+        let mut m = AreaMonitor::new(vec![square(1, 1.0, 1.0, 1.0)], 0.5);
+        assert!(m.observe(&report(0, 0.5, 1.5)).is_empty());
+        let enter = m.observe(&report(10, 1.5, 1.5));
+        assert_eq!(enter.len(), 1);
+        assert_eq!(enter[0].kind, AreaEventKind::Entered);
+        assert_eq!(enter[0].area_id, 1);
+        assert!(m.observe(&report(20, 1.6, 1.5)).is_empty(), "no repeat while inside");
+        let exit = m.observe(&report(30, 2.5, 1.5));
+        assert_eq!(exit.len(), 1);
+        assert_eq!(exit[0].kind, AreaEventKind::Exited);
+    }
+
+    #[test]
+    fn overlapping_areas_both_fire() {
+        let mut m = AreaMonitor::new(vec![square(1, 0.0, 0.0, 2.0), square(2, 1.0, 1.0, 2.0)], 0.5);
+        let events = m.observe(&report(0, 1.5, 1.5));
+        assert_eq!(events.len(), 2, "inside both areas");
+        assert!(events.iter().all(|e| e.kind == AreaEventKind::Entered));
+        // Move out of area 2 only.
+        let events = m.observe(&report(10, 0.5, 0.5));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].area_id, 2);
+        assert_eq!(events[0].kind, AreaEventKind::Exited);
+    }
+
+    #[test]
+    fn entities_tracked_independently() {
+        let mut m = AreaMonitor::new(vec![square(1, 0.0, 0.0, 1.0)], 0.5);
+        let a = PositionReport::basic(EntityId::vessel(1), Timestamp(0), GeoPoint::new(0.5, 0.5));
+        let b = PositionReport::basic(EntityId::vessel(2), Timestamp(0), GeoPoint::new(0.5, 0.5));
+        assert_eq!(m.observe(&a).len(), 1);
+        assert_eq!(m.observe(&b).len(), 1, "second entity enters on its own");
+        assert!(m.currently_inside(EntityId::vessel(1)).unwrap().contains(&1));
+    }
+
+    #[test]
+    fn no_areas_never_fires() {
+        let mut m = AreaMonitor::new(Vec::new(), 0.5);
+        assert!(m.observe(&report(0, 0.5, 0.5)).is_empty());
+        assert_eq!(m.area_count(), 0);
+    }
+
+    #[test]
+    fn grid_index_agrees_with_exhaustive_scan() {
+        use datacron_data::context::AreaGenerator;
+        let regions = AreaGenerator::new(BoundingBox::new(0.0, 35.0, 10.0, 45.0)).generate(40, "natura", 3);
+        let areas: Vec<(u64, Polygon)> = regions.iter().map(|r| (r.id, r.polygon.clone())).collect();
+        let m = AreaMonitor::new(areas.clone(), 0.25);
+        // Probe a lattice of points; indexed lookup must equal brute force.
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = GeoPoint::new(0.25 + 0.5 * i as f64, 35.25 + 0.5 * j as f64);
+                let indexed = m.areas_containing(&p);
+                let brute: HashSet<u64> = areas
+                    .iter()
+                    .filter(|(_, poly)| poly.contains(&p))
+                    .map(|(id, _)| *id)
+                    .collect();
+                assert_eq!(indexed, brute, "mismatch at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_impl_streams_events() {
+        let mut m = AreaMonitor::new(vec![square(1, 1.0, 1.0, 1.0)], 0.5);
+        let out = m.run(vec![report(0, 0.5, 1.5), report(10, 1.5, 1.5), report(20, 2.5, 1.5)]);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Synopses-generator thresholds.
+
+/// Thresholds of the critical-point heuristics. Defaults follow the values
+/// used for online maritime surveillance in the framework the paper builds
+/// on (Patroumpas et al., GeoInformatica 2017), with an aviation variant.
+#[derive(Debug, Clone)]
+pub struct SynopsesConfig {
+    /// Below this instantaneous speed an entity is considered stationary, m/s.
+    pub stop_speed_mps: f64,
+    /// Below this (and above stop) an entity is in slow motion, m/s.
+    pub slow_speed_mps: f64,
+    /// Minimum duration before a stop/slow-motion state is confirmed, s.
+    pub state_min_duration_s: f64,
+    /// Heading difference to the recent mean velocity vector that triggers a
+    /// change-in-heading critical point, degrees.
+    pub heading_threshold_deg: f64,
+    /// Length of the recent-course window for mean velocity/speed, s.
+    pub window_s: f64,
+    /// Relative speed change vs. the recent mean that triggers a
+    /// speed-change critical point (e.g. `0.25` = ±25 %).
+    pub speed_change_ratio: f64,
+    /// A silence longer than this is a communication gap, s.
+    pub gap_s: f64,
+    /// Vertical rate above which a change-in-altitude point is issued, m/s.
+    /// Only meaningful for aircraft.
+    pub altitude_rate_mps: f64,
+    /// Altitude below which an aircraft counts as on the ground, m.
+    pub ground_altitude_m: f64,
+    /// Headings are ignored below this speed (GPS heading jitter at rest),
+    /// m/s — one of the noise filters the paper added.
+    pub heading_noise_floor_mps: f64,
+    /// Minimum seconds between two critical points of the same kind for the
+    /// same entity (debounce).
+    pub min_reissue_s: f64,
+    /// Dead-reckoning bound: when the actual position deviates more than
+    /// this from the straight-line prediction out of the last critical
+    /// point, a critical point is issued. This is what makes positions on
+    /// "normal" segments *predictable* and therefore droppable, and it
+    /// bounds the reconstruction error even for slow course drifts that
+    /// never cross the heading threshold. Metres.
+    pub deviation_threshold_m: f64,
+}
+
+impl SynopsesConfig {
+    /// Maritime defaults (AIS streams).
+    pub fn maritime() -> Self {
+        Self {
+            stop_speed_mps: 0.5,
+            slow_speed_mps: 2.5,
+            state_min_duration_s: 60.0,
+            heading_threshold_deg: 15.0,
+            window_s: 120.0,
+            speed_change_ratio: 0.25,
+            gap_s: 600.0,
+            altitude_rate_mps: f64::INFINITY, // never fires at sea
+            ground_altitude_m: 0.0,
+            heading_noise_floor_mps: 1.0,
+            min_reissue_s: 30.0,
+            deviation_threshold_m: 250.0,
+        }
+    }
+
+    /// Aviation defaults (ADS-B / radar streams).
+    pub fn aviation() -> Self {
+        Self {
+            stop_speed_mps: 2.0,
+            slow_speed_mps: 30.0,
+            state_min_duration_s: 30.0,
+            heading_threshold_deg: 10.0,
+            window_s: 60.0,
+            speed_change_ratio: 0.2,
+            gap_s: 60.0,
+            altitude_rate_mps: 5.0,
+            ground_altitude_m: 10.0,
+            heading_noise_floor_mps: 5.0,
+            min_reissue_s: 16.0,
+            deviation_threshold_m: 400.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_defaults_differ_sensibly() {
+        let m = SynopsesConfig::maritime();
+        let a = SynopsesConfig::aviation();
+        assert!(a.slow_speed_mps > m.slow_speed_mps);
+        assert!(a.gap_s < m.gap_s, "aircraft report far more often");
+        assert!(m.altitude_rate_mps.is_infinite());
+        assert!(a.altitude_rate_mps.is_finite());
+    }
+}

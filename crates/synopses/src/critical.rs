@@ -1,0 +1,112 @@
+//! Critical-point types.
+
+use datacron_geo::PositionReport;
+use std::fmt;
+
+/// Why a position was kept in the synopsis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CriticalKind {
+    /// First report of a trajectory.
+    Start,
+    /// Last report of a trajectory (emitted on flush).
+    End,
+    /// The entity became stationary; the point is where the stop began.
+    StopStart,
+    /// The entity resumed movement after a stop.
+    StopEnd,
+    /// The entity settled into sustained low-speed movement.
+    SlowMotionStart,
+    /// The entity left the slow-motion regime.
+    SlowMotionEnd,
+    /// Heading deviated from the recent mean velocity vector.
+    ChangeInHeading {
+        /// Signed turn angle vs. the recent course, degrees (positive =
+        /// clockwise/starboard).
+        delta_deg: f64,
+    },
+    /// Speed deviated from the recent mean speed.
+    SpeedChange {
+        /// Relative change `(v - mean)/mean`.
+        ratio: f64,
+    },
+    /// Last report before a communication gap.
+    GapStart,
+    /// First report after a communication gap.
+    GapEnd {
+        /// Silence duration, seconds.
+        silence_s: f64,
+    },
+    /// Vertical rate crossed the climb/descent threshold (aviation).
+    ChangeInAltitude {
+        /// Vertical rate at detection, m/s (negative descending).
+        rate_mps: f64,
+    },
+    /// Latest on-ground position before becoming airborne.
+    Takeoff,
+    /// First on-ground position after flight.
+    Landing,
+}
+
+impl CriticalKind {
+    /// A stable label for grouping/printing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CriticalKind::Start => "start",
+            CriticalKind::End => "end",
+            CriticalKind::StopStart => "stop_start",
+            CriticalKind::StopEnd => "stop_end",
+            CriticalKind::SlowMotionStart => "slow_motion_start",
+            CriticalKind::SlowMotionEnd => "slow_motion_end",
+            CriticalKind::ChangeInHeading { .. } => "change_in_heading",
+            CriticalKind::SpeedChange { .. } => "speed_change",
+            CriticalKind::GapStart => "gap_start",
+            CriticalKind::GapEnd { .. } => "gap_end",
+            CriticalKind::ChangeInAltitude { .. } => "change_in_altitude",
+            CriticalKind::Takeoff => "takeoff",
+            CriticalKind::Landing => "landing",
+        }
+    }
+}
+
+impl fmt::Display for CriticalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A retained position with the reason it was kept.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalPoint {
+    /// The retained report.
+    pub report: PositionReport,
+    /// The trigger.
+    pub kind: CriticalKind,
+}
+
+impl CriticalPoint {
+    /// Creates a critical point.
+    pub fn new(report: PositionReport, kind: CriticalKind) -> Self {
+        Self { report, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, Timestamp};
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CriticalKind::Start.label(), "start");
+        assert_eq!(CriticalKind::ChangeInHeading { delta_deg: 30.0 }.label(), "change_in_heading");
+        assert_eq!(CriticalKind::GapEnd { silence_s: 700.0 }.label(), "gap_end");
+        assert_eq!(format!("{}", CriticalKind::Takeoff), "takeoff");
+    }
+
+    #[test]
+    fn construction() {
+        let r = PositionReport::basic(EntityId::vessel(1), Timestamp(0), GeoPoint::new(0.0, 0.0));
+        let cp = CriticalPoint::new(r, CriticalKind::Start);
+        assert_eq!(cp.report.entity, EntityId::vessel(1));
+    }
+}

@@ -1,0 +1,138 @@
+//! Reconstruction and compression accounting.
+//!
+//! The synopses experiment measures two things: how much of the raw stream
+//! was dropped, and how far the piecewise-linear reconstruction from
+//! critical points deviates from the original trajectory.
+
+use crate::critical::CriticalPoint;
+use datacron_geo::Trajectory;
+
+/// Rebuilds an approximate trajectory from critical points (time-ordered
+/// piecewise-linear interpolation between the retained positions).
+pub fn reconstruct(points: &[CriticalPoint]) -> Trajectory {
+    Trajectory::from_reports(points.iter().map(|c| c.report).collect())
+}
+
+/// Compression metrics of one synopsis against its source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionReport {
+    /// Raw input records.
+    pub raw_count: usize,
+    /// Retained critical points.
+    pub synopsis_count: usize,
+    /// `1 - synopsis/raw`.
+    pub reduction: f64,
+    /// Mean deviation of the raw positions from the reconstruction, metres.
+    pub mean_error_m: f64,
+    /// Maximum deviation, metres.
+    pub max_error_m: f64,
+}
+
+impl CompressionReport {
+    /// Measures a synopsis against the raw trajectory it summarises.
+    ///
+    /// Returns `None` for empty inputs.
+    pub fn measure(raw: &Trajectory, synopsis: &[CriticalPoint]) -> Option<CompressionReport> {
+        if raw.is_empty() || synopsis.is_empty() {
+            return None;
+        }
+        let recon = reconstruct(synopsis);
+        let mean_error_m = raw.mean_deviation_from(&recon)?;
+        let max_error_m = raw.max_deviation_from(&recon)?;
+        let raw_count = raw.len();
+        let synopsis_count = synopsis.len();
+        Some(CompressionReport {
+            raw_count,
+            synopsis_count,
+            reduction: 1.0 - synopsis_count as f64 / raw_count as f64,
+            mean_error_m,
+            max_error_m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynopsesConfig;
+    use crate::generator::SynopsesGenerator;
+    use datacron_stream::operator::Operator;
+
+    #[test]
+    fn reconstruct_orders_points() {
+        use crate::critical::CriticalKind;
+        use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+        let mk = |t: i64, lon: f64| {
+            CriticalPoint::new(
+                PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(t), GeoPoint::new(lon, 0.0)),
+                CriticalKind::Start,
+            )
+        };
+        let recon = reconstruct(&[mk(10, 1.0), mk(0, 0.0)]);
+        assert_eq!(recon.reports()[0].ts, Timestamp::from_secs(0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(CompressionReport::measure(&Trajectory::new(), &[]).is_none());
+    }
+
+    #[test]
+    fn voyage_compression_is_high_with_bounded_error() {
+        use datacron_data::maritime::{VesselClass, VoyageConfig, VoyageGenerator};
+        use datacron_geo::GeoPoint;
+        let v = VoyageGenerator::new(VoyageConfig::clean()).voyage(
+            1,
+            VesselClass::Cargo,
+            GeoPoint::new(0.0, 40.0),
+            GeoPoint::new(1.2, 40.6),
+            datacron_geo::Timestamp(0),
+            7,
+        );
+        let mut g = SynopsesGenerator::new(SynopsesConfig::maritime());
+        let synopsis = g.run(v.clean.reports().to_vec());
+        let report = CompressionReport::measure(&v.clean, &synopsis).expect("non-empty");
+        assert!(
+            report.reduction > 0.7,
+            "expected large reduction, got {:.3} ({} -> {})",
+            report.reduction,
+            report.raw_count,
+            report.synopsis_count
+        );
+        assert!(report.mean_error_m < 200.0, "mean error {:.1} m", report.mean_error_m);
+        assert!(report.max_error_m < 2_000.0, "max error {:.1} m", report.max_error_m);
+    }
+
+    #[test]
+    fn fishing_trip_keeps_more_points_than_transit() {
+        use datacron_data::maritime::{VesselClass, VoyageConfig, VoyageGenerator};
+        use datacron_geo::GeoPoint;
+        let gen = VoyageGenerator::new(VoyageConfig::clean());
+        let transit = gen.voyage(
+            1,
+            VesselClass::Cargo,
+            GeoPoint::new(0.0, 40.0),
+            GeoPoint::new(1.0, 40.5),
+            datacron_geo::Timestamp(0),
+            3,
+        );
+        let fishing = gen.fishing_trip(
+            2,
+            GeoPoint::new(0.0, 40.0),
+            GeoPoint::new(0.3, 40.15),
+            datacron_geo::Timestamp(0),
+            4,
+        );
+        let ratio = |t: &Trajectory| {
+            let mut g = SynopsesGenerator::new(SynopsesConfig::maritime());
+            let syn = g.run(t.reports().to_vec());
+            syn.len() as f64 / t.len() as f64
+        };
+        let transit_ratio = ratio(&transit.clean);
+        let fishing_ratio = ratio(&fishing.clean);
+        assert!(
+            fishing_ratio > transit_ratio,
+            "manoeuvre-heavy fishing should retain more: {fishing_ratio:.4} vs {transit_ratio:.4}"
+        );
+    }
+}

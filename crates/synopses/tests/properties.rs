@@ -1,0 +1,134 @@
+//! Property tests for the synopses generator: the invariants the
+//! compression experiment relies on, on randomised tracks.
+
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp, Trajectory};
+use datacron_stream::operator::Operator;
+use datacron_synopses::{CompressionReport, CriticalKind, SynopsesConfig, SynopsesGenerator};
+use proptest::prelude::*;
+
+/// A random piecewise-constant-heading track with kinematically consistent
+/// reports (position, speed and heading agree).
+fn arb_track() -> impl Strategy<Value = Vec<PositionReport>> {
+    (
+        proptest::collection::vec((0.0f64..360.0, 2.0f64..12.0, 5usize..40), 1..5),
+        -5.0f64..5.0,
+        35.0f64..55.0,
+    )
+        .prop_map(|(legs, lon0, lat0)| {
+            let mut p = GeoPoint::new(lon0, lat0);
+            let mut t = 0i64;
+            let mut out = Vec::new();
+            for (heading, speed, steps) in legs {
+                for _ in 0..steps {
+                    out.push(PositionReport {
+                        speed_mps: speed,
+                        heading_deg: heading,
+                        ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(t), p)
+                    });
+                    p = p.destination(heading, speed * 10.0);
+                    t += 10;
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The synopsis always starts with `start`, ends with `end`, and never
+    /// exceeds the input size.
+    #[test]
+    fn synopsis_is_well_formed(track in arb_track()) {
+        let n = track.len();
+        let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+        let synopsis = gen.run(track);
+        prop_assert!(!synopsis.is_empty());
+        prop_assert_eq!(synopsis.first().unwrap().kind.label(), "start");
+        prop_assert_eq!(synopsis.last().unwrap().kind.label(), "end");
+        prop_assert!(synopsis.len() <= n + 2, "{} critical from {} raw", synopsis.len(), n);
+        // Timestamps are non-decreasing.
+        prop_assert!(synopsis.windows(2).all(|w| w[0].report.ts <= w[1].report.ts));
+    }
+
+    /// Reconstruction error respects the dead-reckoning bound (with slack
+    /// for the one inter-report step a trigger can lag by).
+    #[test]
+    fn reconstruction_error_is_bounded(track in arb_track()) {
+        let raw = Trajectory::from_reports(track.clone());
+        let cfg = SynopsesConfig::maritime();
+        let bound = cfg.deviation_threshold_m;
+        let mut gen = SynopsesGenerator::new(cfg);
+        let synopsis = gen.run(track);
+        if let Some(report) = CompressionReport::measure(&raw, &synopsis) {
+            // One report step at ≤12 m/s over 10 s adds ≤120 m beyond the
+            // trigger point; turns bounded by the heading threshold add a
+            // geometric factor. 2× the bound is a conservative envelope.
+            prop_assert!(
+                report.max_error_m < 2.0 * bound,
+                "max error {} vs bound {}",
+                report.max_error_m,
+                bound
+            );
+        }
+    }
+
+    /// A single-leg (straight, constant-speed) track compresses to nothing
+    /// but its endpoints.
+    #[test]
+    fn straight_legs_compress_to_endpoints(
+        heading in 0.0f64..360.0,
+        // Above the slow-motion threshold (2.5 m/s), which correctly fires
+        // on sustained low-speed movement.
+        speed in 3.0f64..12.0,
+        steps in 20usize..120,
+    ) {
+        let mut p = GeoPoint::new(0.0, 45.0);
+        let mut track = Vec::new();
+        for i in 0..steps {
+            track.push(PositionReport {
+                speed_mps: speed,
+                heading_deg: heading,
+                ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(i as i64 * 10), p)
+            });
+            p = p.destination(heading, speed * 10.0);
+        }
+        let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+        let synopsis = gen.run(track);
+        let labels: Vec<&str> = synopsis.iter().map(|c| c.kind.label()).collect();
+        prop_assert_eq!(labels, vec!["start", "end"]);
+    }
+
+    /// Big heading changes are never silently dropped: any leg boundary
+    /// with ≥ 30 degrees of course change yields a change-in-heading or
+    /// deviation-triggered point within the following leg.
+    #[test]
+    fn large_turns_are_captured(
+        h1 in 0.0f64..360.0,
+        dh in 30.0f64..150.0,
+        sign in proptest::bool::ANY,
+    ) {
+        let h2 = datacron_geo::point::normalize_heading(if sign { h1 + dh } else { h1 - dh });
+        let speed = 8.0;
+        let mut p = GeoPoint::new(0.0, 45.0);
+        let mut track = Vec::new();
+        let mut t = 0i64;
+        for heading in [h1, h2] {
+            for _ in 0..30 {
+                track.push(PositionReport {
+                    speed_mps: speed,
+                    heading_deg: heading,
+                    ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(t), p)
+                });
+                p = p.destination(heading, speed * 10.0);
+                t += 10;
+            }
+        }
+        let mut gen = SynopsesGenerator::new(SynopsesConfig::maritime());
+        let synopsis = gen.run(track);
+        let has_turn = synopsis
+            .iter()
+            .any(|c| matches!(c.kind, CriticalKind::ChangeInHeading { .. }));
+        prop_assert!(has_turn, "course change of {dh} degrees missed");
+    }
+}

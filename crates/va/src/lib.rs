@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # datacron-va
+//!
+//! The computational layer of datAcron's visual analytics (§7 of the
+//! paper). Visual analytics is "not a single, specific analysis technique
+//! but a methodological approach": interactive filters, summaries and
+//! linked views over movement data. This crate implements the analytical
+//! engines behind the paper's VA workflows; rendering is text/CSV (the
+//! experiment binaries print the same summaries the figures visualise).
+//!
+//! * [`timemask`] — **time masks** (Andrienko et al., Visual Informatics
+//!   2017; Figure 10): temporal filters made of the disjoint intervals in
+//!   which a query condition over binned attribute series holds, applied to
+//!   select trajectory segments and events, with linked density summaries
+//!   inside vs. outside the mask.
+//! * [`relevance`] — **relevance-aware trajectory clustering** (Andrienko
+//!   et al., IEEE VAST 2017; Figure 11): relevance flags attached to
+//!   trajectory elements by filters, a distance that ignores irrelevant
+//!   elements, clustering of the relevant parts, and the per-cluster time
+//!   histogram that exposes the runway change.
+//! * [`matching`] — **point matching** of predicted vs. actual trajectories
+//!   (Figure 12): per-point matching within a tolerance, the distribution
+//!   of matched proportions, and outlier identification.
+//! * [`quality`] — **movement-data quality** (Andrienko et al., J. LBS
+//!   2016): a typology of quality problems (gaps, duplicates, out-of-order
+//!   records, position outliers, irregular sampling) measured per dataset.
+//! * [`render`] — ASCII/CSV rendering of histograms and density maps for
+//!   the situation displays.
+
+pub mod matching;
+pub mod quality;
+pub mod relevance;
+pub mod render;
+pub mod timemask;
+
+pub use matching::{match_trajectories, MatchReport};
+pub use quality::{assess_quality, QualityReport};
+pub use relevance::{cluster_relevant_parts, RelevanceClustering};
+pub use render::{ascii_histogram, DensityMap};
+pub use timemask::TimeMask;

@@ -1,0 +1,155 @@
+//! Point matching of predicted vs. actual trajectories (Figure 12).
+//!
+//! "A novel technique is the point matching method … enabling the analyst
+//! to view and explore the results of point matching", including "the
+//! statistical distribution of the proportions of the matched points" and
+//! detail views of significantly mismatched pairs (the runway-change
+//! outlier of Figure 12).
+
+use datacron_geo::Trajectory;
+
+/// The matching result of one predicted/actual pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchReport {
+    /// Actual points examined.
+    pub actual_points: usize,
+    /// Actual points whose time-aligned predicted position lies within the
+    /// tolerance.
+    pub matched_points: usize,
+    /// Mean distance between time-aligned pairs, metres.
+    pub mean_distance_m: f64,
+    /// Maximum distance, metres.
+    pub max_distance_m: f64,
+}
+
+impl MatchReport {
+    /// Proportion of matched points in `[0, 1]`.
+    pub fn proportion(&self) -> f64 {
+        if self.actual_points == 0 {
+            0.0
+        } else {
+            self.matched_points as f64 / self.actual_points as f64
+        }
+    }
+}
+
+/// Matches an actual trajectory against a prediction: every actual report
+/// is compared with the predicted position at the same timestamp
+/// (interpolated); a point matches when within `tolerance_m` metres.
+/// Returns `None` when either trajectory is empty.
+pub fn match_trajectories(actual: &Trajectory, predicted: &Trajectory, tolerance_m: f64) -> Option<MatchReport> {
+    if actual.is_empty() || predicted.is_empty() {
+        return None;
+    }
+    let mut matched = 0usize;
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for r in actual.reports() {
+        let p = predicted.position_at(r.ts).expect("predicted non-empty");
+        let d = p.haversine_distance(&r.point);
+        sum += d;
+        max = max.max(d);
+        if d <= tolerance_m {
+            matched += 1;
+        }
+    }
+    Some(MatchReport {
+        actual_points: actual.len(),
+        matched_points: matched,
+        mean_distance_m: sum / actual.len() as f64,
+        max_distance_m: max,
+    })
+}
+
+/// Histogram of matched proportions across many pairs: `bins` equal-width
+/// buckets over `[0, 1]`, returning the count per bucket.
+pub fn proportion_histogram(reports: &[MatchReport], bins: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; bins.max(1)];
+    for r in reports {
+        let b = ((r.proportion() * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Indices of pairs whose matched proportion is below `threshold` — the
+/// outliers an analyst drills into (Figure 12's mismatched pair).
+pub fn outliers(reports: &[MatchReport], threshold: f64) -> Vec<usize> {
+    reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.proportion() < threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+
+    fn track(offset_lat: f64) -> Trajectory {
+        let reports: Vec<PositionReport> = (0..20)
+            .map(|i| {
+                PositionReport::basic(
+                    EntityId::aircraft(1),
+                    Timestamp::from_secs(i * 10),
+                    GeoPoint::new(0.01 * i as f64, 40.0 + offset_lat),
+                )
+            })
+            .collect();
+        Trajectory::from_reports(reports)
+    }
+
+    #[test]
+    fn perfect_prediction_matches_fully() {
+        let t = track(0.0);
+        let r = match_trajectories(&t, &t, 100.0).unwrap();
+        assert_eq!(r.proportion(), 1.0);
+        assert!(r.mean_distance_m < 1e-6);
+    }
+
+    #[test]
+    fn offset_prediction_mismatches() {
+        let actual = track(0.0);
+        let predicted = track(0.05); // ~5.5 km north
+        let r = match_trajectories(&actual, &predicted, 1_000.0).unwrap();
+        assert_eq!(r.proportion(), 0.0);
+        assert!((r.mean_distance_m - 5_560.0).abs() < 100.0, "{}", r.mean_distance_m);
+        assert!(r.max_distance_m >= r.mean_distance_m);
+    }
+
+    #[test]
+    fn partial_match_counts_correctly() {
+        // Prediction correct for the first half, then veers off.
+        let actual = track(0.0);
+        let mut reports = actual.reports().to_vec();
+        for (i, r) in reports.iter_mut().enumerate() {
+            if i >= 10 {
+                r.point = r.point.destination(0.0, 10_000.0);
+            }
+        }
+        let predicted = Trajectory::from_reports(reports);
+        let r = match_trajectories(&actual, &predicted, 500.0).unwrap();
+        assert_eq!(r.matched_points, 10);
+        assert!((r.proportion() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert!(match_trajectories(&Trajectory::new(), &track(0.0), 100.0).is_none());
+        assert!(match_trajectories(&track(0.0), &Trajectory::new(), 100.0).is_none());
+    }
+
+    #[test]
+    fn histogram_and_outliers() {
+        let good = match_trajectories(&track(0.0), &track(0.0), 100.0).unwrap();
+        let bad = match_trajectories(&track(0.0), &track(0.05), 100.0).unwrap();
+        let reports = vec![good, good, bad];
+        let hist = proportion_histogram(&reports, 10);
+        assert_eq!(hist[9], 2, "two perfect pairs in the top bucket");
+        assert_eq!(hist[0], 1, "one total mismatch in the bottom bucket");
+        assert_eq!(outliers(&reports, 0.5), vec![2]);
+        assert!(outliers(&reports, 0.0).is_empty());
+    }
+}

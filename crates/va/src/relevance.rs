@@ -1,0 +1,265 @@
+//! Relevance-aware trajectory clustering (Figure 11).
+//!
+//! "An analytical workflow that uses interactive filtering tools to attach
+//! relevance flags to elements of trajectories; subsequent clustering uses
+//! a distance function that ignores irrelevant elements."
+//!
+//! The programmatic equivalent of the interactive filter is a predicate
+//! over position reports. Clustering of the relevant parts reuses the
+//! OPTICS machinery of `datacron-predict` with an ERP distance over the
+//! relevant points only.
+
+use datacron_geo::{LocalFrame, PositionReport, Trajectory};
+use datacron_predict::cluster::{extract_clusters, optics, OpticsParams};
+use datacron_predict::distance::{enriched_distance, EnrichedPoint};
+
+/// The result of a relevance-aware clustering run.
+#[derive(Debug, Clone)]
+pub struct RelevanceClustering {
+    /// Clusters as lists of trajectory indices.
+    pub clusters: Vec<Vec<usize>>,
+    /// Trajectories whose relevant part was empty or that stayed noise.
+    pub unclustered: Vec<usize>,
+    /// Relevant points per trajectory (after filtering and resampling).
+    pub relevant_counts: Vec<usize>,
+}
+
+impl RelevanceClustering {
+    /// The cluster id of a trajectory, if clustered.
+    pub fn cluster_of(&self, idx: usize) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(&idx))
+    }
+}
+
+/// Clusters trajectories by the similarity of their *relevant parts*.
+///
+/// `relevance` flags each report; flagged sub-sequences are resampled to
+/// `samples` points (so long and short relevant parts compare fairly) and
+/// clustered with OPTICS under the ERP distance. The local frame is shared
+/// across trajectories (anchored at the first relevant point seen), so the
+/// distance reflects absolute route geometry, as route-shape clustering
+/// requires.
+pub fn cluster_relevant_parts(
+    trajectories: &[Trajectory],
+    relevance: impl Fn(&PositionReport) -> bool,
+    samples: usize,
+    params: OpticsParams,
+    eps_cluster: f64,
+) -> RelevanceClustering {
+    // Extract relevant parts.
+    let parts: Vec<Trajectory> = trajectories
+        .iter()
+        .map(|t| Trajectory::from_reports(t.reports().iter().filter(|r| relevance(r)).copied().collect()))
+        .collect();
+    let relevant_counts: Vec<usize> = parts.iter().map(Trajectory::len).collect();
+
+    // Shared frame anchored at the first relevant point of the corpus.
+    let Some(anchor) = parts.iter().find_map(|p| p.reports().first().map(|r| r.point)) else {
+        return RelevanceClustering {
+            clusters: Vec::new(),
+            unclustered: (0..trajectories.len()).collect(),
+            relevant_counts,
+        };
+    };
+    let frame = LocalFrame::new(anchor);
+
+    // Resample each non-empty part into an enriched sequence.
+    let mut usable: Vec<usize> = Vec::new();
+    let mut sequences: Vec<Vec<EnrichedPoint>> = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        if part.len() < 2 {
+            continue;
+        }
+        let seq: Vec<EnrichedPoint> = part
+            .resample(samples)
+            .into_iter()
+            .enumerate()
+            .map(|(k, r)| {
+                let (x, y) = frame.project(&r.point);
+                EnrichedPoint::bare(x, y, k as f64)
+            })
+            .collect();
+        usable.push(i);
+        sequences.push(seq);
+    }
+
+    if usable.is_empty() {
+        return RelevanceClustering {
+            clusters: Vec::new(),
+            unclustered: (0..trajectories.len()).collect(),
+            relevant_counts,
+        };
+    }
+
+    let dist = |a: usize, b: usize| enriched_distance(&sequences[a], &sequences[b], 0.0);
+    let order = optics(usable.len(), dist, params);
+    let (raw_clusters, raw_noise) = extract_clusters(&order, eps_cluster);
+
+    let clusters: Vec<Vec<usize>> = raw_clusters
+        .into_iter()
+        .map(|c| c.into_iter().map(|k| usable[k]).collect())
+        .collect();
+    let mut unclustered: Vec<usize> = raw_noise.into_iter().map(|k| usable[k]).collect();
+    for (i, part) in parts.iter().enumerate() {
+        if part.len() < 2 {
+            unclustered.push(i);
+        }
+    }
+    unclustered.sort_unstable();
+
+    RelevanceClustering {
+        clusters,
+        unclustered,
+        relevant_counts,
+    }
+}
+
+/// Builds the Figure-11-style histogram: per time bin (width `bin_millis`
+/// from `t0`), the count of trajectories (by their last report) per
+/// cluster. Rows are `(bin, cluster) -> count`, indexable as
+/// `result[bin][cluster]`; trajectories outside any cluster are ignored.
+pub fn arrivals_histogram(
+    trajectories: &[Trajectory],
+    clustering: &RelevanceClustering,
+    t0: datacron_geo::Timestamp,
+    bin_millis: i64,
+    bins: usize,
+) -> Vec<Vec<usize>> {
+    let n_clusters = clustering.clusters.len();
+    let mut hist = vec![vec![0usize; n_clusters]; bins];
+    for (i, t) in trajectories.iter().enumerate() {
+        let Some(cluster) = clustering.cluster_of(i) else {
+            continue;
+        };
+        let Some(last) = t.reports().last() else {
+            continue;
+        };
+        let bin = last.ts.delta_millis(&t0) / bin_millis;
+        if bin >= 0 && (bin as usize) < bins {
+            hist[bin as usize][cluster] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, Timestamp};
+
+    /// Builds a trajectory approaching (0, 0) from due east or due west,
+    /// with an irrelevant wiggly prefix far away.
+    fn arrival(id: u64, from_east: bool, t0_s: i64) -> Trajectory {
+        let mut reports = Vec::new();
+        // Irrelevant prefix: a jittered area ~2 degrees out.
+        for i in 0..20i64 {
+            let lon = if from_east { 2.0 } else { -2.0 };
+            let jitter = if (i + id as i64) % 2 == 0 { 0.3 } else { -0.3 };
+            reports.push(PositionReport::basic(
+                EntityId::aircraft(id),
+                Timestamp::from_secs(t0_s + i),
+                GeoPoint::new(lon + jitter, 0.5 + jitter),
+            ));
+        }
+        // Relevant final approach: within 1 degree of the airport.
+        for i in 0..20i64 {
+            let f = 1.0 - i as f64 / 20.0;
+            let lon = if from_east { 0.9 * f } else { -0.9 * f };
+            reports.push(PositionReport::basic(
+                EntityId::aircraft(id),
+                Timestamp::from_secs(t0_s + 20 + i),
+                GeoPoint::new(lon, 0.0),
+            ));
+        }
+        Trajectory::from_reports(reports)
+    }
+
+    fn near_airport(r: &PositionReport) -> bool {
+        r.point.haversine_distance(&GeoPoint::new(0.0, 0.0)) < 120_000.0
+    }
+
+    #[test]
+    fn clusters_by_approach_direction_ignoring_prefix() {
+        let mut trajectories = Vec::new();
+        for i in 0..6 {
+            trajectories.push(arrival(i, true, i as i64 * 100));
+        }
+        for i in 6..12 {
+            trajectories.push(arrival(i, false, i as i64 * 100));
+        }
+        let result = cluster_relevant_parts(
+            &trajectories,
+            near_airport,
+            16,
+            OpticsParams { eps: 30_000.0, min_pts: 3 },
+            25_000.0,
+        );
+        assert_eq!(result.clusters.len(), 2, "east vs west approaches: {:?}", result.clusters);
+        // Same-direction arrivals share a cluster.
+        let c0 = result.cluster_of(0).unwrap();
+        for i in 1..6 {
+            assert_eq!(result.cluster_of(i), Some(c0), "arrival {i}");
+        }
+        let c6 = result.cluster_of(6).unwrap();
+        assert_ne!(c0, c6);
+    }
+
+    #[test]
+    fn relevance_counts_reflect_filter() {
+        let t = arrival(1, true, 0);
+        let result = cluster_relevant_parts(
+            std::slice::from_ref(&t),
+            near_airport,
+            16,
+            OpticsParams { eps: 30_000.0, min_pts: 2 },
+            25_000.0,
+        );
+        assert_eq!(result.relevant_counts[0], 20, "only the approach is relevant");
+    }
+
+    #[test]
+    fn nothing_relevant_leaves_all_unclustered() {
+        let t = arrival(1, true, 0);
+        let result = cluster_relevant_parts(
+            &[t],
+            |_| false,
+            16,
+            OpticsParams { eps: 30_000.0, min_pts: 2 },
+            25_000.0,
+        );
+        assert!(result.clusters.is_empty());
+        assert_eq!(result.unclustered, vec![0]);
+    }
+
+    #[test]
+    fn histogram_splits_by_cluster_and_bin() {
+        let mut trajectories = Vec::new();
+        for i in 0..4 {
+            trajectories.push(arrival(i, true, i as i64 * 3600));
+        }
+        for i in 4..8 {
+            trajectories.push(arrival(i, false, i as i64 * 3600));
+        }
+        let result = cluster_relevant_parts(
+            &trajectories,
+            near_airport,
+            16,
+            OpticsParams { eps: 30_000.0, min_pts: 2 },
+            25_000.0,
+        );
+        assert_eq!(result.clusters.len(), 2);
+        let hist = arrivals_histogram(&trajectories, &result, Timestamp(0), 3_600_000, 9);
+        let total: usize = hist.iter().flatten().sum();
+        assert_eq!(total, 8);
+        // Early bins are all one cluster, late bins the other.
+        let early: Vec<usize> = hist[0].clone();
+        let late: Vec<usize> = hist[7].clone();
+        assert_eq!(early.iter().sum::<usize>(), 1);
+        assert_eq!(late.iter().sum::<usize>(), 1);
+        assert_ne!(
+            early.iter().position(|&c| c > 0),
+            late.iter().position(|&c| c > 0),
+            "runway change shows as a cluster switch over time"
+        );
+    }
+}

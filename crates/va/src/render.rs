@@ -1,0 +1,201 @@
+//! Text rendering of the VA summaries: histograms and density maps.
+//!
+//! The figures of §7 are visual; the experiment binaries print the same
+//! content as ASCII so the comparisons (e.g. in-mask vs. out-of-mask
+//! density, per-cluster arrival histograms) are inspectable in a terminal
+//! and diffable in tests.
+
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint};
+
+/// Renders labelled counts as a horizontal ASCII bar chart, scaled to
+/// `width` characters for the largest value.
+pub fn ascii_histogram(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {bar} {value:.1}\n",
+            bar = "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// A spatial point-density raster over an equi-grid.
+#[derive(Debug, Clone)]
+pub struct DensityMap {
+    grid: EquiGrid,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DensityMap {
+    /// An empty map of `rows × cols` cells over `extent`.
+    pub fn new(extent: BoundingBox, rows: u32, cols: u32) -> Self {
+        let grid = EquiGrid::new(extent, rows, cols);
+        let n = grid.cell_count() as usize;
+        Self {
+            grid,
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Adds a point (ignored outside the extent).
+    pub fn add(&mut self, p: &GeoPoint) {
+        if let Some(cell) = self.grid.cell_of(p) {
+            self.counts[self.grid.flat_id(cell) as usize] += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Adds many points.
+    pub fn add_all<'a>(&mut self, points: impl IntoIterator<Item = &'a GeoPoint>) {
+        for p in points {
+            self.add(p);
+        }
+    }
+
+    /// Points accumulated (inside the extent).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The count of one cell by (row, col).
+    pub fn count(&self, row: u32, col: u32) -> u64 {
+        self.counts[(row * self.grid.cols() + col) as usize]
+    }
+
+    /// Density correlation with another map of identical geometry —
+    /// the quantitative comparison behind "the density of the trajectories
+    /// in the times of occurrence of events vs. the remaining times"
+    /// (Figure 10). Returns `None` when geometries differ or either map is
+    /// empty.
+    pub fn correlation(&self, other: &DensityMap) -> Option<f64> {
+        if self.grid != other.grid || self.total == 0 || other.total == 0 {
+            return None;
+        }
+        let n = self.counts.len() as f64;
+        let (ma, mb) = (self.total as f64 / n, other.total as f64 / n);
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            let da = *a as f64 - ma;
+            let db = *b as f64 - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if va == 0.0 || vb == 0.0 {
+            return None;
+        }
+        Some(cov / (va.sqrt() * vb.sqrt()))
+    }
+
+    /// Renders the raster as ASCII shades (north at the top).
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let shades = [' ', '.', ':', '+', '*', '#'];
+        let mut out = String::new();
+        for row in (0..self.grid.rows()).rev() {
+            for col in 0..self.grid.cols() {
+                let c = self.count(row, col);
+                let shade = if max == 0 {
+                    0
+                } else {
+                    ((c as f64 / max as f64) * (shades.len() - 1) as f64).round() as usize
+                };
+                out.push(shades[shade]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_scales_to_width() {
+        let rows = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0), ("c".to_string(), 0.0)];
+        let h = ascii_histogram(&rows, 10);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+        assert!(!lines[2].contains('#'));
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        assert_eq!(ascii_histogram(&[], 10), "");
+        let h = ascii_histogram(&[("x".to_string(), 0.0)], 10);
+        assert!(h.contains("x"));
+    }
+
+    #[test]
+    fn density_map_counts_points() {
+        let mut m = DensityMap::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 2, 2);
+        m.add(&GeoPoint::new(2.0, 2.0)); // SW
+        m.add(&GeoPoint::new(7.0, 2.0)); // SE
+        m.add(&GeoPoint::new(7.0, 8.0)); // NE
+        m.add(&GeoPoint::new(7.1, 8.2)); // NE
+        m.add(&GeoPoint::new(50.0, 50.0)); // outside
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(1, 0), 0);
+    }
+
+    #[test]
+    fn render_puts_north_on_top() {
+        let mut m = DensityMap::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 2, 2);
+        for _ in 0..5 {
+            m.add(&GeoPoint::new(7.0, 8.0)); // NE corner
+        }
+        let s = m.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().nth(1), Some('#'), "NE is top-right");
+        assert_eq!(lines[1].chars().next(), Some(' '));
+    }
+
+    #[test]
+    fn correlation_of_identical_maps_is_one() {
+        let mut a = DensityMap::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 4, 4);
+        for i in 0..20 {
+            a.add(&GeoPoint::new((i % 10) as f64, (i % 7) as f64));
+        }
+        let b = a.clone();
+        assert!((a.correlation(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_disjoint_maps_is_negative() {
+        let ext = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let mut a = DensityMap::new(ext, 2, 2);
+        let mut b = DensityMap::new(ext, 2, 2);
+        for _ in 0..10 {
+            a.add(&GeoPoint::new(2.0, 2.0));
+            b.add(&GeoPoint::new(8.0, 8.0));
+        }
+        assert!(a.correlation(&b).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn correlation_geometry_mismatch_is_none() {
+        let a = DensityMap::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 2, 2);
+        let b = DensityMap::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 4, 4);
+        assert!(a.correlation(&b).is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Time masks: temporal filters of disjoint intervals (Figure 10).
+//!
+//! "The concept of time mask … is a type of temporal filter suitable for
+//! selection of multiple disjoint time intervals in which some query
+//! conditions on arbitrary attributes hold. Such a filter can be applied to
+//! time-referenced objects, such as events and trajectories, for selecting
+//! those objects or segments of trajectories that fit in one of the
+//! selected time intervals."
+
+use datacron_geo::{PositionReport, TimeInterval, Timestamp, Trajectory};
+
+/// A set of disjoint, ordered time intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeMask {
+    intervals: Vec<TimeInterval>,
+}
+
+impl TimeMask {
+    /// Builds a mask directly from intervals (merged and ordered).
+    pub fn from_intervals(mut intervals: Vec<TimeInterval>) -> Self {
+        intervals.sort_by_key(|iv| iv.start);
+        Self {
+            intervals: TimeInterval::merge_sorted(&intervals),
+        }
+    }
+
+    /// Builds a mask from a binned query: the timeline `[t0, t0 + n·bin)`
+    /// is divided into `values.len()` bins of `bin_millis`; bins where
+    /// `condition(value)` holds are selected (and adjacent selected bins
+    /// merge). This is the "query selects the intervals containing at least
+    /// one event" workflow of Figure 10.
+    pub fn from_binned_query(
+        t0: Timestamp,
+        bin_millis: i64,
+        values: &[f64],
+        condition: impl Fn(f64) -> bool,
+    ) -> Self {
+        let intervals: Vec<TimeInterval> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| condition(v))
+            .map(|(i, _)| {
+                TimeInterval::new(t0 + bin_millis * i as i64, t0 + bin_millis * (i as i64 + 1))
+            })
+            .collect();
+        Self::from_intervals(intervals)
+    }
+
+    /// The mask's intervals.
+    pub fn intervals(&self) -> &[TimeInterval] {
+        &self.intervals
+    }
+
+    /// Total masked duration, milliseconds.
+    pub fn duration_millis(&self) -> i64 {
+        self.intervals.iter().map(TimeInterval::duration_millis).sum()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        // Intervals are sorted: binary search by start.
+        let idx = self.intervals.partition_point(|iv| iv.start <= t);
+        idx > 0 && self.intervals[idx - 1].contains(t)
+    }
+
+    /// The complement mask over a covering interval.
+    pub fn complement(&self, over: TimeInterval) -> TimeMask {
+        let mut out = Vec::new();
+        let mut cursor = over.start;
+        for iv in &self.intervals {
+            if iv.start > cursor {
+                out.push(TimeInterval::new(cursor, iv.start.min(over.end)));
+            }
+            cursor = cursor.max(iv.end);
+            if cursor >= over.end {
+                break;
+            }
+        }
+        if cursor < over.end {
+            out.push(TimeInterval::new(cursor, over.end));
+        }
+        TimeMask { intervals: out }
+    }
+
+    /// Selects the reports of a trajectory falling inside the mask — the
+    /// "segments of trajectories that fit in one of the selected time
+    /// intervals".
+    pub fn filter_trajectory(&self, t: &Trajectory) -> Vec<PositionReport> {
+        t.reports().iter().filter(|r| self.contains(r.ts)).copied().collect()
+    }
+
+    /// Selects timestamped items inside the mask.
+    pub fn filter_items<'a, T>(&self, items: &'a [(Timestamp, T)]) -> Vec<&'a (Timestamp, T)> {
+        items.iter().filter(|(ts, _)| self.contains(*ts)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint};
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(Timestamp(a), Timestamp(b))
+    }
+
+    #[test]
+    fn from_intervals_merges_and_orders() {
+        let m = TimeMask::from_intervals(vec![iv(50, 60), iv(0, 10), iv(8, 20)]);
+        assert_eq!(m.intervals(), &[iv(0, 20), iv(50, 60)]);
+        assert_eq!(m.duration_millis(), 30);
+    }
+
+    #[test]
+    fn binned_query_selects_and_merges_adjacent() {
+        // Bins of 10 ms; counts [0, 2, 3, 0, 1].
+        let m = TimeMask::from_binned_query(Timestamp(0), 10, &[0.0, 2.0, 3.0, 0.0, 1.0], |v| v >= 1.0);
+        assert_eq!(m.intervals(), &[iv(10, 30), iv(40, 50)]);
+    }
+
+    #[test]
+    fn contains_respects_half_open_bounds() {
+        let m = TimeMask::from_intervals(vec![iv(10, 20)]);
+        assert!(m.contains(Timestamp(10)));
+        assert!(m.contains(Timestamp(19)));
+        assert!(!m.contains(Timestamp(20)));
+        assert!(!m.contains(Timestamp(9)));
+    }
+
+    #[test]
+    fn complement_covers_the_rest() {
+        let m = TimeMask::from_intervals(vec![iv(10, 20), iv(40, 50)]);
+        let c = m.complement(iv(0, 60));
+        assert_eq!(c.intervals(), &[iv(0, 10), iv(20, 40), iv(50, 60)]);
+        // Union durations add up.
+        assert_eq!(m.duration_millis() + c.duration_millis(), 60);
+        // Disjointness.
+        for t in 0..60 {
+            assert_ne!(m.contains(Timestamp(t)), c.contains(Timestamp(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn complement_of_empty_mask_is_everything() {
+        let m = TimeMask::from_intervals(vec![]);
+        let c = m.complement(iv(5, 15));
+        assert_eq!(c.intervals(), &[iv(5, 15)]);
+    }
+
+    #[test]
+    fn filter_trajectory_selects_segments() {
+        let reports: Vec<PositionReport> = (0..10)
+            .map(|i| {
+                PositionReport::basic(EntityId::vessel(1), Timestamp(i * 10), GeoPoint::new(i as f64, 0.0))
+            })
+            .collect();
+        let t = Trajectory::from_reports(reports);
+        let m = TimeMask::from_intervals(vec![iv(20, 50)]);
+        let selected = m.filter_trajectory(&t);
+        let times: Vec<i64> = selected.iter().map(|r| r.ts.millis()).collect();
+        assert_eq!(times, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn filter_items_works_on_events() {
+        let events: Vec<(Timestamp, &str)> = vec![
+            (Timestamp(5), "a"),
+            (Timestamp(15), "b"),
+            (Timestamp(25), "c"),
+        ];
+        let m = TimeMask::from_intervals(vec![iv(10, 20)]);
+        let selected = m.filter_items(&events);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].1, "b");
+    }
+}

@@ -1,0 +1,73 @@
+//! ATM trajectory prediction: the §5 pipeline end to end — generate a
+//! flight corpus, evaluate RMF\* for short-term future-location prediction,
+//! and train the Hybrid Clustering/HMM model to predict per-waypoint
+//! deviations from the flight plan.
+//!
+//! ```sh
+//! cargo run --release --example atm_prediction
+//! ```
+
+use datacron::data::aviation::{FlightGenerator, FlightPlan, FlightProfile};
+use datacron::data::weather::WeatherField;
+use datacron::geo::{BoundingBox, GeoPoint, Timestamp, Trajectory};
+use datacron::predict::flp::evaluate_flp_corpus;
+use datacron::predict::hybrid::{measure_waypoint_deviations, HybridParams, HybridTp, TrainingFlight};
+use datacron::predict::RmfStarPredictor;
+
+fn main() {
+    let extent = BoundingBox::new(-10.0, 35.0, 5.0, 45.0);
+    let weather = WeatherField::new(extent, 7, 4, 10.0);
+    let generator = FlightGenerator::new(FlightProfile::default(), weather);
+    let plan = FlightPlan::between(
+        1,
+        GeoPoint::new(2.08, 41.30),  // Barcelona
+        GeoPoint::new(-3.56, 40.47), // Madrid
+        5,
+        10_500.0,
+        220.0,
+        3,
+    );
+
+    // A day's rotations on the route.
+    let flights = generator.fleet_on_route(24, &plan, Timestamp(0), 3_600.0, 11);
+
+    // --- Short-term FLP with RMF* (8 s sampling, 8 steps ≈ 1 minute) ---
+    let trajectories: Vec<Trajectory> = flights
+        .iter()
+        .map(|f| Trajectory::from_reports(f.reports.clone()))
+        .collect();
+    let report = evaluate_flp_corpus(&trajectories, &RmfStarPredictor::default(), 12, 8)
+        .expect("corpus long enough");
+    println!("== RMF* future-location prediction ==");
+    for (k, (mean, std)) in report.mean_error_m.iter().zip(&report.std_error_m).enumerate() {
+        println!("  +{:>2}s: mean {:>6.0} m  stdev {:>6.0} m", (k + 1) * 8, mean, std);
+    }
+
+    // --- Long-term TP with the hybrid clustering/HMM model ---
+    let to_training = |f: &datacron::data::aviation::GeneratedFlight| {
+        let plan_points: Vec<GeoPoint> = f.plan.waypoints.iter().map(|w| w.point).collect();
+        TrainingFlight {
+            id: f.aircraft.id,
+            deviations: measure_waypoint_deviations(&plan_points, &f.clean),
+            plan: plan_points,
+            wp_features: f.features.wp_severity.clone(),
+            global_features: vec![f.features.size_class as f64],
+        }
+    };
+    let training: Vec<TrainingFlight> = flights.iter().map(to_training).collect();
+    let model = HybridTp::train(&training, HybridParams::default());
+    println!("\n== hybrid clustering/HMM trajectory prediction ==");
+    println!("clusters: {} (sizes {:?})", model.cluster_count(), model.cluster_sizes());
+
+    // Predict the deviations of tomorrow's first rotation.
+    let tomorrow = generator.flight(99, &plan, 1, 3, Timestamp::from_secs(86_400), 1234);
+    let tf = to_training(&tomorrow);
+    let predicted = model.predict(&tf.plan, &tf.wp_features, &tf.global_features);
+    println!("per-waypoint deviation, predicted vs actual (m):");
+    for (w, (p, a)) in predicted.iter().zip(&tf.deviations).enumerate() {
+        println!(
+            "  {:>4}: {:>7.0} vs {:>7.0}",
+            tomorrow.plan.waypoints[w].name, p, a
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: stand up the datAcron system, stream one vessel through it,
+//! and look at everything the architecture produces.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use datacron::core::{DatacronConfig, DatacronSystem};
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, PositionReport, Timestamp};
+use datacron::rdf::term::Term;
+use datacron::rdf::vocab;
+use datacron::store::{StExecution, StarQuery, StoreConfig};
+
+fn main() {
+    // 1. The area of interest and the system (real-time + batch layers).
+    let extent = BoundingBox::new(0.0, 38.0, 4.0, 42.0);
+    let config = DatacronConfig::maritime(extent);
+    let mut system = DatacronSystem::new(config, Vec::new(), Vec::new(), StoreConfig::default());
+
+    // 2. Stream a simple voyage: eastbound cruise, a 90-degree turn north,
+    //    then a stop.
+    let vessel = EntityId::vessel(42);
+    let mut p = GeoPoint::new(0.5, 40.0);
+    let mut t = 0i64;
+    let drive = |system: &mut DatacronSystem, p: &mut GeoPoint, t: &mut i64, heading: f64, speed: f64, steps: i64| {
+        for _ in 0..steps {
+            let report = PositionReport {
+                speed_mps: speed,
+                heading_deg: heading,
+                ..PositionReport::basic(vessel, Timestamp::from_secs(*t), *p)
+            };
+            system.ingest(report);
+            *p = p.destination(heading, speed * 10.0);
+            *t += 10;
+        }
+    };
+    drive(&mut system, &mut p, &mut t, 90.0, 8.0, 120); // east
+    drive(&mut system, &mut p, &mut t, 0.0, 8.0, 120); // north
+    drive(&mut system, &mut p, &mut t, 0.0, 0.2, 30); // drifting stop
+
+    // 3. The live situation picture (the dashboard's data).
+    let picture = system.situation(4, 10.0);
+    println!("situation as of t{}:", picture.as_of.secs());
+    println!("  reports ingested : {}", picture.total_reports);
+    println!("  critical points  : {}", picture.total_critical);
+    for entry in &picture.entries {
+        println!(
+            "  {} at {}  speed {:.1} m/s — predicted next: {}",
+            entry.entity,
+            entry.last.point,
+            entry.last.speed_mps,
+            entry
+                .predicted
+                .first()
+                .map(|q| q.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+
+    // 4. Sync the batch layer and query the knowledge graph: where did this
+    //    vessel manoeuvre?
+    let nodes = system.sync_batch();
+    println!("\nbatch layer: {} semantic nodes, {} triples", nodes, system.batch.triple_count());
+    let query = StarQuery {
+        arms: vec![
+            (vocab::rdf_type(), Some(vocab::semantic_node_class())),
+            (vocab::event_type(), Some(Term::str("change_in_heading"))),
+        ],
+        st: None,
+    };
+    let (turns, _) = system.batch.query(&query, StExecution::Pushdown);
+    println!("turn events stored in the knowledge graph:");
+    for node in &turns {
+        println!("  {}", node.as_iri().unwrap_or("?"));
+    }
+}

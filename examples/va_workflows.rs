@@ -1,0 +1,93 @@
+//! Visual-analytics workflows (§7): data-quality assessment, time-mask
+//! exploration, and the offline batch analytics (trajectory clustering and
+//! frequent event sequences) over the knowledge store.
+//!
+//! ```sh
+//! cargo run --release --example va_workflows
+//! ```
+
+use datacron::core::offline::{cluster_stored_trajectories, frequent_event_sequences, stored_trajectories};
+use datacron::core::{BatchLayer, DatacronConfig, RealTimeLayer};
+use datacron::data::context::PortGenerator;
+use datacron::data::maritime::{VoyageConfig, VoyageGenerator};
+use datacron::geo::{BoundingBox, TimeInterval, Timestamp};
+use datacron::predict::cluster::OpticsParams;
+use datacron::store::StoreConfig;
+use datacron::stream::cleaning::CleaningConfig;
+use datacron::va::quality::assess_quality;
+use datacron::va::render::ascii_histogram;
+use datacron::va::timemask::TimeMask;
+
+fn main() {
+    let extent = BoundingBox::new(-6.0, 35.0, 10.0, 44.0);
+    let ports = PortGenerator::new(extent).generate(20, 3);
+    // A noisy fleet: the quality workflow should have something to find.
+    let fleet = VoyageGenerator::new(VoyageConfig {
+        outlier_probability: 0.005,
+        duplicate_probability: 0.01,
+        gap_probability: 0.002,
+        ..VoyageConfig::default()
+    })
+    .fleet(10, &ports, Timestamp(0), 77);
+    let mut reports: Vec<_> = fleet.iter().flat_map(|v| v.reports.iter().copied()).collect();
+    reports.sort_by_key(|r| r.ts);
+
+    // --- 1. Movement-data quality assessment ---
+    let q = assess_quality(&reports, CleaningConfig::maritime(), 600.0);
+    println!("== data quality ==");
+    println!("records {} movers {} problem ratio {:.3} %", q.records, q.movers, q.problem_ratio() * 100.0);
+    println!(
+        "implausible {}  outliers {}  duplicates {}  out-of-order {}  gaps {}",
+        q.implausible, q.outliers, q.duplicates, q.out_of_order, q.gaps
+    );
+    println!("sampling: mean {:.1} s, max {:.0} s", q.mean_interval_s, q.max_interval_s);
+
+    // --- 2. Time-mask exploration: when is the fleet busiest? ---
+    let span = reports.last().map(|r| r.ts.millis()).unwrap_or(0) + 1;
+    let bin = 3_600_000i64;
+    let bins = (span / bin + 1) as usize;
+    let mut counts = vec![0.0f64; bins];
+    for r in &reports {
+        counts[(r.ts.millis() / bin) as usize] += 1.0;
+    }
+    let mean = counts.iter().sum::<f64>() / bins as f64;
+    let mask = TimeMask::from_binned_query(Timestamp(0), bin, &counts, |v| v > mean);
+    println!("\n== time mask: busier-than-average hours ==");
+    let rows: Vec<(String, f64)> = counts.iter().enumerate().map(|(h, &c)| (format!("h{h}"), c)).collect();
+    print!("{}", ascii_histogram(&rows, 30));
+    println!(
+        "mask covers {:.1} h of {:.1} h; complement {:.1} h",
+        mask.duration_millis() as f64 / 3.6e6,
+        span as f64 / 3.6e6,
+        mask.complement(TimeInterval::new(Timestamp(0), Timestamp(span))).duration_millis() as f64 / 3.6e6
+    );
+
+    // --- 3. Offline analytics over the knowledge store ---
+    let config = DatacronConfig::maritime(extent);
+    let mut rt = RealTimeLayer::new(config.clone(), Vec::new(), Vec::new());
+    let mut batch = BatchLayer::new(&config, StoreConfig::default());
+    batch.subscribe(&rt);
+    for r in reports {
+        rt.ingest(r);
+    }
+    rt.flush();
+    batch.sync();
+    let trajectories = stored_trajectories(&batch);
+    println!("\n== offline analytics over the store ==");
+    println!("stored trajectories: {} ({} triples)", trajectories.len(), batch.triple_count());
+    let (clusters, noise) = cluster_stored_trajectories(
+        &trajectories,
+        16,
+        OpticsParams {
+            eps: 120_000.0,
+            min_pts: 2,
+        },
+        100_000.0,
+    );
+    println!("route clusters: {} (sizes {:?}), noise {}", clusters.len(), clusters.iter().map(Vec::len).collect::<Vec<_>>(), noise.len());
+    let patterns = frequent_event_sequences(&batch, &trajectories, 2, 3);
+    println!("frequent event 2-grams (support ≥ 3):");
+    for (pattern, support) in patterns.iter().take(8) {
+        println!("  {:?}  x{}", pattern, support);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! datAcron-rs: time-critical mobility forecasting.
+//!
+//! This is the umbrella crate of the workspace: it re-exports every
+//! component of the datAcron architecture (EDBT 2018) so that applications
+//! can depend on a single crate. See the README for an architecture overview
+//! and `examples/` for runnable scenarios.
+
+pub use datacron_cep as cep;
+pub use datacron_core as core;
+pub use datacron_data as data;
+pub use datacron_geo as geo;
+pub use datacron_linkdisc as linkdisc;
+pub use datacron_predict as predict;
+pub use datacron_rdf as rdf;
+pub use datacron_store as store;
+pub use datacron_stream as stream;
+pub use datacron_synopses as synopses;
+pub use datacron_va as va;

@@ -1,0 +1,151 @@
+//! Cross-component integration below the full-system level: pairs of
+//! components whose contracts must line up.
+
+use datacron::data::aviation::{FlightGenerator, FlightPlan, FlightProfile};
+use datacron::data::maritime::{VesselClass, VoyageConfig, VoyageGenerator};
+use datacron::data::weather::WeatherField;
+use datacron::geo::{BoundingBox, GeoPoint, Timestamp, Trajectory};
+use datacron::linkdisc::{LinkerConfig, StaticLinker};
+use datacron::rdf::graph::Graph;
+use datacron::rdf::query::{evaluate, PatternTerm, QueryPattern};
+use datacron::rdf::vocab;
+use datacron::stream::cleaning::CleaningConfig;
+use datacron::stream::operator::Operator;
+use datacron::synopses::{CompressionReport, SynopsesConfig, SynopsesGenerator};
+use datacron::va::matching::match_trajectories;
+use datacron::va::quality::assess_quality;
+
+/// Synopses error stays within the dead-reckoning bound on generated
+/// voyages of every class.
+#[test]
+fn synopses_error_is_bounded_across_vessel_classes() {
+    let gen = VoyageGenerator::new(VoyageConfig::clean());
+    let cfg = SynopsesConfig::maritime();
+    for (i, class) in [VesselClass::Cargo, VesselClass::Tanker, VesselClass::Ferry]
+        .into_iter()
+        .enumerate()
+    {
+        let a = GeoPoint::new(i as f64, 40.0);
+        let b = a.destination(70.0 + 40.0 * i as f64, 180_000.0);
+        let v = gen.voyage(i as u64, class, a, b, Timestamp(0), 17 + i as u64);
+        let mut sg = SynopsesGenerator::new(cfg.clone());
+        let synopsis = sg.run(v.clean.reports().to_vec());
+        let report = CompressionReport::measure(&v.clean, &synopsis).expect("non-empty");
+        assert!(
+            report.max_error_m < cfg.deviation_threshold_m * 1.6,
+            "{class:?}: max error {:.0} m exceeds the bound",
+            report.max_error_m
+        );
+        assert!(report.reduction > 0.9, "{class:?}: reduction {:.3}", report.reduction);
+    }
+}
+
+/// Quality assessment counts exactly what the generator injected (up to the
+/// classifier's view of overlapping degradations).
+#[test]
+fn quality_report_matches_ground_truth_scale() {
+    let cfg = VoyageConfig {
+        outlier_probability: 0.02,
+        duplicate_probability: 0.02,
+        gap_probability: 0.004,
+        ..VoyageConfig::default()
+    };
+    let v = VoyageGenerator::new(cfg).voyage(
+        1,
+        VesselClass::Cargo,
+        GeoPoint::new(0.0, 40.0),
+        GeoPoint::new(1.5, 40.8),
+        Timestamp(0),
+        23,
+    );
+    let q = assess_quality(&v.reports, CleaningConfig::maritime(), 300.0);
+    // Duplicates: the generator duplicates records verbatim, every one must
+    // be flagged.
+    let injected_dups = v.reports.len() - {
+        let mut unique: Vec<_> = v.reports.iter().map(|r| r.ts).collect();
+        unique.dedup();
+        unique.len()
+    };
+    assert_eq!(q.duplicates as usize, injected_dups);
+    // Outliers: at least half of the injected teleports are caught (an
+    // outlier immediately after a gap can masquerade as travel).
+    assert!(q.outliers as usize * 2 >= v.truth.outliers.len(), "{} caught of {}", q.outliers, v.truth.outliers.len());
+    assert!(q.gaps as usize >= v.truth.gaps.len());
+}
+
+/// Link discovery output lifts into an RDF graph that answers BGP queries.
+#[test]
+fn links_lift_into_queryable_rdf() {
+    let region = datacron::geo::Polygon::rect(BoundingBox::new(1.0, 1.0, 2.0, 2.0));
+    let mut linker = StaticLinker::new(vec![(9, region)], Vec::new(), LinkerConfig::default());
+    let mut graph = Graph::new();
+    for i in 0..20 {
+        let p = GeoPoint::new(0.9 + 0.01 * i as f64, 1.5);
+        for link in linker.link_point(datacron::geo::EntityId::vessel(1), Timestamp::from_secs(i), &p) {
+            graph.insert(link.to_triple());
+        }
+    }
+    assert!(!graph.is_empty());
+    // Which nodes are within region 9?
+    let sols = evaluate(
+        &graph,
+        &[QueryPattern::new(
+            PatternTerm::var("node"),
+            PatternTerm::Const(vocab::within()),
+            PatternTerm::Const(vocab::region_iri(9)),
+        )],
+    );
+    assert!(!sols.is_empty());
+    for s in &sols {
+        assert!(s["node"].as_iri().unwrap().contains("node/vessel/1/"));
+    }
+}
+
+/// A generated flight matched against itself and against a different
+/// runway realisation behaves like the Fig 12 workflow end to end.
+#[test]
+fn point_matching_separates_matching_and_mismatched_flights() {
+    let extent = BoundingBox::new(-10.0, 35.0, 5.0, 45.0);
+    let weather = WeatherField::new(extent, 3, 4, 10.0);
+    let generator = FlightGenerator::new(FlightProfile::default(), weather);
+    let airport = GeoPoint::new(-3.56, 40.47);
+    let a = generator.arrivals_with_runway_change(2, airport, 1, Timestamp(0), 600.0, 8);
+    // Pair 0: opposite runway directions; pair 1: same flight re-simulated.
+    let same = match_trajectories(&a[1].clean, &a[1].clean, 1_000.0).unwrap();
+    assert_eq!(same.proportion(), 1.0);
+    let opposite = match_trajectories(&a[0].clean, &a[1].clean, 1_000.0).unwrap();
+    assert!(opposite.proportion() < 0.7, "opposite approaches mismatch: {}", opposite.proportion());
+}
+
+/// The FLP harness, the generator, and the predictors agree on scale: a
+/// straight cruise segment is predictable to within tens of metres.
+#[test]
+fn cruise_segment_is_predictable() {
+    let extent = BoundingBox::new(-10.0, 35.0, 5.0, 45.0);
+    let weather = WeatherField::new(extent, 3, 4, 10.0);
+    let generator = FlightGenerator::new(
+        FlightProfile {
+            noise_sigma_m: 0.0,
+            ..FlightProfile::default()
+        },
+        weather,
+    );
+    let plan = FlightPlan::between(1, GeoPoint::new(2.08, 41.3), GeoPoint::new(-3.56, 40.47), 3, 10_500.0, 220.0, 5);
+    let f = generator.flight(1, &plan, 1, 2, Timestamp(0), 77);
+    // Middle third of the flight = cruise.
+    let reports = f.clean.reports();
+    let cruise: Vec<_> = reports[reports.len() / 3..2 * reports.len() / 3].to_vec();
+    let t = Trajectory::from_reports(cruise);
+    let r = datacron::predict::flp::evaluate_flp(
+        &t,
+        &datacron::predict::RmfStarPredictor::default(),
+        12,
+        4,
+    )
+    .expect("cruise long enough");
+    assert!(
+        r.final_horizon_error() < 200.0,
+        "cruise should predict to tens of metres, got {:.0}",
+        r.final_horizon_error()
+    );
+}

@@ -1,0 +1,157 @@
+//! Workspace-level property tests: invariants that span crates, checked on
+//! randomised inputs.
+
+use datacron::cep::{forecast_interval, waiting_time_distributions, Dfa, Pattern, PatternMarkovChain};
+use datacron::geo::{BoundingBox, EquiGrid, GeoPoint, StCellEncoder, TimeInterval, Timestamp};
+use datacron::predict::distance::{erp_distance, EnrichedPoint};
+use datacron::rdf::term::{Term, Triple};
+use datacron::store::{KnowledgeStore, LayoutKind, StExecution, StarQuery, StoreConfig};
+use proptest::prelude::*;
+
+/// Random small patterns over a 3-symbol alphabet.
+fn arb_pattern(depth: u32) -> BoxedStrategy<Pattern> {
+    let leaf = (0u8..3).prop_map(Pattern::Symbol).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_pattern(depth - 1);
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Seq),
+        proptest::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Or),
+        inner.clone().prop_map(Pattern::star),
+        inner.prop_map(Pattern::plus),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled streaming DFA agrees with the reference matcher on
+    /// suffix semantics for random patterns and random words.
+    #[test]
+    fn dfa_matches_reference_semantics(
+        pattern in arb_pattern(2),
+        word in proptest::collection::vec(0u8..3, 0..8),
+    ) {
+        let dfa = Dfa::compile(&pattern, 3);
+        let mut state = dfa.start();
+        for &s in &word {
+            state = dfa.step(state, s);
+        }
+        let dfa_final = dfa.is_final(state);
+        let reference = (0..word.len()).any(|k| pattern.matches(&word[k..]));
+        // A detection fires only on non-empty suffixes (an event must have
+        // occurred), except: nullable patterns may accept at any point once
+        // a symbol was read. Compare against "some non-empty suffix or,
+        // for nullable patterns, any position".
+        if pattern.nullable() {
+            // Nullable patterns put the start state in the accepting set;
+            // semantics are ambiguous in the literature, so only check the
+            // non-nullable direction.
+            prop_assert!(dfa_final || !reference);
+        } else {
+            prop_assert_eq!(dfa_final, reference, "pattern {:?} word {:?}", pattern, word);
+        }
+    }
+
+    /// Waiting-time distributions are sub-probabilities with monotone CDFs
+    /// for random symbol models.
+    #[test]
+    fn waiting_times_are_subprobabilities(
+        raw in proptest::collection::vec(0.05f64..1.0, 3),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let dfa = Dfa::compile(&Pattern::symbols([0, 2, 2]), 3);
+        let pmc = PatternMarkovChain::new(dfa, 0, probs);
+        let w = waiting_time_distributions(&pmc, 60);
+        for row in &w {
+            let sum: f64 = row.iter().sum();
+            prop_assert!(sum <= 1.0 + 1e-9);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // Any produced interval must respect its threshold.
+            if let Some(iv) = forecast_interval(row, 0.4) {
+                prop_assert!(iv.probability >= 0.4);
+                prop_assert!(iv.start >= 1 && iv.end >= iv.start);
+            }
+        }
+    }
+
+    /// ERP is symmetric and satisfies the triangle inequality on random
+    /// enriched sequences (it must be a metric for OPTICS to be sound).
+    #[test]
+    fn erp_is_a_metric(
+        a in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..6),
+        b in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..6),
+        c in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..6),
+    ) {
+        let mk = |pts: &[(f64, f64)]| -> Vec<EnrichedPoint> {
+            pts.iter().enumerate().map(|(i, &(x, y))| EnrichedPoint::bare(x, y, i as f64)).collect()
+        };
+        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+        let dab = erp_distance(&sa, &sb, 1.0);
+        let dba = erp_distance(&sb, &sa, 1.0);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        let dbc = erp_distance(&sb, &sc, 1.0);
+        let dac = erp_distance(&sa, &sc, 1.0);
+        prop_assert!(dac <= dab + dbc + 1e-9, "triangle violated: {dac} > {dab} + {dbc}");
+        prop_assert!(erp_distance(&sa, &sa, 1.0) < 1e-12);
+    }
+
+    /// All storage layouts answer identical star queries with identical
+    /// results, under both execution strategies, on random data.
+    #[test]
+    fn store_layouts_and_strategies_agree(
+        nodes in proptest::collection::vec(
+            (0.0f64..10.0, 0.0f64..10.0, 0i64..500_000, 0u8..3),
+            1..60,
+        ),
+        qbox in (0.0f64..8.0, 0.0f64..8.0, 0.5f64..2.0, 0.5f64..2.0),
+        qtime in (0i64..400_000, 50_000i64..200_000),
+    ) {
+        let query = StarQuery {
+            arms: vec![
+                (Term::iri("p:type"), Some(Term::iri("c:N"))),
+                (Term::iri("p:kind"), Some(Term::int(1))),
+            ],
+            st: Some((
+                BoundingBox::new(qbox.0, qbox.1, qbox.0 + qbox.2, qbox.1 + qbox.3),
+                TimeInterval::new(Timestamp(qtime.0), Timestamp(qtime.0 + qtime.1)),
+            )),
+        };
+        let mut reference: Option<Vec<Term>> = None;
+        for layout in [LayoutKind::TriplesTable, LayoutKind::VerticalPartitioning, LayoutKind::PropertyTable] {
+            let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 8, 8);
+            let encoder = StCellEncoder::new(grid, Timestamp(0), 60_000);
+            let mut store = KnowledgeStore::new(encoder, StoreConfig { layout, partitions: 3 });
+            for (i, &(lon, lat, ts, kind)) in nodes.iter().enumerate() {
+                let node = Term::iri(format!("n:{i}"));
+                let triples = vec![
+                    Triple::new(node.clone(), Term::iri("p:type"), Term::iri("c:N")),
+                    Triple::new(node.clone(), Term::iri("p:kind"), Term::int(kind as i64)),
+                ];
+                store.ingest_node(&node, &GeoPoint::new(lon, lat), Timestamp(ts), &triples);
+            }
+            let (push, _) = store.execute_star(&query, StExecution::Pushdown);
+            let (post, _) = store.execute_star(&query, StExecution::PostFilter);
+            prop_assert_eq!(&push, &post, "layout {:?} strategies disagree", layout);
+            match &reference {
+                None => reference = Some(push),
+                Some(r) => prop_assert_eq!(r, &push, "layout {:?} differs", layout),
+            }
+        }
+        // Cross-check against a brute-force scan of the input.
+        let expected: usize = nodes
+            .iter()
+            .filter(|&&(lon, lat, ts, kind)| {
+                kind == 1
+                    && query.st.as_ref().is_some_and(|(b, iv)| {
+                        b.contains(&GeoPoint::new(lon, lat)) && iv.contains(Timestamp(ts))
+                    })
+            })
+            .count();
+        prop_assert_eq!(reference.expect("set above").len(), expected);
+    }
+}
