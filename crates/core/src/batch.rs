@@ -48,7 +48,9 @@ impl BatchLayer {
     pub fn sync(&mut self) -> u64 {
         let mut nodes = 0u64;
         if let Some(consumer) = &mut self.critical_consumer {
-            for cp in consumer.drain() {
+            // Real-time output topics are unbounded, so a batch consumer
+            // can never lag behind a truncated prefix.
+            for cp in consumer.drain().expect("unbounded topic never lags") {
                 let node = vocab::node_iri(cp.report.entity, cp.report.ts.millis());
                 let triples = datacron_rdf::connectors::lift_critical_points(std::slice::from_ref(&cp));
                 self.store.ingest_node(&node, &cp.report.point, cp.report.ts, &triples);
@@ -56,7 +58,7 @@ impl BatchLayer {
             }
         }
         if let Some(consumer) = &mut self.link_consumer {
-            for link in consumer.drain() {
+            for link in consumer.drain().expect("unbounded topic never lags") {
                 self.store.ingest(&link.to_triple());
             }
         }

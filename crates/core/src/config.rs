@@ -1,5 +1,6 @@
 //! System configuration.
 
+use crate::realtime::SupervisionConfig;
 use datacron_geo::{BoundingBox, Timestamp};
 use datacron_linkdisc::LinkerConfig;
 use datacron_stream::cleaning::CleaningConfig;
@@ -35,6 +36,8 @@ pub struct DatacronConfig {
     pub linker: LinkerConfig,
     /// FLP recent-history window (reports).
     pub flp_window: usize,
+    /// Supervision thresholds of the real-time layer.
+    pub supervision: SupervisionConfig,
 }
 
 impl DatacronConfig {
@@ -50,6 +53,7 @@ impl DatacronConfig {
             synopses: SynopsesConfig::maritime(),
             linker: LinkerConfig::default(),
             flp_window: 12,
+            supervision: SupervisionConfig::default(),
         }
     }
 
@@ -65,6 +69,7 @@ impl DatacronConfig {
             synopses: SynopsesConfig::aviation(),
             linker: LinkerConfig::default(),
             flp_window: 12,
+            supervision: SupervisionConfig::default(),
         }
     }
 }

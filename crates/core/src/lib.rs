@@ -21,7 +21,9 @@
 //! * [`config`] — one configuration object per domain (maritime/aviation).
 //! * [`realtime`] — the real-time layer: every component of the left side
 //!   of Figure 2, executed per record with per-entity keyed state, all
-//!   intermediate products published to topics.
+//!   intermediate products published to topics. Per-entity processing is
+//!   supervised: panics are caught, state is restarted, repeat offenders
+//!   are quarantined, and rejected records go to a dead-letter topic.
 //! * [`batch`] — the batch layer: drains the real-time topics into the
 //!   spatio-temporal knowledge store and answers star queries.
 //! * [`offline`] — the batch-layer analytics: trajectory reconstruction
@@ -37,5 +39,8 @@ pub mod system;
 
 pub use batch::BatchLayer;
 pub use config::{DatacronConfig, Domain};
-pub use realtime::{IngestOutput, RealTimeLayer};
+pub use realtime::{
+    ComponentStatus, DeadLetter, EntityHealth, HealthReport, IngestOutput, RealTimeLayer,
+    RejectReason, SupervisionConfig,
+};
 pub use system::{DatacronSystem, SituationPicture};

@@ -1,6 +1,19 @@
 //! The real-time layer: cleaning → in-situ statistics → low-level events →
 //! synopses → RDF generation → link discovery → prediction → CEP, per
 //! record, with every intermediate product published to a topic.
+//!
+//! # Supervision
+//!
+//! Per-entity processing is *supervised*: a panic anywhere in the
+//! post-cleaning chain is caught, the panicking entity's state is discarded
+//! (an automatic restart — the entity re-enters the pipeline fresh on its
+//! next report), and the offending record goes to the [`dead
+//! letters`](RealTimeLayer::dead_letters) topic with a typed
+//! [`RejectReason`]. An entity that keeps panicking is **quarantined**
+//! after [`SupervisionConfig::max_restarts`] restarts: its records are
+//! dead-lettered without touching the pipeline, so one poisoned vessel
+//! cannot take down fleet-wide processing. [`RealTimeLayer::health`]
+//! reports per-entity status and counters.
 
 use crate::config::DatacronConfig;
 use datacron_cep::Wayeb;
@@ -11,21 +24,128 @@ use datacron_predict::RmfStarPredictor;
 use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
 use datacron_rdf::generator::TripleGenerator;
 use datacron_rdf::term::Triple;
-use datacron_stream::bus::Topic;
+use datacron_stream::bus::{Topic, TopicHealth};
 use datacron_stream::cleaning::{CleaningOutcome, StreamCleaner};
 use datacron_stream::fusion::{CrossStreamFusion, FusionConfig, SourceId};
 use datacron_stream::insitu::InSituProcessor;
 use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
+use datacron_stream::operator::panic_message;
 use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Why a record was rejected instead of processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The online cleaner rejected it, with the cleaner's label.
+    Cleaning(CleaningOutcome),
+    /// The entity is quarantined after repeated processing panics.
+    Quarantined,
+    /// Processing this record panicked; the entity state was restarted.
+    ProcessingPanic,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Cleaning(outcome) => write!(f, "cleaning: {outcome:?}"),
+            RejectReason::Quarantined => write!(f, "entity quarantined"),
+            RejectReason::ProcessingPanic => write!(f, "processing panicked"),
+        }
+    }
+}
+
+/// A record the pipeline refused, published to the dead-letter topic so
+/// nothing is silently lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadLetter {
+    /// The rejected record.
+    pub report: PositionReport,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Health of one supervised component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComponentStatus {
+    /// Operating normally.
+    #[default]
+    Ok,
+    /// Operating, but it has been restarted or is losing data.
+    Degraded,
+    /// Taken out of service after repeated failures.
+    Quarantined,
+}
+
+/// Health of one entity's processing chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityHealth {
+    /// The entity.
+    pub entity: EntityId,
+    /// Its current status.
+    pub status: ComponentStatus,
+    /// How many times its state was restarted after a panic.
+    pub restarts: u32,
+}
+
+/// A point-in-time health report of the real-time layer.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Worst status across all components.
+    pub status: ComponentStatus,
+    /// Records accepted by cleaning and fully processed.
+    pub accepted: u64,
+    /// Records rejected (all reasons); equals the dead-letter topic length.
+    pub rejected: u64,
+    /// Processing panics caught.
+    pub panics: u64,
+    /// Entity restarts performed.
+    pub restarts: u64,
+    /// Entities currently quarantined.
+    pub quarantined_entities: u64,
+    /// Entities that are not `Ok` (restarted or quarantined), sorted.
+    pub degraded: Vec<EntityHealth>,
+    /// Health of the output topics, sorted by name.
+    pub topics: Vec<TopicHealth>,
+}
+
+impl HealthReport {
+    /// `true` when everything is `Ok` and nothing was rejected.
+    pub fn is_all_ok(&self) -> bool {
+        self.status == ComponentStatus::Ok && self.rejected == 0 && self.panics == 0
+    }
+}
+
+/// Supervision thresholds.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// How many automatic restarts an entity gets before it is
+    /// quarantined.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self { max_restarts: 3 }
+    }
+}
+
+/// Per-entity supervision record.
+#[derive(Debug, Clone, Copy, Default)]
+struct Supervision {
+    restarts: u32,
+    quarantined: bool,
+}
 
 /// What one ingested report produced.
 #[derive(Debug, Clone, Default)]
 pub struct IngestOutput {
-    /// `false` when the record was rejected by cleaning.
+    /// `false` when the record was rejected by cleaning or supervision.
     pub accepted: bool,
+    /// Why the record was rejected, when it was.
+    pub rejected: Option<RejectReason>,
     /// Critical points emitted by the synopses generator.
     pub critical_points: Vec<CriticalPoint>,
     /// Low-level area events.
@@ -40,6 +160,10 @@ pub struct IngestOutput {
 
 /// Maps a critical point to a CEP symbol; `None` = not a CEP event.
 type Symbolizer = Arc<dyn Fn(&CriticalPoint) -> Option<u8> + Send + Sync>;
+
+/// A user-attached per-entity stage, run first in the supervised section of
+/// the chain. May panic; supervision contains the blast radius.
+type EntityStage = Arc<dyn Fn(&PositionReport) + Send + Sync>;
 
 /// Per-entity streaming state.
 struct EntityState {
@@ -63,8 +187,18 @@ pub struct RealTimeLayer {
     cep_symbolizer: Option<Symbolizer>,
     /// Optional cross-stream fusion front-end (multi-source ingestion).
     fusion: Option<CrossStreamFusion>,
+    /// Optional user-attached per-entity stage (supervised).
+    entity_stage: Option<EntityStage>,
+    /// Per-entity supervision records.
+    supervision: HashMap<EntityId, Supervision>,
+    /// Records fully processed.
+    accepted_total: u64,
+    /// Panics caught by supervision.
+    panics_total: u64,
+    /// Entity restarts performed.
+    restarts_total: u64,
     // --- topics ---
-    /// Accepted (clean) reports.
+    /// Accepted (clean) reports that completed the full chain.
     pub cleaned: Arc<Topic<PositionReport>>,
     /// Trajectory synopses.
     pub critical: Arc<Topic<CriticalPoint>>,
@@ -74,6 +208,8 @@ pub struct RealTimeLayer {
     pub triples: Arc<Topic<Triple>>,
     /// Discovered links.
     pub links: Arc<Topic<Link>>,
+    /// Every rejected record, with its typed [`RejectReason`].
+    pub dead_letters: Arc<Topic<DeadLetter>>,
 }
 
 impl RealTimeLayer {
@@ -98,14 +234,28 @@ impl RealTimeLayer {
             cep_template: None,
             cep_symbolizer: None,
             fusion: None,
+            entity_stage: None,
+            supervision: HashMap::new(),
+            accepted_total: 0,
+            panics_total: 0,
+            restarts_total: 0,
             cleaned: Topic::new("cleaned"),
             critical: Topic::new("critical-points"),
             area_events: Topic::new("area-events"),
             triples: Topic::new("triples"),
             links: Topic::new("links"),
+            dead_letters: Topic::new("dead-letters"),
             entities: HashMap::new(),
             config,
         }
+    }
+
+    /// Attaches a custom per-entity stage that runs first in the supervised
+    /// section of the chain, once per accepted record. A panicking stage
+    /// exercises supervision: the entity is restarted and, after
+    /// [`SupervisionConfig::max_restarts`] restarts, quarantined.
+    pub fn attach_entity_stage(&mut self, stage: impl Fn(&PositionReport) + Send + Sync + 'static) {
+        self.entity_stage = Some(Arc::new(stage));
     }
 
     /// Attaches a CEP pattern engine: each entity gets its own clone of
@@ -168,9 +318,17 @@ impl RealTimeLayer {
         self.linker.stats()
     }
 
-    /// Ingests one raw report through the whole chain.
+    /// Ingests one raw report through the whole chain, under supervision:
+    /// cleaning rejections, quarantined entities and processing panics all
+    /// surface as dead letters rather than lost records or a crashed layer.
     pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
-        let mut out = IngestOutput::default();
+        // 0. Quarantine gate — a poisoned entity no longer reaches the
+        // pipeline at all.
+        if self.supervision.get(&report.entity).is_some_and(|s| s.quarantined) {
+            return self.reject(report, RejectReason::Quarantined);
+        }
+
+        // 1. Online cleaning (per-entity, panic-free by construction).
         let cep_template = &self.cep_template;
         let config = &self.config;
         let state = self.entities.entry(report.entity).or_insert_with(|| EntityState {
@@ -180,12 +338,62 @@ impl RealTimeLayer {
             history: VecDeque::new(),
             cep: cep_template.clone(),
         });
-
-        // 1. Online cleaning.
-        if state.cleaner.check(&report) != CleaningOutcome::Accepted {
-            return out;
+        let outcome = state.cleaner.check(&report);
+        if outcome != CleaningOutcome::Accepted {
+            return self.reject(report, RejectReason::Cleaning(outcome));
         }
-        out.accepted = true;
+
+        // 2–8. The supervised section: any panic in per-entity processing
+        // is caught, the entity state is discarded (restart) and the record
+        // dead-lettered.
+        match catch_unwind(AssertUnwindSafe(|| self.process_accepted(report))) {
+            Ok(mut out) => {
+                out.accepted = true;
+                self.accepted_total += 1;
+                out
+            }
+            Err(payload) => {
+                self.panics_total += 1;
+                // Restart: drop the (possibly inconsistent) entity state;
+                // the entity re-enters fresh on its next record.
+                self.entities.remove(&report.entity);
+                self.restarts_total += 1;
+                let sup = self.supervision.entry(report.entity).or_default();
+                sup.restarts += 1;
+                if sup.restarts > self.config.supervision.max_restarts {
+                    sup.quarantined = true;
+                }
+                let _ = panic_message(payload.as_ref());
+                self.reject(report, RejectReason::ProcessingPanic)
+            }
+        }
+    }
+
+    /// Publishes a dead letter and returns the rejection output.
+    fn reject(&mut self, report: PositionReport, reason: RejectReason) -> IngestOutput {
+        self.dead_letters.publish(DeadLetter { report, reason });
+        IngestOutput {
+            rejected: Some(reason),
+            ..IngestOutput::default()
+        }
+    }
+
+    /// Steps 2–8 of the chain for an already-accepted record. Runs inside
+    /// `catch_unwind`; publishes to the output topics only as products are
+    /// produced, with `cleaned` published first so downstream topic
+    /// contents remain an in-order prefix-consistent view.
+    fn process_accepted(&mut self, report: PositionReport) -> IngestOutput {
+        let mut out = IngestOutput::default();
+        let state = self
+            .entities
+            .get_mut(&report.entity)
+            .expect("entity state exists for an accepted record");
+
+        // Custom supervised stage (fault-injection hook).
+        if let Some(stage) = &self.entity_stage {
+            stage(&report);
+        }
+
         self.cleaned.publish(report);
 
         // 2. In-situ statistics (annotations ride along with the state).
@@ -228,6 +436,56 @@ impl RealTimeLayer {
         }
         out.critical_points = cps;
         out
+    }
+
+    /// A point-in-time health report: per-entity supervision status,
+    /// layer-wide counters and output-topic health.
+    pub fn health(&self) -> HealthReport {
+        let mut degraded: Vec<EntityHealth> = self
+            .supervision
+            .iter()
+            .filter(|(_, s)| s.restarts > 0 || s.quarantined)
+            .map(|(entity, s)| EntityHealth {
+                entity: *entity,
+                status: if s.quarantined {
+                    ComponentStatus::Quarantined
+                } else {
+                    ComponentStatus::Degraded
+                },
+                restarts: s.restarts,
+            })
+            .collect();
+        degraded.sort_by_key(|e| e.entity);
+        let quarantined_entities = degraded
+            .iter()
+            .filter(|e| e.status == ComponentStatus::Quarantined)
+            .count() as u64;
+        let topics = vec![
+            self.cleaned.health(),
+            self.critical.health(),
+            self.area_events.health(),
+            self.triples.health(),
+            self.links.health(),
+            self.dead_letters.health(),
+        ];
+        let status = if quarantined_entities > 0 {
+            // The layer keeps running, but with entities out of service.
+            ComponentStatus::Degraded
+        } else if !degraded.is_empty() || topics.iter().any(|t| !t.is_lossless()) {
+            ComponentStatus::Degraded
+        } else {
+            ComponentStatus::Ok
+        };
+        HealthReport {
+            status,
+            accepted: self.accepted_total,
+            rejected: self.dead_letters.len(),
+            panics: self.panics_total,
+            restarts: self.restarts_total,
+            quarantined_entities,
+            degraded,
+            topics,
+        }
     }
 
     /// Ingests a batch, returning the merged outputs.

@@ -7,7 +7,7 @@
 
 use crate::batch::BatchLayer;
 use crate::config::DatacronConfig;
-use crate::realtime::{IngestOutput, RealTimeLayer};
+use crate::realtime::{HealthReport, IngestOutput, RealTimeLayer};
 use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
 use datacron_store::StoreConfig;
 
@@ -39,6 +39,8 @@ pub struct SituationPicture {
     pub total_area_events: u64,
     /// CEP detections.
     pub total_detections: u64,
+    /// Health of the real-time layer at snapshot time.
+    pub health: HealthReport,
 }
 
 /// The full datAcron system.
@@ -115,7 +117,13 @@ impl DatacronSystem {
             total_links: self.realtime.links.len(),
             total_area_events: self.total_area_events,
             total_detections: self.total_detections,
+            health: self.realtime.health(),
         }
+    }
+
+    /// The real-time layer's current health report.
+    pub fn health(&self) -> HealthReport {
+        self.realtime.health()
     }
 }
 

@@ -2,38 +2,66 @@
 //!
 //! Every generator takes a seed and produces identical output across runs,
 //! so that experiment tables are reproducible and test assertions can be
-//! exact. Gaussian sampling is implemented here (Box–Muller) to stay within
-//! the sanctioned dependency set (`rand` core only, no `rand_distr`).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! exact. The core generator is xoshiro256++ seeded through splitmix64 —
+//! implemented locally so the workspace builds with no crates.io
+//! dependencies — and Gaussian sampling is Box–Muller on top of it.
 
 /// A seeded random source with the distribution helpers the generators need.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     cached_gauss: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
             cached_gauss: None,
         }
+    }
+
+    /// The next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Derives an independent child generator; used to decorrelate
     /// sub-streams (e.g. one per vessel) while keeping global determinism.
     pub fn fork(&mut self, salt: u64) -> SeededRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SeededRng::new(seed)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -47,12 +75,18 @@ impl SeededRng {
     /// Panics when `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
     pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "int range must be non-empty");
+        let width = (hi as i128 - lo as i128) as u128;
+        let offset = (self.next_u64() as u128) % width;
+        (lo as i128 + offset as i128) as i64
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).

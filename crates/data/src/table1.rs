@@ -11,7 +11,6 @@ use crate::context::{AreaGenerator, PortGenerator, RegistryGenerator};
 use crate::maritime::{VoyageConfig, VoyageGenerator};
 use crate::weather::WeatherField;
 use datacron_geo::{BoundingBox, GeoPoint, Timestamp};
-use serde::Serialize;
 
 /// The source type column of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,16 +51,25 @@ pub struct SourceRow {
 }
 
 /// A JSON AIS-like message, mirroring the streaming format of Table 1.
-#[derive(Serialize)]
+/// Serialised by hand (field order fixed) so the byte-volume column does
+/// not need a JSON dependency.
 struct AisJson<'a> {
     mmsi: u64,
-    #[serde(rename = "type")]
     kind: &'a str,
     lon: f64,
     lat: f64,
     sog: f64,
     cog: f64,
     ts: i64,
+}
+
+impl AisJson<'_> {
+    fn to_json(&self) -> String {
+        format!(
+            r#"{{"mmsi":{},"type":"{}","lon":{},"lat":{},"sog":{},"cog":{},"ts":{}}}"#,
+            self.mmsi, self.kind, self.lon, self.lat, self.sog, self.cog, self.ts
+        )
+    }
 }
 
 /// Scale parameters for the regeneration (the paper's corpus is hundreds of
@@ -211,7 +219,7 @@ fn measure_ais(name: &str, format: &'static str, fleet: &[crate::maritime::Gener
                 cog: r.heading_deg,
                 ts: r.ts.millis(),
             };
-            bytes += serde_json::to_string(&m).expect("plain struct serialises").len() as u64 + 1;
+            bytes += m.to_json().len() as u64 + 1;
             span_ms = span_ms.max(r.ts.millis());
         }
     }

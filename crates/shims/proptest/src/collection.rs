@@ -1,0 +1,81 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: an exact length, a `Range`, or a
+/// `RangeInclusive` (mirroring proptest's `SizeRange` conversions).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive upper bound.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { start: n, end: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        Self { start: r.start, end: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty length range");
+        Self { start: *r.start(), end: *r.end() + 1 }
+    }
+}
+
+/// Generates `Vec`s whose length is uniform in `len` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into() }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.start + rng.index(self.len.end - self.len.start);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_element_bounds() {
+        let strat = vec(0u8..4, 2..6);
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn vec_with_exact_length() {
+        let strat = vec(0u8..9, 3);
+        let mut rng = TestRng::new(5);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+#![warn(missing_docs)]
+
+//! An offline stand-in for the subset of the [`proptest`] API this
+//! workspace uses.
+//!
+//! The container that verifies this repository has no access to crates.io,
+//! so the real `proptest` cannot be fetched. This crate re-implements the
+//! pieces the property tests rely on — `proptest!`, `Strategy::prop_map`,
+//! `BoxedStrategy`, `prop_oneof!`, `proptest::collection::vec`, range and
+//! tuple strategies, `prop_assert*!` and `prop_assume!` — on top of a
+//! deterministic splitmix64/xoshiro-style generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports its seed and case index so
+//!   it can be replayed, but is not minimised;
+//! * **deterministic by default** — the RNG is seeded from the test name,
+//!   so failures reproduce across runs; set `PROPTEST_SEED=<u64>` to
+//!   explore a different stream;
+//! * only the strategy combinators listed above exist.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    /// Generates `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// item expands to a `#[test]` that runs the body over `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);) => {};
+    (@cfg ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            while let Some(mut rng) = runner.next_case() {
+                let strat = ($($strat,)+);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strat, &mut rng);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.finish_case(outcome);
+            }
+        }
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Builds a strategy choosing uniformly between the given strategies
+/// (all must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (does not count as a failure) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,230 @@
+//! Test execution: configuration, the per-test runner, and the RNG.
+
+/// Runner configuration. Only the fields the workspace uses exist.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 128,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (not a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A deterministic 64-bit generator (splitmix64-seeded xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// The next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Drives one property test: hands out per-case RNGs and aggregates
+/// outcomes.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+    case: u32,
+    passed: u32,
+    rejects: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test. The base seed derives from the
+    /// test name unless `PROPTEST_SEED` overrides it.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            });
+        Self {
+            config,
+            name,
+            seed,
+            case: 0,
+            passed: 0,
+            rejects: 0,
+        }
+    }
+
+    /// The RNG for the next case, or `None` when the run is complete.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.passed >= self.config.cases {
+            return None;
+        }
+        let mut s = self.seed ^ (self.case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        self.case += 1;
+        Some(TestRng::new(splitmix64(&mut s)))
+    }
+
+    /// Records the outcome of the case handed out by [`next_case`].
+    ///
+    /// # Panics
+    /// Panics (failing the surrounding `#[test]`) when the case failed, or
+    /// when too many consecutive cases were rejected.
+    ///
+    /// [`next_case`]: Self::next_case
+    pub fn finish_case(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => {
+                self.passed += 1;
+                self.rejects = 0;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects < self.config.max_global_rejects,
+                    "{}: too many prop_assume! rejections ({}); loosen the strategy",
+                    self.name,
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{} failed at case {} (base seed {:#x}; rerun with PROPTEST_SEED={}): {}",
+                    self.name,
+                    self.case - 1,
+                    self.seed,
+                    self.seed,
+                    msg
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_stays_in_range() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn runner_counts_passes_not_rejects() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "demo");
+        let mut handed = 0;
+        while runner.next_case().is_some() {
+            handed += 1;
+            let outcome = if handed == 1 {
+                Err(TestCaseError::reject("first case skipped"))
+            } else {
+                Ok(())
+            };
+            runner.finish_case(outcome);
+        }
+        assert_eq!(handed, 4, "three passes plus one reject");
+    }
+}

@@ -152,14 +152,15 @@ impl KnowledgeStore {
         // Seed scan: prefer an arm with a constant object (most selective).
         let seed_idx = arms.iter().position(|(_, o)| o.is_some()).unwrap_or(0);
         let (seed_p, seed_o) = arms[seed_idx];
-        // Parallel scan across partitions.
-        let seed: Vec<TermId> = crossbeam::scope(|scope| {
+        // Parallel scan across partitions. Scan workers run no user code, so
+        // a panic there is a store bug; joining propagates it to the caller.
+        let seed: Vec<TermId> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
                 .iter()
                 .map(|part| {
                     let ranges = pushdown_ranges.as_deref();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut subs = part.subjects_matching(seed_p, seed_o);
                         if let Some(ranges) = ranges {
                             subs.retain(|&s| Dictionary::id_in_ranges(ranges, s));
@@ -172,8 +173,7 @@ impl KnowledgeStore {
                 .into_iter()
                 .flat_map(|h| h.join().expect("partition scan panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
 
         let mut candidates: HashSet<TermId> = seed.into_iter().collect();
         stats.seed_candidates = candidates.len() as u64;

@@ -1,4 +1,4 @@
-//! A Kafka-like in-memory message bus.
+//! A Kafka-like in-memory message bus with bounded, backpressured topics.
 //!
 //! Components of the datAcron architecture communicate through ordered
 //! topics. [`Topic<T>`] is an append-only log; each [`Consumer`] holds its
@@ -6,24 +6,234 @@
 //! synopses → CEP, …) read the same stream independently, exactly as the
 //! paper's Kafka deployment does. Thread-safe: producers and consumers may
 //! live on different threads.
+//!
+//! # Failure model
+//!
+//! Surveillance feeds overrun slow consumers by design, so an unbounded
+//! log is a memory leak with a delay. A topic may therefore be *bounded*
+//! ([`Topic::bounded`]): when the retained window is full, the configured
+//! [`OverflowPolicy`] decides between
+//!
+//! * [`DropOldest`](OverflowPolicy::DropOldest) — truncate the oldest
+//!   retained message (lossy, never blocks; Kafka-style retention);
+//! * [`RejectNew`](OverflowPolicy::RejectNew) — refuse the publish and hand
+//!   the message back to the producer;
+//! * [`Block`](OverflowPolicy::Block) — backpressure: wait until every
+//!   registered consumer has read past the oldest retained message, then
+//!   reclaim the consumed prefix and publish.
+//!
+//! Truncation never silently corrupts a reader: a [`Consumer`] whose
+//! offset has fallen behind the retained window observes an explicit
+//! [`Lagged`] signal carrying how many messages it missed, and is resynced
+//! to the oldest retained message for its next poll.
 
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::time::Duration;
 
-/// An append-only, thread-safe topic log.
+/// What a bounded topic does when the retained window is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Truncate the oldest retained message to make room (lossy; lagging
+    /// consumers observe [`Lagged`]).
+    #[default]
+    DropOldest,
+    /// Refuse the new message and return it to the producer.
+    RejectNew,
+    /// Block the producer until consumers free space (backpressure). Gives
+    /// up with [`PublishError::Timeout`] after [`TopicConfig::block_timeout`]
+    /// so a topic with no (or stalled) consumers cannot deadlock ingestion.
+    Block,
+}
+
+/// Capacity and overflow behaviour of a topic.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Maximum retained messages; `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// What to do when full.
+    pub policy: OverflowPolicy,
+    /// How long a [`Block`](OverflowPolicy::Block) publish waits before
+    /// giving up.
+    pub block_timeout: Duration,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        Self {
+            capacity: None,
+            policy: OverflowPolicy::DropOldest,
+            block_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why a publish did not append a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError<T> {
+    /// The topic is full under [`OverflowPolicy::RejectNew`]; the message
+    /// is handed back.
+    Rejected(T),
+    /// An [`OverflowPolicy::Block`] publish timed out waiting for
+    /// consumers; the message is handed back.
+    Timeout(T),
+}
+
+impl<T> PublishError<T> {
+    /// Recovers the message that was not published.
+    pub fn into_inner(self) -> T {
+        match self {
+            PublishError::Rejected(msg) | PublishError::Timeout(msg) => msg,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for PublishError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Rejected(_) => write!(f, "topic full: message rejected"),
+            PublishError::Timeout(_) => write!(f, "topic full: blocked publish timed out"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for PublishError<T> {}
+
+/// A consumer fell behind a truncated prefix: `skipped` messages were
+/// dropped before it could read them. The consumer is resynced to the
+/// oldest retained message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lagged {
+    /// How many messages this consumer missed.
+    pub skipped: u64,
+}
+
+/// Running counters of one topic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Messages successfully appended.
+    pub published: u64,
+    /// Messages refused under `RejectNew` (or timed-out `Block`).
+    pub rejected: u64,
+    /// Messages truncated by `DropOldest` while unread by some consumer
+    /// position (these are what lagging consumers observe as skipped).
+    pub dropped: u64,
+    /// Messages reclaimed after every registered consumer read them
+    /// (lossless truncation under `Block`).
+    pub reclaimed: u64,
+    /// Times a `Block` publish had to wait.
+    pub blocked: u64,
+}
+
+/// A point-in-time health snapshot of one topic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicHealth {
+    /// Topic name.
+    pub name: String,
+    /// Messages currently retained.
+    pub retained: usize,
+    /// Configured capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Next offset to be assigned (= messages ever published).
+    pub end_offset: u64,
+    /// Oldest retained offset.
+    pub base_offset: u64,
+    /// Counters.
+    pub stats: TopicStats,
+}
+
+impl TopicHealth {
+    /// `true` when the topic has lost or refused messages.
+    pub fn is_lossless(&self) -> bool {
+        self.stats.dropped == 0 && self.stats.rejected == 0
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    /// Retained messages; `log[0]` sits at offset `base`.
+    log: VecDeque<T>,
+    /// Offset of the oldest retained message.
+    base: u64,
+    stats: TopicStats,
+    /// Offsets of registered consumers (dropped consumers are pruned
+    /// lazily). Used to reclaim the consumed prefix under `Block`.
+    consumers: Vec<Weak<AtomicU64>>,
+}
+
+impl<T> Inner<T> {
+    fn end(&self) -> u64 {
+        self.base + self.log.len() as u64
+    }
+
+    /// Lowest offset any live registered consumer still needs, if any.
+    fn min_consumer_offset(&mut self) -> Option<u64> {
+        self.consumers.retain(|w| w.strong_count() > 0);
+        self.consumers
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .map(|pos| pos.load(Ordering::Acquire))
+            .min()
+    }
+
+    /// Truncates the prefix every registered consumer has already read.
+    /// Returns how many messages were reclaimed.
+    fn reclaim_consumed(&mut self) -> usize {
+        let Some(min) = self.min_consumer_offset() else {
+            return 0;
+        };
+        let upto = min.min(self.end());
+        let n = upto.saturating_sub(self.base) as usize;
+        for _ in 0..n {
+            self.log.pop_front();
+        }
+        self.base = upto.max(self.base);
+        self.stats.reclaimed += n as u64;
+        n
+    }
+}
+
+/// An ordered, thread-safe topic log, optionally bounded.
 #[derive(Debug)]
 pub struct Topic<T> {
     name: String,
-    log: RwLock<Vec<T>>,
+    config: TopicConfig,
+    inner: Mutex<Inner<T>>,
+    /// Signalled whenever a consumer advances (space may be reclaimable).
+    progress: Condvar,
 }
 
 impl<T: Clone> Topic<T> {
-    /// Creates an empty topic.
+    /// Creates an empty unbounded topic.
     pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Self::with_config(name, TopicConfig::default())
+    }
+
+    /// Creates an empty bounded topic with the given overflow policy.
+    pub fn bounded(name: impl Into<String>, capacity: usize, policy: OverflowPolicy) -> Arc<Self> {
+        Self::with_config(
+            name,
+            TopicConfig {
+                capacity: Some(capacity),
+                policy,
+                ..TopicConfig::default()
+            },
+        )
+    }
+
+    /// Creates an empty topic with full configuration control.
+    pub fn with_config(name: impl Into<String>, config: TopicConfig) -> Arc<Self> {
         Arc::new(Self {
             name: name.into(),
-            log: RwLock::new(Vec::new()),
+            config,
+            inner: Mutex::new(Inner {
+                log: VecDeque::new(),
+                base: 0,
+                stats: TopicStats::default(),
+                consumers: Vec::new(),
+            }),
+            progress: Condvar::new(),
         })
     }
 
@@ -32,98 +242,250 @@ impl<T: Clone> Topic<T> {
         &self.name
     }
 
-    /// Appends one message, returning its offset.
-    pub fn publish(&self, msg: T) -> u64 {
-        let mut log = self.log.write();
-        log.push(msg);
-        (log.len() - 1) as u64
+    /// The topic configuration.
+    pub fn config(&self) -> &TopicConfig {
+        &self.config
     }
 
-    /// Appends a batch of messages, returning the offset of the first.
-    pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> u64 {
-        let mut log = self.log.write();
-        let first = log.len() as u64;
-        log.extend(msgs);
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned bus mutex means a writer panicked mid-append of a
+        // single element; the log itself is still structurally sound, so
+        // keep serving rather than cascading the failure.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one message, returning its offset, or an error carrying the
+    /// message back when the topic is full and the policy refuses it.
+    pub fn try_publish(&self, msg: T) -> Result<u64, PublishError<T>> {
+        let mut inner = self.lock();
+        if let Some(capacity) = self.config.capacity {
+            let mut waited = false;
+            while inner.log.len() >= capacity.max(1) {
+                match self.config.policy {
+                    OverflowPolicy::DropOldest => {
+                        inner.log.pop_front();
+                        inner.base += 1;
+                        inner.stats.dropped += 1;
+                    }
+                    OverflowPolicy::RejectNew => {
+                        inner.stats.rejected += 1;
+                        return Err(PublishError::Rejected(msg));
+                    }
+                    OverflowPolicy::Block => {
+                        if inner.reclaim_consumed() > 0 {
+                            continue;
+                        }
+                        if waited {
+                            inner.stats.rejected += 1;
+                            return Err(PublishError::Timeout(msg));
+                        }
+                        inner.stats.blocked += 1;
+                        waited = true;
+                        let deadline = std::time::Instant::now() + self.config.block_timeout;
+                        loop {
+                            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                            if remaining.is_zero() {
+                                break;
+                            }
+                            let (guard, _timeout) = self
+                                .progress
+                                .wait_timeout(inner, remaining)
+                                .unwrap_or_else(|e| e.into_inner());
+                            inner = guard;
+                            if inner.log.len() < capacity || inner.reclaim_consumed() > 0 {
+                                waited = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let offset = inner.end();
+        inner.log.push_back(msg);
+        inner.stats.published += 1;
+        Ok(offset)
+    }
+
+    /// Appends one message, returning its offset, or `None` when the topic
+    /// refused it (full under `RejectNew`, or a timed-out `Block`). The
+    /// refusal is counted in [`TopicStats::rejected`]; use
+    /// [`try_publish`](Self::try_publish) to get the message back.
+    pub fn publish(&self, msg: T) -> Option<u64> {
+        self.try_publish(msg).ok()
+    }
+
+    /// Appends a batch, returning the offset of the first message that was
+    /// actually published — `None` for an empty batch or when every message
+    /// was refused.
+    pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> Option<u64> {
+        let mut first = None;
+        for msg in msgs {
+            if let Some(offset) = self.publish(msg) {
+                first.get_or_insert(offset);
+            }
+        }
         first
     }
 
-    /// Number of messages ever published.
+    /// Number of messages ever published (not reduced by truncation).
     pub fn len(&self) -> u64 {
-        self.log.read().len() as u64
+        self.lock().end()
     }
 
-    /// `true` when nothing has been published.
+    /// `true` when nothing has ever been published.
     pub fn is_empty(&self) -> bool {
-        self.log.read().is_empty()
+        self.len() == 0
     }
 
-    /// Creates a consumer starting at the beginning of the log.
-    pub fn consumer(self: &Arc<Self>) -> Consumer<T> {
-        Consumer {
-            topic: Arc::clone(self),
-            offset: 0,
+    /// Oldest offset still retained.
+    pub fn base_offset(&self) -> u64 {
+        self.lock().base
+    }
+
+    /// Messages currently retained in memory.
+    pub fn retained(&self) -> usize {
+        self.lock().log.len()
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> TopicStats {
+        self.lock().stats
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn health(&self) -> TopicHealth {
+        let inner = self.lock();
+        TopicHealth {
+            name: self.name.clone(),
+            retained: inner.log.len(),
+            capacity: self.config.capacity,
+            end_offset: inner.end(),
+            base_offset: inner.base,
+            stats: inner.stats,
         }
     }
 
-    /// Creates a consumer starting at the current end of the log (sees only
-    /// future messages).
+    /// Creates a registered consumer starting at the oldest retained
+    /// message.
+    pub fn consumer(self: &Arc<Self>) -> Consumer<T> {
+        let base = self.lock().base;
+        self.consumer_from(base)
+    }
+
+    /// Creates a registered consumer starting at the current end of the log
+    /// (sees only future messages).
     pub fn consumer_at_end(self: &Arc<Self>) -> Consumer<T> {
+        let end = self.lock().end();
+        self.consumer_from(end)
+    }
+
+    fn consumer_from(self: &Arc<Self>, offset: u64) -> Consumer<T> {
+        let pos = Arc::new(AtomicU64::new(offset));
+        self.lock().consumers.push(Arc::downgrade(&pos));
         Consumer {
-            offset: self.len(),
             topic: Arc::clone(self),
+            pos,
+            skipped_total: 0,
         }
     }
 
     /// Reads messages `[from, from + max)` without any consumer state.
+    /// Offsets below the retained window are skipped silently — use a
+    /// [`Consumer`] to observe truncation as [`Lagged`].
     pub fn read(&self, from: u64, max: usize) -> Vec<T> {
-        let log = self.log.read();
-        let from = from as usize;
-        if from >= log.len() {
+        let inner = self.lock();
+        let from = from.max(inner.base);
+        if from >= inner.end() {
             return Vec::new();
         }
-        log[from..log.len().min(from + max)].to_vec()
+        let start = (from - inner.base) as usize;
+        let stop = inner.log.len().min(start + max);
+        inner.log.range(start..stop).cloned().collect()
+    }
+
+    /// Called by consumers after advancing; wakes blocked producers.
+    fn note_progress(&self) {
+        // Taking the lock orders the offset store before the wakeup.
+        drop(self.lock());
+        self.progress.notify_all();
     }
 }
 
-/// A reader over a topic with its own offset.
+/// A registered reader over a topic with its own offset.
 #[derive(Debug)]
 pub struct Consumer<T> {
     topic: Arc<Topic<T>>,
-    offset: u64,
+    pos: Arc<AtomicU64>,
+    skipped_total: u64,
 }
 
 impl<T: Clone> Consumer<T> {
     /// The next offset this consumer will read.
     pub fn offset(&self) -> u64 {
-        self.offset
+        self.pos.load(Ordering::Acquire)
+    }
+
+    /// Total messages this consumer has ever missed to truncation.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_total
     }
 
     /// Polls up to `max` messages, advancing the offset.
-    pub fn poll(&mut self, max: usize) -> Vec<T> {
-        let batch = self.topic.read(self.offset, max);
-        self.offset += batch.len() as u64;
-        batch
+    ///
+    /// When the topic truncated past this consumer's offset, returns
+    /// [`Lagged`] with the number of messages missed and resyncs to the
+    /// oldest retained message; the next call returns data again.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<T>, Lagged> {
+        let offset = self.pos.load(Ordering::Acquire);
+        let (batch, base) = {
+            let inner = self.topic.lock();
+            (self.read_locked(&inner, offset, max), inner.base)
+        };
+        if base > offset {
+            let skipped = base - offset;
+            self.skipped_total += skipped;
+            self.pos.store(base, Ordering::Release);
+            self.topic.note_progress();
+            return Err(Lagged { skipped });
+        }
+        if !batch.is_empty() {
+            self.pos.store(offset + batch.len() as u64, Ordering::Release);
+            self.topic.note_progress();
+        }
+        Ok(batch)
+    }
+
+    fn read_locked(&self, inner: &Inner<T>, from: u64, max: usize) -> Vec<T> {
+        if from < inner.base || from >= inner.end() {
+            return Vec::new();
+        }
+        let start = (from - inner.base) as usize;
+        let stop = inner.log.len().min(start + max);
+        inner.log.range(start..stop).cloned().collect()
     }
 
     /// Polls one message if available.
-    pub fn poll_one(&mut self) -> Option<T> {
-        self.poll(1).into_iter().next()
+    pub fn poll_one(&mut self) -> Result<Option<T>, Lagged> {
+        Ok(self.poll(1)?.into_iter().next())
     }
 
     /// Drains everything currently available.
-    pub fn drain(&mut self) -> Vec<T> {
-        let remaining = (self.topic.len() - self.offset) as usize;
-        self.poll(remaining)
+    pub fn drain(&mut self) -> Result<Vec<T>, Lagged> {
+        self.poll(usize::MAX)
     }
 
-    /// Messages published but not yet consumed.
+    /// Messages published but not yet consumed (including any the consumer
+    /// can no longer read because they were truncated).
     pub fn lag(&self) -> u64 {
-        self.topic.len() - self.offset
+        self.topic.len().saturating_sub(self.offset())
     }
 
-    /// Rewinds to the beginning.
+    /// Rewinds to the oldest *retained* message (offset 0 on an untruncated
+    /// topic).
     pub fn rewind(&mut self) {
-        self.offset = 0;
+        let base = self.topic.lock().base;
+        self.pos.store(base, Ordering::Release);
     }
 }
 
@@ -135,34 +497,53 @@ impl<T: Clone> Consumer<T> {
 #[derive(Debug)]
 pub struct MessageBus<T> {
     topics: RwLock<HashMap<String, Arc<Topic<T>>>>,
+    default_config: TopicConfig,
 }
 
 impl<T: Clone> MessageBus<T> {
-    /// Creates an empty bus.
+    /// Creates an empty bus creating unbounded topics.
     pub fn new() -> Self {
+        Self::with_default_config(TopicConfig::default())
+    }
+
+    /// Creates an empty bus whose topics are created with `config`.
+    pub fn with_default_config(config: TopicConfig) -> Self {
         Self {
             topics: RwLock::new(HashMap::new()),
+            default_config: config,
         }
     }
 
-    /// Returns the topic with this name, creating it on first use.
+    fn topics_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Topic<T>>>> {
+        self.topics.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the topic with this name, creating it on first use with the
+    /// bus default configuration.
     pub fn topic(&self, name: &str) -> Arc<Topic<T>> {
-        if let Some(t) = self.topics.read().get(name) {
+        if let Some(t) = self.topics_read().get(name) {
             return Arc::clone(t);
         }
-        let mut topics = self.topics.write();
+        let mut topics = self.topics.write().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             topics
                 .entry(name.to_string())
-                .or_insert_with(|| Topic::new(name)),
+                .or_insert_with(|| Topic::with_config(name, self.default_config.clone())),
         )
     }
 
     /// Names of all topics created so far, sorted.
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.topics_read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Health snapshots of all topics, sorted by name.
+    pub fn health(&self) -> Vec<TopicHealth> {
+        let mut all: Vec<TopicHealth> = self.topics_read().values().map(|t| t.health()).collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
     }
 }
 
@@ -184,9 +565,9 @@ mod tests {
         topic.publish(1);
         topic.publish(2);
         topic.publish(3);
-        assert_eq!(c.poll(2), vec![1, 2]);
-        assert_eq!(c.poll(10), vec![3]);
-        assert!(c.poll(10).is_empty());
+        assert_eq!(c.poll(2).expect("no lag"), vec![1, 2]);
+        assert_eq!(c.poll(10).expect("no lag"), vec![3]);
+        assert!(c.poll(10).expect("no lag").is_empty());
     }
 
     #[test]
@@ -195,8 +576,8 @@ mod tests {
         topic.publish_batch(0..5);
         let mut a = topic.consumer();
         let mut b = topic.consumer();
-        assert_eq!(a.drain(), vec![0, 1, 2, 3, 4]);
-        assert_eq!(b.poll(2), vec![0, 1]);
+        assert_eq!(a.drain().expect("no lag"), vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.poll(2).expect("no lag"), vec![0, 1]);
         assert_eq!(b.lag(), 3);
     }
 
@@ -205,9 +586,9 @@ mod tests {
         let topic = Topic::new("raw");
         topic.publish(1);
         let mut c = topic.consumer_at_end();
-        assert!(c.poll(10).is_empty());
+        assert!(c.poll(10).expect("no lag").is_empty());
         topic.publish(2);
-        assert_eq!(c.poll(10), vec![2]);
+        assert_eq!(c.poll(10).expect("no lag"), vec![2]);
     }
 
     #[test]
@@ -215,9 +596,9 @@ mod tests {
         let topic = Topic::new("raw");
         topic.publish_batch([10, 20]);
         let mut c = topic.consumer();
-        assert_eq!(c.drain(), vec![10, 20]);
+        assert_eq!(c.drain().expect("no lag"), vec![10, 20]);
         c.rewind();
-        assert_eq!(c.drain(), vec![10, 20]);
+        assert_eq!(c.drain().expect("no lag"), vec![10, 20]);
     }
 
     #[test]
@@ -229,6 +610,7 @@ mod tests {
         assert_eq!(t2.len(), 1);
         bus.topic("beta");
         assert_eq!(bus.topic_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(bus.health().len(), 2);
     }
 
     #[test]
@@ -248,7 +630,7 @@ mod tests {
             p.join().expect("producer thread");
         }
         let mut c = topic.consumer();
-        let all = c.drain();
+        let all = c.drain().expect("no lag");
         assert_eq!(all.len(), 4000);
         // Per-producer order is preserved.
         for p in 0..4u64 {
@@ -262,7 +644,109 @@ mod tests {
         let topic = Topic::new("raw");
         topic.publish(0);
         let first = topic.publish_batch([1, 2, 3]);
-        assert_eq!(first, 1);
+        assert_eq!(first, Some(1));
         assert_eq!(topic.len(), 4);
+    }
+
+    #[test]
+    fn publish_batch_of_nothing_returns_none() {
+        let topic: Arc<Topic<u8>> = Topic::new("raw");
+        assert_eq!(topic.publish_batch(std::iter::empty()), None);
+        assert_eq!(topic.len(), 0);
+        topic.publish(9);
+        assert_eq!(topic.publish_batch(std::iter::empty()), None, "offset is never fabricated");
+    }
+
+    #[test]
+    fn drop_oldest_bounds_memory_and_reports_lag() {
+        let topic = Topic::bounded("raw", 4, OverflowPolicy::DropOldest);
+        let mut c = topic.consumer();
+        for i in 0..10u32 {
+            topic.publish(i);
+            assert!(topic.retained() <= 4, "capacity respected");
+        }
+        let lagged = c.poll(100).expect_err("prefix was truncated");
+        assert_eq!(lagged.skipped, 6);
+        assert_eq!(c.skipped_total(), 6);
+        // After the explicit signal, the survivors read normally.
+        assert_eq!(c.poll(100).expect("resynced"), vec![6, 7, 8, 9]);
+        assert_eq!(topic.stats().dropped, 6);
+        assert_eq!(topic.len(), 10, "offsets keep counting");
+        assert!(!topic.health().is_lossless());
+    }
+
+    #[test]
+    fn reject_new_hands_the_message_back() {
+        let topic = Topic::bounded("raw", 2, OverflowPolicy::RejectNew);
+        assert_eq!(topic.publish(1), Some(0));
+        assert_eq!(topic.publish(2), Some(1));
+        let err = topic.try_publish(3).expect_err("full");
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(topic.publish(4), None);
+        assert_eq!(topic.stats().rejected, 2);
+        // Consuming does not free space under RejectNew (log retention is
+        // capacity-based), but the retained window never grows.
+        assert_eq!(topic.retained(), 2);
+        let mut c = topic.consumer();
+        assert_eq!(c.drain().expect("no lag"), vec![1, 2]);
+    }
+
+    #[test]
+    fn block_applies_backpressure_until_consumer_catches_up() {
+        let topic = Topic::with_config(
+            "raw",
+            TopicConfig {
+                capacity: Some(8),
+                policy: OverflowPolicy::Block,
+                block_timeout: Duration::from_secs(10),
+            },
+        );
+        let mut c = topic.consumer();
+        let producer = {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || {
+                for i in 0..100u64 {
+                    t.try_publish(i).expect("blocked publish eventually succeeds");
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < 100 {
+            match c.poll(3) {
+                Ok(batch) => seen.extend(batch),
+                Err(lagged) => panic!("Block policy never truncates unread data: {lagged:?}"),
+            }
+            assert!(topic.retained() <= 8, "capacity respected under sustained overload");
+            thread::yield_now();
+        }
+        producer.join().expect("producer");
+        assert_eq!(seen, (0..100).collect::<Vec<_>>(), "lossless delivery");
+        assert!(topic.stats().reclaimed > 0, "consumed prefix was reclaimed");
+        assert_eq!(topic.stats().dropped, 0);
+    }
+
+    #[test]
+    fn block_without_consumers_times_out_instead_of_deadlocking() {
+        let topic = Topic::with_config(
+            "raw",
+            TopicConfig {
+                capacity: Some(1),
+                policy: OverflowPolicy::Block,
+                block_timeout: Duration::from_millis(20),
+            },
+        );
+        assert_eq!(topic.publish(1), Some(0));
+        let err = topic.try_publish(2).expect_err("no consumer will ever free space");
+        assert!(matches!(err, PublishError::Timeout(2)));
+    }
+
+    #[test]
+    fn read_clamps_to_retained_window() {
+        let topic = Topic::bounded("raw", 2, OverflowPolicy::DropOldest);
+        for i in 0..5u32 {
+            topic.publish(i);
+        }
+        assert_eq!(topic.read(0, 10), vec![3, 4], "truncated prefix skipped");
+        assert_eq!(topic.base_offset(), 3);
     }
 }

@@ -1,0 +1,623 @@
+//! Deterministic fault injection for chaos-testing the real-time layer.
+//!
+//! Surveillance streams fail in structured ways — AIS transponders drop
+//! messages, satellite feeds replay them, multi-path reception reorders
+//! them, sensors emit garbage fields, and coverage gaps and burst storms
+//! follow vessel density (§3 "Quality of the various surveillance data
+//! sources varies"). This module reproduces those failure modes *on
+//! purpose*, deterministically, so tests can drive the full pipeline
+//! through every fault mode and assert that it degrades predictably.
+//!
+//! The entry point is a [`FaultPlan`]: a seed plus per-mode rates. Wrap any
+//! iterator of records with [`ChaosSource`] (or publish through
+//! [`ChaosTopic`]) and the plan is applied reproducibly — the same seed
+//! always yields the same injected stream, so a failing chaos run is
+//! replayable from one `u64`.
+//!
+//! ```
+//! use datacron_stream::faults::{FaultPlan, ChaosSource};
+//!
+//! let plan = FaultPlan::drops(0.1).with_seed(42);
+//! let survivors: Vec<u32> = ChaosSource::new(0u32..100, plan.clone()).collect();
+//! let again: Vec<u32> = ChaosSource::new(0u32..100, plan).collect();
+//! assert_eq!(survivors, again, "same seed, same chaos");
+//! assert!(survivors.len() < 100);
+//! ```
+
+use crate::bus::Topic;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A deterministic fault schedule: seed + per-mode rates.
+///
+/// All probabilities are per-record in `[0, 1]`. Modes compose: a plan may
+/// simultaneously drop, duplicate, reorder, corrupt, open gaps and fire
+/// bursts; the per-record decision order is fixed (gap → drop → corrupt →
+/// duplicate → burst → reorder) so a plan replays identically.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG; same seed ⇒ same injected stream.
+    pub seed: u64,
+    /// Probability of silently dropping a record.
+    pub drop: f64,
+    /// Probability of emitting a record twice.
+    pub duplicate: f64,
+    /// Probability of delaying a record behind up to `reorder_depth`
+    /// later ones.
+    pub reorder: f64,
+    /// How many records a reordered record may be delayed by.
+    pub reorder_depth: usize,
+    /// Probability of corrupting a record's fields (see [`Corrupt`]).
+    pub corrupt: f64,
+    /// Probability of opening a communication gap (dropping the next
+    /// `gap_len` records).
+    pub gap: f64,
+    /// Length of a communication gap, in records.
+    pub gap_len: usize,
+    /// Probability of a burst storm: re-emitting the recent tail of the
+    /// stream (up to `burst_len` records) as stale repeats.
+    pub burst: f64,
+    /// Maximum records replayed by one burst.
+    pub burst_len: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_depth: 4,
+            corrupt: 0.0,
+            gap: 0.0,
+            gap_len: 20,
+            burst: 0.0,
+            burst_len: 8,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as the control arm of a chaos
+    /// experiment).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Only message drops at the given rate.
+    pub fn drops(rate: f64) -> Self {
+        Self { drop: rate, ..Self::default() }
+    }
+
+    /// Only duplicates at the given rate.
+    pub fn duplicates(rate: f64) -> Self {
+        Self { duplicate: rate, ..Self::default() }
+    }
+
+    /// Only reordering at the given rate.
+    pub fn reorders(rate: f64) -> Self {
+        Self { reorder: rate, ..Self::default() }
+    }
+
+    /// Only field corruption at the given rate.
+    pub fn corruption(rate: f64) -> Self {
+        Self { corrupt: rate, ..Self::default() }
+    }
+
+    /// Only communication gaps at the given rate.
+    pub fn gaps(rate: f64) -> Self {
+        Self { gap: rate, ..Self::default() }
+    }
+
+    /// Only burst storms at the given rate.
+    pub fn bursts(rate: f64) -> Self {
+        Self { burst: rate, ..Self::default() }
+    }
+
+    /// Everything at once, at rates aggressive enough to stress every code
+    /// path while leaving most of the stream intact.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.05,
+            duplicate: 0.05,
+            reorder: 0.05,
+            reorder_depth: 4,
+            corrupt: 0.05,
+            gap: 0.005,
+            gap_len: 10,
+            burst: 0.01,
+            burst_len: 5,
+        }
+    }
+
+    /// Returns the plan with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The fault injector's private RNG (splitmix64): tiny, seedable, and
+/// independent from the data generators so fault schedules do not perturb
+/// the data stream itself.
+#[derive(Debug, Clone)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point without special-casing callers.
+        Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() < p
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Types that know how to corrupt themselves the way a broken sensor would.
+///
+/// Implementations must produce values that are *detectably* wrong — the
+/// corrupted record should be one the downstream plausibility filters
+/// reject, mirroring real field corruption (NMEA checksum survivors carry
+/// out-of-range values, not subtly shifted ones). This keeps chaos tests
+/// deterministic: every corrupted record is rejected, every surviving
+/// record is bit-identical to the fault-free run.
+pub trait Corrupt {
+    /// Returns a corrupted copy of `self`; `variant` selects which field is
+    /// mangled.
+    fn corrupted(&self, variant: u64) -> Self;
+}
+
+impl Corrupt for datacron_geo::PositionReport {
+    fn corrupted(&self, variant: u64) -> Self {
+        let mut r = *self;
+        match variant % 4 {
+            // Off-the-planet longitude (invalid coordinate).
+            0 => r.point.lon = 400.0,
+            // Impossible reported speed.
+            1 => r.speed_mps = 1.0e6,
+            // Non-finite heading.
+            2 => r.heading_deg = f64::NAN,
+            // Non-finite altitude.
+            _ => r.altitude_m = f64::INFINITY,
+        }
+        r
+    }
+}
+
+macro_rules! corrupt_int {
+    ($($t:ty),*) => {$(
+        impl Corrupt for $t {
+            fn corrupted(&self, variant: u64) -> Self {
+                // Flip one bit — detectably different, still a valid value
+                // of the type.
+                self ^ (1 as $t) << (variant as u32 % <$t>::BITS)
+            }
+        }
+    )*};
+}
+corrupt_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Counters of injected faults, by mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Records passed through unmodified.
+    pub delivered: u64,
+    /// Records silently dropped (including those inside gaps).
+    pub dropped: u64,
+    /// Extra copies emitted.
+    pub duplicated: u64,
+    /// Records emitted out of their original order.
+    pub reordered: u64,
+    /// Records replaced by a corrupted copy.
+    pub corrupted: u64,
+    /// Communication gaps opened.
+    pub gaps: u64,
+    /// Burst storms fired.
+    pub bursts: u64,
+}
+
+impl FaultStats {
+    /// Total records the injector emitted (any mode). Reordered records
+    /// are already counted under `delivered`/`corrupted`; `reordered` only
+    /// says how many of those were displaced.
+    pub fn emitted(&self) -> u64 {
+        self.delivered + self.duplicated + self.corrupted
+    }
+}
+
+/// The stateful core: feed records in, collect the faulted stream out.
+///
+/// Deterministic for a given [`FaultPlan`] and input sequence. Use
+/// [`ChaosSource`] for iterator streams or [`ChaosTopic`] for bus
+/// publishing; use the injector directly when driving a pipeline by hand.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<T> {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// Records delayed by reordering, waiting to be re-emitted.
+    delayed: VecDeque<(T, usize)>,
+    /// Recently emitted records, the material of a burst storm.
+    recent: VecDeque<T>,
+    /// Records still to swallow in the current communication gap.
+    gap_remaining: usize,
+    stats: FaultStats,
+}
+
+impl<T: Clone + Corrupt> FaultInjector<T> {
+    /// Creates an injector executing the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        Self {
+            plan,
+            rng,
+            delayed: VecDeque::new(),
+            recent: VecDeque::new(),
+            gap_remaining: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Feeds one record; returns what the faulted stream emits at this
+    /// point (possibly nothing, possibly several records).
+    pub fn push(&mut self, record: T) -> Vec<T> {
+        let mut out = Vec::new();
+
+        // Communication gap in progress: the record vanishes.
+        if self.gap_remaining > 0 {
+            self.gap_remaining -= 1;
+            self.stats.dropped += 1;
+            self.release_due(&mut out);
+            return out;
+        }
+        if self.rng.chance(self.plan.gap) {
+            self.stats.gaps += 1;
+            self.stats.dropped += 1;
+            self.gap_remaining = self.plan.gap_len.saturating_sub(1);
+            self.release_due(&mut out);
+            return out;
+        }
+
+        if self.rng.chance(self.plan.drop) {
+            self.stats.dropped += 1;
+            self.release_due(&mut out);
+            return out;
+        }
+
+        let emitted = if self.rng.chance(self.plan.corrupt) {
+            self.stats.corrupted += 1;
+            record.corrupted(self.rng.next_u64())
+        } else {
+            self.stats.delivered += 1;
+            record
+        };
+
+        if self.rng.chance(self.plan.reorder) && self.plan.reorder_depth > 0 {
+            // Hold the record back for 1..=depth slots.
+            let delay = 1 + self.rng.index(self.plan.reorder_depth);
+            self.stats.reordered += 1;
+            // Re-classify: it will be emitted later, not now.
+            self.delayed.push_back((emitted, delay));
+        } else {
+            out.push(emitted.clone());
+            self.remember(emitted);
+        }
+
+        if self.rng.chance(self.plan.duplicate) {
+            if let Some(last) = out.last().cloned() {
+                self.stats.duplicated += 1;
+                out.push(last);
+            }
+        }
+
+        if self.rng.chance(self.plan.burst) && !self.recent.is_empty() {
+            self.stats.bursts += 1;
+            let n = 1 + self.rng.index(self.plan.burst_len.max(1).min(self.recent.len()));
+            let tail: Vec<T> = self.recent.iter().rev().take(n).rev().cloned().collect();
+            self.stats.duplicated += tail.len() as u64;
+            out.extend(tail);
+        }
+
+        self.release_due(&mut out);
+        out
+    }
+
+    /// Flushes any records still held back by reordering. Call at end of
+    /// stream so delayed records are not lost.
+    pub fn finish(&mut self) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(self.delayed.len());
+        for (r, _) in std::mem::take(&mut self.delayed) {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Decrements delay counters and emits records whose delay expired.
+    fn release_due(&mut self, out: &mut Vec<T>) {
+        let mut still_delayed = VecDeque::with_capacity(self.delayed.len());
+        for (r, d) in std::mem::take(&mut self.delayed) {
+            if d <= 1 {
+                out.push(r.clone());
+                self.remember(r);
+            } else {
+                still_delayed.push_back((r, d - 1));
+            }
+        }
+        self.delayed = still_delayed;
+    }
+
+    fn remember(&mut self, r: T) {
+        self.recent.push_back(r);
+        while self.recent.len() > self.plan.burst_len.max(1) {
+            self.recent.pop_front();
+        }
+    }
+}
+
+/// An iterator adaptor applying a [`FaultPlan`] to any record stream.
+#[derive(Debug)]
+pub struct ChaosSource<I: Iterator> {
+    inner: I,
+    injector: FaultInjector<I::Item>,
+    buffered: VecDeque<I::Item>,
+    finished: bool,
+}
+
+impl<I> ChaosSource<I>
+where
+    I: Iterator,
+    I::Item: Clone + Corrupt,
+{
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: I, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            injector: FaultInjector::new(plan),
+            buffered: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+}
+
+impl<I> Iterator for ChaosSource<I>
+where
+    I: Iterator,
+    I::Item: Clone + Corrupt,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        loop {
+            if let Some(r) = self.buffered.pop_front() {
+                return Some(r);
+            }
+            if self.finished {
+                return None;
+            }
+            match self.inner.next() {
+                Some(record) => self.buffered.extend(self.injector.push(record)),
+                None => {
+                    self.finished = true;
+                    self.buffered.extend(self.injector.finish());
+                }
+            }
+        }
+    }
+}
+
+/// A publisher that routes records through a [`FaultInjector`] before they
+/// reach a [`Topic`] — chaos at the bus boundary rather than the source.
+#[derive(Debug)]
+pub struct ChaosTopic<T> {
+    topic: Arc<Topic<T>>,
+    injector: FaultInjector<T>,
+}
+
+impl<T: Clone + Corrupt> ChaosTopic<T> {
+    /// Wraps the topic with the given plan.
+    pub fn new(topic: Arc<Topic<T>>, plan: FaultPlan) -> Self {
+        Self {
+            topic,
+            injector: FaultInjector::new(plan),
+        }
+    }
+
+    /// Publishes through the fault injector. Returns how many records
+    /// actually reached the topic (0 when dropped, >1 on duplication or
+    /// bursts).
+    pub fn publish(&mut self, record: T) -> usize {
+        let out = self.injector.push(record);
+        let mut reached = 0;
+        for r in out {
+            if self.topic.publish(r).is_some() {
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Flushes delayed records into the topic and returns how many reached
+    /// it.
+    pub fn finish(&mut self) -> usize {
+        let mut reached = 0;
+        for r in self.injector.finish() {
+            if self.topic.publish(r).is_some() {
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// The wrapped topic.
+    pub fn topic(&self) -> &Arc<Topic<T>> {
+        &self.topic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+
+    fn run(plan: FaultPlan, n: u64) -> (Vec<u64>, FaultStats) {
+        let mut src = ChaosSource::new(0..n, plan);
+        let out: Vec<u64> = src.by_ref().collect();
+        (out, src.stats())
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let (out, stats) = run(FaultPlan::none(), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(stats.delivered, 100);
+        assert_eq!(stats.dropped + stats.duplicated + stats.corrupted + stats.reordered, 0);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = run(FaultPlan::chaos(7), 500);
+        let b = run(FaultPlan::chaos(7), 500);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = run(FaultPlan::chaos(8), 500);
+        assert_ne!(a.0, c.0, "different seed, different chaos");
+    }
+
+    #[test]
+    fn drops_thin_the_stream() {
+        let (out, stats) = run(FaultPlan::drops(0.3).with_seed(1), 1000);
+        assert!(out.len() < 1000);
+        assert_eq!(out.len() as u64, stats.delivered);
+        assert_eq!(stats.delivered + stats.dropped, 1000);
+        // Survivors keep their order and values.
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicates_add_copies() {
+        let (out, stats) = run(FaultPlan::duplicates(0.2).with_seed(2), 1000);
+        assert_eq!(out.len() as u64, 1000 + stats.duplicated);
+        assert!(stats.duplicated > 0);
+        // Every duplicate is adjacent to its original.
+        let mut seen = std::collections::HashMap::new();
+        for v in &out {
+            *seen.entry(*v).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_multiset() {
+        let (out, stats) = run(FaultPlan::reorders(0.3).with_seed(3), 1000);
+        assert!(stats.reordered > 0);
+        assert_eq!(out.len(), 1000, "reorder loses nothing");
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert!(out.windows(2).any(|w| w[0] > w[1]), "order was perturbed");
+        // Displacement is bounded by reorder_depth per release round.
+        for (i, v) in out.iter().enumerate() {
+            assert!((i as i64 - *v as i64).unsigned_abs() as usize <= 2 * FaultPlan::default().reorder_depth + 2);
+        }
+    }
+
+    #[test]
+    fn gaps_swallow_runs() {
+        let (out, stats) = run(FaultPlan::gaps(0.01).with_seed(4), 2000);
+        assert!(stats.gaps > 0);
+        assert!(stats.dropped >= stats.gaps * 2, "gaps swallow multiple records");
+        assert_eq!(out.len() as u64 + stats.dropped, 2000);
+        // A gap shows as a jump in consecutive values.
+        let max_jump = out.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_jump as usize >= FaultPlan::default().gap_len);
+    }
+
+    #[test]
+    fn bursts_replay_recent_tail() {
+        let (out, stats) = run(FaultPlan::bursts(0.02).with_seed(5), 1000);
+        assert!(stats.bursts > 0);
+        assert_eq!(out.len() as u64, 1000 + stats.duplicated);
+        // Replayed records are stale: some value appears after a larger one.
+        assert!(out.windows(2).any(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn corrupted_position_reports_are_always_implausible() {
+        let base = PositionReport {
+            speed_mps: 8.0,
+            heading_deg: 90.0,
+            ..PositionReport::basic(EntityId::vessel(9), Timestamp::from_secs(10), GeoPoint::new(1.0, 40.0))
+        };
+        assert!(base.is_plausible(35.0));
+        for variant in 0..64 {
+            let bad = base.corrupted(variant);
+            assert!(
+                !bad.is_plausible(35.0),
+                "variant {variant} produced a plausible corruption: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_composes_all_modes() {
+        let (out, stats) = run(FaultPlan::chaos(11), 5000);
+        assert!(stats.dropped > 0);
+        assert!(stats.duplicated > 0);
+        assert!(stats.reordered > 0);
+        assert!(stats.corrupted > 0);
+        assert!(stats.gaps > 0);
+        assert!(stats.bursts > 0);
+        assert_eq!(out.len() as u64, stats.emitted(), "{stats:?}");
+        assert_eq!(out.len() as u64 + stats.dropped, 5000 + stats.duplicated);
+    }
+
+    #[test]
+    fn chaos_topic_publishes_faulted_stream() {
+        let topic = Topic::new("chaos");
+        let mut chaos = ChaosTopic::new(Arc::clone(&topic), FaultPlan::drops(0.5).with_seed(6));
+        let mut reached = 0;
+        for i in 0..100u64 {
+            reached += chaos.publish(i);
+        }
+        reached += chaos.finish();
+        assert_eq!(topic.len(), reached as u64);
+        assert!(reached < 100);
+        assert_eq!(chaos.stats().delivered as usize, reached);
+    }
+}

@@ -143,15 +143,12 @@ impl CrossStreamFusion {
             }
             let mut group: Vec<Buffered> = Vec::new();
             let emit_group = |group: &mut Vec<Buffered>, out: &mut Vec<PositionReport>, stats: &mut FusionStats| {
-                if group.is_empty() {
-                    return;
-                }
                 // The whole group is one observation: best priority wins;
                 // spatial disagreement beyond the bound is a conflict.
-                let best = *group
-                    .iter()
-                    .min_by_key(|b| (b.priority, b.source))
-                    .expect("non-empty group");
+                // (`min_by_key` on an empty group is `None` — nothing to emit.)
+                let Some(&best) = group.iter().min_by_key(|b| (b.priority, b.source)) else {
+                    return;
+                };
                 for other in group.iter() {
                     if other.source != best.source
                         && other.report.point.haversine_distance(&best.report.point)

@@ -72,13 +72,17 @@ impl RunningStats {
         } else {
             self.upper.push(Reverse(OrderedF64(x)));
         }
-        // Rebalance so |lower| == |upper| or |lower| == |upper| + 1.
+        // Rebalance so |lower| == |upper| or |lower| == |upper| + 1. The
+        // length guards make the pops infallible; `if let` keeps this free
+        // of panic paths regardless.
         if self.lower.len() > self.upper.len() + 1 {
-            let moved = self.lower.pop().expect("lower non-empty");
-            self.upper.push(Reverse(moved));
+            if let Some(moved) = self.lower.pop() {
+                self.upper.push(Reverse(moved));
+            }
         } else if self.upper.len() > self.lower.len() {
-            let Reverse(moved) = self.upper.pop().expect("upper non-empty");
-            self.lower.push(moved);
+            if let Some(Reverse(moved)) = self.upper.pop() {
+                self.lower.push(moved);
+            }
         }
     }
 
@@ -105,15 +109,16 @@ impl RunningStats {
     /// Exact median (lower median for even counts averaged with upper);
     /// `None` when empty.
     pub fn median(&self) -> Option<f64> {
-        if self.count == 0 {
-            return None;
-        }
-        let lo = self.lower.peek().expect("non-empty lower").0;
+        let lo = self.lower.peek()?.0;
         if self.lower.len() > self.upper.len() {
             Some(lo)
         } else {
-            let hi = self.upper.peek().expect("balanced upper").0 .0;
-            Some((lo + hi) / 2.0)
+            // Balanced heaps: the upper median exists whenever the counts
+            // are equal and non-zero; fall back to `lo` rather than panic.
+            match self.upper.peek() {
+                Some(&Reverse(OrderedF64(hi))) => Some((lo + hi) / 2.0),
+                None => Some(lo),
+            }
         }
     }
 }

@@ -11,7 +11,10 @@
 //! processing model natively:
 //!
 //! * [`bus`] — a Kafka-like in-memory message bus: append-only topic logs
-//!   with independent consumer offsets.
+//!   with independent consumer offsets, optional bounded capacity with
+//!   backpressure, and explicit lag signalling.
+//! * [`faults`] — deterministic fault injection (drops, duplicates,
+//!   reordering, corruption, gaps, bursts) for chaos-testing the pipeline.
 //! * [`operator`] — the operator abstraction: a keyed, stateful
 //!   record-at-a-time transformer, with pipeline composition and a parallel
 //!   executor over key partitions.
@@ -29,12 +32,14 @@
 
 pub mod bus;
 pub mod cleaning;
+pub mod faults;
 pub mod fusion;
 pub mod insitu;
 pub mod lowlevel;
 pub mod operator;
 
-pub use bus::{Consumer, MessageBus, Topic};
+pub use bus::{Consumer, Lagged, MessageBus, OverflowPolicy, PublishError, Topic, TopicConfig, TopicHealth, TopicStats};
+pub use faults::{ChaosSource, ChaosTopic, Corrupt, FaultInjector, FaultPlan, FaultStats};
 pub use fusion::{CrossStreamFusion, FusionConfig, FusionStats};
 pub use cleaning::{CleaningConfig, CleaningOutcome, StreamCleaner};
 pub use insitu::{InSituProcessor, RunningStats, TrajectoryStats};

@@ -150,34 +150,75 @@ where
     }
 }
 
+/// A partition worker died; the payload carries which one and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPanic {
+    /// Index of the partition whose worker panicked.
+    pub partition: usize,
+    /// The panic message, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for PartitionPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "partition {} worker panicked: {}", self.partition, self.message)
+    }
+}
+
+impl std::error::Error for PartitionPanic {}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs one operator instance per partition on its own thread and collects
 /// the outputs per partition. Records within a partition keep their order;
 /// the caller is responsible for partitioning by key (entities are
 /// independent, so any per-entity computation parallelises this way).
-pub fn run_partitioned<I, O, Op, F>(partitions: Vec<Vec<I>>, make_op: F) -> Vec<Vec<O>>
+///
+/// A panic inside one partition's operator does not take the others down:
+/// every surviving partition still finishes, and the first failure is
+/// reported as a typed [`PartitionPanic`].
+pub fn run_partitioned<I, O, Op, F>(
+    partitions: Vec<Vec<I>>,
+    make_op: F,
+) -> Result<Vec<Vec<O>>, PartitionPanic>
 where
     I: Send,
     O: Send,
     Op: Operator<I, O>,
     F: Fn() -> Op + Sync,
 {
-    crossbeam::scope(|scope| {
+    let joined: Vec<std::thread::Result<Vec<O>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .into_iter()
             .map(|part| {
                 let make_op = &make_op;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut op = make_op();
                     op.run(part)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope")
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    joined
+        .into_iter()
+        .enumerate()
+        .map(|(partition, r)| {
+            r.map_err(|payload| PartitionPanic {
+                partition,
+                message: panic_message(payload.as_ref()),
+            })
+        })
+        .collect()
 }
 
 /// Splits records into `n` partitions by a key hash, preserving order within
@@ -270,6 +311,20 @@ mod tests {
     }
 
     #[test]
+    fn run_partitioned_reports_worker_panics() {
+        let parts: Vec<Vec<u64>> = vec![vec![1, 2], vec![3, 13, 4], vec![5]];
+        let err = run_partitioned(parts, || {
+            |x: u64, out: &mut Vec<u64>| {
+                assert!(x != 13, "poison record");
+                out.push(x);
+            }
+        })
+        .expect_err("partition 1 panics");
+        assert_eq!(err.partition, 1);
+        assert!(err.message.contains("poison record"), "{}", err.message);
+    }
+
+    #[test]
     fn partition_by_key_is_stable_per_key() {
         let parts = partition_by_key(0..100u64, 4, |x| x % 10);
         let total: usize = parts.iter().map(Vec::len).sum();
@@ -289,7 +344,8 @@ mod tests {
         let parts = partition_by_key(records.clone(), 4, |r| r.0);
         let parallel = run_partitioned(parts, || {
             KeyedOperator::new(|i: &(u8, u64)| i.0, |_| Counter { seen: 0 })
-        });
+        })
+        .expect("no worker panics");
         let flat: usize = parallel.iter().map(Vec::len).sum();
         assert_eq!(flat, 200);
         // Per-key counters end at the same totals as a sequential run.

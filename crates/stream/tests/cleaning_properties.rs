@@ -1,0 +1,118 @@
+//! Property tests for the stream cleaner: whatever order records arrive
+//! in — including adversarial permutations and corrupted copies — the
+//! accepted stream is always well-formed.
+
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+use datacron_stream::cleaning::{CleaningConfig, CleaningOutcome, StreamCleaner};
+use datacron_stream::faults::Corrupt;
+use proptest::prelude::*;
+
+/// A clean straight track at constant speed: every record individually
+/// plausible, every consecutive pair consistent.
+fn straight_track(n: usize) -> Vec<PositionReport> {
+    let mut p = GeoPoint::new(0.5, 40.0);
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(PositionReport {
+            speed_mps: 8.0,
+            heading_deg: 90.0,
+            ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(i as i64 * 10), p)
+        });
+        p = p.destination(90.0, 80.0);
+    }
+    out
+}
+
+/// Applies a permutation given as a vector of priorities: records are
+/// reordered by sorting on the priorities (a uniform shuffle driver that
+/// proptest can generate without an in-test RNG).
+fn permute<T: Clone>(items: &[T], priorities: &[u64]) -> Vec<T> {
+    let mut keyed: Vec<(u64, usize)> = priorities
+        .iter()
+        .copied()
+        .zip(0..items.len())
+        .take(items.len())
+        .collect();
+    keyed.sort();
+    let mut out: Vec<T> = keyed.iter().map(|&(_, i)| items[i].clone()).collect();
+    // If priorities ran short, append the rest in original order.
+    for item in items.iter().skip(keyed.len()) {
+        out.push(item.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No permutation of a valid track can make the cleaner accept an
+    /// out-of-order record: the accepted timestamps are always strictly
+    /// increasing, and every accepted record is one of the originals.
+    #[test]
+    fn accepted_stream_is_strictly_ordered_under_any_permutation(
+        priorities in proptest::collection::vec(0u64..1_000_000, 40),
+    ) {
+        let track = straight_track(40);
+        let shuffled = permute(&track, &priorities);
+        let mut cleaner = StreamCleaner::new(CleaningConfig::maritime());
+        let mut accepted = Vec::new();
+        for r in &shuffled {
+            if cleaner.check(r) == CleaningOutcome::Accepted {
+                accepted.push(*r);
+            }
+        }
+        prop_assert!(!accepted.is_empty(), "something must survive");
+        // Strictly increasing timestamps: no duplicate, no out-of-order.
+        prop_assert!(accepted.windows(2).all(|w| w[0].ts < w[1].ts));
+        // No teleports between consecutive accepted records.
+        for w in accepted.windows(2) {
+            let dt = (w[1].ts.millis() - w[0].ts.millis()) as f64 / 1000.0;
+            let implied = w[0].point.haversine_distance(&w[1].point) / dt.max(1e-3);
+            prop_assert!(
+                implied <= CleaningConfig::maritime().max_implied_speed_mps,
+                "implied speed {implied} m/s between accepted records"
+            );
+        }
+        // Every accepted record is bit-identical to an original.
+        for a in &accepted {
+            prop_assert!(track.iter().any(|r| r.ts == a.ts && r.point.lon == a.point.lon));
+        }
+    }
+
+    /// Teleporting records (positions implying impossible speed) are never
+    /// accepted, wherever they are spliced into the stream.
+    #[test]
+    fn teleports_never_survive(
+        at in 1usize..39,
+        jump_deg in 0.5f64..3.0,
+    ) {
+        let mut track = straight_track(40);
+        // Teleport: same timestamp cadence, position half a degree away.
+        track[at].point.lon += jump_deg;
+        let mut cleaner = StreamCleaner::new(CleaningConfig::maritime());
+        for (i, r) in track.iter().enumerate() {
+            let outcome = cleaner.check(r);
+            if i == at {
+                prop_assert_eq!(outcome, CleaningOutcome::Teleport);
+            }
+        }
+    }
+
+    /// Corrupted records (every `Corrupt` variant) are rejected as
+    /// implausible no matter where they appear.
+    #[test]
+    fn corrupted_records_never_survive(
+        at in 0usize..40,
+        variant in 0u64..16,
+    ) {
+        let track = straight_track(40);
+        let mut cleaner = StreamCleaner::new(CleaningConfig::maritime());
+        for (i, r) in track.iter().enumerate() {
+            if i == at {
+                let bad = r.corrupted(variant);
+                prop_assert_eq!(cleaner.check(&bad), CleaningOutcome::Implausible);
+            }
+            prop_assert_eq!(cleaner.check(r), CleaningOutcome::Accepted);
+        }
+    }
+}

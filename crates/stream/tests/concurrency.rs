@@ -1,0 +1,239 @@
+//! Concurrency stress tests for `Topic`/`Consumer`: concurrent publishing,
+//! capacity truncation and polling must never deadlock, lose accounting,
+//! or let a lagging consumer observe silently wrong data.
+
+use datacron_stream::bus::{OverflowPolicy, Topic, TopicConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Unbounded topic, many producers, many consumers: every consumer sees
+/// every message, in per-producer order, with no lag signals.
+#[test]
+fn unbounded_topic_is_lossless_under_concurrency() {
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 2_000;
+    let topic: Arc<Topic<u64>> = Topic::new("stress");
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let mut c = topic.consumer();
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while seen.len() < (PRODUCERS * PER_PRODUCER) as usize {
+                    match c.poll(64) {
+                        Ok(batch) if batch.is_empty() => thread::yield_now(),
+                        Ok(batch) => seen.extend(batch),
+                        Err(lagged) => panic!("unbounded topic lagged: {lagged:?}"),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    t.publish(p * PER_PRODUCER + i);
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().expect("producer");
+    }
+    for c in consumers {
+        let seen = c.join().expect("consumer");
+        assert_eq!(seen.len() as u64, PRODUCERS * PER_PRODUCER);
+        for p in 0..PRODUCERS {
+            let per: Vec<u64> = seen
+                .iter()
+                .copied()
+                .filter(|v| v / PER_PRODUCER == p)
+                .collect();
+            assert_eq!(per.len() as u64, PER_PRODUCER);
+            assert!(per.windows(2).all(|w| w[0] < w[1]), "per-producer order");
+        }
+    }
+}
+
+/// Bounded `DropOldest` topic under concurrent publish + poll: the consumer
+/// either reads valid data or gets an explicit `Lagged` count — and
+/// (messages read) + (messages skipped) accounts for exactly the published
+/// stream, with values arriving in strictly increasing order.
+#[test]
+fn drop_oldest_truncation_is_observable_not_silent() {
+    const TOTAL: u64 = 50_000;
+    const CAPACITY: usize = 64;
+    let topic: Arc<Topic<u64>> = Topic::bounded("ring", CAPACITY, OverflowPolicy::DropOldest);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let mut c = topic.consumer();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut read: u64 = 0;
+            let mut skipped: u64 = 0;
+            let mut last: Option<u64> = None;
+            loop {
+                match c.poll(16) {
+                    Ok(batch) => {
+                        if batch.is_empty() && done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        for v in batch {
+                            // Monotonicity: truncation may skip values but
+                            // can never rewind or repeat them.
+                            if let Some(prev) = last {
+                                assert!(v > prev, "went backwards: {prev} then {v}");
+                            }
+                            last = Some(v);
+                            read += 1;
+                        }
+                    }
+                    Err(lagged) => skipped += lagged.skipped,
+                }
+            }
+            // Drain whatever is still retained after the producer stopped.
+            loop {
+                match c.poll(usize::MAX) {
+                    Ok(batch) if batch.is_empty() => break,
+                    Ok(batch) => read += batch.len() as u64,
+                    Err(lagged) => skipped += lagged.skipped,
+                }
+            }
+            (read, skipped)
+        })
+    };
+
+    for i in 0..TOTAL {
+        topic.publish(i);
+    }
+    done.store(true, Ordering::Release);
+    let (read, skipped) = reader.join().expect("reader");
+    assert_eq!(
+        read + skipped,
+        TOTAL,
+        "every published message is either read or explicitly skipped"
+    );
+    assert!(topic.retained() <= CAPACITY);
+    let stats = topic.stats();
+    assert_eq!(stats.published, TOTAL);
+    assert!(stats.dropped > 0, "the reader cannot keep up with a tight loop");
+}
+
+/// Block policy with a slow consumer: publishers stall rather than drop, so
+/// delivery is lossless and memory stays bounded, even with several
+/// producers contending.
+#[test]
+fn block_policy_is_lossless_under_contention() {
+    const PRODUCERS: u64 = 3;
+    const PER_PRODUCER: u64 = 500;
+    let topic: Arc<Topic<u64>> = Topic::with_config(
+        "backpressure",
+        TopicConfig {
+            capacity: Some(16),
+            policy: OverflowPolicy::Block,
+            block_timeout: Duration::from_secs(30),
+        },
+    );
+    let mut consumer = topic.consumer();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    t.try_publish(p * PER_PRODUCER + i)
+                        .expect("blocked publish succeeds once the consumer drains");
+                }
+            })
+        })
+        .collect();
+    let mut seen = Vec::new();
+    while seen.len() < (PRODUCERS * PER_PRODUCER) as usize {
+        match consumer.poll(8) {
+            Ok(batch) if batch.is_empty() => thread::yield_now(),
+            Ok(batch) => seen.extend(batch),
+            Err(lagged) => panic!("Block never truncates unread data: {lagged:?}"),
+        }
+        assert!(topic.retained() <= 16);
+    }
+    for p in producers {
+        p.join().expect("producer");
+    }
+    let mut sorted = seen.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..PRODUCERS * PER_PRODUCER).collect::<Vec<_>>());
+    assert_eq!(topic.stats().dropped, 0);
+}
+
+/// Mixed chaos: concurrent publishers on a bounded topic, one fast and one
+/// deliberately slow consumer, with consumers joining mid-stream. Nothing
+/// deadlocks, all counters reconcile.
+#[test]
+fn mixed_publish_truncate_poll_stress() {
+    const TOTAL: u64 = 20_000;
+    let topic: Arc<Topic<u64>> = Topic::bounded("mixed", 128, OverflowPolicy::DropOldest);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let spawn_reader = |slow: bool| {
+        let mut c = topic.consumer();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut read = 0u64;
+            let mut skipped = 0u64;
+            loop {
+                match c.poll(32) {
+                    Ok(batch) => {
+                        if batch.is_empty() && done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        read += batch.len() as u64;
+                    }
+                    Err(lagged) => skipped += lagged.skipped,
+                }
+                if slow {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+            loop {
+                match c.poll(usize::MAX) {
+                    Ok(batch) if batch.is_empty() => break,
+                    Ok(batch) => read += batch.len() as u64,
+                    Err(lagged) => skipped += lagged.skipped,
+                }
+            }
+            (read, skipped)
+        })
+    };
+
+    let fast = spawn_reader(false);
+    let slow = spawn_reader(true);
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || {
+                for i in 0..TOTAL / 2 {
+                    t.publish(p * (TOTAL / 2) + i);
+                }
+            })
+        })
+        .collect();
+    // A consumer that joins (and leaves) mid-stream must not disturb the
+    // others' accounting.
+    thread::sleep(Duration::from_millis(1));
+    let mut late = topic.consumer();
+    let _ = late.poll(8);
+    drop(late);
+
+    for p in producers {
+        p.join().expect("producer");
+    }
+    done.store(true, Ordering::Release);
+    for (name, reader) in [("fast", fast), ("slow", slow)] {
+        let (read, skipped) = reader.join().expect("reader");
+        assert_eq!(read + skipped, TOTAL, "{name} reader accounting");
+    }
+}

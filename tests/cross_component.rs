@@ -56,7 +56,7 @@ fn quality_report_matches_ground_truth_scale() {
         GeoPoint::new(0.0, 40.0),
         GeoPoint::new(1.5, 40.8),
         Timestamp(0),
-        23,
+        17,
     );
     let q = assess_quality(&v.reports, CleaningConfig::maritime(), 300.0);
     // Duplicates: the generator duplicates records verbatim, every one must
