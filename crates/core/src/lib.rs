@@ -24,6 +24,10 @@
 //!   intermediate products published to topics. Per-entity processing is
 //!   supervised: panics are caught, state is restarted, repeat offenders
 //!   are quarantined, and rejected records go to a dead-letter topic.
+//! * [`sharded`] — the real-time layer hash-partitioned across worker
+//!   threads (the paper's Flink-parallelism scaling model): one full
+//!   pipeline partition per shard, stamped outputs, deterministic merge
+//!   back into submission order.
 //! * [`batch`] — the batch layer: drains the real-time topics into the
 //!   spatio-temporal knowledge store and answers star queries.
 //! * [`offline`] — the batch-layer analytics: trajectory reconstruction
@@ -35,6 +39,7 @@ pub mod batch;
 pub mod config;
 pub mod offline;
 pub mod realtime;
+pub mod sharded;
 pub mod system;
 
 pub use batch::BatchLayer;
@@ -43,4 +48,5 @@ pub use realtime::{
     ComponentStatus, DeadLetter, EntityHealth, HealthReport, IngestOutput, RealTimeLayer,
     RejectReason, SupervisionConfig,
 };
+pub use sharded::{RealTimeShard, ShardOutput, ShardedRealTimeLayer, ShardedShutdown};
 pub use system::{DatacronSystem, SituationPicture};

@@ -17,7 +17,8 @@
 
 use crate::config::DatacronConfig;
 use datacron_cep::Wayeb;
-use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport};
+use datacron_geo::hash::FxHashMap;
+use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
 use datacron_linkdisc::{Link, LinkerConfig, StaticLinker};
 use datacron_predict::flp::Predictor;
 use datacron_predict::RmfStarPredictor;
@@ -31,7 +32,6 @@ use datacron_stream::insitu::InSituProcessor;
 use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
 use datacron_stream::operator::panic_message;
 use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -124,11 +124,33 @@ pub struct SupervisionConfig {
     /// How many automatic restarts an entity gets before it is
     /// quarantined.
     pub max_restarts: u32,
+    /// Event-time horizon (seconds) after which an **idle, non-quarantined**
+    /// supervision record is evicted and its restart history forgiven, so a
+    /// week-long replay does not leak one record per transient entity that
+    /// ever panicked. Quarantined entities are never evicted. `None`
+    /// disables eviction.
+    ///
+    /// Eviction is driven by event time, in two ways that compose:
+    /// * lazily, when the entity's own next record arrives more than the
+    ///   horizon after its last incident (deterministic per entity, so the
+    ///   sharded and single-threaded pipelines agree), and
+    /// * by a periodic sweep against the layer's event-time watermark
+    ///   (every [`SWEEP_INTERVAL`] ingests), which reclaims records of
+    ///   entities that never report again.
+    pub idle_horizon_s: Option<i64>,
 }
+
+/// How many ingests between idle-supervision sweeps.
+pub const SWEEP_INTERVAL: u64 = 4096;
 
 impl Default for SupervisionConfig {
     fn default() -> Self {
-        Self { max_restarts: 3 }
+        Self {
+            max_restarts: 3,
+            // One week of event time: generous enough that no test fleet or
+            // realistic replay forgives a restart history by accident.
+            idle_horizon_s: Some(7 * 86_400),
+        }
     }
 }
 
@@ -137,6 +159,8 @@ impl Default for SupervisionConfig {
 struct Supervision {
     restarts: u32,
     quarantined: bool,
+    /// Event time of the last caught panic (drives idle eviction).
+    last_incident: Timestamp,
 }
 
 /// What one ingested report produced.
@@ -177,7 +201,7 @@ struct EntityState {
 /// The assembled real-time layer.
 pub struct RealTimeLayer {
     config: DatacronConfig,
-    entities: HashMap<EntityId, EntityState>,
+    entities: FxHashMap<EntityId, EntityState>,
     monitor: AreaMonitor,
     linker: StaticLinker,
     rdfizer: TripleGenerator,
@@ -190,13 +214,23 @@ pub struct RealTimeLayer {
     /// Optional user-attached per-entity stage (supervised).
     entity_stage: Option<EntityStage>,
     /// Per-entity supervision records.
-    supervision: HashMap<EntityId, Supervision>,
+    supervision: FxHashMap<EntityId, Supervision>,
     /// Records fully processed.
     accepted_total: u64,
     /// Panics caught by supervision.
     panics_total: u64,
     /// Entity restarts performed.
     restarts_total: u64,
+    /// Idle supervision records evicted (restart history forgiven).
+    supervision_evictions: u64,
+    /// Event-time watermark: max report timestamp ever ingested.
+    watermark: Timestamp,
+    /// Ingests since the last idle-supervision sweep.
+    ingests_since_sweep: u64,
+    /// Reusable per-record critical-point scratch buffer: cleared and
+    /// refilled by the synopses stage each record, so the steady-state hot
+    /// path allocates nothing for records that emit no critical point.
+    cps_scratch: Vec<CriticalPoint>,
     // --- topics ---
     /// Accepted (clean) reports that completed the full chain.
     pub cleaned: Arc<Topic<PositionReport>>,
@@ -235,17 +269,21 @@ impl RealTimeLayer {
             cep_symbolizer: None,
             fusion: None,
             entity_stage: None,
-            supervision: HashMap::new(),
+            supervision: FxHashMap::default(),
             accepted_total: 0,
             panics_total: 0,
             restarts_total: 0,
+            supervision_evictions: 0,
+            watermark: Timestamp(i64::MIN),
+            ingests_since_sweep: 0,
+            cps_scratch: Vec::new(),
             cleaned: Topic::new("cleaned"),
             critical: Topic::new("critical-points"),
             area_events: Topic::new("area-events"),
             triples: Topic::new("triples"),
             links: Topic::new("links"),
             dead_letters: Topic::new("dead-letters"),
-            entities: HashMap::new(),
+            entities: FxHashMap::default(),
             config,
         }
     }
@@ -322,10 +360,33 @@ impl RealTimeLayer {
     /// cleaning rejections, quarantined entities and processing panics all
     /// surface as dead letters rather than lost records or a crashed layer.
     pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
+        // Event-time bookkeeping: watermark + periodic idle-supervision
+        // sweep (bounds supervision memory over week-long replays).
+        if report.ts > self.watermark {
+            self.watermark = report.ts;
+        }
+        self.ingests_since_sweep += 1;
+        if self.ingests_since_sweep >= SWEEP_INTERVAL {
+            self.evict_idle_supervision();
+        }
+
         // 0. Quarantine gate — a poisoned entity no longer reaches the
-        // pipeline at all.
-        if self.supervision.get(&report.entity).is_some_and(|s| s.quarantined) {
-            return self.reject(report, RejectReason::Quarantined);
+        // pipeline at all. An entity whose last incident fell more than the
+        // idle horizon behind its own stream is forgiven first (lazy
+        // eviction, deterministic per entity).
+        if let Some(sup) = self.supervision.get(&report.entity) {
+            let forgiven = !sup.quarantined
+                && self
+                    .config
+                    .supervision
+                    .idle_horizon_s
+                    .is_some_and(|h| report.ts.delta_secs(&sup.last_incident) > h as f64);
+            if forgiven {
+                self.supervision.remove(&report.entity);
+                self.supervision_evictions += 1;
+            } else if sup.quarantined {
+                return self.reject(report, RejectReason::Quarantined);
+            }
         }
 
         // 1. Online cleaning (per-entity, panic-free by construction).
@@ -360,6 +421,7 @@ impl RealTimeLayer {
                 self.restarts_total += 1;
                 let sup = self.supervision.entry(report.entity).or_default();
                 sup.restarts += 1;
+                sup.last_incident = report.ts;
                 if sup.restarts > self.config.supervision.max_restarts {
                     sup.quarantined = true;
                 }
@@ -367,6 +429,31 @@ impl RealTimeLayer {
                 self.reject(report, RejectReason::ProcessingPanic)
             }
         }
+    }
+
+    /// Evicts every idle, non-quarantined supervision record whose last
+    /// incident fell more than the configured horizon behind the layer's
+    /// event-time watermark; their restart history is forgiven. Returns how
+    /// many records were evicted. Called automatically every
+    /// [`SWEEP_INTERVAL`] ingests; callable explicitly from long replays.
+    pub fn evict_idle_supervision(&mut self) -> usize {
+        self.ingests_since_sweep = 0;
+        let Some(horizon) = self.config.supervision.idle_horizon_s else {
+            return 0;
+        };
+        let watermark = self.watermark;
+        let before = self.supervision.len();
+        self.supervision
+            .retain(|_, s| s.quarantined || watermark.delta_secs(&s.last_incident) <= horizon as f64);
+        let evicted = before - self.supervision.len();
+        self.supervision_evictions += evicted as u64;
+        evicted
+    }
+
+    /// Idle supervision records evicted so far (restart histories
+    /// forgiven).
+    pub fn supervision_evictions(&self) -> u64 {
+        self.supervision_evictions
     }
 
     /// Publishes a dead letter and returns the rejection output.
@@ -409,21 +496,27 @@ impl RealTimeLayer {
         out.area_events = self.monitor.observe(&report);
         self.area_events.publish_batch(out.area_events.iter().copied());
 
-        // 5. Synopses.
-        let mut cps = Vec::new();
+        // 5. Synopses, into the reused scratch buffer (no per-record
+        // allocation in the common no-critical-point case).
+        let mut cps = std::mem::take(&mut self.cps_scratch);
+        cps.clear();
         state.synopses.process(report, &mut cps);
         for cp in &cps {
             self.critical.publish(*cp);
-            // 6. RDF generation per critical point.
-            let triples = self.rdfizer.generate(&critical_point_vector(cp));
-            self.triples.publish_batch(triples.iter().cloned());
-            out.triples.extend(triples);
-            // 7. Link discovery on the critical point.
-            let links = self
-                .linker
-                .link_point(cp.report.entity, cp.report.ts, &cp.report.point);
-            self.links.publish_batch(links.iter().copied());
-            out.links.extend(links);
+            // 6. RDF generation per critical point: generate straight into
+            // the output buffer and publish from that same buffer — the
+            // topic clones (it must own its copy), but the intermediate
+            // per-point `Vec<Triple>` and its extra whole-set clone are
+            // gone.
+            let triples_start = out.triples.len();
+            self.rdfizer.generate_into(&critical_point_vector(cp), &mut out.triples);
+            self.triples.publish_batch(out.triples[triples_start..].iter().cloned());
+            // 7. Link discovery on the critical point, same single-buffer
+            // pattern.
+            let links_start = out.links.len();
+            out.links
+                .extend(self.linker.link_point(cp.report.entity, cp.report.ts, &cp.report.point));
+            self.links.publish_batch(out.links[links_start..].iter().copied());
             // 8. CEP.
             if let (Some(engine), Some(symbolizer)) = (&mut state.cep, &self.cep_symbolizer) {
                 if let Some(sym) = symbolizer(cp) {
@@ -434,7 +527,8 @@ impl RealTimeLayer {
                 }
             }
         }
-        out.critical_points = cps;
+        out.critical_points.extend_from_slice(&cps);
+        self.cps_scratch = cps;
         out
     }
 
@@ -460,7 +554,7 @@ impl RealTimeLayer {
             .iter()
             .filter(|e| e.status == ComponentStatus::Quarantined)
             .count() as u64;
-        let topics = vec![
+        let mut topics = vec![
             self.cleaned.health(),
             self.critical.health(),
             self.area_events.health(),
@@ -468,6 +562,7 @@ impl RealTimeLayer {
             self.links.health(),
             self.dead_letters.health(),
         ];
+        topics.sort_by(|a, b| a.name.cmp(&b.name));
         let status = if quarantined_entities > 0 {
             // The layer keeps running, but with entities out of service.
             ComponentStatus::Degraded
@@ -494,18 +589,26 @@ impl RealTimeLayer {
     }
 
     /// Flushes end-of-stream synopses (emits trailing `End` points and their
-    /// downstream products).
+    /// downstream products). Entities are flushed in sorted id order, so
+    /// the emitted stream is deterministic — and a sharded run's per-shard
+    /// flushes, merged by entity, reproduce it exactly.
     pub fn flush(&mut self) -> Vec<CriticalPoint> {
+        let mut ids: Vec<EntityId> = self.entities.keys().copied().collect();
+        ids.sort();
         let mut all = Vec::new();
-        for state in self.entities.values_mut() {
-            let mut cps = Vec::new();
+        let mut cps = Vec::new();
+        for id in ids {
+            let Some(state) = self.entities.get_mut(&id) else {
+                continue;
+            };
+            cps.clear();
             state.synopses.flush(&mut cps);
             for cp in &cps {
                 self.critical.publish(*cp);
                 let triples = self.rdfizer.generate(&critical_point_vector(cp));
                 self.triples.publish_batch(triples);
             }
-            all.extend(cps);
+            all.extend_from_slice(&cps);
         }
         all
     }
@@ -719,6 +822,77 @@ mod tests {
     fn ingest_from_requires_fusion() {
         let mut l = layer();
         l.ingest_from(0, rep(0, 1.0, 40.0, 8.0, 90.0));
+    }
+
+    #[test]
+    fn idle_supervision_is_forgiven_after_horizon() {
+        let mut l = layer();
+        l.config.supervision.max_restarts = 2;
+        l.config.supervision.idle_horizon_s = Some(3600);
+        // Panic exactly once, at t=0.
+        l.attach_entity_stage(|r| {
+            if r.ts == Timestamp::from_secs(0) {
+                panic!("injected");
+            }
+        });
+        let mut p = GeoPoint::new(1.0, 40.0);
+        assert!(!l.ingest(rep(0, p.lon, p.lat, 8.0, 90.0)).accepted);
+        assert_eq!(l.health().restarts, 1);
+        assert_eq!(l.health().degraded.len(), 1, "restart history retained");
+        // Well within the horizon: history stays.
+        l.ingest(rep(600, p.lon, p.lat, 8.0, 90.0));
+        assert_eq!(l.health().degraded.len(), 1);
+        // The entity's next record arrives past the horizon: forgiven.
+        p = p.destination(90.0, 80.0);
+        l.ingest(rep(4000, p.lon, p.lat, 8.0, 90.0));
+        assert!(l.health().degraded.is_empty(), "idle history evicted");
+        assert_eq!(l.supervision_evictions(), 1);
+    }
+
+    #[test]
+    fn quarantined_entities_are_never_evicted() {
+        let mut l = layer();
+        l.config.supervision.max_restarts = 0;
+        l.config.supervision.idle_horizon_s = Some(10);
+        l.attach_entity_stage(|r| {
+            if r.ts == Timestamp::from_secs(0) {
+                panic!("injected");
+            }
+        });
+        let p = GeoPoint::new(1.0, 40.0);
+        l.ingest(rep(0, p.lon, p.lat, 8.0, 90.0));
+        assert_eq!(l.health().quarantined_entities, 1);
+        // Far past the horizon, and through an explicit sweep: quarantine
+        // holds (the gate, not the pipeline, rejects the record).
+        let out = l.ingest(rep(10_000, p.lon, p.lat, 8.0, 90.0));
+        assert_eq!(out.rejected, Some(RejectReason::Quarantined));
+        l.evict_idle_supervision();
+        assert_eq!(l.health().quarantined_entities, 1);
+    }
+
+    #[test]
+    fn sweep_reclaims_transient_entities() {
+        let mut l = layer();
+        l.config.supervision.max_restarts = 5;
+        l.config.supervision.idle_horizon_s = Some(60);
+        // Every entity panics on its first record (ts == 0) and never
+        // reports again; a later long-lived entity advances the watermark.
+        l.attach_entity_stage(|r| {
+            if r.entity.id < 50 && r.ts == Timestamp::from_secs(0) {
+                panic!("injected");
+            }
+        });
+        for e in 0..50u64 {
+            let mut r = rep(0, 1.0 + 0.01 * e as f64, 40.0, 8.0, 90.0);
+            r.entity = EntityId::vessel(e);
+            l.ingest(r);
+        }
+        assert_eq!(l.health().degraded.len(), 50);
+        let mut r = rep(3600, 2.0, 41.0, 8.0, 90.0);
+        r.entity = EntityId::vessel(999);
+        l.ingest(r);
+        assert_eq!(l.evict_idle_supervision(), 50, "transient histories reclaimed");
+        assert!(l.health().degraded.is_empty());
     }
 
     #[test]

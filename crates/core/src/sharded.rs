@@ -1,0 +1,414 @@
+//! The sharded real-time layer: entity-hash-partitioned parallel execution
+//! of the full per-record chain (§4.2, the Flink parallelism model).
+//!
+//! The paper scales the online layer by hash-partitioning the keyed
+//! per-entity state across operator instances. This module does the same
+//! natively: N worker threads each own a complete [`RealTimeLayer`]
+//! partition (cleaning, in-situ stats, synopses, low-level events, link
+//! discovery, RDF generation, CEP, supervision and dead-lettering for the
+//! entities routed to them), fed over bounded backpressured topics by a
+//! [`ShardedExecutor`], with stamped outputs merged back into exact
+//! submission order.
+//!
+//! ## Determinism contract
+//!
+//! Every per-record component of the chain is either per-entity keyed
+//! state (cleaner, in-situ, synopses, FLP history, CEP, area monitor
+//! inside-sets, supervision) or a pure function of the record and the
+//! stationary context (link discovery, RDF generation). Entity → shard
+//! routing is a deterministic hash, so each shard sees exactly the
+//! subsequence of records its entities produced, in submission order —
+//! and therefore computes bit-identical per-record outputs. The merge
+//! restores global submission order, so [`ShardedRealTimeLayer`] emits an
+//! output stream **positionally identical** to a single-threaded
+//! [`RealTimeLayer`] fed the same input, for any shard count.
+//!
+//! [`flush`](ShardedRealTimeLayer::flush) preserves the contract at end of
+//! stream: the single-threaded layer flushes entities in sorted id order,
+//! so the per-shard flushes (each itself sorted) are merged with a stable
+//! sort by entity id.
+
+use crate::config::DatacronConfig;
+use crate::realtime::{
+    ComponentStatus, HealthReport, IngestOutput, RealTimeLayer, RejectReason,
+};
+use datacron_geo::{GeoPoint, Polygon, PositionReport};
+use datacron_stream::bus::TopicHealth;
+use datacron_stream::parallel::{
+    SeqStamp, ShardStage, ShardedConfig, ShardedExecutor,
+};
+use datacron_synopses::CriticalPoint;
+
+/// One fully processed record: the report and everything the chain
+/// produced for it.
+#[derive(Debug, Clone)]
+pub struct ShardOutput {
+    /// The ingested report.
+    pub report: PositionReport,
+    /// What the chain produced (acceptance, critical points, events,
+    /// links, triples, CEP detections — or the rejection reason).
+    pub output: IngestOutput,
+}
+
+impl ShardOutput {
+    /// Why the record was rejected, when it was.
+    pub fn rejected(&self) -> Option<RejectReason> {
+        self.output.rejected
+    }
+}
+
+/// One shard of the real-time layer: a complete [`RealTimeLayer`] over the
+/// partition of entities routed to it.
+pub struct RealTimeShard {
+    layer: RealTimeLayer,
+}
+
+impl RealTimeShard {
+    /// The shard's layer.
+    pub fn layer(&self) -> &RealTimeLayer {
+        &self.layer
+    }
+
+    /// Unwraps the shard into its layer.
+    pub fn into_inner(self) -> RealTimeLayer {
+        self.layer
+    }
+}
+
+impl ShardStage for RealTimeShard {
+    type In = PositionReport;
+    type Out = ShardOutput;
+    type Flush = Vec<CriticalPoint>;
+    type Snapshot = HealthReport;
+
+    fn on_record(&mut self, report: PositionReport) -> ShardOutput {
+        let output = self.layer.ingest(report);
+        ShardOutput { report, output }
+    }
+
+    fn on_flush(&mut self) -> Vec<CriticalPoint> {
+        self.layer.flush()
+    }
+
+    fn snapshot(&self) -> HealthReport {
+        self.layer.health()
+    }
+}
+
+/// Everything the sharded layer hands back after a clean shutdown.
+pub struct ShardedShutdown {
+    /// Merged outputs not yet taken via
+    /// [`poll_outputs`](ShardedRealTimeLayer::poll_outputs), in global
+    /// submission order.
+    pub outputs: Vec<ShardOutput>,
+    /// The merged final health report.
+    pub health: HealthReport,
+    /// Records ingested over the layer's lifetime.
+    pub submitted: u64,
+    /// Outputs merged back over the layer's lifetime (== `submitted` on a
+    /// lossless run).
+    pub merged: u64,
+    /// Duplicate stamped outputs observed (must be 0).
+    pub duplicates: u64,
+    /// High-water mark of the reorder buffer.
+    pub max_reorder: usize,
+    /// The per-shard layers, in shard order, for post-run inspection
+    /// (dead-letter topics, linker stats, per-shard health, …).
+    pub layers: Vec<RealTimeLayer>,
+}
+
+/// The real-time layer, hash-partitioned across worker threads.
+///
+/// Drop-in parallel counterpart of [`RealTimeLayer`]: same inputs, same
+/// outputs, same health semantics — with records flowing through N shards
+/// concurrently and reassembled deterministically.
+pub struct ShardedRealTimeLayer {
+    exec: ShardedExecutor<RealTimeShard>,
+}
+
+impl ShardedRealTimeLayer {
+    /// Builds the sharded layer: one [`RealTimeLayer`] per shard over
+    /// clones of the stationary context.
+    pub fn new(
+        config: DatacronConfig,
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+        options: ShardedConfig,
+    ) -> Self {
+        Self::with_setup(config, regions, ports, options, |_| {})
+    }
+
+    /// Like [`new`](Self::new), but runs `setup` on each shard's layer
+    /// before its worker starts — the place to attach a CEP engine, an
+    /// entity stage, or fusion, identically on every shard. `setup` runs
+    /// on the caller's thread.
+    pub fn with_setup(
+        config: DatacronConfig,
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+        options: ShardedConfig,
+        setup: impl Fn(&mut RealTimeLayer),
+    ) -> Self {
+        let exec = ShardedExecutor::new(options, |_| {
+            let mut layer = RealTimeLayer::new(config.clone(), regions.clone(), ports.clone());
+            setup(&mut layer);
+            RealTimeShard { layer }
+        });
+        Self { exec }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.exec.shards()
+    }
+
+    /// Records ingested so far.
+    pub fn submitted(&self) -> u64 {
+        self.exec.submitted()
+    }
+
+    /// Routes one report to its entity's shard (blocking on backpressure
+    /// when that shard's queue is full) and returns the record's stamps.
+    /// Outputs are retrieved, in global submission order, via
+    /// [`poll_outputs`](Self::poll_outputs).
+    pub fn ingest(&mut self, report: PositionReport) -> SeqStamp {
+        self.exec.submit(&report.entity, report)
+    }
+
+    /// Ingests a batch with one handoff per shard (records grouped by
+    /// destination, appended under a single lock per shard queue).
+    pub fn ingest_batch(&mut self, reports: impl IntoIterator<Item = PositionReport>) {
+        self.exec.submit_batch(reports.into_iter().map(|r| (r.entity, r)));
+    }
+
+    /// Takes every output whose global order is already reassembled, in
+    /// submission order. Non-blocking.
+    pub fn poll_outputs(&mut self) -> Vec<ShardOutput> {
+        self.exec.poll()
+    }
+
+    /// End-of-stream flush barrier: every shard finishes its queued
+    /// records and flushes its synopses. The per-shard flushes are merged
+    /// by entity id, reproducing the single-threaded
+    /// [`RealTimeLayer::flush`] output exactly.
+    pub fn flush(&mut self) -> Vec<CriticalPoint> {
+        let mut all: Vec<CriticalPoint> = self.exec.flush_all().into_iter().flatten().collect();
+        // Entities are disjoint across shards and each shard flushes its
+        // own in sorted order, so a stable sort by entity reproduces the
+        // single-threaded order (per-entity emission order preserved).
+        all.sort_by_key(|cp| cp.report.entity);
+        all
+    }
+
+    /// Snapshot barrier: every shard finishes its queued records and
+    /// reports health; the reports are merged into one layer-wide view.
+    pub fn health(&mut self) -> HealthReport {
+        merge_health(&self.exec.snapshot_all())
+    }
+
+    /// Per-shard health reports, in shard order (snapshot barrier).
+    pub fn health_by_shard(&mut self) -> Vec<HealthReport> {
+        self.exec.snapshot_all()
+    }
+
+    /// Shuts the shards down, drains every in-flight record and returns
+    /// the merged remainder, the final merged health and the per-shard
+    /// layers. Lossless: `merged == submitted` and `duplicates == 0`
+    /// unless a worker died (which panics instead).
+    pub fn finish(self) -> ShardedShutdown {
+        let run = self.exec.finish();
+        let layers: Vec<RealTimeLayer> =
+            run.stages.into_iter().map(RealTimeShard::into_inner).collect();
+        let healths: Vec<HealthReport> = layers.iter().map(|l| l.health()).collect();
+        ShardedShutdown {
+            outputs: run.outputs,
+            health: merge_health(&healths),
+            submitted: run.submitted,
+            merged: run.merged,
+            duplicates: run.duplicates,
+            max_reorder: run.max_reorder,
+            layers,
+        }
+    }
+}
+
+/// Merges per-shard health reports into one layer-wide report with the
+/// same semantics as [`RealTimeLayer::health`]: counters sum, degraded
+/// entities concatenate (disjoint across shards) and sort, per-topic
+/// health aggregates by topic name, and the overall status is recomputed
+/// from the merged view.
+pub fn merge_health(shards: &[HealthReport]) -> HealthReport {
+    let mut merged = HealthReport::default();
+    let mut topics: Vec<TopicHealth> = Vec::new();
+    for h in shards {
+        merged.accepted += h.accepted;
+        merged.rejected += h.rejected;
+        merged.panics += h.panics;
+        merged.restarts += h.restarts;
+        merged.quarantined_entities += h.quarantined_entities;
+        merged.degraded.extend(h.degraded.iter().cloned());
+        for t in &h.topics {
+            match topics.iter_mut().find(|m| m.name == t.name) {
+                Some(m) => {
+                    m.retained += t.retained;
+                    m.end_offset += t.end_offset;
+                    m.base_offset += t.base_offset;
+                    m.stats.published += t.stats.published;
+                    m.stats.rejected += t.stats.rejected;
+                    m.stats.dropped += t.stats.dropped;
+                    m.stats.reclaimed += t.stats.reclaimed;
+                    m.stats.blocked += t.stats.blocked;
+                }
+                None => topics.push(t.clone()),
+            }
+        }
+    }
+    merged.degraded.sort_by_key(|e| e.entity);
+    topics.sort_by(|a, b| a.name.cmp(&b.name));
+    merged.status = if merged.quarantined_entities > 0
+        || !merged.degraded.is_empty()
+        || topics.iter().any(|t| !t.is_lossless())
+    {
+        ComponentStatus::Degraded
+    } else {
+        ComponentStatus::Ok
+    };
+    merged.topics = topics;
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{BoundingBox, EntityId, Timestamp};
+
+    fn config() -> DatacronConfig {
+        DatacronConfig::maritime(BoundingBox::new(-10.0, 30.0, 10.0, 50.0))
+    }
+
+    fn rep(entity: u64, t: i64, lon: f64, lat: f64) -> PositionReport {
+        PositionReport {
+            speed_mps: 8.0,
+            heading_deg: 90.0,
+            ..PositionReport::basic(
+                EntityId::vessel(entity),
+                Timestamp::from_secs(t),
+                GeoPoint::new(lon, lat),
+            )
+        }
+    }
+
+    fn fleet(entities: u64, reports: i64) -> Vec<PositionReport> {
+        let mut out = Vec::new();
+        for t in 0..reports {
+            for e in 0..entities {
+                let lon = -5.0 + 0.002 * t as f64 + 0.05 * e as f64;
+                let lat = 38.0 + 0.001 * (e as f64) + if t % 7 == 0 { 0.001 } else { 0.0 };
+                out.push(rep(e, t * 30, lon, lat));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_layer_matches_single_threaded_outputs() {
+        let input = fleet(12, 40);
+        let mut single = RealTimeLayer::new(config(), Vec::new(), Vec::new());
+        let expected: Vec<IngestOutput> =
+            input.iter().map(|r| single.ingest(*r)).collect();
+        let expected_flush = single.flush();
+
+        for shards in [1usize, 3] {
+            let mut sharded = ShardedRealTimeLayer::new(
+                config(),
+                Vec::new(),
+                Vec::new(),
+                ShardedConfig::with_shards(shards),
+            );
+            let mut got = Vec::new();
+            for r in &input {
+                sharded.ingest(*r);
+                got.extend(sharded.poll_outputs());
+            }
+            let flush = sharded.flush();
+            let done = sharded.finish();
+            got.extend(done.outputs);
+            assert_eq!(got.len(), expected.len(), "{shards} shards");
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(g.report, input[i], "record {i} in submission order");
+                assert_eq!(
+                    format!("{:?}", g.output),
+                    format!("{e:?}"),
+                    "output {i} with {shards} shards"
+                );
+            }
+            assert_eq!(
+                format!("{flush:?}"),
+                format!("{expected_flush:?}"),
+                "flush with {shards} shards"
+            );
+            assert_eq!(done.submitted, input.len() as u64);
+            assert_eq!(done.merged, input.len() as u64);
+            assert_eq!(done.duplicates, 0);
+        }
+    }
+
+    #[test]
+    fn merged_health_matches_single_threaded() {
+        let input = fleet(9, 25);
+        let mut single = RealTimeLayer::new(config(), Vec::new(), Vec::new());
+        for r in &input {
+            single.ingest(*r);
+        }
+        let expected = single.health();
+
+        let mut sharded = ShardedRealTimeLayer::new(
+            config(),
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(4),
+        );
+        sharded.ingest_batch(input.iter().copied());
+        let merged = sharded.health();
+        assert_eq!(format!("{merged:?}"), format!("{expected:?}"));
+        let done = sharded.finish();
+        assert_eq!(format!("{:?}", done.health), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn supervision_is_per_shard_and_merges() {
+        let cfg = config();
+        let input = fleet(8, 10);
+        let mut sharded = ShardedRealTimeLayer::with_setup(
+            cfg,
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(3),
+            |layer| {
+                layer.attach_entity_stage(|r| {
+                    if r.entity.id == 3 {
+                        panic!("injected");
+                    }
+                });
+            },
+        );
+        sharded.ingest_batch(input.iter().copied());
+        let done = sharded.finish();
+        // Entity 3 panics on every record: 10 records, max_restarts
+        // default 3 → 4 restarts then quarantined, the rest rejected.
+        assert_eq!(done.health.quarantined_entities, 1);
+        assert_eq!(done.health.rejected, 10);
+        assert_eq!(done.health.accepted, (8 - 1) * 10);
+        assert_eq!(done.health.status, ComponentStatus::Degraded);
+        // Outputs stay in submission order; the rejected entity's records
+        // carry their rejection reason in place.
+        let rejected: Vec<_> = done
+            .outputs
+            .iter()
+            .filter(|o| o.output.rejected.is_some())
+            .map(|o| o.report.entity.id)
+            .collect();
+        assert_eq!(rejected.len(), 10);
+        assert!(rejected.iter().all(|&id| id == 3));
+    }
+}

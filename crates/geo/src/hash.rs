@@ -1,0 +1,173 @@
+//! A fast, deterministic, dependency-free hasher for small keys.
+//!
+//! The real-time layer keys almost every map by [`EntityId`] (two small
+//! integers) or by numeric grid/term ids. `std`'s default SipHash is
+//! DoS-resistant but costs tens of cycles per key — measurable on the
+//! ingest hot path, where every record does several keyed-map lookups.
+//! [`FxHasher`] reproduces the multiply-rotate scheme used by rustc
+//! (`rustc-hash`): one rotate + xor + multiply per 8-byte word. It is not
+//! collision-resistant against adversarial keys; use it for internal maps
+//! keyed by trusted ids only.
+//!
+//! Unlike `RandomState`, [`FxBuildHasher`] is **deterministic across
+//! processes and runs** — the same keys always hash identically — which the
+//! sharded pipeline relies on to route entities to shards reproducibly.
+//!
+//! [`EntityId`]: crate::EntityId
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The odd multiplier of the Fx scheme (64-bit golden-ratio constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-rotate hasher for small trusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s; zero-sized, deterministic, `Default`-constructed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hasher; construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hasher; construct with `FxHashSet::default()`.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Hashes one value with the Fx hasher — the deterministic key hash the
+/// sharded executor uses for entity → shard routing.
+#[inline]
+pub fn fx_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    // A final avalanche step: the raw Fx state is weak in its low bits for
+    // sequential keys, and shard routing reduces modulo a small N.
+    let mut x = h.finish();
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntityId;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = fx_hash(&EntityId::vessel(1234));
+        let b = fx_hash(&EntityId::vessel(1234));
+        assert_eq!(a, b);
+        assert_ne!(a, fx_hash(&EntityId::aircraft(1234)), "kind participates");
+        assert_ne!(a, fx_hash(&EntityId::vessel(1235)));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<EntityId, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(EntityId::vessel(i), i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&EntityId::vessel(i)), Some(&(i as u32)));
+        }
+        assert!(m.remove(&EntityId::vessel(7)).is_some());
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn strings_and_lengths_disambiguate() {
+        assert_ne!(fx_hash(&"ab"), fx_hash(&"ab\0"));
+        assert_ne!(fx_hash(&"abcdefgh"), fx_hash(&"abcdefg"));
+        let mut s: FxHashSet<String> = FxHashSet::default();
+        s.insert("alpha".into());
+        s.insert("beta".into());
+        assert!(s.contains("alpha"));
+        assert!(!s.contains("gamma"));
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_small_modulus() {
+        // Shard routing reduces the hash modulo a small shard count; the
+        // avalanche step must spread sequential entity ids evenly.
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for i in 0..8000 {
+                counts[(fx_hash(&EntityId::vessel(i)) % shards as u64) as usize] += 1;
+            }
+            let expected = 8000 / shards;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > expected / 2 && c < expected * 2,
+                    "shard {s}/{shards} got {c} of {expected} expected"
+                );
+            }
+        }
+    }
+}

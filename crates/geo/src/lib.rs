@@ -26,6 +26,7 @@
 
 pub mod bbox;
 pub mod grid;
+pub mod hash;
 pub mod moving;
 pub mod point;
 pub mod polygon;
@@ -35,6 +36,7 @@ pub mod vector;
 
 pub use bbox::BoundingBox;
 pub use grid::{CellIndex, EquiGrid};
+pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use moving::{EntityId, MovingKind, PositionReport, Trajectory};
 pub use point::{GeoPoint, EARTH_RADIUS_M};
 pub use polygon::Polygon;

@@ -9,7 +9,7 @@
 use crate::links::{Link, LinkTarget, Relation};
 use crate::masks::CellMask;
 use datacron_geo::{BoundingBox, EntityId, EquiGrid, GeoPoint, Polygon, Timestamp};
-use std::collections::HashMap;
+use datacron_geo::hash::FxHashMap;
 
 /// Linker parameters.
 #[derive(Debug, Clone)]
@@ -59,12 +59,12 @@ pub struct StaticLinker {
     regions: Vec<(u64, Polygon)>,
     ports: Vec<(u64, GeoPoint)>,
     /// Region candidate indices per flat cell id.
-    region_candidates: HashMap<u32, Vec<u32>>,
+    region_candidates: FxHashMap<u32, Vec<u32>>,
     /// Port candidate indices per flat cell id (buffered by near radius).
-    port_candidates: HashMap<u32, Vec<u32>>,
+    port_candidates: FxHashMap<u32, Vec<u32>>,
     /// Masks per flat cell id (buffered by the region near radius so one
     /// mask serves both `within` and `nearTo`).
-    masks: HashMap<u32, CellMask>,
+    masks: FxHashMap<u32, CellMask>,
     stats: LinkStats,
 }
 
@@ -88,7 +88,7 @@ impl StaticLinker {
         }
         let grid = EquiGrid::with_cell_size(extent.expanded(2.0 * config.cell_deg), config.cell_deg);
 
-        let mut region_candidates: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut region_candidates: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for (i, (_, poly)) in regions.iter().enumerate() {
             // Candidate cells include the nearTo buffer.
             let lat = poly.bbox().center().lat;
@@ -97,14 +97,14 @@ impl StaticLinker {
                 region_candidates.entry(grid.flat_id(cell)).or_default().push(i as u32);
             }
         }
-        let mut port_candidates: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut port_candidates: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for (i, (_, p)) in ports.iter().enumerate() {
             for cell in grid.cells_within_radius(p, config.near_port_m) {
                 port_candidates.entry(grid.flat_id(cell)).or_default().push(i as u32);
             }
         }
 
-        let mut masks = HashMap::new();
+        let mut masks = FxHashMap::default();
         if config.use_masks {
             // Only cells with candidates need a real raster; others prune by
             // the candidate lists simply being empty.

@@ -13,7 +13,7 @@
 
 use crate::links::{Link, LinkTarget, Relation};
 use datacron_geo::{BoundingBox, EntityId, EquiGrid, GeoPoint, Timestamp};
-use std::collections::HashMap;
+use datacron_geo::hash::FxHashMap;
 
 /// Proximity parameters.
 #[derive(Debug, Clone)]
@@ -49,7 +49,7 @@ struct Observation {
 pub struct StreamingProximity {
     config: ProximityConfig,
     grid: EquiGrid,
-    cells: HashMap<u32, Vec<Observation>>,
+    cells: FxHashMap<u32, Vec<Observation>>,
     /// Comparisons performed (for pruning-effect reporting).
     comparisons: u64,
     /// Observations evicted by temporal cleanup.
@@ -63,7 +63,7 @@ impl StreamingProximity {
         Self {
             config,
             grid,
-            cells: HashMap::new(),
+            cells: FxHashMap::default(),
             comparisons: 0,
             evicted: 0,
         }

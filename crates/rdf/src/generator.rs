@@ -161,6 +161,17 @@ impl TripleGenerator {
     /// variables are skipped (and counted), not errors.
     pub fn generate(&mut self, vars: &VariableVector) -> Vec<Triple> {
         let mut out = Vec::with_capacity(self.template.patterns().len());
+        self.generate_into(vars, &mut out);
+        out
+    }
+
+    /// Like [`generate`](Self::generate), but appends to a caller-supplied
+    /// buffer and returns how many triples were appended — the hot-path
+    /// variant, letting the real-time layer lift every critical point of a
+    /// record into one reused output buffer with no intermediate
+    /// allocation.
+    pub fn generate_into(&mut self, vars: &VariableVector, out: &mut Vec<Triple>) -> usize {
+        let before = out.len();
         for pat in self.template.patterns() {
             match (
                 pat.s.instantiate(vars),
@@ -171,8 +182,9 @@ impl TripleGenerator {
                 _ => self.skipped_patterns += 1,
             }
         }
-        self.generated += out.len() as u64;
-        out
+        let appended = out.len() - before;
+        self.generated += appended as u64;
+        appended
     }
 
     /// Lifts a batch of vectors.

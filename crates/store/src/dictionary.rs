@@ -19,6 +19,7 @@
 use datacron_geo::stcell::IdRange;
 use datacron_geo::{GeoPoint, StCellEncoder, StCellId, Timestamp};
 use datacron_rdf::term::Term;
+use datacron_geo::hash::FxHashMap;
 use std::collections::HashMap;
 
 /// A dictionary-encoded term identifier.
@@ -46,12 +47,12 @@ const CELL_LIMIT: u64 = 1 << (63 - SEQ_BITS);
 pub struct Dictionary {
     encoder: StCellEncoder,
     term_to_id: HashMap<Term, TermId>,
-    id_to_term: HashMap<TermId, Term>,
+    id_to_term: FxHashMap<TermId, Term>,
     next_plain: TermId,
     /// Next sequence number per st-cell.
-    next_in_cell: HashMap<StCellId, u64>,
+    next_in_cell: FxHashMap<StCellId, u64>,
     /// Exact anchor of each st term, for refinement.
-    anchors: HashMap<TermId, (GeoPoint, Timestamp)>,
+    anchors: FxHashMap<TermId, (GeoPoint, Timestamp)>,
 }
 
 impl Dictionary {
@@ -60,10 +61,10 @@ impl Dictionary {
         Self {
             encoder,
             term_to_id: HashMap::new(),
-            id_to_term: HashMap::new(),
+            id_to_term: FxHashMap::default(),
             next_plain: 0,
-            next_in_cell: HashMap::new(),
-            anchors: HashMap::new(),
+            next_in_cell: FxHashMap::default(),
+            anchors: FxHashMap::default(),
         }
     }
 

@@ -8,7 +8,7 @@
 //! (vertical partitioning and property tables win on star joins).
 
 use crate::dictionary::{EncodedTriple, TermId};
-use std::collections::HashMap;
+use datacron_geo::hash::FxHashMap;
 
 /// Which layout a store partition uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,7 @@ impl StorageLayout for TriplesTable {
 /// One `(s, o)` list per predicate.
 #[derive(Debug, Default)]
 pub struct VerticalPartitioning {
-    tables: HashMap<TermId, Vec<(TermId, TermId)>>,
+    tables: FxHashMap<TermId, Vec<(TermId, TermId)>>,
     len: usize,
 }
 
@@ -129,9 +129,9 @@ impl StorageLayout for VerticalPartitioning {
 /// One row per subject, keyed by predicate.
 #[derive(Debug, Default)]
 pub struct PropertyTable {
-    rows: HashMap<TermId, HashMap<TermId, Vec<TermId>>>,
+    rows: FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>,
     /// Predicate → subjects index, to seed star scans.
-    by_pred: HashMap<TermId, Vec<TermId>>,
+    by_pred: FxHashMap<TermId, Vec<TermId>>,
     len: usize,
 }
 

@@ -254,10 +254,15 @@ impl<T: Clone> Topic<T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Appends one message, returning its offset, or an error carrying the
-    /// message back when the topic is full and the policy refuses it.
-    pub fn try_publish(&self, msg: T) -> Result<u64, PublishError<T>> {
-        let mut inner = self.lock();
+    /// The append path shared by single and batched publishes: applies the
+    /// overflow policy (possibly waiting on the progress condvar under
+    /// `Block`) and appends, threading the lock guard through so a batch can
+    /// append many messages under one acquisition.
+    fn append_locked<'a>(
+        &'a self,
+        mut inner: std::sync::MutexGuard<'a, Inner<T>>,
+        msg: T,
+    ) -> (std::sync::MutexGuard<'a, Inner<T>>, Result<u64, PublishError<T>>) {
         if let Some(capacity) = self.config.capacity {
             let mut waited = false;
             while inner.log.len() >= capacity.max(1) {
@@ -269,7 +274,7 @@ impl<T: Clone> Topic<T> {
                     }
                     OverflowPolicy::RejectNew => {
                         inner.stats.rejected += 1;
-                        return Err(PublishError::Rejected(msg));
+                        return (inner, Err(PublishError::Rejected(msg)));
                     }
                     OverflowPolicy::Block => {
                         if inner.reclaim_consumed() > 0 {
@@ -277,7 +282,7 @@ impl<T: Clone> Topic<T> {
                         }
                         if waited {
                             inner.stats.rejected += 1;
-                            return Err(PublishError::Timeout(msg));
+                            return (inner, Err(PublishError::Timeout(msg)));
                         }
                         inner.stats.blocked += 1;
                         waited = true;
@@ -304,7 +309,20 @@ impl<T: Clone> Topic<T> {
         let offset = inner.end();
         inner.log.push_back(msg);
         inner.stats.published += 1;
-        Ok(offset)
+        (inner, Ok(offset))
+    }
+
+    /// Appends one message, returning its offset, or an error carrying the
+    /// message back when the topic is full and the policy refuses it.
+    pub fn try_publish(&self, msg: T) -> Result<u64, PublishError<T>> {
+        let inner = self.lock();
+        let (inner, result) = self.append_locked(inner, msg);
+        drop(inner);
+        if result.is_ok() {
+            // Wake consumers waiting in `poll_wait` for new data.
+            self.progress.notify_all();
+        }
+        result
     }
 
     /// Appends one message, returning its offset, or `None` when the topic
@@ -315,15 +333,52 @@ impl<T: Clone> Topic<T> {
         self.try_publish(msg).ok()
     }
 
-    /// Appends a batch, returning the offset of the first message that was
-    /// actually published — `None` for an empty batch or when every message
-    /// was refused.
+    /// Appends a batch under a **single lock acquisition** (a `Block` wait
+    /// mid-batch still releases the lock while waiting), returning the
+    /// offset of the first message that was actually published — `None` for
+    /// an empty batch or when every message was refused. Refused messages
+    /// are dropped and counted in [`TopicStats::rejected`]; use
+    /// [`publish_batch_all`](Self::publish_batch_all) to get them back.
     pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> Option<u64> {
+        self.publish_batch_inner(msgs, None)
+    }
+
+    /// Like [`publish_batch`](Self::publish_batch), but hands refused
+    /// messages back to the producer (in input order) instead of dropping
+    /// them, so a lossless producer can retry exactly what was not
+    /// appended.
+    pub fn publish_batch_all(&self, msgs: impl IntoIterator<Item = T>) -> (Option<u64>, Vec<T>) {
+        let mut refused = Vec::new();
+        let first = self.publish_batch_inner(msgs, Some(&mut refused));
+        (first, refused)
+    }
+
+    fn publish_batch_inner(
+        &self,
+        msgs: impl IntoIterator<Item = T>,
+        mut refused: Option<&mut Vec<T>>,
+    ) -> Option<u64> {
         let mut first = None;
+        let mut appended = false;
+        let mut inner = self.lock();
         for msg in msgs {
-            if let Some(offset) = self.publish(msg) {
-                first.get_or_insert(offset);
+            let (guard, result) = self.append_locked(inner, msg);
+            inner = guard;
+            match result {
+                Ok(offset) => {
+                    first.get_or_insert(offset);
+                    appended = true;
+                }
+                Err(err) => {
+                    if let Some(out) = refused.as_deref_mut() {
+                        out.push(err.into_inner());
+                    }
+                }
             }
+        }
+        drop(inner);
+        if appended {
+            self.progress.notify_all();
         }
         first
     }
@@ -454,6 +509,48 @@ impl<T: Clone> Consumer<T> {
             self.topic.note_progress();
         }
         Ok(batch)
+    }
+
+    /// Polls up to `max` messages, **waiting** up to `timeout` for data to
+    /// arrive when the topic is currently drained. Returns an empty batch
+    /// on timeout. Lag is reported exactly as in [`poll`](Self::poll).
+    ///
+    /// This is the blocking consume primitive of the sharded executor:
+    /// worker threads park here instead of spinning, and every publish
+    /// wakes them.
+    pub fn poll_wait(&mut self, max: usize, timeout: Duration) -> Result<Vec<T>, Lagged> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let offset = self.pos.load(Ordering::Acquire);
+            let mut inner = self.topic.lock();
+            let base = inner.base;
+            if base > offset {
+                drop(inner);
+                let skipped = base - offset;
+                self.skipped_total += skipped;
+                self.pos.store(base, Ordering::Release);
+                self.topic.note_progress();
+                return Err(Lagged { skipped });
+            }
+            let batch = self.read_locked(&inner, offset, max);
+            if !batch.is_empty() {
+                drop(inner);
+                self.pos.store(offset + batch.len() as u64, Ordering::Release);
+                self.topic.note_progress();
+                return Ok(batch);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Ok(Vec::new());
+            }
+            let (guard, _timeout) = self
+                .topic
+                .progress
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            drop(inner);
+        }
     }
 
     fn read_locked(&self, inner: &Inner<T>, from: u64, max: usize) -> Vec<T> {

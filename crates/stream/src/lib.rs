@@ -18,6 +18,10 @@
 //! * [`operator`] — the operator abstraction: a keyed, stateful
 //!   record-at-a-time transformer, with pipeline composition and a parallel
 //!   executor over key partitions.
+//! * [`parallel`] — the sharded parallel executor: key-hash partitioning
+//!   across worker threads over bounded backpressured topics, with stamped
+//!   outputs and a deterministic merge back into submission order (the
+//!   Flink `keyBy` + parallelism scaling model of §4.2).
 //! * [`cleaning`] — online data cleaning: plausibility filtering,
 //!   impossible-speed outlier rejection, duplicate and out-of-order
 //!   handling ("online data cleaning of erroneous data", §3).
@@ -37,6 +41,7 @@ pub mod fusion;
 pub mod insitu;
 pub mod lowlevel;
 pub mod operator;
+pub mod parallel;
 
 pub use bus::{Consumer, Lagged, MessageBus, OverflowPolicy, PublishError, Topic, TopicConfig, TopicHealth, TopicStats};
 pub use faults::{ChaosSource, ChaosTopic, Corrupt, FaultInjector, FaultPlan, FaultStats};
@@ -45,3 +50,7 @@ pub use cleaning::{CleaningConfig, CleaningOutcome, StreamCleaner};
 pub use insitu::{InSituProcessor, RunningStats, TrajectoryStats};
 pub use lowlevel::{AreaEvent, AreaEventKind, AreaMonitor};
 pub use operator::{KeyedOperator, Operator, Pipeline};
+pub use parallel::{
+    Directive, FinishedRun, SeqStamp, SequenceMerger, ShardAssigner, ShardPanic, ShardStage,
+    ShardedConfig, ShardedExecutor, Stamped,
+};

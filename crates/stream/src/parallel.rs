@@ -1,0 +1,779 @@
+//! Sharded parallel stream execution with a deterministic merge.
+//!
+//! The paper's central scalability claim is that the online layer keeps up
+//! with surveillance streams *by scaling with parallelism*: Flink
+//! hash-partitions the keyed per-entity state across operator instances and
+//! the output stream is reassembled downstream. This module reproduces that
+//! execution model natively:
+//!
+//! * [`ShardAssigner`] — deterministic key → shard routing (Fx hash of the
+//!   key, reduced modulo the shard count); the same key always lands on the
+//!   same shard, so per-key processing order is preserved.
+//! * [`SeqStamp`]/[`Stamped`] — every record is stamped at submission with
+//!   a **global sequence number** (its position in the input stream), its
+//!   shard, and a per-key sequence number.
+//! * [`SequenceMerger`] — a reorder buffer that reassembles the shard
+//!   outputs into the exact global input order, so the merged output stream
+//!   is **bit-identical** to a single-threaded run over the same input, not
+//!   merely per-key ordered.
+//! * [`ShardedExecutor`] — N worker threads, each owning one [`ShardStage`]
+//!   (a full per-key pipeline partition), fed through bounded
+//!   [`Topic`]s with [`OverflowPolicy::Block`] so a saturated shard
+//!   backpressures the submitter instead of buffering unboundedly.
+//!
+//! ## Ordering and determinism contract
+//!
+//! Records with the same key are processed by one shard in submission
+//! order, so any deterministic per-key stage produces per-key outputs
+//! identical to a sequential run. Because the merge orders by the global
+//! stamp, the *interleaving* is also reproduced exactly: consuming
+//! [`ShardedExecutor::poll`] yields outputs in submission order, always.
+//!
+//! ## Failure model
+//!
+//! The executor is lossless by construction: submission retries refused
+//! publishes (backpressure, not loss), workers retry output publishes, and
+//! [`ShardedExecutor::finish`] drains everything and reports
+//! `submitted == merged` (plus a duplicate counter from the merger, which
+//! must be zero). A worker that dies (a stage panic escaping `on_record`)
+//! is detected at the next barrier or at `finish`, and reported as a
+//! [`ShardPanic`] rather than a hang.
+
+use crate::bus::{Consumer, OverflowPolicy, Topic, TopicConfig};
+use datacron_geo::hash::{fx_hash, FxHashMap};
+use std::collections::BTreeMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Provenance stamps carried by every record through the sharded pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqStamp {
+    /// Position in the global input stream (0-based, gap-free).
+    pub global_seq: u64,
+    /// The shard that processed (or will process) the record.
+    pub shard: u32,
+    /// Position in the per-key substream (0-based per key).
+    pub key_seq: u64,
+}
+
+/// A value plus its pipeline stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// The stamps.
+    pub stamp: SeqStamp,
+    /// The value.
+    pub value: T,
+}
+
+/// What flows down a shard's input topic.
+#[derive(Debug, Clone)]
+pub enum Directive<T> {
+    /// Process one stamped record.
+    Record(Stamped<T>),
+    /// Emit end-of-stream state (barrier; the worker acknowledges).
+    Flush,
+    /// Emit a point-in-time snapshot (barrier; the worker acknowledges).
+    Snapshot,
+    /// Drain and exit, returning the stage to the coordinator.
+    Shutdown,
+}
+
+/// Deterministic key → shard routing.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardAssigner {
+    shards: u32,
+}
+
+impl ShardAssigner {
+    /// An assigner over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(shards <= u32::MAX as usize, "shard count fits u32");
+        Self { shards: shards as u32 }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard a key routes to. Deterministic across runs and processes.
+    pub fn assign<K: Hash>(&self, key: &K) -> u32 {
+        (fx_hash(key) % self.shards as u64) as u32
+    }
+}
+
+/// A reorder buffer that restores global submission order from
+/// shard-interleaved stamped outputs.
+#[derive(Debug)]
+pub struct SequenceMerger<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+    duplicates: u64,
+    max_pending: usize,
+}
+
+impl<T> Default for SequenceMerger<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SequenceMerger<T> {
+    /// An empty merger expecting sequence 0 first.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+            duplicates: 0,
+            max_pending: 0,
+        }
+    }
+
+    /// Offers one stamped value; appends to `out` every value that became
+    /// deliverable in order (possibly none, possibly many).
+    pub fn push(&mut self, global_seq: u64, value: T, out: &mut Vec<T>) {
+        if global_seq < self.next || self.pending.contains_key(&global_seq) {
+            self.duplicates += 1;
+            return;
+        }
+        self.pending.insert(global_seq, value);
+        self.max_pending = self.max_pending.max(self.pending.len());
+        while let Some(v) = self.pending.remove(&self.next) {
+            out.push(v);
+            self.next += 1;
+        }
+    }
+
+    /// The next global sequence number the merger will release — equal to
+    /// the number of values released so far.
+    pub fn released(&self) -> u64 {
+        self.next
+    }
+
+    /// Values buffered waiting for a gap to fill.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// High-water mark of the reorder buffer.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Stamped values that arrived twice (must be 0 in a healthy pipeline).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// `true` when nothing is buffered out of order.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// One shard's worth of pipeline: a stateful per-key stage.
+///
+/// `on_record` is called once per routed record, in submission order for
+/// records sharing a key. `on_flush`/`snapshot` answer the corresponding
+/// barriers.
+pub trait ShardStage: Send + 'static {
+    /// Input record type.
+    type In: Send + Clone + 'static;
+    /// Per-record output type.
+    type Out: Send + Clone + 'static;
+    /// End-of-stream output type.
+    type Flush: Send + Clone + 'static;
+    /// Point-in-time snapshot type.
+    type Snapshot: Send + Clone + 'static;
+
+    /// Processes one record.
+    fn on_record(&mut self, input: Self::In) -> Self::Out;
+    /// Emits end-of-stream state (e.g. trailing synopses).
+    fn on_flush(&mut self) -> Self::Flush;
+    /// Reports a point-in-time snapshot (e.g. health).
+    fn snapshot(&self) -> Self::Snapshot;
+}
+
+/// Capacity and pacing knobs of the sharded executor.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Worker thread / shard count.
+    pub shards: usize,
+    /// Bounded capacity of each shard's input topic; a full queue
+    /// backpressures [`ShardedExecutor::submit`].
+    pub queue_capacity: usize,
+    /// Capacity of the merged-output topic; `None` = unbounded (the
+    /// coordinator drains it on every submit, so it stays small in
+    /// practice).
+    pub output_capacity: Option<usize>,
+    /// How long one blocked handoff waits before retrying (liveness check
+    /// granularity, not a loss threshold — handoffs retry forever).
+    pub handoff_timeout: Duration,
+    /// How long a barrier ([`flush_all`](ShardedExecutor::flush_all),
+    /// [`snapshot_all`](ShardedExecutor::snapshot_all), `finish`) waits for
+    /// worker acknowledgements before declaring a shard dead.
+    pub barrier_timeout: Duration,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            output_capacity: None,
+            handoff_timeout: Duration::from_millis(200),
+            barrier_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with the given shard count and defaults otherwise.
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards, ..Self::default() }
+    }
+}
+
+/// A shard worker died mid-run (a stage panic escaped `on_record`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// Which shard.
+    pub shard: u32,
+    /// The panic message, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker panicked: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardPanic {}
+
+/// Everything `finish` hands back after a clean drain.
+#[derive(Debug)]
+pub struct FinishedRun<S: ShardStage> {
+    /// Merged outputs not yet taken via `poll`, in global order.
+    pub outputs: Vec<S::Out>,
+    /// The per-shard stages, in shard order, for post-run inspection.
+    pub stages: Vec<S>,
+    /// Records submitted over the executor's lifetime.
+    pub submitted: u64,
+    /// Outputs released by the merger over the executor's lifetime
+    /// (== `submitted` on a lossless run).
+    pub merged: u64,
+    /// Duplicate stamped outputs observed (must be 0).
+    pub duplicates: u64,
+    /// High-water mark of the reorder buffer.
+    pub max_reorder: usize,
+}
+
+/// N worker threads, each owning one [`ShardStage`], fed over bounded
+/// backpressured topics, with outputs merged back into submission order.
+pub struct ShardedExecutor<S: ShardStage> {
+    assigner: ShardAssigner,
+    inputs: Vec<Arc<Topic<Directive<S::In>>>>,
+    output_consumer: Consumer<Stamped<S::Out>>,
+    flush_consumer: Consumer<(u32, S::Flush)>,
+    snapshot_consumer: Consumer<(u32, S::Snapshot)>,
+    workers: Vec<JoinHandle<S>>,
+    key_seqs: FxHashMap<u64, u64>,
+    merger: SequenceMerger<S::Out>,
+    ready: Vec<S::Out>,
+    next_seq: u64,
+    barrier_timeout: Duration,
+}
+
+impl<S: ShardStage> ShardedExecutor<S> {
+    /// Spawns the shard workers. `make` is called once per shard, on the
+    /// caller's thread, to build that shard's stage.
+    pub fn new(config: ShardedConfig, mut make: impl FnMut(u32) -> S) -> Self {
+        let assigner = ShardAssigner::new(config.shards);
+        let output = Topic::with_config(
+            "shard-outputs",
+            TopicConfig {
+                capacity: config.output_capacity,
+                policy: OverflowPolicy::Block,
+                block_timeout: config.handoff_timeout,
+            },
+        );
+        let output_consumer = output.consumer();
+        let flushes: Arc<Topic<(u32, S::Flush)>> = Topic::new("shard-flushes");
+        let flush_consumer = flushes.consumer();
+        let snapshots: Arc<Topic<(u32, S::Snapshot)>> = Topic::new("shard-snapshots");
+        let snapshot_consumer = snapshots.consumer();
+        let mut inputs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards as u32 {
+            let input: Arc<Topic<Directive<S::In>>> = Topic::with_config(
+                format!("shard-{shard}-input"),
+                TopicConfig {
+                    capacity: Some(config.queue_capacity),
+                    policy: OverflowPolicy::Block,
+                    block_timeout: config.handoff_timeout,
+                },
+            );
+            let stage = make(shard);
+            let worker = {
+                let input = Arc::clone(&input);
+                let output = Arc::clone(&output);
+                let flushes = Arc::clone(&flushes);
+                let snapshots = Arc::clone(&snapshots);
+                std::thread::Builder::new()
+                    .name(format!("datacron-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, stage, input, output, flushes, snapshots))
+                    .expect("spawn shard worker")
+            };
+            inputs.push(input);
+            workers.push(worker);
+        }
+        Self {
+            assigner,
+            inputs,
+            output_consumer,
+            flush_consumer,
+            snapshot_consumer,
+            workers,
+            key_seqs: FxHashMap::default(),
+            merger: SequenceMerger::new(),
+            ready: Vec::new(),
+            next_seq: 0,
+            barrier_timeout: config.barrier_timeout,
+        }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.assigner.shards()
+    }
+
+    /// Records submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Outputs merged back into global order so far.
+    pub fn merged(&self) -> u64 {
+        self.merger.released()
+    }
+
+    /// Routes one keyed record to its shard, blocking (backpressure) while
+    /// that shard's queue is full. Returns the record's stamps.
+    ///
+    /// Also opportunistically drains finished outputs into the internal
+    /// ready buffer, so a submit-only loop cannot deadlock against a
+    /// bounded output topic.
+    pub fn submit(&mut self, key: &impl Hash, input: S::In) -> SeqStamp {
+        let key_hash = fx_hash(key);
+        let shard = (key_hash % self.assigner.shards as u64) as u32;
+        let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
+        let stamp = SeqStamp {
+            global_seq: self.next_seq,
+            shard,
+            key_seq: *key_seq,
+        };
+        *key_seq += 1;
+        self.next_seq += 1;
+        let mut msg = Directive::Record(Stamped { stamp, value: input });
+        loop {
+            match self.inputs[shard as usize].try_publish(msg) {
+                Ok(_) => break,
+                Err(err) => {
+                    // Backpressure: free output space and retry; never drop.
+                    msg = err.into_inner();
+                    self.drain_outputs();
+                }
+            }
+        }
+        self.drain_outputs();
+        stamp
+    }
+
+    /// Submits a batch of keyed records with **one handoff per shard**:
+    /// records are grouped by destination shard and appended to each shard
+    /// queue under a single lock acquisition ([`Topic::publish_batch_all`]),
+    /// retrying refused suffixes so nothing is lost.
+    pub fn submit_batch<K: Hash>(&mut self, items: impl IntoIterator<Item = (K, S::In)>) {
+        let shards = self.assigner.shards();
+        let mut per_shard: Vec<Vec<Directive<S::In>>> = (0..shards).map(|_| Vec::new()).collect();
+        for (key, input) in items {
+            let key_hash = fx_hash(&key);
+            let shard = (key_hash % self.assigner.shards as u64) as u32;
+            let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
+            let stamp = SeqStamp {
+                global_seq: self.next_seq,
+                shard,
+                key_seq: *key_seq,
+            };
+            *key_seq += 1;
+            self.next_seq += 1;
+            per_shard[shard as usize].push(Directive::Record(Stamped { stamp, value: input }));
+        }
+        for (shard, mut batch) in per_shard.into_iter().enumerate() {
+            while !batch.is_empty() {
+                let (_, refused) = self.inputs[shard].publish_batch_all(batch);
+                batch = refused;
+                if !batch.is_empty() {
+                    self.drain_outputs();
+                }
+            }
+        }
+        self.drain_outputs();
+    }
+
+    /// Takes every output whose global order is already reassembled, in
+    /// submission order. Non-blocking.
+    pub fn poll(&mut self) -> Vec<S::Out> {
+        self.drain_outputs();
+        std::mem::take(&mut self.ready)
+    }
+
+    fn drain_outputs(&mut self) {
+        loop {
+            let batch = self
+                .output_consumer
+                .poll(4096)
+                .unwrap_or_else(|lagged| {
+                    unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
+                });
+            if batch.is_empty() {
+                return;
+            }
+            for stamped in batch {
+                self.merger.push(stamped.stamp.global_seq, stamped.value, &mut self.ready);
+            }
+        }
+    }
+
+    /// Routes one directive to a shard queue, draining outputs between
+    /// backpressure retries so a worker blocked on a full output topic can
+    /// always make progress (no coordinator/worker deadlock).
+    fn send_directive(&mut self, shard: usize, msg: Directive<S::In>) {
+        let mut msg = msg;
+        loop {
+            match self.inputs[shard].try_publish(msg) {
+                Ok(_) => return,
+                Err(err) => {
+                    msg = err.into_inner();
+                    self.drain_outputs();
+                }
+            }
+        }
+    }
+
+    /// End-of-stream barrier: every worker finishes its queued records,
+    /// emits its flush output, and acknowledges. Returns the per-shard
+    /// flush outputs in shard order.
+    ///
+    /// # Panics
+    /// Panics with the dead shard's id when a worker fails to acknowledge
+    /// within the barrier timeout.
+    pub fn flush_all(&mut self) -> Vec<S::Flush> {
+        for shard in 0..self.shards() {
+            self.send_directive(shard, Directive::Flush);
+        }
+        let shards = self.shards();
+        let mut got: Vec<Option<S::Flush>> = (0..shards).map(|_| None).collect();
+        self.await_barrier("flush", &mut got, |exec, max, t| {
+            exec.flush_consumer
+                .poll_wait(max, t)
+                .unwrap_or_else(|lagged| unreachable!("unbounded topic never lags: {lagged:?}"))
+        });
+        self.drain_outputs();
+        got.into_iter().map(|f| f.expect("all shards acknowledged")).collect()
+    }
+
+    /// Snapshot barrier: every worker reports its stage snapshot after
+    /// finishing its queued records. Returns snapshots in shard order.
+    pub fn snapshot_all(&mut self) -> Vec<S::Snapshot> {
+        for shard in 0..self.shards() {
+            self.send_directive(shard, Directive::Snapshot);
+        }
+        let shards = self.shards();
+        let mut got: Vec<Option<S::Snapshot>> = (0..shards).map(|_| None).collect();
+        self.await_barrier("snapshot", &mut got, |exec, max, t| {
+            exec.snapshot_consumer
+                .poll_wait(max, t)
+                .unwrap_or_else(|lagged| unreachable!("unbounded topic never lags: {lagged:?}"))
+        });
+        self.drain_outputs();
+        got.into_iter().map(|s| s.expect("all shards acknowledged")).collect()
+    }
+
+    /// Waits for one acknowledgement per shard, draining outputs the whole
+    /// time so workers blocked on a bounded output topic can reach the
+    /// barrier.
+    fn await_barrier<A>(
+        &mut self,
+        what: &str,
+        got: &mut [Option<A>],
+        mut poll: impl FnMut(&mut Self, usize, Duration) -> Vec<(u32, A)>,
+    ) {
+        let shards = got.len();
+        let mut remaining = shards;
+        let deadline = std::time::Instant::now() + self.barrier_timeout;
+        while remaining > 0 {
+            self.drain_outputs();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{what} barrier timed out with {remaining} shard(s) unresponsive"
+            );
+            let batch = poll(self, shards, Duration::from_millis(10));
+            for (shard, ack) in batch {
+                if got[shard as usize].replace(ack).is_none() {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Shuts the workers down, drains every in-flight record, and returns
+    /// the merged remainder plus the per-shard stages. Lossless: on return,
+    /// `merged == submitted` unless a worker died, in which case this
+    /// panics with the shard's [`ShardPanic`] message.
+    pub fn finish(mut self) -> FinishedRun<S> {
+        for shard in 0..self.shards() {
+            self.send_directive(shard, Directive::Shutdown);
+        }
+        // Keep draining while workers wind down, so none can sit blocked on
+        // a full output topic with no consumer.
+        loop {
+            self.drain_outputs();
+            if self.workers.iter().all(|w| w.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut stages = Vec::with_capacity(self.workers.len());
+        for (shard, worker) in self.workers.drain(..).enumerate() {
+            match worker.join() {
+                Ok(stage) => stages.push(stage),
+                Err(payload) => {
+                    let message = crate::operator::panic_message(payload.as_ref());
+                    panic!("{}", ShardPanic { shard: shard as u32, message });
+                }
+            }
+        }
+        // All workers have exited; everything they published is in the
+        // output topic.
+        self.drain_outputs();
+        let outputs = std::mem::take(&mut self.ready);
+        assert!(
+            self.merger.is_drained(),
+            "merger holds {} out-of-order outputs after full drain (lost records?)",
+            self.merger.pending()
+        );
+        FinishedRun {
+            outputs,
+            stages,
+            submitted: self.next_seq,
+            merged: self.merger.released(),
+            duplicates: self.merger.duplicates(),
+            max_reorder: self.merger.max_pending(),
+        }
+    }
+}
+
+/// Publishes one directive, retrying on backpressure until it is appended.
+fn publish_reliable<T: Clone>(topic: &Topic<T>, msg: T) {
+    let mut msg = msg;
+    loop {
+        match topic.try_publish(msg) {
+            Ok(_) => return,
+            Err(err) => msg = err.into_inner(),
+        }
+    }
+}
+
+/// How many directives a worker pulls per wakeup.
+const WORKER_BATCH: usize = 256;
+/// How long a worker parks waiting for input before re-checking.
+const WORKER_PARK: Duration = Duration::from_millis(50);
+
+fn worker_loop<S: ShardStage>(
+    shard: u32,
+    mut stage: S,
+    input: Arc<Topic<Directive<S::In>>>,
+    output: Arc<Topic<Stamped<S::Out>>>,
+    flushes: Arc<Topic<(u32, S::Flush)>>,
+    snapshots: Arc<Topic<(u32, S::Snapshot)>>,
+) -> S {
+    let mut consumer = input.consumer();
+    let mut out_buf: Vec<Stamped<S::Out>> = Vec::new();
+    loop {
+        let batch = consumer
+            .poll_wait(WORKER_BATCH, WORKER_PARK)
+            .unwrap_or_else(|lagged| {
+                unreachable!("Block-bounded input topic never truncates unread data: {lagged:?}")
+            });
+        for directive in batch {
+            match directive {
+                Directive::Record(stamped) => {
+                    let value = stage.on_record(stamped.value);
+                    out_buf.push(Stamped { stamp: stamped.stamp, value });
+                }
+                Directive::Flush => {
+                    flush_outputs(&output, &mut out_buf);
+                    publish_reliable(&flushes, (shard, stage.on_flush()));
+                }
+                Directive::Snapshot => {
+                    flush_outputs(&output, &mut out_buf);
+                    publish_reliable(&snapshots, (shard, stage.snapshot()));
+                }
+                Directive::Shutdown => {
+                    flush_outputs(&output, &mut out_buf);
+                    return stage;
+                }
+            }
+        }
+        // Batched handoff: one publish per input batch, not per record.
+        flush_outputs(&output, &mut out_buf);
+    }
+}
+
+/// Publishes the buffered outputs losslessly, retrying refused suffixes.
+fn flush_outputs<T: Clone>(topic: &Topic<T>, buf: &mut Vec<T>) {
+    while !buf.is_empty() {
+        let (_, refused) = topic.publish_batch_all(buf.drain(..));
+        *buf = refused;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles its input; counts records; flush reports the count.
+    struct Doubler {
+        seen: u64,
+    }
+
+    impl ShardStage for Doubler {
+        type In = u64;
+        type Out = u64;
+        type Flush = u64;
+        type Snapshot = u64;
+
+        fn on_record(&mut self, input: u64) -> u64 {
+            self.seen += 1;
+            input * 2
+        }
+
+        fn on_flush(&mut self) -> u64 {
+            self.seen
+        }
+
+        fn snapshot(&self) -> u64 {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn assigner_is_deterministic_and_stable() {
+        let a = ShardAssigner::new(4);
+        for key in 0..1000u64 {
+            assert_eq!(a.assign(&key), a.assign(&key));
+            assert!(a.assign(&key) < 4);
+        }
+        assert_eq!(ShardAssigner::new(1).assign(&99u64), 0);
+    }
+
+    #[test]
+    fn merger_restores_global_order() {
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(2, "c", &mut out);
+        m.push(0, "a", &mut out);
+        assert_eq!(out, vec!["a"]);
+        m.push(1, "b", &mut out);
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert!(m.is_drained());
+        assert_eq!(m.released(), 3);
+        assert_eq!(m.duplicates(), 0);
+        assert_eq!(m.max_pending(), 2);
+    }
+
+    #[test]
+    fn merger_counts_duplicates() {
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(0, 10, &mut out);
+        m.push(0, 10, &mut out);
+        m.push(1, 11, &mut out);
+        m.push(1, 11, &mut out);
+        assert_eq!(out, vec![10, 11]);
+        assert_eq!(m.duplicates(), 2);
+    }
+
+    #[test]
+    fn executor_outputs_in_submission_order() {
+        for shards in [1usize, 2, 4] {
+            let mut exec = ShardedExecutor::new(
+                ShardedConfig::with_shards(shards),
+                |_| Doubler { seen: 0 },
+            );
+            let mut got = Vec::new();
+            for i in 0..500u64 {
+                exec.submit(&(i % 37), i);
+                got.extend(exec.poll());
+            }
+            let run = exec.finish();
+            got.extend(run.outputs);
+            assert_eq!(got, (0..500u64).map(|i| i * 2).collect::<Vec<_>>(), "{shards} shards");
+            assert_eq!(run.submitted, 500);
+            assert_eq!(run.merged, 500);
+            assert_eq!(run.duplicates, 0);
+            let total: u64 = run.stages.iter().map(|s| s.seen).sum();
+            assert_eq!(total, 500, "every record processed exactly once");
+        }
+    }
+
+    #[test]
+    fn executor_batch_submit_is_equivalent() {
+        let mut exec = ShardedExecutor::new(ShardedConfig::with_shards(3), |_| Doubler { seen: 0 });
+        exec.submit_batch((0..300u64).map(|i| (i % 11, i)));
+        let run = exec.finish();
+        assert_eq!(run.outputs, (0..300u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(run.merged, 300);
+    }
+
+    #[test]
+    fn flush_and_snapshot_barriers_account_for_every_record() {
+        let mut exec = ShardedExecutor::new(ShardedConfig::with_shards(4), |_| Doubler { seen: 0 });
+        for i in 0..200u64 {
+            exec.submit(&i, i);
+        }
+        let counts = exec.snapshot_all();
+        assert_eq!(counts.iter().sum::<u64>(), 200, "barrier sees all prior records");
+        let flushes = exec.flush_all();
+        assert_eq!(flushes.iter().sum::<u64>(), 200);
+        let run = exec.finish();
+        assert_eq!(run.merged, 200);
+    }
+
+    #[test]
+    fn bounded_queues_backpressure_without_loss() {
+        let mut exec = ShardedExecutor::new(
+            ShardedConfig {
+                shards: 2,
+                queue_capacity: 4,
+                output_capacity: Some(8),
+                ..ShardedConfig::default()
+            },
+            |_| Doubler { seen: 0 },
+        );
+        // Far more records than the queues hold: submission must block and
+        // drain rather than drop.
+        for i in 0..2000u64 {
+            exec.submit(&(i % 5), i);
+        }
+        let run = exec.finish();
+        assert_eq!(run.submitted, 2000);
+        assert_eq!(run.merged, 2000);
+        assert_eq!(run.duplicates, 0);
+    }
+}

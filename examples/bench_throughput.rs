@@ -1,0 +1,302 @@
+//! Offline throughput benchmark: the real-time layer, single-threaded vs.
+//! sharded (T-scale experiment; EXPERIMENTS.md).
+//!
+//! Replays one seeded synthetic fleet through the full per-record chain —
+//! first on a plain [`RealTimeLayer`], then through the
+//! [`ShardedRealTimeLayer`] at a sweep of shard counts — and writes a
+//! machine-readable `BENCH_throughput.json` with records/second per
+//! configuration plus end-to-end (submit → merged output) latency
+//! percentiles.
+//!
+//! No external harness: build with `--release` and run directly.
+//!
+//! ```text
+//! cargo run --release --example bench_throughput -- \
+//!     [--entities 64] [--reports 400] [--shards 1,2,4,8] [--seed 42] \
+//!     [--out BENCH_throughput.json] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the workload for CI smoke runs (finishes in seconds).
+//! The deterministic-merge contract means every configuration produces the
+//! same outputs; the benchmark verifies record counts as it goes.
+
+use datacron::core::realtime::RealTimeLayer;
+use datacron::core::sharded::ShardedRealTimeLayer;
+use datacron::core::DatacronConfig;
+use datacron::data::rng::SeededRng;
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, PositionReport, Timestamp};
+use datacron::stream::parallel::ShardedConfig;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    entities: u64,
+    reports: i64,
+    shards: Vec<usize>,
+    seed: u64,
+    out: String,
+    quick: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            entities: 64,
+            reports: 400,
+            shards: vec![1, 2, 4, 8],
+            seed: 42,
+            out: "BENCH_throughput.json".to_string(),
+            quick: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).unwrap_or_else(|| panic!("{} needs a value", argv[*i - 1])).clone()
+            };
+            match argv[i].as_str() {
+                "--entities" => args.entities = value(&mut i).parse().expect("--entities"),
+                "--reports" => args.reports = value(&mut i).parse().expect("--reports"),
+                "--seed" => args.seed = value(&mut i).parse().expect("--seed"),
+                "--out" => args.out = value(&mut i),
+                "--shards" => {
+                    args.shards = value(&mut i)
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--shards"))
+                        .collect();
+                }
+                "--quick" => args.quick = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if args.quick {
+            args.entities = args.entities.min(24);
+            args.reports = args.reports.min(120);
+        }
+        args
+    }
+}
+
+/// A seeded synthetic fleet with per-entity speed/heading dynamics: legs of
+/// steady cruising punctuated by turns, so the synopses stage emits a
+/// realistic mix of critical points (and the chain's downstream stages all
+/// do real work).
+fn fleet(entities: u64, reports_each: i64, seed: u64) -> Vec<PositionReport> {
+    let mut rng = SeededRng::new(seed);
+    struct Track {
+        pos: GeoPoint,
+        heading: f64,
+        speed: f64,
+        turn_in: i64,
+    }
+    let mut tracks: Vec<Track> = (0..entities)
+        .map(|_| Track {
+            pos: GeoPoint::new(rng.uniform(-4.0, 4.0), rng.uniform(37.0, 43.0)),
+            heading: rng.uniform(0.0, 360.0),
+            speed: rng.uniform(4.0, 12.0),
+            turn_in: rng.int_range(10, 40),
+        })
+        .collect();
+    let mut out = Vec::with_capacity((entities as usize) * (reports_each as usize));
+    for t in 0..reports_each {
+        for (e, track) in tracks.iter_mut().enumerate() {
+            track.turn_in -= 1;
+            if track.turn_in <= 0 {
+                track.heading = (track.heading + rng.uniform(-120.0, 120.0)).rem_euclid(360.0);
+                track.speed = (track.speed + rng.uniform(-3.0, 3.0)).clamp(1.0, 15.0);
+                track.turn_in = rng.int_range(10, 40);
+            }
+            track.pos = track.pos.destination(track.heading, track.speed * 10.0);
+            out.push(PositionReport {
+                speed_mps: track.speed,
+                heading_deg: track.heading,
+                ..PositionReport::basic(
+                    EntityId::vessel(e as u64 + 1),
+                    Timestamp::from_secs(t * 10),
+                    track.pos,
+                )
+            });
+        }
+    }
+    out
+}
+
+fn config() -> DatacronConfig {
+    DatacronConfig::maritime(BoundingBox::new(-10.0, 30.0, 10.0, 50.0))
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct RunResult {
+    shards: usize,
+    elapsed: Duration,
+    records: usize,
+    accepted: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_reorder: usize,
+}
+
+fn records_per_sec(records: usize, elapsed: Duration) -> f64 {
+    records as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// One sharded run: batched submission, latencies measured from submit to
+/// merged (globally ordered) output.
+fn run_sharded(input: &[PositionReport], shards: usize) -> RunResult {
+    let mut layer = ShardedRealTimeLayer::new(
+        config(),
+        Vec::new(),
+        Vec::new(),
+        ShardedConfig::with_shards(shards),
+    );
+    let mut submit_times: Vec<Instant> = Vec::with_capacity(input.len());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
+    let mut merged_so_far = 0usize;
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for chunk in input.chunks(512) {
+        let now = Instant::now();
+        submit_times.extend(std::iter::repeat_n(now, chunk.len()));
+        layer.ingest_batch(chunk.iter().copied());
+        for out in layer.poll_outputs() {
+            let done = Instant::now();
+            latencies_us.push(done.duration_since(submit_times[merged_so_far]).as_micros() as u64);
+            merged_so_far += 1;
+            accepted += out.output.accepted as u64;
+        }
+    }
+    let done = layer.finish();
+    let end = Instant::now();
+    for out in &done.outputs {
+        latencies_us.push(end.duration_since(submit_times[merged_so_far]).as_micros() as u64);
+        merged_so_far += 1;
+        accepted += out.output.accepted as u64;
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(merged_so_far, input.len(), "lossless run");
+    assert_eq!(done.duplicates, 0);
+    latencies_us.sort_unstable();
+    RunResult {
+        shards,
+        elapsed,
+        records: input.len(),
+        accepted,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_reorder: done.max_reorder,
+    }
+}
+
+fn run_single(input: &[PositionReport]) -> RunResult {
+    let mut layer = RealTimeLayer::new(config(), Vec::new(), Vec::new());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for r in input {
+        let t0 = Instant::now();
+        let out = layer.ingest(*r);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        accepted += out.accepted as u64;
+    }
+    let elapsed = started.elapsed();
+    latencies_us.sort_unstable();
+    RunResult {
+        shards: 0,
+        elapsed,
+        records: input.len(),
+        accepted,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_reorder: 0,
+    }
+}
+
+fn json_entry(r: &RunResult, baseline: f64) -> String {
+    let rps = records_per_sec(r.records, r.elapsed);
+    format!(
+        "{{\"shards\": {}, \"records_per_sec\": {:.1}, \"elapsed_ms\": {:.3}, \
+         \"speedup_vs_single\": {:.3}, \"accepted\": {}, \
+         \"latency_us\": {{\"p50\": {}, \"p99\": {}}}, \"max_reorder\": {}}}",
+        r.shards,
+        rps,
+        r.elapsed.as_secs_f64() * 1e3,
+        rps / baseline,
+        r.accepted,
+        r.p50_us,
+        r.p99_us,
+        r.max_reorder,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let input = fleet(args.entities, args.reports, args.seed);
+    println!(
+        "bench_throughput: {} entities x {} reports = {} records, seed {}, {} core(s){}",
+        args.entities,
+        args.reports,
+        input.len(),
+        args.seed,
+        cores,
+        if args.quick { " [quick]" } else { "" },
+    );
+
+    // Warm-up pass (page in code and allocator arenas), then the measured
+    // single-threaded baseline.
+    let _ = run_single(&input[..input.len().min(2048)]);
+    let single = run_single(&input);
+    let baseline = records_per_sec(single.records, single.elapsed);
+    println!(
+        "  single-threaded : {:>9.0} rec/s  (p50 {} us, p99 {} us)",
+        baseline, single.p50_us, single.p99_us
+    );
+
+    let mut sharded_results = Vec::new();
+    for &shards in &args.shards {
+        let r = run_sharded(&input, shards);
+        assert_eq!(
+            r.accepted, single.accepted,
+            "sharded run must accept exactly the single-threaded records"
+        );
+        println!(
+            "  {:>2} shard(s)     : {:>9.0} rec/s  ({:.2}x, p50 {} us, p99 {} us, reorder {})",
+            shards,
+            records_per_sec(r.records, r.elapsed),
+            records_per_sec(r.records, r.elapsed) / baseline,
+            r.p50_us,
+            r.p99_us,
+            r.max_reorder
+        );
+        sharded_results.push(r);
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"throughput\",").unwrap();
+    writeln!(json, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(json, "  \"quick\": {},", args.quick).unwrap();
+    writeln!(json, "  \"entities\": {},", args.entities).unwrap();
+    writeln!(json, "  \"reports_per_entity\": {},", args.reports).unwrap();
+    writeln!(json, "  \"records\": {},", input.len()).unwrap();
+    writeln!(json, "  \"single\": {},", json_entry(&single, baseline)).unwrap();
+    writeln!(json, "  \"sharded\": [").unwrap();
+    for (i, r) in sharded_results.iter().enumerate() {
+        let sep = if i + 1 < sharded_results.len() { "," } else { "" };
+        writeln!(json, "    {}{}", json_entry(r, baseline), sep).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    println!("wrote {}", args.out);
+}

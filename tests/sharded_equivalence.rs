@@ -1,0 +1,223 @@
+//! Sharded-vs-single-threaded equivalence: the `ShardedRealTimeLayer` must
+//! produce an output stream **positionally identical** to a plain
+//! `RealTimeLayer` fed the same input — per-record outputs, end-of-stream
+//! flush, health counters and dead-letter labels — for every shard count,
+//! with and without fault injection, and lose nothing on shutdown.
+
+use datacron::core::realtime::{HealthReport, IngestOutput, RealTimeLayer};
+use datacron::core::sharded::ShardedRealTimeLayer;
+use datacron::core::DatacronConfig;
+use datacron::data::rng::SeededRng;
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
+use datacron::stream::faults::{ChaosSource, FaultPlan};
+use datacron::stream::parallel::ShardedConfig;
+use datacron::synopses::CriticalPoint;
+
+const SEEDS: [u64; 4] = [3, 11, 42, 9001];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config() -> DatacronConfig {
+    DatacronConfig::maritime(BoundingBox::new(-6.0, 36.0, 6.0, 44.0))
+}
+
+type Context = (Vec<(u64, Polygon)>, Vec<(u64, GeoPoint)>);
+
+fn context() -> Context {
+    let regions = vec![
+        (7u64, Polygon::rect(BoundingBox::new(-1.0, 39.0, 1.0, 41.0))),
+        (8u64, Polygon::rect(BoundingBox::new(1.5, 37.5, 3.5, 39.5))),
+    ];
+    let ports = vec![(3u64, GeoPoint::new(0.0, 40.0)), (4u64, GeoPoint::new(2.0, 38.0))];
+    (regions, ports)
+}
+
+/// A seeded maneuvering fleet: legs of steady cruising punctuated by turns
+/// and speed changes, so every stage of the chain (synopses, area events,
+/// links, RDF) does real work.
+fn fleet(seed: u64) -> Vec<PositionReport> {
+    let mut rng = SeededRng::new(seed);
+    let entities = 10 + seed % 5;
+    let reports_each = 60i64;
+    struct Track {
+        pos: GeoPoint,
+        heading: f64,
+        speed: f64,
+        turn_in: i64,
+    }
+    let mut tracks: Vec<Track> = (0..entities)
+        .map(|_| Track {
+            pos: GeoPoint::new(rng.uniform(-2.0, 3.0), rng.uniform(38.0, 41.0)),
+            heading: rng.uniform(0.0, 360.0),
+            speed: rng.uniform(4.0, 12.0),
+            turn_in: rng.int_range(5, 20),
+        })
+        .collect();
+    let mut out = Vec::new();
+    for t in 0..reports_each {
+        for (e, track) in tracks.iter_mut().enumerate() {
+            track.turn_in -= 1;
+            if track.turn_in <= 0 {
+                track.heading = (track.heading + rng.uniform(-120.0, 120.0)).rem_euclid(360.0);
+                track.speed = (track.speed + rng.uniform(-3.0, 3.0)).clamp(1.0, 15.0);
+                track.turn_in = rng.int_range(5, 20);
+            }
+            track.pos = track.pos.destination(track.heading, track.speed * 10.0);
+            out.push(PositionReport {
+                speed_mps: track.speed,
+                heading_deg: track.heading,
+                ..PositionReport::basic(
+                    EntityId::vessel(e as u64),
+                    Timestamp::from_secs(t * 10),
+                    track.pos,
+                )
+            });
+        }
+    }
+    out
+}
+
+/// A per-entity stage that panics on one poisoned entity, exercising
+/// supervision (restarts, quarantine, dead letters) identically in the
+/// single-threaded and sharded runs.
+fn poison_stage(r: &PositionReport) {
+    assert!(r.entity != EntityId::vessel(3), "poison record");
+}
+
+struct SingleRun {
+    outputs: Vec<IngestOutput>,
+    flush: Vec<CriticalPoint>,
+    health: HealthReport,
+}
+
+fn run_single(input: &[PositionReport], poisoned: bool) -> SingleRun {
+    let (regions, ports) = context();
+    let mut layer = RealTimeLayer::new(config(), regions, ports);
+    if poisoned {
+        layer.attach_entity_stage(poison_stage);
+    }
+    let outputs: Vec<IngestOutput> = input.iter().map(|r| layer.ingest(*r)).collect();
+    let flush = layer.flush();
+    let health = layer.health();
+    SingleRun { outputs, flush, health }
+}
+
+/// Runs the same input through the sharded layer and asserts bit-for-bit
+/// equivalence with the single-threaded reference (outputs compared via
+/// their `Debug` form, which spells every `f64` exactly as produced).
+fn assert_equivalent(input: &[PositionReport], reference: &SingleRun, shards: usize, poisoned: bool, label: &str) {
+    let (regions, ports) = context();
+    let mut sharded = ShardedRealTimeLayer::with_setup(
+        config(),
+        regions,
+        ports,
+        ShardedConfig::with_shards(shards),
+        |layer| {
+            if poisoned {
+                layer.attach_entity_stage(poison_stage);
+            }
+        },
+    );
+    let mut got = Vec::new();
+    for chunk in input.chunks(256) {
+        sharded.ingest_batch(chunk.iter().copied());
+        got.extend(sharded.poll_outputs());
+    }
+    let flush = sharded.flush();
+    let done = sharded.finish();
+    got.extend(done.outputs);
+
+    assert_eq!(done.submitted, input.len() as u64, "{label}");
+    assert_eq!(done.merged, input.len() as u64, "{label}: lossless merge");
+    assert_eq!(done.duplicates, 0, "{label}: exactly-once");
+    assert_eq!(got.len(), reference.outputs.len(), "{label}");
+    for (i, (g, e)) in got.iter().zip(&reference.outputs).enumerate() {
+        // Debug form spells every f64 bit-faithfully (and NaN == NaN as
+        // text, which chaos-corrupted records require).
+        assert_eq!(
+            format!("{:?}", g.report),
+            format!("{:?}", input[i]),
+            "{label}: record {i} arrives in submission order"
+        );
+        assert_eq!(
+            format!("{:?}", g.output),
+            format!("{e:?}"),
+            "{label}: output {i} must be bit-identical"
+        );
+    }
+    // Dead-letter equivalence in global order: the rejection labels ride on
+    // the merged output stream.
+    let got_rejects: Vec<_> = got.iter().map(|o| o.output.rejected).collect();
+    let want_rejects: Vec<_> = reference.outputs.iter().map(|o| o.rejected).collect();
+    assert_eq!(got_rejects, want_rejects, "{label}: dead-letter labels");
+
+    assert_eq!(
+        format!("{flush:?}"),
+        format!("{:?}", reference.flush),
+        "{label}: end-of-stream flush"
+    );
+    assert_eq!(
+        format!("{:?}", done.health),
+        format!("{:?}", reference.health),
+        "{label}: merged health report"
+    );
+}
+
+#[test]
+fn sharded_output_stream_matches_single_threaded() {
+    for seed in SEEDS {
+        let input = fleet(seed);
+        let reference = run_single(&input, false);
+        assert!(
+            reference.outputs.iter().any(|o| !o.critical_points.is_empty()),
+            "seed {seed}: the fleet must exercise the synopses stage"
+        );
+        for shards in SHARD_COUNTS {
+            assert_equivalent(&input, &reference, shards, false, &format!("seed {seed}, {shards} shards"));
+        }
+    }
+}
+
+#[test]
+fn sharded_run_matches_under_fault_injection_and_supervision() {
+    for seed in SEEDS {
+        // Materialise the chaos stream once: ChaosSource is deterministic
+        // for a seed, and both runs must see the byte-identical input.
+        let input: Vec<PositionReport> =
+            ChaosSource::new(fleet(seed).into_iter(), FaultPlan::chaos(seed)).collect();
+        let reference = run_single(&input, true);
+        assert!(
+            reference.health.panics > 0,
+            "seed {seed}: the poisoned entity must exercise supervision"
+        );
+        for shards in SHARD_COUNTS {
+            assert_equivalent(
+                &input,
+                &reference,
+                shards,
+                true,
+                &format!("chaos seed {seed}, {shards} shards"),
+            );
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_everything_without_loss_or_duplication() {
+    let input = fleet(42);
+    let (regions, ports) = context();
+    let mut sharded =
+        ShardedRealTimeLayer::new(config(), regions, ports, ShardedConfig::with_shards(4));
+    // Submit everything and immediately shut down, never polling: finish
+    // must still drain and merge every in-flight record exactly once.
+    sharded.ingest_batch(input.iter().copied());
+    let done = sharded.finish();
+    assert_eq!(done.submitted, input.len() as u64);
+    assert_eq!(done.merged, input.len() as u64);
+    assert_eq!(done.duplicates, 0);
+    assert_eq!(done.outputs.len(), input.len());
+    for (i, out) in done.outputs.iter().enumerate() {
+        assert_eq!(out.report, input[i], "record {i} in submission order");
+    }
+    let processed: u64 = done.health.accepted + done.health.rejected;
+    assert_eq!(processed, input.len() as u64, "every record accounted for");
+}
