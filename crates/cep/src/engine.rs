@@ -18,6 +18,18 @@ pub struct StepOutput {
     pub forecast: Option<ForecastInterval>,
 }
 
+/// Resumable snapshot of a [`Wayeb`] engine's online state (the model is
+/// not serialised; restore onto an engine built from the same pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayebState {
+    /// Current DFA state.
+    pub dfa_state: usize,
+    /// Current m-symbol context.
+    pub context: usize,
+    /// Events consumed so far.
+    pub consumed: usize,
+}
+
 /// The online engine.
 #[derive(Debug, Clone)]
 pub struct Wayeb {
@@ -66,6 +78,20 @@ impl Wayeb {
         self.dfa_state = self.pmc.dfa().start();
         self.context = 0;
         self.consumed = 0;
+    }
+
+    /// Snapshots the online state for checkpointing.
+    pub fn online_state(&self) -> WayebState {
+        WayebState { dfa_state: self.dfa_state, context: self.context, consumed: self.consumed }
+    }
+
+    /// Restores a checkpointed online state onto this engine. The engine
+    /// must have been built from the same pattern/model as the one the
+    /// state was captured from.
+    pub fn restore_online_state(&mut self, state: WayebState) {
+        self.dfa_state = state.dfa_state;
+        self.context = state.context;
+        self.consumed = state.consumed;
     }
 
     /// Consumes one event.

@@ -28,6 +28,10 @@
 //!   threads (the paper's Flink-parallelism scaling model): one full
 //!   pipeline partition per shard, stamped outputs, deterministic merge
 //!   back into submission order.
+//! * [`durable`] — crash durability: every report write-ahead logged
+//!   before processing, the full system state checkpointed on an
+//!   interval, and recovery that replays the log suffix so a restarted
+//!   run's outputs are bit-identical to an uninterrupted one.
 //! * [`batch`] — the batch layer: drains the real-time topics into the
 //!   spatio-temporal knowledge store and answers star queries.
 //! * [`offline`] — the batch-layer analytics: trajectory reconstruction
@@ -37,6 +41,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod durable;
 pub mod offline;
 pub mod realtime;
 pub mod sharded;
@@ -44,9 +49,10 @@ pub mod system;
 
 pub use batch::BatchLayer;
 pub use config::{DatacronConfig, Domain};
+pub use durable::{DurabilityConfig, DurabilityHealth, RecoveryReport, SystemState};
 pub use realtime::{
-    ComponentStatus, DeadLetter, EntityHealth, HealthReport, IngestOutput, RealTimeLayer,
-    RejectReason, SupervisionConfig,
+    ComponentStatus, DeadLetter, EntityHealth, HealthReport, IngestOutput, LayerState,
+    RealTimeLayer, RejectReason, SupervisionConfig,
 };
 pub use sharded::{RealTimeShard, ShardOutput, ShardedRealTimeLayer, ShardedShutdown};
 pub use system::{DatacronSystem, SituationPicture};

@@ -16,22 +16,23 @@
 //! reports per-entity status and counters.
 
 use crate::config::DatacronConfig;
-use datacron_cep::Wayeb;
+use datacron_cep::{Wayeb, WayebState};
+use datacron_durability::TopicCheckpoint;
 use datacron_geo::hash::FxHashMap;
 use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
-use datacron_linkdisc::{Link, LinkerConfig, StaticLinker};
+use datacron_linkdisc::{Link, LinkStats, LinkerConfig, StaticLinker};
 use datacron_predict::flp::Predictor;
 use datacron_predict::RmfStarPredictor;
 use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
 use datacron_rdf::generator::TripleGenerator;
 use datacron_rdf::term::Triple;
 use datacron_stream::bus::{Topic, TopicHealth};
-use datacron_stream::cleaning::{CleaningOutcome, StreamCleaner};
+use datacron_stream::cleaning::{CleanerState, CleaningOutcome, StreamCleaner};
 use datacron_stream::fusion::{CrossStreamFusion, FusionConfig, SourceId};
 use datacron_stream::insitu::InSituProcessor;
 use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
 use datacron_stream::operator::panic_message;
-use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator};
+use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator, SynopsesState};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -109,6 +110,10 @@ pub struct HealthReport {
     pub degraded: Vec<EntityHealth>,
     /// Health of the output topics, sorted by name.
     pub topics: Vec<TopicHealth>,
+    /// Write-ahead-log / checkpoint counters, when durability is enabled on
+    /// the owning [`DatacronSystem`](crate::DatacronSystem) (`None` here and
+    /// for per-shard reports).
+    pub durability: Option<crate::durable::DurabilityHealth>,
 }
 
 impl HealthReport {
@@ -135,12 +140,17 @@ pub struct SupervisionConfig {
     ///   horizon after its last incident (deterministic per entity, so the
     ///   sharded and single-threaded pipelines agree), and
     /// * by a periodic sweep against the layer's event-time watermark
-    ///   (every [`SWEEP_INTERVAL`] ingests), which reclaims records of
-    ///   entities that never report again.
+    ///   (every [`sweep_interval`](Self::sweep_interval) ingests), which
+    ///   reclaims records of entities that never report again.
     pub idle_horizon_s: Option<i64>,
+    /// How many ingests between idle-supervision sweeps. Lower values bound
+    /// supervision memory more tightly at the cost of more frequent scans;
+    /// defaults to [`SWEEP_INTERVAL`]. A value of 0 sweeps on every ingest.
+    pub sweep_interval: u64,
 }
 
-/// How many ingests between idle-supervision sweeps.
+/// Default number of ingests between idle-supervision sweeps
+/// ([`SupervisionConfig::sweep_interval`]).
 pub const SWEEP_INTERVAL: u64 = 4096;
 
 impl Default for SupervisionConfig {
@@ -150,6 +160,7 @@ impl Default for SupervisionConfig {
             // One week of event time: generous enough that no test fleet or
             // realistic replay forgives a restart history by accident.
             idle_horizon_s: Some(7 * 86_400),
+            sweep_interval: SWEEP_INTERVAL,
         }
     }
 }
@@ -366,7 +377,7 @@ impl RealTimeLayer {
             self.watermark = report.ts;
         }
         self.ingests_since_sweep += 1;
-        if self.ingests_since_sweep >= SWEEP_INTERVAL {
+        if self.ingests_since_sweep >= self.config.supervision.sweep_interval {
             self.evict_idle_supervision();
         }
 
@@ -435,7 +446,8 @@ impl RealTimeLayer {
     /// incident fell more than the configured horizon behind the layer's
     /// event-time watermark; their restart history is forgiven. Returns how
     /// many records were evicted. Called automatically every
-    /// [`SWEEP_INTERVAL`] ingests; callable explicitly from long replays.
+    /// [`SupervisionConfig::sweep_interval`] ingests; callable explicitly
+    /// from long replays.
     pub fn evict_idle_supervision(&mut self) -> usize {
         self.ingests_since_sweep = 0;
         let Some(horizon) = self.config.supervision.idle_horizon_s else {
@@ -580,6 +592,7 @@ impl RealTimeLayer {
             quarantined_entities,
             degraded,
             topics,
+            durability: None,
         }
     }
 
@@ -642,6 +655,200 @@ impl RealTimeLayer {
         v.sort();
         v
     }
+
+    /// Captures the layer's complete durable state: per-entity operator
+    /// snapshots, supervision records, layer counters, area-monitor
+    /// residency, linker/RDF counters and all six output topics. Entities
+    /// are sorted, so two identical runs produce byte-identical encodings.
+    ///
+    /// Deliberately excluded: in-situ running statistics (advisory
+    /// annotations, not observable through any output topic) and the
+    /// fusion front-end buffer (records inside it have not yet been
+    /// write-ahead logged, so recovery re-feeds them from the source).
+    pub fn checkpoint_state(&self) -> LayerState {
+        let mut entities: Vec<EntityCheckpoint> = self
+            .entities
+            .iter()
+            .map(|(entity, s)| EntityCheckpoint {
+                entity: *entity,
+                cleaner: s.cleaner.state(),
+                synopses: s.synopses.state(),
+                history: s.history.iter().copied().collect(),
+                cep: s.cep.as_ref().map(Wayeb::online_state),
+            })
+            .collect();
+        entities.sort_by_key(|e| e.entity);
+        let mut supervision: Vec<SupervisionCheckpoint> = self
+            .supervision
+            .iter()
+            .map(|(entity, s)| SupervisionCheckpoint {
+                entity: *entity,
+                restarts: s.restarts,
+                quarantined: s.quarantined,
+                last_incident: s.last_incident,
+            })
+            .collect();
+        supervision.sort_by_key(|s| s.entity);
+        LayerState {
+            entities,
+            supervision,
+            accepted_total: self.accepted_total,
+            panics_total: self.panics_total,
+            restarts_total: self.restarts_total,
+            supervision_evictions: self.supervision_evictions,
+            watermark: self.watermark,
+            ingests_since_sweep: self.ingests_since_sweep,
+            monitor_inside: self.monitor.inside_state(),
+            linker_stats: self.linker.stats(),
+            rdf_generated: self.rdfizer.generated(),
+            rdf_skipped: self.rdfizer.skipped_patterns(),
+            cleaned: topic_checkpoint(&self.cleaned),
+            critical: topic_checkpoint(&self.critical),
+            area_events: topic_checkpoint(&self.area_events),
+            triples: topic_checkpoint(&self.triples),
+            links: topic_checkpoint(&self.links),
+            dead_letters: topic_checkpoint(&self.dead_letters),
+        }
+    }
+
+    /// Restores the layer to a state captured by
+    /// [`checkpoint_state`](Self::checkpoint_state). Structural
+    /// configuration (regions, ports, CEP pattern, attached stages) is NOT
+    /// part of the state — the caller must have built this layer with the
+    /// same configuration and attachments as the one that checkpointed.
+    pub fn restore_state(&mut self, state: LayerState) {
+        self.entities.clear();
+        for e in state.entities {
+            let cep = match (&self.cep_template, e.cep) {
+                (Some(template), Some(ws)) => {
+                    let mut engine = template.clone();
+                    engine.restore_online_state(ws);
+                    Some(engine)
+                }
+                _ => None,
+            };
+            self.entities.insert(
+                e.entity,
+                EntityState {
+                    cleaner: StreamCleaner::restore(self.config.cleaning.clone(), e.cleaner),
+                    // Fresh in-situ state: its annotations are advisory and
+                    // discarded by the chain (see `process_accepted`).
+                    insitu: InSituProcessor::new(),
+                    synopses: SynopsesGenerator::restore(self.config.synopses.clone(), e.synopses),
+                    history: e.history.into_iter().collect(),
+                    cep,
+                },
+            );
+        }
+        self.supervision.clear();
+        for s in state.supervision {
+            self.supervision.insert(
+                s.entity,
+                Supervision {
+                    restarts: s.restarts,
+                    quarantined: s.quarantined,
+                    last_incident: s.last_incident,
+                },
+            );
+        }
+        self.accepted_total = state.accepted_total;
+        self.panics_total = state.panics_total;
+        self.restarts_total = state.restarts_total;
+        self.supervision_evictions = state.supervision_evictions;
+        self.watermark = state.watermark;
+        self.ingests_since_sweep = state.ingests_since_sweep;
+        self.monitor.restore_inside_state(state.monitor_inside);
+        self.linker.restore_stats(state.linker_stats);
+        self.rdfizer.restore_counters(state.rdf_generated, state.rdf_skipped);
+        restore_topic(&self.cleaned, state.cleaned);
+        restore_topic(&self.critical, state.critical);
+        restore_topic(&self.area_events, state.area_events);
+        restore_topic(&self.triples, state.triples);
+        restore_topic(&self.links, state.links);
+        restore_topic(&self.dead_letters, state.dead_letters);
+    }
+}
+
+fn topic_checkpoint<T: Clone>(topic: &Topic<T>) -> TopicCheckpoint<T> {
+    let (base, stats, retained) = topic.durable_state();
+    TopicCheckpoint { base, stats, retained }
+}
+
+fn restore_topic<T: Clone>(topic: &Topic<T>, ckpt: TopicCheckpoint<T>) {
+    topic.restore_state(ckpt.base, ckpt.stats, ckpt.retained);
+}
+
+/// Durable snapshot of one entity's streaming state (one element of a
+/// [`LayerState`]).
+#[derive(Debug, Clone)]
+pub struct EntityCheckpoint {
+    /// The entity.
+    pub entity: EntityId,
+    /// Online-cleaner state.
+    pub cleaner: CleanerState,
+    /// Synopses-generator state.
+    pub synopses: SynopsesState,
+    /// FLP history window, oldest first.
+    pub history: Vec<PositionReport>,
+    /// CEP engine run-state, when a pattern is attached.
+    pub cep: Option<WayebState>,
+}
+
+/// Durable snapshot of one entity's supervision record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionCheckpoint {
+    /// The entity.
+    pub entity: EntityId,
+    /// Restarts performed for it.
+    pub restarts: u32,
+    /// Whether it is quarantined.
+    pub quarantined: bool,
+    /// Event time of its last incident.
+    pub last_incident: Timestamp,
+}
+
+/// The complete durable state of a [`RealTimeLayer`], captured by
+/// [`RealTimeLayer::checkpoint_state`] and applied by
+/// [`RealTimeLayer::restore_state`]. Encodable via the
+/// `datacron-durability` codec (impl in [`crate::durable`]).
+#[derive(Debug, Clone)]
+pub struct LayerState {
+    /// Per-entity operator snapshots, sorted by entity.
+    pub entities: Vec<EntityCheckpoint>,
+    /// Supervision records, sorted by entity.
+    pub supervision: Vec<SupervisionCheckpoint>,
+    /// Records fully processed.
+    pub accepted_total: u64,
+    /// Panics caught.
+    pub panics_total: u64,
+    /// Restarts performed.
+    pub restarts_total: u64,
+    /// Idle supervision records evicted.
+    pub supervision_evictions: u64,
+    /// Event-time watermark.
+    pub watermark: Timestamp,
+    /// Ingests since the last idle sweep.
+    pub ingests_since_sweep: u64,
+    /// Area-monitor residency: `(entity, sorted area ids)`, sorted.
+    pub monitor_inside: Vec<(EntityId, Vec<u64>)>,
+    /// Link-discovery counters.
+    pub linker_stats: LinkStats,
+    /// RDF triples generated.
+    pub rdf_generated: u64,
+    /// RDF patterns skipped.
+    pub rdf_skipped: u64,
+    /// The `cleaned` topic.
+    pub cleaned: TopicCheckpoint<PositionReport>,
+    /// The `critical-points` topic.
+    pub critical: TopicCheckpoint<CriticalPoint>,
+    /// The `area-events` topic.
+    pub area_events: TopicCheckpoint<AreaEvent>,
+    /// The `triples` topic.
+    pub triples: TopicCheckpoint<Triple>,
+    /// The `links` topic.
+    pub links: TopicCheckpoint<Link>,
+    /// The `dead-letters` topic.
+    pub dead_letters: TopicCheckpoint<DeadLetter>,
 }
 
 /// The standard maritime CEP symbol alphabet used by the examples and

@@ -30,7 +30,7 @@
 
 use crate::config::DatacronConfig;
 use crate::realtime::{
-    ComponentStatus, HealthReport, IngestOutput, RealTimeLayer, RejectReason,
+    ComponentStatus, HealthReport, IngestOutput, LayerState, RealTimeLayer, RejectReason,
 };
 use datacron_geo::{GeoPoint, Polygon, PositionReport};
 use datacron_stream::bus::TopicHealth;
@@ -80,6 +80,7 @@ impl ShardStage for RealTimeShard {
     type Out = ShardOutput;
     type Flush = Vec<CriticalPoint>;
     type Snapshot = HealthReport;
+    type Checkpoint = LayerState;
 
     fn on_record(&mut self, report: PositionReport) -> ShardOutput {
         let output = self.layer.ingest(report);
@@ -92,6 +93,10 @@ impl ShardStage for RealTimeShard {
 
     fn snapshot(&self) -> HealthReport {
         self.layer.health()
+    }
+
+    fn checkpoint(&self) -> LayerState {
+        self.layer.checkpoint_state()
     }
 }
 
@@ -157,6 +162,38 @@ impl ShardedRealTimeLayer {
         Self { exec }
     }
 
+    /// Rebuilds a sharded layer from per-shard checkpoint states (one
+    /// [`LayerState`] per shard, in shard order, as returned by
+    /// [`checkpoint`](Self::checkpoint)). The shard count is taken from
+    /// `states.len()` and must match the count that checkpointed — entity
+    /// → shard routing is deterministic, so each state lands back on the
+    /// shard that produced it. `setup` runs on each fresh layer *before*
+    /// its state is applied, exactly as in
+    /// [`with_setup`](Self::with_setup).
+    pub fn with_states(
+        config: DatacronConfig,
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+        mut options: ShardedConfig,
+        states: Vec<LayerState>,
+        setup: impl Fn(&mut RealTimeLayer),
+    ) -> Self {
+        options.shards = states.len();
+        let slots = std::cell::RefCell::new(
+            states.into_iter().map(Some).collect::<Vec<Option<LayerState>>>(),
+        );
+        let exec = ShardedExecutor::new(options, |shard| {
+            let mut layer = RealTimeLayer::new(config.clone(), regions.clone(), ports.clone());
+            setup(&mut layer);
+            let state = slots.borrow_mut()[shard as usize]
+                .take()
+                .expect("one state per shard, used once");
+            layer.restore_state(state);
+            RealTimeShard { layer }
+        });
+        Self { exec }
+    }
+
     /// The shard count.
     pub fn shards(&self) -> usize {
         self.exec.shards()
@@ -209,6 +246,15 @@ impl ShardedRealTimeLayer {
     /// Per-shard health reports, in shard order (snapshot barrier).
     pub fn health_by_shard(&mut self) -> Vec<HealthReport> {
         self.exec.snapshot_all()
+    }
+
+    /// Checkpoint barrier: every shard finishes its queued records and
+    /// captures its complete durable state. The returned states (shard
+    /// order) form a consistent cut — every record ingested before the
+    /// call is reflected, none after — and feed
+    /// [`with_states`](Self::with_states) to resume a run.
+    pub fn checkpoint(&mut self) -> Vec<LayerState> {
+        self.exec.checkpoint_all()
     }
 
     /// Shuts the shards down, drains every in-flight record and returns
@@ -373,6 +419,65 @@ mod tests {
         assert_eq!(format!("{merged:?}"), format!("{expected:?}"));
         let done = sharded.finish();
         assert_eq!(format!("{:?}", done.health), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identically() {
+        let input = fleet(10, 30);
+        let (head, tail) = input.split_at(input.len() / 2);
+
+        // Uninterrupted sharded run over the whole input.
+        let mut full = ShardedRealTimeLayer::new(
+            config(),
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(3),
+        );
+        let mut expected = Vec::new();
+        for r in &input {
+            full.ingest(*r);
+            expected.extend(full.poll_outputs());
+        }
+        let expected_flush = full.flush();
+        let done = full.finish();
+        expected.extend(done.outputs);
+
+        // Run the head, checkpoint, tear down, resume from the states.
+        let mut first = ShardedRealTimeLayer::new(
+            config(),
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(3),
+        );
+        let mut got = Vec::new();
+        for r in head {
+            first.ingest(*r);
+            got.extend(first.poll_outputs());
+        }
+        let states = first.checkpoint();
+        assert_eq!(states.len(), 3);
+        got.extend(first.finish().outputs);
+
+        let mut resumed = ShardedRealTimeLayer::with_states(
+            config(),
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(3),
+            states,
+            |_| {},
+        );
+        for r in tail {
+            resumed.ingest(*r);
+            got.extend(resumed.poll_outputs());
+        }
+        let flush = resumed.flush();
+        got.extend(resumed.finish().outputs);
+
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(format!("{:?}", g.output), format!("{:?}", e.output));
+        }
+        assert_eq!(format!("{flush:?}"), format!("{expected_flush:?}"));
     }
 
     #[test]

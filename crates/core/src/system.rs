@@ -7,6 +7,7 @@
 
 use crate::batch::BatchLayer;
 use crate::config::DatacronConfig;
+use crate::durable::{self, DurabilityHealth, DurabilityRuntime};
 use crate::realtime::{HealthReport, IngestOutput, RealTimeLayer};
 use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
 use datacron_store::StoreConfig;
@@ -49,10 +50,13 @@ pub struct DatacronSystem {
     pub realtime: RealTimeLayer,
     /// The batch layer.
     pub batch: BatchLayer,
-    total_reports: u64,
-    total_detections: u64,
-    total_area_events: u64,
-    as_of: Timestamp,
+    pub(crate) total_reports: u64,
+    pub(crate) total_detections: u64,
+    pub(crate) total_area_events: u64,
+    pub(crate) as_of: Timestamp,
+    /// Write-ahead log + checkpoint runtime; `None` until
+    /// [`enable_durability`](Self::enable_durability).
+    pub(crate) durability: Option<DurabilityRuntime>,
 }
 
 impl DatacronSystem {
@@ -73,16 +77,22 @@ impl DatacronSystem {
             total_detections: 0,
             total_area_events: 0,
             as_of: Timestamp(0),
+            durability: None,
         }
     }
 
-    /// Ingests one report through the real-time layer.
+    /// Ingests one report through the real-time layer. With durability
+    /// enabled the report is write-ahead logged before it enters the
+    /// pipeline, and the full system state is checkpointed every
+    /// configured interval.
     pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
+        durable::log_report(self, &report);
         self.total_reports += 1;
         self.as_of = self.as_of.max(report.ts);
         let out = self.realtime.ingest(report);
         self.total_detections += out.cep_detections as u64;
         self.total_area_events += out.area_events.len() as u64;
+        durable::maybe_checkpoint(self);
         out
     }
 
@@ -117,13 +127,21 @@ impl DatacronSystem {
             total_links: self.realtime.links.len(),
             total_area_events: self.total_area_events,
             total_detections: self.total_detections,
-            health: self.realtime.health(),
+            health: self.health(),
         }
     }
 
-    /// The real-time layer's current health report.
+    /// The real-time layer's current health report, with durability
+    /// counters filled in when durability is enabled.
     pub fn health(&self) -> HealthReport {
-        self.realtime.health()
+        let mut report = self.realtime.health();
+        if let Some(rt) = &self.durability {
+            report.durability = Some(DurabilityHealth {
+                logged: self.total_reports,
+                last_checkpoint: rt.last_checkpoint,
+            });
+        }
+        report
     }
 }
 

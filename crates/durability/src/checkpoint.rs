@@ -1,0 +1,232 @@
+//! Checkpoint persistence: atomically written, checksummed snapshots of
+//! operator state, each tagged with the WAL sequence number it covers.
+//!
+//! On-disk layout of `ckpt-{seq:020}` (integers little-endian):
+//!
+//! ```text
+//! MAGIC ("DCCKPT1\n", 8 bytes) seq:u64 len:u64 crc:u32 payload[len]
+//! ```
+//!
+//! A checkpoint at sequence `S` captures the state after applying WAL
+//! records `[0, S)`; recovery replays the WAL suffix from `S`. Writes go
+//! through a temp file plus `rename`, so a crash mid-checkpoint leaves the
+//! previous checkpoint intact. Corrupt or torn checkpoint files are
+//! *skipped* (and counted) by [`CheckpointStore::latest_valid`] — a bad
+//! newest checkpoint degrades to the one before it, never to a panic.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::DurabilityError;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"DCCKPT1\n";
+const CHECKPOINT_PREFIX: &str = "ckpt-";
+const TMP_NAME: &str = "ckpt.tmp";
+/// Fixed header bytes before the payload: magic + seq + len + crc.
+const HEADER_LEN: usize = 8 + 8 + 8 + 4;
+
+/// Durable store of state checkpoints in a directory (shared with the WAL
+/// segments; the file-name prefixes keep them apart).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    /// Keep at most this many checkpoint files (oldest pruned first).
+    retain: usize,
+    corrupt_skipped: u64,
+    saved: u64,
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{CHECKPOINT_PREFIX}{seq:020}"))
+}
+
+impl CheckpointStore {
+    /// Opens a store rooted at `dir`, retaining up to `retain` checkpoints
+    /// (minimum 1).
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, retain: retain.max(1), corrupt_skipped: 0, saved: 0 })
+    }
+
+    /// Lists `(seq, path)` of every checkpoint file, sorted by sequence.
+    pub fn list(&self) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_prefix(CHECKPOINT_PREFIX) else { continue };
+            if let Ok(seq) = stem.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Atomically persists a checkpoint covering WAL records `[0, seq)`,
+    /// then prunes beyond the retention count.
+    pub fn save(&mut self, seq: u64, payload: &[u8]) -> Result<PathBuf, DurabilityError> {
+        let tmp = self.dir.join(TMP_NAME);
+        let mut contents = Vec::with_capacity(HEADER_LEN + payload.len());
+        contents.extend_from_slice(CHECKPOINT_MAGIC);
+        contents.extend_from_slice(&seq.to_le_bytes());
+        contents.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        contents.extend_from_slice(&crc32(payload).to_le_bytes());
+        contents.extend_from_slice(payload);
+        {
+            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            f.write_all(&contents)?;
+            f.sync_all()?;
+        }
+        let path = checkpoint_path(&self.dir, seq);
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself (directory metadata).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.saved += 1;
+        self.prune()?;
+        Ok(path)
+    }
+
+    fn prune(&mut self) -> Result<(), DurabilityError> {
+        let list = self.list()?;
+        if list.len() > self.retain {
+            for (_, path) in &list[..list.len() - self.retain] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest checkpoint that validates (magic, declared length,
+    /// CRC32). Corrupt candidates are skipped and counted; returns `None`
+    /// when no valid checkpoint exists.
+    pub fn latest_valid(&mut self) -> Result<Option<(u64, Vec<u8>)>, DurabilityError> {
+        let mut list = self.list()?;
+        while let Some((seq, path)) = list.pop() {
+            match Self::read_valid(&path, seq) {
+                Some(payload) => return Ok(Some((seq, payload))),
+                None => self.corrupt_skipped += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    fn read_valid(path: &Path, expect_seq: u64) -> Option<Vec<u8>> {
+        let bytes = fs::read(path).ok()?;
+        if bytes.len() < HEADER_LEN || &bytes[..8] != CHECKPOINT_MAGIC {
+            return None;
+        }
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let len = u64::from_le_bytes(bytes[16..24].try_into().ok()?) as usize;
+        let crc = u32::from_le_bytes(bytes[24..28].try_into().ok()?);
+        if seq != expect_seq || bytes.len() != HEADER_LEN + len {
+            return None;
+        }
+        let payload = &bytes[HEADER_LEN..];
+        if crc32(payload) != crc {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Checkpoint files skipped as corrupt by [`latest_valid`](Self::latest_valid).
+    pub fn corrupt_skipped(&self) -> u64 {
+        self.corrupt_skipped
+    }
+
+    /// Checkpoints saved by this handle.
+    pub fn saved(&self) -> u64 {
+        self.saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "datacron-ckpt-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_and_load_latest() {
+        let dir = temp_dir("basic");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(store.latest_valid().unwrap(), None);
+        store.save(10, b"state-at-10").unwrap();
+        store.save(20, b"state-at-20").unwrap();
+        let (seq, payload) = store.latest_valid().unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (20, b"state-at-20".as_slice()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let dir = temp_dir("retain");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for seq in [10, 20, 30, 40] {
+            store.save(seq, b"x").unwrap();
+        }
+        let seqs: Vec<u64> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![30, 40]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = temp_dir("fallback");
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(10, b"good-old").unwrap();
+        let newest = store.save(20, b"good-new").unwrap();
+        // Corrupt the newest: flip a payload bit.
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (seq, payload) = store.latest_valid().unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (10, b"good-old".as_slice()));
+        assert_eq!(store.corrupt_skipped(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_skipped() {
+        let dir = temp_dir("torn");
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(5, b"solid").unwrap();
+        let newest = store.save(9, b"will-be-torn-checkpoint-payload").unwrap();
+        let len = fs::metadata(&newest).unwrap().len();
+        OpenOptions::new().write(true).open(&newest).unwrap().set_len(len - 7).unwrap();
+
+        let (seq, _) = store.latest_valid().unwrap().unwrap();
+        assert_eq!(seq, 5);
+        assert_eq!(store.corrupt_skipped(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payload_checkpoint_is_valid() {
+        let dir = temp_dir("empty");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(0, b"").unwrap();
+        let (seq, payload) = store.latest_valid().unwrap().unwrap();
+        assert_eq!((seq, payload.len()), (0, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! Crash recovery: latest valid checkpoint + contiguous WAL suffix.
+//!
+//! [`RecoveryManager::recover`] is the read-only half of a restart. It
+//! loads the newest checkpoint that validates, replays the write-ahead log
+//! and *dedupes by sequence number* — records the checkpoint already
+//! covers are discarded — so the caller applies every durable record
+//! exactly once: checkpoint state first, then the WAL suffix in order.
+//!
+//! It never repairs the directory (truncation of a torn tail happens when
+//! [`crate::wal::WriteAheadLog::open`] reopens the log for appending), and
+//! it never panics on damaged input: every corruption mode maps to a typed
+//! [`DurabilityError`].
+
+use std::path::Path;
+
+use crate::checkpoint::CheckpointStore;
+use crate::wal::{ReplayIter, WalRecord};
+use crate::DurabilityError;
+
+/// Everything a restart needs to reconstruct state.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Newest valid checkpoint: `(covered_seq, payload)`. The checkpoint
+    /// captures state after applying WAL records `[0, covered_seq)`.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// WAL records to replay on top of the checkpoint, contiguous from
+    /// `covered_seq` (or from 0 without a checkpoint). Records the
+    /// checkpoint covers are already deduplicated away.
+    pub records: Vec<WalRecord>,
+    /// The sequence number after the last durable record; the caller
+    /// resumes feeding input from here.
+    pub next_seq: u64,
+    /// Torn-tail bytes detected at the end of the WAL (the open-for-append
+    /// path truncates them).
+    pub truncated_tail_bytes: u64,
+    /// Checkpoint files skipped as corrupt while finding a valid one.
+    pub corrupt_checkpoints: u64,
+}
+
+/// Reads a durability directory back into memory on restart.
+#[derive(Debug)]
+pub struct RecoveryManager;
+
+impl RecoveryManager {
+    /// Recovers from `dir`: newest valid checkpoint plus the deduped WAL
+    /// suffix.
+    ///
+    /// Typed failures: [`DurabilityError::CorruptRecord`] for a damaged
+    /// sealed segment, [`DurabilityError::SequenceGap`] for a missing
+    /// segment or a WAL that starts after the checkpoint's coverage, and
+    /// [`DurabilityError::SequenceMismatch`] when the WAL ends before the
+    /// checkpoint it is supposed to extend.
+    pub fn recover(dir: &Path, retain_checkpoints: usize) -> Result<RecoveryOutcome, DurabilityError> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = CheckpointStore::open(dir, retain_checkpoints)?;
+        let checkpoint = store.latest_valid()?;
+        let start = checkpoint.as_ref().map(|(seq, _)| *seq).unwrap_or(0);
+
+        let mut iter = ReplayIter::open(dir)?;
+        let mut records = Vec::new();
+        for record in &mut iter {
+            let record = record?;
+            if record.seq < start {
+                continue; // covered by the checkpoint — dedupe
+            }
+            records.push(record);
+        }
+        let wal_end = iter.next_seq();
+        let truncated_tail_bytes = iter.truncated_tail_bytes();
+
+        if let Some(first) = records.first() {
+            if first.seq != start {
+                // The WAL suffix does not connect to the checkpoint.
+                return Err(DurabilityError::SequenceGap { expected: start, found: first.seq });
+            }
+        } else if wal_end < start {
+            // The log ends before the state the checkpoint claims to cover.
+            return Err(DurabilityError::SequenceMismatch { wal: wal_end, system: start });
+        }
+
+        Ok(RecoveryOutcome {
+            checkpoint,
+            records,
+            next_seq: wal_end.max(start),
+            truncated_tail_bytes,
+            corrupt_checkpoints: store.corrupt_skipped(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FsyncPolicy, WalConfig, WriteAheadLog};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "datacron-recovery-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wal_config(dir: &Path) -> WalConfig {
+        WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Always, segment_max_bytes: 1024 }
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_nothing() {
+        let dir = temp_dir("empty");
+        let out = RecoveryManager::recover(&dir, 2).unwrap();
+        assert!(out.checkpoint.is_none());
+        assert!(out.records.is_empty());
+        assert_eq!(out.next_seq, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_only_recovery_replays_everything() {
+        let dir = temp_dir("walonly");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..30u64 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        drop(wal);
+        let out = RecoveryManager::recover(&dir, 2).unwrap();
+        assert!(out.checkpoint.is_none());
+        assert_eq!(out.records.len(), 30);
+        assert_eq!(out.next_seq, 30);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_dedupes_covered_records() {
+        let dir = temp_dir("dedupe");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..30u64 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(20, b"state-after-20").unwrap();
+        drop(wal);
+
+        let out = RecoveryManager::recover(&dir, 2).unwrap();
+        let (seq, payload) = out.checkpoint.unwrap();
+        assert_eq!((seq, payload.as_slice()), (20, b"state-after-20".as_slice()));
+        // Only the suffix survives dedupe, contiguous from the checkpoint.
+        assert_eq!(out.records.len(), 10);
+        assert_eq!(out.records.first().unwrap().seq, 20);
+        assert_eq!(out.records.last().unwrap().seq, 29);
+        assert_eq!(out.next_seq, 30);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_plus_checkpoint_still_connects() {
+        let dir = temp_dir("retention");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..60u64 {
+            wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(40, b"state-after-40").unwrap();
+        wal.retain_from(40).unwrap();
+        drop(wal);
+
+        let out = RecoveryManager::recover(&dir, 2).unwrap();
+        assert_eq!(out.checkpoint.as_ref().unwrap().0, 40);
+        assert_eq!(out.records.first().unwrap().seq, 40);
+        assert_eq!(out.next_seq, 60);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_right_after_checkpoint_has_empty_suffix() {
+        let dir = temp_dir("fresh");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..10u64 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(10, b"all-covered").unwrap();
+        drop(wal);
+
+        let out = RecoveryManager::recover(&dir, 2).unwrap();
+        assert_eq!(out.checkpoint.as_ref().unwrap().0, 10);
+        assert!(out.records.is_empty());
+        assert_eq!(out.next_seq, 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_and_replays_more() {
+        let dir = temp_dir("ckptfall");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..30u64 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        store.save(10, b"old").unwrap();
+        let newest = store.save(25, b"new").unwrap();
+        drop(wal);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+
+        let out = RecoveryManager::recover(&dir, 4).unwrap();
+        assert_eq!(out.checkpoint.as_ref().unwrap().0, 10);
+        assert_eq!(out.corrupt_checkpoints, 1);
+        assert_eq!(out.records.first().unwrap().seq, 10);
+        assert_eq!(out.records.len(), 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_suffix_disconnected_from_checkpoint_is_a_gap() {
+        let dir = temp_dir("disconnect");
+        let mut wal = WriteAheadLog::open(wal_config(&dir)).unwrap();
+        for i in 0..60u64 {
+            wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
+        }
+        // Checkpoint at 10, but retention for 40 already ran (operator
+        // error / manual deletion): records [10..base) are gone.
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(10, b"old-state").unwrap();
+        wal.retain_from(40).unwrap();
+        drop(wal);
+
+        let err = RecoveryManager::recover(&dir, 2).unwrap_err();
+        assert!(matches!(err, DurabilityError::SequenceGap { .. }), "got {err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -142,6 +142,11 @@ impl StaticLinker {
         self.stats = LinkStats::default();
     }
 
+    /// Restores the counters from a checkpoint.
+    pub fn restore_stats(&mut self, stats: LinkStats) {
+        self.stats = stats;
+    }
+
     /// The underlying grid (for experiment reporting).
     pub fn grid(&self) -> &EquiGrid {
         &self.grid

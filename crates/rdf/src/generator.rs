@@ -201,6 +201,12 @@ impl TripleGenerator {
         self.generated
     }
 
+    /// Restores the running counters from a checkpoint.
+    pub fn restore_counters(&mut self, generated: u64, skipped_patterns: u64) {
+        self.generated = generated;
+        self.skipped_patterns = skipped_patterns;
+    }
+
     /// Patterns skipped for unbound variables so far.
     pub fn skipped_patterns(&self) -> u64 {
         self.skipped_patterns

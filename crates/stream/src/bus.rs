@@ -408,6 +408,27 @@ impl<T: Clone> Topic<T> {
         self.lock().stats
     }
 
+    /// Durable snapshot for checkpointing: the base offset, the counters
+    /// and a clone of the retained log contents.
+    pub fn durable_state(&self) -> (u64, TopicStats, Vec<T>) {
+        let inner = self.lock();
+        (inner.base, inner.stats, inner.log.iter().cloned().collect())
+    }
+
+    /// Restores a checkpointed snapshot, replacing the current contents and
+    /// counters. Registered consumers keep their offsets; restore before
+    /// consumers advance (i.e. immediately after construction) so offsets
+    /// and contents stay coherent. Waiters are notified.
+    pub fn restore_state(&self, base: u64, stats: TopicStats, retained: Vec<T>) {
+        {
+            let mut inner = self.lock();
+            inner.base = base;
+            inner.stats = stats;
+            inner.log = retained.into();
+        }
+        self.progress.notify_all();
+    }
+
     /// A point-in-time health snapshot.
     pub fn health(&self) -> TopicHealth {
         let inner = self.lock();

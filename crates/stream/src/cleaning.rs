@@ -82,6 +82,17 @@ impl CleaningStats {
     }
 }
 
+/// Resumable snapshot of a [`StreamCleaner`]'s mutable state (the config is
+/// supplied again on restore). Captured by the durability layer's
+/// checkpoints so a recovered cleaner resumes with identical decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanerState {
+    /// The last accepted report (the duplicate/teleport reference point).
+    pub last: Option<PositionReport>,
+    /// Outcome counters at snapshot time.
+    pub stats: CleaningStats,
+}
+
 /// Per-entity cleaning operator. Use one instance per entity (e.g. inside a
 /// `KeyedOperator`).
 #[derive(Debug, Clone)]
@@ -99,6 +110,16 @@ impl StreamCleaner {
             last: None,
             stats: CleaningStats::default(),
         }
+    }
+
+    /// Snapshots the mutable state for checkpointing.
+    pub fn state(&self) -> CleanerState {
+        CleanerState { last: self.last, stats: self.stats }
+    }
+
+    /// Rebuilds a cleaner from a checkpointed state and its config.
+    pub fn restore(config: CleaningConfig, state: CleanerState) -> Self {
+        Self { config, last: state.last, stats: state.stats }
     }
 
     /// The running counters.

@@ -490,6 +490,105 @@ impl<T: Clone + Corrupt> ChaosTopic<T> {
     }
 }
 
+// --- Disk faults ---------------------------------------------------------
+
+/// A fault injected into durable on-disk state (write-ahead-log segments,
+/// checkpoint files) to exercise crash-recovery paths.
+///
+/// Deterministic: the same directory contents, `suffix`, fault and seed
+/// always damage the same file at the same position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiskFault {
+    /// A torn write: the last matching file loses its final `bytes` bytes
+    /// (clamped so the file keeps at least its header), as if the process
+    /// died mid-`write`.
+    ShortWrite {
+        /// Bytes chopped off the tail.
+        bytes: u64,
+    },
+    /// Silent media corruption: one seeded bit is flipped in the interior
+    /// of a sealed (non-last) file when several exist, else of the only one.
+    BitFlip,
+    /// A whole file vanishes (operator error, lost volume): a middle file
+    /// is deleted when three or more exist, else the first of two.
+    MissingSegment,
+}
+
+/// Injects `fault` into the files of `dir` whose names end with `suffix`
+/// (e.g. `".seg"` for WAL segments), deterministically under `seed`.
+///
+/// Returns the path of the damaged/deleted file, or `None` when the
+/// directory holds nothing the fault can apply to (no matching files, or a
+/// single file for [`DiskFault::MissingSegment`]... which needs two).
+pub fn inject_disk_fault(
+    dir: &std::path::Path,
+    suffix: &str,
+    fault: DiskFault,
+    seed: u64,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(suffix)))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Ok(None);
+    }
+    let mut rng = FaultRng::new(seed);
+    match fault {
+        DiskFault::ShortWrite { bytes } => {
+            let path = files.last().expect("non-empty").clone();
+            let len = std::fs::metadata(&path)?.len();
+            // Keep at least the 8-byte magic plus one torn byte so the
+            // damage lands in the frame region, not the header.
+            let chop = bytes.min(len.saturating_sub(9));
+            if chop == 0 {
+                return Ok(None);
+            }
+            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(len - chop)?;
+            f.sync_all()?;
+            Ok(Some(path))
+        }
+        DiskFault::BitFlip => {
+            // Prefer a sealed file: damage there is true corruption, not a
+            // recoverable torn tail.
+            let path = if files.len() >= 2 {
+                files[rng.index(files.len() - 1)].clone()
+            } else {
+                files[0].clone()
+            };
+            let mut bytes = std::fs::read(&path)?;
+            if bytes.len() <= 16 {
+                return Ok(None);
+            }
+            // Seeded interior offset, past the header, away from the tail
+            // when the file is big enough.
+            let lo = 24usize.min(bytes.len() - 1);
+            let hi = bytes.len().saturating_sub(64).max(lo + 1);
+            let offset = if hi > lo { lo + rng.index(hi - lo) } else { 16.min(bytes.len() - 1) };
+            let bit = rng.index(8) as u8;
+            bytes[offset] ^= 1 << bit;
+            std::fs::write(&path, &bytes)?;
+            Ok(Some(path))
+        }
+        DiskFault::MissingSegment => {
+            if files.len() < 2 {
+                return Ok(None);
+            }
+            let path = if files.len() >= 3 {
+                // A middle file: recovery must detect the sequence gap.
+                files[1 + rng.index(files.len() - 2)].clone()
+            } else {
+                files[0].clone()
+            };
+            std::fs::remove_file(&path)?;
+            Ok(Some(path))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,5 +718,42 @@ mod tests {
         assert_eq!(topic.len(), reached as u64);
         assert!(reached < 100);
         assert_eq!(chaos.stats().delivered as usize, reached);
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic_and_bounded() {
+        let dir = std::env::temp_dir().join(format!("datacron-diskfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..4 {
+            std::fs::write(dir.join(format!("wal-{i:020}.seg")), vec![0xAA; 200]).unwrap();
+        }
+        // Same seed, same victim.
+        let a = inject_disk_fault(&dir, ".seg", DiskFault::BitFlip, 7).unwrap().unwrap();
+        // Re-create pristine files and repeat.
+        for i in 0..4 {
+            std::fs::write(dir.join(format!("wal-{i:020}.seg")), vec![0xAA; 200]).unwrap();
+        }
+        let b = inject_disk_fault(&dir, ".seg", DiskFault::BitFlip, 7).unwrap().unwrap();
+        assert_eq!(a, b);
+
+        // ShortWrite hits the last file and keeps the 8-byte header.
+        let last = inject_disk_fault(&dir, ".seg", DiskFault::ShortWrite { bytes: 500 }, 1)
+            .unwrap()
+            .unwrap();
+        assert!(last.to_string_lossy().contains("00000000000000000003"));
+        assert_eq!(std::fs::metadata(&last).unwrap().len(), 9);
+
+        // MissingSegment removes a middle file, never the last.
+        let gone = inject_disk_fault(&dir, ".seg", DiskFault::MissingSegment, 3).unwrap().unwrap();
+        assert!(!gone.exists());
+        assert!(!gone.to_string_lossy().contains("00000000000000000000"));
+        assert!(!gone.to_string_lossy().ends_with("00000000000000000003.seg"));
+
+        // Nothing to damage -> None, not an error.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(inject_disk_fault(&empty, ".seg", DiskFault::BitFlip, 1).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -44,9 +44,9 @@ pub mod operator;
 pub mod parallel;
 
 pub use bus::{Consumer, Lagged, MessageBus, OverflowPolicy, PublishError, Topic, TopicConfig, TopicHealth, TopicStats};
-pub use faults::{ChaosSource, ChaosTopic, Corrupt, FaultInjector, FaultPlan, FaultStats};
+pub use faults::{ChaosSource, ChaosTopic, Corrupt, DiskFault, FaultInjector, FaultPlan, FaultStats, inject_disk_fault};
 pub use fusion::{CrossStreamFusion, FusionConfig, FusionStats};
-pub use cleaning::{CleaningConfig, CleaningOutcome, StreamCleaner};
+pub use cleaning::{CleanerState, CleaningConfig, CleaningOutcome, StreamCleaner};
 pub use insitu::{InSituProcessor, RunningStats, TrajectoryStats};
 pub use lowlevel::{AreaEvent, AreaEventKind, AreaMonitor};
 pub use operator::{KeyedOperator, Operator, Pipeline};

@@ -135,6 +135,30 @@ impl AreaMonitor {
     pub fn currently_inside(&self, entity: EntityId) -> Option<&HashSet<u64>> {
         self.inside.get(&entity)
     }
+
+    /// Deterministic snapshot of the per-entity inside-sets (sorted by
+    /// entity, area ids sorted), for checkpointing.
+    pub fn inside_state(&self) -> Vec<(EntityId, Vec<u64>)> {
+        let mut out: Vec<(EntityId, Vec<u64>)> = self
+            .inside
+            .iter()
+            .map(|(entity, ids)| {
+                let mut ids: Vec<u64> = ids.iter().copied().collect();
+                ids.sort_unstable();
+                (*entity, ids)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(entity, _)| *entity);
+        out
+    }
+
+    /// Replaces the per-entity inside-sets with a checkpointed snapshot.
+    pub fn restore_inside_state(&mut self, state: Vec<(EntityId, Vec<u64>)>) {
+        self.inside = state
+            .into_iter()
+            .map(|(entity, ids)| (entity, ids.into_iter().collect()))
+            .collect();
+    }
 }
 
 impl Operator<PositionReport, AreaEvent> for AreaMonitor {

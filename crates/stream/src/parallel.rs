@@ -76,6 +76,8 @@ pub enum Directive<T> {
     Flush,
     /// Emit a point-in-time snapshot (barrier; the worker acknowledges).
     Snapshot,
+    /// Emit durable checkpoint state (barrier; the worker acknowledges).
+    Checkpoint,
     /// Drain and exit, returning the stage to the coordinator.
     Shutdown,
 }
@@ -188,6 +190,8 @@ pub trait ShardStage: Send + 'static {
     type Flush: Send + Clone + 'static;
     /// Point-in-time snapshot type.
     type Snapshot: Send + Clone + 'static;
+    /// Durable checkpoint state type.
+    type Checkpoint: Send + Clone + 'static;
 
     /// Processes one record.
     fn on_record(&mut self, input: Self::In) -> Self::Out;
@@ -195,6 +199,8 @@ pub trait ShardStage: Send + 'static {
     fn on_flush(&mut self) -> Self::Flush;
     /// Reports a point-in-time snapshot (e.g. health).
     fn snapshot(&self) -> Self::Snapshot;
+    /// Captures durable checkpoint state, restorable into a fresh stage.
+    fn checkpoint(&self) -> Self::Checkpoint;
 }
 
 /// Capacity and pacing knobs of the sharded executor.
@@ -280,6 +286,7 @@ pub struct ShardedExecutor<S: ShardStage> {
     output_consumer: Consumer<Stamped<S::Out>>,
     flush_consumer: Consumer<(u32, S::Flush)>,
     snapshot_consumer: Consumer<(u32, S::Snapshot)>,
+    checkpoint_consumer: Consumer<(u32, S::Checkpoint)>,
     workers: Vec<JoinHandle<S>>,
     key_seqs: FxHashMap<u64, u64>,
     merger: SequenceMerger<S::Out>,
@@ -306,6 +313,8 @@ impl<S: ShardStage> ShardedExecutor<S> {
         let flush_consumer = flushes.consumer();
         let snapshots: Arc<Topic<(u32, S::Snapshot)>> = Topic::new("shard-snapshots");
         let snapshot_consumer = snapshots.consumer();
+        let checkpoints: Arc<Topic<(u32, S::Checkpoint)>> = Topic::new("shard-checkpoints");
+        let checkpoint_consumer = checkpoints.consumer();
         let mut inputs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards as u32 {
@@ -323,9 +332,12 @@ impl<S: ShardStage> ShardedExecutor<S> {
                 let output = Arc::clone(&output);
                 let flushes = Arc::clone(&flushes);
                 let snapshots = Arc::clone(&snapshots);
+                let checkpoints = Arc::clone(&checkpoints);
                 std::thread::Builder::new()
                     .name(format!("datacron-shard-{shard}"))
-                    .spawn(move || worker_loop(shard, stage, input, output, flushes, snapshots))
+                    .spawn(move || {
+                        worker_loop(shard, stage, input, output, flushes, snapshots, checkpoints)
+                    })
                     .expect("spawn shard worker")
             };
             inputs.push(input);
@@ -337,6 +349,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
             output_consumer,
             flush_consumer,
             snapshot_consumer,
+            checkpoint_consumer,
             workers,
             key_seqs: FxHashMap::default(),
             merger: SequenceMerger::new(),
@@ -504,6 +517,26 @@ impl<S: ShardStage> ShardedExecutor<S> {
         got.into_iter().map(|s| s.expect("all shards acknowledged")).collect()
     }
 
+    /// Checkpoint barrier: every worker captures its stage's durable state
+    /// after finishing its queued records. Returns checkpoints in shard
+    /// order. Like [`snapshot_all`](Self::snapshot_all), this is a
+    /// consistent cut: every record submitted before the barrier is
+    /// reflected, none submitted after.
+    pub fn checkpoint_all(&mut self) -> Vec<S::Checkpoint> {
+        for shard in 0..self.shards() {
+            self.send_directive(shard, Directive::Checkpoint);
+        }
+        let shards = self.shards();
+        let mut got: Vec<Option<S::Checkpoint>> = (0..shards).map(|_| None).collect();
+        self.await_barrier("checkpoint", &mut got, |exec, max, t| {
+            exec.checkpoint_consumer
+                .poll_wait(max, t)
+                .unwrap_or_else(|lagged| unreachable!("unbounded topic never lags: {lagged:?}"))
+        });
+        self.drain_outputs();
+        got.into_iter().map(|c| c.expect("all shards acknowledged")).collect()
+    }
+
     /// Waits for one acknowledgement per shard, draining outputs the whole
     /// time so workers blocked on a bounded output topic can reach the
     /// barrier.
@@ -601,6 +634,7 @@ fn worker_loop<S: ShardStage>(
     output: Arc<Topic<Stamped<S::Out>>>,
     flushes: Arc<Topic<(u32, S::Flush)>>,
     snapshots: Arc<Topic<(u32, S::Snapshot)>>,
+    checkpoints: Arc<Topic<(u32, S::Checkpoint)>>,
 ) -> S {
     let mut consumer = input.consumer();
     let mut out_buf: Vec<Stamped<S::Out>> = Vec::new();
@@ -623,6 +657,10 @@ fn worker_loop<S: ShardStage>(
                 Directive::Snapshot => {
                     flush_outputs(&output, &mut out_buf);
                     publish_reliable(&snapshots, (shard, stage.snapshot()));
+                }
+                Directive::Checkpoint => {
+                    flush_outputs(&output, &mut out_buf);
+                    publish_reliable(&checkpoints, (shard, stage.checkpoint()));
                 }
                 Directive::Shutdown => {
                     flush_outputs(&output, &mut out_buf);
@@ -657,6 +695,7 @@ mod tests {
         type Out = u64;
         type Flush = u64;
         type Snapshot = u64;
+        type Checkpoint = u64;
 
         fn on_record(&mut self, input: u64) -> u64 {
             self.seen += 1;
@@ -668,6 +707,10 @@ mod tests {
         }
 
         fn snapshot(&self) -> u64 {
+            self.seen
+        }
+
+        fn checkpoint(&self) -> u64 {
             self.seen
         }
     }
@@ -753,6 +796,26 @@ mod tests {
         assert_eq!(flushes.iter().sum::<u64>(), 200);
         let run = exec.finish();
         assert_eq!(run.merged, 200);
+    }
+
+    #[test]
+    fn checkpoint_barrier_is_a_consistent_cut() {
+        let mut exec = ShardedExecutor::new(ShardedConfig::with_shards(3), |_| Doubler { seen: 0 });
+        for i in 0..150u64 {
+            exec.submit(&(i % 7), i);
+        }
+        let ckpts = exec.checkpoint_all();
+        assert_eq!(ckpts.len(), 3);
+        assert_eq!(ckpts.iter().sum::<u64>(), 150, "checkpoint covers all prior records");
+        // Restoring fresh stages from the checkpoints and continuing must
+        // account for every record exactly once.
+        for i in 150..300u64 {
+            exec.submit(&(i % 7), i);
+        }
+        let run = exec.finish();
+        assert_eq!(run.merged, 300);
+        let total: u64 = run.stages.iter().map(|s| s.seen).sum();
+        assert_eq!(total, 300);
     }
 
     #[test]

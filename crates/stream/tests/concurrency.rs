@@ -169,6 +169,84 @@ fn block_policy_is_lossless_under_contention() {
     assert_eq!(topic.stats().dropped, 0);
 }
 
+/// `poll_wait` parks instead of spinning, and a publish wakes it promptly:
+/// the waiter must return the data far sooner than its generous timeout.
+#[test]
+fn poll_wait_wakes_promptly_on_publish() {
+    let topic: Arc<Topic<u64>> = Topic::new("wakeup");
+    let waiter = {
+        let mut c = topic.consumer();
+        thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let batch = c.poll_wait(8, Duration::from_secs(30)).expect("no lag");
+            (batch, start.elapsed())
+        })
+    };
+    // Give the waiter time to park before publishing.
+    thread::sleep(Duration::from_millis(50));
+    topic.publish(7);
+    let (batch, elapsed) = waiter.join().expect("waiter");
+    assert_eq!(batch, vec![7]);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "woken by the publish, not the 30s timeout (took {elapsed:?})"
+    );
+}
+
+/// A batched publish wakes a parked `poll_wait` just like a single publish,
+/// and delivers the whole batch in one poll.
+#[test]
+fn poll_wait_wakes_promptly_on_publish_batch() {
+    let topic: Arc<Topic<u64>> = Topic::new("wakeup-batch");
+    let waiter = {
+        let mut c = topic.consumer();
+        thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let batch = c.poll_wait(8, Duration::from_secs(30)).expect("no lag");
+            (batch, start.elapsed())
+        })
+    };
+    thread::sleep(Duration::from_millis(50));
+    topic.publish_batch([1, 2, 3]);
+    let (batch, elapsed) = waiter.join().expect("waiter");
+    assert_eq!(batch, vec![1, 2, 3]);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "woken by the batch publish, not the 30s timeout (took {elapsed:?})"
+    );
+}
+
+/// On a drained topic `poll_wait` honours its timeout: it returns an empty
+/// batch (not an error, not a hang) once the deadline passes.
+#[test]
+fn poll_wait_times_out_with_an_empty_batch() {
+    let topic: Arc<Topic<u64>> = Topic::new("timeout");
+    let mut c = topic.consumer();
+    let start = std::time::Instant::now();
+    let batch = c.poll_wait(8, Duration::from_millis(50)).expect("no lag");
+    assert!(batch.is_empty());
+    assert!(start.elapsed() >= Duration::from_millis(50), "waited out the deadline");
+}
+
+/// Shutdown safety: a consumer parked in `poll_wait` while the producer
+/// side drops its last handle to the topic must still return (empty, on
+/// timeout) instead of deadlocking — the consumer's own handle keeps the
+/// topic alive and the wait simply expires.
+#[test]
+fn poll_wait_returns_when_producer_drops_topic_at_shutdown() {
+    let topic: Arc<Topic<u64>> = Topic::new("shutdown");
+    let waiter = {
+        let mut c = topic.consumer();
+        thread::spawn(move || c.poll_wait(8, Duration::from_millis(200)).expect("no lag"))
+    };
+    thread::sleep(Duration::from_millis(20));
+    // Producer-side shutdown: the last external handle goes away while the
+    // consumer is parked.
+    drop(topic);
+    let batch = waiter.join().expect("waiter returned instead of deadlocking");
+    assert!(batch.is_empty());
+}
+
 /// Mixed chaos: concurrent publishers on a bounded topic, one fast and one
 /// deliberately slow consumer, with consumers joining mid-stream. Nothing
 /// deadlocks, all counters reconcile.

@@ -8,6 +8,42 @@ use datacron_geo::{PositionReport, Timestamp};
 use datacron_stream::operator::Operator;
 use std::collections::VecDeque;
 
+/// Resumable snapshot of a [`SynopsesGenerator`]'s online state (the config
+/// is supplied again on restore). Captured by the durability layer's
+/// checkpoints so a recovered generator emits the exact same critical
+/// points as an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsesState {
+    /// Recent reports within the course window, oldest first.
+    pub window: Vec<PositionReport>,
+    /// The last processed report.
+    pub last: Option<PositionReport>,
+    /// Whether the trajectory `Start` point was emitted.
+    pub started: bool,
+    /// Report that began a below-stop-speed streak.
+    pub stop_candidate: Option<PositionReport>,
+    /// Currently inside a stop episode?
+    pub in_stop: bool,
+    /// Report that began a slow-motion streak.
+    pub slow_candidate: Option<PositionReport>,
+    /// Currently inside a slow-motion episode?
+    pub in_slow: bool,
+    /// Aviation: currently airborne?
+    pub airborne: bool,
+    /// Aviation: vertical rate regime (-1 descending, 0 level, +1 climbing).
+    pub vertical_regime: i8,
+    /// Last `ChangeInHeading` emission time (debounce).
+    pub last_heading_emit: Option<Timestamp>,
+    /// Last `SpeedChange` emission time (debounce).
+    pub last_speed_emit: Option<Timestamp>,
+    /// Dead-reckoning anchor: motion state at the last critical point.
+    pub anchor: Option<PositionReport>,
+    /// Raw records seen.
+    pub seen: u64,
+    /// Critical points emitted.
+    pub emitted: u64,
+}
+
 /// Streaming synopses generator for **one** entity (compose with
 /// `datacron_stream::KeyedOperator` for multiplexed streams).
 ///
@@ -59,6 +95,47 @@ impl SynopsesGenerator {
             anchor: None,
             seen: 0,
             emitted: 0,
+        }
+    }
+
+    /// Snapshots the online state for checkpointing.
+    pub fn state(&self) -> SynopsesState {
+        SynopsesState {
+            window: self.window.iter().copied().collect(),
+            last: self.last,
+            started: self.started,
+            stop_candidate: self.stop_candidate,
+            in_stop: self.in_stop,
+            slow_candidate: self.slow_candidate,
+            in_slow: self.in_slow,
+            airborne: self.airborne,
+            vertical_regime: self.vertical_regime,
+            last_heading_emit: self.last_heading_emit,
+            last_speed_emit: self.last_speed_emit,
+            anchor: self.anchor,
+            seen: self.seen,
+            emitted: self.emitted,
+        }
+    }
+
+    /// Rebuilds a generator from a checkpointed state and its config.
+    pub fn restore(cfg: SynopsesConfig, state: SynopsesState) -> Self {
+        Self {
+            cfg,
+            window: state.window.into_iter().collect(),
+            last: state.last,
+            started: state.started,
+            stop_candidate: state.stop_candidate,
+            in_stop: state.in_stop,
+            slow_candidate: state.slow_candidate,
+            in_slow: state.in_slow,
+            airborne: state.airborne,
+            vertical_regime: state.vertical_regime,
+            last_heading_emit: state.last_heading_emit,
+            last_speed_emit: state.last_speed_emit,
+            anchor: state.anchor,
+            seen: state.seen,
+            emitted: state.emitted,
         }
     }
 

@@ -40,5 +40,5 @@ pub mod reconstruct;
 
 pub use config::SynopsesConfig;
 pub use critical::{CriticalKind, CriticalPoint};
-pub use generator::SynopsesGenerator;
+pub use generator::{SynopsesGenerator, SynopsesState};
 pub use reconstruct::{reconstruct, CompressionReport};

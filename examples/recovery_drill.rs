@@ -1,0 +1,250 @@
+//! Crash-recovery drill: kill a durable run mid-ingest, recover it from the
+//! write-ahead log + checkpoints, and prove the recovered run's outputs are
+//! bit-identical to an uninterrupted one (EXPERIMENTS.md; CI `recovery-chaos`
+//! job).
+//!
+//! Three modes over the same seeded, chaos-faulted input stream:
+//!
+//! ```text
+//! # full run; prints prefix/suffix/state digests split at K
+//! cargo run --release --example recovery_drill -- \
+//!     --dir /tmp/drill --mode baseline --crash-after K [--seed 7] [--records 24000]
+//!
+//! # durable run that ABORTS the process after K records (exit code != 0)
+//! cargo run --release --example recovery_drill -- \
+//!     --dir /tmp/drill --mode crash --crash-after K
+//!
+//! # recover from the dir, finish the stream, print suffix/state digests
+//! cargo run --release --example recovery_drill -- \
+//!     --dir /tmp/drill --mode recover
+//! ```
+//!
+//! Equivalence check: `crash` prints the same `prefix_digest` the baseline
+//! does, and `recover` prints the same `suffix_digest` and `state_digest`.
+//! Digests are FNV-1a over the Debug rendering of every per-record output
+//! (prefix = records before the crash point, suffix = after) and of the
+//! final flush + health + situation picture.
+
+use datacron::core::{DatacronConfig, DatacronSystem, DurabilityConfig};
+use datacron::data::rng::SeededRng;
+use datacron::durability::FsyncPolicy;
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
+use datacron::stream::faults::{ChaosSource, FaultPlan};
+use datacron::store::StoreConfig;
+use std::path::PathBuf;
+
+struct Args {
+    dir: PathBuf,
+    mode: String,
+    crash_after: usize,
+    seed: u64,
+    records: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            dir: PathBuf::from("recovery-drill"),
+            mode: String::new(),
+            crash_after: 0,
+            seed: 7,
+            records: 24_000,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).unwrap_or_else(|| panic!("{} needs a value", argv[*i - 1])).clone()
+            };
+            match argv[i].as_str() {
+                "--dir" => args.dir = PathBuf::from(value(&mut i)),
+                "--mode" => args.mode = value(&mut i),
+                "--crash-after" => args.crash_after = value(&mut i).parse().expect("--crash-after"),
+                "--seed" => args.seed = value(&mut i).parse().expect("--seed"),
+                "--records" => args.records = value(&mut i).parse().expect("--records"),
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        assert!(
+            matches!(args.mode.as_str(), "baseline" | "crash" | "recover"),
+            "--mode must be baseline | crash | recover"
+        );
+        args
+    }
+}
+
+/// FNV-1a 64 over a byte stream; the drill's equivalence fingerprint.
+#[derive(Clone, Copy)]
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, text: &str) {
+        for &b in text.as_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+fn extent() -> BoundingBox {
+    BoundingBox::new(-10.0, 30.0, 10.0, 50.0)
+}
+
+type Regions = Vec<(u64, Polygon)>;
+type Ports = Vec<(u64, GeoPoint)>;
+
+fn context() -> (Regions, Ports) {
+    let regions = vec![(1u64, Polygon::rect(BoundingBox::new(-2.0, 36.0, 2.0, 40.0)))];
+    let ports = vec![(2u64, GeoPoint::new(0.0, 38.0))];
+    (regions, ports)
+}
+
+fn build_system() -> DatacronSystem {
+    let (regions, ports) = context();
+    DatacronSystem::new(DatacronConfig::maritime(extent()), regions, ports, StoreConfig::default())
+}
+
+fn durability_config(dir: &std::path::Path) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_path_buf(),
+        // Every record durable before it is processed: an abort at any
+        // instant loses nothing, so recovery resumes at the exact record
+        // the crash interrupted.
+        fsync: FsyncPolicy::Always,
+        segment_max_bytes: 1 << 20,
+        checkpoint_interval: 2_000,
+        retained_checkpoints: 2,
+    }
+}
+
+/// The seeded workload: a turning fleet pushed through the chaos fault
+/// harness (drops, duplicates, reordering, corruption), materialised so
+/// every process sees the identical stream.
+fn input(seed: u64, records: usize) -> Vec<PositionReport> {
+    let entities = 24u64;
+    let reports_each = records.div_ceil(entities as usize) as i64;
+    let mut rng = SeededRng::new(seed);
+    let mut tracks: Vec<(GeoPoint, f64, f64, i64)> = (0..entities)
+        .map(|_| {
+            (
+                GeoPoint::new(rng.uniform(-4.0, 4.0), rng.uniform(37.0, 43.0)),
+                rng.uniform(0.0, 360.0),
+                rng.uniform(4.0, 12.0),
+                rng.int_range(10, 40),
+            )
+        })
+        .collect();
+    let mut fleet = Vec::with_capacity(entities as usize * reports_each as usize);
+    for t in 0..reports_each {
+        for (e, track) in tracks.iter_mut().enumerate() {
+            track.3 -= 1;
+            if track.3 <= 0 {
+                track.1 = (track.1 + rng.uniform(-120.0, 120.0)).rem_euclid(360.0);
+                track.2 = (track.2 + rng.uniform(-3.0, 3.0)).clamp(1.0, 15.0);
+                track.3 = rng.int_range(10, 40);
+            }
+            track.0 = track.0.destination(track.1, track.2 * 10.0);
+            fleet.push(PositionReport {
+                speed_mps: track.2,
+                heading_deg: track.1,
+                ..PositionReport::basic(
+                    EntityId::vessel(e as u64 + 1),
+                    Timestamp::from_secs(t * 10),
+                    track.0,
+                )
+            });
+        }
+    }
+    ChaosSource::new(fleet.into_iter(), FaultPlan::chaos(seed)).collect()
+}
+
+/// Ingests `records`, folding every output's Debug rendering into `digest`.
+fn ingest_digest(system: &mut DatacronSystem, records: &[PositionReport], digest: &mut Digest) {
+    for r in records {
+        digest.update(&format!("{:?}", system.ingest(*r)));
+    }
+}
+
+/// Digest over the end-of-run observables: flush + health + situation.
+fn state_digest(mut system: DatacronSystem) -> Digest {
+    let mut d = Digest::new();
+    d.update(&format!("{:?}", system.realtime.flush()));
+    d.update(&format!("{:?}", system.health()));
+    d.update(&format!("{:?}", system.situation(3, 30.0)));
+    d
+}
+
+fn main() {
+    let args = Args::parse();
+    let stream = input(args.seed, args.records);
+    let n = stream.len();
+    println!(
+        "recovery_drill: mode={} dir={} seed={} records={} crash_after={}",
+        args.mode,
+        args.dir.display(),
+        args.seed,
+        n,
+        args.crash_after
+    );
+
+    match args.mode.as_str() {
+        "baseline" => {
+            let k = args.crash_after.min(n);
+            let mut system = build_system();
+            system.enable_durability(durability_config(&args.dir)).expect("enable durability");
+            let mut prefix = Digest::new();
+            ingest_digest(&mut system, &stream[..k], &mut prefix);
+            println!("prefix_digest: {}", prefix.hex());
+            let mut suffix = Digest::new();
+            ingest_digest(&mut system, &stream[k..], &mut suffix);
+            println!("suffix_digest: {}", suffix.hex());
+            println!("state_digest: {}", state_digest(system).hex());
+        }
+        "crash" => {
+            let k = args.crash_after.min(n);
+            assert!(k > 0, "--crash-after must be > 0 in crash mode");
+            let mut system = build_system();
+            system.enable_durability(durability_config(&args.dir)).expect("enable durability");
+            let mut prefix = Digest::new();
+            ingest_digest(&mut system, &stream[..k], &mut prefix);
+            println!("prefix_digest: {}", prefix.hex());
+            println!("aborting after {k} records (simulated crash)");
+            // A real crash: no flush, no drop glue, no graceful shutdown.
+            std::process::abort();
+        }
+        "recover" => {
+            let (regions, ports) = context();
+            let (mut system, report) = DatacronSystem::recover(
+                DatacronConfig::maritime(extent()),
+                regions,
+                ports,
+                StoreConfig::default(),
+                durability_config(&args.dir),
+            )
+            .expect("recovery");
+            println!(
+                "recovered: checkpoint={:?} replayed={} through={} torn_bytes={} corrupt_ckpts={}",
+                report.checkpoint_seq,
+                report.replayed,
+                report.recovered_through,
+                report.truncated_tail_bytes,
+                report.corrupt_checkpoints
+            );
+            let start = report.recovered_through as usize;
+            assert!(start <= n, "recovered past the input stream");
+            let mut suffix = Digest::new();
+            ingest_digest(&mut system, &stream[start..], &mut suffix);
+            println!("suffix_digest: {}", suffix.hex());
+            println!("state_digest: {}", state_digest(system).hex());
+        }
+        _ => unreachable!(),
+    }
+}

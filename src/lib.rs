@@ -10,6 +10,7 @@
 pub use datacron_cep as cep;
 pub use datacron_core as core;
 pub use datacron_data as data;
+pub use datacron_durability as durability;
 pub use datacron_geo as geo;
 pub use datacron_linkdisc as linkdisc;
 pub use datacron_predict as predict;
