@@ -38,6 +38,11 @@ pub struct DatacronConfig {
     pub flp_window: usize,
     /// Supervision thresholds of the real-time layer.
     pub supervision: SupervisionConfig,
+    /// Whether the layer records metrics (counters, gauges, stage-latency
+    /// histograms) into its [`ObsRegistry`](datacron_obs::ObsRegistry).
+    /// When `false` the registry is disabled and every instrument is a
+    /// detached no-op, so the hot path pays nothing.
+    pub metrics: bool,
 }
 
 impl DatacronConfig {
@@ -54,6 +59,7 @@ impl DatacronConfig {
             linker: LinkerConfig::default(),
             flp_window: 12,
             supervision: SupervisionConfig::default(),
+            metrics: true,
         }
     }
 
@@ -70,6 +76,7 @@ impl DatacronConfig {
             linker: LinkerConfig::default(),
             flp_window: 12,
             supervision: SupervisionConfig::default(),
+            metrics: true,
         }
     }
 }

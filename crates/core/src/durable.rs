@@ -23,6 +23,7 @@
 //! panicked on: the pipeline keeps processing with degraded durability.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use crate::realtime::{
     DeadLetter, EntityCheckpoint, LayerState, RejectReason, SupervisionCheckpoint,
@@ -35,6 +36,7 @@ use datacron_durability::{
     RecoveryManager, WalConfig, WriteAheadLog,
 };
 use datacron_geo::{PositionReport, Timestamp};
+use datacron_obs::{LogHistogram, ObsRegistry};
 use datacron_stream::cleaning::CleaningOutcome;
 
 /// Durability settings for a [`DatacronSystem`]; off unless
@@ -97,10 +99,28 @@ pub(crate) struct DurabilityRuntime {
     pub(crate) wal_errors: u64,
     /// Reusable encode buffer for the ingest hot path.
     pub(crate) buf: ByteWriter,
+    /// Whether the timing instruments below are live (they come from the
+    /// real-time layer's registry, so durability shares one snapshot with
+    /// the pipeline).
+    pub(crate) timed: bool,
+    /// WAL append latency. Histograms only: timing series are excluded
+    /// from the deterministic counter contract, so durability adds no
+    /// run-to-run variance to count-typed metrics.
+    pub(crate) wal_append_ns: LogHistogram,
+    /// Checkpoint-time WAL sync latency.
+    pub(crate) wal_sync_ns: LogHistogram,
+    /// Full checkpoint duration (encode + sync + atomic save).
+    pub(crate) checkpoint_ns: LogHistogram,
+    /// Encoded checkpoint payload sizes.
+    pub(crate) checkpoint_bytes: LogHistogram,
 }
 
 impl DurabilityRuntime {
-    fn open(cfg: DurabilityConfig, last_checkpoint: Option<u64>) -> Result<Self, DurabilityError> {
+    fn open(
+        cfg: DurabilityConfig,
+        last_checkpoint: Option<u64>,
+        obs: &ObsRegistry,
+    ) -> Result<Self, DurabilityError> {
         let wal = WriteAheadLog::open(WalConfig {
             dir: cfg.dir.clone(),
             fsync: cfg.fsync,
@@ -115,8 +135,18 @@ impl DurabilityRuntime {
             replaying: false,
             wal_errors: 0,
             buf: ByteWriter::new(),
+            timed: obs.is_enabled(),
+            wal_append_ns: obs.histogram("durability.wal_append_ns"),
+            wal_sync_ns: obs.histogram("durability.wal_sync_ns"),
+            checkpoint_ns: obs.histogram("durability.checkpoint_ns"),
+            checkpoint_bytes: obs.histogram("durability.checkpoint_bytes"),
         })
     }
+}
+
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Appends `report` to the WAL ahead of processing. I/O failures are
@@ -130,9 +160,13 @@ pub(crate) fn log_report(system: &mut DatacronSystem, report: &PositionReport) {
     }
     rt.buf.reset();
     report.encode(&mut rt.buf);
-    let DurabilityRuntime { wal, wal_errors, buf, .. } = rt;
+    let DurabilityRuntime { wal, wal_errors, buf, timed, wal_append_ns, .. } = rt;
+    let t0 = timed.then(Instant::now);
     if wal.append(buf.as_bytes()).is_err() {
         *wal_errors += 1;
+    }
+    if let Some(t0) = t0 {
+        wal_append_ns.record(elapsed_ns(t0));
     }
 }
 
@@ -152,6 +186,8 @@ pub(crate) fn maybe_checkpoint(system: &mut DatacronSystem) {
     if !due {
         return;
     }
+    let timed = system.durability.as_ref().is_some_and(|rt| rt.timed);
+    let start = timed.then(Instant::now);
     let state = SystemState {
         total_reports: system.total_reports,
         total_detections: system.total_detections,
@@ -162,9 +198,17 @@ pub(crate) fn maybe_checkpoint(system: &mut DatacronSystem) {
     let payload = encode_to_vec(&state);
     let seq = system.total_reports;
     let rt = system.durability.as_mut().expect("checked above");
+    if timed {
+        rt.checkpoint_bytes.record(payload.len() as u64);
+    }
     // The checkpoint claims coverage of [0, seq): those records must be on
     // disk before it is.
-    if rt.wal.sync().is_err() {
+    let t0 = timed.then(Instant::now);
+    let synced = rt.wal.sync();
+    if let Some(t0) = t0 {
+        rt.wal_sync_ns.record(elapsed_ns(t0));
+    }
+    if synced.is_err() {
         rt.wal_errors += 1;
         return; // don't persist a checkpoint ahead of its records
     }
@@ -176,6 +220,9 @@ pub(crate) fn maybe_checkpoint(system: &mut DatacronSystem) {
                 let _ = rt.wal.retain_from(*oldest);
             }
         }
+    }
+    if let Some(start) = start {
+        rt.checkpoint_ns.record(elapsed_ns(start));
     }
 }
 
@@ -203,7 +250,7 @@ impl DatacronSystem {
     /// [`DurabilityError::SequenceMismatch`] — use
     /// [`recover`](Self::recover) for that.
     pub fn enable_durability(&mut self, config: DurabilityConfig) -> Result<(), DurabilityError> {
-        let rt = DurabilityRuntime::open(config, None)?;
+        let rt = DurabilityRuntime::open(config, None, self.realtime.obs())?;
         if rt.wal.next_seq() != self.total_reports {
             return Err(DurabilityError::SequenceMismatch {
                 wal: rt.wal.next_seq(),
@@ -263,7 +310,7 @@ impl DatacronSystem {
         }
 
         // Opening the log for append truncates any torn tail.
-        let mut rt = DurabilityRuntime::open(durability, checkpoint_seq)?;
+        let mut rt = DurabilityRuntime::open(durability, checkpoint_seq, system.realtime.obs())?;
         rt.replaying = true;
         system.durability = Some(rt);
 

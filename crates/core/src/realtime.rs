@@ -21,6 +21,7 @@ use datacron_durability::TopicCheckpoint;
 use datacron_geo::hash::FxHashMap;
 use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
 use datacron_linkdisc::{Link, LinkStats, LinkerConfig, StaticLinker};
+use datacron_obs::{Counter, LogHistogram, MetricsSnapshot, ObsRegistry};
 use datacron_predict::flp::Predictor;
 use datacron_predict::RmfStarPredictor;
 use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
@@ -36,6 +37,7 @@ use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator, Synopses
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a record was rejected instead of processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +202,71 @@ type Symbolizer = Arc<dyn Fn(&CriticalPoint) -> Option<u8> + Send + Sync>;
 /// the chain. May panic; supervision contains the blast radius.
 type EntityStage = Arc<dyn Fn(&PositionReport) + Send + Sync>;
 
+/// How often the chain samples stage latencies: one record in
+/// `STAGE_SAMPLE + 1` pays the `Instant::now()` calls that feed the
+/// `stage.*_ns` histograms. Counters are exact and unsampled.
+const STAGE_SAMPLE: u64 = 63;
+
+/// Pre-resolved instrument handles for the ingest hot path. Counters are
+/// exact (bumped on every record — a relaxed atomic add, or nothing when
+/// the registry is disabled); stage-latency histograms are fed from a
+/// 1-in-64 record sample so the steady state never pays two clock reads
+/// per stage per record.
+struct LayerMetrics {
+    enabled: bool,
+    records: Counter,
+    accepted: Counter,
+    dead_lettered: Counter,
+    rejected_cleaning: Counter,
+    rejected_quarantined: Counter,
+    rejected_panic: Counter,
+    panics: Counter,
+    restarts: Counter,
+    critical_points: Counter,
+    area_events: Counter,
+    links: Counter,
+    triples: Counter,
+    cep_matches: Counter,
+    stage_clean_ns: LogHistogram,
+    stage_synopses_ns: LogHistogram,
+    stage_link_ns: LogHistogram,
+    stage_rdf_ns: LogHistogram,
+    stage_cep_ns: LogHistogram,
+    ingest_ns: LogHistogram,
+}
+
+impl LayerMetrics {
+    fn new(obs: &ObsRegistry) -> Self {
+        Self {
+            enabled: obs.is_enabled(),
+            records: obs.counter("ingest.records"),
+            accepted: obs.counter("ingest.accepted"),
+            dead_lettered: obs.counter("ingest.dead_lettered"),
+            rejected_cleaning: obs.counter("ingest.rejected.cleaning"),
+            rejected_quarantined: obs.counter("ingest.rejected.quarantined"),
+            rejected_panic: obs.counter("ingest.rejected.panic"),
+            panics: obs.counter("supervision.panics"),
+            restarts: obs.counter("supervision.restarts"),
+            critical_points: obs.counter("synopses.critical_points"),
+            area_events: obs.counter("lowlevel.area_events"),
+            links: obs.counter("linkdisc.links"),
+            triples: obs.counter("rdf.triples"),
+            cep_matches: obs.counter("cep.matches"),
+            stage_clean_ns: obs.histogram("stage.clean_ns"),
+            stage_synopses_ns: obs.histogram("stage.synopses_ns"),
+            stage_link_ns: obs.histogram("stage.link_ns"),
+            stage_rdf_ns: obs.histogram("stage.rdf_ns"),
+            stage_cep_ns: obs.histogram("stage.cep_ns"),
+            ingest_ns: obs.histogram("stage.ingest_ns"),
+        }
+    }
+}
+
+/// Nanoseconds since `t0`, saturating at `u64::MAX`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// Per-entity streaming state.
 struct EntityState {
     cleaner: StreamCleaner,
@@ -242,6 +309,15 @@ pub struct RealTimeLayer {
     /// refilled by the synopses stage each record, so the steady-state hot
     /// path allocates nothing for records that emit no critical point.
     cps_scratch: Vec<CriticalPoint>,
+    /// Instrument registry ([disabled](ObsRegistry::disabled) when
+    /// [`DatacronConfig::metrics`] is off).
+    obs: ObsRegistry,
+    /// Pre-resolved hot-path instrument handles.
+    metrics: LayerMetrics,
+    /// Records ingested, for the 1-in-64 stage-latency sample. Not part of
+    /// the durable state: sampling only shapes timing histograms, never
+    /// outputs.
+    metric_ticks: u64,
     // --- topics ---
     /// Accepted (clean) reports that completed the full chain.
     pub cleaned: Arc<Topic<PositionReport>>,
@@ -272,6 +348,12 @@ impl RealTimeLayer {
                 ..config.linker.clone()
             },
         );
+        let obs = if config.metrics {
+            ObsRegistry::new()
+        } else {
+            ObsRegistry::disabled()
+        };
+        let metrics = LayerMetrics::new(&obs);
         Self {
             monitor,
             linker,
@@ -288,6 +370,9 @@ impl RealTimeLayer {
             watermark: Timestamp(i64::MIN),
             ingests_since_sweep: 0,
             cps_scratch: Vec::new(),
+            obs,
+            metrics,
+            metric_ticks: 0,
             cleaned: Topic::new("cleaned"),
             critical: Topic::new("critical-points"),
             area_events: Topic::new("area-events"),
@@ -371,6 +456,20 @@ impl RealTimeLayer {
     /// cleaning rejections, quarantined entities and processing panics all
     /// surface as dead letters rather than lost records or a crashed layer.
     pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
+        self.metrics.records.inc();
+        self.metric_ticks += 1;
+        let timed = self.metrics.enabled && self.metric_ticks & STAGE_SAMPLE == 0;
+        let t0 = timed.then(Instant::now);
+        let out = self.ingest_inner(report, timed);
+        if let Some(t0) = t0 {
+            self.metrics.ingest_ns.record(elapsed_ns(t0));
+        }
+        out
+    }
+
+    /// The ingest chain body; `timed` marks the records sampled into the
+    /// `stage.*_ns` latency histograms.
+    fn ingest_inner(&mut self, report: PositionReport, timed: bool) -> IngestOutput {
         // Event-time bookkeeping: watermark + periodic idle-supervision
         // sweep (bounds supervision memory over week-long replays).
         if report.ts > self.watermark {
@@ -410,7 +509,11 @@ impl RealTimeLayer {
             history: VecDeque::new(),
             cep: cep_template.clone(),
         });
+        let t0 = timed.then(Instant::now);
         let outcome = state.cleaner.check(&report);
+        if let Some(t0) = t0 {
+            self.metrics.stage_clean_ns.record(elapsed_ns(t0));
+        }
         if outcome != CleaningOutcome::Accepted {
             return self.reject(report, RejectReason::Cleaning(outcome));
         }
@@ -418,14 +521,17 @@ impl RealTimeLayer {
         // 2–8. The supervised section: any panic in per-entity processing
         // is caught, the entity state is discarded (restart) and the record
         // dead-lettered.
-        match catch_unwind(AssertUnwindSafe(|| self.process_accepted(report))) {
+        match catch_unwind(AssertUnwindSafe(|| self.process_accepted(report, timed))) {
             Ok(mut out) => {
                 out.accepted = true;
                 self.accepted_total += 1;
+                self.metrics.accepted.inc();
                 out
             }
             Err(payload) => {
                 self.panics_total += 1;
+                self.metrics.panics.inc();
+                self.metrics.restarts.inc();
                 // Restart: drop the (possibly inconsistent) entity state;
                 // the entity re-enters fresh on its next record.
                 self.entities.remove(&report.entity);
@@ -470,6 +576,12 @@ impl RealTimeLayer {
 
     /// Publishes a dead letter and returns the rejection output.
     fn reject(&mut self, report: PositionReport, reason: RejectReason) -> IngestOutput {
+        self.metrics.dead_lettered.inc();
+        match reason {
+            RejectReason::Cleaning(_) => self.metrics.rejected_cleaning.inc(),
+            RejectReason::Quarantined => self.metrics.rejected_quarantined.inc(),
+            RejectReason::ProcessingPanic => self.metrics.rejected_panic.inc(),
+        }
         self.dead_letters.publish(DeadLetter { report, reason });
         IngestOutput {
             rejected: Some(reason),
@@ -481,7 +593,7 @@ impl RealTimeLayer {
     /// `catch_unwind`; publishes to the output topics only as products are
     /// produced, with `cleaned` published first so downstream topic
     /// contents remain an in-order prefix-consistent view.
-    fn process_accepted(&mut self, report: PositionReport) -> IngestOutput {
+    fn process_accepted(&mut self, report: PositionReport, timed: bool) -> IngestOutput {
         let mut out = IngestOutput::default();
         let state = self
             .entities
@@ -507,12 +619,21 @@ impl RealTimeLayer {
         // 4. Low-level area events.
         out.area_events = self.monitor.observe(&report);
         self.area_events.publish_batch(out.area_events.iter().copied());
+        self.metrics.area_events.add(out.area_events.len() as u64);
 
         // 5. Synopses, into the reused scratch buffer (no per-record
         // allocation in the common no-critical-point case).
         let mut cps = std::mem::take(&mut self.cps_scratch);
         cps.clear();
+        let t0 = timed.then(Instant::now);
         state.synopses.process(report, &mut cps);
+        if let Some(t0) = t0 {
+            self.metrics.stage_synopses_ns.record(elapsed_ns(t0));
+        }
+        // Per-record accumulators for the sampled downstream-stage timings
+        // (the stages interleave per critical point; one histogram sample
+        // per record keeps the distributions per-record comparable).
+        let (mut rdf_ns, mut link_ns, mut cep_ns) = (0u64, 0u64, 0u64);
         for cp in &cps {
             self.critical.publish(*cp);
             // 6. RDF generation per critical point: generate straight into
@@ -520,16 +641,25 @@ impl RealTimeLayer {
             // topic clones (it must own its copy), but the intermediate
             // per-point `Vec<Triple>` and its extra whole-set clone are
             // gone.
+            let t0 = timed.then(Instant::now);
             let triples_start = out.triples.len();
             self.rdfizer.generate_into(&critical_point_vector(cp), &mut out.triples);
             self.triples.publish_batch(out.triples[triples_start..].iter().cloned());
+            if let Some(t0) = t0 {
+                rdf_ns += elapsed_ns(t0);
+            }
             // 7. Link discovery on the critical point, same single-buffer
             // pattern.
+            let t0 = timed.then(Instant::now);
             let links_start = out.links.len();
             out.links
                 .extend(self.linker.link_point(cp.report.entity, cp.report.ts, &cp.report.point));
             self.links.publish_batch(out.links[links_start..].iter().copied());
+            if let Some(t0) = t0 {
+                link_ns += elapsed_ns(t0);
+            }
             // 8. CEP.
+            let t0 = timed.then(Instant::now);
             if let (Some(engine), Some(symbolizer)) = (&mut state.cep, &self.cep_symbolizer) {
                 if let Some(sym) = symbolizer(cp) {
                     let step = engine.process(sym);
@@ -538,7 +668,19 @@ impl RealTimeLayer {
                     }
                 }
             }
+            if let Some(t0) = t0 {
+                cep_ns += elapsed_ns(t0);
+            }
         }
+        if timed && !cps.is_empty() {
+            self.metrics.stage_rdf_ns.record(rdf_ns);
+            self.metrics.stage_link_ns.record(link_ns);
+            self.metrics.stage_cep_ns.record(cep_ns);
+        }
+        self.metrics.critical_points.add(cps.len() as u64);
+        self.metrics.triples.add(out.triples.len() as u64);
+        self.metrics.links.add(out.links.len() as u64);
+        self.metrics.cep_matches.add(out.cep_detections as u64);
         out.critical_points.extend_from_slice(&cps);
         self.cps_scratch = cps;
         out
@@ -596,6 +738,49 @@ impl RealTimeLayer {
         }
     }
 
+    /// The layer's instrument registry — the place for adjacent subsystems
+    /// (durability, custom stages) to register their own instruments so
+    /// one snapshot covers the whole system. Disabled (all instruments
+    /// detached no-ops) when [`DatacronConfig::metrics`] is off.
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
+    }
+
+    /// A deterministic point-in-time metrics snapshot: every registry
+    /// instrument, plus per-topic counters folded in as `topic.<name>.*`
+    /// series and per-topic retention as `topic.<name>.retained` gauges.
+    ///
+    /// Count-typed series depend only on the input stream — never on
+    /// thread interleaving or wall-clock — so merging a sharded run's
+    /// per-shard snapshots reproduces a single-threaded run's counters
+    /// bit-for-bit ([`MetricsSnapshot::counters_only`]). Gauges and
+    /// histograms carry occupancies and timings and are excluded from that
+    /// contract. Empty when metrics are disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot();
+        if self.obs.is_enabled() {
+            for health in [
+                self.cleaned.health(),
+                self.critical.health(),
+                self.area_events.health(),
+                self.triples.health(),
+                self.links.health(),
+                self.dead_letters.health(),
+            ] {
+                let n = &health.name;
+                snap.add_counter(&format!("topic.{n}.published"), health.stats.published);
+                snap.add_counter(&format!("topic.{n}.rejected"), health.stats.rejected);
+                snap.add_counter(&format!("topic.{n}.dropped"), health.stats.dropped);
+                snap.add_counter(&format!("topic.{n}.reclaimed"), health.stats.reclaimed);
+                snap.add_counter(&format!("topic.{n}.blocked"), health.stats.blocked);
+                snap.add_counter(&format!("topic.{n}.consumed"), health.stats.consumed);
+                snap.add_counter(&format!("topic.{n}.lag_signals"), health.stats.lag_signals);
+                snap.set_gauge(&format!("topic.{n}.retained"), health.retained as i64);
+            }
+        }
+        snap
+    }
+
     /// Ingests a batch, returning the merged outputs.
     pub fn ingest_batch(&mut self, reports: impl IntoIterator<Item = PositionReport>) -> Vec<IngestOutput> {
         reports.into_iter().map(|r| self.ingest(r)).collect()
@@ -619,8 +804,10 @@ impl RealTimeLayer {
             for cp in &cps {
                 self.critical.publish(*cp);
                 let triples = self.rdfizer.generate(&critical_point_vector(cp));
+                self.metrics.triples.add(triples.len() as u64);
                 self.triples.publish_batch(triples);
             }
+            self.metrics.critical_points.add(cps.len() as u64);
             all.extend_from_slice(&cps);
         }
         all

@@ -33,6 +33,7 @@ use crate::realtime::{
     ComponentStatus, HealthReport, IngestOutput, LayerState, RealTimeLayer, RejectReason,
 };
 use datacron_geo::{GeoPoint, Polygon, PositionReport};
+use datacron_obs::MetricsSnapshot;
 use datacron_stream::bus::TopicHealth;
 use datacron_stream::parallel::{
     SeqStamp, ShardStage, ShardedConfig, ShardedExecutor,
@@ -81,6 +82,7 @@ impl ShardStage for RealTimeShard {
     type Flush = Vec<CriticalPoint>;
     type Snapshot = HealthReport;
     type Checkpoint = LayerState;
+    type Metrics = MetricsSnapshot;
 
     fn on_record(&mut self, report: PositionReport) -> ShardOutput {
         let output = self.layer.ingest(report);
@@ -97,6 +99,10 @@ impl ShardStage for RealTimeShard {
 
     fn checkpoint(&self) -> LayerState {
         self.layer.checkpoint_state()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.layer.metrics_snapshot()
     }
 }
 
@@ -248,6 +254,28 @@ impl ShardedRealTimeLayer {
         self.exec.snapshot_all()
     }
 
+    /// Metrics barrier: every shard finishes its queued records and
+    /// snapshots its instruments; the per-shard snapshots and the
+    /// executor's own (queue depths, merge occupancy, submit→merge
+    /// latency) merge into one layer-wide [`MetricsSnapshot`]. The merged
+    /// count-typed series equal a single-threaded [`RealTimeLayer`]'s over
+    /// the same input, bit for bit.
+    pub fn metrics(&mut self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::new();
+        for snap in self.exec.metrics_all() {
+            merged.merge(&snap);
+        }
+        merged.merge(&self.exec.obs_snapshot());
+        merged
+    }
+
+    /// Per-shard metrics snapshots, in shard order (metrics barrier). The
+    /// executor's own instruments are not included; see
+    /// [`metrics`](Self::metrics) for the merged fleet view.
+    pub fn metrics_by_shard(&mut self) -> Vec<MetricsSnapshot> {
+        self.exec.metrics_all()
+    }
+
     /// Checkpoint barrier: every shard finishes its queued records and
     /// captures its complete durable state. The returned states (shard
     /// order) form a consistent cut — every record ingested before the
@@ -304,6 +332,8 @@ pub fn merge_health(shards: &[HealthReport]) -> HealthReport {
                     m.stats.dropped += t.stats.dropped;
                     m.stats.reclaimed += t.stats.reclaimed;
                     m.stats.blocked += t.stats.blocked;
+                    m.stats.consumed += t.stats.consumed;
+                    m.stats.lag_signals += t.stats.lag_signals;
                 }
                 None => topics.push(t.clone()),
             }

@@ -131,6 +131,19 @@ impl DatacronSystem {
         }
     }
 
+    /// A deterministic point-in-time metrics snapshot of the whole system:
+    /// the real-time layer's counters, stage-latency histograms and
+    /// per-topic series, plus the durability instruments (WAL append/sync
+    /// latency, checkpoint size and duration) when durability is enabled —
+    /// they register into the same
+    /// [`ObsRegistry`](datacron_obs::ObsRegistry), so one snapshot covers
+    /// everything. Serialize with
+    /// [`to_json`](datacron_obs::MetricsSnapshot::to_json) or
+    /// [`to_prometheus`](datacron_obs::MetricsSnapshot::to_prometheus).
+    pub fn metrics(&self) -> datacron_obs::MetricsSnapshot {
+        self.realtime.metrics_snapshot()
+    }
+
     /// The real-time layer's current health report, with durability
     /// counters filled in when durability is enabled.
     pub fn health(&self) -> HealthReport {

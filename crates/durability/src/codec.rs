@@ -490,6 +490,8 @@ impl Encode for TopicStats {
         w.put_u64(self.dropped);
         w.put_u64(self.reclaimed);
         w.put_u64(self.blocked);
+        w.put_u64(self.consumed);
+        w.put_u64(self.lag_signals);
     }
 }
 
@@ -501,6 +503,8 @@ impl Decode for TopicStats {
             dropped: r.get_u64()?,
             reclaimed: r.get_u64()?,
             blocked: r.get_u64()?,
+            consumed: r.get_u64()?,
+            lag_signals: r.get_u64()?,
         })
     }
 }
@@ -982,7 +986,15 @@ mod tests {
     fn topic_checkpoint_roundtrips() {
         let ck = TopicCheckpoint {
             base: 17,
-            stats: TopicStats { published: 40, rejected: 1, dropped: 2, reclaimed: 17, blocked: 3 },
+            stats: TopicStats {
+                published: 40,
+                rejected: 1,
+                dropped: 2,
+                reclaimed: 17,
+                blocked: 3,
+                consumed: 23,
+                lag_signals: 4,
+            },
             retained: vec![sample_report(1, 10), sample_report(2, 20)],
         };
         assert_eq!(roundtrip(&ck), ck);

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency observability primitives for the datAcron pipeline.
+//!
+//! Time-critical architectures are evaluated by where time and records go
+//! — per-stage latency, queue depth, drop accounting — not by end-to-end
+//! totals alone. This crate provides the instruments the rest of the
+//! workspace hangs those measurements on:
+//!
+//! - [`Counter`] / [`Gauge`] — relaxed atomics behind `Arc`, cloneable
+//!   handles that can be resolved once and bumped from hot loops.
+//! - [`LogHistogram`] — log₂-bucketed latency/size histogram with O(1)
+//!   record and a mergeable [`HistogramSnapshot`] (p50/p90/p99/max), so
+//!   per-shard histograms combine exactly.
+//! - [`SpanTimer`] — records elapsed nanoseconds into a histogram on drop.
+//! - [`ObsRegistry`] — the named-instrument registry a pipeline threads
+//!   through its layers. A disabled registry hands out detached
+//!   instruments so instrumented code needs no `if` at every call site.
+//! - [`MetricsSnapshot`] — a deterministic (sorted, mergeable) point-in-time
+//!   view with hand-written JSON and Prometheus-style text exposition.
+//!
+//! Determinism contract: counters are *count-typed* — for a fixed input
+//! and seed they must be bit-identical however the pipeline is sharded.
+//! Gauges and histograms are *timing/occupancy-typed* and are excluded
+//! from equivalence checks ([`MetricsSnapshot::counters_only`]).
+
+mod counter;
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, SpanTimer, BUCKETS};
+pub use registry::ObsRegistry;
+pub use snapshot::MetricsSnapshot;

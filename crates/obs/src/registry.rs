@@ -1,0 +1,156 @@
+//! The named-instrument registry threaded through the pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::{Counter, Gauge, LogHistogram, MetricsSnapshot};
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, LogHistogram>>,
+}
+
+/// A cloneable handle to a set of named instruments.
+///
+/// Layers resolve their instruments once at construction (`registry.
+/// counter("ingest.records")`) and keep the returned handles — the maps are
+/// only locked at registration and snapshot time, never on the hot path.
+///
+/// A *disabled* registry ([`ObsRegistry::disabled`]) hands out detached
+/// instruments that work but are never snapshotted, so instrumented code
+/// does not need an `if metrics_enabled` at every call site; callers should
+/// still gate `Instant::now()`-style measurement cost on
+/// [`ObsRegistry::is_enabled`].
+#[derive(Clone, Default)]
+pub struct ObsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl ObsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        ObsRegistry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A registry that records nothing: every instrument it hands out is
+    /// detached, and [`ObsRegistry::snapshot`] is always empty.
+    pub fn disabled() -> Self {
+        ObsRegistry { inner: None }
+    }
+
+    /// Whether this registry actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter registered as `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::new(),
+            Some(inner) => inner
+                .counters
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// The gauge registered as `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::new(),
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// The histogram registered as `name`, creating it if new.
+    pub fn histogram(&self, name: &str) -> LogHistogram {
+        match &self.inner {
+            None => LogHistogram::new(),
+            Some(inner) => inner
+                .histograms
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument, sorted by
+    /// name. Empty for a disabled registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        for (name, c) in inner.counters.lock().unwrap().iter() {
+            snap.add_counter(name, c.get());
+        }
+        for (name, g) in inner.gauges.lock().unwrap().iter() {
+            snap.set_gauge(name, g.get());
+        }
+        for (name, h) in inner.histograms.lock().unwrap().iter() {
+            let s = h.snapshot();
+            if !s.is_empty() {
+                snap.add_histogram(name, s);
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let r = ObsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn disabled_registry_snapshots_empty() {
+        let r = ObsRegistry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        c.add(10);
+        r.gauge("g").set(3);
+        r.histogram("h").record(1);
+        let s = r.snapshot();
+        assert!(s.counters().is_empty());
+        assert!(s.gauges().is_empty());
+        assert!(s.histograms().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_skips_empty_histograms() {
+        let r = ObsRegistry::new();
+        r.counter("b.second").inc();
+        r.counter("a.first").inc();
+        let _unused = r.histogram("never.recorded");
+        r.histogram("h").record(9);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "b.second"]);
+        assert!(s.histogram("never.recorded").is_none());
+        assert!(s.histogram("h").is_some());
+    }
+}

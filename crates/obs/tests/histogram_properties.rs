@@ -1,0 +1,129 @@
+//! Property tests for the log-bucketed histogram: merge is an exact
+//! commutative monoid operation with the empty snapshot as identity,
+//! recorded values never escape their bucket bounds, and quantile
+//! estimates are monotone and confined to the observed range.
+
+use datacron_obs::{bucket_index, bucket_upper_bound, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::empty();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-shard snapshots in any association gives the same
+    /// aggregate: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 8),
+        b in proptest::collection::vec(0u64..u64::MAX, 8),
+        c in proptest::collection::vec(0u64..u64::MAX, 8),
+        cut_a in 0usize..8,
+        cut_b in 0usize..8,
+    ) {
+        // Vary shard sizes (including empty shards) via the cut points.
+        let (a, b, c) = (&a[..cut_a], &b[..cut_b], &c[..]);
+        let (sa, sb, sc) = (build(a), build(b), build(c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // And both equal recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(b).chain(c).copied().collect();
+        prop_assert_eq!(&left, &build(&all));
+    }
+
+    /// a ⊕ b == b ⊕ a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 16),
+        b in proptest::collection::vec(0u64..1_000_000_000, 16),
+        cut in 0usize..16,
+    ) {
+        let (sa, sb) = (build(&a[..cut]), build(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// The empty snapshot is the identity on both sides.
+    #[test]
+    fn empty_is_identity(
+        a in proptest::collection::vec(0u64..u64::MAX, 12),
+    ) {
+        let s = build(&a);
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&s);
+        prop_assert_eq!(&left, &s);
+        let mut right = s.clone();
+        right.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&right, &s);
+    }
+
+    /// Every recorded value lands in the bucket that brackets it, and the
+    /// histogram totals account for every record.
+    #[test]
+    fn values_never_escape_bucket_bounds(
+        values in proptest::collection::vec(0u64..u64::MAX, 32),
+    ) {
+        let s = build(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        for &v in &values {
+            let i = bucket_index(v);
+            prop_assert!(v <= bucket_upper_bound(i), "v={} escapes bucket {}", v, i);
+            if i > 0 {
+                prop_assert!(v > bucket_upper_bound(i - 1), "v={} below bucket {}", v, i);
+            }
+        }
+        let bucket_total: u64 = s.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, s.count);
+        prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+    }
+
+    /// Quantiles are monotone in q, stay inside [min, max], and hit the
+    /// extremes exactly at q = 0⁺ and q = 1.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..10_000_000_000, 24),
+        len in 1usize..24,
+    ) {
+        let s = build(&values[..len]);
+        let mut prev = 0u64;
+        for step in 0..=40 {
+            let q = step as f64 / 40.0;
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < {}", q, v, prev);
+            prop_assert!(v >= s.min && v <= s.max, "quantile({}) = {} outside [{}, {}]", q, v, s.min, s.max);
+            prev = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    /// The empty histogram is inert: zero quantiles at every q, zero mean.
+    #[test]
+    fn empty_histogram_edge_cases(q in 0u64..101) {
+        let s = HistogramSnapshot::empty();
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(s.quantile(q as f64 / 100.0), 0);
+        prop_assert_eq!(s.p50(), 0);
+        prop_assert_eq!(s.p99(), 0);
+        prop_assert!(s.mean() == 0.0);
+    }
+}

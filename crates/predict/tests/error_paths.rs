@@ -1,0 +1,135 @@
+//! Prediction error paths: every predictor and the FLP harness must
+//! degrade gracefully — short, degenerate or empty inputs fall back to
+//! simpler models or `None`, never panic, and never produce non-finite
+//! coordinates.
+
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp, Trajectory};
+use datacron_predict::flp::{
+    evaluate_flp, evaluate_flp_corpus, LinearExtrapolation, Persistence, Predictor,
+};
+use datacron_predict::{RmfPredictor, RmfStarPredictor};
+
+fn straight(n: usize) -> Trajectory {
+    let mut p = GeoPoint::new(0.0, 40.0);
+    let mut reports = Vec::new();
+    for i in 0..n {
+        reports.push(PositionReport::basic(
+            EntityId::vessel(1),
+            Timestamp::from_secs(i as i64 * 8),
+            p,
+        ));
+        p = p.destination(90.0, 80.0);
+    }
+    Trajectory::from_reports(reports)
+}
+
+fn all_predictors() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Persistence),
+        Box::new(LinearExtrapolation),
+        Box::new(RmfPredictor::new(2)),
+        Box::new(RmfStarPredictor::default()),
+    ]
+}
+
+#[test]
+fn evaluate_flp_rejects_degenerate_parameters() {
+    let t = straight(40);
+    assert!(evaluate_flp(&t, &Persistence, 0, 4).is_none(), "window 0");
+    assert!(evaluate_flp(&t, &Persistence, 8, 0).is_none(), "steps 0");
+    assert!(evaluate_flp(&straight(0), &Persistence, 8, 4).is_none(), "empty trajectory");
+    assert!(evaluate_flp(&straight(1), &Persistence, 8, 4).is_none(), "single point");
+    // Exactly too short: needs window + steps + 1 points.
+    assert!(evaluate_flp(&straight(12), &Persistence, 8, 4).is_none());
+    assert!(evaluate_flp(&straight(13), &Persistence, 8, 4).is_some());
+}
+
+#[test]
+fn evaluate_flp_corpus_skips_unusable_trajectories() {
+    assert!(evaluate_flp_corpus(&[], &Persistence, 8, 4).is_none(), "empty corpus");
+    let short = vec![straight(3), straight(0), straight(5)];
+    assert!(evaluate_flp_corpus(&short, &Persistence, 8, 4).is_none(), "all too short");
+    // A mixed corpus pools only the usable trajectory.
+    let mixed = vec![straight(3), straight(30)];
+    let pooled = evaluate_flp_corpus(&mixed, &Persistence, 8, 4).unwrap();
+    let alone = evaluate_flp(&straight(30), &Persistence, 8, 4).unwrap();
+    assert_eq!(pooled.evaluations, alone.evaluations);
+}
+
+#[test]
+fn every_predictor_survives_empty_history() {
+    for p in all_predictors() {
+        let preds = p.predict(&[], &[8.0, 16.0, 24.0]);
+        assert_eq!(preds.len(), 3, "{}", p.name());
+        assert!(
+            preds.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "{}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn every_predictor_survives_single_point_history() {
+    for p in all_predictors() {
+        let preds = p.predict(&[(100.0, -50.0, 0.0)], &[8.0, 16.0]);
+        assert_eq!(preds.len(), 2, "{}", p.name());
+        // One sample carries no velocity: every model must fall back to
+        // persistence at the only known position.
+        assert!(
+            preds.iter().all(|&(x, y)| x == 100.0 && y == -50.0),
+            "{}: {preds:?}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn every_predictor_survives_zero_dt_history() {
+    // Duplicate timestamps make every velocity estimate 0/0; predictors
+    // must guard the division, not emit NaN.
+    let h = [(0.0, 0.0, 10.0), (5.0, 5.0, 10.0), (9.0, 9.0, 10.0)];
+    for p in all_predictors() {
+        let preds = p.predict(&h, &[18.0, 26.0]);
+        assert_eq!(preds.len(), 2, "{}", p.name());
+        assert!(
+            preds.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "{}: {preds:?}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn every_predictor_handles_empty_future_times() {
+    let h: Vec<(f64, f64, f64)> = (0..10).map(|i| (10.0 * i as f64, 0.0, 8.0 * i as f64)).collect();
+    for p in all_predictors() {
+        assert!(p.predict(&h, &[]).is_empty(), "{}", p.name());
+    }
+}
+
+#[test]
+fn stationary_history_predicts_in_place() {
+    // Zero speed is a legitimate steady state (a moored vessel), not an
+    // error: predictions must hold position, finitely.
+    let h: Vec<(f64, f64, f64)> = (0..10).map(|i| (42.0, -7.0, 8.0 * i as f64)).collect();
+    for p in all_predictors() {
+        let preds = p.predict(&h, &[80.0, 88.0, 96.0]);
+        for (k, &(x, y)) in preds.iter().enumerate() {
+            assert!(
+                (x - 42.0).abs() < 1e-6 && (y + 7.0).abs() < 1e-6,
+                "{} step {k}: ({x}, {y})",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn high_order_rmf_on_short_history_falls_back() {
+    // Order exceeds what the history can support: RMF must fall back to
+    // persistence rather than fit an underdetermined system.
+    let h = [(0.0, 0.0, 0.0), (10.0, 0.0, 8.0), (20.0, 0.0, 16.0)];
+    let preds = RmfPredictor::new(8).predict(&h, &[24.0, 32.0]);
+    assert!(preds.iter().all(|&(x, y)| x == 20.0 && y == 0.0), "{preds:?}");
+}

@@ -124,6 +124,12 @@ pub struct TopicStats {
     pub reclaimed: u64,
     /// Times a `Block` publish had to wait.
     pub blocked: u64,
+    /// Messages delivered to consumers via `poll`/`poll_wait` (each
+    /// delivery counts once per consumer, so with two consumers this is
+    /// up to `2 × published`).
+    pub consumed: u64,
+    /// Times a consumer observed a [`Lagged`] signal.
+    pub lag_signals: u64,
 }
 
 /// A point-in-time health snapshot of one topic.
@@ -286,6 +292,13 @@ impl<T: Clone> Topic<T> {
                         }
                         inner.stats.blocked += 1;
                         waited = true;
+                        // A batch publish appends its prefix without
+                        // signalling until the whole batch is done, so a
+                        // consumer parked in `poll_wait` has not been woken
+                        // yet. Wake it before parking ourselves, or producer
+                        // and consumer both sleep on `progress` until the
+                        // block timeout expires.
+                        self.progress.notify_all();
                         let deadline = std::time::Instant::now() + self.config.block_timeout;
                         loop {
                             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -476,7 +489,7 @@ impl<T: Clone> Topic<T> {
             return Vec::new();
         }
         let start = (from - inner.base) as usize;
-        let stop = inner.log.len().min(start + max);
+        let stop = inner.log.len().min(start.saturating_add(max));
         inner.log.range(start..stop).cloned().collect()
     }
 
@@ -515,8 +528,15 @@ impl<T: Clone> Consumer<T> {
     pub fn poll(&mut self, max: usize) -> Result<Vec<T>, Lagged> {
         let offset = self.pos.load(Ordering::Acquire);
         let (batch, base) = {
-            let inner = self.topic.lock();
-            (self.read_locked(&inner, offset, max), inner.base)
+            let mut inner = self.topic.lock();
+            let batch = self.read_locked(&inner, offset, max);
+            let base = inner.base;
+            if base > offset {
+                inner.stats.lag_signals += 1;
+            } else {
+                inner.stats.consumed += batch.len() as u64;
+            }
+            (batch, base)
         };
         if base > offset {
             let skipped = base - offset;
@@ -546,6 +566,7 @@ impl<T: Clone> Consumer<T> {
             let mut inner = self.topic.lock();
             let base = inner.base;
             if base > offset {
+                inner.stats.lag_signals += 1;
                 drop(inner);
                 let skipped = base - offset;
                 self.skipped_total += skipped;
@@ -555,6 +576,7 @@ impl<T: Clone> Consumer<T> {
             }
             let batch = self.read_locked(&inner, offset, max);
             if !batch.is_empty() {
+                inner.stats.consumed += batch.len() as u64;
                 drop(inner);
                 self.pos.store(offset + batch.len() as u64, Ordering::Release);
                 self.topic.note_progress();
@@ -579,7 +601,9 @@ impl<T: Clone> Consumer<T> {
             return Vec::new();
         }
         let start = (from - inner.base) as usize;
-        let stop = inner.log.len().min(start + max);
+        // Saturate: `poll(usize::MAX)` (drain) from a mid-window offset
+        // must not overflow.
+        let stop = inner.log.len().min(start.saturating_add(max));
         inner.log.range(start..stop).cloned().collect()
     }
 

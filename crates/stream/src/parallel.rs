@@ -41,11 +41,12 @@
 
 use crate::bus::{Consumer, OverflowPolicy, Topic, TopicConfig};
 use datacron_geo::hash::{fx_hash, FxHashMap};
-use std::collections::BTreeMap;
+use datacron_obs::{Gauge, LogHistogram, MetricsSnapshot, ObsRegistry};
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::Hash;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Provenance stamps carried by every record through the sharded pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,8 @@ pub enum Directive<T> {
     Snapshot,
     /// Emit durable checkpoint state (barrier; the worker acknowledges).
     Checkpoint,
+    /// Emit the stage's metrics (barrier; the worker acknowledges).
+    Metrics,
     /// Drain and exit, returning the stage to the coordinator.
     Shutdown,
 }
@@ -192,6 +195,8 @@ pub trait ShardStage: Send + 'static {
     type Snapshot: Send + Clone + 'static;
     /// Durable checkpoint state type.
     type Checkpoint: Send + Clone + 'static;
+    /// Stage metrics type (e.g. a `MetricsSnapshot`).
+    type Metrics: Send + Clone + 'static;
 
     /// Processes one record.
     fn on_record(&mut self, input: Self::In) -> Self::Out;
@@ -201,6 +206,8 @@ pub trait ShardStage: Send + 'static {
     fn snapshot(&self) -> Self::Snapshot;
     /// Captures durable checkpoint state, restorable into a fresh stage.
     fn checkpoint(&self) -> Self::Checkpoint;
+    /// Reports the stage's metrics (answering the metrics barrier).
+    fn metrics(&self) -> Self::Metrics;
 }
 
 /// Capacity and pacing knobs of the sharded executor.
@@ -222,6 +229,10 @@ pub struct ShardedConfig {
     /// [`snapshot_all`](ShardedExecutor::snapshot_all), `finish`) waits for
     /// worker acknowledgements before declaring a shard dead.
     pub barrier_timeout: Duration,
+    /// Whether the executor keeps its own observability instruments
+    /// (per-shard queue-depth gauges, merge-buffer occupancy, submit→merge
+    /// latency). Disabling removes all metric cost from the submit path.
+    pub metrics: bool,
 }
 
 impl Default for ShardedConfig {
@@ -232,6 +243,7 @@ impl Default for ShardedConfig {
             output_capacity: None,
             handoff_timeout: Duration::from_millis(200),
             barrier_timeout: Duration::from_secs(60),
+            metrics: true,
         }
     }
 }
@@ -287,12 +299,21 @@ pub struct ShardedExecutor<S: ShardStage> {
     flush_consumer: Consumer<(u32, S::Flush)>,
     snapshot_consumer: Consumer<(u32, S::Snapshot)>,
     checkpoint_consumer: Consumer<(u32, S::Checkpoint)>,
+    metrics_consumer: Consumer<(u32, S::Metrics)>,
     workers: Vec<JoinHandle<S>>,
     key_seqs: FxHashMap<u64, u64>,
     merger: SequenceMerger<S::Out>,
     ready: Vec<S::Out>,
     next_seq: u64,
     barrier_timeout: Duration,
+    obs: ObsRegistry,
+    queue_depth_gauges: Vec<Gauge>,
+    merge_pending_gauge: Gauge,
+    in_flight_gauge: Gauge,
+    submit_to_merge_ns: LogHistogram,
+    /// Submission instants of records not yet released by the merger, in
+    /// global-sequence order (empty when metrics are disabled).
+    submit_times: VecDeque<Instant>,
 }
 
 impl<S: ShardStage> ShardedExecutor<S> {
@@ -315,6 +336,13 @@ impl<S: ShardStage> ShardedExecutor<S> {
         let snapshot_consumer = snapshots.consumer();
         let checkpoints: Arc<Topic<(u32, S::Checkpoint)>> = Topic::new("shard-checkpoints");
         let checkpoint_consumer = checkpoints.consumer();
+        let metrics: Arc<Topic<(u32, S::Metrics)>> = Topic::new("shard-metrics");
+        let metrics_consumer = metrics.consumer();
+        let obs = if config.metrics {
+            ObsRegistry::new()
+        } else {
+            ObsRegistry::disabled()
+        };
         let mut inputs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards as u32 {
@@ -333,16 +361,32 @@ impl<S: ShardStage> ShardedExecutor<S> {
                 let flushes = Arc::clone(&flushes);
                 let snapshots = Arc::clone(&snapshots);
                 let checkpoints = Arc::clone(&checkpoints);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("datacron-shard-{shard}"))
                     .spawn(move || {
-                        worker_loop(shard, stage, input, output, flushes, snapshots, checkpoints)
+                        worker_loop(
+                            shard,
+                            stage,
+                            input,
+                            output,
+                            flushes,
+                            snapshots,
+                            checkpoints,
+                            metrics,
+                        )
                     })
                     .expect("spawn shard worker")
             };
             inputs.push(input);
             workers.push(worker);
         }
+        let queue_depth_gauges = (0..config.shards)
+            .map(|shard| obs.gauge(&format!("exec.shard{shard}.queue_depth")))
+            .collect();
+        let merge_pending_gauge = obs.gauge("exec.merge.pending");
+        let in_flight_gauge = obs.gauge("exec.in_flight");
+        let submit_to_merge_ns = obs.histogram("exec.submit_to_merge_ns");
         Self {
             assigner,
             inputs,
@@ -350,12 +394,19 @@ impl<S: ShardStage> ShardedExecutor<S> {
             flush_consumer,
             snapshot_consumer,
             checkpoint_consumer,
+            metrics_consumer,
             workers,
             key_seqs: FxHashMap::default(),
             merger: SequenceMerger::new(),
             ready: Vec::new(),
             next_seq: 0,
             barrier_timeout: config.barrier_timeout,
+            obs,
+            queue_depth_gauges,
+            merge_pending_gauge,
+            in_flight_gauge,
+            submit_to_merge_ns,
+            submit_times: VecDeque::new(),
         }
     }
 
@@ -391,6 +442,9 @@ impl<S: ShardStage> ShardedExecutor<S> {
         };
         *key_seq += 1;
         self.next_seq += 1;
+        if self.obs.is_enabled() {
+            self.submit_times.push_back(Instant::now());
+        }
         let mut msg = Directive::Record(Stamped { stamp, value: input });
         loop {
             match self.inputs[shard as usize].try_publish(msg) {
@@ -412,8 +466,13 @@ impl<S: ShardStage> ShardedExecutor<S> {
     /// retrying refused suffixes so nothing is lost.
     pub fn submit_batch<K: Hash>(&mut self, items: impl IntoIterator<Item = (K, S::In)>) {
         let shards = self.assigner.shards();
+        let timed = self.obs.is_enabled();
+        let now = if timed { Some(Instant::now()) } else { None };
         let mut per_shard: Vec<Vec<Directive<S::In>>> = (0..shards).map(|_| Vec::new()).collect();
         for (key, input) in items {
+            if let Some(now) = now {
+                self.submit_times.push_back(now);
+            }
             let key_hash = fx_hash(&key);
             let shard = (key_hash % self.assigner.shards as u64) as u32;
             let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
@@ -446,6 +505,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
     }
 
     fn drain_outputs(&mut self) {
+        let before = self.merger.released();
         loop {
             let batch = self
                 .output_consumer
@@ -454,10 +514,21 @@ impl<S: ShardStage> ShardedExecutor<S> {
                     unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
                 });
             if batch.is_empty() {
-                return;
+                break;
             }
             for stamped in batch {
                 self.merger.push(stamped.stamp.global_seq, stamped.value, &mut self.ready);
+            }
+        }
+        // Submit→merge latency: records released by this drain, measured
+        // against their submission instants (one `Instant::now()` per drain,
+        // not per record).
+        let released = (self.merger.released() - before) as usize;
+        if released > 0 && !self.submit_times.is_empty() {
+            let now = Instant::now();
+            for t in self.submit_times.drain(..released.min(self.submit_times.len())) {
+                let ns = now.duration_since(t).as_nanos();
+                self.submit_to_merge_ns.record(ns.min(u64::MAX as u128) as u64);
             }
         }
     }
@@ -535,6 +606,42 @@ impl<S: ShardStage> ShardedExecutor<S> {
         });
         self.drain_outputs();
         got.into_iter().map(|c| c.expect("all shards acknowledged")).collect()
+    }
+
+    /// Metrics barrier: every worker reports its stage's metrics after
+    /// finishing its queued records. Returns them in shard order. Like the
+    /// other barriers this is a consistent cut, so count-typed stage
+    /// metrics summed across shards equal a single-threaded run's.
+    pub fn metrics_all(&mut self) -> Vec<S::Metrics> {
+        for shard in 0..self.shards() {
+            self.send_directive(shard, Directive::Metrics);
+        }
+        let shards = self.shards();
+        let mut got: Vec<Option<S::Metrics>> = (0..shards).map(|_| None).collect();
+        self.await_barrier("metrics", &mut got, |exec, max, t| {
+            exec.metrics_consumer
+                .poll_wait(max, t)
+                .unwrap_or_else(|lagged| unreachable!("unbounded topic never lags: {lagged:?}"))
+        });
+        self.drain_outputs();
+        got.into_iter().map(|m| m.expect("all shards acknowledged")).collect()
+    }
+
+    /// The executor's own instruments (timing/occupancy-typed only, never
+    /// counters — so merged per-shard counter metrics stay bit-identical to
+    /// a single-threaded run): per-shard queue depth, merge-buffer
+    /// occupancy, in-flight records, and submit→merge latency. Gauges are
+    /// refreshed at call time. Empty when metrics are disabled.
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        if self.obs.is_enabled() {
+            for (shard, gauge) in self.queue_depth_gauges.iter().enumerate() {
+                gauge.set(self.inputs[shard].retained() as i64);
+            }
+            self.merge_pending_gauge.set(self.merger.pending() as i64);
+            self.in_flight_gauge
+                .set((self.next_seq - self.merger.released()) as i64);
+        }
+        self.obs.snapshot()
     }
 
     /// Waits for one acknowledgement per shard, draining outputs the whole
@@ -627,6 +734,7 @@ const WORKER_BATCH: usize = 256;
 /// How long a worker parks waiting for input before re-checking.
 const WORKER_PARK: Duration = Duration::from_millis(50);
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: ShardStage>(
     shard: u32,
     mut stage: S,
@@ -635,6 +743,7 @@ fn worker_loop<S: ShardStage>(
     flushes: Arc<Topic<(u32, S::Flush)>>,
     snapshots: Arc<Topic<(u32, S::Snapshot)>>,
     checkpoints: Arc<Topic<(u32, S::Checkpoint)>>,
+    metrics: Arc<Topic<(u32, S::Metrics)>>,
 ) -> S {
     let mut consumer = input.consumer();
     let mut out_buf: Vec<Stamped<S::Out>> = Vec::new();
@@ -661,6 +770,10 @@ fn worker_loop<S: ShardStage>(
                 Directive::Checkpoint => {
                     flush_outputs(&output, &mut out_buf);
                     publish_reliable(&checkpoints, (shard, stage.checkpoint()));
+                }
+                Directive::Metrics => {
+                    flush_outputs(&output, &mut out_buf);
+                    publish_reliable(&metrics, (shard, stage.metrics()));
                 }
                 Directive::Shutdown => {
                     flush_outputs(&output, &mut out_buf);
@@ -696,6 +809,7 @@ mod tests {
         type Flush = u64;
         type Snapshot = u64;
         type Checkpoint = u64;
+        type Metrics = u64;
 
         fn on_record(&mut self, input: u64) -> u64 {
             self.seen += 1;
@@ -711,6 +825,10 @@ mod tests {
         }
 
         fn checkpoint(&self) -> u64 {
+            self.seen
+        }
+
+        fn metrics(&self) -> u64 {
             self.seen
         }
     }
@@ -816,6 +934,47 @@ mod tests {
         assert_eq!(run.merged, 300);
         let total: u64 = run.stages.iter().map(|s| s.seen).sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn metrics_barrier_is_a_consistent_cut_and_obs_reflects_drain() {
+        let mut exec = ShardedExecutor::new(ShardedConfig::with_shards(2), |_| Doubler { seen: 0 });
+        for i in 0..100u64 {
+            exec.submit(&(i % 9), i);
+        }
+        let metrics = exec.metrics_all();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics.iter().sum::<u64>(), 100, "every prior record is reflected");
+        let snap = exec.obs_snapshot();
+        assert_eq!(snap.gauge("exec.in_flight"), Some(0), "barrier drained everything");
+        assert_eq!(snap.gauge("exec.merge.pending"), Some(0));
+        assert!(snap.gauge("exec.shard0.queue_depth").is_some());
+        assert!(snap.gauge("exec.shard1.queue_depth").is_some());
+        let h = snap.histogram("exec.submit_to_merge_ns").expect("latency recorded");
+        assert_eq!(h.count, 100, "one submit→merge sample per record");
+        let run = exec.finish();
+        assert_eq!(run.merged, 100);
+    }
+
+    #[test]
+    fn disabled_metrics_cost_nothing_and_snapshot_is_empty() {
+        let mut exec = ShardedExecutor::new(
+            ShardedConfig { metrics: false, ..ShardedConfig::with_shards(2) },
+            |_| Doubler { seen: 0 },
+        );
+        for i in 0..50u64 {
+            exec.submit(&i, i);
+        }
+        // The stage-metrics barrier still works (it is independent of the
+        // executor's own instruments)…
+        assert_eq!(exec.metrics_all().iter().sum::<u64>(), 50);
+        // …but the executor records nothing about itself.
+        let snap = exec.obs_snapshot();
+        assert!(snap.counters().is_empty());
+        assert!(snap.gauges().is_empty());
+        assert!(snap.histograms().is_empty());
+        let run = exec.finish();
+        assert_eq!(run.merged, 50);
     }
 
     #[test]

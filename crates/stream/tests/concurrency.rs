@@ -247,6 +247,67 @@ fn poll_wait_returns_when_producer_drops_topic_at_shutdown() {
     assert!(batch.is_empty());
 }
 
+/// Regression: a `Block`-policy batch publish larger than the topic
+/// capacity, with the only consumer already parked in `poll_wait`. The
+/// batch appends its prefix without signalling until the whole batch is
+/// done, so the blocked publisher must wake the parked consumer itself —
+/// previously both slept on the same condvar until the block timeout
+/// expired and the suffix came back refused. The consumer waking
+/// mid-retry must observe the batch exactly once, in order: no duplicated
+/// and no skipped prefix.
+#[test]
+fn blocked_batch_publish_wakes_parked_consumer_without_dup_or_skip() {
+    const BATCH: u64 = 24;
+    const CAPACITY: usize = 4;
+    let topic: Arc<Topic<u64>> = Topic::with_config(
+        "block-batch",
+        TopicConfig {
+            capacity: Some(CAPACITY),
+            policy: OverflowPolicy::Block,
+            block_timeout: Duration::from_secs(30),
+        },
+    );
+    let waiter = {
+        let mut c = topic.consumer();
+        thread::spawn(move || {
+            let mut seen = Vec::new();
+            while seen.len() < BATCH as usize {
+                let batch = c
+                    .poll_wait(3, Duration::from_secs(30))
+                    .expect("Block never truncates unread data");
+                seen.extend(batch);
+            }
+            seen
+        })
+    };
+    // Let the consumer park in `poll_wait` before the batch starts.
+    thread::sleep(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    let (first, refused) = topic.publish_batch_all(0..BATCH);
+    let elapsed = start.elapsed();
+    assert_eq!(first, Some(0));
+    assert!(
+        refused.is_empty(),
+        "woken consumer drains the topic, nothing is refused: {refused:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "publisher woke the consumer instead of waiting out the 30s block timeout (took {elapsed:?})"
+    );
+    let seen = waiter.join().expect("waiter");
+    assert_eq!(
+        seen,
+        (0..BATCH).collect::<Vec<_>>(),
+        "batch observed exactly once, in order, with no duplicated or skipped prefix"
+    );
+    let stats = topic.stats();
+    assert_eq!(stats.published, BATCH);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.consumed, BATCH);
+    assert!(stats.blocked > 0, "the publisher did hit the Block path");
+}
+
 /// Mixed chaos: concurrent publishers on a bounded topic, one fast and one
 /// deliberately slow consumer, with consumers joining mid-stream. Nothing
 /// deadlocks, all counters reconcile.

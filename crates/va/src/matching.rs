@@ -64,7 +64,8 @@ pub fn match_trajectories(actual: &Trajectory, predicted: &Trajectory, tolerance
 /// Histogram of matched proportions across many pairs: `bins` equal-width
 /// buckets over `[0, 1]`, returning the count per bucket.
 pub fn proportion_histogram(reports: &[MatchReport], bins: usize) -> Vec<usize> {
-    let mut hist = vec![0usize; bins.max(1)];
+    let bins = bins.max(1);
+    let mut hist = vec![0usize; bins];
     for r in reports {
         let b = ((r.proportion() * bins as f64) as usize).min(bins - 1);
         hist[b] += 1;

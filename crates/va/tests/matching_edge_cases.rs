@@ -1,0 +1,133 @@
+//! Point-matching edge cases: degenerate trajectories, boundary
+//! tolerances, and the histogram/outlier analytics on pathological report
+//! sets.
+
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp, Trajectory};
+use datacron_va::matching::{match_trajectories, outliers, proportion_histogram, MatchReport};
+
+fn track_at(offset_lat: f64, n: usize) -> Trajectory {
+    let reports: Vec<PositionReport> = (0..n)
+        .map(|i| {
+            PositionReport::basic(
+                EntityId::aircraft(1),
+                Timestamp::from_secs(i as i64 * 10),
+                GeoPoint::new(0.01 * i as f64, 40.0 + offset_lat),
+            )
+        })
+        .collect();
+    Trajectory::from_reports(reports)
+}
+
+#[test]
+fn single_point_trajectories_match() {
+    let one = track_at(0.0, 1);
+    let r = match_trajectories(&one, &one, 1.0).unwrap();
+    assert_eq!(r.actual_points, 1);
+    assert_eq!(r.matched_points, 1);
+    assert_eq!(r.proportion(), 1.0);
+    assert!(r.mean_distance_m < 1e-9);
+}
+
+#[test]
+fn identical_tracks_match_within_interpolation_noise() {
+    // Time-aligned interpolation reconstructs each sample through float
+    // arithmetic, so identical trajectories land within nanometres of each
+    // other — not bitwise zero. A sub-millimetre tolerance must match all.
+    let t = track_at(0.0, 10);
+    let r = match_trajectories(&t, &t, 1e-3).unwrap();
+    assert_eq!(r.matched_points, r.actual_points);
+    assert!(r.max_distance_m < 1e-3, "{}", r.max_distance_m);
+}
+
+#[test]
+fn tolerance_boundary_is_inclusive() {
+    let actual = track_at(0.0, 5);
+    let predicted = track_at(0.001, 5); // ~111 m north everywhere
+    let r = match_trajectories(&actual, &predicted, 1.0).unwrap();
+    assert_eq!(r.matched_points, 0);
+    // A tolerance at (just above) the actual offset matches every point.
+    let r = match_trajectories(&actual, &predicted, r.max_distance_m).unwrap();
+    assert_eq!(r.matched_points, r.actual_points, "le-boundary must include max_distance_m");
+}
+
+#[test]
+fn prediction_shorter_than_actual_extrapolates_not_panics() {
+    // The predicted track ends at t=90 but the actual continues to t=190:
+    // position_at clamps/extrapolates, and matching must stay finite.
+    let actual = track_at(0.0, 20);
+    let predicted = track_at(0.0, 10);
+    let r = match_trajectories(&actual, &predicted, 100.0).unwrap();
+    assert_eq!(r.actual_points, 20);
+    assert!(r.mean_distance_m.is_finite());
+    assert!(r.max_distance_m.is_finite());
+    assert!(r.matched_points >= 10, "the overlapping prefix matches");
+}
+
+#[test]
+fn proportion_of_empty_report_is_zero_not_nan() {
+    let r = MatchReport {
+        actual_points: 0,
+        matched_points: 0,
+        mean_distance_m: 0.0,
+        max_distance_m: 0.0,
+    };
+    assert_eq!(r.proportion(), 0.0);
+}
+
+#[test]
+fn histogram_with_zero_bins_is_clamped_to_one() {
+    let t = track_at(0.0, 5);
+    let r = match_trajectories(&t, &t, 1.0).unwrap();
+    let hist = proportion_histogram(&[r, r], 0);
+    assert_eq!(hist, vec![2], "0 bins clamps to a single bucket");
+}
+
+#[test]
+fn histogram_proportion_one_lands_in_top_bucket() {
+    // proportion == 1.0 maps to index `bins` before clamping; it must land
+    // in the last bucket, not out of range.
+    let t = track_at(0.0, 5);
+    let perfect = match_trajectories(&t, &t, 1.0).unwrap();
+    for bins in [1, 2, 7, 10] {
+        let hist = proportion_histogram(&[perfect], bins);
+        assert_eq!(hist[bins - 1], 1, "{bins} bins");
+        assert_eq!(hist.iter().sum::<usize>(), 1);
+    }
+}
+
+#[test]
+fn outliers_on_empty_and_boundary_thresholds() {
+    assert!(outliers(&[], 0.5).is_empty());
+    let t = track_at(0.0, 5);
+    let perfect = match_trajectories(&t, &t, 1.0).unwrap();
+    let awful = match_trajectories(&t, &track_at(0.5, 5), 1.0).unwrap();
+    let reports = [perfect, awful, perfect];
+    // Strict `<`: a proportion exactly at the threshold is not an outlier.
+    assert_eq!(outliers(&reports, 1.0), vec![1]);
+    assert_eq!(outliers(&reports, 0.0), Vec::<usize>::new());
+    // A threshold above 1.0 flags everything.
+    assert_eq!(outliers(&reports, 1.1), vec![0, 1, 2]);
+}
+
+#[test]
+fn mismatched_timestamps_use_interpolation() {
+    // Actual samples fall between predicted samples: the predicted
+    // position is linearly interpolated, so a constant-velocity pair still
+    // matches tightly.
+    let predicted = track_at(0.0, 10);
+    let actual_reports: Vec<PositionReport> = (0..9)
+        .map(|i| {
+            PositionReport::basic(
+                EntityId::aircraft(1),
+                Timestamp::from_secs(i * 10 + 5),
+                GeoPoint::new(0.01 * (i as f64 + 0.5), 40.0),
+            )
+        })
+        .collect();
+    let actual = Trajectory::from_reports(actual_reports);
+    let r = match_trajectories(&actual, &predicted, 50.0).unwrap();
+    assert_eq!(
+        r.matched_points, r.actual_points,
+        "interpolated positions match within 50 m: {r:?}"
+    );
+}

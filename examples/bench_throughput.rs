@@ -13,18 +13,32 @@
 //! ```text
 //! cargo run --release --example bench_throughput -- \
 //!     [--entities 64] [--reports 400] [--shards 1,2,4,8] [--seed 42] \
-//!     [--out BENCH_throughput.json] [--quick]
+//!     [--out BENCH_throughput.json] [--quick] [--no-metrics] \
+//!     [--metrics-out metrics.json] [--overhead-max 5]
 //! ```
 //!
 //! `--quick` shrinks the workload for CI smoke runs (finishes in seconds).
 //! The deterministic-merge contract means every configuration produces the
 //! same outputs; the benchmark verifies record counts as it goes.
+//!
+//! Observability knobs:
+//!
+//! * `--no-metrics` disables the layer's instrument registry for every
+//!   measured run;
+//! * `--metrics-out <path>` writes the single-threaded run's
+//!   [`MetricsSnapshot`] as JSON (validate against
+//!   `schemas/metrics.schema.json`);
+//! * `--overhead-max <pct>` interleaves metrics-on and metrics-off
+//!   single-threaded passes (best of 3 each), reports the throughput
+//!   overhead of instrumentation, and exits non-zero when it exceeds the
+//!   given percentage — the CI smoke gate.
 
 use datacron::core::realtime::RealTimeLayer;
 use datacron::core::sharded::ShardedRealTimeLayer;
 use datacron::core::DatacronConfig;
 use datacron::data::rng::SeededRng;
 use datacron::geo::{BoundingBox, EntityId, GeoPoint, PositionReport, Timestamp};
+use datacron::obs::MetricsSnapshot;
 use datacron::stream::parallel::ShardedConfig;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -36,6 +50,9 @@ struct Args {
     seed: u64,
     out: String,
     quick: bool,
+    no_metrics: bool,
+    metrics_out: Option<String>,
+    overhead_max: Option<f64>,
 }
 
 impl Args {
@@ -47,6 +64,9 @@ impl Args {
             seed: 42,
             out: "BENCH_throughput.json".to_string(),
             quick: false,
+            no_metrics: false,
+            metrics_out: None,
+            overhead_max: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -67,6 +87,11 @@ impl Args {
                         .collect();
                 }
                 "--quick" => args.quick = true,
+                "--no-metrics" => args.no_metrics = true,
+                "--metrics-out" => args.metrics_out = Some(value(&mut i)),
+                "--overhead-max" => {
+                    args.overhead_max = Some(value(&mut i).parse().expect("--overhead-max"))
+                }
                 other => panic!("unknown argument {other}"),
             }
             i += 1;
@@ -123,8 +148,10 @@ fn fleet(entities: u64, reports_each: i64, seed: u64) -> Vec<PositionReport> {
     out
 }
 
-fn config() -> DatacronConfig {
-    DatacronConfig::maritime(BoundingBox::new(-10.0, 30.0, 10.0, 50.0))
+fn config(metrics: bool) -> DatacronConfig {
+    let mut cfg = DatacronConfig::maritime(BoundingBox::new(-10.0, 30.0, 10.0, 50.0));
+    cfg.metrics = metrics;
+    cfg
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -151,9 +178,9 @@ fn records_per_sec(records: usize, elapsed: Duration) -> f64 {
 
 /// One sharded run: batched submission, latencies measured from submit to
 /// merged (globally ordered) output.
-fn run_sharded(input: &[PositionReport], shards: usize) -> RunResult {
+fn run_sharded(input: &[PositionReport], shards: usize, metrics: bool) -> RunResult {
     let mut layer = ShardedRealTimeLayer::new(
-        config(),
+        config(metrics),
         Vec::new(),
         Vec::new(),
         ShardedConfig::with_shards(shards),
@@ -196,8 +223,8 @@ fn run_sharded(input: &[PositionReport], shards: usize) -> RunResult {
     }
 }
 
-fn run_single(input: &[PositionReport]) -> RunResult {
-    let mut layer = RealTimeLayer::new(config(), Vec::new(), Vec::new());
+fn run_single(input: &[PositionReport], metrics: bool) -> (RunResult, MetricsSnapshot) {
+    let mut layer = RealTimeLayer::new(config(metrics), Vec::new(), Vec::new());
     let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
     let mut accepted = 0u64;
     let started = Instant::now();
@@ -209,7 +236,7 @@ fn run_single(input: &[PositionReport]) -> RunResult {
     }
     let elapsed = started.elapsed();
     latencies_us.sort_unstable();
-    RunResult {
+    let result = RunResult {
         shards: 0,
         elapsed,
         records: input.len(),
@@ -217,7 +244,27 @@ fn run_single(input: &[PositionReport]) -> RunResult {
         p50_us: percentile(&latencies_us, 0.50),
         p99_us: percentile(&latencies_us, 0.99),
         max_reorder: 0,
+    };
+    (result, layer.metrics_snapshot())
+}
+
+/// Instrumentation overhead: interleaved metrics-on / metrics-off
+/// single-threaded passes, best-of-`rounds` each (best-of damps scheduler
+/// noise far better than means on short CI runs). Returns
+/// `(best_on_rps, best_off_rps, overhead_pct)` where the overhead is how
+/// much throughput instrumentation costs relative to the uninstrumented
+/// run, clamped at 0 for measurement noise.
+fn measure_overhead(input: &[PositionReport], rounds: usize) -> (f64, f64, f64) {
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for _ in 0..rounds {
+        let (on, _) = run_single(input, true);
+        best_on = best_on.max(records_per_sec(on.records, on.elapsed));
+        let (off, _) = run_single(input, false);
+        best_off = best_off.max(records_per_sec(off.records, off.elapsed));
     }
+    let pct = ((best_off - best_on) / best_off * 100.0).max(0.0);
+    (best_on, best_off, pct)
 }
 
 fn json_entry(r: &RunResult, baseline: f64) -> String {
@@ -239,31 +286,38 @@ fn json_entry(r: &RunResult, baseline: f64) -> String {
 
 fn main() {
     let args = Args::parse();
+    let metrics_enabled = !args.no_metrics;
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let input = fleet(args.entities, args.reports, args.seed);
     println!(
-        "bench_throughput: {} entities x {} reports = {} records, seed {}, {} core(s){}",
+        "bench_throughput: {} entities x {} reports = {} records, seed {}, {} core(s){}{}",
         args.entities,
         args.reports,
         input.len(),
         args.seed,
         cores,
         if args.quick { " [quick]" } else { "" },
+        if metrics_enabled { "" } else { " [metrics off]" },
     );
 
     // Warm-up pass (page in code and allocator arenas), then the measured
     // single-threaded baseline.
-    let _ = run_single(&input[..input.len().min(2048)]);
-    let single = run_single(&input);
+    let _ = run_single(&input[..input.len().min(2048)], metrics_enabled);
+    let (single, snapshot) = run_single(&input, metrics_enabled);
     let baseline = records_per_sec(single.records, single.elapsed);
     println!(
         "  single-threaded : {:>9.0} rec/s  (p50 {} us, p99 {} us)",
         baseline, single.p50_us, single.p99_us
     );
 
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, snapshot.to_json()).expect("write metrics snapshot");
+        println!("wrote {path}");
+    }
+
     let mut sharded_results = Vec::new();
     for &shards in &args.shards {
-        let r = run_sharded(&input, shards);
+        let r = run_sharded(&input, shards, metrics_enabled);
         assert_eq!(
             r.accepted, single.accepted,
             "sharded run must accept exactly the single-threaded records"
@@ -280,6 +334,16 @@ fn main() {
         sharded_results.push(r);
     }
 
+    // The instrumentation-overhead gate (CI metrics smoke): interleaved
+    // on/off passes so thermal drift hits both arms equally.
+    let overhead = args.overhead_max.map(|max_pct| {
+        let (on, off, pct) = measure_overhead(&input, 3);
+        println!(
+            "  metrics overhead: {pct:.2}% (on {on:.0} rec/s, off {off:.0} rec/s, gate {max_pct}%)"
+        );
+        (max_pct, pct)
+    });
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"throughput\",").unwrap();
@@ -289,6 +353,10 @@ fn main() {
     writeln!(json, "  \"entities\": {},", args.entities).unwrap();
     writeln!(json, "  \"reports_per_entity\": {},", args.reports).unwrap();
     writeln!(json, "  \"records\": {},", input.len()).unwrap();
+    writeln!(json, "  \"metrics\": {metrics_enabled},").unwrap();
+    if let Some((_, pct)) = overhead {
+        writeln!(json, "  \"metrics_overhead_pct\": {pct:.3},").unwrap();
+    }
     writeln!(json, "  \"single\": {},", json_entry(&single, baseline)).unwrap();
     writeln!(json, "  \"sharded\": [").unwrap();
     for (i, r) in sharded_results.iter().enumerate() {
@@ -299,4 +367,11 @@ fn main() {
     writeln!(json, "}}").unwrap();
     std::fs::write(&args.out, &json).expect("write benchmark output");
     println!("wrote {}", args.out);
+
+    if let Some((max_pct, pct)) = overhead {
+        if pct > max_pct {
+            eprintln!("FAIL: metrics overhead {pct:.2}% exceeds the {max_pct}% gate");
+            std::process::exit(1);
+        }
+    }
 }

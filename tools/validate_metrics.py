@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate a MetricsSnapshot JSON file against schemas/metrics.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type, required, properties, additionalProperties,
+minimum. CI runs this against the snapshot the benchmark exports; it is
+also handy locally:
+
+    python3 tools/validate_metrics.py metrics.json schemas/metrics.schema.json
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"FAIL at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    ok = {
+        "object": lambda v: isinstance(v, dict),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+    }.get(expected)
+    if ok is None:
+        fail(path, f"schema uses unsupported type {expected!r}")
+    if not ok(value):
+        fail(path, f"expected {expected}, got {type(value).__name__}: {value!r}")
+
+
+def validate(value, schema, path=""):
+    if "type" in schema:
+        check_type(value, schema["type"], path)
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}" if path else name
+            if name in props:
+                validate(item, props[name], sub)
+            elif isinstance(extra, dict):
+                validate(item, extra, sub)
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(f"usage: {sys.argv[0]} <snapshot.json> <schema.json>")
+    with open(sys.argv[1]) as f:
+        snapshot = json.load(f)
+    with open(sys.argv[2]) as f:
+        schema = json.load(f)
+    validate(snapshot, schema)
+    counters = len(snapshot.get("counters", {}))
+    gauges = len(snapshot.get("gauges", {}))
+    hists = len(snapshot.get("histograms", {}))
+    print(f"OK: {counters} counters, {gauges} gauges, {hists} histograms")
+
+
+if __name__ == "__main__":
+    main()
