@@ -119,7 +119,9 @@ pub struct ShardedShutdown {
     /// Outputs merged back over the layer's lifetime (== `submitted` on a
     /// lossless run).
     pub merged: u64,
-    /// Duplicate stamped outputs observed (must be 0).
+    /// Stamped outputs that arrived behind the release cursor (must be 0).
+    pub late: u64,
+    /// Duplicate stamped outputs observed while buffered (must be 0).
     pub duplicates: u64,
     /// High-water mark of the reorder buffer.
     pub max_reorder: usize,
@@ -230,6 +232,14 @@ impl ShardedRealTimeLayer {
         self.exec.poll()
     }
 
+    /// Like [`poll_outputs`](Self::poll_outputs), but parks event-driven
+    /// (woken by the next worker publish) for up to `timeout` when nothing
+    /// is ready — the low-latency way for a paced consumer to observe
+    /// merges the moment they happen.
+    pub fn poll_outputs_timeout(&mut self, timeout: std::time::Duration) -> Vec<ShardOutput> {
+        self.exec.poll_timeout(timeout)
+    }
+
     /// End-of-stream flush barrier: every shard finishes its queued
     /// records and flushes its synopses. The per-shard flushes are merged
     /// by entity id, reproducing the single-threaded
@@ -299,6 +309,7 @@ impl ShardedRealTimeLayer {
             health: merge_health(&healths),
             submitted: run.submitted,
             merged: run.merged,
+            late: run.late,
             duplicates: run.duplicates,
             max_reorder: run.max_reorder,
             layers,
@@ -425,6 +436,7 @@ mod tests {
             );
             assert_eq!(done.submitted, input.len() as u64);
             assert_eq!(done.merged, input.len() as u64);
+            assert_eq!(done.late, 0);
             assert_eq!(done.duplicates, 0);
         }
     }

@@ -493,6 +493,48 @@ impl<T: Clone> Topic<T> {
         inner.log.range(start..stop).cloned().collect()
     }
 
+    /// Waits until the topic has room for at least one more message, or
+    /// the timeout expires. Returns `true` when space is available.
+    ///
+    /// "Room" means the retained window is below capacity, or (under
+    /// [`OverflowPolicy::Block`]) a fully-consumed prefix could be
+    /// reclaimed — which this call performs, exactly as a blocked publish
+    /// would. Unbounded and [`DropOldest`](OverflowPolicy::DropOldest)
+    /// topics always have room.
+    ///
+    /// This is the event-driven retry primitive for lossless producers:
+    /// instead of busy-spinning `try_publish` against a full topic (each
+    /// attempt re-arming its own internal timeout), park here — every
+    /// consumer advance signals the same condvar a blocked publish waits
+    /// on, so the wakeup is prompt, not sleep-quantized.
+    pub fn wait_for_space(&self, timeout: Duration) -> bool {
+        let Some(capacity) = self.config.capacity else {
+            return true;
+        };
+        if self.config.policy == OverflowPolicy::DropOldest {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if inner.log.len() < capacity.max(1) {
+                return true;
+            }
+            if self.config.policy == OverflowPolicy::Block && inner.reclaim_consumed() > 0 {
+                return true;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .progress
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
     /// Called by consumers after advancing; wakes blocked producers.
     fn note_progress(&self) {
         // Taking the lock orders the offset store before the wakeup.
@@ -880,6 +922,58 @@ mod tests {
         assert_eq!(topic.publish(1), Some(0));
         let err = topic.try_publish(2).expect_err("no consumer will ever free space");
         assert!(matches!(err, PublishError::Timeout(2)));
+    }
+
+    #[test]
+    fn wait_for_space_is_immediate_when_room_exists() {
+        let unbounded: Arc<Topic<u8>> = Topic::new("raw");
+        assert!(unbounded.wait_for_space(Duration::ZERO));
+        let dropping = Topic::bounded("raw", 1, OverflowPolicy::DropOldest);
+        dropping.publish(1);
+        assert!(dropping.wait_for_space(Duration::ZERO), "DropOldest always has room");
+        let bounded = Topic::bounded("raw", 2, OverflowPolicy::Block);
+        bounded.publish(1);
+        assert!(bounded.wait_for_space(Duration::ZERO), "below capacity");
+    }
+
+    #[test]
+    fn wait_for_space_times_out_on_a_stuck_topic() {
+        let topic = Topic::bounded("raw", 1, OverflowPolicy::Block);
+        let _pin = topic.consumer(); // registered but never advances
+        topic.publish(1);
+        let started = std::time::Instant::now();
+        assert!(!topic.wait_for_space(Duration::from_millis(20)));
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wait_for_space_wakes_on_consumer_progress() {
+        let topic = Topic::bounded("raw", 1, OverflowPolicy::Block);
+        let mut c = topic.consumer();
+        topic.publish(7);
+        let waiter = {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || t.wait_for_space(Duration::from_secs(10)))
+        };
+        // The consumer reading the retained message makes the prefix
+        // reclaimable; the waiter must observe that without timing out.
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(c.poll(10).expect("no lag"), vec![7]);
+        assert!(waiter.join().expect("waiter thread"), "woken by consumer progress");
+        assert_eq!(topic.try_publish(8).expect("space reclaimed"), 1);
+    }
+
+    #[test]
+    fn wait_for_space_reclaims_consumed_prefix_under_block() {
+        let topic = Topic::bounded("raw", 2, OverflowPolicy::Block);
+        let mut c = topic.consumer();
+        topic.publish(1);
+        topic.publish(2);
+        assert_eq!(c.drain().expect("no lag"), vec![1, 2]);
+        // Full by log length, but the whole window is consumed: waiting
+        // must reclaim it rather than park.
+        assert!(topic.wait_for_space(Duration::ZERO));
+        assert!(topic.stats().reclaimed >= 1);
     }
 
     #[test]

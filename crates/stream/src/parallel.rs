@@ -29,20 +29,41 @@
 //! stamp, the *interleaving* is also reproduced exactly: consuming
 //! [`ShardedExecutor::poll`] yields outputs in submission order, always.
 //!
+//! ## Latency model
+//!
+//! The executor is time-critical, not merely throughput-oriented:
+//!
+//! * **Bounded admission window** — [`ShardedConfig::max_in_flight`] caps
+//!   records submitted but not yet released by the merger; `submit` and
+//!   `submit_batch` drain-and-wait when the window is full, so the reorder
+//!   buffer can never balloon (`max_pending ≤ max_in_flight`, always).
+//! * **Prompt handoff** — workers publish completed outputs as soon as the
+//!   input queue is momentarily empty (a partial poll batch), falling back
+//!   to batched handoff only when a backlog exists to amortize.
+//! * **Event-driven waits** — every blocked edge (full shard queue, full
+//!   output topic, full admission window, shutdown wind-down) parks on a
+//!   condvar ([`Topic::wait_for_space`], [`Consumer::poll_wait`]) and is
+//!   woken by the progress that unblocks it; nothing busy-spins or sleeps
+//!   on a fixed quantum in the common path.
+//! * **Honest per-record latency** — every [`Stamped`] record carries its
+//!   own routing-time [`Instant`], so the `exec.submit_to_merge_ns`
+//!   histogram measures each record from submission to in-order release,
+//!   not a per-drain smear.
+//!
 //! ## Failure model
 //!
 //! The executor is lossless by construction: submission retries refused
 //! publishes (backpressure, not loss), workers retry output publishes, and
 //! [`ShardedExecutor::finish`] drains everything and reports
-//! `submitted == merged` (plus a duplicate counter from the merger, which
-//! must be zero). A worker that dies (a stage panic escaping `on_record`)
-//! is detected at the next barrier or at `finish`, and reported as a
-//! [`ShardPanic`] rather than a hang.
+//! `submitted == merged` (plus late/duplicate counters from the merger,
+//! which must be zero). A worker that dies (a stage panic escaping
+//! `on_record`) is detected at the next submit-side wait, barrier or
+//! `finish`, and reported as a [`ShardPanic`] rather than a hang.
 
 use crate::bus::{Consumer, OverflowPolicy, Topic, TopicConfig};
 use datacron_geo::hash::{fx_hash, FxHashMap};
 use datacron_obs::{Gauge, LogHistogram, MetricsSnapshot, ObsRegistry};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::hash::Hash;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -64,6 +85,11 @@ pub struct SeqStamp {
 pub struct Stamped<T> {
     /// The stamps.
     pub stamp: SeqStamp,
+    /// When the coordinator routed the record (`None` when executor
+    /// metrics are disabled). Carried through the worker unchanged, so the
+    /// submit→merge latency of every record is measured against its *own*
+    /// submission instant — not smeared across a batch or a drain.
+    pub submitted_at: Option<Instant>,
     /// The value.
     pub value: T,
 }
@@ -116,6 +142,7 @@ impl ShardAssigner {
 pub struct SequenceMerger<T> {
     next: u64,
     pending: BTreeMap<u64, T>,
+    late: u64,
     duplicates: u64,
     max_pending: usize,
 }
@@ -132,6 +159,7 @@ impl<T> SequenceMerger<T> {
         Self {
             next: 0,
             pending: BTreeMap::new(),
+            late: 0,
             duplicates: 0,
             max_pending: 0,
         }
@@ -139,8 +167,21 @@ impl<T> SequenceMerger<T> {
 
     /// Offers one stamped value; appends to `out` every value that became
     /// deliverable in order (possibly none, possibly many).
+    ///
+    /// A value whose sequence the merger has already released past
+    /// (`global_seq < next`, e.g. a re-delivery after release, or a late
+    /// arrival after an upstream lag skip) is dropped and counted as
+    /// [`late`](Self::late); a value whose sequence is already buffered
+    /// waiting for a gap is dropped and counted as
+    /// [`duplicates`](Self::duplicates). The two failure modes are
+    /// distinct: late records are an ordering violation, duplicates an
+    /// at-most-once violation.
     pub fn push(&mut self, global_seq: u64, value: T, out: &mut Vec<T>) {
-        if global_seq < self.next || self.pending.contains_key(&global_seq) {
+        if global_seq < self.next {
+            self.late += 1;
+            return;
+        }
+        if self.pending.contains_key(&global_seq) {
             self.duplicates += 1;
             return;
         }
@@ -168,7 +209,14 @@ impl<T> SequenceMerger<T> {
         self.max_pending
     }
 
-    /// Stamped values that arrived twice (must be 0 in a healthy pipeline).
+    /// Stamped values that arrived after their sequence was already
+    /// released (must be 0 in a healthy pipeline).
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// Stamped values that arrived twice while the first copy was still
+    /// buffered (must be 0 in a healthy pipeline).
     pub fn duplicates(&self) -> u64 {
         self.duplicates
     }
@@ -222,8 +270,19 @@ pub struct ShardedConfig {
     /// coordinator drains it on every submit, so it stays small in
     /// practice).
     pub output_capacity: Option<usize>,
-    /// How long one blocked handoff waits before retrying (liveness check
-    /// granularity, not a loss threshold — handoffs retry forever).
+    /// Bounded admission window: the maximum number of records in flight
+    /// at once (submitted but not yet released by the merger, wherever
+    /// they sit — shard queue, stage, output topic or reorder buffer).
+    /// [`submit`](ShardedExecutor::submit)/[`submit_batch`](ShardedExecutor::submit_batch)
+    /// drain-and-wait when the window is full, so the reorder buffer is
+    /// hard-bounded: `SequenceMerger::max_pending() ≤ max_in_flight` on
+    /// every run. `None` disables admission control (in-flight records are
+    /// then bounded only by the shard queue capacities) — a throughput
+    /// knob that forfeits the latency bound.
+    pub max_in_flight: Option<usize>,
+    /// Upper bound on one event-driven handoff wait (liveness check
+    /// granularity, not a loss threshold — handoffs retry forever; waits
+    /// are condvar-signalled and normally end well before this cap).
     pub handoff_timeout: Duration,
     /// How long a barrier ([`flush_all`](ShardedExecutor::flush_all),
     /// [`snapshot_all`](ShardedExecutor::snapshot_all), `finish`) waits for
@@ -241,6 +300,7 @@ impl Default for ShardedConfig {
             shards: 4,
             queue_capacity: 1024,
             output_capacity: None,
+            max_in_flight: Some(4096),
             handoff_timeout: Duration::from_millis(200),
             barrier_timeout: Duration::from_secs(60),
             metrics: true,
@@ -284,9 +344,14 @@ pub struct FinishedRun<S: ShardStage> {
     /// Outputs released by the merger over the executor's lifetime
     /// (== `submitted` on a lossless run).
     pub merged: u64,
-    /// Duplicate stamped outputs observed (must be 0).
+    /// Stamped outputs that arrived after their sequence was already
+    /// released (must be 0).
+    pub late: u64,
+    /// Duplicate stamped outputs observed while the first copy was still
+    /// pending (must be 0).
     pub duplicates: u64,
-    /// High-water mark of the reorder buffer.
+    /// High-water mark of the reorder buffer (never exceeds
+    /// [`ShardedConfig::max_in_flight`] when the window is enabled).
     pub max_reorder: usize,
 }
 
@@ -302,18 +367,20 @@ pub struct ShardedExecutor<S: ShardStage> {
     metrics_consumer: Consumer<(u32, S::Metrics)>,
     workers: Vec<JoinHandle<S>>,
     key_seqs: FxHashMap<u64, u64>,
-    merger: SequenceMerger<S::Out>,
+    merger: SequenceMerger<Stamped<S::Out>>,
     ready: Vec<S::Out>,
+    /// Reused buffer for outputs released by one merger push-batch.
+    released_scratch: Vec<Stamped<S::Out>>,
     next_seq: u64,
+    max_in_flight: Option<usize>,
     barrier_timeout: Duration,
     obs: ObsRegistry,
     queue_depth_gauges: Vec<Gauge>,
     merge_pending_gauge: Gauge,
+    merge_late_gauge: Gauge,
+    merge_duplicates_gauge: Gauge,
     in_flight_gauge: Gauge,
     submit_to_merge_ns: LogHistogram,
-    /// Submission instants of records not yet released by the merger, in
-    /// global-sequence order (empty when metrics are disabled).
-    submit_times: VecDeque<Instant>,
 }
 
 impl<S: ShardStage> ShardedExecutor<S> {
@@ -321,12 +388,17 @@ impl<S: ShardStage> ShardedExecutor<S> {
     /// caller's thread, to build that shard's stage.
     pub fn new(config: ShardedConfig, mut make: impl FnMut(u32) -> S) -> Self {
         let assigner = ShardAssigner::new(config.shards);
+        // Executor-internal topics use a zero block timeout: a full topic
+        // refuses the publish immediately and the caller parks on
+        // `wait_for_space`/`poll_wait` (doing productive work — draining —
+        // in between) instead of blocking inside the publish where it can
+        // drain nothing.
         let output = Topic::with_config(
             "shard-outputs",
             TopicConfig {
                 capacity: config.output_capacity,
                 policy: OverflowPolicy::Block,
-                block_timeout: config.handoff_timeout,
+                block_timeout: Duration::ZERO,
             },
         );
         let output_consumer = output.consumer();
@@ -351,7 +423,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
                 TopicConfig {
                     capacity: Some(config.queue_capacity),
                     policy: OverflowPolicy::Block,
-                    block_timeout: config.handoff_timeout,
+                    block_timeout: Duration::ZERO,
                 },
             );
             let stage = make(shard);
@@ -385,6 +457,8 @@ impl<S: ShardStage> ShardedExecutor<S> {
             .map(|shard| obs.gauge(&format!("exec.shard{shard}.queue_depth")))
             .collect();
         let merge_pending_gauge = obs.gauge("exec.merge.pending");
+        let merge_late_gauge = obs.gauge("exec.merge.late");
+        let merge_duplicates_gauge = obs.gauge("exec.merge.duplicates");
         let in_flight_gauge = obs.gauge("exec.in_flight");
         let submit_to_merge_ns = obs.histogram("exec.submit_to_merge_ns");
         Self {
@@ -399,14 +473,17 @@ impl<S: ShardStage> ShardedExecutor<S> {
             key_seqs: FxHashMap::default(),
             merger: SequenceMerger::new(),
             ready: Vec::new(),
+            released_scratch: Vec::new(),
             next_seq: 0,
+            max_in_flight: config.max_in_flight,
             barrier_timeout: config.barrier_timeout,
             obs,
             queue_depth_gauges,
             merge_pending_gauge,
+            merge_late_gauge,
+            merge_duplicates_gauge,
             in_flight_gauge,
             submit_to_merge_ns,
-            submit_times: VecDeque::new(),
         }
     }
 
@@ -425,13 +502,20 @@ impl<S: ShardStage> ShardedExecutor<S> {
         self.merger.released()
     }
 
+    /// Records in flight: submitted but not yet released by the merger.
+    pub fn in_flight(&self) -> usize {
+        (self.next_seq - self.merger.released()) as usize
+    }
+
     /// Routes one keyed record to its shard, blocking (backpressure) while
-    /// that shard's queue is full. Returns the record's stamps.
+    /// the admission window or that shard's queue is full. Returns the
+    /// record's stamps.
     ///
     /// Also opportunistically drains finished outputs into the internal
     /// ready buffer, so a submit-only loop cannot deadlock against a
     /// bounded output topic.
     pub fn submit(&mut self, key: &impl Hash, input: S::In) -> SeqStamp {
+        self.await_admission();
         let key_hash = fx_hash(key);
         let shard = (key_hash % self.assigner.shards as u64) as u32;
         let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
@@ -442,17 +526,19 @@ impl<S: ShardStage> ShardedExecutor<S> {
         };
         *key_seq += 1;
         self.next_seq += 1;
-        if self.obs.is_enabled() {
-            self.submit_times.push_back(Instant::now());
-        }
-        let mut msg = Directive::Record(Stamped { stamp, value: input });
+        let submitted_at = if self.obs.is_enabled() { Some(Instant::now()) } else { None };
+        let mut msg = Directive::Record(Stamped { stamp, submitted_at, value: input });
         loop {
             match self.inputs[shard as usize].try_publish(msg) {
                 Ok(_) => break,
                 Err(err) => {
-                    // Backpressure: free output space and retry; never drop.
+                    // Backpressure: free output space, then park until the
+                    // worker consumes (condvar-woken); never drop.
                     msg = err.into_inner();
                     self.drain_outputs();
+                    if !self.inputs[shard as usize].wait_for_space(COORD_SPACE_WAIT) {
+                        self.panic_if_worker_died();
+                    }
                 }
             }
         }
@@ -463,38 +549,53 @@ impl<S: ShardStage> ShardedExecutor<S> {
     /// Submits a batch of keyed records with **one handoff per shard**:
     /// records are grouped by destination shard and appended to each shard
     /// queue under a single lock acquisition ([`Topic::publish_batch_all`]),
-    /// retrying refused suffixes so nothing is lost.
+    /// retrying refused suffixes so nothing is lost. The admission window
+    /// applies to every record: the batch is admitted in window-sized
+    /// chunks, draining between chunks, so `max_pending ≤ max_in_flight`
+    /// holds mid-batch too.
     pub fn submit_batch<K: Hash>(&mut self, items: impl IntoIterator<Item = (K, S::In)>) {
         let shards = self.assigner.shards();
         let timed = self.obs.is_enabled();
-        let now = if timed { Some(Instant::now()) } else { None };
         let mut per_shard: Vec<Vec<Directive<S::In>>> = (0..shards).map(|_| Vec::new()).collect();
-        for (key, input) in items {
-            if let Some(now) = now {
-                self.submit_times.push_back(now);
-            }
-            let key_hash = fx_hash(&key);
-            let shard = (key_hash % self.assigner.shards as u64) as u32;
-            let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
-            let stamp = SeqStamp {
-                global_seq: self.next_seq,
-                shard,
-                key_seq: *key_seq,
+        let mut items = items.into_iter();
+        loop {
+            self.await_admission();
+            let budget = match self.max_in_flight {
+                Some(max) => max.max(1) - self.in_flight(),
+                None => usize::MAX,
             };
-            *key_seq += 1;
-            self.next_seq += 1;
-            per_shard[shard as usize].push(Directive::Record(Stamped { stamp, value: input }));
-        }
-        for (shard, mut batch) in per_shard.into_iter().enumerate() {
-            while !batch.is_empty() {
-                let (_, refused) = self.inputs[shard].publish_batch_all(batch);
-                batch = refused;
-                if !batch.is_empty() {
-                    self.drain_outputs();
+            let mut taken = 0usize;
+            for (key, input) in items.by_ref().take(budget) {
+                let submitted_at = if timed { Some(Instant::now()) } else { None };
+                let key_hash = fx_hash(&key);
+                let shard = (key_hash % self.assigner.shards as u64) as u32;
+                let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
+                let stamp = SeqStamp {
+                    global_seq: self.next_seq,
+                    shard,
+                    key_seq: *key_seq,
+                };
+                *key_seq += 1;
+                self.next_seq += 1;
+                per_shard[shard as usize]
+                    .push(Directive::Record(Stamped { stamp, submitted_at, value: input }));
+                taken += 1;
+            }
+            if taken == 0 {
+                break;
+            }
+            for (shard, batch) in per_shard.iter_mut().enumerate() {
+                while !batch.is_empty() {
+                    let (_, refused) = self.inputs[shard].publish_batch_all(batch.drain(..));
+                    *batch = refused;
+                    if !batch.is_empty() {
+                        self.drain_outputs();
+                        self.inputs[shard].wait_for_space(COORD_SPACE_WAIT);
+                    }
                 }
             }
+            self.drain_outputs();
         }
-        self.drain_outputs();
     }
 
     /// Takes every output whose global order is already reassembled, in
@@ -504,38 +605,116 @@ impl<S: ShardStage> ShardedExecutor<S> {
         std::mem::take(&mut self.ready)
     }
 
+    /// Like [`poll`](Self::poll), but when nothing is ready yet, parks on
+    /// the output topic (condvar-woken by the next worker publish) for up
+    /// to `timeout`. The event-driven way to observe merges promptly
+    /// without spinning — a low-rate consumer sees each output
+    /// microseconds after its worker finishes, not at its own next poll.
+    pub fn poll_timeout(&mut self, timeout: Duration) -> Vec<S::Out> {
+        self.drain_outputs();
+        if self.ready.is_empty() && self.in_flight() > 0 {
+            let batch = self
+                .output_consumer
+                .poll_wait(OUTPUT_DRAIN_BATCH, timeout)
+                .unwrap_or_else(|lagged| {
+                    unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
+                });
+            self.absorb(batch);
+            self.drain_outputs();
+        }
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Blocks while the admission window is full, draining outputs
+    /// (event-driven: parked on the output consumer, woken by worker
+    /// publishes) until at least one slot frees.
+    fn await_admission(&mut self) {
+        let Some(max) = self.max_in_flight else {
+            return;
+        };
+        let max = max.max(1);
+        if self.in_flight() < max {
+            return;
+        }
+        loop {
+            self.drain_outputs();
+            if self.in_flight() < max {
+                return;
+            }
+            let batch = self
+                .output_consumer
+                .poll_wait(OUTPUT_DRAIN_BATCH, OUTPUT_WAIT)
+                .unwrap_or_else(|lagged| {
+                    unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
+                });
+            if batch.is_empty() {
+                // Sustained silence with a full window: make sure the
+                // records we are waiting on can still arrive.
+                self.panic_if_worker_died();
+            }
+            self.absorb(batch);
+        }
+    }
+
+    /// Fails fast when a shard worker died while the executor is still
+    /// accepting records: its queued records can never merge, so a
+    /// submit-side wait would hang forever. Never called on the shutdown
+    /// path, where finished workers are the expected state.
+    fn panic_if_worker_died(&mut self) {
+        for shard in 0..self.workers.len() {
+            if self.workers[shard].is_finished() {
+                let message = match self.workers.remove(shard).join() {
+                    Err(payload) => crate::operator::panic_message(payload.as_ref()),
+                    Ok(_) => "worker exited without a shutdown directive".to_string(),
+                };
+                panic!("{}", ShardPanic { shard: shard as u32, message });
+            }
+        }
+    }
+
     fn drain_outputs(&mut self) {
-        let before = self.merger.released();
         loop {
             let batch = self
                 .output_consumer
-                .poll(4096)
+                .poll(OUTPUT_DRAIN_BATCH)
                 .unwrap_or_else(|lagged| {
                     unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
                 });
             if batch.is_empty() {
                 break;
             }
-            for stamped in batch {
-                self.merger.push(stamped.stamp.global_seq, stamped.value, &mut self.ready);
-            }
+            self.absorb(batch);
         }
-        // Submit→merge latency: records released by this drain, measured
-        // against their submission instants (one `Instant::now()` per drain,
-        // not per record).
-        let released = (self.merger.released() - before) as usize;
-        if released > 0 && !self.submit_times.is_empty() {
-            let now = Instant::now();
-            for t in self.submit_times.drain(..released.min(self.submit_times.len())) {
-                let ns = now.duration_since(t).as_nanos();
+    }
+
+    /// Feeds one batch of stamped worker outputs through the reorder
+    /// buffer, recording submit→merge latency for every record released:
+    /// one release instant per batch (they became globally ordered
+    /// together, at this moment) against each record's own routing-time
+    /// stamp.
+    fn absorb(&mut self, batch: Vec<Stamped<S::Out>>) {
+        for stamped in batch {
+            self.merger.push(stamped.stamp.global_seq, stamped, &mut self.released_scratch);
+        }
+        if self.released_scratch.is_empty() {
+            return;
+        }
+        let now = if self.obs.is_enabled() { Some(Instant::now()) } else { None };
+        for stamped in self.released_scratch.drain(..) {
+            if let (Some(now), Some(t0)) = (now, stamped.submitted_at) {
+                let ns = now.duration_since(t0).as_nanos();
                 self.submit_to_merge_ns.record(ns.min(u64::MAX as u128) as u64);
             }
+            self.ready.push(stamped.value);
         }
     }
 
     /// Routes one directive to a shard queue, draining outputs between
     /// backpressure retries so a worker blocked on a full output topic can
-    /// always make progress (no coordinator/worker deadlock).
+    /// always make progress (no coordinator/worker deadlock). No liveness
+    /// check: directives are sent on the shutdown path too, where finished
+    /// workers are expected; a dead shard is caught by the barrier timeout
+    /// or the `finish` join.
     fn send_directive(&mut self, shard: usize, msg: Directive<S::In>) {
         let mut msg = msg;
         loop {
@@ -544,6 +723,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
                 Err(err) => {
                     msg = err.into_inner();
                     self.drain_outputs();
+                    self.inputs[shard].wait_for_space(COORD_SPACE_WAIT);
                 }
             }
         }
@@ -640,6 +820,9 @@ impl<S: ShardStage> ShardedExecutor<S> {
             self.merge_pending_gauge.set(self.merger.pending() as i64);
             self.in_flight_gauge
                 .set((self.next_seq - self.merger.released()) as i64);
+            self.merge_late_gauge.set(self.merger.late() as i64);
+            self.merge_duplicates_gauge
+                .set(self.merger.duplicates() as i64);
         }
         self.obs.snapshot()
     }
@@ -679,14 +862,25 @@ impl<S: ShardStage> ShardedExecutor<S> {
         for shard in 0..self.shards() {
             self.send_directive(shard, Directive::Shutdown);
         }
-        // Keep draining while workers wind down, so none can sit blocked on
-        // a full output topic with no consumer.
-        loop {
-            self.drain_outputs();
-            if self.workers.iter().all(|w| w.is_finished()) {
+        // Event-driven wind-down: park on the output topic and absorb until
+        // every submitted record has merged — at that point no worker can be
+        // blocked publishing, so joining is safe and immediate. Waking is
+        // condvar-driven (worker publishes), not sleep-quantized. If a
+        // worker died mid-run some records can never merge; the all-finished
+        // check below breaks the wait so the join can surface its panic.
+        while self.merger.released() < self.next_seq {
+            let batch = self
+                .output_consumer
+                .poll_wait(OUTPUT_DRAIN_BATCH, OUTPUT_WAIT)
+                .unwrap_or_else(|lagged| {
+                    unreachable!("Block-bounded output topic never truncates unread data: {lagged:?}")
+                });
+            let quiet = batch.is_empty();
+            self.absorb(batch);
+            if quiet && self.workers.iter().all(|w| w.is_finished()) {
+                self.drain_outputs();
                 break;
             }
-            std::thread::sleep(Duration::from_millis(1));
         }
         let mut stages = Vec::with_capacity(self.workers.len());
         for (shard, worker) in self.workers.drain(..).enumerate() {
@@ -712,6 +906,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
             stages,
             submitted: self.next_seq,
             merged: self.merger.released(),
+            late: self.merger.late(),
             duplicates: self.merger.duplicates(),
             max_reorder: self.merger.max_pending(),
         }
@@ -719,12 +914,16 @@ impl<S: ShardStage> ShardedExecutor<S> {
 }
 
 /// Publishes one directive, retrying on backpressure until it is appended.
+/// Parks on the topic's condvar between attempts instead of busy-spinning.
 fn publish_reliable<T: Clone>(topic: &Topic<T>, msg: T) {
     let mut msg = msg;
     loop {
         match topic.try_publish(msg) {
             Ok(_) => return,
-            Err(err) => msg = err.into_inner(),
+            Err(err) => {
+                msg = err.into_inner();
+                topic.wait_for_space(WORKER_PUBLISH_WAIT);
+            }
         }
     }
 }
@@ -733,6 +932,16 @@ fn publish_reliable<T: Clone>(topic: &Topic<T>, msg: T) {
 const WORKER_BATCH: usize = 256;
 /// How long a worker parks waiting for input before re-checking.
 const WORKER_PARK: Duration = Duration::from_millis(50);
+/// How long a worker parks waiting for output-topic space before retrying.
+const WORKER_PUBLISH_WAIT: Duration = Duration::from_millis(50);
+/// Upper bound on one coordinator park for input-queue space. Short so the
+/// coordinator keeps interleaving output drains (the usual reason a worker
+/// is stuck); the common wake path is the worker's consume → condvar.
+const COORD_SPACE_WAIT: Duration = Duration::from_millis(1);
+/// Upper bound on one coordinator park for output data.
+const OUTPUT_WAIT: Duration = Duration::from_millis(50);
+/// How many outputs the coordinator pulls per drain step.
+const OUTPUT_DRAIN_BATCH: usize = 4096;
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<S: ShardStage>(
@@ -753,11 +962,23 @@ fn worker_loop<S: ShardStage>(
             .unwrap_or_else(|lagged| {
                 unreachable!("Block-bounded input topic never truncates unread data: {lagged:?}")
             });
+        // Prompt handoff: a partial batch means the input queue was
+        // momentarily empty — the pipeline is in tail/low-rate mode, so
+        // publish each output as it is produced (latency over batching). A
+        // full batch means backlog — amortize the handoff lock per batch.
+        let prompt = batch.len() < WORKER_BATCH;
         for directive in batch {
             match directive {
                 Directive::Record(stamped) => {
                     let value = stage.on_record(stamped.value);
-                    out_buf.push(Stamped { stamp: stamped.stamp, value });
+                    out_buf.push(Stamped {
+                        stamp: stamped.stamp,
+                        submitted_at: stamped.submitted_at,
+                        value,
+                    });
+                    if prompt || out_buf.len() >= WORKER_BATCH {
+                        flush_outputs(&output, &mut out_buf);
+                    }
                 }
                 Directive::Flush => {
                     flush_outputs(&output, &mut out_buf);
@@ -787,10 +1008,15 @@ fn worker_loop<S: ShardStage>(
 }
 
 /// Publishes the buffered outputs losslessly, retrying refused suffixes.
+/// Parks on the topic's condvar (woken by the coordinator's drain) between
+/// attempts instead of busy-spinning.
 fn flush_outputs<T: Clone>(topic: &Topic<T>, buf: &mut Vec<T>) {
     while !buf.is_empty() {
         let (_, refused) = topic.publish_batch_all(buf.drain(..));
         *buf = refused;
+        if !buf.is_empty() {
+            topic.wait_for_space(WORKER_PUBLISH_WAIT);
+        }
     }
 }
 
@@ -859,7 +1085,9 @@ mod tests {
     }
 
     #[test]
-    fn merger_counts_duplicates() {
+    fn merger_counts_late_records() {
+        // A sequence that was already released arrives again: it is *late*
+        // (behind the release cursor), not a buffered duplicate.
         let mut m = SequenceMerger::new();
         let mut out = Vec::new();
         m.push(0, 10, &mut out);
@@ -867,7 +1095,31 @@ mod tests {
         m.push(1, 11, &mut out);
         m.push(1, 11, &mut out);
         assert_eq!(out, vec![10, 11]);
-        assert_eq!(m.duplicates(), 2);
+        assert_eq!(m.late(), 2);
+        assert_eq!(m.duplicates(), 0);
+        assert_eq!(m.released(), 2);
+    }
+
+    #[test]
+    fn merger_counts_buffered_duplicates() {
+        // The same out-of-order sequence arrives twice while the first copy
+        // is still buffered: a true duplicate, distinct from lateness.
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(2, 12, &mut out);
+        m.push(2, 12, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(m.duplicates(), 1);
+        assert_eq!(m.late(), 0);
+        m.push(0, 10, &mut out);
+        m.push(1, 11, &mut out);
+        assert_eq!(out, vec![10, 11, 12]);
+        // Re-delivery after release flips to the late counter.
+        m.push(2, 12, &mut out);
+        assert_eq!(m.duplicates(), 1);
+        assert_eq!(m.late(), 1);
+        assert_eq!(m.released(), 3);
+        assert!(m.is_drained());
     }
 
     #[test]
@@ -997,5 +1249,57 @@ mod tests {
         assert_eq!(run.submitted, 2000);
         assert_eq!(run.merged, 2000);
         assert_eq!(run.duplicates, 0);
+    }
+
+    #[test]
+    fn admission_window_bounds_the_reorder_buffer() {
+        let mut exec = ShardedExecutor::new(
+            ShardedConfig { max_in_flight: Some(8), ..ShardedConfig::with_shards(4) },
+            |_| Doubler { seen: 0 },
+        );
+        let mut got = Vec::new();
+        for i in 0..1000u64 {
+            exec.submit(&(i % 13), i);
+            assert!(exec.in_flight() <= 8, "window violated at record {i}");
+            got.extend(exec.poll());
+        }
+        let run = exec.finish();
+        got.extend(run.outputs);
+        assert_eq!(got, (0..1000u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(
+            run.max_reorder <= 8,
+            "reorder buffer exceeded the admission window: {}",
+            run.max_reorder
+        );
+        assert_eq!(run.merged, 1000);
+        assert_eq!(run.late, 0);
+        assert_eq!(run.duplicates, 0);
+    }
+
+    #[test]
+    fn admission_window_bounds_batch_submission_too() {
+        let mut exec = ShardedExecutor::new(
+            ShardedConfig { max_in_flight: Some(16), ..ShardedConfig::with_shards(3) },
+            |_| Doubler { seen: 0 },
+        );
+        exec.submit_batch((0..600u64).map(|i| (i % 11, i)));
+        let run = exec.finish();
+        assert_eq!(run.outputs, (0..600u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(run.max_reorder <= 16, "mid-batch window violated: {}", run.max_reorder);
+        assert_eq!(run.merged, 600);
+    }
+
+    #[test]
+    fn unbounded_window_still_works() {
+        let mut exec = ShardedExecutor::new(
+            ShardedConfig { max_in_flight: None, ..ShardedConfig::with_shards(2) },
+            |_| Doubler { seen: 0 },
+        );
+        for i in 0..400u64 {
+            exec.submit(&(i % 7), i);
+        }
+        let run = exec.finish();
+        assert_eq!(run.merged, 400);
+        assert_eq!(run.outputs.len(), 400);
     }
 }

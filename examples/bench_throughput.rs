@@ -14,12 +14,23 @@
 //! cargo run --release --example bench_throughput -- \
 //!     [--entities 64] [--reports 400] [--shards 1,2,4,8] [--seed 42] \
 //!     [--out BENCH_throughput.json] [--quick] [--no-metrics] \
-//!     [--metrics-out metrics.json] [--overhead-max 5]
+//!     [--metrics-out metrics.json] [--overhead-max 5] \
+//!     [--open-loop] [--rate 5000]
 //! ```
 //!
 //! `--quick` shrinks the workload for CI smoke runs (finishes in seconds).
 //! The deterministic-merge contract means every configuration produces the
 //! same outputs; the benchmark verifies record counts as it goes.
+//!
+//! Two measurement modes:
+//!
+//! * **Closed-loop** (default): submit as fast as the pipeline admits —
+//!   measures peak throughput. Latency under closed-loop load is
+//!   queueing-dominated and reported for completeness, not as an SLO.
+//! * **Open-loop** (`--open-loop`, paced at `--rate` records/second):
+//!   records arrive on a fixed schedule regardless of pipeline progress —
+//!   the honest time-critical measurement. Reports true per-record
+//!   submit→merge p50/p99/max and writes `BENCH_latency.json` by default.
 //!
 //! Observability knobs:
 //!
@@ -53,6 +64,9 @@ struct Args {
     no_metrics: bool,
     metrics_out: Option<String>,
     overhead_max: Option<f64>,
+    open_loop: bool,
+    rate: f64,
+    out_is_default: bool,
 }
 
 impl Args {
@@ -67,6 +81,9 @@ impl Args {
             no_metrics: false,
             metrics_out: None,
             overhead_max: None,
+            open_loop: false,
+            rate: 5000.0,
+            out_is_default: true,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -79,7 +96,10 @@ impl Args {
                 "--entities" => args.entities = value(&mut i).parse().expect("--entities"),
                 "--reports" => args.reports = value(&mut i).parse().expect("--reports"),
                 "--seed" => args.seed = value(&mut i).parse().expect("--seed"),
-                "--out" => args.out = value(&mut i),
+                "--out" => {
+                    args.out = value(&mut i);
+                    args.out_is_default = false;
+                }
                 "--shards" => {
                     args.shards = value(&mut i)
                         .split(',')
@@ -87,6 +107,8 @@ impl Args {
                         .collect();
                 }
                 "--quick" => args.quick = true,
+                "--open-loop" => args.open_loop = true,
+                "--rate" => args.rate = value(&mut i).parse().expect("--rate"),
                 "--no-metrics" => args.no_metrics = true,
                 "--metrics-out" => args.metrics_out = Some(value(&mut i)),
                 "--overhead-max" => {
@@ -100,6 +122,10 @@ impl Args {
             args.entities = args.entities.min(24);
             args.reports = args.reports.min(120);
         }
+        if args.open_loop && args.out_is_default {
+            args.out = "BENCH_latency.json".to_string();
+        }
+        assert!(args.rate > 0.0, "--rate must be positive");
         args
     }
 }
@@ -169,6 +195,7 @@ struct RunResult {
     accepted: u64,
     p50_us: u64,
     p99_us: u64,
+    max_us: u64,
     max_reorder: usize,
 }
 
@@ -219,7 +246,135 @@ fn run_sharded(input: &[PositionReport], shards: usize, metrics: bool) -> RunRes
         accepted,
         p50_us: percentile(&latencies_us, 0.50),
         p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
         max_reorder: done.max_reorder,
+    }
+}
+
+/// Spin-assisted pacing: sleep the bulk of the wait, spin the final stretch
+/// so arrival jitter stays well under the latencies being measured.
+fn pace_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(300) {
+            std::thread::sleep(remaining - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One open-loop sharded run: records arrive on a fixed schedule
+/// (`rate` records/second) regardless of pipeline progress, each stamped
+/// with its own submit instant and paired with its merged output — the
+/// honest time-critical latency measurement.
+fn run_sharded_open_loop(
+    input: &[PositionReport],
+    shards: usize,
+    metrics: bool,
+    rate: f64,
+) -> RunResult {
+    let mut layer = ShardedRealTimeLayer::new(
+        config(metrics),
+        Vec::new(),
+        Vec::new(),
+        ShardedConfig::with_shards(shards),
+    );
+    let mut submit_times: Vec<Instant> = Vec::with_capacity(input.len());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
+    let mut merged_so_far = 0usize;
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for (i, r) in input.iter().enumerate() {
+        // Pace to the arrival schedule while observing merges event-driven:
+        // park on the output topic (woken the instant a worker publishes)
+        // instead of sleeping blind until the next arrival, so each
+        // record's latency is measured when it merges, not when the bench
+        // happens to look.
+        let deadline = started + Duration::from_secs_f64(i as f64 / rate);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let remaining = deadline - now;
+            if remaining <= Duration::from_micros(300) {
+                pace_until(deadline);
+                break;
+            }
+            let outs = layer.poll_outputs_timeout(remaining - Duration::from_micros(200));
+            if outs.is_empty() {
+                continue;
+            }
+            let done = Instant::now();
+            for out in outs {
+                latencies_us
+                    .push(done.duration_since(submit_times[merged_so_far]).as_micros() as u64);
+                merged_so_far += 1;
+                accepted += out.output.accepted as u64;
+            }
+        }
+        submit_times.push(Instant::now());
+        layer.ingest(*r);
+        for out in layer.poll_outputs() {
+            let done = Instant::now();
+            latencies_us.push(done.duration_since(submit_times[merged_so_far]).as_micros() as u64);
+            merged_so_far += 1;
+            accepted += out.output.accepted as u64;
+        }
+    }
+    let done = layer.finish();
+    let end = Instant::now();
+    for out in &done.outputs {
+        latencies_us.push(end.duration_since(submit_times[merged_so_far]).as_micros() as u64);
+        merged_so_far += 1;
+        accepted += out.output.accepted as u64;
+    }
+    let elapsed = started.elapsed();
+    assert_eq!(merged_so_far, input.len(), "lossless run");
+    assert_eq!(done.duplicates, 0);
+    latencies_us.sort_unstable();
+    RunResult {
+        shards,
+        elapsed,
+        records: input.len(),
+        accepted,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+        max_reorder: done.max_reorder,
+    }
+}
+
+/// Open-loop single-threaded reference: ingest is synchronous, so the
+/// per-record latency is simply the paced call's duration.
+fn run_single_open_loop(input: &[PositionReport], metrics: bool, rate: f64) -> RunResult {
+    let mut layer = RealTimeLayer::new(config(metrics), Vec::new(), Vec::new());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for (i, r) in input.iter().enumerate() {
+        pace_until(started + Duration::from_secs_f64(i as f64 / rate));
+        let t0 = Instant::now();
+        let out = layer.ingest(*r);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        accepted += out.accepted as u64;
+    }
+    let elapsed = started.elapsed();
+    latencies_us.sort_unstable();
+    RunResult {
+        shards: 0,
+        elapsed,
+        records: input.len(),
+        accepted,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+        max_reorder: 0,
     }
 }
 
@@ -243,6 +398,7 @@ fn run_single(input: &[PositionReport], metrics: bool) -> (RunResult, MetricsSna
         accepted,
         p50_us: percentile(&latencies_us, 0.50),
         p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
         max_reorder: 0,
     };
     (result, layer.metrics_snapshot())
@@ -272,7 +428,7 @@ fn json_entry(r: &RunResult, baseline: f64) -> String {
     format!(
         "{{\"shards\": {}, \"records_per_sec\": {:.1}, \"elapsed_ms\": {:.3}, \
          \"speedup_vs_single\": {:.3}, \"accepted\": {}, \
-         \"latency_us\": {{\"p50\": {}, \"p99\": {}}}, \"max_reorder\": {}}}",
+         \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \"max_reorder\": {}}}",
         r.shards,
         rps,
         r.elapsed.as_secs_f64() * 1e3,
@@ -280,8 +436,74 @@ fn json_entry(r: &RunResult, baseline: f64) -> String {
         r.accepted,
         r.p50_us,
         r.p99_us,
+        r.max_us,
         r.max_reorder,
     )
+}
+
+/// The open-loop latency experiment: paced arrivals at `--rate`, true
+/// per-record submit→merge percentiles, one JSON result file
+/// (`BENCH_latency.json` unless `--out` overrides).
+fn run_open_loop(args: &Args, input: &[PositionReport], metrics_enabled: bool, cores: usize) {
+    let rate = args.rate;
+    println!("  open-loop mode: paced at {rate:.0} records/s");
+    // Warm-up (page in code and allocator arenas) before any measured pass.
+    let _ = run_single(&input[..input.len().min(2048)], metrics_enabled);
+    let single = run_single_open_loop(input, metrics_enabled, rate);
+    println!(
+        "  single-threaded : p50 {} us, p99 {} us, max {} us (attained {:.0} rec/s)",
+        single.p50_us,
+        single.p99_us,
+        single.max_us,
+        records_per_sec(single.records, single.elapsed),
+    );
+    let mut sharded_results = Vec::new();
+    for &shards in &args.shards {
+        let r = run_sharded_open_loop(input, shards, metrics_enabled, rate);
+        assert_eq!(
+            r.accepted, single.accepted,
+            "sharded run must accept exactly the single-threaded records"
+        );
+        println!(
+            "  {:>2} shard(s)     : p50 {} us, p99 {} us, max {} us (attained {:.0} rec/s, reorder {})",
+            shards,
+            r.p50_us,
+            r.p99_us,
+            r.max_us,
+            records_per_sec(r.records, r.elapsed),
+            r.max_reorder,
+        );
+        sharded_results.push(r);
+    }
+
+    let baseline = records_per_sec(single.records, single.elapsed);
+    let window = ShardedConfig::default().max_in_flight;
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"latency\",").unwrap();
+    writeln!(json, "  \"open_loop\": true,").unwrap();
+    writeln!(json, "  \"rate_per_sec\": {rate:.1},").unwrap();
+    writeln!(json, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(json, "  \"quick\": {},", args.quick).unwrap();
+    writeln!(json, "  \"entities\": {},", args.entities).unwrap();
+    writeln!(json, "  \"reports_per_entity\": {},", args.reports).unwrap();
+    writeln!(json, "  \"records\": {},", input.len()).unwrap();
+    writeln!(json, "  \"metrics\": {metrics_enabled},").unwrap();
+    match window {
+        Some(w) => writeln!(json, "  \"max_in_flight\": {w},").unwrap(),
+        None => writeln!(json, "  \"max_in_flight\": null,").unwrap(),
+    }
+    writeln!(json, "  \"single\": {},", json_entry(&single, baseline)).unwrap();
+    writeln!(json, "  \"sharded\": [").unwrap();
+    for (i, r) in sharded_results.iter().enumerate() {
+        let sep = if i + 1 < sharded_results.len() { "," } else { "" };
+        writeln!(json, "    {}{}", json_entry(r, baseline), sep).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    println!("wrote {}", args.out);
 }
 
 fn main() {
@@ -299,6 +521,11 @@ fn main() {
         if args.quick { " [quick]" } else { "" },
         if metrics_enabled { "" } else { " [metrics off]" },
     );
+
+    if args.open_loop {
+        run_open_loop(&args, &input, metrics_enabled, cores);
+        return;
+    }
 
     // Warm-up pass (page in code and allocator arenas), then the measured
     // single-threaded baseline.

@@ -1,0 +1,167 @@
+//! Admission-window property tests: with `max_in_flight` set, the sharded
+//! layer's reorder buffer must never exceed the window — under every chaos
+//! seed and shard count — and bounding the window must not change a single
+//! output bit relative to an unbounded run.
+
+use datacron::core::sharded::{ShardedRealTimeLayer, ShardedShutdown};
+use datacron::core::DatacronConfig;
+use datacron::data::rng::SeededRng;
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
+use datacron::stream::faults::{ChaosSource, FaultPlan};
+use datacron::stream::parallel::ShardedConfig;
+
+/// The repo-wide chaos seeds (see tests/chaos.rs and .github/workflows).
+const SEEDS: [u64; 8] = [1, 7, 23, 42, 97, 1234, 0xDEAD_BEEF, u64::MAX / 3];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WINDOW: usize = 64;
+
+fn config() -> DatacronConfig {
+    DatacronConfig::maritime(BoundingBox::new(-6.0, 36.0, 6.0, 44.0))
+}
+
+type Context = (Vec<(u64, Polygon)>, Vec<(u64, GeoPoint)>);
+
+fn context() -> Context {
+    let regions = vec![
+        (7u64, Polygon::rect(BoundingBox::new(-1.0, 39.0, 1.0, 41.0))),
+        (8u64, Polygon::rect(BoundingBox::new(1.5, 37.5, 3.5, 39.5))),
+    ];
+    let ports = vec![(3u64, GeoPoint::new(0.0, 40.0)), (4u64, GeoPoint::new(2.0, 38.0))];
+    (regions, ports)
+}
+
+/// Same maneuvering-fleet generator as tests/sharded_equivalence.rs so the
+/// window is exercised against realistic multi-stage work.
+fn fleet(seed: u64) -> Vec<PositionReport> {
+    let mut rng = SeededRng::new(seed);
+    let entities = 10 + seed % 5;
+    let reports_each = 60i64;
+    struct Track {
+        pos: GeoPoint,
+        heading: f64,
+        speed: f64,
+        turn_in: i64,
+    }
+    let mut tracks: Vec<Track> = (0..entities)
+        .map(|_| Track {
+            pos: GeoPoint::new(rng.uniform(-2.0, 3.0), rng.uniform(38.0, 41.0)),
+            heading: rng.uniform(0.0, 360.0),
+            speed: rng.uniform(4.0, 12.0),
+            turn_in: rng.int_range(5, 20),
+        })
+        .collect();
+    let mut out = Vec::new();
+    for t in 0..reports_each {
+        for (e, track) in tracks.iter_mut().enumerate() {
+            track.turn_in -= 1;
+            if track.turn_in <= 0 {
+                track.heading = (track.heading + rng.uniform(-120.0, 120.0)).rem_euclid(360.0);
+                track.speed = (track.speed + rng.uniform(-3.0, 3.0)).clamp(1.0, 15.0);
+                track.turn_in = rng.int_range(5, 20);
+            }
+            track.pos = track.pos.destination(track.heading, track.speed * 10.0);
+            out.push(PositionReport {
+                speed_mps: track.speed,
+                heading_deg: track.heading,
+                ..PositionReport::basic(
+                    EntityId::vessel(e as u64),
+                    Timestamp::from_secs(t * 10),
+                    track.pos,
+                )
+            });
+        }
+    }
+    out
+}
+
+fn chaos_input(seed: u64) -> Vec<PositionReport> {
+    ChaosSource::new(fleet(seed).into_iter(), FaultPlan::chaos(seed)).collect()
+}
+
+/// Runs the input through a sharded layer with the given window, polling
+/// between chunks like a real caller, and returns the merged stream plus
+/// shutdown accounting.
+fn run_sharded(
+    input: &[PositionReport],
+    shards: usize,
+    max_in_flight: Option<usize>,
+) -> (Vec<String>, String, ShardedShutdown) {
+    let (regions, ports) = context();
+    let mut sharded = ShardedRealTimeLayer::new(
+        config(),
+        regions,
+        ports,
+        ShardedConfig { max_in_flight, ..ShardedConfig::with_shards(shards) },
+    );
+    let mut got = Vec::new();
+    for chunk in input.chunks(256) {
+        sharded.ingest_batch(chunk.iter().copied());
+        got.extend(sharded.poll_outputs());
+    }
+    let flush = sharded.flush();
+    let done = sharded.finish();
+    got.extend(done.outputs.iter().cloned());
+    let rendered: Vec<String> = got.iter().map(|o| format!("{o:?}")).collect();
+    (rendered, format!("{flush:?}"), done)
+}
+
+#[test]
+fn reorder_buffer_never_exceeds_the_window_under_chaos() {
+    for seed in SEEDS {
+        let input = chaos_input(seed);
+        for shards in SHARD_COUNTS {
+            let (_, _, done) = run_sharded(&input, shards, Some(WINDOW));
+            let label = format!("chaos seed {seed}, {shards} shards");
+            assert!(
+                done.max_reorder <= WINDOW,
+                "{label}: max_pending {} exceeded the {WINDOW}-record window",
+                done.max_reorder
+            );
+            assert_eq!(done.submitted, input.len() as u64, "{label}");
+            assert_eq!(done.merged, input.len() as u64, "{label}: lossless merge");
+            assert_eq!(done.late, 0, "{label}: no late arrivals");
+            assert_eq!(done.duplicates, 0, "{label}: exactly-once");
+        }
+    }
+}
+
+#[test]
+fn bounded_window_outputs_are_bit_identical_to_unbounded() {
+    // The window changes scheduling, never results: for each seed and shard
+    // count the bounded run's merged stream, flush, and health must render
+    // byte-identically to an unbounded run of the same input.
+    for seed in [42u64, 0xDEAD_BEEF] {
+        let input = chaos_input(seed);
+        for shards in SHARD_COUNTS {
+            let label = format!("chaos seed {seed}, {shards} shards");
+            let (bounded, bounded_flush, bounded_done) =
+                run_sharded(&input, shards, Some(WINDOW));
+            let (unbounded, unbounded_flush, unbounded_done) =
+                run_sharded(&input, shards, None);
+            assert_eq!(bounded.len(), unbounded.len(), "{label}");
+            for (i, (b, u)) in bounded.iter().zip(&unbounded).enumerate() {
+                assert_eq!(b, u, "{label}: output {i} must be bit-identical");
+            }
+            assert_eq!(bounded_flush, unbounded_flush, "{label}: end-of-stream flush");
+            assert_eq!(
+                format!("{:?}", bounded_done.health),
+                format!("{:?}", unbounded_done.health),
+                "{label}: merged health"
+            );
+            assert!(bounded_done.max_reorder <= WINDOW, "{label}: window held");
+        }
+    }
+}
+
+#[test]
+fn tiny_window_still_merges_everything() {
+    // Degenerate windows (1 record in flight) serialize the pipeline but
+    // must stay lossless and ordered.
+    let input = chaos_input(7);
+    for window in [1usize, 2, 8] {
+        let (_, _, done) = run_sharded(&input, 4, Some(window));
+        assert!(done.max_reorder <= window, "window {window}");
+        assert_eq!(done.merged, input.len() as u64, "window {window}: lossless");
+        assert_eq!(done.duplicates, 0);
+    }
+}
