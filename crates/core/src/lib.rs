@@ -56,3 +56,6 @@ pub use realtime::{
 };
 pub use sharded::{RealTimeShard, ShardOutput, ShardedRealTimeLayer, ShardedShutdown};
 pub use system::{DatacronSystem, SituationPicture};
+// Re-export so `HealthReport::net` consumers need no direct dependency on
+// the networking crate.
+pub use datacron_net::NetHealth;

@@ -116,12 +116,27 @@ pub struct HealthReport {
     /// the owning [`DatacronSystem`](crate::DatacronSystem) (`None` here and
     /// for per-shard reports).
     pub durability: Option<crate::durable::DurabilityHealth>,
+    /// Networked-ingestion counters, when a `datacron-net` server feeds
+    /// this layer (attach via [`HealthReport::with_net`]; `None` for
+    /// purely in-process ingestion).
+    pub net: Option<datacron_net::NetHealth>,
 }
 
 impl HealthReport {
     /// `true` when everything is `Ok` and nothing was rejected.
     pub fn is_all_ok(&self) -> bool {
         self.status == ComponentStatus::Ok && self.rejected == 0 && self.panics == 0
+    }
+
+    /// Attach the network-ingestion section (from `NetServer::health()`).
+    /// A wire with NACKs or CRC errors marks the layer `Degraded` unless
+    /// something worse is already reported.
+    pub fn with_net(mut self, net: datacron_net::NetHealth) -> Self {
+        if !net.is_clean() && self.status == ComponentStatus::Ok {
+            self.status = ComponentStatus::Degraded;
+        }
+        self.net = Some(net);
+        self
     }
 }
 
@@ -735,6 +750,7 @@ impl RealTimeLayer {
             degraded,
             topics,
             durability: None,
+            net: None,
         }
     }
 

@@ -1,0 +1,243 @@
+//! The shared `[len|crc|seq|payload]` frame format.
+//!
+//! One frame layout serves two transports: the write-ahead log's segment
+//! files ([`wal`](crate::wal)) and `datacron-net`'s TCP wire protocol. A
+//! record framed for disk is byte-identical to the same record framed for
+//! the wire, so corruption detection, replay tooling and tests share one
+//! vocabulary.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! frame := len:u32 crc:u32 seq:u64 payload[len-8]
+//! ```
+//!
+//! * `len` counts the `seq` field plus the payload, so `len >= 8` always
+//!   and the whole frame occupies `8 + len` bytes;
+//! * `crc` is CRC32 (IEEE) over the `seq` bytes followed by the payload —
+//!   the two length fields are *not* covered, which is why
+//!   [`parse_frame`] cannot distinguish a bit-flipped `len` from a
+//!   truncated buffer: both surface as [`FrameParse::Incomplete`] or
+//!   [`FrameParse::Corrupt`], never as a valid frame.
+
+use crate::crc::Crc32;
+
+/// Bytes of frame header preceding the payload: `len` + `crc` + `seq`.
+pub const FRAME_HEADER: usize = 16;
+
+/// Smallest legal value of the `len` field (an empty payload still carries
+/// the 8 `seq` bytes).
+pub const MIN_LEN_FIELD: u32 = 8;
+
+/// CRC32 over the frame-covered region: the `seq` bytes then the payload.
+pub fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(&seq.to_le_bytes());
+    hasher.update(payload);
+    hasher.finalize()
+}
+
+/// Total on-disk / on-wire size of a frame carrying `payload_len` bytes.
+pub fn frame_size(payload_len: usize) -> usize {
+    FRAME_HEADER + payload_len
+}
+
+/// Appends one encoded frame to `out`.
+pub fn encode_frame_into(seq: u64, payload: &[u8], out: &mut Vec<u8>) {
+    let len = MIN_LEN_FIELD + payload.len() as u32;
+    out.reserve(frame_size(payload.len()));
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one frame into a fresh buffer.
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame_size(payload.len()));
+    encode_frame_into(seq, payload, &mut out);
+    out
+}
+
+/// The payload length a frame header announces, before the CRC has been
+/// verified. `None` when `prefix` is shorter than the 4-byte `len` field
+/// or the field is below [`MIN_LEN_FIELD`] (structurally impossible).
+///
+/// Streaming readers (the TCP transport) use this to size the read of the
+/// frame body; block readers should call [`parse_frame`] directly.
+pub fn declared_payload_len(prefix: &[u8]) -> Option<usize> {
+    if prefix.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]);
+    if len < MIN_LEN_FIELD {
+        return None;
+    }
+    Some((len - MIN_LEN_FIELD) as usize)
+}
+
+/// One successfully parsed frame, borrowing its payload from the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// The sequence number the frame carries.
+    pub seq: u64,
+    /// The framed payload.
+    pub payload: &'a [u8],
+    /// Total bytes the frame occupies in the input (header + payload).
+    pub size: usize,
+}
+
+/// Outcome of parsing the frame at the start of a byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameParse<'a> {
+    /// A structurally valid frame whose CRC matches.
+    Complete(Frame<'a>),
+    /// The buffer ends before the announced frame does (a torn disk tail,
+    /// or a wire read that needs more bytes).
+    Incomplete,
+    /// The bytes cannot be a valid frame: `len` below the minimum, or a
+    /// CRC mismatch.
+    Corrupt,
+}
+
+/// Parses the frame starting at `bytes[0]`. Trailing bytes after the frame
+/// are ignored ([`Frame::size`] says where the next frame starts). Never
+/// panics, regardless of input.
+pub fn parse_frame(bytes: &[u8]) -> FrameParse<'_> {
+    if bytes.len() < FRAME_HEADER {
+        return FrameParse::Incomplete;
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if len < MIN_LEN_FIELD as usize {
+        return FrameParse::Corrupt;
+    }
+    if bytes.len() < 8 + len {
+        return FrameParse::Incomplete;
+    }
+    let seq = u64::from_le_bytes([
+        bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+    ]);
+    let payload = &bytes[FRAME_HEADER..8 + len];
+    if frame_crc(seq, payload) != crc {
+        return FrameParse::Corrupt;
+    }
+    FrameParse::Complete(Frame { seq, payload, size: 8 + len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The frame layout exactly as `wal.rs` built it before the extraction
+    /// of this module — the before/after byte-identity oracle.
+    fn legacy_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+        let len = 8u32 + payload.len() as u32;
+        let seq_bytes = seq.to_le_bytes();
+        let mut hasher = Crc32::new();
+        hasher.update(&seq_bytes);
+        hasher.update(payload);
+        let crc = hasher.finalize();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&seq_bytes);
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    #[test]
+    fn byte_identical_to_pre_extraction_wal_frames() {
+        let cases: &[(u64, &[u8])] = &[
+            (0, b""),
+            (1, b"a"),
+            (7, b"datacron"),
+            (u64::MAX, b"tail"),
+            (123_456_789, &[0u8; 300]),
+        ];
+        for &(seq, payload) in cases {
+            assert_eq!(
+                encode_frame(seq, payload),
+                legacy_frame(seq, payload),
+                "seq={seq} payload={payload:?}: shared framing must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_frame_layout_is_pinned() {
+        // seq=7, payload="datacron": len = 8 + 8 = 16, crc32(seq_le ++ payload).
+        let frame = encode_frame(7, b"datacron");
+        assert_eq!(&frame[0..4], &16u32.to_le_bytes(), "len field");
+        assert_eq!(&frame[8..16], &7u64.to_le_bytes(), "seq field");
+        assert_eq!(&frame[16..], b"datacron", "payload");
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        assert_eq!(crc, frame_crc(7, b"datacron"));
+        assert_eq!(frame.len(), frame_size(8));
+    }
+
+    #[test]
+    fn roundtrip_with_trailing_bytes() {
+        let mut buf = encode_frame(42, b"hello");
+        buf.extend_from_slice(b"NEXTFRAMEBYTES");
+        match parse_frame(&buf) {
+            FrameParse::Complete(f) => {
+                assert_eq!(f.seq, 42);
+                assert_eq!(f.payload, b"hello");
+                assert_eq!(f.size, FRAME_HEADER + 5);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let buf = encode_frame(9, b"");
+        match parse_frame(&buf) {
+            FrameParse::Complete(f) => {
+                assert_eq!(f.seq, 9);
+                assert!(f.payload.is_empty());
+                assert_eq!(f.size, FRAME_HEADER);
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_buffers_are_incomplete_not_panics() {
+        let buf = encode_frame(3, b"abcdef");
+        for cut in 0..buf.len() {
+            match parse_frame(&buf[..cut]) {
+                FrameParse::Incomplete => {}
+                other => panic!("prefix of {cut} bytes: expected Incomplete, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let clean = encode_frame(11, b"hello-world");
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                match parse_frame(&bad) {
+                    FrameParse::Complete(f) => panic!(
+                        "bit {bit} of byte {byte} flipped yet frame parsed: seq={} payload={:?}",
+                        f.seq, f.payload
+                    ),
+                    FrameParse::Incomplete | FrameParse::Corrupt => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn declared_payload_len_reads_the_header() {
+        let buf = encode_frame(5, b"xyz");
+        assert_eq!(declared_payload_len(&buf), Some(3));
+        assert_eq!(declared_payload_len(&buf[..4]), Some(3));
+        assert_eq!(declared_payload_len(&buf[..3]), None, "len field incomplete");
+        assert_eq!(declared_payload_len(&0u32.to_le_bytes()), None, "len below minimum");
+    }
+}

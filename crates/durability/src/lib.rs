@@ -15,6 +15,8 @@
 //!   framed records, configurable fsync policy (per-record / batched /
 //!   interval), segment rotation and retention, and a replay iterator
 //!   that tolerates and truncates a torn tail.
+//! * [`framing`] — the shared `[len|crc|seq|payload]` **frame format**
+//!   consumed by both the WAL and `datacron-net`'s TCP wire protocol.
 //! * [`codec`] — a compact, deterministic **binary codec** for ingest
 //!   records ([`datacron_geo::PositionReport`]) and operator state
 //!   snapshots (cleaner, synopses, topics, links, RDF terms).
@@ -32,6 +34,7 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod crc;
+pub mod framing;
 pub mod recovery;
 pub mod wal;
 
@@ -40,6 +43,7 @@ pub use codec::{
     decode_from_slice, encode_to_vec, ByteReader, ByteWriter, CodecError, Decode, Encode,
     TopicCheckpoint,
 };
+pub use framing::{encode_frame, encode_frame_into, parse_frame, Frame, FrameParse, FRAME_HEADER};
 pub use recovery::{RecoveryManager, RecoveryOutcome};
 pub use wal::{FsyncPolicy, ReplayIter, WalConfig, WalRecord, WalStats, WriteAheadLog};
 

@@ -32,13 +32,11 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use crate::crc::Crc32;
+use crate::framing::{self, FrameParse};
 use crate::DurabilityError;
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"DCWAL01\n";
-/// Bytes of frame header preceding the payload: len + crc + seq.
-const FRAME_HEADER: usize = 16;
 /// File-name prefix/suffix of segment files.
 const SEGMENT_PREFIX: &str = "wal-";
 const SEGMENT_SUFFIX: &str = ".seg";
@@ -264,45 +262,25 @@ impl Iterator for ReplayIter {
                 self.current = None;
                 continue;
             }
-            // Parse one frame.
-            if seg.bytes.len() - seg.pos < FRAME_HEADER {
-                if let Some(item) = self.bad_region() {
-                    return Some(item);
-                }
-                return None;
-            }
+            // Parse one frame via the shared framing module. A torn or
+            // bit-flipped frame is a bad region (torn tail on the last
+            // segment, typed corruption elsewhere) exactly as before.
             let at = seg.pos;
-            let b = &seg.bytes[at..];
-            let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
-            let crc = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
-            if len < 8 || seg.bytes.len() - at < 8 + len {
-                if let Some(item) = self.bad_region() {
-                    return Some(item);
+            let (seq, payload, size) = match framing::parse_frame(&seg.bytes[at..]) {
+                FrameParse::Complete(f) => (f.seq, f.payload.to_vec(), f.size),
+                FrameParse::Incomplete | FrameParse::Corrupt => {
+                    if let Some(item) = self.bad_region() {
+                        return Some(item);
+                    }
+                    return None;
                 }
-                return None;
-            }
-            let seq_bytes = &seg.bytes[at + 8..at + 16];
-            let payload = &seg.bytes[at + 16..at + 8 + len];
-            let mut hasher = Crc32::new();
-            hasher.update(seq_bytes);
-            hasher.update(payload);
-            if hasher.finalize() != crc {
-                if let Some(item) = self.bad_region() {
-                    return Some(item);
-                }
-                return None;
-            }
-            let seq = u64::from_le_bytes([
-                seq_bytes[0], seq_bytes[1], seq_bytes[2], seq_bytes[3],
-                seq_bytes[4], seq_bytes[5], seq_bytes[6], seq_bytes[7],
-            ]);
+            };
             if seq != self.expected {
                 return self.fail(DurabilityError::SequenceGap { expected: self.expected, found: seq });
             }
-            let record = WalRecord { seq, payload: payload.to_vec() };
-            seg.pos = at + 8 + len;
+            seg.pos = at + size;
             self.expected += 1;
-            return Some(Ok(record));
+            return Some(Ok(WalRecord { seq, payload }));
         }
     }
 }
@@ -396,18 +374,7 @@ impl WriteAheadLog {
             self.rotate()?;
         }
         let seq = self.next_seq;
-        let len = 8u32 + payload.len() as u32;
-        let seq_bytes = seq.to_le_bytes();
-        let mut hasher = Crc32::new();
-        hasher.update(&seq_bytes);
-        hasher.update(payload);
-        let crc = hasher.finalize();
-
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&crc.to_le_bytes());
-        frame.extend_from_slice(&seq_bytes);
-        frame.extend_from_slice(payload);
+        let frame = framing::encode_frame(seq, payload);
         self.file.write_all(&frame)?;
 
         self.active_len += frame.len() as u64;

@@ -1,0 +1,141 @@
+//! Capped exponential reconnect backoff with deterministic seeded jitter.
+//!
+//! Delay for attempt `n` (0-based) is `min(cap, base · 2ⁿ)` scaled by a
+//! jitter factor in `[0.5, 1.0]` drawn from a splitmix64 stream seeded at
+//! construction. The same seed therefore yields the same delay sequence on
+//! every run — chaos drills stay reproducible — while different seeds
+//! desynchronise reconnect storms across clients.
+//!
+//! [`Backoff::reset`] (called on a successful ACK) rewinds the *attempt
+//! exponent* only; the jitter stream keeps advancing so a reset never
+//! replays past delays.
+
+use std::time::Duration;
+
+/// Tuning for [`Backoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First-attempt delay (before jitter).
+    pub base: Duration,
+    /// Hard ceiling on any single delay (before jitter; jitter only ever
+    /// shortens a delay, so the cap holds after jitter too).
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self { base: Duration::from_millis(10), cap: Duration::from_secs(2), seed: 0 }
+    }
+}
+
+impl BackoffConfig {
+    /// Default policy with an explicit jitter seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// Capped exponential backoff state. See the module docs for the policy.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh backoff at attempt zero.
+    pub fn new(cfg: BackoffConfig) -> Self {
+        Self { cfg, attempt: 0, rng: cfg.seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// The configuration this policy runs under.
+    pub fn config(&self) -> BackoffConfig {
+        self.cfg
+    }
+
+    /// Consecutive failures since the last [`reset`](Self::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Next delay to sleep before retrying; advances the attempt counter
+    /// and the jitter stream.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(30);
+        let uncapped = self.cfg.base.saturating_mul(1u32 << shift);
+        let capped = uncapped.min(self.cfg.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = 0.5 + 0.5 * self.unit();
+        capped.mul_f64(jitter)
+    }
+
+    /// Rewind the attempt exponent after a success (a received ACK). The
+    /// jitter stream is deliberately left running.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Next jitter sample in `[0, 1)` (splitmix64, same generator as the
+    /// stream-layer fault harness).
+    fn unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_delays() {
+        let cfg = BackoffConfig::seeded(42);
+        let mut a = Backoff::new(cfg);
+        let mut b = Backoff::new(cfg);
+        for _ in 0..64 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_grow_then_saturate_at_cap() {
+        let cfg = BackoffConfig {
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        let mut b = Backoff::new(cfg);
+        for i in 0..40 {
+            let d = b.next_delay();
+            assert!(d <= cfg.cap, "attempt {i}: {d:?} above cap");
+            // Jitter floor is 0.5 × the capped exponential value.
+            let envelope = cfg.base.saturating_mul(1u32 << i.min(30)).min(cfg.cap);
+            assert!(d >= envelope.mul_f64(0.5), "attempt {i}: {d:?} below floor");
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_attempt_but_not_jitter() {
+        let mut b = Backoff::new(BackoffConfig::seeded(9));
+        let first = b.next_delay();
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let after = b.next_delay();
+        // Back inside the base envelope…
+        assert!(after <= b.config().base);
+        assert!(after >= b.config().base.mul_f64(0.5));
+        // …but the jitter stream moved on, so an exact replay of the first
+        // delay would be a (astronomically unlikely) coincidence.
+        let _ = first;
+    }
+}

@@ -1,0 +1,424 @@
+//! The framed wire protocol.
+//!
+//! Every message travels in the exact frame format the write-ahead log
+//! uses on disk ([`datacron_durability::framing`]):
+//!
+//! ```text
+//! frame := len:u32 | crc:u32 | seq:u64 | payload[len - 8]     (little endian)
+//! ```
+//!
+//! with the CRC32 computed over `seq ‖ payload`. A bit flip anywhere on the
+//! wire is therefore detected exactly like a bit flip on disk: the frame
+//! parses as `Corrupt` and the connection is torn down, after which session
+//! resume redelivers everything past the server's ACK watermark.
+//!
+//! For [`WireMsg::Record`] frames the frame `seq` field carries the
+//! client's **session sequence** (the resume cursor); control frames carry
+//! a per-connection counter that receivers treat as diagnostic only —
+//! contiguity is enforced at the session level, not the frame level,
+//! because the fault proxy may legitimately duplicate frames.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use datacron_durability::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use datacron_durability::framing::{self, FrameParse, FRAME_HEADER};
+use datacron_durability::{decode_from_slice, encode_to_vec};
+use datacron_geo::PositionReport;
+
+use crate::NetError;
+
+/// Wire protocol version carried in the handshake. Mismatches are refused
+/// with [`NackReason::BadVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame's declared payload size. A `len` field above
+/// this is treated as corruption rather than trusted as an allocation hint.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
+
+/// How many consecutive mid-frame read timeouts are tolerated before the
+/// connection is declared stalled. Each retry waits the socket's read
+/// timeout, so the total stall budget is `MID_FRAME_RETRIES × read_timeout`.
+const MID_FRAME_RETRIES: u32 = 50;
+
+/// Why a server refused a record or a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The bridged topic is full under `OverflowPolicy::RejectNew`, or has
+    /// no consumers left to drain it. Retryable: back off and resume.
+    TopicFull,
+    /// The server is at its concurrent-session limit. Retryable.
+    SessionLimit,
+    /// The record's session sequence skipped ahead of the server's
+    /// watermark — frames were lost in flight. The client must reconnect
+    /// and replay from the acknowledged watermark.
+    SequenceGap,
+    /// The client spoke an incompatible protocol version. Fatal.
+    BadVersion,
+}
+
+impl std::fmt::Display for NackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NackReason::TopicFull => write!(f, "topic full"),
+            NackReason::SessionLimit => write!(f, "session limit reached"),
+            NackReason::SequenceGap => write!(f, "session sequence gap"),
+            NackReason::BadVersion => write!(f, "protocol version mismatch"),
+        }
+    }
+}
+
+impl Encode for NackReason {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            NackReason::TopicFull => 1,
+            NackReason::SessionLimit => 2,
+            NackReason::SequenceGap => 3,
+            NackReason::BadVersion => 4,
+        });
+    }
+}
+
+impl Decode for NackReason {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            1 => Ok(NackReason::TopicFull),
+            2 => Ok(NackReason::SessionLimit),
+            3 => Ok(NackReason::SequenceGap),
+            4 => Ok(NackReason::BadVersion),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Every message either peer can put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Client → server: open or resume a session.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Stable client-chosen session identity; reconnects reuse it.
+        session_id: u64,
+    },
+    /// Client → server: one position report, stamped with the session
+    /// sequence (also carried in the frame `seq` field).
+    Record {
+        /// Monotonic per-session sequence, starting at 0.
+        session_seq: u64,
+        /// The report itself.
+        report: PositionReport,
+    },
+    /// Client → server: liveness probe; the nonce comes back in
+    /// [`WireMsg::HeartbeatAck`] for RTT measurement.
+    Heartbeat {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Client → server: the stream is complete; `total` records were sent.
+    Finish {
+        /// Total session sequence count (= next unused sequence).
+        total: u64,
+    },
+    /// Server → client: handshake accepted; `ack` is the durable
+    /// watermark — every sequence below it is already ingested, so the
+    /// client prunes its replay window to `ack..`.
+    HelloAck {
+        /// Echoed session identity.
+        session_id: u64,
+        /// Next session sequence the server expects.
+        ack: u64,
+    },
+    /// Server → client: cumulative acknowledgement — every sequence below
+    /// `up_to` is durably ingested.
+    Ack {
+        /// Next session sequence the server expects.
+        up_to: u64,
+    },
+    /// Server → client: typed refusal; the connection closes after this.
+    Nack {
+        /// Session sequence the refusal refers to (0 for session-level).
+        seq: u64,
+        /// Why.
+        reason: NackReason,
+    },
+    /// Server → client: heartbeat echo.
+    HeartbeatAck {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// Server → client: the finish marker was accepted at `total`.
+    FinishAck {
+        /// Echoed total.
+        total: u64,
+    },
+}
+
+impl Encode for WireMsg {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            WireMsg::Hello { version, session_id } => {
+                w.put_u8(1);
+                w.put_u32(*version);
+                w.put_u64(*session_id);
+            }
+            WireMsg::Record { session_seq, report } => {
+                w.put_u8(2);
+                w.put_u64(*session_seq);
+                report.encode(w);
+            }
+            WireMsg::Heartbeat { nonce } => {
+                w.put_u8(3);
+                w.put_u64(*nonce);
+            }
+            WireMsg::Finish { total } => {
+                w.put_u8(4);
+                w.put_u64(*total);
+            }
+            WireMsg::HelloAck { session_id, ack } => {
+                w.put_u8(5);
+                w.put_u64(*session_id);
+                w.put_u64(*ack);
+            }
+            WireMsg::Ack { up_to } => {
+                w.put_u8(6);
+                w.put_u64(*up_to);
+            }
+            WireMsg::Nack { seq, reason } => {
+                w.put_u8(7);
+                w.put_u64(*seq);
+                reason.encode(w);
+            }
+            WireMsg::HeartbeatAck { nonce } => {
+                w.put_u8(8);
+                w.put_u64(*nonce);
+            }
+            WireMsg::FinishAck { total } => {
+                w.put_u8(9);
+                w.put_u64(*total);
+            }
+        }
+    }
+}
+
+impl Decode for WireMsg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            1 => Ok(WireMsg::Hello { version: r.get_u32()?, session_id: r.get_u64()? }),
+            2 => Ok(WireMsg::Record {
+                session_seq: r.get_u64()?,
+                report: PositionReport::decode(r)?,
+            }),
+            3 => Ok(WireMsg::Heartbeat { nonce: r.get_u64()? }),
+            4 => Ok(WireMsg::Finish { total: r.get_u64()? }),
+            5 => Ok(WireMsg::HelloAck { session_id: r.get_u64()?, ack: r.get_u64()? }),
+            6 => Ok(WireMsg::Ack { up_to: r.get_u64()? }),
+            7 => Ok(WireMsg::Nack { seq: r.get_u64()?, reason: NackReason::decode(r)? }),
+            8 => Ok(WireMsg::HeartbeatAck { nonce: r.get_u64()? }),
+            9 => Ok(WireMsg::FinishAck { total: r.get_u64()? }),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Encode `msg` into a single CRC-framed buffer.
+pub fn encode_msg(wire_seq: u64, msg: &WireMsg) -> Vec<u8> {
+    let payload = encode_to_vec(msg);
+    let mut frame = Vec::with_capacity(framing::frame_size(payload.len()));
+    framing::encode_frame_into(wire_seq, &payload, &mut frame);
+    frame
+}
+
+/// Write one framed message. Socket write timeouts surface as `Err`.
+pub fn write_msg<W: Write>(w: &mut W, wire_seq: u64, msg: &WireMsg) -> io::Result<()> {
+    w.write_all(&encode_msg(wire_seq, msg))
+}
+
+/// Validate and decode a complete frame buffer into `(frame_seq, msg)`.
+pub fn decode_frame(buf: &[u8]) -> Result<(u64, WireMsg), NetError> {
+    match framing::parse_frame(buf) {
+        FrameParse::Complete(f) if f.size == buf.len() => {
+            let msg = decode_from_slice::<WireMsg>(f.payload)?;
+            Ok((f.seq, msg))
+        }
+        _ => Err(NetError::CorruptFrame),
+    }
+}
+
+/// Read one framed message under the socket's read timeout.
+///
+/// `Ok(None)` means the timeout elapsed with **zero** bytes read — the
+/// stream is still frame-aligned and the caller may simply try again
+/// (this is how handlers notice shutdown flags and idle peers). Once a
+/// frame has started arriving it is read to completion, tolerating up to
+/// [`MID_FRAME_RETRIES`] further timeouts before declaring a stall.
+pub fn read_msg(stream: &TcpStream, buf: &mut Vec<u8>) -> Result<Option<(u64, WireMsg)>, NetError> {
+    if read_frame_bytes(stream, buf, false)? {
+        decode_frame(buf).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+/// Like [`read_msg`] but non-blocking until the first byte: returns
+/// `Ok(None)` immediately when no frame is pending. Used by the client to
+/// drain ACKs opportunistically between sends without paying the read
+/// timeout on every record.
+pub fn try_read_msg(
+    stream: &TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<Option<(u64, WireMsg)>, NetError> {
+    if read_frame_bytes(stream, buf, true)? {
+        decode_frame(buf).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+/// Fill `buf` with exactly one frame. `probe` starts the read
+/// non-blocking; blocking mode is always restored before returning.
+fn read_frame_bytes(stream: &TcpStream, buf: &mut Vec<u8>, probe: bool) -> Result<bool, NetError> {
+    if probe {
+        stream.set_nonblocking(true)?;
+    }
+    let mut nonblocking = probe;
+    let result = read_frame_inner(stream, buf, &mut nonblocking);
+    if nonblocking {
+        // Restore blocking mode even on the error paths; an error here is
+        // subordinate to the read result.
+        let _ = stream.set_nonblocking(false);
+    }
+    result
+}
+
+fn read_frame_inner(
+    stream: &TcpStream,
+    buf: &mut Vec<u8>,
+    nonblocking: &mut bool,
+) -> Result<bool, NetError> {
+    let mut r = stream;
+    buf.clear();
+    buf.resize(FRAME_HEADER, 0);
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(NetError::ConnectionClosed),
+            Ok(n) => {
+                filled += n;
+                if *nonblocking {
+                    // A frame has started: finish it under the blocking
+                    // read timeout instead of spinning on WouldBlock.
+                    stream.set_nonblocking(false)?;
+                    *nonblocking = false;
+                }
+                if filled == FRAME_HEADER && buf.len() == FRAME_HEADER {
+                    let payload_len =
+                        framing::declared_payload_len(buf).ok_or(NetError::CorruptFrame)?;
+                    if payload_len > MAX_PAYLOAD_BYTES {
+                        return Err(NetError::CorruptFrame);
+                    }
+                    buf.resize(FRAME_HEADER + payload_len, 0);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                stalls += 1;
+                if stalls > MID_FRAME_RETRIES {
+                    return Err(NetError::Timeout);
+                }
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+
+    fn sample_report() -> PositionReport {
+        PositionReport {
+            entity: EntityId::vessel(77),
+            ts: Timestamp::from_millis(1_720_000_000_123),
+            point: GeoPoint::new(23.5, 37.9),
+            altitude_m: 0.0,
+            speed_mps: 6.25,
+            heading_deg: 131.0,
+            vertical_rate_mps: 0.0,
+        }
+    }
+
+    fn all_variants() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Hello { version: PROTOCOL_VERSION, session_id: 0xA11CE },
+            WireMsg::Record { session_seq: 41, report: sample_report() },
+            WireMsg::Heartbeat { nonce: 7 },
+            WireMsg::Finish { total: 1000 },
+            WireMsg::HelloAck { session_id: 0xA11CE, ack: 17 },
+            WireMsg::Ack { up_to: 42 },
+            WireMsg::Nack { seq: 9, reason: NackReason::TopicFull },
+            WireMsg::Nack { seq: 0, reason: NackReason::BadVersion },
+            WireMsg::HeartbeatAck { nonce: 7 },
+            WireMsg::FinishAck { total: 1000 },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_frame() {
+        for (i, msg) in all_variants().into_iter().enumerate() {
+            let frame = encode_msg(i as u64, &msg);
+            let (seq, back) = decode_frame(&frame).expect("frame decodes");
+            assert_eq!(seq, i as u64);
+            assert_eq!(back, msg, "variant {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let msg = WireMsg::Record { session_seq: 3, report: sample_report() };
+        let frame = encode_msg(3, &msg);
+        // Flipping any bit of the seq+payload region must trip the CRC;
+        // flipping len/crc bytes must fail framing or the CRC compare.
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = encode_msg(1, &WireMsg::Ack { up_to: 5 });
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn nack_reasons_round_trip() {
+        for reason in [
+            NackReason::TopicFull,
+            NackReason::SessionLimit,
+            NackReason::SequenceGap,
+            NackReason::BadVersion,
+        ] {
+            let frame = encode_msg(0, &WireMsg::Nack { seq: 1, reason });
+            let (_, back) = decode_frame(&frame).unwrap();
+            assert_eq!(back, WireMsg::Nack { seq: 1, reason });
+        }
+    }
+}

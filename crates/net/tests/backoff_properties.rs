@@ -1,0 +1,121 @@
+//! Property tests for the reconnect backoff policy (ISSUE satellite):
+//! capped exponential backoff with seeded jitter is deterministic per
+//! seed, every delay is monotonically bounded by the cap, and a reset
+//! (successful ACK) returns the policy to the base envelope.
+
+use std::time::Duration;
+
+use datacron_net::backoff::{Backoff, BackoffConfig};
+use proptest::prelude::*;
+
+fn cfg(base_ms: u64, cap_ms: u64, seed: u64) -> BackoffConfig {
+    BackoffConfig {
+        base: Duration::from_millis(base_ms),
+        cap: Duration::from_millis(cap_ms),
+        seed,
+    }
+}
+
+/// The deterministic envelope for attempt `n`: `min(cap, base·2ⁿ)`.
+fn envelope(config: BackoffConfig, attempt: u32) -> Duration {
+    config.base.saturating_mul(1u32 << attempt.min(30)).min(config.cap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two policies built from the same seed produce the identical delay
+    /// sequence — chaos drills replay exactly.
+    #[test]
+    fn same_seed_is_deterministic(
+        seed in 0u64..u64::MAX,
+        base_ms in 1u64..50,
+        cap_ms in 50u64..5_000,
+        steps in 1usize..128,
+    ) {
+        let config = cfg(base_ms, cap_ms, seed);
+        let mut a = Backoff::new(config);
+        let mut b = Backoff::new(config);
+        for _ in 0..steps {
+            prop_assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    /// Different seeds desynchronise: across a few attempts at least one
+    /// delay differs (jitter is actually applied per seed).
+    #[test]
+    fn different_seeds_diverge(seed in 0u64..u64::MAX / 2) {
+        let mut a = Backoff::new(cfg(10, 10_000, seed));
+        let mut b = Backoff::new(cfg(10, 10_000, seed + 1));
+        let diverged = (0..16).any(|_| a.next_delay() != b.next_delay());
+        prop_assert!(diverged);
+    }
+
+    /// Every delay stays inside `[envelope/2, envelope]` where the
+    /// envelope is `min(cap, base·2ⁿ)` — bounded by the cap above and by
+    /// the half-jitter floor below, for every attempt.
+    #[test]
+    fn delays_bounded_by_cap_and_floor(
+        seed in 0u64..u64::MAX,
+        base_ms in 1u64..50,
+        cap_ms in 50u64..5_000,
+    ) {
+        let config = cfg(base_ms, cap_ms, seed);
+        let mut b = Backoff::new(config);
+        for attempt in 0..64u32 {
+            let d = b.next_delay();
+            let env = envelope(config, attempt);
+            prop_assert!(d <= config.cap, "attempt {}: {:?} above cap", attempt, d);
+            prop_assert!(d <= env, "attempt {}: {:?} above envelope {:?}", attempt, d, env);
+            // 1 ns slack: the floor and the delay round to nanoseconds
+            // independently, so an exact >= comparison can be off by one.
+            let floor = env.mul_f64(0.5).saturating_sub(Duration::from_nanos(1));
+            prop_assert!(
+                d >= floor,
+                "attempt {}: {:?} below jitter floor of {:?}", attempt, d, env
+            );
+        }
+    }
+
+    /// The envelope is monotone non-decreasing until it saturates at the
+    /// cap and stays there — delays never regress between failures.
+    #[test]
+    fn envelope_monotone_until_cap(
+        base_ms in 1u64..50,
+        cap_ms in 50u64..5_000,
+    ) {
+        let config = cfg(base_ms, cap_ms, 0);
+        let mut prev = Duration::ZERO;
+        let mut saturated = false;
+        for attempt in 0..64u32 {
+            let env = envelope(config, attempt);
+            prop_assert!(env >= prev);
+            if saturated {
+                prop_assert_eq!(env, config.cap);
+            }
+            saturated = env == config.cap;
+            prev = env;
+        }
+    }
+
+    /// After a reset (a successful ACK) the next delay is back inside the
+    /// first-attempt envelope, regardless of how far backoff had climbed.
+    #[test]
+    fn reset_returns_to_base_envelope(
+        seed in 0u64..u64::MAX,
+        base_ms in 1u64..50,
+        cap_ms in 50u64..5_000,
+        climbs in 1u32..40,
+    ) {
+        let config = cfg(base_ms, cap_ms, seed);
+        let mut b = Backoff::new(config);
+        for _ in 0..climbs {
+            b.next_delay();
+        }
+        b.reset();
+        prop_assert_eq!(b.attempt(), 0);
+        let d = b.next_delay();
+        prop_assert!(d <= config.base);
+        prop_assert!(d >= config.base.mul_f64(0.5).saturating_sub(Duration::from_nanos(1)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Loopback integration tests for the wire protocol: clean round trips,
+//! admission control per overflow policy, dead-peer handling and session
+//! resume across a killed connection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use datacron_geo::{EntityId, GeoPoint, PositionReport, Timestamp};
+use datacron_net::{
+    ClientConfig, NetClient, NetError, NetServer, ServerConfig, SessionSnapshot,
+};
+use datacron_obs::ObsRegistry;
+use datacron_stream::{OverflowPolicy, Topic};
+
+fn report(entity: u64, i: u64) -> PositionReport {
+    PositionReport {
+        entity: EntityId::vessel(entity),
+        ts: Timestamp::from_millis(1_700_000_000_000 + i as i64 * 1_000),
+        point: GeoPoint::new(-5.0 + i as f64 * 0.01, 40.0 + i as f64 * 0.005),
+        altitude_m: 0.0,
+        speed_mps: 5.0 + (i % 7) as f64,
+        heading_deg: (i * 13 % 360) as f64,
+        vertical_rate_mps: 0.0,
+    }
+}
+
+fn fast_client(addr: impl Into<String>, session_id: u64) -> ClientConfig {
+    let mut cfg = ClientConfig::new(addr, session_id);
+    cfg.connect_timeout = Duration::from_millis(200);
+    cfg.read_timeout = Duration::from_millis(20);
+    cfg.heartbeat_interval = Duration::from_millis(100);
+    cfg.dead_after = Duration::from_secs(2);
+    cfg.backoff.base = Duration::from_millis(2);
+    cfg.backoff.cap = Duration::from_millis(50);
+    cfg.max_connect_attempts = 100;
+    cfg
+}
+
+fn fast_server() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(20),
+        ack_every: 8,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn clean_stream_arrives_in_order_exactly_once() {
+    let topic: Arc<Topic<PositionReport>> = Topic::new("net.in");
+    let mut consumer = topic.consumer();
+    let obs = ObsRegistry::new();
+    let server = NetServer::bind("127.0.0.1:0", fast_server(), Arc::clone(&topic), &obs).unwrap();
+
+    let cfg = fast_client(server.local_addr().to_string(), 7);
+    let mut client = NetClient::connect(cfg, &obs).unwrap();
+    let sent: Vec<PositionReport> = (0..200).map(|i| report(9, i)).collect();
+    for r in &sent {
+        client.send(*r).unwrap();
+    }
+    let stats = client.finish().unwrap();
+    assert_eq!(stats.sent, 200);
+    assert_eq!(stats.acked, 200);
+    assert_eq!(stats.reconnects, 0);
+
+    let got = consumer.drain().unwrap();
+    assert_eq!(got, sent, "topic must see the stream in order, exactly once");
+
+    assert_eq!(
+        server.session(7),
+        Some(SessionSnapshot {
+            session_id: 7,
+            next_expected: 200,
+            duplicates: 0,
+            finished: Some(200),
+        })
+    );
+    let health = server.health();
+    assert_eq!(health.records_ingested, 200);
+    assert!(health.is_clean(), "clean run must see no nacks/crc errors: {health:?}");
+    server.shutdown();
+}
+
+#[test]
+fn bounded_drop_oldest_topic_is_refused_at_bind() {
+    let topic: Arc<Topic<PositionReport>> =
+        Topic::bounded("net.lossy", 16, OverflowPolicy::DropOldest);
+    let obs = ObsRegistry::disabled();
+    match NetServer::bind("127.0.0.1:0", fast_server(), topic, &obs) {
+        Err(NetError::LossyTopicPolicy) => {}
+        other => panic!("expected LossyTopicPolicy, got {other:?}", other = other.err()),
+    }
+}
+
+#[test]
+fn reject_new_topic_nacks_when_full_and_recovers_when_drained() {
+    // Capacity 8, no consumer draining while the first burst lands.
+    let topic: Arc<Topic<PositionReport>> =
+        Topic::bounded("net.reject", 8, OverflowPolicy::RejectNew);
+    let mut consumer = topic.consumer();
+    let obs = ObsRegistry::new();
+    let server = NetServer::bind("127.0.0.1:0", fast_server(), Arc::clone(&topic), &obs).unwrap();
+
+    let cfg = fast_client(server.local_addr().to_string(), 3);
+    let mut client = NetClient::connect(cfg, &obs).unwrap();
+
+    // Fill the topic; the 9th record draws a TopicFull NACK, the client
+    // reconnects under backoff, and eventually we drain to let it in.
+    for i in 0..8 {
+        client.send(report(1, i)).unwrap();
+    }
+    client.flush().unwrap();
+    assert_eq!(topic.len(), 8);
+
+    let drainer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let mut total = Vec::new();
+        loop {
+            match consumer.poll_wait(64, Duration::from_millis(200)) {
+                Ok(batch) if batch.is_empty() => break,
+                Ok(batch) => total.extend(batch),
+                Err(_) => break,
+            }
+        }
+        total
+    });
+
+    client.send(report(1, 8)).unwrap();
+    let stats = client.finish().unwrap();
+    assert_eq!(stats.acked, 9);
+    assert!(stats.nacks_seen >= 1, "the full topic must have nacked at least once");
+
+    let drained = drainer.join().unwrap();
+    assert_eq!(drained.len(), 9, "every acked record must reach the topic exactly once");
+    assert!(server.health().nacks_sent >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn session_resumes_after_connection_kill_with_no_loss_or_duplication() {
+    let topic: Arc<Topic<PositionReport>> = Topic::new("net.resume");
+    let mut consumer = topic.consumer();
+    let obs = ObsRegistry::new();
+    let server = NetServer::bind("127.0.0.1:0", fast_server(), Arc::clone(&topic), &obs).unwrap();
+
+    let cfg = fast_client(server.local_addr().to_string(), 11);
+    let mut client = NetClient::connect(cfg, &obs).unwrap();
+
+    let sent: Vec<PositionReport> = (0..300).map(|i| report(2, i)).collect();
+    for (i, r) in sent.iter().enumerate() {
+        if i == 150 {
+            // Mid-stream kill: drop the live connection behind the
+            // client's back. The next operation must reconnect, resume
+            // from the server's watermark and replay the unacked window.
+            client.sever_connection();
+        }
+        client.send(*r).unwrap();
+    }
+    let stats = client.finish().unwrap();
+    assert_eq!(stats.sent, 300);
+    assert_eq!(stats.acked, 300);
+    assert!(stats.reconnects >= 1, "the kill must have forced a reconnect");
+
+    let got = consumer.drain().unwrap();
+    assert_eq!(got, sent, "resume must deliver exactly the uninterrupted stream");
+
+    let snap = server.session(11).unwrap();
+    assert_eq!(snap.next_expected, 300);
+    assert_eq!(snap.finished, Some(300));
+    server.shutdown();
+}
+
+#[test]
+fn server_survives_shutdown_with_live_client() {
+    let topic: Arc<Topic<PositionReport>> = Topic::new("net.stop");
+    let _consumer = topic.consumer();
+    let obs = ObsRegistry::disabled();
+    let server = NetServer::bind("127.0.0.1:0", fast_server(), Arc::clone(&topic), &obs).unwrap();
+    let cfg = fast_client(server.local_addr().to_string(), 1);
+    let mut client = NetClient::connect(cfg, &obs).unwrap();
+    client.send(report(1, 0)).unwrap();
+    client.flush().unwrap();
+    // Shutdown with the client still attached must join promptly.
+    server.shutdown();
+}

@@ -100,6 +100,33 @@ impl<T> std::fmt::Display for PublishError<T> {
 
 impl<T: std::fmt::Debug> std::error::Error for PublishError<T> {}
 
+/// Why [`Topic::wait_for_space`] returned without space becoming
+/// available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceWaitError {
+    /// The timeout expired while the topic stayed full.
+    Timeout,
+    /// Every registered consumer has been dropped on a full
+    /// [`Block`](OverflowPolicy::Block) topic: nothing can ever free
+    /// space, so waiting out the timeout would only delay the inevitable.
+    /// Surfaced promptly — including to callers already parked when the
+    /// last consumer dropped.
+    NoConsumers,
+}
+
+impl std::fmt::Display for SpaceWaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceWaitError::Timeout => write!(f, "timed out waiting for topic space"),
+            SpaceWaitError::NoConsumers => {
+                write!(f, "no live consumers: topic space can never be freed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceWaitError {}
+
 /// A consumer fell behind a truncated prefix: `skipped` messages were
 /// dropped before it could read them. The consumer is resynced to the
 /// oldest retained message.
@@ -253,13 +280,6 @@ impl<T: Clone> Topic<T> {
         &self.config
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
-        // A poisoned bus mutex means a writer panicked mid-append of a
-        // single element; the log itself is still structurally sound, so
-        // keep serving rather than cascading the failure.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     /// The append path shared by single and batched publishes: applies the
     /// overflow policy (possibly waiting on the progress condvar under
     /// `Block`) and appends, threading the lock guard through so a batch can
@@ -279,6 +299,12 @@ impl<T: Clone> Topic<T> {
                         inner.stats.dropped += 1;
                     }
                     OverflowPolicy::RejectNew => {
+                        // Space may have been freed by consumers since the
+                        // last publish: reclaim the fully-consumed prefix
+                        // before refusing, like the Block arm does.
+                        if inner.reclaim_consumed() > 0 {
+                            continue;
+                        }
                         inner.stats.rejected += 1;
                         return (inner, Err(PublishError::Rejected(msg)));
                     }
@@ -286,7 +312,10 @@ impl<T: Clone> Topic<T> {
                         if inner.reclaim_consumed() > 0 {
                             continue;
                         }
-                        if waited {
+                        if waited || inner.min_consumer_offset().is_none() {
+                            // Timed out — or no live consumer exists, so
+                            // space can never be freed and waiting out the
+                            // block timeout would just stall the producer.
                             inner.stats.rejected += 1;
                             return (inner, Err(PublishError::Timeout(msg)));
                         }
@@ -312,6 +341,11 @@ impl<T: Clone> Topic<T> {
                             inner = guard;
                             if inner.log.len() < capacity || inner.reclaim_consumed() > 0 {
                                 waited = false;
+                                break;
+                            }
+                            if inner.min_consumer_offset().is_none() {
+                                // The last consumer dropped while we were
+                                // parked (its Drop woke us): give up now.
                                 break;
                             }
                         }
@@ -494,7 +528,7 @@ impl<T: Clone> Topic<T> {
     }
 
     /// Waits until the topic has room for at least one more message, or
-    /// the timeout expires. Returns `true` when space is available.
+    /// the timeout expires. `Ok(())` means space is available.
     ///
     /// "Room" means the retained window is below capacity, or (under
     /// [`OverflowPolicy::Block`]) a fully-consumed prefix could be
@@ -502,30 +536,42 @@ impl<T: Clone> Topic<T> {
     /// would. Unbounded and [`DropOldest`](OverflowPolicy::DropOldest)
     /// topics always have room.
     ///
+    /// Fails typed instead of blocking pointlessly:
+    /// [`SpaceWaitError::Timeout`] when the deadline expires, and
+    /// [`SpaceWaitError::NoConsumers`] **promptly** when a full `Block`
+    /// topic has no live registered consumer — space can then never be
+    /// freed, and a caller parked here is woken the moment the last
+    /// consumer drops (see [`Consumer`]'s `Drop`).
+    ///
     /// This is the event-driven retry primitive for lossless producers:
     /// instead of busy-spinning `try_publish` against a full topic (each
     /// attempt re-arming its own internal timeout), park here — every
     /// consumer advance signals the same condvar a blocked publish waits
     /// on, so the wakeup is prompt, not sleep-quantized.
-    pub fn wait_for_space(&self, timeout: Duration) -> bool {
+    pub fn wait_for_space(&self, timeout: Duration) -> Result<(), SpaceWaitError> {
         let Some(capacity) = self.config.capacity else {
-            return true;
+            return Ok(());
         };
         if self.config.policy == OverflowPolicy::DropOldest {
-            return true;
+            return Ok(());
         }
         let deadline = std::time::Instant::now() + timeout;
         let mut inner = self.lock();
         loop {
             if inner.log.len() < capacity.max(1) {
-                return true;
+                return Ok(());
             }
-            if self.config.policy == OverflowPolicy::Block && inner.reclaim_consumed() > 0 {
-                return true;
+            if self.config.policy == OverflowPolicy::Block {
+                if inner.reclaim_consumed() > 0 {
+                    return Ok(());
+                }
+                if inner.min_consumer_offset().is_none() {
+                    return Err(SpaceWaitError::NoConsumers);
+                }
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
-                return false;
+                return Err(SpaceWaitError::Timeout);
             }
             let (guard, _timeout) = self
                 .progress
@@ -533,6 +579,18 @@ impl<T: Clone> Topic<T> {
                 .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         }
+    }
+
+}
+
+// Internal plumbing that must not require `T: Clone` (used from
+// `Consumer::drop`, which is implemented for every `T`).
+impl<T> Topic<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned bus mutex means a writer panicked mid-append of a
+        // single element; the log itself is still structurally sound, so
+        // keep serving rather than cascading the failure.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Called by consumers after advancing; wakes blocked producers.
@@ -670,6 +728,22 @@ impl<T: Clone> Consumer<T> {
     pub fn rewind(&mut self) {
         let base = self.topic.lock().base;
         self.pos.store(base, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    /// Deregisters eagerly and wakes parked producers: a producer blocked
+    /// in `wait_for_space` / a `Block` publish must re-evaluate whether
+    /// any consumer can still free space, or it would sleep out its full
+    /// timeout against a topic nobody will ever drain.
+    fn drop(&mut self) {
+        let mut inner = self.topic.lock();
+        let mine = Arc::as_ptr(&self.pos);
+        inner
+            .consumers
+            .retain(|w| w.strong_count() > 0 && !std::ptr::eq(w.as_ptr(), mine));
+        drop(inner);
+        self.topic.progress.notify_all();
     }
 }
 
@@ -927,13 +1001,13 @@ mod tests {
     #[test]
     fn wait_for_space_is_immediate_when_room_exists() {
         let unbounded: Arc<Topic<u8>> = Topic::new("raw");
-        assert!(unbounded.wait_for_space(Duration::ZERO));
+        assert!(unbounded.wait_for_space(Duration::ZERO).is_ok());
         let dropping = Topic::bounded("raw", 1, OverflowPolicy::DropOldest);
         dropping.publish(1);
-        assert!(dropping.wait_for_space(Duration::ZERO), "DropOldest always has room");
+        assert!(dropping.wait_for_space(Duration::ZERO).is_ok(), "DropOldest always has room");
         let bounded = Topic::bounded("raw", 2, OverflowPolicy::Block);
         bounded.publish(1);
-        assert!(bounded.wait_for_space(Duration::ZERO), "below capacity");
+        assert!(bounded.wait_for_space(Duration::ZERO).is_ok(), "below capacity");
     }
 
     #[test]
@@ -942,7 +1016,10 @@ mod tests {
         let _pin = topic.consumer(); // registered but never advances
         topic.publish(1);
         let started = std::time::Instant::now();
-        assert!(!topic.wait_for_space(Duration::from_millis(20)));
+        assert_eq!(
+            topic.wait_for_space(Duration::from_millis(20)),
+            Err(SpaceWaitError::Timeout)
+        );
         assert!(started.elapsed() >= Duration::from_millis(20));
     }
 
@@ -959,7 +1036,7 @@ mod tests {
         // reclaimable; the waiter must observe that without timing out.
         thread::sleep(Duration::from_millis(10));
         assert_eq!(c.poll(10).expect("no lag"), vec![7]);
-        assert!(waiter.join().expect("waiter thread"), "woken by consumer progress");
+        assert!(waiter.join().expect("waiter thread").is_ok(), "woken by consumer progress");
         assert_eq!(topic.try_publish(8).expect("space reclaimed"), 1);
     }
 
@@ -972,8 +1049,91 @@ mod tests {
         assert_eq!(c.drain().expect("no lag"), vec![1, 2]);
         // Full by log length, but the whole window is consumed: waiting
         // must reclaim it rather than park.
-        assert!(topic.wait_for_space(Duration::ZERO));
+        assert!(topic.wait_for_space(Duration::ZERO).is_ok());
         assert!(topic.stats().reclaimed >= 1);
+    }
+
+    #[test]
+    fn reject_new_reclaims_consumed_prefix_before_refusing() {
+        let topic = Topic::bounded("t", 2, OverflowPolicy::RejectNew);
+        let mut c = topic.consumer();
+        topic.try_publish(1).unwrap();
+        topic.try_publish(2).unwrap();
+        assert!(matches!(topic.try_publish(3), Err(PublishError::Rejected(3))));
+        // Once the consumer has read the window, a new publish must
+        // reclaim the consumed prefix instead of rejecting forever.
+        assert_eq!(c.drain().expect("no lag"), vec![1, 2]);
+        assert_eq!(topic.try_publish(3), Ok(2));
+        assert_eq!(c.drain().expect("no lag"), vec![3]);
+    }
+
+    #[test]
+    fn wait_for_space_fails_fast_when_no_consumer_exists() {
+        let topic = Topic::bounded("raw", 1, OverflowPolicy::Block);
+        topic.publish(1);
+        let started = std::time::Instant::now();
+        // Nobody can ever free space: typed error, no pointless 10 s park.
+        assert_eq!(
+            topic.wait_for_space(Duration::from_secs(10)),
+            Err(SpaceWaitError::NoConsumers)
+        );
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    /// Regression test for the consumer-drop-while-parked path: a producer
+    /// already parked in `wait_for_space` must be woken promptly when the
+    /// last consumer drops, with the typed `NoConsumers` error — not left
+    /// to sleep out its full timeout.
+    #[test]
+    fn wait_for_space_errs_promptly_when_last_consumer_drops_mid_wait() {
+        let topic = Topic::bounded("raw", 1, OverflowPolicy::Block);
+        let c = topic.consumer(); // pins the retained message
+        topic.publish(1);
+        let started = std::time::Instant::now();
+        let waiter = {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || t.wait_for_space(Duration::from_secs(30)))
+        };
+        thread::sleep(Duration::from_millis(30)); // let the waiter park
+        drop(c);
+        let result = waiter.join().expect("waiter thread");
+        assert_eq!(result, Err(SpaceWaitError::NoConsumers));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "waiter slept {:?} despite the last consumer dropping",
+            started.elapsed()
+        );
+    }
+
+    /// The same path through a blocked publish: `try_publish` on a full
+    /// `Block` topic gives up with a typed timeout error when its last
+    /// consumer drops mid-wait instead of blocking out the full timeout.
+    #[test]
+    fn blocked_publish_gives_up_when_last_consumer_drops_mid_wait() {
+        let topic = Topic::with_config(
+            "raw",
+            TopicConfig {
+                capacity: Some(1),
+                policy: OverflowPolicy::Block,
+                block_timeout: Duration::from_secs(30),
+            },
+        );
+        let c = topic.consumer();
+        topic.publish(1);
+        let started = std::time::Instant::now();
+        let publisher = {
+            let t = Arc::clone(&topic);
+            thread::spawn(move || t.try_publish(2))
+        };
+        thread::sleep(Duration::from_millis(30)); // let the publisher park
+        drop(c);
+        let result = publisher.join().expect("publisher thread");
+        assert!(matches!(result, Err(PublishError::Timeout(2))), "got {result:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "publisher blocked {:?} despite the last consumer dropping",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -490,6 +490,212 @@ impl<T: Clone + Corrupt> ChaosTopic<T> {
     }
 }
 
+// --- Network faults ------------------------------------------------------
+
+/// The fate of one client→server frame crossing the fault proxy
+/// (`datacron-net`'s shim between a client and a server).
+///
+/// Each variant simulates a concrete wire pathology: `Reset` a mid-stream
+/// connection kill, `Truncate` a partial write torn by a dying link,
+/// `BitFlip` silent corruption the CRC must catch, `Stall` a congested or
+/// half-dead path that read timeouts and heartbeats must survive, and
+/// `Duplicate` at-least-once delivery the session-sequence dedup must
+/// absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Forward the frame untouched.
+    Pass,
+    /// Forward the frame twice (duplicated delivery).
+    Duplicate,
+    /// Flip one bit inside the frame before forwarding; `salt` seeds which
+    /// one (the applier reduces it modulo the flippable region).
+    BitFlip {
+        /// Seeds the flipped bit position.
+        salt: u64,
+    },
+    /// Forward only a prefix of the frame, then kill the connection (a
+    /// torn partial write); `salt` seeds the prefix length.
+    Truncate {
+        /// Seeds how many bytes survive.
+        salt: u64,
+    },
+    /// Kill the connection before the frame is forwarded (connection
+    /// reset; the frame is lost and must be replayed after resume).
+    Reset,
+    /// Hold the frame back for `ms` milliseconds before forwarding.
+    Stall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+}
+
+/// A deterministic network-fault schedule: seed + per-frame rates, the
+/// wire-level sibling of [`FaultPlan`]. Decisions come from the same
+/// splitmix64 RNG family, so every network failure scenario replays from
+/// one `u64`.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    /// Seed for the fault RNG; same seed ⇒ same fault sequence.
+    pub seed: u64,
+    /// Probability of killing the connection before a frame.
+    pub reset: f64,
+    /// Probability of truncating a frame and killing the connection.
+    pub truncate: f64,
+    /// Probability of flipping one bit in a frame.
+    pub bit_flip: f64,
+    /// Probability of delivering a frame twice.
+    pub duplicate: f64,
+    /// Probability of stalling a frame.
+    pub stall: f64,
+    /// How long a stalled frame is held back, in milliseconds.
+    pub stall_ms: u64,
+    /// `Some(n)`: additionally kill the connection after every `n`-th
+    /// frame, guaranteeing mid-stream connection kills regardless of the
+    /// probabilistic rates (the equivalence drill relies on this).
+    pub kill_every: Option<u64>,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            reset: 0.0,
+            truncate: 0.0,
+            bit_flip: 0.0,
+            duplicate: 0.0,
+            stall: 0.0,
+            stall_ms: 2,
+            kill_every: None,
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// A plan that forwards everything untouched (the control arm).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every wire pathology at once, at rates that exercise reconnect,
+    /// replay and CRC paths while letting the stream make progress.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            reset: 0.004,
+            truncate: 0.003,
+            bit_flip: 0.006,
+            duplicate: 0.02,
+            stall: 0.002,
+            stall_ms: 2,
+            kill_every: None,
+        }
+    }
+
+    /// Returns the plan with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the plan with a deterministic kill every `n` frames
+    /// (builder-style).
+    pub fn with_kill_every(mut self, n: u64) -> Self {
+        self.kill_every = Some(n.max(1));
+        self
+    }
+}
+
+/// Counters of applied network faults, by mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultStats {
+    /// Frames scheduled (any fate).
+    pub frames: u64,
+    /// Frames forwarded untouched.
+    pub passed: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames with a flipped bit.
+    pub bit_flips: u64,
+    /// Frames truncated (connection killed after the partial write).
+    pub truncated: u64,
+    /// Connections killed before a frame (probabilistic + `kill_every`).
+    pub resets: u64,
+    /// Frames stalled.
+    pub stalls: u64,
+}
+
+/// The seeded per-frame decision stream: ask [`next_fault`] what to do
+/// with each client→server frame, in order. One schedule spans the whole
+/// drill — reconnections do not restart it, so a fault sequence is a pure
+/// function of (seed, global frame index).
+///
+/// [`next_fault`]: NetFaultSchedule::next_fault
+#[derive(Debug, Clone)]
+pub struct NetFaultSchedule {
+    plan: NetFaultPlan,
+    rng: FaultRng,
+    /// Frames since the last deterministic kill (drives `kill_every`).
+    since_kill: u64,
+    stats: NetFaultStats,
+}
+
+impl NetFaultSchedule {
+    /// Creates a schedule executing the given plan.
+    pub fn new(plan: NetFaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        Self { plan, rng, since_kill: 0, stats: NetFaultStats::default() }
+    }
+
+    /// The plan this schedule executes.
+    pub fn plan(&self) -> &NetFaultPlan {
+        &self.plan
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetFaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of the next frame. The decision order is fixed
+    /// (`kill_every` → reset → truncate → bit-flip → duplicate → stall →
+    /// pass) so a schedule replays identically for a given seed.
+    pub fn next_fault(&mut self) -> NetFault {
+        self.stats.frames += 1;
+        self.since_kill += 1;
+        if let Some(n) = self.plan.kill_every {
+            if self.since_kill >= n.max(1) {
+                self.since_kill = 0;
+                self.stats.resets += 1;
+                return NetFault::Reset;
+            }
+        }
+        if self.rng.chance(self.plan.reset) {
+            self.since_kill = 0;
+            self.stats.resets += 1;
+            return NetFault::Reset;
+        }
+        if self.rng.chance(self.plan.truncate) {
+            self.since_kill = 0;
+            self.stats.truncated += 1;
+            return NetFault::Truncate { salt: self.rng.next_u64() };
+        }
+        if self.rng.chance(self.plan.bit_flip) {
+            self.stats.bit_flips += 1;
+            return NetFault::BitFlip { salt: self.rng.next_u64() };
+        }
+        if self.rng.chance(self.plan.duplicate) {
+            self.stats.duplicated += 1;
+            return NetFault::Duplicate;
+        }
+        if self.rng.chance(self.plan.stall) {
+            self.stats.stalls += 1;
+            return NetFault::Stall { ms: self.plan.stall_ms };
+        }
+        self.stats.passed += 1;
+        NetFault::Pass
+    }
+}
+
 // --- Disk faults ---------------------------------------------------------
 
 /// A fault injected into durable on-disk state (write-ahead-log segments,
@@ -718,6 +924,45 @@ mod tests {
         assert_eq!(topic.len(), reached as u64);
         assert!(reached < 100);
         assert_eq!(chaos.stats().delivered as usize, reached);
+    }
+
+    #[test]
+    fn net_fault_schedule_is_deterministic_per_seed() {
+        let decisions = |seed: u64| -> Vec<NetFault> {
+            let mut s = NetFaultSchedule::new(NetFaultPlan::chaos(seed));
+            (0..2000).map(|_| s.next_fault()).collect()
+        };
+        assert_eq!(decisions(42), decisions(42), "same seed, same fault sequence");
+        assert_ne!(decisions(42), decisions(43), "different seed, different sequence");
+    }
+
+    #[test]
+    fn net_fault_chaos_exercises_every_mode() {
+        let mut s = NetFaultSchedule::new(NetFaultPlan::chaos(7));
+        for _ in 0..20_000 {
+            s.next_fault();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.frames, 20_000);
+        assert!(stats.resets > 0, "{stats:?}");
+        assert!(stats.truncated > 0, "{stats:?}");
+        assert!(stats.bit_flips > 0, "{stats:?}");
+        assert!(stats.duplicated > 0, "{stats:?}");
+        assert!(stats.stalls > 0, "{stats:?}");
+        assert!(stats.passed > stats.frames / 2, "most frames pass untouched");
+    }
+
+    #[test]
+    fn net_fault_none_is_transparent_and_kill_every_fires_exactly() {
+        let mut s = NetFaultSchedule::new(NetFaultPlan::none());
+        assert!((0..500).all(|_| s.next_fault() == NetFault::Pass));
+
+        let mut s = NetFaultSchedule::new(NetFaultPlan::none().with_kill_every(10));
+        let fates: Vec<NetFault> = (0..30).map(|_| s.next_fault()).collect();
+        let kills: Vec<usize> =
+            fates.iter().enumerate().filter(|(_, f)| **f == NetFault::Reset).map(|(i, _)| i).collect();
+        assert_eq!(kills, vec![9, 19, 29], "every 10th frame resets the connection");
+        assert_eq!(s.stats().resets, 3);
     }
 
     #[test]

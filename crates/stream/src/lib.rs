@@ -43,8 +43,8 @@ pub mod lowlevel;
 pub mod operator;
 pub mod parallel;
 
-pub use bus::{Consumer, Lagged, MessageBus, OverflowPolicy, PublishError, Topic, TopicConfig, TopicHealth, TopicStats};
-pub use faults::{ChaosSource, ChaosTopic, Corrupt, DiskFault, FaultInjector, FaultPlan, FaultStats, inject_disk_fault};
+pub use bus::{Consumer, Lagged, MessageBus, OverflowPolicy, PublishError, SpaceWaitError, Topic, TopicConfig, TopicHealth, TopicStats};
+pub use faults::{ChaosSource, ChaosTopic, Corrupt, DiskFault, FaultInjector, FaultPlan, FaultStats, NetFault, NetFaultPlan, NetFaultSchedule, NetFaultStats, inject_disk_fault};
 pub use fusion::{CrossStreamFusion, FusionConfig, FusionStats};
 pub use cleaning::{CleanerState, CleaningConfig, CleaningOutcome, StreamCleaner};
 pub use insitu::{InSituProcessor, RunningStats, TrajectoryStats};

@@ -60,7 +60,7 @@
 //! `on_record`) is detected at the next submit-side wait, barrier or
 //! `finish`, and reported as a [`ShardPanic`] rather than a hang.
 
-use crate::bus::{Consumer, OverflowPolicy, Topic, TopicConfig};
+use crate::bus::{Consumer, OverflowPolicy, SpaceWaitError, Topic, TopicConfig};
 use datacron_geo::hash::{fx_hash, FxHashMap};
 use datacron_obs::{Gauge, LogHistogram, MetricsSnapshot, ObsRegistry};
 use std::collections::BTreeMap;
@@ -536,7 +536,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
                     // worker consumes (condvar-woken); never drop.
                     msg = err.into_inner();
                     self.drain_outputs();
-                    if !self.inputs[shard as usize].wait_for_space(COORD_SPACE_WAIT) {
+                    if self.inputs[shard as usize].wait_for_space(COORD_SPACE_WAIT).is_err() {
                         self.panic_if_worker_died();
                     }
                 }
@@ -590,7 +590,9 @@ impl<S: ShardStage> ShardedExecutor<S> {
                     *batch = refused;
                     if !batch.is_empty() {
                         self.drain_outputs();
-                        self.inputs[shard].wait_for_space(COORD_SPACE_WAIT);
+                        if self.inputs[shard].wait_for_space(COORD_SPACE_WAIT).is_err() {
+                            self.panic_if_worker_died();
+                        }
                     }
                 }
             }
@@ -723,7 +725,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
                 Err(err) => {
                     msg = err.into_inner();
                     self.drain_outputs();
-                    self.inputs[shard].wait_for_space(COORD_SPACE_WAIT);
+                    let _ = self.inputs[shard].wait_for_space(COORD_SPACE_WAIT);
                 }
             }
         }
@@ -915,14 +917,21 @@ impl<S: ShardStage> ShardedExecutor<S> {
 
 /// Publishes one directive, retrying on backpressure until it is appended.
 /// Parks on the topic's condvar between attempts instead of busy-spinning.
-fn publish_reliable<T: Clone>(topic: &Topic<T>, msg: T) {
+///
+/// Returns `false` — abandoning the message — when the topic reports
+/// [`SpaceWaitError::NoConsumers`]: every reader is gone, so no retry can
+/// ever succeed and looping would hang the worker forever (the
+/// consumer-drop-while-parked pathology).
+fn publish_reliable<T: Clone>(topic: &Topic<T>, msg: T) -> bool {
     let mut msg = msg;
     loop {
         match topic.try_publish(msg) {
-            Ok(_) => return,
+            Ok(_) => return true,
             Err(err) => {
                 msg = err.into_inner();
-                topic.wait_for_space(WORKER_PUBLISH_WAIT);
+                if topic.wait_for_space(WORKER_PUBLISH_WAIT) == Err(SpaceWaitError::NoConsumers) {
+                    return false;
+                }
             }
         }
     }
@@ -976,48 +985,74 @@ fn worker_loop<S: ShardStage>(
                         submitted_at: stamped.submitted_at,
                         value,
                     });
-                    if prompt || out_buf.len() >= WORKER_BATCH {
-                        flush_outputs(&output, &mut out_buf);
+                    if (prompt || out_buf.len() >= WORKER_BATCH)
+                        && !flush_outputs(&output, &mut out_buf)
+                    {
+                        return stage;
                     }
                 }
                 Directive::Flush => {
-                    flush_outputs(&output, &mut out_buf);
-                    publish_reliable(&flushes, (shard, stage.on_flush()));
+                    if !flush_outputs(&output, &mut out_buf)
+                        || !publish_reliable(&flushes, (shard, stage.on_flush()))
+                    {
+                        return stage;
+                    }
                 }
                 Directive::Snapshot => {
-                    flush_outputs(&output, &mut out_buf);
-                    publish_reliable(&snapshots, (shard, stage.snapshot()));
+                    if !flush_outputs(&output, &mut out_buf)
+                        || !publish_reliable(&snapshots, (shard, stage.snapshot()))
+                    {
+                        return stage;
+                    }
                 }
                 Directive::Checkpoint => {
-                    flush_outputs(&output, &mut out_buf);
-                    publish_reliable(&checkpoints, (shard, stage.checkpoint()));
+                    if !flush_outputs(&output, &mut out_buf)
+                        || !publish_reliable(&checkpoints, (shard, stage.checkpoint()))
+                    {
+                        return stage;
+                    }
                 }
                 Directive::Metrics => {
-                    flush_outputs(&output, &mut out_buf);
-                    publish_reliable(&metrics, (shard, stage.metrics()));
+                    if !flush_outputs(&output, &mut out_buf)
+                        || !publish_reliable(&metrics, (shard, stage.metrics()))
+                    {
+                        return stage;
+                    }
                 }
                 Directive::Shutdown => {
-                    flush_outputs(&output, &mut out_buf);
+                    let _ = flush_outputs(&output, &mut out_buf);
                     return stage;
                 }
             }
         }
         // Batched handoff: one publish per input batch, not per record.
-        flush_outputs(&output, &mut out_buf);
+        if !flush_outputs(&output, &mut out_buf) {
+            // The coordinator's output consumer is gone: orderly exit
+            // instead of retrying into the void forever.
+            return stage;
+        }
     }
 }
 
 /// Publishes the buffered outputs losslessly, retrying refused suffixes.
 /// Parks on the topic's condvar (woken by the coordinator's drain) between
 /// attempts instead of busy-spinning.
-fn flush_outputs<T: Clone>(topic: &Topic<T>, buf: &mut Vec<T>) {
+///
+/// Returns `false` — with the undeliverable suffix still in `buf` — when
+/// the topic has no live consumers left (the coordinator dropped its
+/// output consumer): retrying can never succeed, so the worker must stop
+/// instead of spinning forever.
+fn flush_outputs<T: Clone>(topic: &Topic<T>, buf: &mut Vec<T>) -> bool {
     while !buf.is_empty() {
         let (_, refused) = topic.publish_batch_all(buf.drain(..));
         *buf = refused;
-        if !buf.is_empty() {
-            topic.wait_for_space(WORKER_PUBLISH_WAIT);
+        if !buf.is_empty()
+            && topic.wait_for_space(WORKER_PUBLISH_WAIT) == Err(SpaceWaitError::NoConsumers)
+        {
+            return false;
         }
     }
+    true
 }
 
 #[cfg(test)]

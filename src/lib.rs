@@ -13,6 +13,7 @@ pub use datacron_data as data;
 pub use datacron_durability as durability;
 pub use datacron_geo as geo;
 pub use datacron_linkdisc as linkdisc;
+pub use datacron_net as net;
 pub use datacron_obs as obs;
 pub use datacron_predict as predict;
 pub use datacron_rdf as rdf;
