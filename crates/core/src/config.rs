@@ -43,6 +43,12 @@ pub struct DatacronConfig {
     /// When `false` the registry is disabled and every instrument is a
     /// detached no-op, so the hot path pays nothing.
     pub metrics: bool,
+    /// Stage-latency sampling period: every Nth ingested record is timed
+    /// through the per-stage histograms (`stage.*_ns`). `1` times every
+    /// record (profiling), `0` disables stage timing entirely; counters and
+    /// gauges are unaffected. Powers of two sample via a mask, other
+    /// periods via a modulo.
+    pub stage_sample_every: u64,
 }
 
 impl DatacronConfig {
@@ -60,6 +66,7 @@ impl DatacronConfig {
             flp_window: 12,
             supervision: SupervisionConfig::default(),
             metrics: true,
+            stage_sample_every: 64,
         }
     }
 
@@ -77,6 +84,7 @@ impl DatacronConfig {
             flp_window: 12,
             supervision: SupervisionConfig::default(),
             metrics: true,
+            stage_sample_every: 64,
         }
     }
 }

@@ -1,6 +1,17 @@
-//! The real-time layer: cleaning → in-situ statistics → low-level events →
-//! synopses → RDF generation → link discovery → prediction → CEP, per
-//! record, with every intermediate product published to a topic.
+//! The real-time layer: cleaning → low-level events → synopses → RDF
+//! generation → link discovery → prediction → CEP, per record, with every
+//! intermediate product published to a topic.
+//!
+//! # Hot path
+//!
+//! [`RealTimeLayer::ingest`] is the per-record reference path.
+//! [`RealTimeLayer::ingest_batch`] runs the same chain in batch mode:
+//! topic publishes and metric-counter bumps are deferred into per-topic
+//! buffers and flushed once per batch (one lock / one atomic each), and
+//! RDF generation runs through the compiled [`SemanticNodeLifter`] instead
+//! of the template engine. Outputs, topic contents, flush, health and
+//! count metrics are bit-identical between the two paths — pinned by the
+//! `batch_equivalence` suite. See DESIGN.md §13.
 //!
 //! # Supervision
 //!
@@ -19,18 +30,18 @@ use crate::config::DatacronConfig;
 use datacron_cep::{Wayeb, WayebState};
 use datacron_durability::TopicCheckpoint;
 use datacron_geo::hash::FxHashMap;
-use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
+use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, RecordBatch, Timestamp};
 use datacron_linkdisc::{Link, LinkStats, LinkerConfig, StaticLinker};
 use datacron_obs::{Counter, LogHistogram, MetricsSnapshot, ObsRegistry};
 use datacron_predict::flp::Predictor;
 use datacron_predict::RmfStarPredictor;
 use datacron_rdf::connectors::{critical_point_vector, semantic_node_template};
+use datacron_rdf::fast::SemanticNodeLifter;
 use datacron_rdf::generator::TripleGenerator;
 use datacron_rdf::term::Triple;
 use datacron_stream::bus::{Topic, TopicHealth};
 use datacron_stream::cleaning::{CleanerState, CleaningOutcome, StreamCleaner};
 use datacron_stream::fusion::{CrossStreamFusion, FusionConfig, SourceId};
-use datacron_stream::insitu::InSituProcessor;
 use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
 use datacron_stream::operator::panic_message;
 use datacron_synopses::{CriticalKind, CriticalPoint, SynopsesGenerator, SynopsesState};
@@ -217,18 +228,49 @@ type Symbolizer = Arc<dyn Fn(&CriticalPoint) -> Option<u8> + Send + Sync>;
 /// the chain. May panic; supervision contains the blast radius.
 type EntityStage = Arc<dyn Fn(&PositionReport) + Send + Sync>;
 
-/// How often the chain samples stage latencies: one record in
-/// `STAGE_SAMPLE + 1` pays the `Instant::now()` calls that feed the
-/// `stage.*_ns` histograms. Counters are exact and unsampled.
-const STAGE_SAMPLE: u64 = 63;
+/// How the chain decides which records are timed into the `stage.*_ns`
+/// latency histograms, precompiled from
+/// [`DatacronConfig::stage_sample_every`] so the per-record test is one
+/// mask (power-of-two periods), one modulo (other periods) or nothing.
+/// Counters are exact and unsampled regardless.
+#[derive(Debug, Clone, Copy)]
+enum StageSampling {
+    /// Stage timing disabled (`stage_sample_every == 0`).
+    Never,
+    /// Power-of-two period `m + 1`, tested with a mask.
+    Mask(u64),
+    /// Arbitrary period, tested with a modulo.
+    Every(u64),
+}
+
+impl StageSampling {
+    fn from_period(every: u64) -> Self {
+        match every {
+            0 => Self::Never,
+            n if n.is_power_of_two() => Self::Mask(n - 1),
+            n => Self::Every(n),
+        }
+    }
+
+    /// Whether the record with this (1-based) ingest tick is sampled.
+    #[inline]
+    fn sample(self, tick: u64) -> bool {
+        match self {
+            Self::Never => false,
+            Self::Mask(mask) => tick & mask == 0,
+            Self::Every(n) => tick.is_multiple_of(n),
+        }
+    }
+}
 
 /// Pre-resolved instrument handles for the ingest hot path. Counters are
 /// exact (bumped on every record — a relaxed atomic add, or nothing when
 /// the registry is disabled); stage-latency histograms are fed from a
-/// 1-in-64 record sample so the steady state never pays two clock reads
-/// per stage per record.
+/// sampled subset of records ([`StageSampling`], default one in 64) so the
+/// steady state never pays two clock reads per stage per record.
 struct LayerMetrics {
     enabled: bool,
+    sampling: StageSampling,
     records: Counter,
     accepted: Counter,
     dead_lettered: Counter,
@@ -251,9 +293,10 @@ struct LayerMetrics {
 }
 
 impl LayerMetrics {
-    fn new(obs: &ObsRegistry) -> Self {
+    fn new(obs: &ObsRegistry, stage_sample_every: u64) -> Self {
         Self {
             enabled: obs.is_enabled(),
+            sampling: StageSampling::from_period(stage_sample_every),
             records: obs.counter("ingest.records"),
             accepted: obs.counter("ingest.accepted"),
             dead_lettered: obs.counter("ingest.dead_lettered"),
@@ -285,10 +328,97 @@ fn elapsed_ns(t0: Instant) -> u64 {
 /// Per-entity streaming state.
 struct EntityState {
     cleaner: StreamCleaner,
-    insitu: InSituProcessor,
     synopses: SynopsesGenerator,
     history: VecDeque<PositionReport>,
     cep: Option<Wayeb>,
+}
+
+/// Products and counter increments deferred while a batch is in flight.
+///
+/// The batch path appends to these buffers at exactly the code points
+/// where the per-record path publishes or bumps a counter, then flushes
+/// each topic with one `publish_batch` (one lock) and each counter with
+/// one atomic add at batch end. Per-topic message order — and therefore
+/// every topic's content — is identical to per-record publishing; only
+/// the lock/atomic cadence changes. Nothing can observe the topics while
+/// a batch is in flight (`ingest_batch` takes `&mut self`), so the
+/// deferral is invisible.
+#[derive(Default)]
+struct BatchBuffers {
+    /// `true` while `ingest_batch` is draining records.
+    active: bool,
+    cleaned: Vec<PositionReport>,
+    critical: Vec<CriticalPoint>,
+    area_events: Vec<AreaEvent>,
+    triples: Vec<Triple>,
+    links: Vec<Link>,
+    dead_letters: Vec<DeadLetter>,
+    n_records: u64,
+    n_accepted: u64,
+    n_dead_lettered: u64,
+    n_rejected_cleaning: u64,
+    n_rejected_quarantined: u64,
+    n_rejected_panic: u64,
+    n_panics: u64,
+    n_restarts: u64,
+    n_area_events: u64,
+    n_critical_points: u64,
+    n_triples: u64,
+    n_links: u64,
+    n_cep_matches: u64,
+}
+
+/// Upper bound on recycled buffers retained per output field.
+const POOL_CAP: usize = 256;
+
+/// Recycled [`IngestOutput`] buffers: callers done with an output hand it
+/// back via [`RealTimeLayer::recycle`]; its vectors are cleared and reused
+/// by later records instead of reallocated.
+#[derive(Default)]
+struct OutputPool {
+    critical_points: Vec<Vec<CriticalPoint>>,
+    area_events: Vec<Vec<AreaEvent>>,
+    links: Vec<Vec<Link>>,
+    triples: Vec<Vec<Triple>>,
+}
+
+impl OutputPool {
+    /// An empty output backed by recycled buffers where available.
+    fn checkout(&mut self) -> IngestOutput {
+        IngestOutput {
+            accepted: false,
+            rejected: None,
+            critical_points: self.critical_points.pop().unwrap_or_default(),
+            area_events: self.area_events.pop().unwrap_or_default(),
+            links: self.links.pop().unwrap_or_default(),
+            triples: self.triples.pop().unwrap_or_default(),
+            cep_detections: 0,
+        }
+    }
+
+    /// Reclaims an output's allocations (contents dropped, capacity kept).
+    fn put(&mut self, out: IngestOutput) {
+        let IngestOutput { critical_points, area_events, links, triples, .. } = out;
+        Self::stash(&mut self.critical_points, critical_points);
+        Self::stash(&mut self.area_events, area_events);
+        Self::stash(&mut self.links, links);
+        Self::stash(&mut self.triples, triples);
+    }
+
+    fn stash<T>(pool: &mut Vec<Vec<T>>, mut v: Vec<T>) {
+        if pool.len() < POOL_CAP && v.capacity() > 0 {
+            v.clear();
+            pool.push(v);
+        }
+    }
+}
+
+/// Applies a deferred counter sum in one atomic add.
+fn drain_counter(counter: &Counter, pending: &mut u64) {
+    if *pending != 0 {
+        counter.add(*pending);
+        *pending = 0;
+    }
 }
 
 /// The assembled real-time layer.
@@ -324,14 +454,23 @@ pub struct RealTimeLayer {
     /// refilled by the synopses stage each record, so the steady-state hot
     /// path allocates nothing for records that emit no critical point.
     cps_scratch: Vec<CriticalPoint>,
+    /// Compiled semantic-node lifter driving RDF generation on the batch
+    /// path. Emits output bit-identical to the template `rdfizer`, which
+    /// remains the per-record reference engine and the flush/checkpoint
+    /// path; its interned symbols are process-local and never checkpointed.
+    lifter: SemanticNodeLifter,
+    /// Deferred publishes/counters of an in-progress [`ingest_batch`](Self::ingest_batch).
+    batch: BatchBuffers,
+    /// Recycled output buffers (see [`recycle`](Self::recycle)).
+    pool: OutputPool,
     /// Instrument registry ([disabled](ObsRegistry::disabled) when
     /// [`DatacronConfig::metrics`] is off).
     obs: ObsRegistry,
     /// Pre-resolved hot-path instrument handles.
     metrics: LayerMetrics,
-    /// Records ingested, for the 1-in-64 stage-latency sample. Not part of
-    /// the durable state: sampling only shapes timing histograms, never
-    /// outputs.
+    /// Records ingested, for the stage-latency sample
+    /// ([`DatacronConfig::stage_sample_every`]). Not part of the durable
+    /// state: sampling only shapes timing histograms, never outputs.
     metric_ticks: u64,
     // --- topics ---
     /// Accepted (clean) reports that completed the full chain.
@@ -368,7 +507,7 @@ impl RealTimeLayer {
         } else {
             ObsRegistry::disabled()
         };
-        let metrics = LayerMetrics::new(&obs);
+        let metrics = LayerMetrics::new(&obs, config.stage_sample_every);
         Self {
             monitor,
             linker,
@@ -385,6 +524,9 @@ impl RealTimeLayer {
             watermark: Timestamp(i64::MIN),
             ingests_since_sweep: 0,
             cps_scratch: Vec::new(),
+            lifter: SemanticNodeLifter::new(),
+            batch: BatchBuffers::default(),
+            pool: OutputPool::default(),
             obs,
             metrics,
             metric_ticks: 0,
@@ -471,9 +613,13 @@ impl RealTimeLayer {
     /// cleaning rejections, quarantined entities and processing panics all
     /// surface as dead letters rather than lost records or a crashed layer.
     pub fn ingest(&mut self, report: PositionReport) -> IngestOutput {
-        self.metrics.records.inc();
+        if self.batch.active {
+            self.batch.n_records += 1;
+        } else {
+            self.metrics.records.inc();
+        }
         self.metric_ticks += 1;
-        let timed = self.metrics.enabled && self.metric_ticks & STAGE_SAMPLE == 0;
+        let timed = self.metrics.enabled && self.metrics.sampling.sample(self.metric_ticks);
         let t0 = timed.then(Instant::now);
         let out = self.ingest_inner(report, timed);
         if let Some(t0) = t0 {
@@ -519,7 +665,6 @@ impl RealTimeLayer {
         let config = &self.config;
         let state = self.entities.entry(report.entity).or_insert_with(|| EntityState {
             cleaner: StreamCleaner::new(config.cleaning.clone()),
-            insitu: InSituProcessor::new(),
             synopses: SynopsesGenerator::new(config.synopses.clone()),
             history: VecDeque::new(),
             cep: cep_template.clone(),
@@ -540,13 +685,22 @@ impl RealTimeLayer {
             Ok(mut out) => {
                 out.accepted = true;
                 self.accepted_total += 1;
-                self.metrics.accepted.inc();
+                if self.batch.active {
+                    self.batch.n_accepted += 1;
+                } else {
+                    self.metrics.accepted.inc();
+                }
                 out
             }
             Err(payload) => {
                 self.panics_total += 1;
-                self.metrics.panics.inc();
-                self.metrics.restarts.inc();
+                if self.batch.active {
+                    self.batch.n_panics += 1;
+                    self.batch.n_restarts += 1;
+                } else {
+                    self.metrics.panics.inc();
+                    self.metrics.restarts.inc();
+                }
                 // Restart: drop the (possibly inconsistent) entity state;
                 // the entity re-enters fresh on its next record.
                 self.entities.remove(&report.entity);
@@ -591,25 +745,39 @@ impl RealTimeLayer {
 
     /// Publishes a dead letter and returns the rejection output.
     fn reject(&mut self, report: PositionReport, reason: RejectReason) -> IngestOutput {
-        self.metrics.dead_lettered.inc();
-        match reason {
-            RejectReason::Cleaning(_) => self.metrics.rejected_cleaning.inc(),
-            RejectReason::Quarantined => self.metrics.rejected_quarantined.inc(),
-            RejectReason::ProcessingPanic => self.metrics.rejected_panic.inc(),
+        if self.batch.active {
+            self.batch.n_dead_lettered += 1;
+            match reason {
+                RejectReason::Cleaning(_) => self.batch.n_rejected_cleaning += 1,
+                RejectReason::Quarantined => self.batch.n_rejected_quarantined += 1,
+                RejectReason::ProcessingPanic => self.batch.n_rejected_panic += 1,
+            }
+            self.batch.dead_letters.push(DeadLetter { report, reason });
+        } else {
+            self.metrics.dead_lettered.inc();
+            match reason {
+                RejectReason::Cleaning(_) => self.metrics.rejected_cleaning.inc(),
+                RejectReason::Quarantined => self.metrics.rejected_quarantined.inc(),
+                RejectReason::ProcessingPanic => self.metrics.rejected_panic.inc(),
+            }
+            self.dead_letters.publish(DeadLetter { report, reason });
         }
-        self.dead_letters.publish(DeadLetter { report, reason });
         IngestOutput {
             rejected: Some(reason),
             ..IngestOutput::default()
         }
     }
 
-    /// Steps 2–8 of the chain for an already-accepted record. Runs inside
+    /// Steps 2–7 of the chain for an already-accepted record. Runs inside
     /// `catch_unwind`; publishes to the output topics only as products are
     /// produced, with `cleaned` published first so downstream topic
-    /// contents remain an in-order prefix-consistent view.
+    /// contents remain an in-order prefix-consistent view. In batch mode
+    /// (`self.batch.active`) every publish/counter bump is deferred into
+    /// [`BatchBuffers`] at the same code point, preserving per-topic order
+    /// exactly, and RDF generation runs through the compiled lifter.
     fn process_accepted(&mut self, report: PositionReport, timed: bool) -> IngestOutput {
-        let mut out = IngestOutput::default();
+        let batching = self.batch.active;
+        let mut out = self.pool.checkout();
         let state = self
             .entities
             .get_mut(&report.entity)
@@ -620,23 +788,35 @@ impl RealTimeLayer {
             stage(&report);
         }
 
-        self.cleaned.publish(report);
+        if batching {
+            self.batch.cleaned.push(report);
+        } else {
+            self.cleaned.publish(report);
+        }
 
-        // 2. In-situ statistics (annotations ride along with the state).
-        let _annotated = state.insitu.ingest(report);
-
-        // 3. FLP history window.
+        // 2. FLP history window.
         state.history.push_back(report);
         while state.history.len() > self.config.flp_window {
             state.history.pop_front();
         }
 
-        // 4. Low-level area events.
-        out.area_events = self.monitor.observe(&report);
-        self.area_events.publish_batch(out.area_events.iter().copied());
-        self.metrics.area_events.add(out.area_events.len() as u64);
+        // 3. Low-level area events, appended into the (pooled) output
+        // buffer — the monitor allocates nothing per record.
+        self.monitor.observe_into(&report, &mut out.area_events);
+        if !out.area_events.is_empty() {
+            if batching {
+                self.batch.area_events.extend_from_slice(&out.area_events);
+            } else {
+                self.area_events.publish_batch(out.area_events.iter().copied());
+            }
+        }
+        if batching {
+            self.batch.n_area_events += out.area_events.len() as u64;
+        } else {
+            self.metrics.area_events.add(out.area_events.len() as u64);
+        }
 
-        // 5. Synopses, into the reused scratch buffer (no per-record
+        // 4. Synopses, into the reused scratch buffer (no per-record
         // allocation in the common no-critical-point case).
         let mut cps = std::mem::take(&mut self.cps_scratch);
         cps.clear();
@@ -650,30 +830,45 @@ impl RealTimeLayer {
         // per record keeps the distributions per-record comparable).
         let (mut rdf_ns, mut link_ns, mut cep_ns) = (0u64, 0u64, 0u64);
         for cp in &cps {
-            self.critical.publish(*cp);
-            // 6. RDF generation per critical point: generate straight into
+            if batching {
+                self.batch.critical.push(*cp);
+            } else {
+                self.critical.publish(*cp);
+            }
+            // 5. RDF generation per critical point: generate straight into
             // the output buffer and publish from that same buffer — the
             // topic clones (it must own its copy), but the intermediate
             // per-point `Vec<Triple>` and its extra whole-set clone are
-            // gone.
+            // gone. The batch path uses the compiled lifter (bit-identical
+            // output, counters credited to the same `rdfizer`).
             let t0 = timed.then(Instant::now);
             let triples_start = out.triples.len();
-            self.rdfizer.generate_into(&critical_point_vector(cp), &mut out.triples);
-            self.triples.publish_batch(out.triples[triples_start..].iter().cloned());
+            if batching {
+                let n = self.lifter.lift_into(cp, &mut out.triples);
+                self.rdfizer.record_generated(n as u64);
+                self.batch.triples.extend_from_slice(&out.triples[triples_start..]);
+            } else {
+                self.rdfizer.generate_into(&critical_point_vector(cp), &mut out.triples);
+                self.triples.publish_batch(out.triples[triples_start..].iter().cloned());
+            }
             if let Some(t0) = t0 {
                 rdf_ns += elapsed_ns(t0);
             }
-            // 7. Link discovery on the critical point, same single-buffer
+            // 6. Link discovery on the critical point, same single-buffer
             // pattern.
             let t0 = timed.then(Instant::now);
             let links_start = out.links.len();
             out.links
                 .extend(self.linker.link_point(cp.report.entity, cp.report.ts, &cp.report.point));
-            self.links.publish_batch(out.links[links_start..].iter().copied());
+            if batching {
+                self.batch.links.extend_from_slice(&out.links[links_start..]);
+            } else {
+                self.links.publish_batch(out.links[links_start..].iter().copied());
+            }
             if let Some(t0) = t0 {
                 link_ns += elapsed_ns(t0);
             }
-            // 8. CEP.
+            // 7. CEP.
             let t0 = timed.then(Instant::now);
             if let (Some(engine), Some(symbolizer)) = (&mut state.cep, &self.cep_symbolizer) {
                 if let Some(sym) = symbolizer(cp) {
@@ -692,10 +887,17 @@ impl RealTimeLayer {
             self.metrics.stage_link_ns.record(link_ns);
             self.metrics.stage_cep_ns.record(cep_ns);
         }
-        self.metrics.critical_points.add(cps.len() as u64);
-        self.metrics.triples.add(out.triples.len() as u64);
-        self.metrics.links.add(out.links.len() as u64);
-        self.metrics.cep_matches.add(out.cep_detections as u64);
+        if batching {
+            self.batch.n_critical_points += cps.len() as u64;
+            self.batch.n_triples += out.triples.len() as u64;
+            self.batch.n_links += out.links.len() as u64;
+            self.batch.n_cep_matches += out.cep_detections as u64;
+        } else {
+            self.metrics.critical_points.add(cps.len() as u64);
+            self.metrics.triples.add(out.triples.len() as u64);
+            self.metrics.links.add(out.links.len() as u64);
+            self.metrics.cep_matches.add(out.cep_detections as u64);
+        }
         out.critical_points.extend_from_slice(&cps);
         self.cps_scratch = cps;
         out
@@ -797,9 +999,78 @@ impl RealTimeLayer {
         snap
     }
 
-    /// Ingests a batch, returning the merged outputs.
+    /// Ingests a batch through the batched hot path, returning the
+    /// per-record outputs in order.
+    ///
+    /// Runs the exact per-record chain (watermark, sweeps, quarantine,
+    /// supervision and `catch_unwind` all fire per record), but defers
+    /// topic publishes and metric-counter bumps into [`BatchBuffers`] and
+    /// flushes them once at batch end — one lock per topic, one atomic add
+    /// per counter — and generates RDF through the compiled
+    /// [`SemanticNodeLifter`]. Outputs, topic contents, flush, health and
+    /// count metrics are bit-identical to calling
+    /// [`ingest`](Self::ingest) per record; the `batch_equivalence` suite
+    /// pins this under chaotic input, single-threaded and sharded.
     pub fn ingest_batch(&mut self, reports: impl IntoIterator<Item = PositionReport>) -> Vec<IngestOutput> {
-        reports.into_iter().map(|r| self.ingest(r)).collect()
+        self.batch.active = true;
+        let outputs: Vec<IngestOutput> = reports.into_iter().map(|r| self.ingest(r)).collect();
+        self.batch.active = false;
+        self.flush_batch_buffers();
+        outputs
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) over a columnar
+    /// [`RecordBatch`], reassembling rows from the columns as it drains.
+    pub fn ingest_record_batch(&mut self, batch: &RecordBatch) -> Vec<IngestOutput> {
+        self.ingest_batch(batch.iter())
+    }
+
+    /// Publishes everything an in-flight batch deferred: one
+    /// `publish_batch` per non-empty topic buffer, one atomic add per
+    /// touched counter. Buffer allocations are retained for the next batch.
+    fn flush_batch_buffers(&mut self) {
+        let b = &mut self.batch;
+        if !b.cleaned.is_empty() {
+            self.cleaned.publish_batch(b.cleaned.drain(..));
+        }
+        if !b.critical.is_empty() {
+            self.critical.publish_batch(b.critical.drain(..));
+        }
+        if !b.area_events.is_empty() {
+            self.area_events.publish_batch(b.area_events.drain(..));
+        }
+        if !b.triples.is_empty() {
+            self.triples.publish_batch(b.triples.drain(..));
+        }
+        if !b.links.is_empty() {
+            self.links.publish_batch(b.links.drain(..));
+        }
+        if !b.dead_letters.is_empty() {
+            self.dead_letters.publish_batch(b.dead_letters.drain(..));
+        }
+        let m = &self.metrics;
+        drain_counter(&m.records, &mut b.n_records);
+        drain_counter(&m.accepted, &mut b.n_accepted);
+        drain_counter(&m.dead_lettered, &mut b.n_dead_lettered);
+        drain_counter(&m.rejected_cleaning, &mut b.n_rejected_cleaning);
+        drain_counter(&m.rejected_quarantined, &mut b.n_rejected_quarantined);
+        drain_counter(&m.rejected_panic, &mut b.n_rejected_panic);
+        drain_counter(&m.panics, &mut b.n_panics);
+        drain_counter(&m.restarts, &mut b.n_restarts);
+        drain_counter(&m.area_events, &mut b.n_area_events);
+        drain_counter(&m.critical_points, &mut b.n_critical_points);
+        drain_counter(&m.triples, &mut b.n_triples);
+        drain_counter(&m.links, &mut b.n_links);
+        drain_counter(&m.cep_matches, &mut b.n_cep_matches);
+    }
+
+    /// Hands an output's buffers back to the layer for reuse: its vectors
+    /// are cleared and recycled into later [`IngestOutput`]s instead of
+    /// reallocated. Purely an allocation optimisation for drains that are
+    /// done with an output (e.g. the throughput bench); skipping it is
+    /// always correct.
+    pub fn recycle(&mut self, output: IngestOutput) {
+        self.pool.put(output);
     }
 
     /// Flushes end-of-stream synopses (emits trailing `End` points and their
@@ -864,10 +1135,10 @@ impl RealTimeLayer {
     /// residency, linker/RDF counters and all six output topics. Entities
     /// are sorted, so two identical runs produce byte-identical encodings.
     ///
-    /// Deliberately excluded: in-situ running statistics (advisory
-    /// annotations, not observable through any output topic) and the
-    /// fusion front-end buffer (records inside it have not yet been
-    /// write-ahead logged, so recovery re-feeds them from the source).
+    /// Deliberately excluded: the fusion front-end buffer (records inside
+    /// it have not yet been write-ahead logged, so recovery re-feeds them
+    /// from the source) and the batch lifter's interned symbols
+    /// (process-local handles, rebuilt on first use).
     pub fn checkpoint_state(&self) -> LayerState {
         let mut entities: Vec<EntityCheckpoint> = self
             .entities
@@ -934,9 +1205,6 @@ impl RealTimeLayer {
                 e.entity,
                 EntityState {
                     cleaner: StreamCleaner::restore(self.config.cleaning.clone(), e.cleaner),
-                    // Fresh in-situ state: its annotations are advisory and
-                    // discarded by the chain (see `process_accepted`).
-                    insitu: InSituProcessor::new(),
                     synopses: SynopsesGenerator::restore(self.config.synopses.clone(), e.synopses),
                     history: e.history.into_iter().collect(),
                     cep,

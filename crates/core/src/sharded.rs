@@ -4,16 +4,16 @@
 //! The paper scales the online layer by hash-partitioning the keyed
 //! per-entity state across operator instances. This module does the same
 //! natively: N worker threads each own a complete [`RealTimeLayer`]
-//! partition (cleaning, in-situ stats, synopses, low-level events, link
-//! discovery, RDF generation, CEP, supervision and dead-lettering for the
-//! entities routed to them), fed over bounded backpressured topics by a
+//! partition (cleaning, synopses, low-level events, link discovery, RDF
+//! generation, CEP, supervision and dead-lettering for the entities
+//! routed to them), fed over bounded backpressured topics by a
 //! [`ShardedExecutor`], with stamped outputs merged back into exact
 //! submission order.
 //!
 //! ## Determinism contract
 //!
 //! Every per-record component of the chain is either per-entity keyed
-//! state (cleaner, in-situ, synopses, FLP history, CEP, area monitor
+//! state (cleaner, synopses, FLP history, CEP, area monitor
 //! inside-sets, supervision) or a pure function of the record and the
 //! stationary context (link discovery, RDF generation). Entity → shard
 //! routing is a deterministic hash, so each shard sees exactly the
@@ -87,6 +87,20 @@ impl ShardStage for RealTimeShard {
     fn on_record(&mut self, report: PositionReport) -> ShardOutput {
         let output = self.layer.ingest(report);
         ShardOutput { report, output }
+    }
+
+    fn on_batch(&mut self, inputs: &mut Vec<PositionReport>, out: &mut Vec<ShardOutput>) {
+        // Batched hot path: one deferred-publish flush per run instead of
+        // per-record topic locks. Bit-identical to per-record ingest (the
+        // layer's batch-equivalence contract), so the executor's merge
+        // still reproduces the single-threaded output stream exactly.
+        let outputs = self.layer.ingest_batch(inputs.iter().copied());
+        out.extend(
+            inputs
+                .drain(..)
+                .zip(outputs)
+                .map(|(report, output)| ShardOutput { report, output }),
+        );
     }
 
     fn on_flush(&mut self) -> Vec<CriticalPoint> {

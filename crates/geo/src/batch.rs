@@ -1,0 +1,198 @@
+//! Columnar (structure-of-arrays) batches of position reports.
+//!
+//! The real-time layer's hot path is batch-oriented: ingestion hands the
+//! pipeline a [`RecordBatch`] — parallel arrays of entity ids, timestamps
+//! and kinematic fields — instead of one [`PositionReport`] at a time.
+//! The columnar layout keeps a whole batch cache-resident while the
+//! per-entity state machines walk it, lets ingress-level passes (time
+//! bounds, per-column scans) run over contiguous memory, and gives the
+//! sharded workers and the benches one reusable container that is cleared
+//! and refilled rather than reallocated per batch.
+
+use crate::moving::{EntityId, PositionReport};
+use crate::point::GeoPoint;
+use crate::time::Timestamp;
+
+/// A batch of position reports in columnar (SoA) form: element `i` of every
+/// column belongs to record `i`. Rebuild the row view with [`get`](Self::get)
+/// or [`iter`](Self::iter); the columns themselves are public for contiguous
+/// scans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordBatch {
+    /// Reporting entities.
+    pub entities: Vec<EntityId>,
+    /// Report times.
+    pub ts: Vec<Timestamp>,
+    /// Longitudes, degrees.
+    pub lon: Vec<f64>,
+    /// Latitudes, degrees.
+    pub lat: Vec<f64>,
+    /// Altitudes, metres.
+    pub altitude_m: Vec<f64>,
+    /// Ground speeds, m/s.
+    pub speed_mps: Vec<f64>,
+    /// Headings, degrees clockwise from north.
+    pub heading_deg: Vec<f64>,
+    /// Vertical rates, m/s.
+    pub vertical_rate_mps: Vec<f64>,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` records in every column.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            entities: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+            lon: Vec::with_capacity(n),
+            lat: Vec::with_capacity(n),
+            altitude_m: Vec::with_capacity(n),
+            speed_mps: Vec::with_capacity(n),
+            heading_deg: Vec::with_capacity(n),
+            vertical_rate_mps: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a batch from row-form reports.
+    pub fn from_reports<I: IntoIterator<Item = PositionReport>>(reports: I) -> Self {
+        let iter = reports.into_iter();
+        let mut batch = Self::with_capacity(iter.size_hint().0);
+        for r in iter {
+            batch.push(r);
+        }
+        batch
+    }
+
+    /// Appends one report, decomposed into the columns.
+    pub fn push(&mut self, r: PositionReport) {
+        self.entities.push(r.entity);
+        self.ts.push(r.ts);
+        self.lon.push(r.point.lon);
+        self.lat.push(r.point.lat);
+        self.altitude_m.push(r.altitude_m);
+        self.speed_mps.push(r.speed_mps);
+        self.heading_deg.push(r.heading_deg);
+        self.vertical_rate_mps.push(r.vertical_rate_mps);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// `true` when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Clears every column, retaining the allocations for the next refill.
+    pub fn clear(&mut self) {
+        self.entities.clear();
+        self.ts.clear();
+        self.lon.clear();
+        self.lat.clear();
+        self.altitude_m.clear();
+        self.speed_mps.clear();
+        self.heading_deg.clear();
+        self.vertical_rate_mps.clear();
+    }
+
+    /// Reassembles record `i` into row form.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> PositionReport {
+        PositionReport {
+            entity: self.entities[i],
+            ts: self.ts[i],
+            point: GeoPoint::new(self.lon[i], self.lat[i]),
+            altitude_m: self.altitude_m[i],
+            speed_mps: self.speed_mps[i],
+            heading_deg: self.heading_deg[i],
+            vertical_rate_mps: self.vertical_rate_mps[i],
+        }
+    }
+
+    /// Iterates the records in row form, reassembled from the columns.
+    pub fn iter(&self) -> impl Iterator<Item = PositionReport> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Smallest and largest report time in the batch (one contiguous column
+    /// scan); `None` for an empty batch.
+    pub fn time_bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = *self.ts.first()?;
+        let (mut lo, mut hi) = (first, first);
+        for &t in &self.ts[1..] {
+            if t < lo {
+                lo = t;
+            }
+            if t > hi {
+                hi = t;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+impl FromIterator<PositionReport> for RecordBatch {
+    fn from_iter<I: IntoIterator<Item = PositionReport>>(iter: I) -> Self {
+        Self::from_reports(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(id: u64, t_s: i64, lon: f64) -> PositionReport {
+        PositionReport {
+            speed_mps: 7.5,
+            heading_deg: 90.0,
+            altitude_m: 10.0,
+            vertical_rate_mps: -1.0,
+            ..PositionReport::basic(
+                EntityId::vessel(id),
+                Timestamp::from_secs(t_s),
+                GeoPoint::new(lon, 40.0),
+            )
+        }
+    }
+
+    #[test]
+    fn round_trips_rows_exactly() {
+        let rows = vec![rep(1, 0, 1.0), rep(2, 10, 1.5), rep(1, 20, 2.0)];
+        let batch = RecordBatch::from_reports(rows.clone());
+        assert_eq!(batch.len(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(batch.get(i), *r);
+        }
+        let back: Vec<PositionReport> = batch.iter().collect();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut batch: RecordBatch = (0..100).map(|i| rep(i, i as i64, 0.0)).collect();
+        let cap = batch.entities.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.entities.capacity(), cap);
+        batch.push(rep(7, 0, 0.0));
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn time_bounds_scan() {
+        assert_eq!(RecordBatch::new().time_bounds(), None);
+        let batch = RecordBatch::from_reports(vec![rep(1, 30, 0.0), rep(2, 10, 0.0), rep(3, 20, 0.0)]);
+        assert_eq!(
+            batch.time_bounds(),
+            Some((Timestamp::from_secs(10), Timestamp::from_secs(30)))
+        );
+    }
+}

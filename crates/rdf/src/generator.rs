@@ -201,6 +201,13 @@ impl TripleGenerator {
         self.generated
     }
 
+    /// Credits `n` triples produced outside the template machinery (the
+    /// compiled fast path emits this template's exact output and reports
+    /// its production here so checkpointed counters stay path-independent).
+    pub fn record_generated(&mut self, n: u64) {
+        self.generated += n;
+    }
+
     /// Restores the running counters from a checkpoint.
     pub fn restore_counters(&mut self, generated: u64, skipped_patterns: u64) {
         self.generated = generated;

@@ -1,0 +1,122 @@
+//! A string interner for hot-path RDF generation.
+//!
+//! Template instantiation builds every IRI with `format!` and rehashes
+//! `String` variable names per record — fine for the flexible
+//! [`generator`](crate::generator) framework, far too slow for a
+//! million-records/sec real-time layer. [`Interner`] maps each distinct
+//! string to a dense `u32` [`Sym`] backed by one append-only arena of
+//! reference-counted strings, so the hot path passes and stores 4-byte
+//! symbols and materialises [`Term`]s (an `Arc` clone, no copy) only at
+//! the sink boundary where a triple is actually emitted.
+//!
+//! # Determinism
+//!
+//! Symbols are assigned in first-intern order, so two runs that intern the
+//! same strings in the same order assign identical symbols. Symbols are
+//! process-local handles: they are never checkpointed or sent across
+//! shards — only the materialised terms are — so sharded and
+//! single-threaded runs stay bit-identical regardless of per-shard intern
+//! order.
+
+use crate::term::{Literal, Term};
+use datacron_geo::hash::FxHashMap;
+use std::sync::Arc;
+
+/// A dense handle to an interned string (index into the arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw arena index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Append-only string arena with O(1) symbol lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    arena: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string, returning its symbol; the same string always maps
+    /// to the same symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&id) = self.index.get(s) {
+            return Sym(id);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = u32::try_from(self.arena.len()).expect("interner overflow");
+        self.arena.push(arc.clone());
+        self.index.insert(arc, id);
+        Sym(id)
+    }
+
+    /// The interned string behind a symbol.
+    ///
+    /// # Panics
+    /// Panics when `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &Arc<str> {
+        &self.arena[sym.0 as usize]
+    }
+
+    /// Materialises a symbol as an IRI term (one `Arc` clone, no copy).
+    pub fn iri(&self, sym: Sym) -> Term {
+        Term::Iri(self.resolve(sym).clone())
+    }
+
+    /// Materialises a symbol as a string-literal term.
+    pub fn str_literal(&self, sym: Sym) -> Term {
+        Term::Literal(Literal::Str(self.resolve(sym).clone()))
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("http://ex/a");
+        let b = i.intern("http://ex/b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("http://ex/a"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(&**i.resolve(a), "http://ex/a");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn materialised_terms_share_the_arena_allocation() {
+        let mut i = Interner::new();
+        let s = i.intern("x:y");
+        let t1 = i.iri(s);
+        let t2 = i.iri(s);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, Term::iri("x:y"));
+        match (&t1, &t2) {
+            (Term::Iri(a), Term::Iri(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+        assert_eq!(i.str_literal(s), Term::Literal(Literal::str("x:y")));
+    }
+}

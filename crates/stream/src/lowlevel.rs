@@ -101,9 +101,18 @@ impl AreaMonitor {
     /// Processes one report, emitting transitions since the entity's last
     /// report.
     pub fn observe(&mut self, r: &PositionReport) -> Vec<AreaEvent> {
+        let mut events = Vec::new();
+        self.observe_into(r, &mut events);
+        events
+    }
+
+    /// [`observe`](Self::observe), appending into a caller-owned buffer so
+    /// the hot path can reuse one allocation across records. The appended
+    /// suffix is sorted by area id, exactly as `observe` returns it.
+    pub fn observe_into(&mut self, r: &PositionReport, events: &mut Vec<AreaEvent>) {
+        let start = events.len();
         let now = self.areas_containing(&r.point);
         let before = self.inside.entry(r.entity).or_default();
-        let mut events = Vec::new();
         for &id in now.iter() {
             if !before.contains(&id) {
                 events.push(AreaEvent {
@@ -126,9 +135,8 @@ impl AreaMonitor {
                 });
             }
         }
-        events.sort_by_key(|e| e.area_id);
+        events[start..].sort_by_key(|e| e.area_id);
         *before = now;
-        events
     }
 
     /// The areas an entity is currently inside.

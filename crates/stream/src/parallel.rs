@@ -248,6 +248,18 @@ pub trait ShardStage: Send + 'static {
 
     /// Processes one record.
     fn on_record(&mut self, input: Self::In) -> Self::Out;
+    /// Processes a run of records as one batch, draining `inputs` and
+    /// appending exactly one output per input to `out`, in order. Workers
+    /// feed every record through this hook (runs are cut at barriers and
+    /// poll-batch boundaries), so a stage with a batch-optimised path —
+    /// e.g. the real-time layer's columnar ingest — overrides it; the
+    /// default simply loops [`on_record`](Self::on_record) and must stay
+    /// observably identical to per-record processing.
+    fn on_batch(&mut self, inputs: &mut Vec<Self::In>, out: &mut Vec<Self::Out>) {
+        for input in inputs.drain(..) {
+            out.push(self.on_record(input));
+        }
+    }
     /// Emits end-of-stream state (e.g. trailing synopses).
     fn on_flush(&mut self) -> Self::Flush;
     /// Reports a point-in-time snapshot (e.g. health).
@@ -965,6 +977,13 @@ fn worker_loop<S: ShardStage>(
 ) -> S {
     let mut consumer = input.consumer();
     let mut out_buf: Vec<Stamped<S::Out>> = Vec::new();
+    // Run accumulators: consecutive records are grouped and handed to the
+    // stage's `on_batch` in one call (runs are cut at barriers and at
+    // poll-batch ends); stamps ride in a parallel array and are re-zipped
+    // with the outputs, so stamping is untouched by batching.
+    let mut run_inputs: Vec<S::In> = Vec::new();
+    let mut run_stamps: Vec<(SeqStamp, Option<Instant>)> = Vec::new();
+    let mut run_scratch: Vec<S::Out> = Vec::new();
     loop {
         let batch = consumer
             .poll_wait(WORKER_BATCH, WORKER_PARK)
@@ -979,19 +998,17 @@ fn worker_loop<S: ShardStage>(
         for directive in batch {
             match directive {
                 Directive::Record(stamped) => {
-                    let value = stage.on_record(stamped.value);
-                    out_buf.push(Stamped {
-                        stamp: stamped.stamp,
-                        submitted_at: stamped.submitted_at,
-                        value,
-                    });
-                    if (prompt || out_buf.len() >= WORKER_BATCH)
-                        && !flush_outputs(&output, &mut out_buf)
-                    {
-                        return stage;
+                    run_stamps.push((stamped.stamp, stamped.submitted_at));
+                    run_inputs.push(stamped.value);
+                    if prompt || run_inputs.len() >= WORKER_BATCH {
+                        drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
+                        if !flush_outputs(&output, &mut out_buf) {
+                            return stage;
+                        }
                     }
                 }
                 Directive::Flush => {
+                    drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
                     if !flush_outputs(&output, &mut out_buf)
                         || !publish_reliable(&flushes, (shard, stage.on_flush()))
                     {
@@ -999,6 +1016,7 @@ fn worker_loop<S: ShardStage>(
                     }
                 }
                 Directive::Snapshot => {
+                    drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
                     if !flush_outputs(&output, &mut out_buf)
                         || !publish_reliable(&snapshots, (shard, stage.snapshot()))
                     {
@@ -1006,6 +1024,7 @@ fn worker_loop<S: ShardStage>(
                     }
                 }
                 Directive::Checkpoint => {
+                    drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
                     if !flush_outputs(&output, &mut out_buf)
                         || !publish_reliable(&checkpoints, (shard, stage.checkpoint()))
                     {
@@ -1013,6 +1032,7 @@ fn worker_loop<S: ShardStage>(
                     }
                 }
                 Directive::Metrics => {
+                    drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
                     if !flush_outputs(&output, &mut out_buf)
                         || !publish_reliable(&metrics, (shard, stage.metrics()))
                     {
@@ -1020,18 +1040,42 @@ fn worker_loop<S: ShardStage>(
                     }
                 }
                 Directive::Shutdown => {
+                    drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
                     let _ = flush_outputs(&output, &mut out_buf);
                     return stage;
                 }
             }
         }
         // Batched handoff: one publish per input batch, not per record.
+        drain_run(&mut stage, &mut run_inputs, &mut run_stamps, &mut run_scratch, &mut out_buf);
         if !flush_outputs(&output, &mut out_buf) {
             // The coordinator's output consumer is gone: orderly exit
             // instead of retrying into the void forever.
             return stage;
         }
     }
+}
+
+/// Feeds the accumulated run through the stage's `on_batch` and re-zips
+/// the outputs with their stamps into `out_buf`, leaving the run buffers
+/// empty (allocations retained).
+fn drain_run<S: ShardStage>(
+    stage: &mut S,
+    inputs: &mut Vec<S::In>,
+    stamps: &mut Vec<(SeqStamp, Option<Instant>)>,
+    scratch: &mut Vec<S::Out>,
+    out_buf: &mut Vec<Stamped<S::Out>>,
+) {
+    if inputs.is_empty() {
+        return;
+    }
+    stage.on_batch(inputs, scratch);
+    debug_assert!(inputs.is_empty(), "on_batch must drain its inputs");
+    debug_assert_eq!(scratch.len(), stamps.len(), "on_batch must emit one output per input");
+    for ((stamp, submitted_at), value) in stamps.drain(..).zip(scratch.drain(..)) {
+        out_buf.push(Stamped { stamp, submitted_at, value });
+    }
+    inputs.clear();
 }
 
 /// Publishes the buffered outputs losslessly, retrying refused suffixes.

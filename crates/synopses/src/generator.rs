@@ -44,6 +44,17 @@ pub struct SynopsesState {
     pub emitted: u64,
 }
 
+/// Velocity components of one window entry, precomputed at insertion so
+/// the per-record mean-course query never redoes trigonometry or
+/// allocates. `eligible` caches the heading-noise-floor filter; ineligible
+/// entries carry zeroed components (never summed).
+#[derive(Debug, Clone, Copy)]
+struct CachedVelocity {
+    vx: f64,
+    vy: f64,
+    eligible: bool,
+}
+
 /// Streaming synopses generator for **one** entity (compose with
 /// `datacron_stream::KeyedOperator` for multiplexed streams).
 ///
@@ -54,6 +65,10 @@ pub struct SynopsesGenerator {
     cfg: SynopsesConfig,
     /// Recent reports within `cfg.window_s`.
     window: VecDeque<PositionReport>,
+    /// Per-entry velocity cache, kept in lockstep with `window` (same
+    /// pushes, pops and clears). Derived state: rebuilt from the window on
+    /// restore, never checkpointed.
+    vel_cache: VecDeque<CachedVelocity>,
     last: Option<PositionReport>,
     started: bool,
     /// Time a below-stop-speed streak began.
@@ -82,6 +97,7 @@ impl SynopsesGenerator {
         Self {
             cfg,
             window: VecDeque::new(),
+            vel_cache: VecDeque::new(),
             last: None,
             started: false,
             stop_candidate: None,
@@ -120,9 +136,15 @@ impl SynopsesGenerator {
 
     /// Rebuilds a generator from a checkpointed state and its config.
     pub fn restore(cfg: SynopsesConfig, state: SynopsesState) -> Self {
+        let vel_cache = state
+            .window
+            .iter()
+            .map(|r| Self::cached_velocity(&cfg, r))
+            .collect();
         Self {
             cfg,
             window: state.window.into_iter().collect(),
+            vel_cache,
             last: state.last,
             started: state.started,
             stop_candidate: state.stop_candidate,
@@ -172,19 +194,48 @@ impl SynopsesGenerator {
         Some(a.point.destination(a.heading_deg, a.speed_mps * dt))
     }
 
+    /// Computes the cached velocity entry for one report: trigonometry only
+    /// for samples above the heading noise floor.
+    fn cached_velocity(cfg: &SynopsesConfig, r: &PositionReport) -> CachedVelocity {
+        if r.speed_mps >= cfg.heading_noise_floor_mps {
+            let v = r.velocity();
+            CachedVelocity { vx: v.vx, vy: v.vy, eligible: true }
+        } else {
+            CachedVelocity { vx: 0.0, vy: 0.0, eligible: false }
+        }
+    }
+
+    /// Appends a report to the course window and its velocity cache.
+    fn window_push(&mut self, r: PositionReport) {
+        self.vel_cache.push_back(Self::cached_velocity(&self.cfg, &r));
+        self.window.push_back(r);
+    }
+
+    /// Invalidates the course window (gap, turn, speed change).
+    fn window_clear(&mut self) {
+        self.window.clear();
+        self.vel_cache.clear();
+    }
+
     /// Mean velocity vector over the recent window, excluding near-rest
-    /// samples (heading noise floor).
+    /// samples (heading noise floor). Sums the cached per-entry components
+    /// in window order — bit-identical to averaging freshly computed
+    /// velocities, with no per-call allocation or trigonometry.
     fn recent_mean_velocity(&self) -> Option<Velocity> {
-        let vs: Vec<Velocity> = self
-            .window
-            .iter()
-            .filter(|r| r.speed_mps >= self.cfg.heading_noise_floor_mps)
-            .map(|r| r.velocity())
-            .collect();
-        if vs.is_empty() {
+        let (mut vx, mut vy) = (0.0f64, 0.0f64);
+        let mut n = 0u64;
+        for c in &self.vel_cache {
+            if c.eligible {
+                vx += c.vx;
+                vy += c.vy;
+                n += 1;
+            }
+        }
+        if n == 0 {
             return None;
         }
-        Some(Velocity::mean(&vs))
+        let n = n as f64;
+        Some(Velocity { vx: vx / n, vy: vy / n })
     }
 
     /// Mean speed over the recent window.
@@ -215,7 +266,7 @@ impl SynopsesGenerator {
             self.airborne = r.altitude_m > self.cfg.ground_altitude_m;
             self.emit(out, r, CriticalKind::Start);
             self.anchor = Some(r);
-            self.window.push_back(r);
+            self.window_push(r);
             self.last = Some(r);
             return;
         }
@@ -227,7 +278,7 @@ impl SynopsesGenerator {
             self.emit(out, prev, CriticalKind::GapStart);
             self.emit(out, r, CriticalKind::GapEnd { silence_s: silence });
             // A gap invalidates the recent-course window.
-            self.window.clear();
+            self.window_clear();
         }
 
         // --- Takeoff / landing (aviation) ---
@@ -325,7 +376,7 @@ impl SynopsesGenerator {
                     };
                     self.emit(out, r, CriticalKind::ChangeInHeading { delta_deg: signed });
                     // Refocus the course window on the new direction.
-                    self.window.clear();
+                    self.window_clear();
                 }
             }
         }
@@ -338,7 +389,7 @@ impl SynopsesGenerator {
                     && Self::debounced(&mut self.last_speed_emit, r.ts, self.cfg.min_reissue_s)
                 {
                     self.emit(out, r, CriticalKind::SpeedChange { ratio });
-                    self.window.clear();
+                    self.window_clear();
                 }
             }
         }
@@ -369,7 +420,7 @@ impl SynopsesGenerator {
                         let mean = self.recent_mean_speed().unwrap_or(r.speed_mps).max(1e-6);
                         self.emit(out, r, CriticalKind::SpeedChange { ratio: (r.speed_mps - mean) / mean });
                     }
-                    self.window.clear();
+                    self.window_clear();
                 }
             }
         }
@@ -379,10 +430,11 @@ impl SynopsesGenerator {
         }
 
         // --- Window maintenance ---
-        self.window.push_back(r);
+        self.window_push(r);
         while let Some(front) = self.window.front() {
             if r.ts.delta_secs(&front.ts) > self.cfg.window_s {
                 self.window.pop_front();
+                self.vel_cache.pop_front();
             } else {
                 break;
             }

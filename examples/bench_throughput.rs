@@ -15,7 +15,7 @@
 //!     [--entities 64] [--reports 400] [--shards 1,2,4,8] [--seed 42] \
 //!     [--out BENCH_throughput.json] [--quick] [--no-metrics] \
 //!     [--metrics-out metrics.json] [--overhead-max 5] \
-//!     [--open-loop] [--rate 5000]
+//!     [--open-loop] [--rate 5000] [--stage-profile]
 //! ```
 //!
 //! `--quick` shrinks the workload for CI smoke runs (finishes in seconds).
@@ -42,7 +42,20 @@
 //! * `--overhead-max <pct>` interleaves metrics-on and metrics-off
 //!   single-threaded passes (best of 3 each), reports the throughput
 //!   overhead of instrumentation, and exits non-zero when it exceeds the
-//!   given percentage — the CI smoke gate.
+//!   given percentage — the CI smoke gate;
+//! * `--stage-profile` runs one extra single-threaded pass with stage
+//!   timing on **every** record (`stage_sample_every = 1`) and emits a
+//!   `stage_profile` object — per-stage `stage.*_ns` count/p50/p99 — into
+//!   the bench JSON, so a throughput regression can be attributed to a
+//!   stage without re-running under a profiler.
+//!
+//! The closed-loop single-threaded run measures the **batched** hot path
+//! (`ingest_batch` in 512-record chunks, outputs recycled into the layer's
+//! buffer pool) — the configuration the sharded workers also run. Its
+//! latency percentiles are chunk-completion latencies: a record is only
+//! "done" when its chunk's deferred publishes flush, so every record in a
+//! chunk is charged the full chunk duration. A per-record reference run
+//! (`single_per_record` in the JSON) keeps the unbatched figure visible.
 
 use datacron::core::realtime::RealTimeLayer;
 use datacron::core::sharded::ShardedRealTimeLayer;
@@ -66,6 +79,7 @@ struct Args {
     overhead_max: Option<f64>,
     open_loop: bool,
     rate: f64,
+    stage_profile: bool,
     out_is_default: bool,
 }
 
@@ -83,6 +97,7 @@ impl Args {
             overhead_max: None,
             open_loop: false,
             rate: 5000.0,
+            stage_profile: false,
             out_is_default: true,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -108,6 +123,7 @@ impl Args {
                 }
                 "--quick" => args.quick = true,
                 "--open-loop" => args.open_loop = true,
+                "--stage-profile" => args.stage_profile = true,
                 "--rate" => args.rate = value(&mut i).parse().expect("--rate"),
                 "--no-metrics" => args.no_metrics = true,
                 "--metrics-out" => args.metrics_out = Some(value(&mut i)),
@@ -378,16 +394,28 @@ fn run_single_open_loop(input: &[PositionReport], metrics: bool, rate: f64) -> R
     }
 }
 
-fn run_single(input: &[PositionReport], metrics: bool) -> (RunResult, MetricsSnapshot) {
-    let mut layer = RealTimeLayer::new(config(metrics), Vec::new(), Vec::new());
+/// Chunk size of the batched single-threaded measurement — matches the
+/// sharded submission chunk, so `single` and `sharded` exercise the same
+/// hot path with the same batch geometry.
+const SINGLE_BATCH: usize = 512;
+
+/// Closed-loop single-threaded measurement on the batched hot path:
+/// `ingest_batch` in [`SINGLE_BATCH`]-record chunks, every output recycled
+/// into the layer's buffer pool. Latencies are chunk-completion latencies
+/// (each record is charged its whole chunk's duration, since its deferred
+/// topic publishes land only at the chunk flush).
+fn run_single_with(input: &[PositionReport], cfg: DatacronConfig) -> (RunResult, MetricsSnapshot) {
+    let mut layer = RealTimeLayer::new(cfg, Vec::new(), Vec::new());
     let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
     let mut accepted = 0u64;
     let started = Instant::now();
-    for r in input {
+    for chunk in input.chunks(SINGLE_BATCH) {
         let t0 = Instant::now();
-        let out = layer.ingest(*r);
-        latencies_us.push(t0.elapsed().as_micros() as u64);
-        accepted += out.accepted as u64;
+        for out in layer.ingest_batch(chunk.iter().copied()) {
+            accepted += out.accepted as u64;
+            layer.recycle(out);
+        }
+        latencies_us.extend(std::iter::repeat_n(t0.elapsed().as_micros() as u64, chunk.len()));
     }
     let elapsed = started.elapsed();
     latencies_us.sort_unstable();
@@ -402,6 +430,64 @@ fn run_single(input: &[PositionReport], metrics: bool) -> (RunResult, MetricsSna
         max_reorder: 0,
     };
     (result, layer.metrics_snapshot())
+}
+
+fn run_single(input: &[PositionReport], metrics: bool) -> (RunResult, MetricsSnapshot) {
+    run_single_with(input, config(metrics))
+}
+
+/// Per-record reference: one `ingest` call per record, no batching — the
+/// pre-batch measurement, kept in the JSON so the batching gain stays
+/// visible (and honest: its latencies really are per-record).
+fn run_single_per_record(input: &[PositionReport], metrics: bool) -> RunResult {
+    let mut layer = RealTimeLayer::new(config(metrics), Vec::new(), Vec::new());
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(input.len());
+    let mut accepted = 0u64;
+    let started = Instant::now();
+    for r in input {
+        let t0 = Instant::now();
+        let out = layer.ingest(*r);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        accepted += out.accepted as u64;
+    }
+    let elapsed = started.elapsed();
+    latencies_us.sort_unstable();
+    RunResult {
+        shards: 0,
+        elapsed,
+        records: input.len(),
+        accepted,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+        max_reorder: 0,
+    }
+}
+
+/// The `--stage-profile` pass: one batched single-threaded run with stage
+/// timing on every record, rendered as a JSON object of per-stage
+/// `stage.*_ns` histograms (count, p50, p99 in nanoseconds). Always runs
+/// with metrics on — profiling an uninstrumented layer measures nothing.
+fn stage_profile_json(input: &[PositionReport]) -> String {
+    let mut cfg = config(true);
+    cfg.stage_sample_every = 1;
+    let (_, snapshot) = run_single_with(input, cfg);
+    let mut out = String::from("{\n    \"sample_every\": 1");
+    for (name, h) in snapshot.histograms() {
+        if !name.starts_with("stage.") {
+            continue;
+        }
+        let _ = write!(
+            out,
+            ",\n    \"{name}\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}",
+            h.count,
+            h.p50(),
+            h.p99()
+        );
+        println!("  {name:<20}: p50 {} ns, p99 {} ns ({} samples)", h.p50(), h.p99(), h.count);
+    }
+    out.push_str("\n  }");
+    out
 }
 
 /// Instrumentation overhead: interleaved metrics-on / metrics-off
@@ -423,28 +509,46 @@ fn measure_overhead(input: &[PositionReport], rounds: usize) -> (f64, f64, f64) 
     (best_on, best_off, pct)
 }
 
-fn json_entry(r: &RunResult, baseline: f64) -> String {
+/// One result entry. Sharded entries report `per_shard_records_per_sec`
+/// (throughput divided by shard count — the honest per-worker figure) and
+/// `speedup_vs_single_at_cores` only while the run fits the machine
+/// (`shards <= cores`); an oversubscribed sweep point time-slices cores,
+/// so a "speedup" there would compare unlike things. The batched single
+/// entry carries its `batch` size instead.
+fn json_entry(r: &RunResult, baseline: f64, cores: usize, batch: Option<usize>) -> String {
     let rps = records_per_sec(r.records, r.elapsed);
-    format!(
-        "{{\"shards\": {}, \"records_per_sec\": {:.1}, \"elapsed_ms\": {:.3}, \
-         \"speedup_vs_single\": {:.3}, \"accepted\": {}, \
-         \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \"max_reorder\": {}}}",
+    let mut out = format!(
+        "{{\"shards\": {}, \"records_per_sec\": {:.1}, \"elapsed_ms\": {:.3}",
         r.shards,
         rps,
         r.elapsed.as_secs_f64() * 1e3,
-        rps / baseline,
-        r.accepted,
-        r.p50_us,
-        r.p99_us,
-        r.max_us,
-        r.max_reorder,
-    )
+    );
+    if let Some(b) = batch {
+        let _ = write!(out, ", \"batch\": {b}");
+    }
+    if r.shards > 0 {
+        let _ = write!(out, ", \"per_shard_records_per_sec\": {:.1}", rps / r.shards as f64);
+        if r.shards <= cores {
+            let _ = write!(out, ", \"speedup_vs_single_at_cores\": {:.3}", rps / baseline);
+        }
+    }
+    let _ = write!(
+        out,
+        ", \"accepted\": {}, \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}, \
+         \"max_reorder\": {}}}",
+        r.accepted, r.p50_us, r.p99_us, r.max_us, r.max_reorder,
+    );
+    out
 }
 
 /// The open-loop latency experiment: paced arrivals at `--rate`, true
 /// per-record submit→merge percentiles, one JSON result file
 /// (`BENCH_latency.json` unless `--out` overrides).
 fn run_open_loop(args: &Args, input: &[PositionReport], metrics_enabled: bool, cores: usize) {
+    let stage_profile = args.stage_profile.then(|| {
+        println!("  stage profile (every record timed):");
+        stage_profile_json(input)
+    });
     let rate = args.rate;
     println!("  open-loop mode: paced at {rate:.0} records/s");
     // Warm-up (page in code and allocator arenas) before any measured pass.
@@ -494,11 +598,14 @@ fn run_open_loop(args: &Args, input: &[PositionReport], metrics_enabled: bool, c
         Some(w) => writeln!(json, "  \"max_in_flight\": {w},").unwrap(),
         None => writeln!(json, "  \"max_in_flight\": null,").unwrap(),
     }
-    writeln!(json, "  \"single\": {},", json_entry(&single, baseline)).unwrap();
+    if let Some(profile) = &stage_profile {
+        writeln!(json, "  \"stage_profile\": {profile},").unwrap();
+    }
+    writeln!(json, "  \"single\": {},", json_entry(&single, baseline, cores, None)).unwrap();
     writeln!(json, "  \"sharded\": [").unwrap();
     for (i, r) in sharded_results.iter().enumerate() {
         let sep = if i + 1 < sharded_results.len() { "," } else { "" };
-        writeln!(json, "    {}{}", json_entry(r, baseline), sep).unwrap();
+        writeln!(json, "    {}{}", json_entry(r, baseline, cores, None), sep).unwrap();
     }
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
@@ -528,19 +635,35 @@ fn main() {
     }
 
     // Warm-up pass (page in code and allocator arenas), then the measured
-    // single-threaded baseline.
+    // single-threaded baseline on the batched hot path.
     let _ = run_single(&input[..input.len().min(2048)], metrics_enabled);
     let (single, snapshot) = run_single(&input, metrics_enabled);
     let baseline = records_per_sec(single.records, single.elapsed);
     println!(
-        "  single-threaded : {:>9.0} rec/s  (p50 {} us, p99 {} us)",
+        "  single (batched): {:>9.0} rec/s  (chunk-completion p50 {} us, p99 {} us)",
         baseline, single.p50_us, single.p99_us
+    );
+    let per_record = run_single_per_record(&input, metrics_enabled);
+    assert_eq!(
+        per_record.accepted, single.accepted,
+        "batched and per-record single-threaded runs must accept identically"
+    );
+    println!(
+        "  single (record) : {:>9.0} rec/s  (p50 {} us, p99 {} us)",
+        records_per_sec(per_record.records, per_record.elapsed),
+        per_record.p50_us,
+        per_record.p99_us
     );
 
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, snapshot.to_json()).expect("write metrics snapshot");
         println!("wrote {path}");
     }
+
+    let stage_profile = args.stage_profile.then(|| {
+        println!("  stage profile (every record timed):");
+        stage_profile_json(&input)
+    });
 
     let mut sharded_results = Vec::new();
     for &shards in &args.shards {
@@ -550,10 +673,10 @@ fn main() {
             "sharded run must accept exactly the single-threaded records"
         );
         println!(
-            "  {:>2} shard(s)     : {:>9.0} rec/s  ({:.2}x, p50 {} us, p99 {} us, reorder {})",
+            "  {:>2} shard(s)     : {:>9.0} rec/s  ({:>8.0}/shard, p50 {} us, p99 {} us, reorder {})",
             shards,
             records_per_sec(r.records, r.elapsed),
-            records_per_sec(r.records, r.elapsed) / baseline,
+            records_per_sec(r.records, r.elapsed) / shards as f64,
             r.p50_us,
             r.p99_us,
             r.max_reorder
@@ -584,11 +707,17 @@ fn main() {
     if let Some((_, pct)) = overhead {
         writeln!(json, "  \"metrics_overhead_pct\": {pct:.3},").unwrap();
     }
-    writeln!(json, "  \"single\": {},", json_entry(&single, baseline)).unwrap();
+    if let Some(profile) = &stage_profile {
+        writeln!(json, "  \"stage_profile\": {profile},").unwrap();
+    }
+    writeln!(json, "  \"single\": {},", json_entry(&single, baseline, cores, Some(SINGLE_BATCH)))
+        .unwrap();
+    writeln!(json, "  \"single_per_record\": {},", json_entry(&per_record, baseline, cores, None))
+        .unwrap();
     writeln!(json, "  \"sharded\": [").unwrap();
     for (i, r) in sharded_results.iter().enumerate() {
         let sep = if i + 1 < sharded_results.len() { "," } else { "" };
-        writeln!(json, "    {}{}", json_entry(r, baseline), sep).unwrap();
+        writeln!(json, "    {}{}", json_entry(r, baseline, cores, None), sep).unwrap();
     }
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();

@@ -1,0 +1,277 @@
+//! Batch-vs-per-record equivalence: `RealTimeLayer::ingest_batch` (the
+//! columnar/deferred-publish hot path, with its compiled RDF lifter and
+//! recycled output buffers) must be **bit-identical** to calling
+//! `RealTimeLayer::ingest` once per record — per-record outputs, all six
+//! topic contents, end-of-stream flush, health, dead-letter labels and
+//! every count-typed metric — under chaotic input, with supervision
+//! panics in the middle of batches, through the columnar [`RecordBatch`]
+//! entry point, and through the sharded executor (whose workers run the
+//! batch path via `ShardStage::on_batch`).
+
+use datacron::core::realtime::{IngestOutput, RealTimeLayer};
+use datacron::core::sharded::ShardedRealTimeLayer;
+use datacron::core::DatacronConfig;
+use datacron::data::rng::SeededRng;
+use datacron::geo::{BoundingBox, EntityId, GeoPoint, Polygon, PositionReport, RecordBatch, Timestamp};
+use datacron::obs::MetricsSnapshot;
+use datacron::stream::faults::{ChaosSource, FaultPlan};
+use datacron::stream::parallel::ShardedConfig;
+
+const SEEDS: [u64; 4] = [7, 42, 1234, 0xDEAD_BEEF];
+/// Odd chunk size, so batch boundaries never align with entity or leg
+/// structure and plenty of entity state crosses them.
+const CHUNK: usize = 173;
+
+fn config() -> DatacronConfig {
+    DatacronConfig::maritime(BoundingBox::new(-6.0, 36.0, 6.0, 44.0))
+}
+
+type Context = (Vec<(u64, Polygon)>, Vec<(u64, GeoPoint)>);
+
+fn context() -> Context {
+    let regions = vec![
+        (7u64, Polygon::rect(BoundingBox::new(-1.0, 39.0, 1.0, 41.0))),
+        (8u64, Polygon::rect(BoundingBox::new(1.5, 37.5, 3.5, 39.5))),
+    ];
+    let ports = vec![(3u64, GeoPoint::new(0.0, 40.0)), (4u64, GeoPoint::new(2.0, 38.0))];
+    (regions, ports)
+}
+
+/// A seeded maneuvering fleet: legs of steady cruising punctuated by turns
+/// and speed changes, so every stage of the chain (synopses, area events,
+/// links, RDF, CEP-free) does real work.
+fn fleet(seed: u64) -> Vec<PositionReport> {
+    let mut rng = SeededRng::new(seed);
+    let entities = 10 + seed % 5;
+    let reports_each = 60i64;
+    struct Track {
+        pos: GeoPoint,
+        heading: f64,
+        speed: f64,
+        turn_in: i64,
+    }
+    let mut tracks: Vec<Track> = (0..entities)
+        .map(|_| Track {
+            pos: GeoPoint::new(rng.uniform(-2.0, 3.0), rng.uniform(38.0, 41.0)),
+            heading: rng.uniform(0.0, 360.0),
+            speed: rng.uniform(4.0, 12.0),
+            turn_in: rng.int_range(5, 20),
+        })
+        .collect();
+    let mut out = Vec::new();
+    for t in 0..reports_each {
+        for (e, track) in tracks.iter_mut().enumerate() {
+            track.turn_in -= 1;
+            if track.turn_in <= 0 {
+                track.heading = (track.heading + rng.uniform(-120.0, 120.0)).rem_euclid(360.0);
+                track.speed = (track.speed + rng.uniform(-3.0, 3.0)).clamp(1.0, 15.0);
+                track.turn_in = rng.int_range(5, 20);
+            }
+            track.pos = track.pos.destination(track.heading, track.speed * 10.0);
+            out.push(PositionReport {
+                speed_mps: track.speed,
+                heading_deg: track.heading,
+                ..PositionReport::basic(
+                    EntityId::vessel(e as u64),
+                    Timestamp::from_secs(t * 10),
+                    track.pos,
+                )
+            });
+        }
+    }
+    out
+}
+
+/// The chaos-wrapped input of a seed, materialised once so both runs see
+/// byte-identical records.
+fn chaotic_input(seed: u64) -> Vec<PositionReport> {
+    ChaosSource::new(fleet(seed).into_iter(), FaultPlan::chaos(seed)).collect()
+}
+
+/// A per-entity stage that panics on one poisoned entity, exercising
+/// supervision (restarts, quarantine, dead letters) mid-batch.
+fn poison_stage(r: &PositionReport) {
+    assert!(r.entity != EntityId::vessel(3), "poison record");
+}
+
+fn make_layer(poisoned: bool) -> RealTimeLayer {
+    let (regions, ports) = context();
+    let mut layer = RealTimeLayer::new(config(), regions, ports);
+    if poisoned {
+        layer.attach_entity_stage(poison_stage);
+    }
+    layer
+}
+
+/// Everything observable about a completed run, in comparable (Debug)
+/// form. Debug spells every `f64` bit-faithfully, and NaN == NaN as text,
+/// which chaos-corrupted records require.
+struct RunTrace {
+    outputs: Vec<String>,
+    flush: String,
+    health: String,
+    counters: MetricsSnapshot,
+    topics: Vec<String>,
+}
+
+/// Captures the run's aggregate state. Counter snapshot is taken before
+/// draining the topics (drains bump topic `consumed` stats).
+fn finish_trace(mut layer: RealTimeLayer, outputs: Vec<String>) -> RunTrace {
+    let flush = format!("{:?}", layer.flush());
+    let health = format!("{:?}", layer.health());
+    let counters = layer.metrics_snapshot().counters_only();
+    let topics = vec![
+        format!("{:?}", layer.cleaned.consumer().drain().expect("no lag")),
+        format!("{:?}", layer.critical.consumer().drain().expect("no lag")),
+        format!("{:?}", layer.area_events.consumer().drain().expect("no lag")),
+        format!("{:?}", layer.triples.consumer().drain().expect("no lag")),
+        format!("{:?}", layer.links.consumer().drain().expect("no lag")),
+        format!("{:?}", layer.dead_letters.consumer().drain().expect("no lag")),
+    ];
+    RunTrace { outputs, flush, health, counters, topics }
+}
+
+/// Reference arm: one `ingest` call per record.
+fn trace_per_record(input: &[PositionReport], poisoned: bool) -> RunTrace {
+    let mut layer = make_layer(poisoned);
+    let outputs = input.iter().map(|r| format!("{:?}", layer.ingest(*r))).collect();
+    finish_trace(layer, outputs)
+}
+
+/// Batch arm: `ingest_batch` in CHUNK-sized slices, recycling every output
+/// back into the layer's buffer pool (recycling must never change what a
+/// later record produces).
+fn trace_batched(input: &[PositionReport], poisoned: bool) -> RunTrace {
+    let mut layer = make_layer(poisoned);
+    let mut outputs = Vec::with_capacity(input.len());
+    for chunk in input.chunks(CHUNK) {
+        for out in layer.ingest_batch(chunk.iter().copied()) {
+            outputs.push(format!("{out:?}"));
+            layer.recycle(out);
+        }
+    }
+    finish_trace(layer, outputs)
+}
+
+/// Columnar arm: rows packed into a reused [`RecordBatch`] and ingested
+/// through `ingest_record_batch`.
+fn trace_columnar(input: &[PositionReport], poisoned: bool) -> RunTrace {
+    let mut layer = make_layer(poisoned);
+    let mut outputs = Vec::with_capacity(input.len());
+    let mut batch = RecordBatch::with_capacity(CHUNK);
+    for chunk in input.chunks(CHUNK) {
+        batch.clear();
+        for r in chunk {
+            batch.push(*r);
+        }
+        for out in layer.ingest_record_batch(&batch) {
+            outputs.push(format!("{out:?}"));
+            layer.recycle(out);
+        }
+    }
+    finish_trace(layer, outputs)
+}
+
+const TOPIC_NAMES: [&str; 6] = ["cleaned", "critical", "area_events", "triples", "links", "dead_letters"];
+
+fn assert_traces_match(reference: &RunTrace, got: &RunTrace, label: &str) {
+    assert_eq!(got.outputs.len(), reference.outputs.len(), "{label}: output count");
+    for (i, (g, e)) in got.outputs.iter().zip(&reference.outputs).enumerate() {
+        assert_eq!(g, e, "{label}: output {i} must be bit-identical");
+    }
+    assert_eq!(got.flush, reference.flush, "{label}: end-of-stream flush");
+    assert_eq!(got.health, reference.health, "{label}: health report");
+    assert_eq!(got.counters, reference.counters, "{label}: count-typed metrics");
+    for (name, (g, e)) in TOPIC_NAMES.iter().zip(got.topics.iter().zip(&reference.topics)) {
+        assert_eq!(g, e, "{label}: {name} topic contents");
+    }
+}
+
+#[test]
+fn batch_path_is_bit_identical_to_per_record_under_chaos() {
+    for seed in SEEDS {
+        let input = chaotic_input(seed);
+        let reference = trace_per_record(&input, false);
+        assert!(
+            reference.outputs.iter().any(|o| o.contains("ChangeInHeading")),
+            "seed {seed}: the fleet must exercise the synopses stage"
+        );
+        let batched = trace_batched(&input, false);
+        assert_traces_match(&reference, &batched, &format!("chaos seed {seed}"));
+    }
+}
+
+#[test]
+fn columnar_record_batches_match_per_record() {
+    for seed in [SEEDS[0], SEEDS[1]] {
+        let input = chaotic_input(seed);
+        let reference = trace_per_record(&input, false);
+        let columnar = trace_columnar(&input, false);
+        assert_traces_match(&reference, &columnar, &format!("columnar seed {seed}"));
+    }
+}
+
+#[test]
+fn batch_path_matches_under_supervision_panics() {
+    // A poisoned entity panics inside the supervised section on every
+    // record: restarts, quarantine and panic dead-letters all land
+    // mid-batch and must replay identically.
+    let seed = SEEDS[2];
+    let input = chaotic_input(seed);
+    let reference = trace_per_record(&input, true);
+    assert!(
+        reference.health.contains("quarantined_entities: 1"),
+        "seed {seed}: the poisoned entity must be quarantined in the reference run"
+    );
+    let batched = trace_batched(&input, true);
+    assert_traces_match(&reference, &batched, &format!("poisoned chaos seed {seed}"));
+}
+
+#[test]
+fn sharded_workers_on_the_batch_path_match_single_threaded() {
+    // Sharded workers now run `ingest_batch` via `ShardStage::on_batch`;
+    // the merged output stream must still be positionally identical to the
+    // single-threaded per-record reference.
+    for (seed, shards) in [(SEEDS[0], 2usize), (SEEDS[3], 4usize)] {
+        let input = chaotic_input(seed);
+        let mut single = make_layer(true);
+        let expect: Vec<IngestOutput> = input.iter().map(|r| single.ingest(*r)).collect();
+        let expect_flush = single.flush();
+        let expect_health = single.health();
+
+        let (regions, ports) = context();
+        let mut sharded = ShardedRealTimeLayer::with_setup(
+            config(),
+            regions,
+            ports,
+            ShardedConfig::with_shards(shards),
+            |layer| layer.attach_entity_stage(poison_stage),
+        );
+        let mut got = Vec::new();
+        for chunk in input.chunks(256) {
+            sharded.ingest_batch(chunk.iter().copied());
+            got.extend(sharded.poll_outputs());
+        }
+        let flush = sharded.flush();
+        let done = sharded.finish();
+        got.extend(done.outputs);
+
+        let label = format!("seed {seed}, {shards} shards");
+        assert_eq!(done.merged, input.len() as u64, "{label}: lossless merge");
+        assert_eq!(done.duplicates, 0, "{label}: exactly-once");
+        assert_eq!(got.len(), expect.len(), "{label}");
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(
+                format!("{:?}", g.output),
+                format!("{e:?}"),
+                "{label}: output {i} must be bit-identical"
+            );
+        }
+        assert_eq!(format!("{flush:?}"), format!("{expect_flush:?}"), "{label}: flush");
+        assert_eq!(
+            format!("{:?}", done.health),
+            format!("{expect_health:?}"),
+            "{label}: merged health"
+        );
+    }
+}

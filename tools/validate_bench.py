@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a bench_throughput result against schemas/bench_throughput.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type, const, required, properties,
+additionalProperties, minimum, items, minItems — then layers on the
+semantic cross-checks a shape schema cannot express: latency quantile
+ordering, determinism of the accepted set across every configuration, and
+per-shard throughput consistency. CI runs this against the smoke result;
+it is also handy locally:
+
+    python3 tools/validate_bench.py BENCH_throughput.json schemas/bench_throughput.schema.json
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"FAIL at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    ok = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "boolean": lambda v: isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+    }.get(expected)
+    if ok is None:
+        fail(path, f"schema uses unsupported type {expected!r}")
+    if not ok(value):
+        fail(path, f"expected {expected}, got {type(value).__name__}: {value!r}")
+
+
+def validate(value, schema, path=""):
+    if "type" in schema:
+        check_type(value, schema["type"], path)
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}" if path else name
+            if name in props:
+                validate(item, props[name], sub)
+            elif isinstance(extra, dict):
+                validate(item, extra, sub)
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+
+def check_entry(e, path):
+    lat = e["latency_us"]
+    assert lat["max"] >= lat["p99"] >= lat["p50"], f"{path}: latency quantiles out of order: {lat}"
+    assert e["records_per_sec"] > 0, f"{path}: zero throughput"
+    assert e["elapsed_ms"] > 0, f"{path}: zero elapsed time"
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(f"usage: {sys.argv[0]} <bench.json> <schema.json>")
+    with open(sys.argv[1]) as f:
+        result = json.load(f)
+    with open(sys.argv[2]) as f:
+        schema = json.load(f)
+    validate(result, schema)
+
+    single = result["single"]
+    check_entry(single, "single")
+    per_record = result["single_per_record"]
+    check_entry(per_record, "single_per_record")
+    assert per_record["accepted"] == single["accepted"], \
+        "determinism: batched and per-record single runs must accept the same set"
+    for i, e in enumerate(result["sharded"]):
+        path = f"sharded[{i}]"
+        check_entry(e, path)
+        assert e["accepted"] == single["accepted"], \
+            f"{path}: determinism: same accepted set as single"
+        expected = e["records_per_sec"] / e["shards"]
+        assert abs(e["per_shard_records_per_sec"] - expected) <= max(1.0, expected * 1e-3), \
+            f"{path}: per_shard_records_per_sec inconsistent with records_per_sec / shards"
+        if "speedup_vs_single_at_cores" in e:
+            assert e["shards"] <= result["cores"], \
+                f"{path}: speedup reported for an oversubscribed run ({e['shards']} shards, " \
+                f"{result['cores']} cores)"
+    sweep = {e["shards"]: round(e["records_per_sec"]) for e in result["sharded"]}
+    print(f"OK: single {single['records_per_sec']:.0f} rec/s (batch {single['batch']}), "
+          f"per-record {per_record['records_per_sec']:.0f} rec/s, sharded {sweep}")
+
+
+if __name__ == "__main__":
+    main()
