@@ -34,6 +34,9 @@
 //!   run's outputs are bit-identical to an uninterrupted one.
 //! * [`batch`] — the batch layer: drains the real-time topics into the
 //!   spatio-temporal knowledge store and answers star queries.
+//! * [`kg`] — the live knowledge-graph subsystem: the `triples` topic
+//!   drained into a streaming store with snapshot isolation and
+//!   continuous star-join subscriptions.
 //! * [`offline`] — the batch-layer analytics: trajectory reconstruction
 //!   from the store, route clustering, and frequent event-sequence mining.
 //! * [`system`] — the assembled system plus the live situation picture
@@ -42,12 +45,14 @@
 pub mod batch;
 pub mod config;
 pub mod durable;
+pub mod kg;
 pub mod offline;
 pub mod realtime;
 pub mod sharded;
 pub mod system;
 
 pub use batch::BatchLayer;
+pub use kg::{KgHealth, LiveKg, LiveKgConfig};
 pub use config::{DatacronConfig, Domain};
 pub use durable::{DurabilityConfig, DurabilityHealth, RecoveryReport, SystemState};
 pub use realtime::{

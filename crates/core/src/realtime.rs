@@ -131,6 +131,10 @@ pub struct HealthReport {
     /// this layer (attach via [`HealthReport::with_net`]; `None` for
     /// purely in-process ingestion).
     pub net: Option<datacron_net::NetHealth>,
+    /// Live knowledge-graph counters, when a [`LiveKg`](crate::kg::LiveKg)
+    /// drains this layer's triples (attach via [`HealthReport::with_kg`];
+    /// `None` otherwise and for per-shard reports).
+    pub kg: Option<crate::kg::KgHealth>,
 }
 
 impl HealthReport {
@@ -147,6 +151,17 @@ impl HealthReport {
             self.status = ComponentStatus::Degraded;
         }
         self.net = Some(net);
+        self
+    }
+
+    /// Attach the live knowledge-graph section (from `LiveKg::health()`).
+    /// Lost triples mark the layer `Degraded` unless something worse is
+    /// already reported.
+    pub fn with_kg(mut self, kg: crate::kg::KgHealth) -> Self {
+        if !kg.is_clean() && self.status == ComponentStatus::Ok {
+            self.status = ComponentStatus::Degraded;
+        }
+        self.kg = Some(kg);
         self
     }
 }
@@ -953,7 +968,13 @@ impl RealTimeLayer {
             topics,
             durability: None,
             net: None,
+            kg: None,
         }
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &DatacronConfig {
+        &self.config
     }
 
     /// The layer's instrument registry — the place for adjacent subsystems

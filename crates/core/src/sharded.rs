@@ -29,9 +29,11 @@
 //! sort by entity id.
 
 use crate::config::DatacronConfig;
+use crate::kg::{LiveKg, LiveKgConfig};
 use crate::realtime::{
     ComponentStatus, HealthReport, IngestOutput, LayerState, RealTimeLayer, RejectReason,
 };
+use std::sync::Arc;
 use datacron_geo::{GeoPoint, Polygon, PositionReport};
 use datacron_obs::MetricsSnapshot;
 use datacron_stream::bus::TopicHealth;
@@ -151,6 +153,9 @@ pub struct ShardedShutdown {
 /// concurrently and reassembled deterministically.
 pub struct ShardedRealTimeLayer {
     exec: ShardedExecutor<RealTimeShard>,
+    /// Live KG draining every shard's `triples` topic; `None` unless built
+    /// via [`with_live_kg`](Self::with_live_kg).
+    kg: Option<Arc<LiveKg>>,
 }
 
 impl ShardedRealTimeLayer {
@@ -181,7 +186,40 @@ impl ShardedRealTimeLayer {
             setup(&mut layer);
             RealTimeShard { layer }
         });
-        Self { exec }
+        Self { exec, kg: None }
+    }
+
+    /// Like [`new`](Self::new), but with the live knowledge-graph
+    /// subsystem attached: every shard's `triples` topic is re-bounded
+    /// (blocking backpressure, never silent loss) and drained into one
+    /// shared [`LiveKg`] at the layer's barrier points
+    /// ([`poll_outputs`](Self::poll_outputs), [`flush`](Self::flush),
+    /// [`health`](Self::health), [`metrics`](Self::metrics),
+    /// [`checkpoint`](Self::checkpoint), [`finish`](Self::finish)).
+    /// Subscribe and query through the returned handle. Count-typed
+    /// `kg.*` series are bit-identical to a single-threaded run over the
+    /// same input.
+    pub fn with_live_kg(
+        config: DatacronConfig,
+        regions: Vec<(u64, Polygon)>,
+        ports: Vec<(u64, GeoPoint)>,
+        options: ShardedConfig,
+        kg_config: LiveKgConfig,
+    ) -> (Self, Arc<LiveKg>) {
+        let kg = LiveKg::new(&config, kg_config);
+        let attach_kg = kg.clone();
+        let mut layer = Self::with_setup(config, regions, ports, options, move |shard_layer| {
+            attach_kg.attach(shard_layer);
+        });
+        layer.kg = Some(kg.clone());
+        (layer, kg)
+    }
+
+    /// Drains pending triples into the live KG, when attached.
+    fn drain_kg(&self) {
+        if let Some(kg) = &self.kg {
+            kg.drain();
+        }
     }
 
     /// Rebuilds a sharded layer from per-shard checkpoint states (one
@@ -213,7 +251,7 @@ impl ShardedRealTimeLayer {
             layer.restore_state(state);
             RealTimeShard { layer }
         });
-        Self { exec }
+        Self { exec, kg: None }
     }
 
     /// The shard count.
@@ -243,7 +281,9 @@ impl ShardedRealTimeLayer {
     /// Takes every output whose global order is already reassembled, in
     /// submission order. Non-blocking.
     pub fn poll_outputs(&mut self) -> Vec<ShardOutput> {
-        self.exec.poll()
+        let out = self.exec.poll();
+        self.drain_kg();
+        out
     }
 
     /// Like [`poll_outputs`](Self::poll_outputs), but parks event-driven
@@ -251,7 +291,9 @@ impl ShardedRealTimeLayer {
     /// is ready — the low-latency way for a paced consumer to observe
     /// merges the moment they happen.
     pub fn poll_outputs_timeout(&mut self, timeout: std::time::Duration) -> Vec<ShardOutput> {
-        self.exec.poll_timeout(timeout)
+        let out = self.exec.poll_timeout(timeout);
+        self.drain_kg();
+        out
     }
 
     /// End-of-stream flush barrier: every shard finishes its queued
@@ -260,6 +302,9 @@ impl ShardedRealTimeLayer {
     /// [`RealTimeLayer::flush`] output exactly.
     pub fn flush(&mut self) -> Vec<CriticalPoint> {
         let mut all: Vec<CriticalPoint> = self.exec.flush_all().into_iter().flatten().collect();
+        // The flush barrier published every trailing triple; move them
+        // into the live KG before handing control back.
+        self.drain_kg();
         // Entities are disjoint across shards and each shard flushes its
         // own in sorted order, so a stable sort by entity reproduces the
         // single-threaded order (per-entity emission order preserved).
@@ -270,7 +315,18 @@ impl ShardedRealTimeLayer {
     /// Snapshot barrier: every shard finishes its queued records and
     /// reports health; the reports are merged into one layer-wide view.
     pub fn health(&mut self) -> HealthReport {
-        merge_health(&self.exec.snapshot_all())
+        if self.kg.is_some() {
+            // First barrier: every queued record is processed and its
+            // triples published. Drain, then snapshot again so consumed
+            // counters match a single-threaded drain-per-ingest run.
+            let _ = self.exec.snapshot_all();
+            self.drain_kg();
+        }
+        let mut merged = merge_health(&self.exec.snapshot_all());
+        if let Some(kg) = &self.kg {
+            merged = merged.with_kg(kg.health());
+        }
+        merged
     }
 
     /// Per-shard health reports, in shard order (snapshot barrier).
@@ -285,11 +341,21 @@ impl ShardedRealTimeLayer {
     /// count-typed series equal a single-threaded [`RealTimeLayer`]'s over
     /// the same input, bit for bit.
     pub fn metrics(&mut self) -> MetricsSnapshot {
+        if self.kg.is_some() {
+            // Same two-step as `health`: settle the pipeline, drain the
+            // triples, then snapshot — `topic.triples.consumed` equals a
+            // single-threaded run's at the same point in the stream.
+            let _ = self.exec.metrics_all();
+            self.drain_kg();
+        }
         let mut merged = MetricsSnapshot::new();
         for snap in self.exec.metrics_all() {
             merged.merge(&snap);
         }
         merged.merge(&self.exec.obs_snapshot());
+        if let Some(kg) = &self.kg {
+            merged.merge(&kg.metrics_snapshot());
+        }
         merged
     }
 
@@ -306,7 +372,9 @@ impl ShardedRealTimeLayer {
     /// call is reflected, none after — and feed
     /// [`with_states`](Self::with_states) to resume a run.
     pub fn checkpoint(&mut self) -> Vec<LayerState> {
-        self.exec.checkpoint_all()
+        let states = self.exec.checkpoint_all();
+        self.drain_kg();
+        states
     }
 
     /// Shuts the shards down, drains every in-flight record and returns
@@ -317,10 +385,19 @@ impl ShardedRealTimeLayer {
         let run = self.exec.finish();
         let layers: Vec<RealTimeLayer> =
             run.stages.into_iter().map(RealTimeShard::into_inner).collect();
+        // Workers are done: one final drain moves every remaining triple
+        // into the live KG before health is computed from the layers.
+        if let Some(kg) = &self.kg {
+            kg.drain();
+        }
         let healths: Vec<HealthReport> = layers.iter().map(|l| l.health()).collect();
+        let mut health = merge_health(&healths);
+        if let Some(kg) = &self.kg {
+            health = health.with_kg(kg.health());
+        }
         ShardedShutdown {
             outputs: run.outputs,
-            health: merge_health(&healths),
+            health,
             submitted: run.submitted,
             merged: run.merged,
             late: run.late,

@@ -8,9 +8,11 @@
 use crate::batch::BatchLayer;
 use crate::config::DatacronConfig;
 use crate::durable::{self, DurabilityHealth, DurabilityRuntime};
+use crate::kg::{LiveKg, LiveKgConfig};
 use crate::realtime::{HealthReport, IngestOutput, RealTimeLayer};
 use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, Timestamp};
 use datacron_store::StoreConfig;
+use std::sync::Arc;
 
 /// One entity's row in the situation picture.
 #[derive(Debug, Clone)]
@@ -57,6 +59,9 @@ pub struct DatacronSystem {
     /// Write-ahead log + checkpoint runtime; `None` until
     /// [`enable_durability`](Self::enable_durability).
     pub(crate) durability: Option<DurabilityRuntime>,
+    /// Live knowledge-graph runtime; `None` until
+    /// [`enable_live_kg`](Self::enable_live_kg).
+    pub(crate) kg: Option<Arc<LiveKg>>,
 }
 
 impl DatacronSystem {
@@ -78,7 +83,26 @@ impl DatacronSystem {
             total_area_events: 0,
             as_of: Timestamp(0),
             durability: None,
+            kg: None,
         }
+    }
+
+    /// Enables the live knowledge-graph subsystem: the `triples` topic is
+    /// re-bounded (blocking backpressure, never silent loss) and drained
+    /// into a [`LiveKg`] on every ingest and batch sync. Must be called
+    /// before any report is ingested. Returns the KG handle for
+    /// subscriptions and snapshot queries.
+    pub fn enable_live_kg(&mut self, kg_config: LiveKgConfig) -> Arc<LiveKg> {
+        let kg = LiveKg::new(self.realtime.config(), kg_config);
+        kg.attach(&mut self.realtime);
+        self.kg = Some(kg.clone());
+        kg
+    }
+
+    /// The live KG handle, when [`enable_live_kg`](Self::enable_live_kg)
+    /// was called.
+    pub fn kg(&self) -> Option<&Arc<LiveKg>> {
+        self.kg.as_ref()
     }
 
     /// Ingests one report through the real-time layer. With durability
@@ -92,13 +116,20 @@ impl DatacronSystem {
         let out = self.realtime.ingest(report);
         self.total_detections += out.cep_detections as u64;
         self.total_area_events += out.area_events.len() as u64;
+        if let Some(kg) = &self.kg {
+            kg.drain();
+        }
         durable::maybe_checkpoint(self);
         out
     }
 
     /// Periodic batch sync (the Figure-2 arrow from the stream into the
-    /// store). Returns ingested nodes.
+    /// store). Returns ingested nodes. Also drains any pending triples
+    /// into the live KG (including end-of-stream flush output).
     pub fn sync_batch(&mut self) -> u64 {
+        if let Some(kg) = &self.kg {
+            kg.drain();
+        }
         self.batch.sync()
     }
 
@@ -141,11 +172,16 @@ impl DatacronSystem {
     /// [`to_json`](datacron_obs::MetricsSnapshot::to_json) or
     /// [`to_prometheus`](datacron_obs::MetricsSnapshot::to_prometheus).
     pub fn metrics(&self) -> datacron_obs::MetricsSnapshot {
-        self.realtime.metrics_snapshot()
+        let mut snap = self.realtime.metrics_snapshot();
+        if let Some(kg) = &self.kg {
+            snap.merge(&kg.metrics_snapshot());
+        }
+        snap
     }
 
     /// The real-time layer's current health report, with durability
-    /// counters filled in when durability is enabled.
+    /// counters filled in when durability is enabled and the live-KG
+    /// section when the live KG is enabled.
     pub fn health(&self) -> HealthReport {
         let mut report = self.realtime.health();
         if let Some(rt) = &self.durability {
@@ -153,6 +189,9 @@ impl DatacronSystem {
                 logged: self.total_reports,
                 last_checkpoint: rt.last_checkpoint,
             });
+        }
+        if let Some(kg) = &self.kg {
+            report = report.with_kg(kg.health());
         }
         report
     }

@@ -124,6 +124,46 @@ pub fn star_query(arms: &[(Term, PatternTerm)]) -> Vec<QueryPattern> {
         .collect()
 }
 
+/// Recognises a BGP as a *star*: every pattern shares one subject
+/// variable, every predicate is constant, and each object is either a
+/// constant or a variable that appears nowhere else (so the arm is an
+/// existence test). Returns the `(predicate, object)` arm list — `None`
+/// object for open arms — which is exactly the shape the store's
+/// encoded-id executor (`StarQuery`) accepts; returns `None` for anything
+/// else (the general [`evaluate`] path handles those).
+pub fn as_star(patterns: &[QueryPattern]) -> Option<Vec<(Term, Option<Term>)>> {
+    if patterns.is_empty() {
+        return None;
+    }
+    let PatternTerm::Var(subject) = &patterns[0].s else {
+        return None;
+    };
+    // Object variables must be distinct from the subject and from each
+    // other: a repeated variable is a join, not an existence test.
+    let mut seen_vars = std::collections::HashSet::new();
+    let mut arms = Vec::with_capacity(patterns.len());
+    for pat in patterns {
+        match &pat.s {
+            PatternTerm::Var(v) if v == subject => {}
+            _ => return None,
+        }
+        let PatternTerm::Const(p) = &pat.p else {
+            return None;
+        };
+        let o = match &pat.o {
+            PatternTerm::Const(t) => Some(t.clone()),
+            PatternTerm::Var(v) => {
+                if v == subject || !seen_vars.insert(v.clone()) {
+                    return None;
+                }
+                None
+            }
+        };
+        arms.push((p.clone(), o));
+    }
+    Some(arms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +255,71 @@ mod tests {
         let sols = evaluate(&g, &[]);
         assert_eq!(sols.len(), 1);
         assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn star_queries_are_recognised() {
+        let q = star_query(&[
+            (Term::iri("type"), PatternTerm::iri("Vessel")),
+            (Term::iri("flag"), PatternTerm::var("flag")),
+        ]);
+        let arms = as_star(&q).expect("star shape");
+        assert_eq!(
+            arms,
+            vec![
+                (Term::iri("type"), Some(Term::iri("Vessel"))),
+                (Term::iri("flag"), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_star_shapes_are_rejected() {
+        // Different subject variables.
+        let q = vec![
+            QueryPattern::new(PatternTerm::var("s"), PatternTerm::iri("p"), PatternTerm::iri("o")),
+            QueryPattern::new(PatternTerm::var("t"), PatternTerm::iri("p"), PatternTerm::iri("o")),
+        ];
+        assert!(as_star(&q).is_none());
+        // Constant subject.
+        let q = vec![QueryPattern::new(PatternTerm::iri("a"), PatternTerm::iri("p"), PatternTerm::var("o"))];
+        assert!(as_star(&q).is_none());
+        // Variable predicate.
+        let q = vec![QueryPattern::new(PatternTerm::var("s"), PatternTerm::var("p"), PatternTerm::iri("o"))];
+        assert!(as_star(&q).is_none());
+        // Object variable repeated across arms (a join, not a star arm).
+        let q = vec![
+            QueryPattern::new(PatternTerm::var("s"), PatternTerm::iri("p"), PatternTerm::var("x")),
+            QueryPattern::new(PatternTerm::var("s"), PatternTerm::iri("q"), PatternTerm::var("x")),
+        ];
+        assert!(as_star(&q).is_none());
+        // Object variable equal to the subject.
+        let q = vec![QueryPattern::new(PatternTerm::var("s"), PatternTerm::iri("p"), PatternTerm::var("s"))];
+        assert!(as_star(&q).is_none());
+        // Empty BGP.
+        assert!(as_star(&[]).is_none());
+    }
+
+    #[test]
+    fn as_star_agrees_with_evaluate_on_subjects() {
+        let g = sample();
+        let q = star_query(&[
+            (Term::iri("type"), PatternTerm::iri("Vessel")),
+            (Term::iri("flag"), PatternTerm::var("flag")),
+        ]);
+        let arms = as_star(&q).expect("star shape");
+        // The extracted arms, evaluated naively over the graph, bind the
+        // same subject set as the general evaluator.
+        let via_eval: std::collections::HashSet<Term> =
+            evaluate(&g, &q).into_iter().map(|b| b["s"].clone()).collect();
+        let via_arms: std::collections::HashSet<Term> = g
+            .matching(None, None, None)
+            .iter()
+            .map(|t| t.s.clone())
+            .filter(|s| {
+                arms.iter().all(|(p, o)| !g.matching(Some(s), Some(p), o.as_ref()).is_empty())
+            })
+            .collect();
+        assert_eq!(via_eval, via_arms);
     }
 }

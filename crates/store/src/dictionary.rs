@@ -134,8 +134,11 @@ impl Dictionary {
     }
 
     /// Translates st-cell ranges into *id ranges* over the st id class.
+    /// The output is sorted and **coalesced** (overlapping or adjacent
+    /// input ranges merge into one), which is exactly the precondition
+    /// [`id_in_ranges`](Self::id_in_ranges) needs.
     pub fn id_ranges(ranges: &[IdRange]) -> Vec<(TermId, TermId)> {
-        ranges
+        let mut out: Vec<(TermId, TermId)> = ranges
             .iter()
             .map(|r| {
                 (
@@ -143,10 +146,21 @@ impl Dictionary {
                     ST_FLAG | (r.hi.0 << SEQ_BITS) | SEQ_MASK,
                 )
             })
-            .collect()
+            .collect();
+        out.sort_unstable();
+        let mut merged: Vec<(TermId, TermId)> = Vec::with_capacity(out.len());
+        for (lo, hi) in out {
+            match merged.last_mut() {
+                Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
     }
 
-    /// Binary-search membership of an id in sorted id ranges.
+    /// Binary-search membership of an id in sorted, **disjoint** id ranges
+    /// (as produced by [`id_ranges`](Self::id_ranges); with overlapping
+    /// ranges the search could land past the containing one).
     pub fn id_in_ranges(sorted_ranges: &[(TermId, TermId)], id: TermId) -> bool {
         let idx = sorted_ranges.partition_point(|&(lo, _)| lo <= id);
         idx > 0 && id <= sorted_ranges[idx - 1].1

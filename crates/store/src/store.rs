@@ -57,6 +57,14 @@ pub struct QueryStats {
     pub results: u64,
 }
 
+/// The subject-to-partition hash shared by the batch store and the live
+/// store, so both place any given subject in the same partition.
+/// Multiplicative hash so st ids (which share high bits per cell) still
+/// spread across partitions.
+pub(crate) fn partition_index(s: TermId, partitions: usize) -> usize {
+    (s.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % partitions
+}
+
 /// The partitioned, dictionary-encoded triple store.
 pub struct KnowledgeStore {
     config: StoreConfig,
@@ -87,9 +95,7 @@ impl KnowledgeStore {
     }
 
     fn partition_of(&self, s: TermId) -> usize {
-        // Multiplicative hash so st ids (which share high bits per cell)
-        // still spread across partitions.
-        (s.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.config.partitions
+        partition_index(s, self.config.partitions)
     }
 
     /// Ingests an ordinary triple.

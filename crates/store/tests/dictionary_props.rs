@@ -1,0 +1,163 @@
+//! Property tests for the dictionary encoding: round-trips, anchor
+//! stability, and id-range membership edge cases.
+
+use datacron_geo::stcell::IdRange;
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint, StCellEncoder, StCellId, Timestamp};
+use datacron_rdf::term::Term;
+use datacron_store::Dictionary;
+use proptest::prelude::*;
+
+const ST_FLAG: u64 = 1 << 63;
+const SEQ_BITS: u32 = 24;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+fn dict() -> Dictionary {
+    let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 16, 16);
+    Dictionary::new(StCellEncoder::new(grid, Timestamp(0), 60_000))
+}
+
+/// Sorted id ranges from raw cell bounds, the way query pushdown builds
+/// them.
+fn ranges_of(cells: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let raw: Vec<IdRange> = cells
+        .iter()
+        .map(|&(a, b)| IdRange {
+            lo: StCellId(a.min(b)),
+            hi: StCellId(a.max(b)),
+        })
+        .collect();
+    let mut ranges = Dictionary::id_ranges(&raw);
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Reference membership: linear scan over the (possibly overlapping)
+/// ranges.
+fn in_ranges_naive(ranges: &[(u64, u64)], id: u64) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= id && id <= hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `encode` / `term_of` round-trip: every encoded term decodes back to
+    /// itself, re-encoding is stable, and the dictionary length equals the
+    /// number of distinct terms.
+    #[test]
+    fn encode_term_of_round_trip(names in proptest::collection::vec(0u32..40, 1..60)) {
+        let mut d = dict();
+        let terms: Vec<Term> = names.iter().map(|n| Term::iri(format!("t:{n}"))).collect();
+        let ids: Vec<u64> = terms.iter().map(|t| d.encode(t)).collect();
+        for (term, &id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(d.term_of(id), Some(term));
+            prop_assert_eq!(d.id_of(term), Some(id));
+            prop_assert_eq!(d.encode(term), id, "re-encoding must be stable");
+            prop_assert!(!Dictionary::is_st(id));
+        }
+        let distinct: std::collections::HashSet<&Term> = terms.iter().collect();
+        prop_assert_eq!(d.len(), distinct.len());
+    }
+
+    /// `encode_st` anchor stability: the first anchor wins — re-encoding
+    /// the same term with a different position/time returns the original
+    /// id and leaves the stored anchor bit-identical; the embedded cell
+    /// always equals the encoder's cell for that anchor.
+    #[test]
+    fn encode_st_anchor_stability(
+        entities in proptest::collection::vec(
+            (0u32..20, 0.0f64..10.0, 0.0f64..10.0, 0i64..3_600_000),
+            1..40,
+        ),
+    ) {
+        let mut d = dict();
+        let mut first_anchor: std::collections::HashMap<u32, (u64, GeoPoint, Timestamp)> =
+            std::collections::HashMap::new();
+        for &(n, lon, lat, ms) in &entities {
+            let term = Term::iri(format!("n:{n}"));
+            let point = GeoPoint::new(lon, lat);
+            let ts = Timestamp(ms);
+            let id = d.encode_st(&term, &point, ts);
+            match first_anchor.get(&n) {
+                None => {
+                    prop_assert!(Dictionary::is_st(id), "in-grid anchors get st ids");
+                    let cell = Dictionary::st_cell(id).unwrap();
+                    prop_assert_eq!(cell, d.encoder().encode(&point, ts).unwrap());
+                    prop_assert_eq!(d.anchor(id), Some((point, ts)));
+                    first_anchor.insert(n, (id, point, ts));
+                }
+                Some(&(first_id, fp, ft)) => {
+                    prop_assert_eq!(id, first_id, "re-encoding returns the original id");
+                    let (ap, at) = d.anchor(id).unwrap();
+                    prop_assert_eq!(ap.lon.to_bits(), fp.lon.to_bits());
+                    prop_assert_eq!(ap.lat.to_bits(), fp.lat.to_bits());
+                    prop_assert_eq!(at, ft, "the first anchor wins");
+                }
+            }
+        }
+    }
+
+    /// `id_in_ranges` agrees with a naive linear scan on random
+    /// (overlapping, adjacent, duplicated) range sets, probed at the
+    /// boundary ids of every range and around the ST flag bit.
+    #[test]
+    fn id_in_ranges_matches_naive(
+        cells in proptest::collection::vec((0u64..200, 0u64..200), 0..12),
+        probes in proptest::collection::vec(0u64..(210u64 << 24), 0..32),
+    ) {
+        let ranges = ranges_of(&cells);
+        let mut ids: Vec<u64> = probes.iter().map(|p| ST_FLAG | p).collect();
+        for &(lo, hi) in &ranges {
+            // Probe every boundary and its neighbours, including values
+            // that step just outside the st id class.
+            ids.extend([lo, hi, lo.wrapping_sub(1), hi.wrapping_add(1), lo & !ST_FLAG, hi & !ST_FLAG]);
+        }
+        ids.extend([0, ST_FLAG, ST_FLAG - 1, u64::MAX]);
+        for id in ids {
+            prop_assert_eq!(
+                Dictionary::id_in_ranges(&ranges, id),
+                in_ranges_naive(&ranges, id),
+                "id {:#x} ranges {:?}", id, ranges
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_ranges_match_nothing() {
+    let ranges = ranges_of(&[]);
+    assert!(ranges.is_empty());
+    for id in [0u64, 1, ST_FLAG, ST_FLAG | 1, u64::MAX] {
+        assert!(!Dictionary::id_in_ranges(&ranges, id));
+    }
+}
+
+#[test]
+fn adjacent_and_overlapping_ranges_have_no_gaps() {
+    // Cells 3..=5 and 6..=8 are adjacent: the id just past cell 5's last
+    // sequence number is cell 6's first.
+    let ranges = ranges_of(&[(3, 5), (6, 8)]);
+    let last_of_5 = ST_FLAG | (5u64 << SEQ_BITS) | SEQ_MASK;
+    let first_of_6 = ST_FLAG | (6u64 << SEQ_BITS);
+    assert_eq!(last_of_5 + 1, first_of_6);
+    assert!(Dictionary::id_in_ranges(&ranges, last_of_5));
+    assert!(Dictionary::id_in_ranges(&ranges, first_of_6));
+    // Overlapping ranges behave like their union.
+    let overlapping = ranges_of(&[(3, 6), (5, 8)]);
+    for cell in 3..=8u64 {
+        let id = ST_FLAG | (cell << SEQ_BITS) | 7;
+        assert!(Dictionary::id_in_ranges(&overlapping, id), "cell {cell}");
+    }
+    assert!(!Dictionary::id_in_ranges(&overlapping, ST_FLAG | (2u64 << SEQ_BITS) | SEQ_MASK));
+    assert!(!Dictionary::id_in_ranges(&overlapping, ST_FLAG | (9u64 << SEQ_BITS)));
+}
+
+#[test]
+fn st_flag_boundary_ids() {
+    // A range over cell 0 starts exactly at the ST flag; the largest plain
+    // id (ST_FLAG - 1) must not match it.
+    let ranges = ranges_of(&[(0, 0)]);
+    assert_eq!(ranges[0].0, ST_FLAG);
+    assert!(Dictionary::id_in_ranges(&ranges, ST_FLAG));
+    assert!(!Dictionary::id_in_ranges(&ranges, ST_FLAG - 1));
+    assert!(!Dictionary::id_in_ranges(&ranges, 0));
+}

@@ -1,0 +1,155 @@
+//! `execute_star` parity across storage layouts: the same ingested data
+//! must produce identical results — and identical `QueryStats` — under
+//! the triples-table, vertical-partitioning, and property-table layouts,
+//! for both execution modes. Candidate sets are set-valued (duplicates
+//! from a layout's physical organisation are collapsed before counting),
+//! so every `QueryStats` field is defined and comparable across layouts.
+
+use datacron_geo::{BoundingBox, EquiGrid, GeoPoint, StCellEncoder, TimeInterval, Timestamp};
+use datacron_rdf::term::{Term, Triple};
+use datacron_store::{KnowledgeStore, LayoutKind, StExecution, StarQuery, StoreConfig};
+
+const LAYOUTS: [LayoutKind; 3] = [
+    LayoutKind::TriplesTable,
+    LayoutKind::VerticalPartitioning,
+    LayoutKind::PropertyTable,
+];
+
+fn encoder() -> StCellEncoder {
+    let grid = EquiGrid::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 16, 16);
+    StCellEncoder::new(grid, Timestamp(0), 60_000)
+}
+
+/// A fixture with st-anchored semantic nodes, plain triples, duplicate
+/// triples, and multi-valued predicates — the cases where layouts differ
+/// most in physical organisation.
+fn load(store: &mut KnowledgeStore, partitions_hint: usize) {
+    assert!(partitions_hint > 0);
+    for i in 0..240usize {
+        let node = Term::iri(format!("n:{i}"));
+        let point = GeoPoint::new((i % 100) as f64 * 0.1, ((i / 10) % 100) as f64 * 0.1);
+        let ts = Timestamp((i as i64 % 40) * 45_000);
+        let event = match i % 3 {
+            0 => "turn",
+            1 => "cruise",
+            _ => "stop",
+        };
+        let mut triples = vec![
+            Triple::new(node.clone(), Term::iri("p:type"), Term::iri("c:Node")),
+            Triple::new(node.clone(), Term::iri("p:event"), Term::str(event)),
+            Triple::new(node.clone(), Term::iri("p:speed"), Term::double(i as f64 * 0.5)),
+        ];
+        // Multi-valued predicate: several observers per node.
+        for o in 0..(i % 3) {
+            triples.push(Triple::new(
+                node.clone(),
+                Term::iri("p:observed_by"),
+                Term::iri(format!("s:{o}")),
+            ));
+        }
+        // Exact duplicate triple (idempotence differs per layout's physical
+        // storage; logical answers must not).
+        triples.push(Triple::new(node.clone(), Term::iri("p:type"), Term::iri("c:Node")));
+        store.ingest_node(&node, &point, ts, &triples);
+    }
+    // Plain (non-anchored) triples sharing the predicates.
+    for i in 0..40usize {
+        store.ingest(&Triple::new(
+            Term::iri(format!("x:{i}")),
+            Term::iri("p:type"),
+            Term::iri("c:Node"),
+        ));
+        store.ingest(&Triple::new(
+            Term::iri(format!("x:{i}")),
+            Term::iri("p:event"),
+            Term::str("turn"),
+        ));
+    }
+}
+
+fn queries() -> Vec<StarQuery> {
+    let window = (
+        BoundingBox::new(1.0, 1.0, 6.0, 6.0),
+        TimeInterval::new(Timestamp(0), Timestamp(900_000)),
+    );
+    vec![
+        // Constant-object seed, no st constraint.
+        StarQuery {
+            arms: vec![
+                (Term::iri("p:type"), Some(Term::iri("c:Node"))),
+                (Term::iri("p:event"), Some(Term::str("turn"))),
+            ],
+            st: None,
+        },
+        // Open arm included.
+        StarQuery {
+            arms: vec![
+                (Term::iri("p:event"), Some(Term::str("cruise"))),
+                (Term::iri("p:speed"), None),
+                (Term::iri("p:type"), None),
+            ],
+            st: Some(window),
+        },
+        // No constant object anywhere: seed falls back to the first arm.
+        StarQuery {
+            arms: vec![(Term::iri("p:event"), None), (Term::iri("p:observed_by"), None)],
+            st: Some(window),
+        },
+        // Unknown term: empty everywhere.
+        StarQuery {
+            arms: vec![(Term::iri("p:missing"), None)],
+            st: None,
+        },
+    ]
+}
+
+#[test]
+fn execute_star_parity_across_layouts() {
+    for partitions in [1usize, 4] {
+        let stores: Vec<(LayoutKind, KnowledgeStore)> = LAYOUTS
+            .iter()
+            .map(|&layout| {
+                let mut s = KnowledgeStore::new(encoder(), StoreConfig { layout, partitions });
+                load(&mut s, partitions);
+                (layout, s)
+            })
+            .collect();
+        for (qi, q) in queries().iter().enumerate() {
+            for exec in [StExecution::Pushdown, StExecution::PostFilter] {
+                let (base_results, base_stats) = stores[0].1.execute_star(q, exec);
+                for (layout, store) in &stores[1..] {
+                    let (results, stats) = store.execute_star(q, exec);
+                    assert_eq!(
+                        results, base_results,
+                        "results diverge: query {qi} {exec:?} {layout:?} vs {:?} ({partitions} partitions)",
+                        stores[0].0
+                    );
+                    assert_eq!(
+                        stats, base_stats,
+                        "stats diverge: query {qi} {exec:?} {layout:?} vs {:?} ({partitions} partitions)",
+                        stores[0].0
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pushdown_and_postfilter_agree_on_results_per_layout() {
+    for layout in LAYOUTS {
+        let mut store = KnowledgeStore::new(encoder(), StoreConfig { layout, partitions: 4 });
+        load(&mut store, 4);
+        for (qi, q) in queries().iter().enumerate() {
+            let (push, push_stats) = store.execute_star(q, StExecution::Pushdown);
+            let (post, post_stats) = store.execute_star(q, StExecution::PostFilter);
+            assert_eq!(push, post, "query {qi} {layout:?}");
+            assert_eq!(push_stats.results, post_stats.results, "query {qi} {layout:?}");
+            // Pushdown can only shrink the seed set.
+            assert!(
+                push_stats.seed_candidates <= post_stats.seed_candidates,
+                "query {qi} {layout:?}"
+            );
+        }
+    }
+}

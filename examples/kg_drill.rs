@@ -1,0 +1,393 @@
+//! Live-vs-batch knowledge-graph equivalence drill (EXPERIMENTS.md).
+//!
+//! Replays one seeded synthetic fleet three ways and proves they agree:
+//!
+//! 1. **Batch reference** — run the pipeline with no KG attached, capture
+//!    the full `triples` stream, load it into a [`LiveStore`] in one
+//!    `ingest_batch`, and run each star query once at the end.
+//! 2. **Single-threaded live** — [`DatacronSystem`] with the live KG
+//!    enabled and subscriptions registered before the first report; the
+//!    KG drains on every ingest, matches stream out as triples arrive.
+//! 3. **Sharded live** — [`ShardedRealTimeLayer::with_live_kg`] at a
+//!    sweep of shard counts, draining at the barrier points.
+//!
+//! Every live path must emit **exactly** the batch reference's match set
+//! (the binary exits non-zero otherwise), and the run writes a
+//! machine-readable `BENCH_kg.json` — per-path ingest throughput, triple
+//! and match counts, and the `kg.ingest_to_match_ns` latency percentiles
+//! — validated in CI against `schemas/bench_kg.schema.json`.
+//!
+//! No external harness: build with `--release` and run directly.
+//!
+//! ```text
+//! cargo run --release --example kg_drill -- \
+//!     [--entities 32] [--reports 200] [--shards 1,4] [--seed 42] \
+//!     [--out BENCH_kg.json] [--quick]
+//! ```
+
+use datacron::core::realtime::RealTimeLayer;
+use datacron::core::sharded::ShardedRealTimeLayer;
+use datacron::core::system::DatacronSystem;
+use datacron::core::{DatacronConfig, LiveKg, LiveKgConfig};
+use datacron::geo::{
+    BoundingBox, EntityId, EquiGrid, GeoPoint, PositionReport, StCellEncoder, TimeInterval,
+    Timestamp,
+};
+use datacron::rdf::term::{Term, Triple};
+use datacron::rdf::vocab;
+use datacron::store::store::{StExecution, StarQuery};
+use datacron::store::{LiveStore, StarMatch, StoreConfig, SubscriptionHandle};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    entities: u64,
+    reports: i64,
+    shards: Vec<usize>,
+    seed: u64,
+    out: String,
+    quick: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            entities: 32,
+            reports: 200,
+            shards: vec![1, 4],
+            seed: 42,
+            out: "BENCH_kg.json".to_string(),
+            quick: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).unwrap_or_else(|| panic!("{} needs a value", argv[*i - 1])).clone()
+            };
+            match argv[i].as_str() {
+                "--entities" => args.entities = value(&mut i).parse().expect("--entities"),
+                "--reports" => args.reports = value(&mut i).parse().expect("--reports"),
+                "--seed" => args.seed = value(&mut i).parse().expect("--seed"),
+                "--out" => args.out = value(&mut i),
+                "--shards" => {
+                    args.shards = value(&mut i)
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--shards"))
+                        .collect();
+                }
+                "--quick" => args.quick = true,
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        if args.quick {
+            args.entities = args.entities.min(16);
+            args.reports = args.reports.min(100);
+        }
+        args
+    }
+}
+
+fn config() -> DatacronConfig {
+    DatacronConfig::maritime(BoundingBox::new(0.0, 38.0, 6.0, 42.0))
+}
+
+/// A seeded fleet with two turns per entity, so the synopses stage emits
+/// heading-change critical points that the star queries match.
+fn fleet(entities: u64, reports_each: i64, seed: u64) -> Vec<PositionReport> {
+    let mut all = Vec::new();
+    for e in 0..entities {
+        let jitter = ((seed.wrapping_mul(e + 1)) % 7) as f64 * 0.05;
+        let mut p = GeoPoint::new(0.4 + 0.15 * e as f64 % 5.0 + jitter, 38.5 + 0.4 * (e % 8) as f64);
+        for i in 0..reports_each {
+            let phase = (i * 3) / reports_each.max(1);
+            let heading = match phase {
+                0 => 90.0,
+                1 => 180.0,
+                _ => 90.0,
+            };
+            all.push(PositionReport {
+                speed_mps: 8.0,
+                heading_deg: heading,
+                ..PositionReport::basic(EntityId::vessel(e), Timestamp::from_secs(i * 10), p)
+            });
+            p = p.destination(heading, 80.0);
+        }
+    }
+    all.sort_by_key(|r| (r.ts, r.entity));
+    all
+}
+
+/// The continuous queries under drill: a plain star join over heading
+/// changes and the same join under a spatio-temporal window (exercises
+/// the dictionary's st pushdown on the live path).
+fn queries(reports_each: i64) -> Vec<StarQuery> {
+    let arms = vec![
+        (vocab::rdf_type(), Some(vocab::semantic_node_class())),
+        (vocab::event_type(), Some(Term::str("change_in_heading"))),
+    ];
+    vec![
+        StarQuery { arms: arms.clone(), st: None },
+        StarQuery {
+            arms,
+            st: Some((
+                BoundingBox::new(0.0, 38.0, 3.0, 42.0),
+                TimeInterval::new(
+                    Timestamp::from_secs(0),
+                    Timestamp::from_secs(reports_each * 10 / 2),
+                ),
+            )),
+        },
+    ]
+}
+
+fn subject_set(terms: &[Term]) -> BTreeSet<String> {
+    terms.iter().map(|t| format!("{t:?}")).collect()
+}
+
+fn match_set(matches: &[StarMatch]) -> BTreeSet<String> {
+    matches.iter().map(|m| format!("{:?}", m.subject)).collect()
+}
+
+fn drain_matches(handles: &mut [SubscriptionHandle]) -> Vec<BTreeSet<String>> {
+    handles
+        .iter_mut()
+        .map(|h| match_set(&h.matches.drain().expect("match topic sized for the drill")))
+        .collect()
+}
+
+struct BatchReference {
+    triples: u64,
+    load: Duration,
+    query: Duration,
+    matches: Vec<BTreeSet<String>>,
+}
+
+/// The batch path: pipeline with no KG, full triple capture, one
+/// `ingest_batch`, one query pass at the end.
+fn run_batch(input: &[PositionReport], queries: &[StarQuery]) -> BatchReference {
+    let cfg = config();
+    let mut layer = RealTimeLayer::new(cfg.clone(), Vec::new(), Vec::new());
+    let mut rx = layer.triples.consumer();
+    for r in input {
+        layer.ingest(*r);
+    }
+    layer.flush();
+    let mut all: Vec<Triple> = Vec::new();
+    loop {
+        let batch = rx.drain().expect("unbounded topic never lags");
+        if batch.is_empty() {
+            break;
+        }
+        all.extend(batch);
+    }
+    let grid = EquiGrid::new(cfg.extent, cfg.st_grid_cells, cfg.st_grid_cells);
+    let encoder = StCellEncoder::new(grid, cfg.epoch, cfg.st_bucket_millis);
+    let store = LiveStore::new(encoder, StoreConfig::default());
+    let t0 = Instant::now();
+    store.ingest_batch(&all);
+    let load = t0.elapsed();
+    let t1 = Instant::now();
+    let matches = queries
+        .iter()
+        .map(|q| {
+            let (subjects, _) = store.snapshot().execute_star(q, StExecution::Pushdown);
+            subject_set(&subjects)
+        })
+        .collect();
+    BatchReference { triples: all.len() as u64, load, query: t1.elapsed(), matches }
+}
+
+struct LiveResult {
+    shards: usize,
+    elapsed: Duration,
+    records: usize,
+    triples: u64,
+    st_subjects: u64,
+    matches: Vec<BTreeSet<String>>,
+    matches_emitted: u64,
+    latency_p50_ns: u64,
+    latency_p99_ns: u64,
+    latency_count: u64,
+    clean: bool,
+}
+
+fn live_result(
+    kg: &LiveKg,
+    shards: usize,
+    elapsed: Duration,
+    records: usize,
+    matches: Vec<BTreeSet<String>>,
+) -> LiveResult {
+    let health = kg.health();
+    let snap = kg.metrics_snapshot();
+    let hist = snap.histogram("kg.ingest_to_match_ns");
+    LiveResult {
+        shards,
+        elapsed,
+        records,
+        triples: health.ingested_triples,
+        st_subjects: health.st_subjects,
+        matches,
+        matches_emitted: health.matches_emitted,
+        latency_p50_ns: hist.map_or(0, |h| h.p50()),
+        latency_p99_ns: hist.map_or(0, |h| h.p99()),
+        latency_count: hist.map_or(0, |h| h.count),
+        clean: health.is_clean(),
+    }
+}
+
+/// The single-threaded live path: the system drains the KG on every ingest.
+fn run_single_live(input: &[PositionReport], queries: &[StarQuery]) -> LiveResult {
+    let mut system = DatacronSystem::new(config(), Vec::new(), Vec::new(), StoreConfig::default());
+    let kg = system.enable_live_kg(LiveKgConfig::default());
+    let mut handles: Vec<_> = queries.iter().map(|q| kg.subscribe(q.clone())).collect();
+    let started = Instant::now();
+    for r in input {
+        system.ingest(*r);
+    }
+    system.realtime.flush();
+    system.sync_batch();
+    let elapsed = started.elapsed();
+    let matches = drain_matches(&mut handles);
+    live_result(&kg, 0, elapsed, input.len(), matches)
+}
+
+/// One sharded live run: the KG drains at the barrier points.
+fn run_sharded_live(
+    input: &[PositionReport],
+    queries: &[StarQuery],
+    shards: usize,
+) -> (LiveResult, Arc<LiveKg>) {
+    let (mut layer, kg) = ShardedRealTimeLayer::with_live_kg(
+        config(),
+        Vec::new(),
+        Vec::new(),
+        datacron::stream::parallel::ShardedConfig::with_shards(shards),
+        LiveKgConfig::default(),
+    );
+    let mut handles: Vec<_> = queries.iter().map(|q| kg.subscribe(q.clone())).collect();
+    let started = Instant::now();
+    layer.ingest_batch(input.iter().copied());
+    layer.flush();
+    let elapsed = started.elapsed();
+    let matches = drain_matches(&mut handles);
+    let shutdown = layer.finish();
+    assert_eq!(shutdown.duplicates, 0);
+    (live_result(&kg, shards, elapsed, input.len(), matches), kg)
+}
+
+fn records_per_sec(records: usize, elapsed: Duration) -> f64 {
+    records as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn json_entry(r: &LiveResult) -> String {
+    let mut out = format!(
+        "{{\"shards\": {}, \"records_per_sec\": {:.1}, \"elapsed_ms\": {:.3}, \
+         \"triples\": {}, \"st_subjects\": {}, \"matches_emitted\": {}, \"matches\": [",
+        r.shards,
+        records_per_sec(r.records, r.elapsed),
+        r.elapsed.as_secs_f64() * 1e3,
+        r.triples,
+        r.st_subjects,
+        r.matches_emitted,
+    );
+    for (i, m) in r.matches.iter().enumerate() {
+        let _ = write!(out, "{}{}", if i > 0 { ", " } else { "" }, m.len());
+    }
+    let _ = write!(
+        out,
+        "], \"match_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"count\": {}}}, \"clean\": {}}}",
+        r.latency_p50_ns, r.latency_p99_ns, r.latency_count, r.clean,
+    );
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let input = fleet(args.entities, args.reports, args.seed);
+    let queries = queries(args.reports);
+    println!(
+        "kg_drill: {} entities x {} reports = {} records, {} queries, seed {}{}",
+        args.entities,
+        args.reports,
+        input.len(),
+        queries.len(),
+        args.seed,
+        if args.quick { " [quick]" } else { "" },
+    );
+
+    let batch = run_batch(&input, &queries);
+    println!(
+        "  batch reference : {} triples loaded in {:.2} ms, queried in {:.3} ms, matches {:?}",
+        batch.triples,
+        batch.load.as_secs_f64() * 1e3,
+        batch.query.as_secs_f64() * 1e3,
+        batch.matches.iter().map(BTreeSet::len).collect::<Vec<_>>(),
+    );
+    assert!(batch.matches[0].len() > 1, "the fixture must produce matches to compare");
+
+    let single = run_single_live(&input, &queries);
+    assert_eq!(single.matches, batch.matches, "single-threaded live == batch");
+    assert!(single.clean, "no triples lost on the single-threaded path");
+    println!(
+        "  single live     : {:>8.0} rec/s, {} triples, ingest→match p50 {} ns p99 {} ns",
+        records_per_sec(single.records, single.elapsed),
+        single.triples,
+        single.latency_p50_ns,
+        single.latency_p99_ns,
+    );
+
+    let mut sharded_results = Vec::new();
+    for &shards in &args.shards {
+        let (r, _kg) = run_sharded_live(&input, &queries, shards);
+        assert_eq!(r.matches, batch.matches, "{shards}-shard live == batch");
+        assert_eq!(r.triples, single.triples, "same triple stream on every path");
+        assert!(r.clean, "no triples lost at {shards} shards");
+        println!(
+            "  {:>2} shard(s)    : {:>8.0} rec/s, {} triples, ingest→match p50 {} ns p99 {} ns",
+            shards,
+            records_per_sec(r.records, r.elapsed),
+            r.triples,
+            r.latency_p50_ns,
+            r.latency_p99_ns,
+        );
+        sharded_results.push(r);
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"kg\",").unwrap();
+    writeln!(json, "  \"seed\": {},", args.seed).unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
+    writeln!(json, "  \"quick\": {},", args.quick).unwrap();
+    writeln!(json, "  \"entities\": {},", args.entities).unwrap();
+    writeln!(json, "  \"reports_per_entity\": {},", args.reports).unwrap();
+    writeln!(json, "  \"records\": {},", input.len()).unwrap();
+    writeln!(json, "  \"queries\": {},", queries.len()).unwrap();
+    writeln!(
+        json,
+        "  \"batch\": {{\"triples\": {}, \"load_ms\": {:.3}, \"query_ms\": {:.3}, \"matches\": {:?}}},",
+        batch.triples,
+        batch.load.as_secs_f64() * 1e3,
+        batch.query.as_secs_f64() * 1e3,
+        batch.matches.iter().map(BTreeSet::len).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    writeln!(json, "  \"single\": {},", json_entry(&single)).unwrap();
+    writeln!(json, "  \"sharded\": [").unwrap();
+    for (i, r) in sharded_results.iter().enumerate() {
+        let sep = if i + 1 < sharded_results.len() { "," } else { "" };
+        writeln!(json, "    {}{}", json_entry(r), sep).unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"live_equals_batch\": true").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    println!("wrote {} (live match sets equal the batch reference on every path)", args.out);
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a kg_drill result against schemas/bench_kg.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type, const, required, properties,
+additionalProperties, minimum, items, minItems — then layers on the
+semantic cross-checks a shape schema cannot express: every live path's
+per-query match sizes must equal the batch reference's, triple and
+st-subject totals must agree across paths (one deterministic input
+stream), latency quantiles must be ordered, and the streamed-match
+latency count can never exceed the matches emitted (backfills carry no
+latency sample). CI runs this against the kg-chaos drill output; it is
+also handy locally:
+
+    python3 tools/validate_kg_bench.py BENCH_kg.json schemas/bench_kg.schema.json
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"FAIL at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    ok = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "boolean": lambda v: isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+    }.get(expected)
+    if ok is None:
+        fail(path, f"schema uses unsupported type {expected!r}")
+    if not ok(value):
+        fail(path, f"expected {expected}, got {type(value).__name__}: {value!r}")
+
+
+def validate(value, schema, path=""):
+    if "type" in schema:
+        check_type(value, schema["type"], path)
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}" if path else name
+            if name in props:
+                validate(item, props[name], sub)
+            elif isinstance(extra, dict):
+                validate(item, extra, sub)
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+
+def check_live(e, path, batch, reference):
+    assert e["matches"] == batch["matches"], \
+        f"{path}: live match sizes {e['matches']} != batch reference {batch['matches']}"
+    assert e["triples"] == reference["triples"], \
+        f"{path}: triple total differs across paths ({e['triples']} vs {reference['triples']})"
+    assert e["st_subjects"] == reference["st_subjects"], \
+        f"{path}: st-subject total differs across paths"
+    assert e["matches_emitted"] == reference["matches_emitted"], \
+        f"{path}: matches_emitted differs across paths"
+    lat = e["match_latency_ns"]
+    assert lat["p99"] >= lat["p50"], f"{path}: latency quantiles out of order: {lat}"
+    assert lat["count"] <= e["matches_emitted"], \
+        f"{path}: more latency samples than matches emitted"
+    assert e["records_per_sec"] > 0, f"{path}: zero throughput"
+    assert e["elapsed_ms"] > 0, f"{path}: zero elapsed time"
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(f"usage: {sys.argv[0]} <bench.json> <schema.json>")
+    with open(sys.argv[1]) as f:
+        result = json.load(f)
+    with open(sys.argv[2]) as f:
+        schema = json.load(f)
+    validate(result, schema)
+
+    batch = result["batch"]
+    single = result["single"]
+    assert len(batch["matches"]) == result["queries"], "one match-set size per query"
+    assert sum(batch["matches"]) > 0, "the drill must produce at least one match"
+    check_live(single, "single", batch, single)
+    for i, e in enumerate(result["sharded"]):
+        check_live(e, f"sharded[{i}]", batch, single)
+    sweep = {e["shards"]: round(e["records_per_sec"]) for e in result["sharded"]}
+    print(f"OK: batch {batch['triples']} triples, matches {batch['matches']}; "
+          f"single live {single['records_per_sec']:.0f} rec/s, sharded {sweep} "
+          f"(all paths equal the batch reference)")
+
+
+if __name__ == "__main__":
+    main()
