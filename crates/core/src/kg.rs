@@ -263,6 +263,35 @@ impl LiveKg {
         total
     }
 
+    /// Starts a routing epoch: detaches every input registered by the
+    /// previous worker fleet. Called by the sharded layer mid-resize,
+    /// *after* the final pre-resize [`drain`](Self::drain) (so nothing is
+    /// left behind) and *before* the new fleet's layers attach. Loss
+    /// accounting stays continuous without the old topics: the restored
+    /// per-shard `triples` checkpoints carry the epoch's `rejected` stats
+    /// forward onto the new topics.
+    pub fn begin_epoch(&self) {
+        self.inputs.lock().expect("kg lock poisoned").clear();
+    }
+
+    /// Re-synchronizes every input consumer with its topic's restored
+    /// *end* offset. [`attach`](Self::attach) subscribes at offset 0 on a
+    /// fresh topic; when the layer then restores a checkpoint, the topic
+    /// jumps forward and the stale consumer would observe the jump as a
+    /// `Lagged` skip — phantom loss — or, worse, re-read retained messages
+    /// the store already ingested before the cut (double-counting every
+    /// triple). Everything in a restored topic predates the pre-resize
+    /// drain, so the consumer fast-forwards past it all. Called by the
+    /// sharded layer after every restore-path fleet build (resize,
+    /// [`with_states`]).
+    ///
+    /// [`with_states`]: crate::ShardedRealTimeLayer::with_states
+    pub fn resync(&self) {
+        for (_, consumer) in self.inputs.lock().expect("kg lock poisoned").iter_mut() {
+            consumer.fast_forward();
+        }
+    }
+
     /// Triples that never reached the store: timed-out blocked publishes
     /// plus consumer lag skips.
     fn lost(&self) -> u64 {

@@ -729,6 +729,16 @@ impl<T: Clone> Consumer<T> {
         let base = self.topic.lock().base;
         self.pos.store(base, Ordering::Release);
     }
+
+    /// Jumps past every currently published message: the next poll starts
+    /// at the topic's end offset, and nothing skipped counts as lag. For
+    /// consumers whose owner already processed the topic's contents out of
+    /// band — e.g. re-attaching to a restored topic whose retained messages
+    /// were all drained before the checkpoint was cut.
+    pub fn fast_forward(&mut self) {
+        let end = self.topic.lock().end();
+        self.pos.store(end, Ordering::Release);
+    }
 }
 
 impl<T> Drop for Consumer<T> {

@@ -72,7 +72,12 @@ use std::time::{Duration, Instant};
 /// Provenance stamps carried by every record through the sharded pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeqStamp {
-    /// Position in the global input stream (0-based, gap-free).
+    /// The routing epoch the record was submitted under. Each live resize
+    /// (executor teardown + re-spawn with a new [`ShardAssigner`]) starts a
+    /// new epoch with a fresh gap-free sequence space; the merger uses the
+    /// epoch to tell a stale pre-resize stamp from a current one.
+    pub epoch: u64,
+    /// Position in the epoch's input stream (0-based, gap-free per epoch).
     pub global_seq: u64,
     /// The shard that processed (or will process) the record.
     pub shard: u32,
@@ -111,18 +116,38 @@ pub enum Directive<T> {
     Shutdown,
 }
 
-/// Deterministic key → shard routing.
-#[derive(Debug, Clone, Copy)]
+/// Deterministic key → shard routing: Fx hash of the key reduced modulo
+/// the shard count, with an optional hot-key override table consulted
+/// first.
+///
+/// Routing is **total** (every key hash maps to exactly one shard in
+/// `0..shards`) and **stable** (the same key always routes identically for
+/// the same assigner). Overrides pin individual heavy keys — identified by
+/// their hash — to explicit shards, so a rebalance can peel a hot entity
+/// off an overloaded shard without touching anyone else's route.
+#[derive(Debug, Clone)]
 pub struct ShardAssigner {
     shards: u32,
+    /// Hot-key pins: key hash → shard. Shared, immutable per assigner.
+    overrides: Arc<FxHashMap<u64, u32>>,
 }
 
 impl ShardAssigner {
-    /// An assigner over `shards` shards (at least 1).
+    /// An assigner over `shards` shards (at least 1), no overrides.
     pub fn new(shards: usize) -> Self {
+        Self::with_overrides(shards, FxHashMap::default())
+    }
+
+    /// An assigner over `shards` shards with hot-key pins. Override targets
+    /// must be valid shards.
+    pub fn with_overrides(shards: usize, overrides: FxHashMap<u64, u32>) -> Self {
         assert!(shards >= 1, "at least one shard");
         assert!(shards <= u32::MAX as usize, "shard count fits u32");
-        Self { shards: shards as u32 }
+        assert!(
+            overrides.values().all(|&s| (s as usize) < shards),
+            "override targets a shard out of range"
+        );
+        Self { shards: shards as u32, overrides: Arc::new(overrides) }
     }
 
     /// The shard count.
@@ -130,16 +155,158 @@ impl ShardAssigner {
         self.shards as usize
     }
 
+    /// The hot-key override table (key hash → pinned shard).
+    pub fn overrides(&self) -> &FxHashMap<u64, u32> {
+        &self.overrides
+    }
+
     /// The shard a key routes to. Deterministic across runs and processes.
     pub fn assign<K: Hash>(&self, key: &K) -> u32 {
-        (fx_hash(key) % self.shards as u64) as u32
+        self.assign_hashed(fx_hash(key))
+    }
+
+    /// The shard a pre-hashed key routes to (the submit hot path hashes
+    /// once and reuses it for routing and per-key sequencing).
+    pub fn assign_hashed(&self, key_hash: u64) -> u32 {
+        if !self.overrides.is_empty() {
+            if let Some(&shard) = self.overrides.get(&key_hash) {
+                return shard;
+            }
+        }
+        (key_hash % self.shards as u64) as u32
+    }
+}
+
+/// When and how to rebalance a skewed shard fleet.
+///
+/// Hash partitioning spreads *keys* evenly but not *load*: one hot entity
+/// (a busy port, a surveilled aircraft) can concentrate half the traffic
+/// on one shard, and that shard's queue drives the whole pipeline's tail
+/// latency. The policy watches per-shard routed-record loads, and when the
+/// skew-adjusted imbalance exceeds the threshold it plans a set of hot-key
+/// [`ShardAssigner`] overrides that isolates the heavy hitters on the
+/// least-loaded shards.
+///
+/// The imbalance metric is `max shard load / max(mean shard load, max
+/// single-key load)`: a shard carrying exactly one unsplittable hot key is
+/// as balanced as hash routing can get, so 1.0 is the achievable floor and
+/// the metric never blames the policy for skew it cannot remove.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// Trigger threshold: rebalance when
+    /// [`imbalance`](Self::imbalance) exceeds this (must be > 1.0).
+    pub max_imbalance: f64,
+    /// Minimum records routed in the current epoch before load estimates
+    /// are trusted.
+    pub min_records: u64,
+    /// Minimum records routed between two automatic rebalances (a manual
+    /// trigger ignores the cooldown).
+    pub cooldown_records: u64,
+    /// Override-table budget: at most this many heavy keys are pinned.
+    pub max_overrides: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        Self {
+            max_imbalance: 1.5,
+            min_records: 1024,
+            cooldown_records: 4096,
+            max_overrides: 64,
+        }
+    }
+}
+
+impl RebalancePolicy {
+    /// Skew-adjusted load imbalance of a fleet: the heaviest shard's load
+    /// over the larger of the mean shard load and the heaviest single
+    /// key's load. 1.0 is perfectly balanced *given the key skew*; returns
+    /// 1.0 for an idle fleet.
+    pub fn imbalance(shard_loads: &[u64], max_key_load: u64) -> f64 {
+        let total: u64 = shard_loads.iter().sum();
+        if total == 0 || shard_loads.is_empty() {
+            return 1.0;
+        }
+        let max_shard = *shard_loads.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / shard_loads.len() as f64;
+        max_shard / mean.max(max_key_load as f64)
+    }
+
+    /// Whether the policy wants an automatic rebalance: enough routed
+    /// records to trust the estimate, cooldown elapsed, imbalance above
+    /// threshold.
+    pub fn should_rebalance(
+        &self,
+        shard_loads: &[u64],
+        max_key_load: u64,
+        routed_since_last: u64,
+    ) -> bool {
+        let total: u64 = shard_loads.iter().sum();
+        total >= self.min_records
+            && routed_since_last >= self.cooldown_records
+            && Self::imbalance(shard_loads, max_key_load) > self.max_imbalance
+    }
+
+    /// Plans hot-key overrides for `shards` shards from observed per-key
+    /// loads (`(key hash, records routed)`): heavy keys — those whose solo
+    /// load exceeds the ideal per-shard share — are peeled off their hash
+    /// shard and placed, heaviest first, on the currently least-loaded
+    /// shard. Deterministic: ties break on shard index, then key hash.
+    /// Returns the override table (empty when nothing is heavy).
+    pub fn plan(&self, shards: usize, key_loads: &[(u64, u64)]) -> FxHashMap<u64, u32> {
+        assert!(shards >= 1, "at least one shard");
+        let total: u64 = key_loads.iter().map(|(_, n)| n).sum();
+        if total == 0 || shards < 2 {
+            return FxHashMap::default();
+        }
+        let ideal = total as f64 / shards as f64;
+        let mut heavy: Vec<(u64, u64)> = key_loads
+            .iter()
+            .copied()
+            .filter(|&(_, n)| n as f64 > ideal)
+            .collect();
+        // Heaviest first; hash tiebreak keeps the plan deterministic.
+        heavy.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        heavy.truncate(self.max_overrides);
+        if heavy.is_empty() {
+            return FxHashMap::default();
+        }
+        // Base load per shard with the heavy keys lifted out of their hash
+        // shards, then greedy least-loaded placement.
+        let mut loads = vec![0u64; shards];
+        for &(hash, n) in key_loads {
+            if !heavy.iter().any(|&(h, _)| h == hash) {
+                loads[(hash % shards as u64) as usize] += n;
+            }
+        }
+        let mut overrides = FxHashMap::default();
+        for (hash, n) in heavy {
+            let target = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, &l)| (l, *i))
+                .map(|(i, _)| i)
+                .expect("non-empty fleet");
+            loads[target] += n;
+            overrides.insert(hash, target as u32);
+        }
+        overrides
     }
 }
 
 /// A reorder buffer that restores global submission order from
 /// shard-interleaved stamped outputs.
+///
+/// The merger is **routing-epoch aware**: a live resize tears the worker
+/// fleet down and re-spawns it, restarting the gap-free sequence space
+/// from 0 under a new epoch ([`begin_epoch`](Self::begin_epoch)). A stamp
+/// from an older epoch arriving after the boundary is behind the release
+/// cursor *by construction* (its epoch was fully released before the
+/// boundary), so it is classified late — exactly like a same-epoch
+/// re-delivery after release.
 #[derive(Debug)]
 pub struct SequenceMerger<T> {
+    epoch: u64,
     next: u64,
     pending: BTreeMap<u64, T>,
     late: u64,
@@ -154,9 +321,17 @@ impl<T> Default for SequenceMerger<T> {
 }
 
 impl<T> SequenceMerger<T> {
-    /// An empty merger expecting sequence 0 first.
+    /// An empty merger in epoch 0, expecting sequence 0 first.
     pub fn new() -> Self {
+        Self::with_epoch(0)
+    }
+
+    /// An empty merger starting in `epoch` — the resume path after a
+    /// resize: the re-spawned executor's merger continues the epoch
+    /// numbering, so stale pre-resize stamps stay classifiable.
+    pub fn with_epoch(epoch: u64) -> Self {
         Self {
+            epoch,
             next: 0,
             pending: BTreeMap::new(),
             late: 0,
@@ -165,19 +340,45 @@ impl<T> SequenceMerger<T> {
         }
     }
 
+    /// The current routing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Crosses a routing-epoch boundary: bumps the epoch and restarts the
+    /// sequence space at 0. The previous epoch must be fully drained — the
+    /// resize barrier guarantees every pre-resize record merged before the
+    /// fleet is torn down.
+    ///
+    /// # Panics
+    /// Panics when values are still buffered (the boundary would orphan
+    /// them).
+    pub fn begin_epoch(&mut self) {
+        assert!(
+            self.pending.is_empty(),
+            "routing-epoch boundary with {} value(s) still buffered",
+            self.pending.len()
+        );
+        self.epoch += 1;
+        self.next = 0;
+    }
+
     /// Offers one stamped value; appends to `out` every value that became
     /// deliverable in order (possibly none, possibly many).
     ///
-    /// A value whose sequence the merger has already released past
-    /// (`global_seq < next`, e.g. a re-delivery after release, or a late
-    /// arrival after an upstream lag skip) is dropped and counted as
-    /// [`late`](Self::late); a value whose sequence is already buffered
-    /// waiting for a gap is dropped and counted as
-    /// [`duplicates`](Self::duplicates). The two failure modes are
-    /// distinct: late records are an ordering violation, duplicates an
-    /// at-most-once violation.
-    pub fn push(&mut self, global_seq: u64, value: T, out: &mut Vec<T>) {
-        if global_seq < self.next {
+    /// A value whose sequence the merger has already released past —
+    /// `global_seq < next` within the current epoch (a re-delivery after
+    /// release, or a late arrival after an upstream lag skip), or any
+    /// stamp from an **older epoch** (released in full before the resize
+    /// boundary) — is dropped and counted as [`late`](Self::late); a value
+    /// whose sequence is already buffered waiting for a gap is dropped and
+    /// counted as [`duplicates`](Self::duplicates). The two failure modes
+    /// are distinct: late records are an ordering violation, duplicates an
+    /// at-most-once violation. A stamp from a *future* epoch is a protocol
+    /// violation (the boundary starts only after the prior epoch fully
+    /// drained) and is counted late as well, defensively.
+    pub fn push(&mut self, epoch: u64, global_seq: u64, value: T, out: &mut Vec<T>) {
+        if epoch != self.epoch || global_seq < self.next {
             self.late += 1;
             return;
         }
@@ -379,6 +580,10 @@ pub struct ShardedExecutor<S: ShardStage> {
     metrics_consumer: Consumer<(u32, S::Metrics)>,
     workers: Vec<JoinHandle<S>>,
     key_seqs: FxHashMap<u64, u64>,
+    /// Records routed to each shard this epoch — the load signal behind
+    /// the `exec.shard{i}.routed` gauges and [`RebalancePolicy`].
+    shard_routed: Vec<u64>,
+    epoch: u64,
     merger: SequenceMerger<Stamped<S::Out>>,
     ready: Vec<S::Out>,
     /// Reused buffer for outputs released by one merger push-batch.
@@ -388,6 +593,7 @@ pub struct ShardedExecutor<S: ShardStage> {
     barrier_timeout: Duration,
     obs: ObsRegistry,
     queue_depth_gauges: Vec<Gauge>,
+    routed_gauges: Vec<Gauge>,
     merge_pending_gauge: Gauge,
     merge_late_gauge: Gauge,
     merge_duplicates_gauge: Gauge,
@@ -398,8 +604,27 @@ pub struct ShardedExecutor<S: ShardStage> {
 impl<S: ShardStage> ShardedExecutor<S> {
     /// Spawns the shard workers. `make` is called once per shard, on the
     /// caller's thread, to build that shard's stage.
-    pub fn new(config: ShardedConfig, mut make: impl FnMut(u32) -> S) -> Self {
+    pub fn new(config: ShardedConfig, make: impl FnMut(u32) -> S) -> Self {
         let assigner = ShardAssigner::new(config.shards);
+        Self::with_assigner(config, assigner, 0, make)
+    }
+
+    /// Spawns the shard workers under an explicit routing assigner and
+    /// epoch — the resume path after a live resize: the new fleet carries
+    /// the rebalanced routes and continues the epoch numbering, so any
+    /// stale pre-resize stamp is classifiable. `config.shards` must match
+    /// the assigner's shard count.
+    pub fn with_assigner(
+        config: ShardedConfig,
+        assigner: ShardAssigner,
+        epoch: u64,
+        mut make: impl FnMut(u32) -> S,
+    ) -> Self {
+        assert_eq!(
+            config.shards,
+            assigner.shards(),
+            "config and assigner disagree on the shard count"
+        );
         // Executor-internal topics use a zero block timeout: a full topic
         // refuses the publish immediately and the caller parks on
         // `wait_for_space`/`poll_wait` (doing productive work — draining —
@@ -468,12 +693,16 @@ impl<S: ShardStage> ShardedExecutor<S> {
         let queue_depth_gauges = (0..config.shards)
             .map(|shard| obs.gauge(&format!("exec.shard{shard}.queue_depth")))
             .collect();
+        let routed_gauges = (0..config.shards)
+            .map(|shard| obs.gauge(&format!("exec.shard{shard}.routed")))
+            .collect();
         let merge_pending_gauge = obs.gauge("exec.merge.pending");
         let merge_late_gauge = obs.gauge("exec.merge.late");
         let merge_duplicates_gauge = obs.gauge("exec.merge.duplicates");
         let in_flight_gauge = obs.gauge("exec.in_flight");
         let submit_to_merge_ns = obs.histogram("exec.submit_to_merge_ns");
         Self {
+            shard_routed: vec![0; config.shards],
             assigner,
             inputs,
             output_consumer,
@@ -483,7 +712,8 @@ impl<S: ShardStage> ShardedExecutor<S> {
             metrics_consumer,
             workers,
             key_seqs: FxHashMap::default(),
-            merger: SequenceMerger::new(),
+            epoch,
+            merger: SequenceMerger::with_epoch(epoch),
             ready: Vec::new(),
             released_scratch: Vec::new(),
             next_seq: 0,
@@ -491,6 +721,7 @@ impl<S: ShardStage> ShardedExecutor<S> {
             barrier_timeout: config.barrier_timeout,
             obs,
             queue_depth_gauges,
+            routed_gauges,
             merge_pending_gauge,
             merge_late_gauge,
             merge_duplicates_gauge,
@@ -502,6 +733,28 @@ impl<S: ShardStage> ShardedExecutor<S> {
     /// The shard count.
     pub fn shards(&self) -> usize {
         self.assigner.shards()
+    }
+
+    /// The routing assigner (shard count + hot-key overrides).
+    pub fn assigner(&self) -> &ShardAssigner {
+        &self.assigner
+    }
+
+    /// The routing epoch this fleet runs under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records routed to each shard this epoch, in shard order — the load
+    /// signal for [`RebalancePolicy`].
+    pub fn shard_loads(&self) -> &[u64] {
+        &self.shard_routed
+    }
+
+    /// Records routed per key hash this epoch, unsorted — the heavy-hitter
+    /// signal for [`RebalancePolicy::plan`].
+    pub fn key_loads(&self) -> Vec<(u64, u64)> {
+        self.key_seqs.iter().map(|(&h, &n)| (h, n)).collect()
     }
 
     /// Records submitted so far.
@@ -529,15 +782,17 @@ impl<S: ShardStage> ShardedExecutor<S> {
     pub fn submit(&mut self, key: &impl Hash, input: S::In) -> SeqStamp {
         self.await_admission();
         let key_hash = fx_hash(key);
-        let shard = (key_hash % self.assigner.shards as u64) as u32;
+        let shard = self.assigner.assign_hashed(key_hash);
         let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
         let stamp = SeqStamp {
+            epoch: self.epoch,
             global_seq: self.next_seq,
             shard,
             key_seq: *key_seq,
         };
         *key_seq += 1;
         self.next_seq += 1;
+        self.shard_routed[shard as usize] += 1;
         let submitted_at = if self.obs.is_enabled() { Some(Instant::now()) } else { None };
         let mut msg = Directive::Record(Stamped { stamp, submitted_at, value: input });
         loop {
@@ -580,15 +835,17 @@ impl<S: ShardStage> ShardedExecutor<S> {
             for (key, input) in items.by_ref().take(budget) {
                 let submitted_at = if timed { Some(Instant::now()) } else { None };
                 let key_hash = fx_hash(&key);
-                let shard = (key_hash % self.assigner.shards as u64) as u32;
+                let shard = self.assigner.assign_hashed(key_hash);
                 let key_seq = self.key_seqs.entry(key_hash).or_insert(0);
                 let stamp = SeqStamp {
+                    epoch: self.epoch,
                     global_seq: self.next_seq,
                     shard,
                     key_seq: *key_seq,
                 };
                 *key_seq += 1;
                 self.next_seq += 1;
+                self.shard_routed[shard as usize] += 1;
                 per_shard[shard as usize]
                     .push(Directive::Record(Stamped { stamp, submitted_at, value: input }));
                 taken += 1;
@@ -708,7 +965,12 @@ impl<S: ShardStage> ShardedExecutor<S> {
     /// stamp.
     fn absorb(&mut self, batch: Vec<Stamped<S::Out>>) {
         for stamped in batch {
-            self.merger.push(stamped.stamp.global_seq, stamped, &mut self.released_scratch);
+            self.merger.push(
+                stamped.stamp.epoch,
+                stamped.stamp.global_seq,
+                stamped,
+                &mut self.released_scratch,
+            );
         }
         if self.released_scratch.is_empty() {
             return;
@@ -830,6 +1092,9 @@ impl<S: ShardStage> ShardedExecutor<S> {
         if self.obs.is_enabled() {
             for (shard, gauge) in self.queue_depth_gauges.iter().enumerate() {
                 gauge.set(self.inputs[shard].retained() as i64);
+            }
+            for (shard, gauge) in self.routed_gauges.iter().enumerate() {
+                gauge.set(self.shard_routed[shard] as i64);
             }
             self.merge_pending_gauge.set(self.merger.pending() as i64);
             self.in_flight_gauge
@@ -1152,10 +1417,10 @@ mod tests {
     fn merger_restores_global_order() {
         let mut m = SequenceMerger::new();
         let mut out = Vec::new();
-        m.push(2, "c", &mut out);
-        m.push(0, "a", &mut out);
+        m.push(0, 2, "c", &mut out);
+        m.push(0, 0, "a", &mut out);
         assert_eq!(out, vec!["a"]);
-        m.push(1, "b", &mut out);
+        m.push(0, 1, "b", &mut out);
         assert_eq!(out, vec!["a", "b", "c"]);
         assert!(m.is_drained());
         assert_eq!(m.released(), 3);
@@ -1169,10 +1434,10 @@ mod tests {
         // (behind the release cursor), not a buffered duplicate.
         let mut m = SequenceMerger::new();
         let mut out = Vec::new();
-        m.push(0, 10, &mut out);
-        m.push(0, 10, &mut out);
-        m.push(1, 11, &mut out);
-        m.push(1, 11, &mut out);
+        m.push(0, 0, 10, &mut out);
+        m.push(0, 0, 10, &mut out);
+        m.push(0, 1, 11, &mut out);
+        m.push(0, 1, 11, &mut out);
         assert_eq!(out, vec![10, 11]);
         assert_eq!(m.late(), 2);
         assert_eq!(m.duplicates(), 0);
@@ -1185,20 +1450,149 @@ mod tests {
         // is still buffered: a true duplicate, distinct from lateness.
         let mut m = SequenceMerger::new();
         let mut out = Vec::new();
-        m.push(2, 12, &mut out);
-        m.push(2, 12, &mut out);
+        m.push(0, 2, 12, &mut out);
+        m.push(0, 2, 12, &mut out);
         assert!(out.is_empty());
         assert_eq!(m.duplicates(), 1);
         assert_eq!(m.late(), 0);
-        m.push(0, 10, &mut out);
-        m.push(1, 11, &mut out);
+        m.push(0, 0, 10, &mut out);
+        m.push(0, 1, 11, &mut out);
         assert_eq!(out, vec![10, 11, 12]);
         // Re-delivery after release flips to the late counter.
-        m.push(2, 12, &mut out);
+        m.push(0, 2, 12, &mut out);
         assert_eq!(m.duplicates(), 1);
         assert_eq!(m.late(), 1);
         assert_eq!(m.released(), 3);
         assert!(m.is_drained());
+    }
+
+    #[test]
+    fn merger_clean_path_across_epoch_boundary() {
+        // The clean resize path: epoch 0 fully drains, the boundary
+        // crosses, epoch 1 restarts the sequence space at 0 — and nothing
+        // is counted late or duplicate.
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(0, 0, "a0", &mut out);
+        m.push(0, 1, "a1", &mut out);
+        assert!(m.is_drained());
+        m.begin_epoch();
+        assert_eq!(m.epoch(), 1);
+        m.push(1, 1, "b1", &mut out);
+        m.push(1, 0, "b0", &mut out);
+        assert_eq!(out, vec!["a0", "a1", "b0", "b1"]);
+        assert_eq!(m.late(), 0);
+        assert_eq!(m.duplicates(), 0);
+        assert_eq!(m.released(), 2, "sequence space restarted at the boundary");
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn merger_classifies_stale_epoch_stamps_as_late() {
+        // A pre-resize stamp straddling the boundary: its epoch was fully
+        // released before the boundary, so it is late even though its
+        // sequence number (1) is not behind the new epoch's cursor (0).
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(0, 0, 10, &mut out);
+        m.push(0, 1, 11, &mut out);
+        m.begin_epoch();
+        m.push(0, 1, 11, &mut out);
+        assert_eq!(m.late(), 1, "stale-epoch re-delivery is late, not duplicate");
+        assert_eq!(m.duplicates(), 0);
+        // A current-epoch duplicate while buffered still counts as a
+        // duplicate — the epoch check does not mask at-most-once tracking.
+        m.push(1, 1, 21, &mut out);
+        m.push(1, 1, 21, &mut out);
+        assert_eq!(m.duplicates(), 1);
+        m.push(1, 0, 20, &mut out);
+        assert_eq!(out, vec![10, 11, 20, 21]);
+        // A future-epoch stamp is a protocol violation, counted late
+        // defensively rather than buffered against a cursor that will
+        // never reach it.
+        m.push(7, 0, 99, &mut out);
+        assert_eq!(m.late(), 2);
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "still buffered")]
+    fn epoch_boundary_with_buffered_values_panics() {
+        let mut m = SequenceMerger::new();
+        let mut out = Vec::new();
+        m.push(0, 2, "c", &mut out);
+        m.begin_epoch();
+    }
+
+    #[test]
+    fn assigner_overrides_reroute_only_pinned_keys() {
+        let plain = ShardAssigner::new(4);
+        let hot = 777u64;
+        let hot_hash = fx_hash(&hot);
+        let pinned_shard = (plain.assign(&hot) + 1) % 4;
+        let mut overrides = FxHashMap::default();
+        overrides.insert(hot_hash, pinned_shard);
+        let pinned = ShardAssigner::with_overrides(4, overrides);
+        assert_eq!(pinned.assign(&hot), pinned_shard);
+        for key in 0..500u64 {
+            if key != hot {
+                assert_eq!(pinned.assign(&key), plain.assign(&key), "key {key} unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_policy_isolates_heavy_keys() {
+        // One key carries half the load over 4 shards: solo it exceeds the
+        // ideal share, so the plan pins it; light keys are untouched.
+        let key_loads: Vec<(u64, u64)> = (0..8u64)
+            .map(|h| (h, if h == 3 { 700 } else { 100 }))
+            .collect();
+        let policy = RebalancePolicy::default();
+        let plan = policy.plan(4, &key_loads);
+        assert_eq!(plan.len(), 1, "only the heavy key is pinned: {plan:?}");
+        assert!(plan.contains_key(&3));
+        // Re-planning from the same loads is deterministic.
+        assert_eq!(plan, policy.plan(4, &key_loads));
+        // Uniform load plans nothing.
+        let uniform: Vec<(u64, u64)> = (0..32u64).map(|h| (h, 10)).collect();
+        assert!(policy.plan(4, &uniform).is_empty());
+    }
+
+    #[test]
+    fn imbalance_floor_is_one_for_unsplittable_skew() {
+        // A shard holding exactly one hot key cannot be split further:
+        // the skew-adjusted metric reports 1.0, not max/mean.
+        assert!((RebalancePolicy::imbalance(&[500, 100, 100, 100], 500) - 1.0).abs() < 1e-9);
+        // Without key skew the metric is plain max/mean.
+        assert!((RebalancePolicy::imbalance(&[200, 100, 100, 0], 10) - 2.0).abs() < 1e-9);
+        assert!((RebalancePolicy::imbalance(&[], 0) - 1.0).abs() < 1e-9);
+        assert!((RebalancePolicy::imbalance(&[0, 0], 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn executor_with_assigner_carries_epoch_and_counts_loads() {
+        let assigner = ShardAssigner::new(2);
+        let mut exec = ShardedExecutor::with_assigner(
+            ShardedConfig::with_shards(2),
+            assigner,
+            3,
+            |_| Doubler { seen: 0 },
+        );
+        assert_eq!(exec.epoch(), 3);
+        for i in 0..100u64 {
+            exec.submit(&(i % 10), i);
+        }
+        assert_eq!(exec.shard_loads().iter().sum::<u64>(), 100);
+        let key_total: u64 = exec.key_loads().iter().map(|(_, n)| n).sum();
+        assert_eq!(key_total, 100);
+        let snap = exec.obs_snapshot();
+        let routed: i64 = (0..2)
+            .map(|s| snap.gauge(&format!("exec.shard{s}.routed")).unwrap())
+            .sum();
+        assert_eq!(routed, 100);
+        let run = exec.finish();
+        assert_eq!(run.merged, 100);
     }
 
     #[test]

@@ -336,3 +336,69 @@ fn slow_kg_consumer_cannot_silently_drop_triples() {
     assert_eq!(stats.dropped, 0, "blocking backpressure never drops");
     assert!(health.is_clean());
 }
+
+/// A live resize must be invisible to the knowledge graph: subscriptions
+/// registered before the resize keep matching across it (the KG detaches
+/// the drained fleet at the epoch boundary and re-attaches the new one),
+/// no triple is lost or double-ingested, and the count-typed `kg.*`
+/// series still equal the single-threaded run's at end of stream.
+#[test]
+fn live_kg_survives_mid_stream_resizes() {
+    let kg_counters = |snap: &datacron::obs::MetricsSnapshot| -> Vec<(String, u64)> {
+        snap.counters()
+            .iter()
+            .filter(|(name, _)| name.starts_with("kg."))
+            .cloned()
+            .collect()
+    };
+    for seed in [7u64, 42] {
+        let input = stream(seed);
+        let expected = batch_reference(&input);
+
+        // Single-threaded reference for the kg.* counter series.
+        let mut system =
+            DatacronSystem::new(config(), Vec::new(), Vec::new(), StoreConfig::default());
+        let single_kg = system.enable_live_kg(LiveKgConfig::default());
+        let _single_handles: Vec<_> =
+            queries().into_iter().map(|q| single_kg.subscribe(q)).collect();
+        for r in &input {
+            system.ingest(*r);
+        }
+        system.realtime.flush();
+        system.sync_batch();
+        let expected_counters = kg_counters(&system.metrics());
+
+        let (mut sharded, kg) = ShardedRealTimeLayer::with_live_kg(
+            config(),
+            Vec::new(),
+            Vec::new(),
+            ShardedConfig::with_shards(2),
+            LiveKgConfig::default(),
+        );
+        let mut handles: Vec<_> = queries().into_iter().map(|q| kg.subscribe(q)).collect();
+        let third = input.len() / 3;
+        for (i, r) in input.iter().enumerate() {
+            if i == third {
+                sharded.resize(8).expect("resize 2 -> 8 with KG attached");
+            }
+            if i == 2 * third {
+                sharded.resize(4).expect("resize 8 -> 4 with KG attached");
+            }
+            sharded.ingest(*r);
+            sharded.poll_outputs();
+        }
+        sharded.flush();
+        for (i, handle) in handles.iter_mut().enumerate() {
+            let matches = handle.matches.drain().expect("match topic never overflows here");
+            assert_eq!(
+                match_set(&matches),
+                expected[i],
+                "seed {seed}, query {i}: matches must survive the resizes"
+            );
+        }
+        let got_counters = kg_counters(&sharded.metrics());
+        assert_eq!(got_counters, expected_counters, "seed {seed}: kg.* series continuous");
+        let health = sharded.finish().health.kg.expect("kg enabled");
+        assert!(health.is_clean(), "seed {seed}: no triple lost or left behind");
+    }
+}

@@ -111,7 +111,7 @@ fn assert_equivalent(input: &[PositionReport], reference: &SingleRun, shards: us
         regions,
         ports,
         ShardedConfig::with_shards(shards),
-        |layer| {
+        move |layer| {
             if poisoned {
                 layer.attach_entity_stage(poison_stage);
             }

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate a bench_reshard result against schemas/bench_reshard.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type, const, required, properties,
+additionalProperties, minimum, items, minItems, and local
+``#/definitions/...`` $refs — then layers on the semantic cross-checks a
+shape schema cannot express: latency quantile ordering, the determinism
+of the accepted set across all three arms, that the rebalanced arm's
+policy actually tripped and landed the post-rebalance imbalance at or
+under the threshold, and that the elastic arm's resize ladder is the
+advertised 2 -> 8 -> 4. CI runs this against the quick result; it is
+also handy locally:
+
+    python3 tools/validate_reshard_bench.py BENCH_reshard.json schemas/bench_reshard.schema.json
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"FAIL at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    ok = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "boolean": lambda v: isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+    }.get(expected)
+    if ok is None:
+        fail(path, f"schema uses unsupported type {expected!r}")
+    if not ok(value):
+        fail(path, f"expected {expected}, got {type(value).__name__}: {value!r}")
+
+
+def resolve(schema, root, path):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        fail(path, f"schema uses unsupported non-local $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            fail(path, f"dangling $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path=""):
+    schema = resolve(schema, root, path)
+    if "type" in schema:
+        check_type(value, schema["type"], path)
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, root, f"{path}[{i}]")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}" if path else name
+            if name in props:
+                validate(item, props[name], root, sub)
+            elif isinstance(extra, dict):
+                validate(item, extra, root, sub)
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+
+def check_latency(lat, path):
+    assert lat["max"] >= lat["p99"] >= lat["p50"], \
+        f"{path}: latency quantiles out of order: {lat}"
+
+
+def check_arm(e, path):
+    check_latency(e["latency_us"], f"{path}.latency_us")
+    check_latency(e["post_reconfig_latency_us"], f"{path}.post_reconfig_latency_us")
+    assert e["records_per_sec"] > 0, f"{path}: zero throughput"
+    assert e["elapsed_ms"] > 0, f"{path}: zero elapsed time"
+    assert len(e["reconfigs"]) == 0 or e["reconfigs"][-1]["to"] == e["final_shards"], \
+        f"{path}: final_shards disagrees with the last reconfig"
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(f"usage: {sys.argv[0]} <bench.json> <schema.json>")
+    with open(sys.argv[1]) as f:
+        result = json.load(f)
+    with open(sys.argv[2]) as f:
+        schema = json.load(f)
+    validate(result, schema, schema)
+
+    static = result["skewed_static"]
+    rebalanced = result["skewed_rebalanced"]
+    elastic = result["elastic"]
+    for name, arm in [("skewed_static", static), ("skewed_rebalanced", rebalanced),
+                      ("elastic", elastic)]:
+        check_arm(arm, name)
+        assert arm["accepted"] == static["accepted"], \
+            f"{name}: determinism: every arm must accept the same set"
+
+    assert static["reconfigs"] == [] and static["overrides"] == 0, \
+        "skewed_static: the baseline arm must not reconfigure"
+    assert len(rebalanced["reconfigs"]) >= 1, \
+        "skewed_rebalanced: the policy never tripped on a 50% hot key"
+    assert rebalanced["overrides"] >= 1, \
+        "skewed_rebalanced: a rebalance must pin at least the hot key"
+    assert "imbalance_before" in rebalanced, \
+        "skewed_rebalanced: a tripped policy must record the pre-trip imbalance"
+    threshold = result["policy"]["max_imbalance"]
+    assert rebalanced["imbalance_before"] > threshold, \
+        "skewed_rebalanced: the policy tripped below its own threshold"
+    assert rebalanced["imbalance_after"] <= threshold, \
+        f"skewed_rebalanced: post-rebalance imbalance {rebalanced['imbalance_after']} " \
+        f"still above the {threshold} threshold"
+    ladder = [(r["from"], r["to"]) for r in elastic["reconfigs"]]
+    assert ladder == [(2, 8), (8, 4)], \
+        f"elastic: expected the 2 -> 8 -> 4 resize ladder, got {ladder}"
+    assert all(r["pause_us"] < 10_000_000 for r in elastic["reconfigs"]), \
+        "elastic: a resize pause exceeded 10 s — the barrier is wedged, not pausing"
+
+    print(f"OK: static imbalance {static['imbalance_after']:.2f} "
+          f"(p99 {static['latency_us']['p99']} us) -> rebalanced "
+          f"{rebalanced['imbalance_before']:.2f} -> {rebalanced['imbalance_after']:.2f} "
+          f"(post-rebalance p99 {rebalanced['post_reconfig_latency_us']['p99']} us, "
+          f"pause {rebalanced['reconfigs'][0]['pause_us']} us); elastic 2 -> 8 -> 4 "
+          f"paused {[r['pause_us'] for r in elastic['reconfigs']]} us, all arms lossless")
+
+
+if __name__ == "__main__":
+    main()
