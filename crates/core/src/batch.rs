@@ -22,6 +22,12 @@ pub struct BatchLayer {
     critical_consumer: Option<Consumer<CriticalPoint>>,
     link_consumer: Option<Consumer<Link>>,
     ingested_nodes: u64,
+    /// Messages the batch consumers missed because an input topic was
+    /// re-bounded and truncated under them (`Lagged`). The real-time
+    /// output topics are unbounded by default, but subsystems may re-bound
+    /// them (the live KG re-bounds `triples`); a lagging batch sync
+    /// accounts for the loss loudly instead of panicking.
+    lagged_lost: u64,
 }
 
 impl BatchLayer {
@@ -34,6 +40,7 @@ impl BatchLayer {
             critical_consumer: None,
             link_consumer: None,
             ingested_nodes: 0,
+            lagged_lost: 0,
         }
     }
 
@@ -45,30 +52,66 @@ impl BatchLayer {
 
     /// Drains everything currently available from the subscribed topics
     /// into the store. Returns the number of semantic nodes ingested.
+    ///
+    /// A `Lagged` signal (an input topic was re-bounded and truncated
+    /// under the consumer — e.g. by a subsystem that replaces a default
+    /// unbounded topic with a bounded one) is absorbed: the skipped count
+    /// is added to [`lagged_lost`](Self::lagged_lost) and the drain
+    /// resumes from the surviving suffix. The hot batch path never
+    /// panics on topic reconfiguration.
     pub fn sync(&mut self) -> u64 {
         let mut nodes = 0u64;
+        let mut lost = 0u64;
         if let Some(consumer) = &mut self.critical_consumer {
-            // Real-time output topics are unbounded, so a batch consumer
-            // can never lag behind a truncated prefix.
-            for cp in consumer.drain().expect("unbounded topic never lags") {
-                let node = vocab::node_iri(cp.report.entity, cp.report.ts.millis());
-                let triples = datacron_rdf::connectors::lift_critical_points(std::slice::from_ref(&cp));
-                self.store.ingest_node(&node, &cp.report.point, cp.report.ts, &triples);
-                nodes += 1;
+            loop {
+                match consumer.drain() {
+                    Ok(batch) => {
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for cp in batch {
+                            let node = vocab::node_iri(cp.report.entity, cp.report.ts.millis());
+                            let triples =
+                                datacron_rdf::connectors::lift_critical_points(std::slice::from_ref(&cp));
+                            self.store.ingest_node(&node, &cp.report.point, cp.report.ts, &triples);
+                            nodes += 1;
+                        }
+                    }
+                    Err(lagged) => lost += lagged.skipped,
+                }
             }
         }
         if let Some(consumer) = &mut self.link_consumer {
-            for link in consumer.drain().expect("unbounded topic never lags") {
-                self.store.ingest(&link.to_triple());
+            loop {
+                match consumer.drain() {
+                    Ok(batch) => {
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for link in batch {
+                            self.store.ingest(&link.to_triple());
+                        }
+                    }
+                    Err(lagged) => lost += lagged.skipped,
+                }
             }
         }
         self.ingested_nodes += nodes;
+        self.lagged_lost += lost;
         nodes
     }
 
     /// Semantic nodes ingested so far.
     pub fn node_count(&self) -> u64 {
         self.ingested_nodes
+    }
+
+    /// Messages truncated from the input topics before the batch layer
+    /// could sync them (observed as `Lagged`). Non-zero means an input
+    /// topic was re-bounded with a capacity smaller than the sync cadence
+    /// — loud, accounted data loss, never a panic.
+    pub fn lagged_lost(&self) -> u64 {
+        self.lagged_lost
     }
 
     /// Total stored triples.
@@ -147,6 +190,48 @@ mod tests {
         assert_eq!(push, post, "strategies agree");
         assert!(!push.is_empty(), "the turn was stored");
         assert_eq!(push_stats.results, post_stats.results);
+    }
+
+    #[test]
+    fn sync_survives_a_rebounded_lagging_topic() {
+        // Regression: internal topics are not always unbounded (the live
+        // KG re-bounds `triples`; anything may re-bound `critical-points`).
+        // A bounded drop-oldest topic that truncates under the batch
+        // consumer must surface as counted lag, never a panic.
+        use datacron_stream::bus::{OverflowPolicy, Topic};
+        let extent = BoundingBox::new(0.0, 38.0, 3.0, 42.0);
+        let config = DatacronConfig::maritime(extent);
+        let mut rt = RealTimeLayer::new(config.clone(), Vec::new(), Vec::new());
+        // Re-bound the critical-points topic to a tiny drop-oldest ring
+        // before anything subscribes or publishes.
+        rt.critical = Topic::bounded("critical-points", 2, OverflowPolicy::DropOldest);
+        let mut batch = BatchLayer::new(&config, StoreConfig::default());
+        batch.subscribe(&rt);
+        // Drive a zig-zag track through the batched hot path so well over
+        // two critical points are published and the oldest are truncated
+        // under the batch consumer.
+        let mut p = GeoPoint::new(0.5, 40.0);
+        let mut reports = Vec::new();
+        for i in 0..300i64 {
+            let heading = if (i / 20) % 2 == 0 { 90.0 } else { 0.0 };
+            reports.push(PositionReport {
+                speed_mps: 8.0,
+                heading_deg: heading,
+                ..PositionReport::basic(EntityId::vessel(1), Timestamp::from_secs(i * 10), p)
+            });
+            p = p.destination(heading, 80.0);
+        }
+        rt.ingest_batch(reports);
+        rt.flush();
+        assert!(
+            rt.critical.stats().published > 2,
+            "the track must publish more critical points than the ring holds"
+        );
+        let nodes = batch.sync(); // must not panic
+        assert!(nodes > 0, "the surviving suffix still syncs");
+        assert!(batch.lagged_lost() > 0, "the truncation is accounted, not silent");
+        // A follow-up sync from a quiescent topic is a clean no-op.
+        assert_eq!(batch.sync(), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use datacron_geo::{BoundingBox, Timestamp};
 use datacron_linkdisc::LinkerConfig;
 use datacron_stream::cleaning::CleaningConfig;
 use datacron_synopses::SynopsesConfig;
+use std::path::PathBuf;
 
 /// The application domain, selecting threshold defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,21 @@ pub struct DatacronConfig {
     /// gauges are unaffected. Powers of two sample via a mask, other
     /// periods via a modulo.
     pub stage_sample_every: u64,
+    /// Resident-entity budget of the real-time layer. When the number of
+    /// entities with live operator state exceeds this, the idlest (by
+    /// `last_seen` event time) are spilled to the cold tier
+    /// ([`SpillStore`](crate::spill::SpillStore)) and transparently
+    /// rehydrated on their next report — outputs stay bit-identical to an
+    /// unbounded run. `None` (the default) keeps every entity resident.
+    /// In sharded mode the budget applies **per shard** (each worker's
+    /// layer is built from this config).
+    pub max_resident_entities: Option<usize>,
+    /// Directory tier of the spill store: spilled blobs go to one file per
+    /// entity under this directory (atomic tmp+rename, index-owned
+    /// membership) instead of the in-memory tier, keeping RSS flat in
+    /// fleet size. `None` (the default) spills to memory. Only meaningful
+    /// with [`max_resident_entities`](Self::max_resident_entities) set.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl DatacronConfig {
@@ -67,6 +83,8 @@ impl DatacronConfig {
             supervision: SupervisionConfig::default(),
             metrics: true,
             stage_sample_every: 64,
+            max_resident_entities: None,
+            spill_dir: None,
         }
     }
 
@@ -85,6 +103,8 @@ impl DatacronConfig {
             supervision: SupervisionConfig::default(),
             metrics: true,
             stage_sample_every: 64,
+            max_resident_entities: None,
+            spill_dir: None,
         }
     }
 }

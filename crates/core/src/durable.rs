@@ -32,8 +32,8 @@ use crate::system::DatacronSystem;
 use datacron_cep::WayebState;
 use datacron_durability::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use datacron_durability::{
-    decode_from_slice, encode_to_vec, CheckpointStore, DurabilityError, FsyncPolicy,
-    RecoveryManager, WalConfig, WriteAheadLog,
+    decode_from_slice, decode_synopses_state_into, decode_vec_into, encode_to_vec,
+    CheckpointStore, DurabilityError, FsyncPolicy, RecoveryManager, WalConfig, WriteAheadLog,
 };
 use datacron_geo::{PositionReport, Timestamp};
 use datacron_obs::{LogHistogram, ObsRegistry};
@@ -440,17 +440,29 @@ impl Encode for EntityCheckpoint {
 
 impl Decode for EntityCheckpoint {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
-        Ok(Self {
-            entity: Decode::decode(r)?,
-            cleaner: Decode::decode(r)?,
-            synopses: Decode::decode(r)?,
-            history: Decode::decode(r)?,
-            cep: match r.get_u8()? {
-                0 => None,
-                1 => Some(get_wayeb(r)?),
-                t => return Err(CodecError::InvalidTag(t)),
-            },
-        })
+        let mut out = EntityCheckpoint::empty();
+        out.decode_into(r)?;
+        Ok(out)
+    }
+}
+
+impl EntityCheckpoint {
+    /// Decodes into `self` (same wire format as the `Decode` impl),
+    /// reusing the history and window allocations — the rehydration hot
+    /// path decodes millions of similarly-shaped checkpoints into one
+    /// recycled scratch value. On error, `self` is partially overwritten
+    /// and must be treated as garbage.
+    pub(crate) fn decode_into(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.entity = Decode::decode(r)?;
+        self.cleaner = Decode::decode(r)?;
+        decode_synopses_state_into(r, &mut self.synopses)?;
+        decode_vec_into(r, &mut self.history)?;
+        self.cep = match r.get_u8()? {
+            0 => None,
+            1 => Some(get_wayeb(r)?),
+            t => return Err(CodecError::InvalidTag(t)),
+        };
+        Ok(())
     }
 }
 

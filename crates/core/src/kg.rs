@@ -43,7 +43,7 @@ use datacron_store::subscribe::SubscriptionHandle;
 use datacron_store::{LiveSnapshot, LiveStore, LiveStoreStats};
 use datacron_stream::bus::{Consumer, OverflowPolicy, Topic};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Configuration of the live KG subsystem.
@@ -153,6 +153,20 @@ pub struct LiveKg {
 }
 
 impl LiveKg {
+    /// Locks the input registry, recovering from poisoning. A drain that
+    /// panicked mid-batch (e.g. a corrupt triple tripping a store
+    /// invariant) poisons the mutex; treating that as fatal would turn
+    /// one bad batch into a process-wide panic cascade on every later
+    /// drain, health probe and barrier. The registry holds only
+    /// `(topic, consumer)` pairs whose own state is internally
+    /// consistent (consumer cursors advance only after a successful
+    /// poll), so recovering the guard is sound: at worst the interrupted
+    /// batch is re-drained, and `KgHealth` keeps reporting instead of
+    /// panicking.
+    fn inputs(&self) -> MutexGuard<'_, Vec<TripleInput>> {
+        self.inputs.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Creates the live KG over the system's spatio-temporal encoder (the
     /// same grid/epoch the batch layer uses, so both stores assign
     /// identical st cells). Metrics follow [`DatacronConfig::metrics`].
@@ -194,7 +208,7 @@ impl LiveKg {
         );
         let consumer = topic.consumer();
         layer.triples = topic.clone();
-        self.inputs.lock().expect("kg lock poisoned").push((topic, consumer));
+        self.inputs().push((topic, consumer));
     }
 
     /// The underlying live store (snapshots, direct queries).
@@ -226,7 +240,7 @@ impl LiveKg {
     pub fn drain(&self) -> u64 {
         let t0 = Instant::now();
         let mut total = 0u64;
-        let mut inputs = self.inputs.lock().expect("kg lock poisoned");
+        let mut inputs = self.inputs();
         for (_, consumer) in inputs.iter_mut() {
             loop {
                 match consumer.drain() {
@@ -271,7 +285,7 @@ impl LiveKg {
     /// per-shard `triples` checkpoints carry the epoch's `rejected` stats
     /// forward onto the new topics.
     pub fn begin_epoch(&self) {
-        self.inputs.lock().expect("kg lock poisoned").clear();
+        self.inputs().clear();
     }
 
     /// Re-synchronizes every input consumer with its topic's restored
@@ -287,7 +301,7 @@ impl LiveKg {
     ///
     /// [`with_states`]: crate::ShardedRealTimeLayer::with_states
     pub fn resync(&self) {
-        for (_, consumer) in self.inputs.lock().expect("kg lock poisoned").iter_mut() {
+        for (_, consumer) in self.inputs().iter_mut() {
             consumer.fast_forward();
         }
     }
@@ -296,9 +310,7 @@ impl LiveKg {
     /// plus consumer lag skips.
     fn lost(&self) -> u64 {
         let rejected: u64 = self
-            .inputs
-            .lock()
-            .expect("kg lock poisoned")
+            .inputs()
             .iter()
             .map(|(topic, _)| topic.stats().rejected)
             .sum();
@@ -424,6 +436,29 @@ mod tests {
         let hist = snap.histogram("kg.ingest_to_match_ns").expect("registered");
         assert_eq!(hist.count, kg.health().matches_emitted);
         assert!(snap.gauge("kg.watermark").unwrap() > 0);
+    }
+
+    #[test]
+    fn a_panicking_drain_does_not_poison_later_drains() {
+        // Regression: one drain panicking while holding the input-registry
+        // lock (here simulated by panicking under the guard) used to poison
+        // the mutex, and every later drain/health/attach would panic on
+        // `expect("kg lock poisoned")` — a process-wide cascade from a
+        // single bad batch. The registry lock now recovers from poisoning.
+        let kg = LiveKg::new(&config(), LiveKgConfig::default());
+        let mut layer = RealTimeLayer::new(config(), Vec::new(), Vec::new());
+        kg.attach(&mut layer);
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = kg.inputs.lock().unwrap();
+            panic!("simulated mid-drain panic");
+        }));
+        assert!(poisoner.is_err(), "the drain really panicked");
+        assert!(kg.inputs.lock().is_err(), "the registry mutex is poisoned");
+        // The next drain, health probe, and full pipeline pass all succeed.
+        drive(&mut layer, &kg, 120);
+        let health = kg.health();
+        assert!(health.ingested_triples > 0, "drains still flow after the panic");
+        assert!(health.is_clean(), "nothing was lost to the poisoned lock");
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   threads (the paper's Flink-parallelism scaling model): one full
 //!   pipeline partition per shard, stamped outputs, deterministic merge
 //!   back into submission order.
+//! * [`spill`] — the cold state tier: when resident entities exceed the
+//!   configured budget, idle entities' operator state is encoded and
+//!   parked (memory or directory tier) and transparently rehydrated on
+//!   their next report, so fleet size no longer bounds resident memory.
 //! * [`durable`] — crash durability: every report write-ahead logged
 //!   before processing, the full system state checkpointed on an
 //!   interval, and recovery that replays the log suffix so a restarted
@@ -49,6 +53,7 @@ pub mod kg;
 pub mod offline;
 pub mod realtime;
 pub mod sharded;
+pub mod spill;
 pub mod system;
 
 pub use batch::BatchLayer;
@@ -60,6 +65,7 @@ pub use realtime::{
     RealTimeLayer, RejectReason, SupervisionConfig,
 };
 pub use sharded::{RealTimeShard, ShardOutput, ShardedRealTimeLayer, ShardedShutdown};
+pub use spill::{SpillStats, SpillStore};
 pub use system::{DatacronSystem, SituationPicture};
 // Re-export so `HealthReport::net` consumers need no direct dependency on
 // the networking crate.

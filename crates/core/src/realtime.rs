@@ -27,10 +27,11 @@
 //! reports per-entity status and counters.
 
 use crate::config::DatacronConfig;
+use crate::spill::{SpillStats, SpillStore};
 use datacron_cep::{Wayeb, WayebState};
 use datacron_durability::TopicCheckpoint;
 use datacron_geo::hash::FxHashMap;
-use datacron_geo::{EntityId, GeoPoint, Polygon, PositionReport, RecordBatch, Timestamp};
+use datacron_geo::{EntityId, GeoPoint, MovingKind, Polygon, PositionReport, RecordBatch, Timestamp};
 use datacron_linkdisc::{Link, LinkStats, LinkerConfig, StaticLinker};
 use datacron_obs::{Counter, LogHistogram, MetricsSnapshot, ObsRegistry};
 use datacron_predict::flp::Predictor;
@@ -40,7 +41,7 @@ use datacron_rdf::fast::SemanticNodeLifter;
 use datacron_rdf::generator::TripleGenerator;
 use datacron_rdf::term::Triple;
 use datacron_stream::bus::{Topic, TopicHealth};
-use datacron_stream::cleaning::{CleanerState, CleaningOutcome, StreamCleaner};
+use datacron_stream::cleaning::{CleanerState, CleaningOutcome, CleaningStats, StreamCleaner};
 use datacron_stream::fusion::{CrossStreamFusion, FusionConfig, SourceId};
 use datacron_stream::lowlevel::{AreaEvent, AreaMonitor};
 use datacron_stream::operator::panic_message;
@@ -304,6 +305,9 @@ struct LayerMetrics {
     stage_link_ns: LogHistogram,
     stage_rdf_ns: LogHistogram,
     stage_cep_ns: LogHistogram,
+    spill_evict_ns: LogHistogram,
+    spill_rehydrate_ns: LogHistogram,
+    spill_trigger_ns: LogHistogram,
     ingest_ns: LogHistogram,
 }
 
@@ -330,6 +334,9 @@ impl LayerMetrics {
             stage_link_ns: obs.histogram("stage.link_ns"),
             stage_rdf_ns: obs.histogram("stage.rdf_ns"),
             stage_cep_ns: obs.histogram("stage.cep_ns"),
+            spill_evict_ns: obs.histogram("spill.evict_ns"),
+            spill_rehydrate_ns: obs.histogram("spill.rehydrate_ns"),
+            spill_trigger_ns: obs.histogram("spill.trigger_ns"),
             ingest_ns: obs.histogram("stage.ingest_ns"),
         }
     }
@@ -346,6 +353,11 @@ struct EntityState {
     synopses: SynopsesGenerator,
     history: VecDeque<PositionReport>,
     cep: Option<Wayeb>,
+    /// Event time of the entity's newest report (monotone under
+    /// out-of-order input). Drives the idle ranking of cold-state spill;
+    /// never part of the durable state — a rehydrated or restored entity
+    /// re-learns it from its next report.
+    last_seen: Timestamp,
 }
 
 /// Products and counter increments deferred while a batch is in flight.
@@ -453,6 +465,19 @@ pub struct RealTimeLayer {
     entity_stage: Option<EntityStage>,
     /// Per-entity supervision records.
     supervision: FxHashMap<EntityId, Supervision>,
+    /// The cold state tier: entities evicted under the resident budget
+    /// ([`DatacronConfig::max_resident_entities`]), keyed by entity,
+    /// rehydrated transparently on their next report.
+    spill: SpillStore,
+    /// Scratch checkpoint for the spill hot path: evictions snapshot into
+    /// it and rehydrations decode into it, so the steady-state cycle
+    /// reuses one set of history/window allocations instead of churning
+    /// the allocator millions of times (allocator churn degrades *every*
+    /// stage's cache locality, not just the spill ops).
+    spill_scratch: EntityCheckpoint,
+    /// Retired [`EntityState`]s from evictions, recycled by rehydrations —
+    /// same rationale as `spill_scratch`; bounded by [`STATE_POOL_CAP`].
+    state_pool: Vec<EntityState>,
     /// Records fully processed.
     accepted_total: u64,
     /// Panics caught by supervision.
@@ -532,6 +557,9 @@ impl RealTimeLayer {
             fusion: None,
             entity_stage: None,
             supervision: FxHashMap::default(),
+            spill: SpillStore::new(config.spill_dir.clone()),
+            spill_scratch: EntityCheckpoint::empty(),
+            state_pool: Vec::new(),
             accepted_total: 0,
             panics_total: 0,
             restarts_total: 0,
@@ -614,9 +642,11 @@ impl RealTimeLayer {
         self.fusion.as_ref().map(|f| f.stats())
     }
 
-    /// The number of entities with live state.
+    /// The number of entities with state — resident plus spilled. See
+    /// [`resident_entity_count`](Self::resident_entity_count) for the
+    /// in-memory operator count alone.
     pub fn entity_count(&self) -> usize {
-        self.entities.len()
+        self.entities.len() + self.spill.len()
     }
 
     /// Link-discovery statistics.
@@ -637,6 +667,7 @@ impl RealTimeLayer {
         let timed = self.metrics.enabled && self.metrics.sampling.sample(self.metric_ticks);
         let t0 = timed.then(Instant::now);
         let out = self.ingest_inner(report, timed);
+        self.maybe_spill();
         if let Some(t0) = t0 {
             self.metrics.ingest_ns.record(elapsed_ns(t0));
         }
@@ -675,6 +706,27 @@ impl RealTimeLayer {
             }
         }
 
+        // 0b. Rehydrate: a spilled entity's next report restores its exact
+        // operator state from the cold tier before anything touches the
+        // chain — the spill is invisible to every downstream product. A
+        // rehydrate failure (cold-tier file lost under us) is counted by
+        // the store and the entity re-enters fresh, like a restart.
+        if !self.entities.contains_key(&report.entity) && self.spill.contains(report.entity) {
+            let t0 = self.metrics.enabled.then(Instant::now);
+            if self.spill.take_into(report.entity, &mut self.spill_scratch) {
+                let state = revive_pooled(
+                    &mut self.state_pool,
+                    &self.config,
+                    &self.cep_template,
+                    &self.spill_scratch,
+                );
+                self.entities.insert(report.entity, state);
+            }
+            if let Some(t0) = t0 {
+                self.metrics.spill_rehydrate_ns.record(elapsed_ns(t0));
+            }
+        }
+
         // 1. Online cleaning (per-entity, panic-free by construction).
         let cep_template = &self.cep_template;
         let config = &self.config;
@@ -683,7 +735,9 @@ impl RealTimeLayer {
             synopses: SynopsesGenerator::new(config.synopses.clone()),
             history: VecDeque::new(),
             cep: cep_template.clone(),
+            last_seen: report.ts,
         });
+        state.last_seen = state.last_seen.max(report.ts);
         let t0 = timed.then(Instant::now);
         let outcome = state.cleaner.check(&report);
         if let Some(t0) = t0 {
@@ -756,6 +810,101 @@ impl RealTimeLayer {
     /// forgiven).
     pub fn supervision_evictions(&self) -> u64 {
         self.supervision_evictions
+    }
+
+    /// Rebuilds live operator state from an entity checkpoint (the
+    /// restore path and cold-tier rehydration share this). `last_seen`
+    /// starts at the distant past — the caller's next report (or the
+    /// restored watermark ordering) re-learns it; until then a revived
+    /// entity ranks as the idlest, which only affects eviction *choice*,
+    /// never outputs.
+    fn revive_entity(&self, e: EntityCheckpoint) -> EntityState {
+        let cep = match (&self.cep_template, e.cep) {
+            (Some(template), Some(ws)) => {
+                let mut engine = template.clone();
+                engine.restore_online_state(ws);
+                Some(engine)
+            }
+            _ => None,
+        };
+        EntityState {
+            cleaner: StreamCleaner::restore(self.config.cleaning.clone(), e.cleaner),
+            synopses: SynopsesGenerator::restore(self.config.synopses.clone(), e.synopses),
+            // `VecDeque::from(Vec)` reuses the decoded allocation (O(1)).
+            history: VecDeque::from(e.history),
+            cep,
+            last_seen: Timestamp(i64::MIN),
+        }
+    }
+
+    /// Cold-tier helpers for the spill hot path live as free functions
+    /// ([`revive_pooled`], [`retire_state`]) because they run while other
+    /// fields of `self` are mutably borrowed.
+    ///
+    /// Evicts the idlest resident entities into the cold tier whenever
+    /// residency exceeds [`DatacronConfig::max_resident_entities`]. Runs
+    /// after every ingested record (accepted *or* rejected — cleaning
+    /// rejections still materialize entity state). Ranking is by
+    /// `(last_seen event time, entity id)` — deterministic for a given
+    /// input stream — and eviction overshoots to `budget - budget/8`
+    /// (hysteresis) so a fleet cycling just above budget doesn't pay a
+    /// full ranking scan per record.
+    fn maybe_spill(&mut self) {
+        let Some(budget) = self.config.max_resident_entities else {
+            return;
+        };
+        if self.entities.len() <= budget {
+            return;
+        }
+        let trig0 = self.metrics.enabled.then(Instant::now);
+        let target = budget - budget / 8;
+        let n_evict = self.entities.len() - target;
+        let mut ranked: Vec<(Timestamp, EntityId)> = self
+            .entities
+            .iter()
+            .map(|(id, s)| (s.last_seen, *id))
+            .collect();
+        if n_evict < ranked.len() {
+            ranked.select_nth_unstable(n_evict - 1);
+        }
+        for &(_, id) in ranked.iter().take(n_evict) {
+            let t0 = self.metrics.enabled.then(Instant::now);
+            if let Some(state) = self.entities.remove(&id) {
+                snapshot_into(&mut self.spill_scratch, id, &state);
+                self.spill.spill(&self.spill_scratch);
+                retire_state(&mut self.state_pool, state);
+            }
+            if let Some(t0) = t0 {
+                self.metrics.spill_evict_ns.record(elapsed_ns(t0));
+            }
+        }
+        if let Some(trig0) = trig0 {
+            self.metrics.spill_trigger_ns.record(elapsed_ns(trig0));
+        }
+    }
+
+    /// Cold-tier counters: evictions, rehydrations, current spill
+    /// occupancy and bytes, disk-tier errors. All zero when no resident
+    /// budget is configured.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill.stats()
+    }
+
+    /// Entities currently resident (live operator state in memory). Never
+    /// exceeds [`DatacronConfig::max_resident_entities`] between ingests
+    /// when a budget is configured.
+    pub fn resident_entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Entities currently parked in the cold tier, sorted. Quarantined
+    /// entities are never here: quarantine follows a supervised panic,
+    /// which drops the entity's state outright — there is nothing left to
+    /// spill.
+    pub fn spilled_entities(&self) -> Vec<EntityId> {
+        let mut v = self.spill.ids();
+        v.sort();
+        v
     }
 
     /// Publishes a dead letter and returns the rejection output.
@@ -1016,6 +1165,17 @@ impl RealTimeLayer {
                 snap.add_counter(&format!("topic.{n}.lag_signals"), health.stats.lag_signals);
                 snap.set_gauge(&format!("topic.{n}.retained"), health.retained as i64);
             }
+            // Cold-tier occupancy and round-trip totals. Gauges, not
+            // counters: eviction/rehydration cadence depends on the
+            // resident budget, which the count-metric determinism contract
+            // (budgeted ≡ unbounded, sharded ≡ single) must not see.
+            let spill = self.spill.stats();
+            snap.set_gauge("spill.resident", self.entities.len() as i64);
+            snap.set_gauge("spill.spilled", spill.spilled as i64);
+            snap.set_gauge("spill.evictions", spill.evictions as i64);
+            snap.set_gauge("spill.rehydrations", spill.rehydrations as i64);
+            snap.set_gauge("spill.spilled_bytes", spill.spilled_bytes as i64);
+            snap.set_gauge("spill.disk_errors", spill.disk_errors as i64);
         }
         snap
     }
@@ -1100,12 +1260,26 @@ impl RealTimeLayer {
     /// flushes, merged by entity, reproduce it exactly.
     pub fn flush(&mut self) -> Vec<CriticalPoint> {
         let mut ids: Vec<EntityId> = self.entities.keys().copied().collect();
+        ids.extend(self.spill.ids());
         ids.sort();
         let mut all = Vec::new();
         let mut cps = Vec::new();
         for id in ids {
-            let Some(state) = self.entities.get_mut(&id) else {
-                continue;
+            // Spilled entities round-trip through the cold tier one at a
+            // time — residency never exceeds budget + 1 during a flush, and
+            // the post-flush state goes back to the tier so records
+            // arriving after the flush see exactly what a fully-resident
+            // run would.
+            let mut revived = match self.entities.get_mut(&id) {
+                Some(_) => None,
+                None => match self.spill.take(id) {
+                    Some(ckpt) => Some(self.revive_entity(ckpt)),
+                    None => continue,
+                },
+            };
+            let state = match revived.as_mut() {
+                Some(s) => s,
+                None => self.entities.get_mut(&id).expect("resident: checked above"),
             };
             cps.clear();
             state.synopses.flush(&mut cps);
@@ -1117,6 +1291,9 @@ impl RealTimeLayer {
             }
             self.metrics.critical_points.add(cps.len() as u64);
             all.extend_from_slice(&cps);
+            if let Some(s) = revived {
+                self.spill.spill(&snapshot_entity(id, &s));
+            }
         }
         all
     }
@@ -1125,8 +1302,12 @@ impl RealTimeLayer {
     /// `step_seconds` ahead with RMF\*, from its recent cleaned history.
     /// `None` when the entity is unknown or has no history.
     pub fn predict_location(&self, entity: EntityId, k: usize, step_seconds: f64) -> Option<Vec<GeoPoint>> {
-        let state = self.entities.get(&entity)?;
-        let reports: Vec<PositionReport> = state.history.iter().copied().collect();
+        let reports: Vec<PositionReport> = match self.entities.get(&entity) {
+            Some(state) => state.history.iter().copied().collect(),
+            // A spilled entity's history answers queries without
+            // rehydrating (peek decodes a copy; residency is untouched).
+            None => self.spill.peek(entity)?.history,
+        };
         if reports.is_empty() {
             return None;
         }
@@ -1139,14 +1320,18 @@ impl RealTimeLayer {
         Some(preds.into_iter().map(|(x, y)| frame.unproject(x, y)).collect())
     }
 
-    /// The last accepted report of an entity.
+    /// The last accepted report of an entity, resident or spilled.
     pub fn last_position(&self, entity: EntityId) -> Option<PositionReport> {
-        self.entities.get(&entity)?.history.back().copied()
+        match self.entities.get(&entity) {
+            Some(state) => state.history.back().copied(),
+            None => self.spill.peek(entity)?.history.last().copied(),
+        }
     }
 
-    /// All entities with live state.
+    /// All entities with state, resident and spilled, sorted.
     pub fn entities(&self) -> Vec<EntityId> {
         let mut v: Vec<EntityId> = self.entities.keys().copied().collect();
+        v.extend(self.spill.ids());
         v.sort();
         v
     }
@@ -1164,14 +1349,16 @@ impl RealTimeLayer {
         let mut entities: Vec<EntityCheckpoint> = self
             .entities
             .iter()
-            .map(|(entity, s)| EntityCheckpoint {
-                entity: *entity,
-                cleaner: s.cleaner.state(),
-                synopses: s.synopses.state(),
-                history: s.history.iter().copied().collect(),
-                cep: s.cep.as_ref().map(Wayeb::online_state),
-            })
+            .map(|(entity, s)| snapshot_entity(*entity, s))
             .collect();
+        // Spilled entities decode back into the checkpoint, so the durable
+        // state — and therefore recovery, re-sharding and their encodings —
+        // is identical whether or not a resident budget was configured.
+        for id in self.spill.ids() {
+            if let Some(ckpt) = self.spill.peek(id) {
+                entities.push(ckpt);
+            }
+        }
         entities.sort_by_key(|e| e.entity);
         let mut supervision: Vec<SupervisionCheckpoint> = self
             .supervision
@@ -1213,24 +1400,13 @@ impl RealTimeLayer {
     /// same configuration and attachments as the one that checkpointed.
     pub fn restore_state(&mut self, state: LayerState) {
         self.entities.clear();
+        // A restored state's entities all come in resident; stale cold-tier
+        // blobs (from before the restore) must never resurrect.
+        self.spill.clear();
         for e in state.entities {
-            let cep = match (&self.cep_template, e.cep) {
-                (Some(template), Some(ws)) => {
-                    let mut engine = template.clone();
-                    engine.restore_online_state(ws);
-                    Some(engine)
-                }
-                _ => None,
-            };
-            self.entities.insert(
-                e.entity,
-                EntityState {
-                    cleaner: StreamCleaner::restore(self.config.cleaning.clone(), e.cleaner),
-                    synopses: SynopsesGenerator::restore(self.config.synopses.clone(), e.synopses),
-                    history: e.history.into_iter().collect(),
-                    cep,
-                },
-            );
+            let entity = e.entity;
+            let revived = self.revive_entity(e);
+            self.entities.insert(entity, revived);
         }
         self.supervision.clear();
         for s in state.supervision {
@@ -1261,6 +1437,74 @@ impl RealTimeLayer {
     }
 }
 
+/// Durable snapshot of one entity's operator state — the unit of both the
+/// full layer checkpoint and cold-tier spill.
+/// Upper bound on recycled [`EntityState`]s (caps idle pool memory; sized
+/// to absorb one full eviction burst at fleet scale).
+const STATE_POOL_CAP: usize = 16 * 1024;
+
+/// The hot-path twin of [`RealTimeLayer::revive_entity`]: rebuilds an
+/// entity's operator state from a *borrowed* checkpoint, reusing a retired
+/// [`EntityState`]'s allocations when the pool has one. Behaviour is
+/// identical to `revive_entity(ckpt.clone())`.
+fn revive_pooled(
+    pool: &mut Vec<EntityState>,
+    config: &DatacronConfig,
+    cep_template: &Option<Wayeb>,
+    ckpt: &EntityCheckpoint,
+) -> EntityState {
+    let cep = match (cep_template, &ckpt.cep) {
+        (Some(template), Some(ws)) => {
+            let mut engine = template.clone();
+            engine.restore_online_state(ws.clone());
+            Some(engine)
+        }
+        _ => None,
+    };
+    let mut s = pool.pop().unwrap_or_else(|| EntityState {
+        cleaner: StreamCleaner::new(config.cleaning.clone()),
+        synopses: SynopsesGenerator::new(config.synopses.clone()),
+        history: VecDeque::new(),
+        cep: None,
+        last_seen: Timestamp(i64::MIN),
+    });
+    s.cleaner = StreamCleaner::restore(config.cleaning.clone(), ckpt.cleaner.clone());
+    s.synopses.restore_from(&ckpt.synopses);
+    s.history.clear();
+    s.history.extend(ckpt.history.iter().copied());
+    s.cep = cep;
+    s.last_seen = Timestamp(i64::MIN);
+    s
+}
+
+/// Parks an evicted [`EntityState`] for reuse by [`revive_pooled`].
+/// States carrying a CEP engine are dropped instead (pattern run-state is
+/// not safely recyclable by overwrite; scenarios that attach patterns
+/// simply fall back to the allocating path).
+fn retire_state(pool: &mut Vec<EntityState>, s: EntityState) {
+    if s.cep.is_none() && pool.len() < STATE_POOL_CAP {
+        pool.push(s);
+    }
+}
+
+fn snapshot_entity(entity: EntityId, s: &EntityState) -> EntityCheckpoint {
+    let mut out = EntityCheckpoint::empty();
+    snapshot_into(&mut out, entity, s);
+    out
+}
+
+/// [`snapshot_entity`] into an existing checkpoint, reusing its history
+/// and window allocations (the eviction hot path snapshots through one
+/// recycled scratch value).
+fn snapshot_into(out: &mut EntityCheckpoint, entity: EntityId, s: &EntityState) {
+    out.entity = entity;
+    out.cleaner = s.cleaner.state();
+    s.synopses.state_into(&mut out.synopses);
+    out.history.clear();
+    out.history.extend(s.history.iter().copied());
+    out.cep = s.cep.as_ref().map(Wayeb::online_state);
+}
+
 fn topic_checkpoint<T: Clone>(topic: &Topic<T>) -> TopicCheckpoint<T> {
     let (base, stats, retained) = topic.durable_state();
     TopicCheckpoint { base, stats, retained }
@@ -1268,6 +1512,41 @@ fn topic_checkpoint<T: Clone>(topic: &Topic<T>) -> TopicCheckpoint<T> {
 
 fn restore_topic<T: Clone>(topic: &Topic<T>, ckpt: TopicCheckpoint<T>) {
     topic.restore_state(ckpt.base, ckpt.stats, ckpt.retained);
+}
+
+impl EntityCheckpoint {
+    /// A placeholder checkpoint (scratch target for
+    /// [`decode_into`](Self::decode_into) / [`snapshot_into`]).
+    pub(crate) fn empty() -> Self {
+        Self {
+            entity: EntityId {
+                kind: MovingKind::Vessel,
+                id: 0,
+            },
+            cleaner: CleanerState {
+                last: None,
+                stats: CleaningStats::default(),
+            },
+            synopses: SynopsesState {
+                window: Vec::new(),
+                last: None,
+                started: false,
+                stop_candidate: None,
+                in_stop: false,
+                slow_candidate: None,
+                in_slow: false,
+                airborne: false,
+                vertical_regime: 0,
+                last_heading_emit: None,
+                last_speed_emit: None,
+                anchor: None,
+                seen: 0,
+                emitted: 0,
+            },
+            history: Vec::new(),
+            cep: None,
+        }
+    }
 }
 
 /// Durable snapshot of one entity's streaming state (one element of a
@@ -1592,6 +1871,56 @@ mod tests {
         l.ingest(r);
         assert_eq!(l.evict_idle_supervision(), 50, "transient histories reclaimed");
         assert!(l.health().degraded.is_empty());
+    }
+
+    #[test]
+    fn resident_budget_spills_idle_entities_and_rehydrates_transparently() {
+        let mut bounded = layer();
+        bounded.config.max_resident_entities = Some(2);
+        let mut unbounded = layer();
+        // Six entities reporting round-robin: under a budget of 2 every
+        // report but the first per round rehydrates a spilled entity.
+        let drive = |l: &mut RealTimeLayer| {
+            let mut outs = Vec::new();
+            for round in 0..30i64 {
+                for e in 0..6u64 {
+                    let mut r = rep(
+                        round * 60 + e as i64,
+                        1.0 + 0.001 * (round as f64) ,
+                        40.0 + 0.1 * e as f64,
+                        8.0,
+                        if round < 15 { 90.0 } else { 0.0 },
+                    );
+                    r.entity = EntityId::vessel(e);
+                    outs.push(l.ingest(r));
+                }
+            }
+            outs.extend(l.flush().into_iter().map(|cp| IngestOutput {
+                critical_points: vec![cp],
+                ..IngestOutput::default()
+            }));
+            outs
+        };
+        let a = drive(&mut bounded);
+        let b = drive(&mut unbounded);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "outputs are bit-identical");
+        assert!(bounded.resident_entity_count() <= 3, "budget held (flush round-trip ≤ budget + 1)");
+        assert_eq!(bounded.entity_count(), 6, "all entities logically alive");
+        assert_eq!(bounded.entities(), unbounded.entities());
+        let stats = bounded.spill_stats();
+        assert!(stats.evictions > 0 && stats.rehydrations > 0, "the tier was exercised: {stats:?}");
+        assert_eq!(stats.disk_errors, 0);
+        // Read-side queries see through the tier.
+        for e in 0..6u64 {
+            assert_eq!(
+                bounded.last_position(EntityId::vessel(e)).map(|r| r.ts),
+                unbounded.last_position(EntityId::vessel(e)).map(|r| r.ts),
+            );
+        }
+        // The durable state is identical with and without a budget.
+        let ca = bounded.checkpoint_state();
+        let cb = unbounded.checkpoint_state();
+        assert_eq!(format!("{:?}", ca.entities), format!("{:?}", cb.entities));
     }
 
     #[test]

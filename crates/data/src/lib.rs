@@ -27,6 +27,10 @@
 //!   experiments.
 //! * [`table1`] — an inventory harness that regenerates the shape of
 //!   Table 1 from these generators.
+//! * [`scenario`] — declarative mixed-fleet scenarios (`.scenario` files):
+//!   wave-structured maritime+aviation populations in a shared weather
+//!   field, with rush-hour bursts, regime shifts and mass communication
+//!   gaps, executed deterministically by the `datacron-cli` runner.
 //!
 //! All generators are deterministic given a seed.
 
@@ -35,6 +39,7 @@ pub mod context;
 pub mod events;
 pub mod maritime;
 pub mod rng;
+pub mod scenario;
 pub mod table1;
 pub mod weather;
 
@@ -43,4 +48,5 @@ pub use context::{AreaGenerator, PortGenerator, Region, RegistryGenerator};
 pub use events::{MarkovSymbolSource, SymbolStream};
 pub use maritime::{GeneratedVoyage, VesselClass, VoyageGenerator};
 pub use rng::SeededRng;
+pub use scenario::{BurstSpec, GapSpec, ScenarioError, ScenarioGenerator, ScenarioSpec};
 pub use weather::WeatherField;

@@ -1,0 +1,613 @@
+//! Declarative mixed-fleet scenarios for the `datacron-cli` runner.
+//!
+//! A scenario describes a reproducible, deterministic surveillance
+//! workload at fleet scale: a mixed maritime + aviation population moving
+//! through a shared weather field, emitted in **waves** (contiguous
+//! entity cohorts that take turns being active) so that the working set
+//! at any instant is a fraction of the fleet — the access pattern the
+//! cold-state spill tier of `datacron-core` is built for. On top of the
+//! wave structure a scenario can schedule:
+//!
+//! * a **rush-hour burst** — a window of the timeline where every active
+//!   entity reports several times more often;
+//! * a **regime shift** — a point after which every entity jumps to a new
+//!   heading/speed regime (the "everything changed at once" stressor for
+//!   synopses and CEP state);
+//! * a **mass communication gap** — a window where a fraction of the
+//!   fleet goes silent, producing the long-gap records the cleaning and
+//!   gap-event machinery must absorb.
+//!
+//! Scenarios are authored as plain-text `.scenario` files (`key = value`
+//! lines, `#` comments) parsed by [`ScenarioSpec::parse`] with typed,
+//! line-addressed errors, and executed by [`ScenarioGenerator`], which
+//! streams [`PositionReport`]s in deterministic order for a given seed.
+
+use crate::rng::SeededRng;
+use crate::weather::WeatherField;
+use datacron_geo::{BoundingBox, EntityId, GeoPoint, MovingKind, PositionReport, Timestamp};
+use std::fmt;
+
+/// A rush-hour window: between `start` and `end` (fractions of the
+/// timeline) every active entity reports `multiplier`× more often, at a
+/// proportionally shorter reporting interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Window start, as a fraction of the timeline in `[0, 1]`.
+    pub start: f64,
+    /// Window end, as a fraction of the timeline in `(start, 1]`.
+    pub end: f64,
+    /// Report-rate multiplier inside the window (`>= 2`).
+    pub multiplier: u32,
+}
+
+/// A mass communication gap: between `start` and `end` (fractions of the
+/// timeline) a `silent` fraction of the fleet stops reporting entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapSpec {
+    /// Window start, as a fraction of the timeline in `[0, 1]`.
+    pub start: f64,
+    /// Window end, as a fraction of the timeline in `(start, 1]`.
+    pub end: f64,
+    /// Fraction of entities that go silent, in `(0, 1]`.
+    pub silent: f64,
+}
+
+/// A parsed, validated scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reported in bench output).
+    pub name: String,
+    /// Master seed; every generated quantity derives from it.
+    pub seed: u64,
+    /// Area of interest. Tracks bounce off its edges.
+    pub extent: BoundingBox,
+    /// Number of vessels in the fleet.
+    pub vessels: u64,
+    /// Number of aircraft in the fleet.
+    pub aircraft: u64,
+    /// Number of wave cohorts the fleet is partitioned into. The resident
+    /// working set of the run is roughly `ceil(fleet / waves)` entities.
+    pub waves: usize,
+    /// How many times each wave cohort becomes active over the run. With
+    /// `rounds >= 2` every entity is cold-started at least once after
+    /// being idle — the rehydration path.
+    pub rounds: usize,
+    /// Reports each active entity emits per wave visit (before burst
+    /// multiplication).
+    pub reports_per_visit: usize,
+    /// Reporting interval within a visit, seconds.
+    pub step_seconds: i64,
+    /// Optional rush-hour burst window.
+    pub burst: Option<BurstSpec>,
+    /// Optional regime shift, as a fraction of the timeline: past this
+    /// point every entity jumps to a new heading/speed regime once.
+    pub regime_shift: Option<f64>,
+    /// Optional mass communication gap window.
+    pub gap: Option<GapSpec>,
+    /// Resident-entity budget the runner should apply
+    /// (`DatacronConfig::max_resident_entities`). `None` = unbounded.
+    pub budget: Option<usize>,
+}
+
+/// A typed, line-addressed `.scenario` parse/validation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A line that is not blank, a comment, or `key = value`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line text.
+        text: String,
+    },
+    /// A `key = value` line whose key is not part of the format.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognised key.
+        key: String,
+    },
+    /// A value that does not parse as the key's type.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key being assigned.
+        key: String,
+        /// The offending value text.
+        value: String,
+        /// What the key expects, e.g. `"u64"` or `"min_lon min_lat max_lon max_lat"`.
+        expected: &'static str,
+    },
+    /// A key the format requires was never assigned.
+    MissingKey {
+        /// The missing key.
+        key: &'static str,
+    },
+    /// The file parsed but describes an impossible scenario.
+    Invalid {
+        /// Human-readable explanation of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Malformed { line, text } => {
+                write!(f, "line {line}: not `key = value`: {text:?}")
+            }
+            Self::UnknownKey { line, key } => write!(f, "line {line}: unknown key {key:?}"),
+            Self::BadValue { line, key, value, expected } => {
+                write!(f, "line {line}: key {key:?}: expected {expected}, got {value:?}")
+            }
+            Self::MissingKey { key } => write!(f, "missing required key {key:?}"),
+            Self::Invalid { reason } => write!(f, "invalid scenario: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioSpec {
+    /// Parses and validates `.scenario` text.
+    ///
+    /// Format: one `key = value` per line; blank lines and `#` comments
+    /// ignored. Required keys: `name`, `extent`, and at least one of
+    /// `vessels` / `aircraft` non-zero. Everything else has a default.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut name: Option<String> = None;
+        let mut extent: Option<BoundingBox> = None;
+        let mut spec = Self {
+            name: String::new(),
+            seed: 42,
+            extent: BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+            vessels: 0,
+            aircraft: 0,
+            waves: 4,
+            rounds: 2,
+            reports_per_visit: 12,
+            step_seconds: 10,
+            burst: None,
+            regime_shift: None,
+            gap: None,
+            budget: None,
+        };
+
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(ScenarioError::Malformed { line, text: trimmed.to_string() });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |expected: &'static str| ScenarioError::BadValue {
+                line,
+                key: key.to_string(),
+                value: value.to_string(),
+                expected,
+            };
+            match key {
+                "name" => name = Some(value.to_string()),
+                "seed" => spec.seed = value.parse().map_err(|_| bad("u64"))?,
+                "extent" => {
+                    let nums = parse_floats(value, 4).ok_or_else(|| {
+                        bad("four floats: min_lon min_lat max_lon max_lat")
+                    })?;
+                    extent = Some(BoundingBox::new(nums[0], nums[1], nums[2], nums[3]));
+                }
+                "vessels" => spec.vessels = value.parse().map_err(|_| bad("u64"))?,
+                "aircraft" => spec.aircraft = value.parse().map_err(|_| bad("u64"))?,
+                "waves" => spec.waves = value.parse().map_err(|_| bad("usize >= 1"))?,
+                "rounds" => spec.rounds = value.parse().map_err(|_| bad("usize >= 1"))?,
+                "reports_per_visit" => {
+                    spec.reports_per_visit = value.parse().map_err(|_| bad("usize >= 1"))?
+                }
+                "step_seconds" => spec.step_seconds = value.parse().map_err(|_| bad("i64 >= 1"))?,
+                "burst" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let expected = "start_frac end_frac multiplier";
+                    if parts.len() != 3 {
+                        return Err(bad(expected));
+                    }
+                    spec.burst = Some(BurstSpec {
+                        start: parts[0].parse().map_err(|_| bad(expected))?,
+                        end: parts[1].parse().map_err(|_| bad(expected))?,
+                        multiplier: parts[2].parse().map_err(|_| bad(expected))?,
+                    });
+                }
+                "regime_shift" => {
+                    spec.regime_shift = Some(value.parse().map_err(|_| bad("fraction in [0, 1]"))?)
+                }
+                "gap" => {
+                    let nums = parse_floats(value, 3)
+                        .ok_or_else(|| bad("start_frac end_frac silent_frac"))?;
+                    spec.gap = Some(GapSpec { start: nums[0], end: nums[1], silent: nums[2] });
+                }
+                "budget" => {
+                    let n: usize = value.parse().map_err(|_| bad("usize (0 = unbounded)"))?;
+                    spec.budget = if n == 0 { None } else { Some(n) };
+                }
+                _ => return Err(ScenarioError::UnknownKey { line, key: key.to_string() }),
+            }
+        }
+
+        spec.name = name.ok_or(ScenarioError::MissingKey { key: "name" })?;
+        spec.extent = extent.ok_or(ScenarioError::MissingKey { key: "extent" })?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let invalid = |reason: String| Err(ScenarioError::Invalid { reason });
+        if self.vessels + self.aircraft == 0 {
+            return invalid("fleet is empty: set vessels and/or aircraft".into());
+        }
+        if self.waves == 0 || self.rounds == 0 || self.reports_per_visit == 0 {
+            return invalid("waves, rounds and reports_per_visit must all be >= 1".into());
+        }
+        if self.step_seconds < 1 {
+            return invalid(format!("step_seconds must be >= 1, got {}", self.step_seconds));
+        }
+        if self.waves as u64 > self.vessels + self.aircraft {
+            return invalid(format!(
+                "{} waves over a fleet of {} would leave empty waves",
+                self.waves,
+                self.vessels + self.aircraft
+            ));
+        }
+        if let Some(b) = &self.burst {
+            if !(0.0..=1.0).contains(&b.start) || !(0.0..=1.0).contains(&b.end) || b.start >= b.end
+            {
+                return invalid(format!("burst window [{}, {}] is not ordered in [0, 1]", b.start, b.end));
+            }
+            if b.multiplier < 2 {
+                return invalid(format!("burst multiplier {} is not a burst", b.multiplier));
+            }
+        }
+        if let Some(s) = self.regime_shift {
+            if !(0.0..=1.0).contains(&s) {
+                return invalid(format!("regime_shift {s} outside [0, 1]"));
+            }
+        }
+        if let Some(g) = &self.gap {
+            if !(0.0..=1.0).contains(&g.start) || !(0.0..=1.0).contains(&g.end) || g.start >= g.end
+            {
+                return invalid(format!("gap window [{}, {}] is not ordered in [0, 1]", g.start, g.end));
+            }
+            if !(0.0..=1.0).contains(&g.silent) || g.silent == 0.0 {
+                return invalid(format!("gap silent fraction {} outside (0, 1]", g.silent));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total fleet size.
+    pub fn entities(&self) -> u64 {
+        self.vessels + self.aircraft
+    }
+
+    /// Upper bound on emitted reports (gaps only remove reports).
+    pub fn max_reports(&self) -> u64 {
+        let visits = (self.rounds * self.waves) as u64;
+        let per_visit = self.reports_per_visit as u64;
+        let base = self.entities().div_ceil(self.waves as u64) * per_visit;
+        let burst_extra = match &self.burst {
+            Some(b) => {
+                let burst_visits =
+                    ((b.end - b.start) * visits as f64).ceil() as u64 + 1;
+                base * (b.multiplier as u64 - 1) * burst_visits.min(visits)
+            }
+            None => 0,
+        };
+        base * visits + burst_extra
+    }
+}
+
+fn parse_floats(value: &str, n: usize) -> Option<Vec<f64>> {
+    let nums: Vec<f64> = value
+        .split_whitespace()
+        .map(|t| t.parse().ok())
+        .collect::<Option<Vec<f64>>>()?;
+    (nums.len() == n).then_some(nums)
+}
+
+/// Per-entity kinematic state, evolved deterministically per emission.
+struct Track {
+    entity: EntityId,
+    pos: GeoPoint,
+    heading: f64,
+    speed: f64,
+    cruise_speed: f64,
+    altitude_m: f64,
+    /// Per-entity phase offset decorrelating the heading drift.
+    phase: f64,
+    /// Uniform hash in `[0, 1)` deciding gap membership.
+    gap_draw: f64,
+    /// Regime-shift applied already?
+    shifted: bool,
+}
+
+/// Executes a [`ScenarioSpec`]: evolves every track and streams the
+/// reports in deterministic wave order.
+pub struct ScenarioGenerator {
+    spec: ScenarioSpec,
+    tracks: Vec<Track>,
+    weather: WeatherField,
+}
+
+impl ScenarioGenerator {
+    /// Builds the fleet (positions, regimes, wave membership) from the
+    /// spec's seed. Vessels and aircraft are interleaved proportionally,
+    /// so every wave cohort is mixed-domain.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        let mut rng = SeededRng::new(spec.seed);
+        let weather = WeatherField::new(spec.extent, spec.seed ^ 0x5EA5_0A1E, 3, 12.0);
+        let total = spec.entities();
+        let mut tracks = Vec::with_capacity(total as usize);
+        let (mut vessel_id, mut aircraft_id, mut acc) = (0u64, 0u64, 0u64);
+        let e = &spec.extent;
+        for _ in 0..total {
+            // Bresenham-style proportional interleave: exactly
+            // `spec.vessels` vessels, mixed through the index space.
+            acc += spec.vessels;
+            let is_vessel = acc >= total;
+            let entity = if is_vessel {
+                acc -= total;
+                vessel_id += 1;
+                EntityId::vessel(vessel_id - 1)
+            } else {
+                aircraft_id += 1;
+                EntityId::aircraft(aircraft_id - 1)
+            };
+            let cruise_speed =
+                if is_vessel { rng.uniform(3.0, 11.0) } else { rng.uniform(150.0, 250.0) };
+            tracks.push(Track {
+                entity,
+                pos: GeoPoint::new(
+                    rng.uniform(e.min_lon, e.max_lon),
+                    rng.uniform(e.min_lat, e.max_lat),
+                ),
+                heading: rng.uniform(0.0, 360.0),
+                speed: cruise_speed,
+                cruise_speed,
+                altitude_m: if is_vessel { 0.0 } else { rng.uniform(4_000.0, 10_000.0) },
+                phase: rng.uniform(0.0, std::f64::consts::TAU),
+                gap_draw: rng.unit(),
+                shifted: false,
+            });
+        }
+        Self { spec, tracks, weather }
+    }
+
+    /// The spec this generator executes.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Streams the whole scenario through `emit`, in deterministic order:
+    /// rounds → waves → time steps → entities of the wave. Each entity's
+    /// reports are strictly time-ordered; entities of the active wave
+    /// interleave (the resident working set is one wave cohort).
+    pub fn run(&mut self, mut emit: impl FnMut(PositionReport)) {
+        let spec = self.spec.clone();
+        let total_visits = (spec.rounds * spec.waves) as f64;
+        let cohort = self.tracks.len().div_ceil(spec.waves);
+        let mut clock_ms: i64 = 0;
+        for round in 0..spec.rounds {
+            for wave in 0..spec.waves {
+                let frac = (round * spec.waves + wave) as f64 / total_visits;
+                let in_burst = spec.burst.as_ref().is_some_and(|b| frac >= b.start && frac < b.end);
+                let in_gap = spec.gap.as_ref().is_some_and(|g| frac >= g.start && frac < g.end);
+                let silent = spec.gap.as_ref().map_or(0.0, |g| g.silent);
+                let shift_now = spec.regime_shift.is_some_and(|s| frac >= s);
+                let mult = if in_burst {
+                    spec.burst.as_ref().map_or(1, |b| b.multiplier as i64)
+                } else {
+                    1
+                };
+                let step_ms = (spec.step_seconds * 1000 / mult).max(1);
+                let steps = spec.reports_per_visit as i64 * mult;
+                let lo = wave * cohort;
+                let hi = ((wave + 1) * cohort).min(self.tracks.len());
+                for _ in 0..steps {
+                    clock_ms += step_ms;
+                    let ts = Timestamp::from_millis(clock_ms);
+                    let dt = step_ms as f64 / 1000.0;
+                    for track in &mut self.tracks[lo..hi] {
+                        if shift_now && !track.shifted {
+                            // The one-time regime jump: new bearing, new
+                            // cruise regime, derived from the entity alone
+                            // so emission order cannot perturb it.
+                            track.heading = (track.heading + 120.0 + 50.0 * track.phase.sin())
+                                .rem_euclid(360.0);
+                            track.cruise_speed *= 1.5;
+                            track.shifted = true;
+                        }
+                        step_track(track, &self.weather, &spec.extent, ts, dt);
+                        if in_gap && track.gap_draw < silent {
+                            continue;
+                        }
+                        let is_vessel = track.entity.kind == MovingKind::Vessel;
+                        emit(PositionReport {
+                            entity: track.entity,
+                            ts,
+                            point: track.pos,
+                            altitude_m: track.altitude_m,
+                            speed_mps: track.speed,
+                            heading_deg: track.heading,
+                            vertical_rate_mps: if is_vessel {
+                                0.0
+                            } else {
+                                8.0 * (ts.secs_f64() * 0.01 + track.phase).sin()
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialises the whole scenario (small scenarios / tests).
+    pub fn collect_reports(&mut self) -> Vec<PositionReport> {
+        let mut out = Vec::new();
+        self.run(|r| out.push(r));
+        out
+    }
+}
+
+/// One kinematic step: smooth heading drift, weather-coupled speed, edge
+/// bounce. Pure in `(track, ts)` — no RNG — so regeneration with the same
+/// seed is byte-identical.
+fn step_track(track: &mut Track, weather: &WeatherField, extent: &BoundingBox, ts: Timestamp, dt: f64) {
+    let t = ts.secs_f64();
+    track.heading = (track.heading + 2.5 * (t * 0.05 + track.phase).sin()).rem_euclid(360.0);
+    let is_vessel = track.entity.kind == MovingKind::Vessel;
+    if is_vessel {
+        // Heavy sea state slows vessels down.
+        let severity = weather.severity_at(&track.pos, ts);
+        track.speed = (track.cruise_speed * (1.0 - 0.35 * severity)).max(0.5);
+    } else {
+        // Head/tail wind component shifts ground speed.
+        let (wu, wv) = weather.wind_at(&track.pos, ts);
+        let rad = track.heading.to_radians();
+        let along = wu * rad.sin() + wv * rad.cos();
+        track.speed = (track.cruise_speed + 0.8 * along).max(60.0);
+        track.altitude_m =
+            (track.altitude_m + 8.0 * (t * 0.01 + track.phase).sin() * dt).clamp(1_500.0, 12_000.0);
+    }
+    let next = track.pos.destination(track.heading, track.speed * dt);
+    if extent.contains(&next) {
+        track.pos = next;
+    } else {
+        // Bounce: reverse and take the step inward; if even that exits
+        // (degenerate extents), stay put rather than drift off-grid.
+        track.heading = (track.heading + 180.0).rem_euclid(360.0);
+        let back = track.pos.destination(track.heading, track.speed * dt);
+        if extent.contains(&back) {
+            track.pos = back;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacron_geo::MovingKind;
+
+    const SMOKE: &str = "\
+# comment
+name = unit
+seed = 7
+extent = -6 36 6 44
+vessels = 30
+aircraft = 18
+waves = 4
+rounds = 2
+reports_per_visit = 5
+step_seconds = 10
+burst = 0.4 0.6 3
+regime_shift = 0.5
+gap = 0.7 0.9 0.5
+budget = 16
+";
+
+    #[test]
+    fn parses_the_full_format() {
+        let spec = ScenarioSpec::parse(SMOKE).expect("parses");
+        assert_eq!(spec.name, "unit");
+        assert_eq!(spec.seed, 7);
+        assert_eq!((spec.vessels, spec.aircraft), (30, 18));
+        assert_eq!(spec.burst, Some(BurstSpec { start: 0.4, end: 0.6, multiplier: 3 }));
+        assert_eq!(spec.regime_shift, Some(0.5));
+        assert_eq!(spec.gap, Some(GapSpec { start: 0.7, end: 0.9, silent: 0.5 }));
+        assert_eq!(spec.budget, Some(16));
+        assert_eq!(spec.entities(), 48);
+    }
+
+    #[test]
+    fn errors_are_typed_and_line_addressed() {
+        match ScenarioSpec::parse("name = x\nbogus_key = 1\n") {
+            Err(ScenarioError::UnknownKey { line: 2, key }) => assert_eq!(key, "bogus_key"),
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        match ScenarioSpec::parse("name = x\nvessels = many\n") {
+            Err(ScenarioError::BadValue { line: 2, key, .. }) => assert_eq!(key, "vessels"),
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+        match ScenarioSpec::parse("name = x\nnot a kv line\n") {
+            Err(ScenarioError::Malformed { line: 2, .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        match ScenarioSpec::parse("vessels = 5\nextent = 0 0 1 1\n") {
+            Err(ScenarioError::MissingKey { key: "name" }) => {}
+            other => panic!("expected MissingKey(name), got {other:?}"),
+        }
+        match ScenarioSpec::parse("name = x\nextent = 0 0 1 1\n") {
+            Err(ScenarioError::Invalid { .. }) => {} // empty fleet
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        match ScenarioSpec::parse("name = x\nextent = 0 0 1 1\nvessels = 4\nburst = 0.9 0.1 3\n") {
+            Err(ScenarioError::Invalid { .. }) => {} // inverted window
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_mixed() {
+        let spec = ScenarioSpec::parse(SMOKE).expect("parses");
+        let a = ScenarioGenerator::new(spec.clone()).collect_reports();
+        let b = ScenarioGenerator::new(spec.clone()).collect_reports();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same stream");
+        assert!(!a.is_empty());
+        let vessels = a.iter().filter(|r| r.entity.kind == MovingKind::Vessel).count();
+        let aircraft = a.iter().filter(|r| r.entity.kind == MovingKind::Aircraft).count();
+        assert!(vessels > 0 && aircraft > 0, "mixed-domain stream");
+        // Everyone stays inside the area of interest.
+        assert!(a.iter().all(|r| spec.extent.contains(&r.point)));
+        // Per-entity timestamps are strictly ordered (the cleaner's
+        // contract for a sane feed).
+        let mut last = std::collections::HashMap::new();
+        for r in &a {
+            if let Some(prev) = last.insert(r.entity, r.ts) {
+                assert!(r.ts > prev, "{:?} went back in time", r.entity);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_gap_and_shift_actually_happen() {
+        let spec = ScenarioSpec::parse(SMOKE).expect("parses");
+        let reports = ScenarioGenerator::new(spec.clone()).collect_reports();
+        // Burst: some visit emitted more reports per entity than base.
+        let mut per_entity = std::collections::HashMap::new();
+        for r in &reports {
+            *per_entity.entry(r.entity).or_insert(0usize) += 1;
+        }
+        let base = spec.reports_per_visit * spec.rounds;
+        assert!(
+            per_entity.values().any(|&n| n > base),
+            "burst never multiplied anyone's report count"
+        );
+        // Gap: some entity emitted fewer reports than the gap-free total.
+        assert!(
+            per_entity.values().any(|&n| n < base),
+            "gap never silenced anyone"
+        );
+        // Shift: late-run speeds exceed every early-run speed for some
+        // entity (cruise regime was multiplied).
+        let early_max = reports[..reports.len() / 4]
+            .iter()
+            .filter(|r| r.entity.kind == MovingKind::Vessel)
+            .map(|r| r.speed_mps)
+            .fold(0.0f64, f64::max);
+        let late_max = reports[3 * reports.len() / 4..]
+            .iter()
+            .filter(|r| r.entity.kind == MovingKind::Vessel)
+            .map(|r| r.speed_mps)
+            .fold(0.0f64, f64::max);
+        assert!(late_max > early_max, "regime shift had no kinematic effect");
+        assert!(reports.len() as u64 <= spec.max_reports());
+    }
+}

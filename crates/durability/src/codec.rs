@@ -230,12 +230,67 @@ pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Encodes `value` into `buf`, replacing its contents but keeping its
+/// allocation — the hot-path variant of [`encode_to_vec`] for callers
+/// that recycle encode buffers (e.g. the cold-state spill tier, which
+/// round-trips similarly-sized blobs millions of times).
+pub fn encode_into<T: Encode>(value: &T, buf: &mut Vec<u8>) {
+    buf.clear();
+    let mut w = ByteWriter {
+        buf: std::mem::take(buf),
+    };
+    value.encode(&mut w);
+    *buf = w.into_bytes();
+}
+
 /// Decodes exactly one value from `bytes`, rejecting trailing garbage.
 pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
     let mut r = ByteReader::new(bytes);
     let value = T::decode(&mut r)?;
     r.finish()?;
     Ok(value)
+}
+
+/// Decodes a length-prefixed sequence into `out`, replacing its contents
+/// but keeping its allocation — the hot-path counterpart of
+/// `Vec::<T>::decode` for callers that recycle decode targets. On error,
+/// `out` holds the prefix decoded so far; callers must treat it as
+/// garbage.
+pub fn decode_vec_into<T: Decode>(
+    r: &mut ByteReader<'_>,
+    out: &mut Vec<T>,
+) -> Result<(), CodecError> {
+    let len = r.get_len()?;
+    out.clear();
+    out.reserve(len.min(r.remaining()));
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(())
+}
+
+/// Decodes a [`SynopsesState`] into `out`, reusing its window allocation
+/// (same wire format as the `Decode` impl). On error, `out` is partially
+/// overwritten and must be treated as garbage.
+pub fn decode_synopses_state_into(
+    r: &mut ByteReader<'_>,
+    out: &mut SynopsesState,
+) -> Result<(), CodecError> {
+    decode_vec_into(r, &mut out.window)?;
+    out.last = Decode::decode(r)?;
+    out.started = r.get_bool()?;
+    out.stop_candidate = Decode::decode(r)?;
+    out.in_stop = r.get_bool()?;
+    out.slow_candidate = Decode::decode(r)?;
+    out.in_slow = r.get_bool()?;
+    out.airborne = r.get_bool()?;
+    out.vertical_regime = r.get_u8()? as i8;
+    out.last_heading_emit = Decode::decode(r)?;
+    out.last_speed_emit = Decode::decode(r)?;
+    out.anchor = Decode::decode(r)?;
+    out.seen = r.get_u64()?;
+    out.emitted = r.get_u64()?;
+    Ok(())
 }
 
 // --- primitives ---
@@ -641,22 +696,24 @@ impl Encode for SynopsesState {
 
 impl Decode for SynopsesState {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
-        Ok(SynopsesState {
-            window: Vec::<PositionReport>::decode(r)?,
-            last: Option::<PositionReport>::decode(r)?,
-            started: r.get_bool()?,
-            stop_candidate: Option::<PositionReport>::decode(r)?,
-            in_stop: r.get_bool()?,
-            slow_candidate: Option::<PositionReport>::decode(r)?,
-            in_slow: r.get_bool()?,
-            airborne: r.get_bool()?,
-            vertical_regime: r.get_u8()? as i8,
-            last_heading_emit: Option::<Timestamp>::decode(r)?,
-            last_speed_emit: Option::<Timestamp>::decode(r)?,
-            anchor: Option::<PositionReport>::decode(r)?,
-            seen: r.get_u64()?,
-            emitted: r.get_u64()?,
-        })
+        let mut out = SynopsesState {
+            window: Vec::new(),
+            last: None,
+            started: false,
+            stop_candidate: None,
+            in_stop: false,
+            slow_candidate: None,
+            in_slow: false,
+            airborne: false,
+            vertical_regime: 0,
+            last_heading_emit: None,
+            last_speed_emit: None,
+            anchor: None,
+            seen: 0,
+            emitted: 0,
+        };
+        decode_synopses_state_into(r, &mut out)?;
+        Ok(out)
     }
 }
 

@@ -116,49 +116,77 @@ impl SynopsesGenerator {
 
     /// Snapshots the online state for checkpointing.
     pub fn state(&self) -> SynopsesState {
-        SynopsesState {
-            window: self.window.iter().copied().collect(),
-            last: self.last,
-            started: self.started,
-            stop_candidate: self.stop_candidate,
-            in_stop: self.in_stop,
-            slow_candidate: self.slow_candidate,
-            in_slow: self.in_slow,
-            airborne: self.airborne,
-            vertical_regime: self.vertical_regime,
-            last_heading_emit: self.last_heading_emit,
-            last_speed_emit: self.last_speed_emit,
-            anchor: self.anchor,
-            seen: self.seen,
-            emitted: self.emitted,
-        }
+        let mut out = SynopsesState {
+            window: Vec::new(),
+            last: None,
+            started: false,
+            stop_candidate: None,
+            in_stop: false,
+            slow_candidate: None,
+            in_slow: false,
+            airborne: false,
+            vertical_regime: 0,
+            last_heading_emit: None,
+            last_speed_emit: None,
+            anchor: None,
+            seen: 0,
+            emitted: 0,
+        };
+        self.state_into(&mut out);
+        out
+    }
+
+    /// [`state`](Self::state) into an existing snapshot, reusing its
+    /// window allocation — the cold-state spill tier snapshots entities
+    /// millions of times and recycles one scratch snapshot.
+    pub fn state_into(&self, out: &mut SynopsesState) {
+        out.window.clear();
+        out.window.extend(self.window.iter().copied());
+        out.last = self.last;
+        out.started = self.started;
+        out.stop_candidate = self.stop_candidate;
+        out.in_stop = self.in_stop;
+        out.slow_candidate = self.slow_candidate;
+        out.in_slow = self.in_slow;
+        out.airborne = self.airborne;
+        out.vertical_regime = self.vertical_regime;
+        out.last_heading_emit = self.last_heading_emit;
+        out.last_speed_emit = self.last_speed_emit;
+        out.anchor = self.anchor;
+        out.seen = self.seen;
+        out.emitted = self.emitted;
     }
 
     /// Rebuilds a generator from a checkpointed state and its config.
     pub fn restore(cfg: SynopsesConfig, state: SynopsesState) -> Self {
-        let vel_cache = state
-            .window
-            .iter()
-            .map(|r| Self::cached_velocity(&cfg, r))
-            .collect();
-        Self {
-            cfg,
-            window: state.window.into_iter().collect(),
-            vel_cache,
-            last: state.last,
-            started: state.started,
-            stop_candidate: state.stop_candidate,
-            in_stop: state.in_stop,
-            slow_candidate: state.slow_candidate,
-            in_slow: state.in_slow,
-            airborne: state.airborne,
-            vertical_regime: state.vertical_regime,
-            last_heading_emit: state.last_heading_emit,
-            last_speed_emit: state.last_speed_emit,
-            anchor: state.anchor,
-            seen: state.seen,
-            emitted: state.emitted,
-        }
+        let mut out = Self::new(cfg);
+        out.restore_from(&state);
+        out
+    }
+
+    /// [`restore`](Self::restore) in place, reusing this generator's
+    /// window and velocity-cache allocations. Behaviour after the call is
+    /// identical to a freshly [`restore`](Self::restore)d generator with
+    /// this generator's config.
+    pub fn restore_from(&mut self, state: &SynopsesState) {
+        self.vel_cache.clear();
+        self.vel_cache
+            .extend(state.window.iter().map(|r| Self::cached_velocity(&self.cfg, r)));
+        self.window.clear();
+        self.window.extend(state.window.iter().copied());
+        self.last = state.last;
+        self.started = state.started;
+        self.stop_candidate = state.stop_candidate;
+        self.in_stop = state.in_stop;
+        self.slow_candidate = state.slow_candidate;
+        self.in_slow = state.in_slow;
+        self.airborne = state.airborne;
+        self.vertical_regime = state.vertical_regime;
+        self.last_heading_emit = state.last_heading_emit;
+        self.last_speed_emit = state.last_speed_emit;
+        self.anchor = state.anchor;
+        self.seen = state.seen;
+        self.emitted = state.emitted;
     }
 
     /// Raw records seen.

@@ -85,13 +85,30 @@ def check_live(e, path, batch, reference):
     assert e["elapsed_ms"] > 0, f"{path}: zero elapsed time"
 
 
+def load(path, what, hint=""):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"FAIL: {what} {path!r} is missing.{hint}"
+        )
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"FAIL: {what} {path!r} is not valid JSON: {e}")
+
+
 def main():
     if len(sys.argv) != 3:
         raise SystemExit(f"usage: {sys.argv[0]} <bench.json> <schema.json>")
-    with open(sys.argv[1]) as f:
-        result = json.load(f)
-    with open(sys.argv[2]) as f:
-        schema = json.load(f)
+    result = load(
+        sys.argv[1],
+        "bench result",
+        hint=(
+            " Regenerate it with:"
+            " cargo run --release --example kg_drill -- --out BENCH_kg.json"
+        ),
+    )
+    schema = load(sys.argv[2], "schema")
     validate(result, schema)
 
     batch = result["batch"]

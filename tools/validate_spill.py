@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate a datacron-cli spill result against schemas/bench_spill.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type (including type unions like
+["integer", "null"]), const, required, properties, additionalProperties,
+minimum, items, minItems — then layers on the semantic cross-checks a
+shape schema cannot express:
+
+* when two arms ran, their digests must be equal (`digests_match` true)
+  and every count aggregate (accepted, dead-lettered, critical points,
+  area events, links, triples, entities) must agree arm-for-arm;
+* the budgeted arm's `max_resident` must be within its budget, its spill
+  tier must actually have been exercised (evictions and rehydrations
+  both non-zero) with zero rehydrate failures, while the unbounded
+  reference arm must never have spilled;
+* the budgeted/resident throughput ratio must clear the floor
+  (default 0.8, override with --min-ratio).
+
+CI runs this against the scenario-smoke output and the committed
+BENCH_spill.json; it is also handy locally:
+
+    python3 tools/validate_spill.py BENCH_spill.json schemas/bench_spill.schema.json
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"FAIL at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    ok = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "boolean": lambda v: isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+        "null": lambda v: v is None,
+    }.get(expected)
+    if ok is None:
+        fail(path, f"schema uses unsupported type {expected!r}")
+    return ok(value)
+
+
+def validate(value, schema, path=""):
+    if "type" in schema:
+        expected = schema["type"]
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(check_type(value, t, path) for t in types):
+            fail(path, f"expected {' or '.join(types)}, got {type(value).__name__}: {value!r}")
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = f"{path}.{name}" if path else name
+            if name in props:
+                validate(item, props[name], sub)
+            elif isinstance(extra, dict):
+                validate(item, extra, sub)
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+
+def load(path, what, hint=""):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"FAIL: {what} {path!r} is missing.{hint}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"FAIL: {what} {path!r} is not valid JSON: {e}")
+
+
+COUNTS = ["accepted", "dead_lettered", "critical_points", "area_events",
+          "links", "triples", "entities"]
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_ratio = 0.8
+    for a in sys.argv[1:]:
+        if a.startswith("--min-ratio="):
+            min_ratio = float(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            raise SystemExit(f"unknown option {a!r}")
+    if len(args) != 2:
+        raise SystemExit(
+            f"usage: {sys.argv[0]} <bench.json> <schema.json> [--min-ratio=0.8]")
+    result = load(
+        args[0], "bench result",
+        hint=(" Regenerate it with: cargo run --release -p datacron-cli --"
+              " run scenarios/fleet_1m.scenario --compare --json BENCH_spill.json"))
+    schema = load(args[1], "schema")
+    validate(result, schema)
+
+    arms = result["arms"]
+    budgeted = arms[0]
+    assert budgeted["budget"] is not None, "first arm must be the budgeted one"
+    assert budgeted["max_resident"] <= budgeted["budget"], \
+        f"residency {budgeted['max_resident']} exceeded the budget {budgeted['budget']}"
+    assert budgeted["spill"]["evictions"] > 0, "the spill tier was never exercised"
+    assert budgeted["spill"]["rehydrations"] > 0, "no entity was ever rehydrated"
+    assert budgeted["spill"]["rehydrate_failures"] == 0, "rehydrate failures"
+    assert budgeted["entities"] > budgeted["budget"], \
+        "the scenario fleet fits the budget; nothing was proven"
+
+    if len(arms) == 2:
+        resident = arms[1]
+        assert resident["budget"] is None, "second arm must be the unbounded reference"
+        assert resident["spill"]["evictions"] == 0, "the reference arm spilled"
+        assert result["digests_match"] is True, "budgeted digest diverged from resident"
+        assert budgeted["digest"] == resident["digest"], "digest fields disagree with flag"
+        for key in COUNTS:
+            assert budgeted[key] == resident[key], \
+                f"{key}: budgeted {budgeted[key]} != resident {resident[key]}"
+        ratio = result["throughput_ratio"]
+        assert ratio is not None and ratio >= min_ratio, \
+            f"budgeted throughput is {ratio} of resident; the floor is {min_ratio}"
+        print(f"OK: {result['scenario']}: {budgeted['entities']} entities, "
+              f"{budgeted['reports']} reports; budgeted {budgeted['records_per_sec']:.0f} rec/s "
+              f"({ratio:.2f}x resident) with max residency "
+              f"{budgeted['max_resident']}/{budgeted['budget']}, "
+              f"{budgeted['spill']['evictions']} evictions / "
+              f"{budgeted['spill']['rehydrations']} rehydrations, digests identical")
+    else:
+        print(f"OK (single arm): {result['scenario']}: {budgeted['entities']} entities, "
+              f"max residency {budgeted['max_resident']}/{budgeted['budget']}")
+
+
+if __name__ == "__main__":
+    main()
